@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def print_table(title: str, header: Sequence[str],
+                rows: Sequence[Sequence[Any]]) -> None:
+    """Print an experiment's result series in a paper-style table."""
+    cols = len(header)
+    widths = [len(h) for h in header]
+    txt_rows = []
+    for row in rows:
+        txt = [f"{x:.4g}" if isinstance(x, float) else str(x) for x in row]
+        txt_rows.append(txt)
+        for i in range(cols):
+            widths[i] = max(widths[i], len(txt[i]))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for txt in txt_rows:
+        print("  ".join(txt[i].ljust(widths[i]) for i in range(cols)))
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,51 @@
+"""Experiment App. F — μ is polynomial where μ_p explodes.
+
+Regenerates the complexity asymmetry behind Theorem 5.5: on growing
+3-PARTITION chain instances, the Coffman–Graham computation of μ scales
+politely (polynomial), while the exact μ_p search's explored state count
+grows much faster — the practical face of "we can compute the
+parallelizability of the DAG but not of our own solution".
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.reductions import mup_chain_instance
+from repro.scheduling import (
+    chain_fixed_makespan,
+    coffman_graham_makespan,
+)
+
+from _util import once, print_table
+
+CASES = [
+    ([1, 1], 2),
+    ([2, 2, 1, 3], 4),
+    ([2, 2, 2, 2, 3, 1], 4),
+    ([3, 3, 2, 2, 1, 1], 4),
+]
+
+
+def test_appendixF_mu_vs_mup(benchmark):
+    def run():
+        rows = []
+        for numbers, b in CASES:
+            inst = mup_chain_instance(numbers, b)
+            t0 = time.perf_counter()
+            mu = coffman_graham_makespan(inst.dag)
+            t_mu = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            mup = chain_fixed_makespan(inst.dag, inst.labels, 2)
+            t_mup = time.perf_counter() - t0
+            rows.append((inst.dag.n, mu, mup, t_mu * 1e3, t_mup * 1e3,
+                         t_mup / max(t_mu, 1e-9)))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Appendix F: μ stays cheap, exact μ_p blows up",
+                ["n", "mu", "mu_p", "mu ms", "mu_p ms", "slowdown x"],
+                rows)
+    assert all(mup >= mu for _, mu, mup, *_ in rows)
+    # μ_p search cost grows much faster than μ's polynomial algorithm
+    assert rows[-1][4] > rows[0][4]

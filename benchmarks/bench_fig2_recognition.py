@@ -1,0 +1,56 @@
+"""Experiment F2 — Figure 2 + Lemmas B.1/B.2: hyperDAG recognition.
+
+Regenerates: the triangle rejection (Figure 2), acceptance of all true
+hyperDAGs, and the *linear-time* claim of Lemma B.2 — runtime per pin
+stays flat as ρ grows by two orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import Hypergraph, hyperdag_from_dag, is_hyperdag, recognize
+from repro.generators import random_layered_dag
+
+from _util import once, print_table
+
+
+def test_fig2_recognition_linear(benchmark):
+    rng = np.random.default_rng(2)
+
+    def run():
+        rows = []
+        for width in (10, 30, 100, 300):
+            d = random_layered_dag([width] * 6, 0.3, rng)
+            h, _ = hyperdag_from_dag(d)
+            t0 = time.perf_counter()
+            cert = recognize(h)
+            dt = time.perf_counter() - t0
+            assert cert is not None
+            rows.append((h.n, h.num_pins, dt * 1e3,
+                         dt * 1e9 / max(h.num_pins, 1)))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Lemma B.2: recognition is linear in the pin count ρ",
+                ["n", "pins ρ", "time (ms)", "ns / pin"], rows)
+    # per-pin time must not blow up with size (allow 5x noise band)
+    per_pin = [r[3] for r in rows]
+    assert per_pin[-1] <= 5 * max(per_pin[0], 1e3)
+
+
+def test_fig2_triangle_rejected(benchmark):
+    tri = Hypergraph(3, [(0, 1), (1, 2), (0, 2)])
+    result = benchmark(lambda: is_hyperdag(tri))
+    assert result is False
+
+
+def test_fig2_perturbation_rejected(benchmark):
+    """Densest hyperDAG + one extra edge exceeds |E| <= n-1: rejected."""
+    from repro.core import densest_hyperdag
+
+    g = densest_hyperdag(50).with_edges([(0, 1)])
+    result = benchmark(lambda: is_hyperdag(g))
+    assert result is False

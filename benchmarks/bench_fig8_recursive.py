@@ -1,0 +1,122 @@
+"""Experiment L7.2/F8 — Figure 8: recursive partitioning can lose Θ(n).
+
+Regenerates: on the nine-block construction, recursive bipartitioning —
+*with every step individually optimal* — pays Θ(n) (a block must be
+split in the second step), while the direct 4-way optimum stays O(1);
+the cost ratio therefore grows linearly in n.  Holds for both the
+standard and the hierarchical cost function (Lemma 7.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Metric, connectivity_cost
+from repro.errors import ProblemTooLargeError
+from repro.hierarchy import hierarchical_cost
+from repro.partitioners import recursive_partition
+from repro.partitioners.recursive import restrict_to_nodes
+from repro.reductions import (
+    block_respecting_bisection,
+    block_respecting_hierarchical_optimum,
+    block_respecting_kway_optimum,
+    build_recursive_gap_instance,
+)
+
+from _util import once, print_table
+
+
+def _optimal_recursive(structure) -> tuple[float, np.ndarray]:
+    """Recursive bipartitioning where each step is optimal separately:
+    block-respecting optimal when feasible, else the cheapest possible
+    block-splitting step (cut one block in half — cost = block weight)."""
+    hg = structure.hypergraph
+    labels = np.zeros(hg.n, dtype=np.int64)
+    total_cost = 0.0
+    cap = hg.n / 4
+
+    def split(node_ids, caps):
+        nonlocal total_cost
+        sub = restrict_to_nodes(hg, node_ids)
+        try:
+            side = block_respecting_bisection(structure, node_ids, caps)
+        except ProblemTooLargeError:
+            # forced block split: halve the node list (the best a
+            # block-cutting bisection can do is pay one block's weight)
+            side = np.zeros(len(node_ids), dtype=np.int64)
+            side[len(node_ids) // 2:] = 1
+        total_cost += connectivity_cost(sub, side, 2)
+        return side
+
+    top = split(list(range(hg.n)), (2 * cap, 2 * cap))
+    for side_id, offset in ((0, 0), (1, 2)):
+        ids = [v for v in range(hg.n) if top[v] == side_id]
+        inner = split(ids, (cap, cap))
+        for i, v in enumerate(ids):
+            labels[v] = offset + inner[i]
+    return total_cost, labels
+
+
+def test_fig8_recursive_vs_direct(benchmark):
+    def run():
+        rows = []
+        for unit in (4, 8, 16, 32):
+            st = build_recursive_gap_instance(unit=unit)
+            n = st.hypergraph.n
+            rec_cost, rec_labels = _optimal_recursive(st)
+            direct_cost, direct_part = block_respecting_kway_optimum(
+                st, 4, eps=0.0)
+            hier_rec = hierarchical_cost(st.hypergraph, rec_labels,
+                                         st.topology)
+            hier_opt, _ = block_respecting_hierarchical_optimum(st, eps=0.0)
+            rows.append((n, rec_cost, direct_cost,
+                         rec_cost / direct_cost, hier_rec, hier_opt,
+                         hier_rec / hier_opt))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "Figure 8 / Lemma 7.2: recursive pays Θ(n), direct O(1)",
+        ["n", "recursive", "direct OPT", "ratio",
+         "hier(recursive)", "hier OPT", "hier ratio"],
+        rows)
+    for n, rec, direct, ratio, hrec, hopt, hratio in rows:
+        assert direct <= 7           # O(1)
+        assert rec >= n / 6 - 1      # Θ(n): at least one block split
+        assert hrec >= n / 6 - 1     # the gap persists under hier cost
+        assert hopt <= 7 * 4         # hierarchical optimum stays O(1)
+    # the ratios grow linearly with n (the Θ(n) gap); being asymptotic,
+    # the hierarchical ratio overtakes 1 past the smallest size
+    assert rows[-1][3] > 4 * rows[0][3]
+    assert rows[-1][6] > 4 * max(rows[0][6], 1.0)
+    assert all(r[6] >= 1.0 for r in rows[1:])
+
+
+def test_fig8_general_branching(benchmark):
+    """Appendix G.1: the same phenomenon for b = (3,2) and (2,3) — the
+    direct optimum is unit-independent while block-splitting costs grow
+    linearly with the block size."""
+    from repro.reductions import build_recursive_gap_instance_general
+
+    def run():
+        rows = []
+        for b, units in (((2, 2), (4, 8)), ((3, 2), (4, 8)),
+                         ((2, 3), (4, 8))):
+            for unit in units:
+                st = build_recursive_gap_instance_general(b, unit=unit)
+                direct, _ = block_respecting_kway_optimum(
+                    st, st.topology.k, eps=0.0)
+                rows.append((str(b), unit, st.hypergraph.n, direct,
+                             st.block_split_cost))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Appendix G.1: Figure 8 for general branching factors",
+                ["b", "unit", "n", "direct OPT", "block split cost"],
+                rows)
+    by_b: dict[str, list] = {}
+    for b, unit, n, direct, split in rows:
+        by_b.setdefault(b, []).append((direct, split))
+    for b, pairs in by_b.items():
+        assert pairs[0][0] == pairs[1][0]       # direct unit-independent
+        assert pairs[1][1] == 2 * pairs[0][1]   # split cost scales with n

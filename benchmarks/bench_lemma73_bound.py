@@ -1,0 +1,43 @@
+"""Experiment L7.3 — the two-step method is a g₁-approximation.
+
+Regenerates: on random hypergraphs with exact solvers on both sides,
+the two-step cost always lands in ``[hier OPT, g₁ · hier OPT]`` —
+Lemma 7.3's guarantee, complementing the near-tight Figure 9 gap.
+"""
+
+from __future__ import annotations
+
+from repro.generators import random_hypergraph
+from repro.hierarchy import (
+    HierarchyTopology,
+    exact_hierarchical_partition,
+    two_step_partition,
+)
+from repro.partitioners import exact_partition
+
+from _util import once, print_table
+
+
+def test_lemma73_sandwich(benchmark):
+    topo = HierarchyTopology((2, 2), (4.0, 1.0))
+
+    def run():
+        rows = []
+        for seed in range(6):
+            g = random_hypergraph(8, 7, rng=seed)
+            _, opt = exact_hierarchical_partition(g, topo, eps=0.0)
+
+            def exact_fn(gr, k):
+                return exact_partition(gr, k, eps=0.0).partition
+
+            _, ts = two_step_partition(g, topo, eps=0.0,
+                                       partition_fn=exact_fn)
+            rows.append((seed, opt, ts,
+                         ts / opt if opt else 1.0))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Lemma 7.3: hier OPT <= two-step <= g1 * hier OPT (g1=4)",
+                ["seed", "hier OPT", "two-step", "ratio"], rows)
+    for seed, opt, ts, ratio in rows:
+        assert opt - 1e-9 <= ts <= 4.0 * opt + 1e-9

@@ -1,0 +1,54 @@
+"""Experiment F3/T4.1 — Figure 3 + Theorem 4.1: the SpES reduction.
+
+Regenerates: Lemma C.1's exact optimum correspondence
+``OPT_part == OPT_SpES`` across a family of random SpES instances, for
+several ε.  (The inapproximability itself is asymptotic; its testable
+content is this constructive equality, which would transfer any
+approximation of partitioning back to SpES.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Metric, cost, is_balanced
+from repro.reductions import SpESInstance, build_spes_reduction, min_p_union
+
+from _util import once, print_table
+
+
+def _random_spes(rng, n, m, p) -> SpESInstance:
+    edges = set()
+    while len(edges) < m:
+        u, v = rng.choice(n, size=2, replace=False)
+        edges.add((min(u, v), max(u, v)))
+    return SpESInstance(n, tuple(sorted(edges)), p)
+
+
+def test_thm41_opt_correspondence(benchmark):
+    rng = np.random.default_rng(41)
+
+    def run():
+        rows = []
+        for seed in range(6):
+            n = int(rng.integers(4, 7))
+            m = int(rng.integers(3, min(7, n * (n - 1) // 2) + 1))
+            p = int(rng.integers(1, m + 1))
+            inst = _random_spes(rng, n, m, p)
+            eps = [0.0, 0.2, 0.5][seed % 3]
+            opt_spes, chosen = min_p_union(inst)
+            red = build_spes_reduction(inst, eps=eps)
+            opt_part, witness = red.block_respecting_optimum()
+            fwd = red.partition_from_edge_subset(chosen)
+            rows.append((n, m, p, eps, red.n_prime, opt_spes, opt_part,
+                         cost(red.hypergraph, fwd, Metric.CUT_NET)))
+            assert is_balanced(witness, eps)
+            assert is_balanced(fwd, eps)
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Theorem 4.1 / Lemma C.1: OPT_part == OPT_SpES",
+                ["n", "|E|", "p", "eps", "n'", "OPT_SpES", "OPT_part",
+                 "fwd-map cost"], rows)
+    for row in rows:
+        assert row[5] == row[6] == row[7]

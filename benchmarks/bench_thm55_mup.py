@@ -1,0 +1,97 @@
+"""Experiment T5.5 — μ_p is NP-hard where μ is easy.
+
+Regenerates Theorem 5.5 on all four special classes: chain graphs,
+level-order DAGs, out-trees (3-PARTITION encoding) and bounded-height
+DAGs (CLIQUE encoding).  In every case μ (unconstrained) equals the
+flawless bound and is computed by a polynomial algorithm, while μ_p hits
+the bound iff the embedded NP-hard instance is a yes-instance.
+"""
+
+from __future__ import annotations
+
+from repro.reductions import (
+    find_clique,
+    find_grouping,
+    mup_bounded_height_instance,
+    mup_chain_instance,
+    mup_outtree_instance,
+)
+from repro.scheduling import (
+    chain_fixed_makespan,
+    exact_fixed_makespan,
+    optimal_makespan,
+)
+
+from _util import once, print_table
+
+NUMBER_SETS = [
+    ([2, 2, 1, 3], 4, True),
+    ([3, 3, 2], 4, False),
+    ([1, 1, 2, 2, 3, 3], 4, True),
+    ([3, 3, 3, 3], 4, False),
+]
+
+CLIQUE_GRAPHS = [
+    ("triangle", 3, ((0, 1), (1, 2), (0, 2)), 3, True),
+    ("C4", 4, ((0, 1), (1, 2), (2, 3), (0, 3)), 3, False),
+    ("diamond", 4, ((0, 1), (1, 2), (0, 2), (2, 3), (1, 3)), 3, True),
+]
+
+
+def test_thm55_chains(benchmark):
+    def run():
+        rows = []
+        for numbers, b, _ in NUMBER_SETS:
+            inst = mup_chain_instance(numbers, b)
+            yes = find_grouping(numbers, b) is not None
+            mu = optimal_makespan(inst.dag, 2)
+            mup = chain_fixed_makespan(inst.dag, inst.labels, 2)
+            rows.append((str(numbers), b, yes, inst.target, mu, mup))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Theorem 5.5 (chains/level-order): mu_p == n/2 iff "
+                "3-PARTITION-style grouping exists",
+                ["numbers", "b", "grouping?", "target n/2", "mu", "mu_p"],
+                rows)
+    for numbers, b, yes, target, mu, mup in rows:
+        assert mu == target          # mu itself is flawless and easy
+        assert (mup == target) == yes
+
+
+def test_thm55_out_trees(benchmark):
+    def run():
+        rows = []
+        for numbers, b, _ in (([2, 2], 2, True), ([1, 3], 2, False)):
+            inst = mup_outtree_instance(numbers, b)
+            yes = find_grouping(numbers, b) is not None
+            mup = exact_fixed_makespan(inst.dag, inst.labels, 2,
+                                       max_nodes=20)
+            rows.append((str(numbers), b, yes, inst.target, mup))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Theorem 5.5 (out-trees)",
+                ["numbers", "b", "grouping?", "target", "mu_p"], rows)
+    for numbers, b, yes, target, mup in rows:
+        assert (mup == target) == yes
+
+
+def test_thm55_bounded_height(benchmark):
+    def run():
+        rows = []
+        for name, n, edges, L, _ in CLIQUE_GRAPHS:
+            inst = mup_bounded_height_instance(n, edges, L)
+            yes = find_clique(n, edges, L) is not None
+            mup = exact_fixed_makespan(inst.dag, inst.labels, 2,
+                                       max_nodes=22)
+            rows.append((name, L, yes, inst.dag.longest_path_length(),
+                         inst.target, mup))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Theorem 5.5 (bounded height, via CLIQUE)",
+                ["graph", "L", "clique?", "height", "target", "mu_p"], rows)
+    for name, L, yes, height, target, mup in rows:
+        assert height <= 4
+        assert (mup == target) == yes, name

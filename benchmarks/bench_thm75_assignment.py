@@ -1,0 +1,88 @@
+"""Experiment T7.5/H.1/H.2 — the hierarchy assignment problem.
+
+Regenerates: (a) Lemma H.1 — for ``d = 2, b₂ = 2`` the polynomial
+matching algorithm returns exactly the brute-force optimum, and scales
+past where brute force explodes (``f(k)`` assignments, Appendix H.1);
+(b) Lemma H.2 — for ``b₂ = 3`` the 3DM gain threshold separates yes/no
+instances.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.generators import random_hypergraph
+from repro.hierarchy import (
+    HierarchyTopology,
+    brute_force_assignment,
+    canonical_assignments,
+    matching_assignment,
+)
+from repro.reductions import (
+    ThreeDMInstance,
+    assignment_gain,
+    build_3dm_assignment_instance,
+    three_dm_brute_force,
+)
+
+from _util import once, print_table
+
+
+def test_lemma_h1_matching(benchmark):
+    def run():
+        rows = []
+        for half_k, seed in ((2, 0), (3, 1), (4, 2), (5, 3)):
+            k = 2 * half_k
+            topo = HierarchyTopology((half_k, 2), (3.0, 1.0))
+            contracted = random_hypergraph(k, 3 * k, 2, 3, rng=seed)
+            t0 = time.perf_counter()
+            _, match_cost = matching_assignment(contracted, topo)
+            t_match = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            _, bf_cost = brute_force_assignment(contracted, topo)
+            t_bf = time.perf_counter() - t0
+            rows.append((k, topo.num_assignments(), bf_cost, match_cost,
+                         t_match * 1e3, t_bf * 1e3))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Lemma H.1: matching == brute force for d=2, b2=2",
+                ["k", "f(k)", "brute-force cost", "matching cost",
+                 "matching ms", "brute ms"], rows)
+    for k, fk, bf, mt, *_ in rows:
+        assert bf == mt
+    # brute force grows with f(k); matching stays flat
+    assert rows[-1][1] > 100 * rows[0][1]
+
+
+def test_lemma_h2_3dm(benchmark):
+    instances = [
+        ("yes-1", ThreeDMInstance(2, ((0, 0, 0), (1, 1, 1), (0, 1, 1))), True),
+        ("no-1", ThreeDMInstance(2, ((0, 0, 0), (1, 0, 1), (1, 1, 0))), False),
+        ("yes-2", ThreeDMInstance(2, ((0, 1, 0), (1, 0, 1))), True),
+        ("no-2", ThreeDMInstance(2, ((0, 0, 0), (0, 1, 1))), False),
+    ]
+
+    def run():
+        rows = []
+        for name, inst, expect in instances:
+            assert (three_dm_brute_force(inst) is not None) == expect
+            hg, topo, thr = build_3dm_assignment_instance(inst)
+            best = -np.inf
+            for assignment in canonical_assignments(topo):
+                p2l = np.empty(topo.k, dtype=np.int64)
+                for leaf, part in enumerate(assignment):
+                    p2l[part] = leaf
+                best = max(best, assignment_gain(hg, topo, p2l))
+            rows.append((name, expect, best, thr, best >= thr))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Lemma H.2: 3DM perfect matching iff gain >= threshold "
+                "(b2=3)",
+                ["instance", "3DM?", "max gain", "threshold", "reached"],
+                rows)
+    for name, expect, best, thr, reached in rows:
+        assert reached == expect, name

@@ -1,0 +1,66 @@
+"""repro — balanced hypergraph partitioning, hyperDAGs and hierarchical
+(NUMA) cost models.
+
+A faithful, self-contained reproduction of *"Partitioning Hypergraphs is
+Hard: Models, Inapproximability, and Applications"* (Papp, Anegg &
+Yzelman, SPAA 2023).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the per-figure/theorem experiment index.
+
+Subpackages
+-----------
+core
+    Hypergraphs, partitions, the cut-net/connectivity metrics, balance
+    constraints, computational DAGs and hyperDAGs.
+generators
+    Random hypergraphs/DAGs, SpMV fine-grain hypergraphs, the paper's
+    gadget zoo (blocks, grid gadgets, fixed-colour constraint sets).
+partitioners
+    Heuristics (greedy, FM, multilevel, recursive bisection) and exact
+    solvers (branch-and-bound, the XP dynamic program of Lemma 4.3).
+scheduling
+    DAG scheduling (Definition 5.3): list scheduling, exact makespan μ,
+    fixed-partition makespan μ_p, schedule-based balance constraints.
+hierarchy
+    The hierarchical partitioning problem (Section 7): tree topologies,
+    the hierarchical cost function, hierarchy assignment, the two-step
+    method and recursive partitioning.
+reductions
+    Executable versions of every hardness construction in the paper.
+io
+    hMETIS-compatible file formats.
+"""
+
+from .core import (
+    BLUE,
+    DAG,
+    Hypergraph,
+    Metric,
+    MultiConstraint,
+    Partition,
+    RED,
+    connectivity_cost,
+    cost,
+    cut_net_cost,
+    hyperdag_from_dag,
+    is_balanced,
+    is_hyperdag,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BLUE",
+    "DAG",
+    "Hypergraph",
+    "Metric",
+    "MultiConstraint",
+    "Partition",
+    "RED",
+    "__version__",
+    "connectivity_cost",
+    "cost",
+    "cut_net_cost",
+    "hyperdag_from_dag",
+    "is_balanced",
+    "is_hyperdag",
+]

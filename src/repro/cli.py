@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+partition
+    Partition an hMETIS ``.hgr`` file into k ε-balanced parts and report
+    both cost metrics; optionally write the partition file.
+evaluate
+    Evaluate an existing partition file against a hypergraph (both
+    metrics, balance check, per-part sizes, optional hierarchical cost).
+recognize
+    Decide whether an ``.hgr`` file is a hyperDAG (Lemma B.2) and print
+    a generator certificate.
+info
+    Basic statistics of an ``.hgr`` file (n, m, ρ, Δ, components).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import (
+    Metric,
+    connectivity_cost,
+    cut_net_cost,
+    is_balanced,
+    recognize,
+)
+from .io import read_hgr, read_partition, write_partition
+
+__all__ = ["main"]
+
+_ALGORITHMS = ("multilevel", "recursive", "greedy", "spectral", "random",
+               "exact")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Balanced hypergraph partitioning "
+                    "(Papp–Anegg–Yzelman SPAA 2023 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition an .hgr file")
+    p.add_argument("hgr", help="input hypergraph (.hgr)")
+    p.add_argument("-k", type=int, default=2, help="number of parts")
+    p.add_argument("--eps", type=float, default=0.03,
+                   help="balance slack ε (default 0.03)")
+    p.add_argument("--algorithm", choices=_ALGORITHMS, default="multilevel")
+    p.add_argument("--metric", choices=["connectivity", "cut-net"],
+                   default="connectivity")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", help="write partition file here")
+
+    e = sub.add_parser("evaluate", help="evaluate a partition file")
+    e.add_argument("hgr")
+    e.add_argument("partition")
+    e.add_argument("-k", type=int, default=None,
+                   help="number of parts (default: max label + 1)")
+    e.add_argument("--eps", type=float, default=0.03)
+
+    r = sub.add_parser("recognize", help="hyperDAG recognition (Lemma B.2)")
+    r.add_argument("hgr")
+
+    i = sub.add_parser("info", help="hypergraph statistics")
+    i.add_argument("hgr")
+
+    g = sub.add_parser("generate",
+                       help="generate a workload as an .hgr file")
+    g.add_argument("kind", choices=["random", "planted", "spmv-random",
+                                    "spmv-banded", "spmv-laplacian2d",
+                                    "spmv-blockdiag", "hyperdag-fft",
+                                    "hyperdag-stencil", "grid-gadget"])
+    g.add_argument("output", help="output .hgr path")
+    g.add_argument("-n", type=int, default=100,
+                   help="size parameter (nodes / grid side / stages)")
+    g.add_argument("-k", type=int, default=4,
+                   help="planted parts (planted/blockdiag only)")
+    g.add_argument("--density", type=float, default=0.05,
+                   help="nonzero density (spmv-random)")
+    g.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _partition(args) -> int:
+    graph = read_hgr(args.hgr)
+    metric = (Metric.CONNECTIVITY if args.metric == "connectivity"
+              else Metric.CUT_NET)
+    if args.algorithm == "multilevel":
+        from .partitioners import multilevel_partition
+        part = multilevel_partition(graph, args.k, args.eps, metric,
+                                    rng=args.seed)
+    elif args.algorithm == "recursive":
+        from .partitioners import recursive_partition
+        part = recursive_partition(graph, args.k, args.eps, metric,
+                                   rng=args.seed, relaxed=True)
+    elif args.algorithm == "greedy":
+        from .partitioners import greedy_sequential_partition
+        part = greedy_sequential_partition(graph, args.k, args.eps, metric,
+                                           rng=args.seed, relaxed=True)
+    elif args.algorithm == "spectral":
+        from .partitioners import spectral_partition
+        part = spectral_partition(graph, args.k, args.eps, metric,
+                                  rng=args.seed)
+    elif args.algorithm == "random":
+        from .partitioners import random_balanced_partition
+        part = random_balanced_partition(graph, args.k, args.eps,
+                                         rng=args.seed, relaxed=True)
+    else:  # exact
+        from .partitioners import exact_partition
+        part = exact_partition(graph, args.k, args.eps, metric,
+                               relaxed=True).partition
+    conn = connectivity_cost(graph, part.labels, args.k)
+    cut = cut_net_cost(graph, part.labels, args.k)
+    print(f"algorithm     : {args.algorithm}")
+    print(f"k / eps       : {args.k} / {args.eps}")
+    print(f"connectivity  : {conn:g}")
+    print(f"cut-net       : {cut:g}")
+    print(f"part sizes    : {part.sizes().tolist()}")
+    print(f"eps-balanced  : {is_balanced(part, args.eps, relaxed=True)}")
+    if args.output:
+        write_partition(part, args.output)
+        print(f"wrote partition to {args.output}")
+    return 0
+
+
+def _evaluate(args) -> int:
+    graph = read_hgr(args.hgr)
+    part = read_partition(args.partition, k=args.k)
+    if part.n != graph.n:
+        print(f"error: partition has {part.n} labels for {graph.n} nodes",
+              file=sys.stderr)
+        return 2
+    print(f"k             : {part.k}")
+    print(f"connectivity  : {connectivity_cost(graph, part.labels, part.k):g}")
+    print(f"cut-net       : {cut_net_cost(graph, part.labels, part.k):g}")
+    print(f"part sizes    : {part.sizes().tolist()}")
+    print(f"eps-balanced  : {is_balanced(part, args.eps, relaxed=True)} "
+          f"(eps={args.eps})")
+    return 0
+
+
+def _recognize(args) -> int:
+    graph = read_hgr(args.hgr)
+    cert = recognize(graph)
+    if cert is None:
+        print("NOT a hyperDAG (Lemma B.1 condition fails)")
+        return 1
+    print("hyperDAG: yes")
+    print(f"generators (hyperedge -> node): "
+          f"{list(cert.generators)[:20]}"
+          f"{' ...' if len(cert.generators) > 20 else ''}")
+    return 0
+
+
+def _info(args) -> int:
+    graph = read_hgr(args.hgr)
+    comps = graph.connected_components()
+    print(f"nodes n       : {graph.n}")
+    print(f"hyperedges m  : {graph.num_edges}")
+    print(f"pins rho      : {graph.num_pins}")
+    print(f"max degree Δ  : {graph.max_degree}")
+    print(f"components    : {len(comps)}")
+    sizes = sorted((len(e) for e in graph.edges), reverse=True)
+    if sizes:
+        print(f"edge sizes    : max={sizes[0]} "
+              f"median={sizes[len(sizes) // 2]} min={sizes[-1]}")
+    return 0
+
+
+def _generate(args) -> int:
+    from .io import write_hgr
+
+    n, seed = args.n, args.seed
+    if args.kind == "random":
+        from .generators import random_hypergraph
+        graph = random_hypergraph(n, int(1.5 * n), rng=seed)
+    elif args.kind == "planted":
+        from .generators import planted_partition_hypergraph
+        graph, _ = planted_partition_hypergraph(
+            n, args.k, 3 * n, max(1, n // 10), rng=seed)
+    elif args.kind == "spmv-random":
+        from .generators import random_sparse_pattern, spmv_fine_grain
+        graph = spmv_fine_grain(random_sparse_pattern(n, n, args.density,
+                                                      rng=seed))
+    elif args.kind == "spmv-banded":
+        from .generators import banded_pattern, spmv_fine_grain
+        graph = spmv_fine_grain(banded_pattern(n, 2))
+    elif args.kind == "spmv-laplacian2d":
+        from .generators import laplacian_2d_pattern, spmv_fine_grain
+        graph = spmv_fine_grain(laplacian_2d_pattern(n))
+    elif args.kind == "spmv-blockdiag":
+        from .generators import block_diagonal_pattern, spmv_fine_grain
+        graph = spmv_fine_grain(block_diagonal_pattern(
+            args.k, max(2, n // args.k), coupling=max(1, n // 10),
+            rng=seed))
+    elif args.kind == "hyperdag-fft":
+        from .core import hyperdag_from_dag
+        from .generators import butterfly_dag
+        graph, _ = hyperdag_from_dag(butterfly_dag(n))
+    elif args.kind == "hyperdag-stencil":
+        from .core import hyperdag_from_dag
+        from .generators import stencil_1d_dag
+        graph, _ = hyperdag_from_dag(stencil_1d_dag(n, max(2, n // 4)))
+    else:  # grid-gadget
+        from .generators import grid_gadget
+        graph = grid_gadget(n)
+    write_hgr(graph, args.output)
+    print(f"wrote {args.kind}: n={graph.n} m={graph.num_edges} "
+          f"pins={graph.num_pins} Δ={graph.max_degree} -> {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {"partition": _partition, "evaluate": _evaluate,
+                "recognize": _recognize, "info": _info,
+                "generate": _generate}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

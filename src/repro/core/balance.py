@@ -1,0 +1,163 @@
+"""Balance constraints (paper Definitions 3.1, 5.1 and 6.1, Appendix A).
+
+The ε-balanced constraint requires ``|P_i| ≤ (1+ε)·n/k`` for every part.
+The paper sometimes relaxes the threshold to ``ceil((1+ε)·n/k)`` so that a
+balanced partitioning always exists; pass ``relaxed=True`` for that
+variant.  The default uses ``floor`` (a partition of integers satisfies
+``|P_i| ≤ (1+ε)n/k`` iff ``|P_i| ≤ floor((1+ε)n/k)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import InvalidPartitionError
+from .partition import Partition, part_sizes
+
+__all__ = [
+    "balance_threshold",
+    "is_balanced",
+    "MultiConstraint",
+    "max_nonempty_parts_bound",
+    "min_parts_to_cover",
+    "all_parts_nonempty_guaranteed",
+]
+
+
+def balance_threshold(n: int, k: int, eps: float, relaxed: bool = False) -> int:
+    """Maximum allowed part size ``(1+ε)·n/k`` as an integer threshold.
+
+    With ``relaxed=False`` (paper default) this is ``floor((1+ε)·n/k)``;
+    with ``relaxed=True`` it is ``ceil((1+ε)·n/k)`` (Appendix A,
+    "Non-integer thresholds").  Floating-point noise around exact integers
+    is absorbed before rounding.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if eps < 0:
+        raise ValueError(f"eps must be >= 0, got {eps}")
+    exact = (1.0 + eps) * n / k
+    # Snap to an adjacent integer when within floating noise of one, so
+    # that e.g. eps=0.5, n=12, k=2 gives exactly 9 rather than 8/10.
+    nearest = round(exact)
+    if abs(exact - nearest) < 1e-9 * max(1.0, abs(exact)):
+        return int(nearest)
+    return int(math.ceil(exact)) if relaxed else int(math.floor(exact))
+
+
+def is_balanced(
+    partition: Partition | Sequence[int] | np.ndarray,
+    eps: float,
+    k: int | None = None,
+    relaxed: bool = False,
+) -> bool:
+    """Check the ε-balance constraint of Definition 3.1."""
+    if isinstance(partition, Partition):
+        labels, kk = partition.labels, partition.k
+    else:
+        if k is None:
+            raise ValueError("k required for raw label vectors")
+        labels, kk = np.asarray(partition, dtype=np.int64), k
+    n = int(labels.shape[0])
+    cap = balance_threshold(n, kk, eps, relaxed=relaxed)
+    return bool(part_sizes(labels, kk).max(initial=0) <= cap)
+
+
+@dataclass(frozen=True)
+class MultiConstraint:
+    """Multi-constraint balance (Definition 6.1).
+
+    ``subsets`` are disjoint node-id lists ``V_1, ..., V_c``; a
+    partitioning is feasible iff for all ``j, i``:
+    ``|P_i ∩ V_j| ≤ (1+ε)·|V_j|/k``.
+
+    Layer-wise balance for hyperDAGs (Definition 5.1) is the special case
+    where the subsets are the DAG layers — see
+    :func:`repro.core.dag.DAG.layers`.
+    """
+
+    subsets: tuple[tuple[int, ...], ...]
+
+    def __init__(self, subsets: Sequence[Sequence[int]]) -> None:
+        norm = tuple(tuple(int(v) for v in s) for s in subsets)
+        seen: set[int] = set()
+        for s in norm:
+            for v in s:
+                if v in seen:
+                    raise InvalidPartitionError(
+                        f"node {v} appears in two constraint subsets"
+                    )
+                seen.add(v)
+        object.__setattr__(self, "subsets", norm)
+
+    @property
+    def c(self) -> int:
+        """Number of constraints."""
+        return len(self.subsets)
+
+    def is_feasible(
+        self,
+        partition: Partition | Sequence[int] | np.ndarray,
+        eps: float,
+        k: int | None = None,
+        relaxed: bool = False,
+    ) -> bool:
+        if isinstance(partition, Partition):
+            labels, kk = partition.labels, partition.k
+        else:
+            if k is None:
+                raise ValueError("k required for raw label vectors")
+            labels, kk = np.asarray(partition, dtype=np.int64), k
+        for subset in self.subsets:
+            if not subset:
+                continue
+            idx = np.asarray(subset, dtype=np.int64)
+            cap = balance_threshold(len(subset), kk, eps, relaxed=relaxed)
+            if part_sizes(labels[idx], kk).max(initial=0) > cap:
+                return False
+        return True
+
+    def violations(
+        self,
+        partition: Partition,
+        eps: float,
+        relaxed: bool = False,
+    ) -> list[tuple[int, int, int, int]]:
+        """All violated (subset j, part i, size, cap) tuples, for diagnostics."""
+        out = []
+        for j, subset in enumerate(self.subsets):
+            if not subset:
+                continue
+            idx = np.asarray(subset, dtype=np.int64)
+            cap = balance_threshold(len(subset), partition.k, eps, relaxed=relaxed)
+            sizes = part_sizes(partition.labels[idx], partition.k)
+            for i, s in enumerate(sizes):
+                if s > cap:
+                    out.append((j, i, int(s), cap))
+        return out
+
+
+def max_nonempty_parts_bound(k: int, eps: float) -> int:
+    """Lemma A.3: some optimal partitioning has < ``2k/(1+ε)`` nonempty parts.
+
+    Returns the smallest integer strictly greater than every achievable
+    nonempty-part count, i.e. ``ceil(2k/(1+ε))`` (a valid "<" bound).
+    """
+    return int(math.ceil(2 * k / (1 + eps)))
+
+
+def min_parts_to_cover(k: int, eps: float) -> int:
+    """``k_0 = ceil(k/(1+ε))``: the fewest parts that can cover all nodes
+    (used in the generalisation of the main reduction, Appendix C.4)."""
+    return int(math.ceil(k / (1 + eps)))
+
+
+def all_parts_nonempty_guaranteed(k: int, eps: float) -> bool:
+    """Lemma A.4: ``ε < 1/(k−1)`` forces every part to be nonempty."""
+    if k < 2:
+        return True
+    return eps < 1.0 / (k - 1)

@@ -1,0 +1,218 @@
+"""Computational DAGs (paper Sections 3.2 and 5).
+
+Nodes represent computational steps; a directed edge ``(u, v)`` means the
+output of ``u`` is an input of ``v``.  This module provides the DAG
+substrate used by hyperDAG construction (Definition 3.2), layer-wise
+balance constraints (Definition 5.1, Figure 5) and DAG scheduling
+(Definition 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import InvalidHypergraphError
+
+__all__ = ["DAG"]
+
+
+class DAG:
+    """A directed acyclic graph on nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes.
+    edges:
+        Iterable of directed edges ``(u, v)``.  Duplicates are collapsed.
+        A cycle raises :class:`~repro.errors.InvalidHypergraphError`.
+    """
+
+    __slots__ = ("n", "edges", "_succ", "_pred", "_topo")
+
+    def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int]]) -> None:
+        if num_nodes < 0:
+            raise InvalidHypergraphError("num_nodes must be >= 0")
+        self.n = int(num_nodes)
+        uniq = sorted(set((int(u), int(v)) for u, v in edges))
+        for u, v in uniq:
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise InvalidHypergraphError(f"edge ({u},{v}) outside [0,{self.n})")
+            if u == v:
+                raise InvalidHypergraphError(f"self-loop at {u}")
+        self.edges: tuple[tuple[int, int], ...] = tuple(uniq)
+        succ: list[list[int]] = [[] for _ in range(self.n)]
+        pred: list[list[int]] = [[] for _ in range(self.n)]
+        for u, v in self.edges:
+            succ[u].append(v)
+            pred[v].append(u)
+        self._succ = [tuple(s) for s in succ]
+        self._pred = [tuple(p) for p in pred]
+        self._topo: tuple[int, ...] | None = None
+        self.topological_order()  # validates acyclicity eagerly
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def successors(self, v: int) -> tuple[int, ...]:
+        """Immediate successors ``S_v`` (Definition 3.2)."""
+        return self._succ[v]
+
+    def predecessors(self, v: int) -> tuple[int, ...]:
+        return self._pred[v]
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def out_degree(self, v: int) -> int:
+        return len(self._succ[v])
+
+    def in_degree(self, v: int) -> int:
+        return len(self._pred[v])
+
+    def sources(self) -> list[int]:
+        """Nodes with no incoming edges."""
+        return [v for v in range(self.n) if not self._pred[v]]
+
+    def sinks(self) -> list[int]:
+        """Nodes with no outgoing edges (``V_sink`` in Appendix B)."""
+        return [v for v in range(self.n) if not self._succ[v]]
+
+    def max_in_degree(self) -> int:
+        return max((len(p) for p in self._pred), default=0)
+
+    def topological_order(self) -> tuple[int, ...]:
+        """A topological order (Kahn's algorithm); validates acyclicity."""
+        if self._topo is None:
+            indeg = [len(p) for p in self._pred]
+            queue = [v for v in range(self.n) if indeg[v] == 0]
+            order: list[int] = []
+            head = 0
+            while head < len(queue):
+                v = queue[head]
+                head += 1
+                order.append(v)
+                for w in self._succ[v]:
+                    indeg[w] -= 1
+                    if indeg[w] == 0:
+                        queue.append(w)
+            if len(order) != self.n:
+                raise InvalidHypergraphError("graph contains a cycle")
+            self._topo = tuple(order)
+        return self._topo
+
+    # ------------------------------------------------------------------
+    # Layerings (Section 5.1, Figure 5)
+    # ------------------------------------------------------------------
+    def longest_path_length(self) -> int:
+        """ℓ: number of nodes on a longest directed path (0 when empty)."""
+        if self.n == 0:
+            return 0
+        return int(self.asap_layers().max()) + 1
+
+    def asap_layers(self) -> np.ndarray:
+        """Earliest-possible layer per node (0-based).
+
+        ``V_1`` = sources; node enters the first layer after all its
+        predecessors — the paper's "simplest case" layering.
+        """
+        layer = np.zeros(self.n, dtype=np.int64)
+        for v in self.topological_order():
+            for u in self._pred[v]:
+                if layer[u] + 1 > layer[v]:
+                    layer[v] = layer[u] + 1
+        return layer
+
+    def alap_layers(self) -> np.ndarray:
+        """Latest-possible layer per node, within ℓ total layers."""
+        depth = self.longest_path_length()
+        layer = np.full(self.n, depth - 1, dtype=np.int64)
+        for v in reversed(self.topological_order()):
+            for w in self._succ[v]:
+                if layer[w] - 1 < layer[v]:
+                    layer[v] = layer[w] - 1
+        return layer
+
+    def is_valid_layering(self, layer: Sequence[int] | np.ndarray) -> bool:
+        """Check a layering per Section 5.1: ℓ layers total, edges go
+        strictly forward, and every layer index is within ``[0, ℓ)``."""
+        arr = np.asarray(layer, dtype=np.int64)
+        if arr.shape != (self.n,):
+            return False
+        if self.n == 0:
+            return True
+        depth = self.longest_path_length()
+        if arr.min() < 0 or arr.max() > depth - 1:
+            return False
+        return all(arr[u] < arr[v] for u, v in self.edges)
+
+    def layers_from_assignment(self, layer: Sequence[int] | np.ndarray) -> list[list[int]]:
+        """Group node ids by layer index into ``V_1, ..., V_ℓ``."""
+        arr = np.asarray(layer, dtype=np.int64)
+        depth = int(arr.max()) + 1 if self.n else 0
+        out: list[list[int]] = [[] for _ in range(depth)]
+        for v in range(self.n):
+            out[int(arr[v])].append(v)
+        return out
+
+    def flexible_nodes(self) -> list[int]:
+        """Nodes whose layer is not fixed (ASAP ≠ ALAP) — exactly the
+        nodes not on any maximum-length path (Appendix E.2)."""
+        asap, alap = self.asap_layers(), self.alap_layers()
+        return [v for v in range(self.n) if asap[v] != alap[v]]
+
+    # ------------------------------------------------------------------
+    # Composition (Figure 4 tooling)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def disjoint_union(parts: Sequence["DAG"]) -> "DAG":
+        offset = 0
+        edges: list[tuple[int, int]] = []
+        for g in parts:
+            edges.extend((u + offset, v + offset) for u, v in g.edges)
+            offset += g.n
+        return DAG(offset, edges)
+
+    @staticmethod
+    def serial_concatenation(first: "DAG", second: "DAG") -> "DAG":
+        """Serial composition of two DAGs (Figure 4): every sink of
+        ``first`` gets an edge to every source of ``second``, forcing the
+        whole of ``first`` before any of ``second``."""
+        off = first.n
+        edges = list(first.edges)
+        edges.extend((u + off, v + off) for u, v in second.edges)
+        for s in first.sinks():
+            for t in second.sources():
+                edges.append((s, t + off))
+        return DAG(first.n + second.n, edges)
+
+    @staticmethod
+    def path(length: int) -> "DAG":
+        """A directed path on ``length`` nodes."""
+        return DAG(length, [(i, i + 1) for i in range(length - 1)])
+
+    def reachable_from(self, start: Iterable[int]) -> set[int]:
+        """All nodes reachable from ``start`` (inclusive)."""
+        seen = set(int(v) for v in start)
+        stack = list(seen)
+        while stack:
+            v = stack.pop()
+            for w in self._succ[v]:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return seen
+
+    def __repr__(self) -> str:
+        return f"DAG(n={self.n}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DAG):
+            return NotImplemented
+        return self.n == other.n and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.edges))

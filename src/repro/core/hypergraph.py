@@ -1,0 +1,354 @@
+"""Hypergraph data structure (paper Section 3.1).
+
+A hypergraph ``G(V, E)`` consists of nodes ``V = {0, ..., n-1}`` and
+hyperedges ``E``, each a subset of ``V``.  Following the paper we track
+
+* ``n`` — the number of nodes,
+* ``rho`` — the total number of pins (sum of hyperedge sizes),
+* ``max_degree`` (Δ) — the maximal number of hyperedges incident to a node.
+
+The structure is immutable after construction; derived indices (CSR pin
+arrays, node→edge incidence) are built lazily and cached, which keeps
+construction cheap for the many thousands of small gadget hypergraphs the
+reduction machinery creates while still giving vectorised cost evaluation
+on large instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import InvalidHypergraphError
+
+__all__ = ["Hypergraph"]
+
+
+class Hypergraph:
+    """An undirected hypergraph on nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n``.  Nodes are the integers ``0..n-1``.
+    edges:
+        Iterable of hyperedges; each hyperedge is an iterable of node ids.
+        Duplicate pins within one hyperedge are collapsed.  Duplicate
+        hyperedges are *kept* (multi-hypergraphs arise naturally from the
+        contraction step of the hierarchy-assignment problem, Appendix H.1).
+    node_weights / edge_weights:
+        Optional nonnegative weights.  Default to all-ones.
+    name:
+        Optional label used in ``repr`` and experiment logs.
+    """
+
+    __slots__ = (
+        "n",
+        "edges",
+        "node_weights",
+        "edge_weights",
+        "name",
+        "_edge_ptr",
+        "_edge_pins",
+        "_node_ptr",
+        "_node_edges",
+        "_degrees",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[Iterable[int]],
+        node_weights: Sequence[float] | np.ndarray | None = None,
+        edge_weights: Sequence[float] | np.ndarray | None = None,
+        name: str = "",
+    ) -> None:
+        if num_nodes < 0:
+            raise InvalidHypergraphError(f"num_nodes must be >= 0, got {num_nodes}")
+        self.n = int(num_nodes)
+        normalized: list[tuple[int, ...]] = []
+        for e in edges:
+            pins = tuple(sorted(set(int(v) for v in e)))
+            if pins and (pins[0] < 0 or pins[-1] >= self.n):
+                raise InvalidHypergraphError(
+                    f"hyperedge {pins} has pins outside [0, {self.n})"
+                )
+            normalized.append(pins)
+        self.edges: tuple[tuple[int, ...], ...] = tuple(normalized)
+
+        if node_weights is None:
+            self.node_weights = np.ones(self.n, dtype=np.float64)
+        else:
+            self.node_weights = np.asarray(node_weights, dtype=np.float64).copy()
+            if self.node_weights.shape != (self.n,):
+                raise InvalidHypergraphError("node_weights has wrong length")
+            if np.any(self.node_weights < 0):
+                raise InvalidHypergraphError("node_weights must be nonnegative")
+        if edge_weights is None:
+            self.edge_weights = np.ones(len(self.edges), dtype=np.float64)
+        else:
+            self.edge_weights = np.asarray(edge_weights, dtype=np.float64).copy()
+            if self.edge_weights.shape != (len(self.edges),):
+                raise InvalidHypergraphError("edge_weights has wrong length")
+            if np.any(self.edge_weights < 0):
+                raise InvalidHypergraphError("edge_weights must be nonnegative")
+        self.name = name
+        self._edge_ptr: np.ndarray | None = None
+        self._edge_pins: np.ndarray | None = None
+        self._node_ptr: np.ndarray | None = None
+        self._node_edges: np.ndarray | None = None
+        self._degrees: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Basic quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of hyperedges ``|E|`` (counting multiplicity)."""
+        return len(self.edges)
+
+    @property
+    def num_pins(self) -> int:
+        """Total number of pins ρ = Σ_e |e| (paper Section 3.1)."""
+        return sum(len(e) for e in self.edges)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every node: the number of incident hyperedges."""
+        if self._degrees is None:
+            deg = np.zeros(self.n, dtype=np.int64)
+            for e in self.edges:
+                for v in e:
+                    deg[v] += 1
+            self._degrees = deg
+        return self._degrees
+
+    @property
+    def max_degree(self) -> int:
+        """Maximal node degree Δ (0 for an edgeless hypergraph)."""
+        return int(self.degrees.max()) if self.n else 0
+
+    @property
+    def total_node_weight(self) -> float:
+        return float(self.node_weights.sum())
+
+    # ------------------------------------------------------------------
+    # CSR views (built lazily, used by the vectorised cost code)
+    # ------------------------------------------------------------------
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(edge_ptr, edge_pins)`` CSR arrays over hyperedges.
+
+        Pins of hyperedge ``j`` are ``edge_pins[edge_ptr[j]:edge_ptr[j+1]]``.
+        """
+        if self._edge_ptr is None:
+            sizes = np.fromiter(
+                (len(e) for e in self.edges), dtype=np.int64, count=len(self.edges)
+            )
+            ptr = np.zeros(len(self.edges) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=ptr[1:])
+            pins = np.empty(int(ptr[-1]), dtype=np.int64)
+            for j, e in enumerate(self.edges):
+                pins[ptr[j] : ptr[j + 1]] = e
+            self._edge_ptr, self._edge_pins = ptr, pins
+        return self._edge_ptr, self._edge_pins
+
+    def incidence(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(node_ptr, node_edges)`` CSR arrays over nodes.
+
+        Hyperedges incident to node ``v`` are
+        ``node_edges[node_ptr[v]:node_ptr[v+1]]``.
+        """
+        if self._node_ptr is None:
+            deg = self.degrees
+            ptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(deg, out=ptr[1:])
+            out = np.empty(int(ptr[-1]), dtype=np.int64)
+            fill = ptr[:-1].copy()
+            for j, e in enumerate(self.edges):
+                for v in e:
+                    out[fill[v]] = j
+                    fill[v] += 1
+            self._node_ptr, self._node_edges = ptr, out
+        return self._node_ptr, self._node_edges
+
+    def incident_edges(self, v: int) -> np.ndarray:
+        """Ids of hyperedges containing node ``v``."""
+        ptr, ne = self.incidence()
+        return ne[ptr[v] : ptr[v + 1]]
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: Iterable[int]) -> "Hypergraph":
+        """Subgraph induced by ``nodes`` (paper Appendix B.1).
+
+        Keeps exactly the hyperedges fully contained in ``nodes`` (the
+        paper's notion used in the hyperDAG characterisation, Lemma B.1),
+        relabelled to ``0..|nodes|-1`` in sorted order of old ids.
+        """
+        keep = sorted(set(int(v) for v in nodes))
+        if keep and (keep[0] < 0 or keep[-1] >= self.n):
+            raise InvalidHypergraphError("nodes outside range")
+        remap = {old: new for new, old in enumerate(keep)}
+        keep_set = set(keep)
+        new_edges = []
+        new_ew = []
+        for j, e in enumerate(self.edges):
+            if all(v in keep_set for v in e):
+                new_edges.append(tuple(remap[v] for v in e))
+                new_ew.append(self.edge_weights[j])
+        return Hypergraph(
+            len(keep),
+            new_edges,
+            node_weights=self.node_weights[keep],
+            edge_weights=new_ew,
+            name=f"{self.name}[induced]" if self.name else "",
+        )
+
+    def remove_edges(self, edge_ids: Iterable[int]) -> "Hypergraph":
+        """Copy of the hypergraph with the given hyperedges deleted."""
+        drop = set(int(j) for j in edge_ids)
+        keep = [j for j in range(self.num_edges) if j not in drop]
+        return Hypergraph(
+            self.n,
+            [self.edges[j] for j in keep],
+            node_weights=self.node_weights,
+            edge_weights=self.edge_weights[keep],
+            name=self.name,
+        )
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components (nodes connected through shared hyperedges).
+
+        Isolated nodes each form their own singleton component.  Uses a
+        union-find over pins, O(ρ·α(n)).
+        """
+        parent = np.arange(self.n, dtype=np.int64)
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        for e in self.edges:
+            if len(e) < 2:
+                continue
+            r0 = find(e[0])
+            for v in e[1:]:
+                rv = find(v)
+                if rv != r0:
+                    parent[rv] = r0
+        groups: dict[int, list[int]] = {}
+        for v in range(self.n):
+            groups.setdefault(find(v), []).append(v)
+        return sorted(groups.values(), key=lambda g: g[0])
+
+    def contract(self, mapping: Sequence[int] | np.ndarray, num_groups: int | None = None) -> "Hypergraph":
+        """Contract node groups into single nodes (paper Appendix H.1).
+
+        ``mapping[v]`` gives the group id of node ``v``.  Hyperedges are
+        mapped pin-wise; hyperedges collapsing to a single pin are dropped
+        (they can never be cut).  Duplicate images are kept, so the result
+        is in general a multi-hypergraph — exactly the contracted input of
+        the hierarchy-assignment problem.  Node weights accumulate.
+        """
+        mapping = np.asarray(mapping, dtype=np.int64)
+        if mapping.shape != (self.n,):
+            raise InvalidHypergraphError("mapping has wrong length")
+        k = int(mapping.max()) + 1 if self.n else 0
+        if num_groups is not None:
+            if num_groups < k:
+                raise InvalidHypergraphError("num_groups smaller than max group id + 1")
+            k = num_groups
+        nw = np.zeros(k, dtype=np.float64)
+        np.add.at(nw, mapping, self.node_weights)
+        new_edges = []
+        new_ew = []
+        for j, e in enumerate(self.edges):
+            img = tuple(sorted(set(int(mapping[v]) for v in e)))
+            if len(img) >= 2:
+                new_edges.append(img)
+                new_ew.append(self.edge_weights[j])
+        return Hypergraph(k, new_edges, node_weights=nw, edge_weights=new_ew,
+                          name=f"{self.name}[contracted]" if self.name else "")
+
+    def merge_parallel_edges(self) -> "Hypergraph":
+        """Collapse identical hyperedges, summing their weights."""
+        agg: dict[tuple[int, ...], float] = {}
+        order: list[tuple[int, ...]] = []
+        for j, e in enumerate(self.edges):
+            if e not in agg:
+                agg[e] = 0.0
+                order.append(e)
+            agg[e] += float(self.edge_weights[j])
+        return Hypergraph(
+            self.n,
+            order,
+            node_weights=self.node_weights,
+            edge_weights=[agg[e] for e in order],
+            name=self.name,
+        )
+
+    @staticmethod
+    def disjoint_union(parts: Sequence["Hypergraph"], name: str = "") -> "Hypergraph":
+        """Disjoint union; nodes of later parts are shifted upward."""
+        offset = 0
+        edges: list[tuple[int, ...]] = []
+        nws: list[np.ndarray] = []
+        ews: list[np.ndarray] = []
+        for g in parts:
+            edges.extend(tuple(v + offset for v in e) for e in g.edges)
+            nws.append(g.node_weights)
+            ews.append(g.edge_weights)
+            offset += g.n
+        return Hypergraph(
+            offset,
+            edges,
+            node_weights=np.concatenate(nws) if nws else None,
+            edge_weights=np.concatenate(ews) if ews else None,
+            name=name,
+        )
+
+    def add_nodes(self, count: int, weight: float = 1.0) -> "Hypergraph":
+        """Copy with ``count`` isolated nodes appended (Lemma A.1 tool)."""
+        if count < 0:
+            raise InvalidHypergraphError("count must be >= 0")
+        nw = np.concatenate([self.node_weights, np.full(count, weight)])
+        return Hypergraph(self.n + count, self.edges, node_weights=nw,
+                          edge_weights=self.edge_weights, name=self.name)
+
+    def with_edges(self, extra_edges: Iterable[Iterable[int]],
+                   extra_weights: Sequence[float] | None = None) -> "Hypergraph":
+        """Copy with additional hyperedges appended."""
+        extra = [tuple(e) for e in extra_edges]
+        ew = list(self.edge_weights)
+        ew.extend([1.0] * len(extra) if extra_weights is None else
+                  [float(w) for w in extra_weights])
+        return Hypergraph(self.n, list(self.edges) + extra,
+                          node_weights=self.node_weights, edge_weights=ew,
+                          name=self.name)
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self.edges)
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return (f"Hypergraph(n={self.n}, m={self.num_edges}, "
+                f"pins={self.num_pins}, Δ={self.max_degree}{tag})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return (self.n == other.n and self.edges == other.edges
+                and np.array_equal(self.node_weights, other.node_weights)
+                and np.array_equal(self.edge_weights, other.edge_weights))
+
+    def __hash__(self) -> int:  # edges tuple dominates; weights rarely differ
+        return hash((self.n, self.edges))

@@ -1,0 +1,163 @@
+"""Partitions of hypergraph node sets (paper Section 3.1).
+
+A k-way partitioning :math:`\\mathcal{P} = P_1, \\dots, P_k` is stored as a
+label vector ``labels`` with ``labels[v]`` the (0-based) part of node ``v``.
+For ``k = 2`` the paper calls part 0 "red" and part 1 "blue"; helper
+constants :data:`RED` and :data:`BLUE` make the reduction code readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import InvalidPartitionError
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "RED",
+    "BLUE",
+    "Partition",
+    "lambdas",
+    "part_sizes",
+    "part_weights",
+]
+
+#: Conventional colour names for 2-way partitions (paper Section 3.1).
+RED = 0
+BLUE = 1
+
+
+def _as_labels(labels: Sequence[int] | np.ndarray, n: int) -> np.ndarray:
+    arr = np.asarray(labels, dtype=np.int64)
+    if arr.shape != (n,):
+        raise InvalidPartitionError(
+            f"labels has shape {arr.shape}, expected ({n},)"
+        )
+    return arr
+
+
+def lambdas(graph: Hypergraph, labels: Sequence[int] | np.ndarray, k: int) -> np.ndarray:
+    """λ_e for every hyperedge: the number of parts it intersects.
+
+    Vectorised: for each (edge, part) pin pair we mark presence in a
+    boolean matrix walk over the CSR arrays.  Empty hyperedges get λ = 0.
+    """
+    arr = _as_labels(labels, graph.n)
+    if arr.size and (arr.min() < 0 or arr.max() >= k):
+        raise InvalidPartitionError("labels outside [0, k)")
+    ptr, pins = graph.csr()
+    m = graph.num_edges
+    if m == 0:
+        return np.zeros(0, dtype=np.int64)
+    pin_parts = arr[pins]
+    # Unique (edge, part) pairs: encode as edge_id * k + part and count
+    # distinct codes per edge.
+    edge_ids = np.repeat(np.arange(m, dtype=np.int64), np.diff(ptr))
+    codes = edge_ids * k + pin_parts
+    uniq = np.unique(codes)
+    lam = np.zeros(m, dtype=np.int64)
+    np.add.at(lam, uniq // k, 1)
+    return lam
+
+
+def part_sizes(labels: Sequence[int] | np.ndarray, k: int) -> np.ndarray:
+    """Number of nodes in each part, length-k vector."""
+    arr = np.asarray(labels, dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() >= k):
+        raise InvalidPartitionError("labels outside [0, k)")
+    return np.bincount(arr, minlength=k).astype(np.int64)
+
+
+def part_weights(graph: Hypergraph, labels: Sequence[int] | np.ndarray, k: int) -> np.ndarray:
+    """Total node weight in each part."""
+    arr = _as_labels(labels, graph.n)
+    out = np.zeros(k, dtype=np.float64)
+    np.add.at(out, arr, graph.node_weights)
+    return out
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A k-way partitioning of a hypergraph's nodes.
+
+    Thin immutable wrapper bundling the label vector with ``k`` so that
+    downstream code (cost metrics, balance checks, hierarchy assignment)
+    cannot mix up the intended number of parts with the number of
+    *nonempty* parts — the paper explicitly allows empty parts
+    (Lemma A.3).
+    """
+
+    labels: np.ndarray
+    k: int
+    _frozen_labels: tuple[int, ...] = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.labels, dtype=np.int64).copy()
+        arr.setflags(write=False)
+        object.__setattr__(self, "labels", arr)
+        if self.k < 1:
+            raise InvalidPartitionError(f"k must be >= 1, got {self.k}")
+        if arr.size and (arr.min() < 0 or arr.max() >= self.k):
+            raise InvalidPartitionError("labels outside [0, k)")
+
+    @property
+    def n(self) -> int:
+        return int(self.labels.shape[0])
+
+    @staticmethod
+    def from_blocks(blocks: Iterable[Iterable[int]], n: int, k: int | None = None) -> "Partition":
+        """Build from explicit node lists ``P_1, ..., P_k`` (must cover 0..n-1)."""
+        blocks = [list(b) for b in blocks]
+        labels = np.full(n, -1, dtype=np.int64)
+        for i, b in enumerate(blocks):
+            for v in b:
+                if labels[v] != -1:
+                    raise InvalidPartitionError(f"node {v} assigned twice")
+                labels[v] = i
+        if np.any(labels < 0):
+            missing = int(np.argmin(labels))
+            raise InvalidPartitionError(f"node {missing} unassigned")
+        return Partition(labels, k if k is not None else len(blocks))
+
+    def blocks(self) -> list[list[int]]:
+        """Explicit node lists per part (may contain empty parts)."""
+        out: list[list[int]] = [[] for _ in range(self.k)]
+        for v, p in enumerate(self.labels):
+            out[int(p)].append(v)
+        return out
+
+    def sizes(self) -> np.ndarray:
+        return part_sizes(self.labels, self.k)
+
+    def nonempty_parts(self) -> int:
+        return int(np.count_nonzero(self.sizes()))
+
+    def imbalance(self) -> float:
+        """``max_i |P_i| / (n/k) − 1``: the smallest ε for which this
+        partition is ε-balanced (ignoring integer rounding)."""
+        if self.n == 0:
+            return 0.0
+        return float(self.sizes().max()) * self.k / self.n - 1.0
+
+    def relabel(self, perm: Sequence[int]) -> "Partition":
+        """Apply a permutation to part ids (``new = perm[old]``)."""
+        perm_arr = np.asarray(perm, dtype=np.int64)
+        if sorted(perm_arr.tolist()) != list(range(self.k)):
+            raise InvalidPartitionError("perm is not a permutation of range(k)")
+        return Partition(perm_arr[self.labels], self.k)
+
+    def restrict(self, nodes: Sequence[int]) -> "Partition":
+        """Labels restricted to a node subset (in the subset's order)."""
+        idx = np.asarray(list(nodes), dtype=np.int64)
+        return Partition(self.labels[idx], self.k)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return self.k == other.k and np.array_equal(self.labels, other.labels)
+
+    def __hash__(self) -> int:
+        return hash((self.k, self.labels.tobytes()))

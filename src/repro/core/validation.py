@@ -1,0 +1,93 @@
+"""Validation and diagnostic reports for partitions and schedules.
+
+Aggregates the scattered validity checks into one structured report —
+useful for debugging reductions and for downstream users verifying
+third-party partitions (e.g. read from a file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .balance import MultiConstraint, balance_threshold
+from .cost import Metric, connectivity_cost, cut_net_cost
+from .hypergraph import Hypergraph
+from .partition import Partition, part_sizes
+
+__all__ = ["PartitionReport", "validate_partition"]
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """Everything one usually wants to know about a partition at once."""
+
+    n: int
+    k: int
+    sizes: tuple[int, ...]
+    cap: int
+    balanced: bool
+    connectivity: float
+    cut_net: float
+    constraint_violations: tuple[tuple[int, int, int, int], ...]
+    problems: tuple[str, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return (self.balanced and not self.constraint_violations
+                and not self.problems)
+
+    def summary(self) -> str:
+        lines = [
+            f"partition: n={self.n} k={self.k} sizes={list(self.sizes)}",
+            f"balance  : cap={self.cap} balanced={self.balanced}",
+            f"cost     : connectivity={self.connectivity:g} "
+            f"cut-net={self.cut_net:g}",
+        ]
+        for j, i, size, cap in self.constraint_violations:
+            lines.append(f"VIOLATION: constraint {j}, part {i}: "
+                         f"{size} > cap {cap}")
+        for p in self.problems:
+            lines.append(f"PROBLEM  : {p}")
+        return "\n".join(lines)
+
+
+def validate_partition(
+    graph: Hypergraph,
+    partition: Partition | Sequence[int] | np.ndarray,
+    eps: float = 0.0,
+    k: int | None = None,
+    constraints: MultiConstraint | None = None,
+    relaxed: bool = False,
+) -> PartitionReport:
+    """Build a :class:`PartitionReport` for a (possibly foreign) partition."""
+    problems: list[str] = []
+    if isinstance(partition, Partition):
+        part = partition
+    else:
+        arr = np.asarray(partition, dtype=np.int64)
+        kk = k if k is not None else (int(arr.max()) + 1 if arr.size else 1)
+        if arr.shape != (graph.n,):
+            return PartitionReport(
+                graph.n, kk, (), 0, False, float("nan"), float("nan"), (),
+                (f"label vector has length {arr.shape}, expected {graph.n}",))
+        part = Partition(arr, kk)
+    if part.n != graph.n:
+        problems.append(f"partition covers {part.n} nodes, graph has "
+                        f"{graph.n}")
+        return PartitionReport(graph.n, part.k, (), 0, False,
+                               float("nan"), float("nan"), (),
+                               tuple(problems))
+    cap = balance_threshold(graph.n, part.k, eps, relaxed=relaxed)
+    sizes = part_sizes(part.labels, part.k)
+    balanced = bool(sizes.max(initial=0) <= cap)
+    viol: tuple[tuple[int, int, int, int], ...] = ()
+    if constraints is not None:
+        viol = tuple(constraints.violations(part, eps, relaxed=relaxed))
+    return PartitionReport(
+        graph.n, part.k, tuple(int(s) for s in sizes), cap, balanced,
+        connectivity_cost(graph, part.labels, part.k),
+        cut_net_cost(graph, part.labels, part.k),
+        viol, tuple(problems))

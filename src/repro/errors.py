@@ -1,0 +1,36 @@
+"""Exception types shared across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidHypergraphError(ReproError):
+    """Raised when a hypergraph violates a structural requirement."""
+
+
+class InvalidPartitionError(ReproError):
+    """Raised when a partition vector is malformed for its hypergraph."""
+
+
+class BalanceViolationError(ReproError):
+    """Raised when a partition violates a balance constraint it must satisfy."""
+
+
+class ProblemTooLargeError(ReproError):
+    """Raised by exact solvers when an instance exceeds their size guard.
+
+    Exact (exponential-time) solvers in this library refuse instances that
+    would take unreasonably long, instead of silently hanging.  Callers can
+    raise the guard explicitly when they know what they are doing.
+    """
+
+
+class InfeasibleError(ReproError):
+    """Raised when no solution satisfying the given constraints exists."""
+
+
+class NotAHyperDAGError(ReproError):
+    """Raised when an operation requiring a hyperDAG receives a non-hyperDAG."""

@@ -1,0 +1,72 @@
+"""Workload and gadget generators (paper Appendices A, C, D; Section 3)."""
+
+from .gadgets import (
+    BoundMode,
+    ConstraintPadding,
+    block,
+    constraint_padding,
+    extended_grid,
+    grid_gadget,
+    grid_node,
+    strong_block,
+    two_level_block,
+)
+from .matrices import (
+    arrow_pattern,
+    banded_pattern,
+    block_diagonal_pattern,
+    laplacian_2d_pattern,
+)
+from .random_dags import (
+    chain_graph,
+    level_order_dag,
+    random_bounded_height_dag,
+    random_dag,
+    random_layered_dag,
+    random_out_tree,
+)
+from .random_hypergraphs import (
+    planted_partition_hypergraph,
+    random_hypergraph,
+    random_uniform_hypergraph,
+)
+from .spmv import (
+    SparsePattern,
+    has_bipartite_edge_property,
+    random_sparse_pattern,
+    spmv_fine_grain,
+)
+from .workloads import butterfly_dag, grid_dag, reduction_tree_dag, stencil_1d_dag
+
+__all__ = [
+    "BoundMode",
+    "ConstraintPadding",
+    "SparsePattern",
+    "arrow_pattern",
+    "banded_pattern",
+    "block",
+    "block_diagonal_pattern",
+    "butterfly_dag",
+    "laplacian_2d_pattern",
+    "chain_graph",
+    "constraint_padding",
+    "extended_grid",
+    "grid_dag",
+    "grid_gadget",
+    "grid_node",
+    "has_bipartite_edge_property",
+    "level_order_dag",
+    "planted_partition_hypergraph",
+    "random_bounded_height_dag",
+    "random_dag",
+    "random_hypergraph",
+    "random_layered_dag",
+    "random_out_tree",
+    "random_sparse_pattern",
+    "random_uniform_hypergraph",
+    "reduction_tree_dag",
+    "spmv_fine_grain",
+    "stencil_1d_dag",
+    "strong_block",
+    "two_level_block",
+]

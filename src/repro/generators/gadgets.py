@@ -1,0 +1,326 @@
+"""The paper's gadget zoo (Appendices A, C, D, I).
+
+Every hardness construction in the paper is assembled from a small set of
+reusable gadgets:
+
+* **blocks** (Appendix A): ``b`` nodes, ``b`` hyperedges of size ``b−1``
+  each omitting one node.  Splitting a block costs at least ``b−1``
+  (Lemma A.5) — blocks are "essentially unsplittable".
+* **strong blocks** (Appendix D.1): every subset of at least ``b−h−2``
+  nodes is a hyperedge; splitting costs at least ``C(b−1, h+1)``.  Needed
+  when the surrounding construction has ``ω(n)`` hyperedges.
+* **grid gadgets** (Definition C.2): an ``ℓ×ℓ`` grid whose rows and
+  columns are hyperedges.  Each node has degree 2; ``t`` minority-colour
+  nodes force a cut cost of at least ``√t`` (Lemma C.3).
+* **extended grids** (Appendix C.2): grid plus up to ``ℓ`` *outsider*
+  nodes, the ``i``-th joining the ``i``-th row hyperedge, keeping Δ = 2.
+* **two-level hyperDAG blocks** (Lemma B.3 / Appendix I.1): a first group
+  of generators wired to a large second group, giving an unsplittable
+  gadget that is a valid hyperDAG.
+* **fixed-colour constraint paddings** (Lemma D.2 and its ``k ≥ 3``
+  generalisation in Appendix D.6): given a set ``S``, how many fixed
+  nodes of each colour to add so a single balance constraint enforces
+  "at most/at least/exactly ``h`` red nodes in ``S``".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from itertools import combinations
+
+from ..core.balance import balance_threshold
+from ..core.hypergraph import Hypergraph
+from ..errors import InfeasibleError, ProblemTooLargeError
+
+__all__ = [
+    "block",
+    "strong_block",
+    "grid_gadget",
+    "grid_node",
+    "extended_grid",
+    "two_level_block",
+    "BoundMode",
+    "ConstraintPadding",
+    "constraint_padding",
+]
+
+
+def block(size: int) -> Hypergraph:
+    """A block of ``size ≥ 2`` nodes (Appendix A).
+
+    ``b`` hyperedges of size ``b−1``; hyperedge ``i`` omits node ``i``.
+    By Lemma A.5 any partitioning splitting the block costs ≥ ``b−1``
+    (for ``b ≥ 3``; at ``b = 2`` the hyperedges degenerate to singletons
+    that can never be cut).
+    """
+    if size < 2:
+        raise ValueError("block size must be >= 2")
+    edges = [tuple(v for v in range(size) if v != i) for i in range(size)]
+    return Hypergraph(size, edges, name=f"block-{size}")
+
+
+def strong_block(size: int, h: int, max_edges: int = 200_000) -> Hypergraph:
+    """Strong block (Appendix D.1): every subset of ``≥ size−h−2`` nodes
+    is a hyperedge.  Splitting the block then costs at least
+    ``C(size−1, h+1)``, which beats any construction with ``O(n^h)``
+    hyperedges.  Exponential in ``h`` — guarded by ``max_edges``.
+    """
+    if size < 2:
+        raise ValueError("strong block size must be >= 2")
+    if h < 0:
+        raise ValueError("h must be >= 0")
+    lo = max(size - h - 2, 1)
+    count = sum(math.comb(size, s) for s in range(lo, size + 1))
+    if count > max_edges:
+        raise ProblemTooLargeError(
+            f"strong_block({size}, {h}) would create {count} hyperedges"
+        )
+    edges = [
+        subset
+        for s in range(lo, size + 1)
+        for subset in combinations(range(size), s)
+    ]
+    return Hypergraph(size, edges, name=f"strong-block-{size}-{h}")
+
+
+def grid_node(ell: int, row: int, col: int) -> int:
+    """Node id of grid cell (row, col) in an ``ℓ×ℓ`` grid gadget."""
+    return row * ell + col
+
+
+def grid_gadget(ell: int) -> Hypergraph:
+    """Grid gadget (Definition C.2): ``ℓ²`` nodes; each row and each
+    column is a hyperedge of size ℓ.  Every node has degree exactly 2;
+    ``t₀`` minority-colour occurrences force cut cost ≥ ``√t₀``
+    (Lemma C.3)."""
+    if ell < 1:
+        raise ValueError("grid side must be >= 1")
+    rows = [tuple(grid_node(ell, r, c) for c in range(ell)) for r in range(ell)]
+    cols = [tuple(grid_node(ell, r, c) for r in range(ell)) for c in range(ell)]
+    return Hypergraph(ell * ell, rows + cols, name=f"grid-{ell}")
+
+
+def extended_grid(ell: int, num_outsiders: int) -> tuple[Hypergraph, tuple[int, ...]]:
+    """Extended grid (Appendix C.2): grid gadget plus ``ℓ₀ ≤ ℓ``
+    outsider nodes; the ``i``-th outsider joins the ``i``-th *row*
+    hyperedge.  All degrees stay ≤ 2 (outsiders have degree 1 here and
+    may pick up one more incident hyperedge in the host construction).
+
+    Returns ``(hypergraph, outsider_node_ids)``.
+    """
+    if not 0 <= num_outsiders <= ell:
+        raise ValueError("need 0 <= num_outsiders <= ell")
+    base = ell * ell
+    outsiders = tuple(range(base, base + num_outsiders))
+    rows = []
+    for r in range(ell):
+        pins = [grid_node(ell, r, c) for c in range(ell)]
+        if r < num_outsiders:
+            pins.append(outsiders[r])
+        rows.append(tuple(pins))
+    cols = [tuple(grid_node(ell, r, c) for r in range(ell)) for c in range(ell)]
+    g = Hypergraph(base + num_outsiders, rows + cols,
+                   name=f"extended-grid-{ell}+{num_outsiders}")
+    return g, outsiders
+
+
+def two_level_block(b0: int, b1: int) -> tuple[Hypergraph, tuple[int, ...], tuple[int, ...]]:
+    """Two-level hyperDAG block (Lemma B.3 style, Appendix I.1).
+
+    A first group of ``b0`` generator nodes and a second group of ``b1``
+    nodes; ``b0`` hyperedges, the ``i``-th containing first-group node
+    ``i`` and the entire second group.  The gadget is a valid hyperDAG
+    (each first-group node generates its hyperedge) and splitting the
+    second group across parts cuts at least ``b0`` hyperedges... while
+    splitting off second-group nodes costs ≥ b0 per Lemma A.5-style
+    arguments when ``b0`` is large.
+
+    Returns ``(hypergraph, first_group_ids, second_group_ids)``.
+    """
+    if b0 < 1 or b1 < 1:
+        raise ValueError("group sizes must be >= 1")
+    first = tuple(range(b0))
+    second = tuple(range(b0, b0 + b1))
+    edges = [tuple([i, *second]) for i in first]
+    g = Hypergraph(b0 + b1, edges, name=f"two-level-block-{b0}-{b1}")
+    return g, first, second
+
+
+# ---------------------------------------------------------------------------
+# Lemma D.2 constraint paddings
+# ---------------------------------------------------------------------------
+
+class BoundMode(str, Enum):
+    """What a constraint padding enforces about red nodes in ``S``."""
+
+    AT_MOST = "at-most"
+    AT_LEAST = "at-least"
+    EXACTLY = "exactly"
+
+
+@dataclass(frozen=True)
+class ConstraintPadding:
+    """Fixed-colour node counts realising Lemma D.2 / Appendix D.6.
+
+    Adding ``fixed_counts[i]`` nodes of fixed colour ``i`` to the set
+    ``S`` creates a single balance-constraint set ``V₀`` of size
+    ``total_size`` that is satisfied iff the number of red (colour-0)
+    nodes inside ``S`` respects ``mode``/``h``.  For ``EXACTLY`` and
+    ``AT_LEAST``, ``S`` must contain only red/blue nodes (the paper's
+    setting); ``AT_MOST`` tolerates arbitrary colours in ``S``.
+    """
+
+    s_size: int
+    h: int
+    k: int
+    eps: float
+    mode: BoundMode
+    fixed_counts: tuple[int, ...]
+
+    @property
+    def total_size(self) -> int:
+        return self.s_size + sum(self.fixed_counts)
+
+    @property
+    def cap(self) -> int:
+        """The balance threshold of the padded set."""
+        return balance_threshold(self.total_size, self.k, self.eps)
+
+    def satisfied(self, red_in_s: int, blue_in_s: int | None = None) -> bool:
+        """Whether the padded constraint holds for a colouring of ``S``.
+
+        ``blue_in_s`` defaults to ``s_size − red_in_s`` (two-colour S).
+        """
+        if blue_in_s is None:
+            blue_in_s = self.s_size - red_in_s
+        others = self.s_size - red_in_s - blue_in_s
+        if red_in_s < 0 or blue_in_s < 0 or others < 0:
+            raise ValueError("inconsistent colour counts")
+        counts = list(self.fixed_counts)
+        counts[0] += red_in_s
+        if self.k >= 2:
+            counts[1] += blue_in_s
+        # Remaining colours: worst case puts all "other" nodes on the
+        # largest remaining colour; for checking an actual colouring with
+        # two colours in S (others == 0) this is exact.
+        if others:
+            if self.k < 3:
+                raise ValueError("more colours used than k allows")
+            counts[2] += others
+        return max(counts) <= self.cap
+
+
+def _candidate(s_size: int, h: int, k: int, eps: float, mode: BoundMode,
+               m: int, min_counts: tuple[int, ...] | None = None,
+               ) -> tuple[int, ...] | None:
+    """Try to build fixed counts for total padded size ``m``; None if the
+    arithmetic does not work out at this size."""
+    cap = balance_threshold(m, k, eps)
+    fixed_total = m - s_size
+    if fixed_total < 0:
+        return None
+
+    def meets_min(counts: tuple[int, ...]) -> tuple[int, ...] | None:
+        if min_counts is not None and any(
+                c < lo for c, lo in zip(counts, min_counts)):
+            return None
+        return counts
+    if mode == BoundMode.AT_MOST:
+        red = cap - h
+        if red < 0 or red > fixed_total:
+            return None
+        rest = fixed_total - red
+        base, extra = divmod(rest, k - 1) if k > 1 else (0, 0)
+        counts = [red] + [base + (1 if i < extra else 0) for i in range(k - 1)]
+        # Validity: r = h must satisfy, r = h+1 must violate (if possible),
+        # and no other colour may ever violate regardless of S's colours.
+        if red + h > cap:
+            return None
+        if h + 1 <= s_size and red + h + 1 <= cap:
+            return None
+        if any(c + s_size > cap for c in counts[1:]):
+            return None
+        return meets_min(tuple(counts))
+    if mode == BoundMode.AT_LEAST:
+        # "at least h red" == "at most s_size - h blue" for two-colour S:
+        # pad so blue is capped at s_size − h and red can absorb all of S.
+        blue = cap - (s_size - h)
+        if blue < 0 or blue > fixed_total:
+            return None
+        rest = fixed_total - blue
+        base, extra = divmod(rest, k - 1) if k > 1 else (0, 0)
+        counts = [base + (1 if i < extra else 0) for i in range(k - 1)]
+        counts = [counts[0], blue] + counts[1:]
+        if blue + (s_size - h) > cap:
+            return None
+        if s_size - h + 1 <= s_size and blue + (s_size - h) + 1 <= cap:
+            return None
+        if counts[0] + s_size > cap:
+            return None
+        if any(c + s_size > cap for c in counts[2:]):
+            return None
+        return meets_min(tuple(counts))
+    # EXACTLY (the ε = 0 flavour; also valid for ε > 0 when it happens
+    # to pin both colours): red fixed = cap − h, blue fixed = cap − (s−h),
+    # all other colours exactly cap.
+    red = cap - h
+    blue = cap - (s_size - h)
+    others_each = cap
+    need = red + blue + (k - 2) * others_each
+    if red < 0 or blue < 0 or need != fixed_total:
+        return None
+    if k * cap != m:  # exact mode requires the threshold to be tight
+        return None
+    counts = [red, blue] + [others_each] * (k - 2)
+    return meets_min(tuple(counts))
+
+
+def constraint_padding(s_size: int, h: int, k: int = 2, eps: float = 0.0,
+                       mode: BoundMode = BoundMode.AT_MOST,
+                       max_total: int | None = None,
+                       min_counts: tuple[int, ...] | None = None,
+                       ) -> ConstraintPadding:
+    """Compute a Lemma D.2 padding for a set of ``s_size`` nodes.
+
+    Searches the smallest total set size ``m`` for which the fixed-count
+    arithmetic of Lemma D.2 (and its Appendix D.6 generalisation to
+    ``k ≥ 3``) works out, and returns the resulting padding.
+
+    ``min_counts`` requests at least that many fixed nodes per colour —
+    the paper's variant "where V₀ already contains a predetermined
+    number of occurrences of both colours" (after Lemma D.2), used by
+    the layer-wise constructions whose layers carry path/control nodes.
+
+    Raises
+    ------
+    InfeasibleError
+        If no valid padding exists below ``max_total`` (e.g. ``EXACTLY``
+        with ``ε > 0`` thresholds that never become tight).
+    """
+    if not 0 <= h <= s_size:
+        raise ValueError("need 0 <= h <= s_size")
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if eps >= k - 1:
+        # Section 3.1: the paper assumes ε < k − 1, otherwise the balance
+        # constraint is vacuous and cannot enforce anything.
+        raise ValueError(f"need eps < k - 1 (got eps={eps}, k={k})")
+    if eps == 0.0 and mode != BoundMode.EXACTLY:
+        # With ε = 0 the threshold is tight; AT_MOST/AT_LEAST still work
+        # (the search below finds them) but the paper uses EXACTLY there.
+        pass
+    if max_total is None:
+        base = (s_size + h + 2) * k
+        if min_counts is not None:
+            base += sum(min_counts)
+        max_total = max(64, int(base * (4 + 4 / max(eps, 0.25))))
+    for m in range(s_size + 1, max_total + 1):
+        counts = _candidate(s_size, h, k, eps, mode, m, min_counts)
+        if counts is not None:
+            return ConstraintPadding(s_size, h, k, eps, mode, counts)
+    raise InfeasibleError(
+        f"no Lemma D.2 padding found for s={s_size}, h={h}, k={k}, "
+        f"eps={eps}, mode={mode} up to total size {max_total}"
+    )

@@ -1,0 +1,126 @@
+"""Random computational-DAG generators.
+
+Includes the special DAG classes of Appendix F for which the basic
+scheduling problem is polynomial: chain graphs, out-trees, level-order
+DAGs, and bounded-height DAGs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dag import DAG
+
+__all__ = [
+    "random_dag",
+    "random_layered_dag",
+    "random_out_tree",
+    "chain_graph",
+    "level_order_dag",
+    "random_bounded_height_dag",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_dag(
+    n: int,
+    edge_prob: float = 0.2,
+    rng: int | np.random.Generator | None = None,
+    max_in_degree: int | None = None,
+) -> DAG:
+    """Uniform upper-triangular random DAG.
+
+    ``max_in_degree`` caps indegrees (Section 3.2 notes computational
+    DAGs often have constant indegree, e.g. 2 for binary operations).
+    """
+    gen = _rng(rng)
+    edges = []
+    indeg = np.zeros(n, dtype=np.int64)
+    for v in range(n):
+        for u in range(v):
+            if max_in_degree is not None and indeg[v] >= max_in_degree:
+                break
+            if gen.random() < edge_prob:
+                edges.append((u, v))
+                indeg[v] += 1
+    return DAG(n, edges)
+
+
+def random_layered_dag(
+    layer_sizes: list[int],
+    edge_prob: float = 0.5,
+    rng: int | np.random.Generator | None = None,
+) -> DAG:
+    """Random DAG with fixed layer sizes; edges go between consecutive
+    layers with probability ``edge_prob``, and each non-first-layer node
+    is guaranteed at least one predecessor (so ASAP layering equals the
+    intended one)."""
+    gen = _rng(rng)
+    offsets = np.cumsum([0] + list(layer_sizes))
+    n = int(offsets[-1])
+    edges = []
+    for i in range(len(layer_sizes) - 1):
+        prev = range(offsets[i], offsets[i + 1])
+        cur = range(offsets[i + 1], offsets[i + 2])
+        for v in cur:
+            preds = [u for u in prev if gen.random() < edge_prob]
+            if not preds:
+                preds = [int(gen.choice(list(prev)))]
+            edges.extend((u, v) for u in preds)
+    return DAG(n, edges)
+
+
+def random_out_tree(
+    n: int,
+    rng: int | np.random.Generator | None = None,
+) -> DAG:
+    """Random out-tree (every node has indegree ≤ 1, Appendix F): node
+    ``v > 0`` attaches below a uniformly random earlier node."""
+    gen = _rng(rng)
+    edges = [(int(gen.integers(v)), v) for v in range(1, n)]
+    return DAG(n, edges)
+
+
+def chain_graph(lengths: list[int]) -> DAG:
+    """Disjoint directed paths (chain graph, Appendix F)."""
+    return DAG.disjoint_union([DAG.path(length) for length in lengths])
+
+
+def level_order_dag(layer_sizes: list[int]) -> DAG:
+    """A single-component level-order DAG (Appendix F): every node of
+    layer ``j`` has an edge to every node of layer ``j+1``."""
+    offsets = np.cumsum([0] + list(layer_sizes))
+    n = int(offsets[-1])
+    edges = []
+    for i in range(len(layer_sizes) - 1):
+        for u in range(offsets[i], offsets[i + 1]):
+            for v in range(offsets[i + 1], offsets[i + 2]):
+                edges.append((u, v))
+    return DAG(n, edges)
+
+
+def random_bounded_height_dag(
+    n: int,
+    height: int,
+    edge_prob: float = 0.4,
+    rng: int | np.random.Generator | None = None,
+) -> DAG:
+    """Random DAG whose longest path has at most ``height`` nodes
+    (bounded-height class, Appendix F)."""
+    if height < 1:
+        raise ValueError("height must be >= 1")
+    gen = _rng(rng)
+    level = gen.integers(0, height, size=n)
+    edges = []
+    for v in range(n):
+        for u in range(v):
+            if level[u] < level[v] and gen.random() < edge_prob:
+                edges.append((u, v))
+    d = DAG(n, edges)
+    assert d.longest_path_length() <= height
+    return d

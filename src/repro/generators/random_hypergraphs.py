@@ -1,0 +1,85 @@
+"""Random hypergraph generators for tests and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypergraph import Hypergraph
+
+__all__ = [
+    "random_hypergraph",
+    "random_uniform_hypergraph",
+    "planted_partition_hypergraph",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_uniform_hypergraph(
+    n: int,
+    m: int,
+    edge_size: int,
+    rng: int | np.random.Generator | None = None,
+) -> Hypergraph:
+    """``m`` hyperedges, each of exactly ``edge_size`` distinct uniformly
+    random pins."""
+    if edge_size > n:
+        raise ValueError("edge_size cannot exceed n")
+    gen = _rng(rng)
+    edges = [tuple(gen.choice(n, size=edge_size, replace=False)) for _ in range(m)]
+    return Hypergraph(n, edges, name=f"random-uniform-{n}-{m}-{edge_size}")
+
+
+def random_hypergraph(
+    n: int,
+    m: int,
+    min_size: int = 2,
+    max_size: int = 4,
+    rng: int | np.random.Generator | None = None,
+) -> Hypergraph:
+    """``m`` hyperedges with sizes uniform in ``[min_size, max_size]``."""
+    if not 1 <= min_size <= max_size <= n:
+        raise ValueError("need 1 <= min_size <= max_size <= n")
+    gen = _rng(rng)
+    edges = []
+    for _ in range(m):
+        s = int(gen.integers(min_size, max_size + 1))
+        edges.append(tuple(gen.choice(n, size=s, replace=False)))
+    return Hypergraph(n, edges, name=f"random-{n}-{m}")
+
+
+def planted_partition_hypergraph(
+    n: int,
+    k: int,
+    m_intra: int,
+    m_inter: int,
+    edge_size: int = 3,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[Hypergraph, np.ndarray]:
+    """A hypergraph with a planted balanced k-way structure.
+
+    ``m_intra`` hyperedges live entirely inside a random planted part;
+    ``m_inter`` hyperedges draw pins across parts.  Returns
+    ``(hypergraph, planted_labels)`` — a good partitioner should recover
+    a cut close to ``m_inter``; the planted labelling certifies an upper
+    bound on the optimum.
+    """
+    if k < 2 or n < k * edge_size:
+        raise ValueError("need k >= 2 and n >= k * edge_size")
+    gen = _rng(rng)
+    labels = np.repeat(np.arange(k), -(-n // k))[:n]
+    gen.shuffle(labels)
+    groups = [np.flatnonzero(labels == i) for i in range(k)]
+    edges = []
+    for _ in range(m_intra):
+        grp = groups[int(gen.integers(k))]
+        edges.append(tuple(gen.choice(grp, size=min(edge_size, len(grp)),
+                                      replace=False)))
+    for _ in range(m_inter):
+        edges.append(tuple(gen.choice(n, size=edge_size, replace=False)))
+    g = Hypergraph(n, edges, name=f"planted-{n}-{k}")
+    return g, labels

@@ -1,0 +1,110 @@
+"""SpMV fine-grain hypergraphs (paper Sections 3.2 and 4; reference [30]).
+
+The fine-grain model of a sparse matrix ``A`` creates one node per
+nonzero; the nonzeros of each row form a hyperedge and the nonzeros of
+each column form a hyperedge.  Every node then has degree exactly 2, and
+the hyperedges split into two classes (rows / columns) that are each
+pairwise disjoint — the "2-regular bipartite-property" hypergraphs of
+Knigge & Bisseling [30] to which the paper's Δ = 2 hardness result
+carries over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.hypergraph import Hypergraph
+
+__all__ = ["SparsePattern", "random_sparse_pattern", "spmv_fine_grain",
+           "has_bipartite_edge_property"]
+
+
+@dataclass(frozen=True)
+class SparsePattern:
+    """Sparsity pattern of a matrix: parallel coordinate arrays."""
+
+    num_rows: int
+    num_cols: int
+    rows: tuple[int, ...]
+    cols: tuple[int, ...]
+
+    @property
+    def nnz(self) -> int:
+        return len(self.rows)
+
+
+def random_sparse_pattern(
+    num_rows: int,
+    num_cols: int,
+    density: float,
+    rng: int | np.random.Generator | None = None,
+) -> SparsePattern:
+    """Uniform random sparsity pattern with expected ``density`` fill,
+    with at least one nonzero per row and per column (so every hyperedge
+    of the fine-grain model is nonempty)."""
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    mask = gen.random((num_rows, num_cols)) < density
+    # Guarantee nonempty rows and columns.
+    for r in range(num_rows):
+        if not mask[r].any():
+            mask[r, int(gen.integers(num_cols))] = True
+    for c in range(num_cols):
+        if not mask[:, c].any():
+            mask[int(gen.integers(num_rows)), c] = True
+    rr, cc = np.nonzero(mask)
+    return SparsePattern(num_rows, num_cols, tuple(int(x) for x in rr),
+                         tuple(int(x) for x in cc))
+
+
+def spmv_fine_grain(pattern: SparsePattern) -> Hypergraph:
+    """Fine-grain SpMV hypergraph of a sparsity pattern [30].
+
+    One node per nonzero; one hyperedge per row and per column
+    (singleton hyperedges for rows/columns with a single nonzero are
+    kept: they are never cut but preserve the 2-regularity invariant).
+    """
+    row_edges: list[list[int]] = [[] for _ in range(pattern.num_rows)]
+    col_edges: list[list[int]] = [[] for _ in range(pattern.num_cols)]
+    for node, (r, c) in enumerate(zip(pattern.rows, pattern.cols)):
+        row_edges[r].append(node)
+        col_edges[c].append(node)
+    edges = [tuple(e) for e in row_edges if e] + [tuple(e) for e in col_edges if e]
+    return Hypergraph(pattern.nnz, edges,
+                      name=f"spmv-{pattern.num_rows}x{pattern.num_cols}")
+
+
+def has_bipartite_edge_property(graph: Hypergraph) -> bool:
+    """Check the [30] structural property: hyperedges can be split into
+    two classes with any two same-class hyperedges disjoint.
+
+    Equivalent to 2-colourability of the "conflict graph" on hyperedges
+    (edges between intersecting hyperedges); checked by BFS.
+    """
+    m = graph.num_edges
+    # Build conflict adjacency via shared pins.
+    touching: list[set[int]] = [set() for _ in range(m)]
+    ptr, node_edges = graph.incidence()
+    for v in range(graph.n):
+        inc = node_edges[ptr[v]:ptr[v + 1]]
+        for i in range(len(inc)):
+            for j in range(i + 1, len(inc)):
+                a, b = int(inc[i]), int(inc[j])
+                touching[a].add(b)
+                touching[b].add(a)
+    colour = [-1] * m
+    for start in range(m):
+        if colour[start] != -1:
+            continue
+        colour[start] = 0
+        queue = [start]
+        while queue:
+            a = queue.pop()
+            for b in touching[a]:
+                if colour[b] == -1:
+                    colour[b] = 1 - colour[a]
+                    queue.append(b)
+                elif colour[b] == colour[a]:
+                    return False
+    return True

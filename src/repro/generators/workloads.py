@@ -1,0 +1,88 @@
+"""Structured computational-DAG workloads.
+
+The introduction motivates partitioning by manycore scheduling of real
+computations; these generators produce the classic shapes: reduction
+trees, FFT butterflies, and stencil sweeps.
+"""
+
+from __future__ import annotations
+
+from ..core.dag import DAG
+
+__all__ = ["reduction_tree_dag", "butterfly_dag", "stencil_1d_dag",
+           "grid_dag"]
+
+
+def reduction_tree_dag(num_leaves: int) -> DAG:
+    """Binary reduction tree: ``num_leaves`` inputs pairwise combined
+    until one result remains.  All internal nodes have indegree 2, so the
+    hyperDAG has Δ ≤ 3 (Section 3.2)."""
+    if num_leaves < 1:
+        raise ValueError("num_leaves must be >= 1")
+    edges = []
+    frontier = list(range(num_leaves))
+    next_id = num_leaves
+    while len(frontier) > 1:
+        new_frontier = []
+        for i in range(0, len(frontier) - 1, 2):
+            edges.append((frontier[i], next_id))
+            edges.append((frontier[i + 1], next_id))
+            new_frontier.append(next_id)
+            next_id += 1
+        if len(frontier) % 2:
+            new_frontier.append(frontier[-1])
+        frontier = new_frontier
+    return DAG(next_id, edges)
+
+
+def butterfly_dag(stages: int) -> DAG:
+    """FFT butterfly on ``2^stages`` lanes with ``stages`` rounds.
+
+    Node ``(s, i)`` combines the stage-``s−1`` values of lanes ``i`` and
+    ``i XOR 2^(s−1)``; indegree 2 everywhere past stage 0.
+    """
+    if stages < 0:
+        raise ValueError("stages must be >= 0")
+    width = 1 << stages
+    def node(stage: int, lane: int) -> int:
+        return stage * width + lane
+    edges = []
+    for s in range(1, stages + 1):
+        stride = 1 << (s - 1)
+        for lane in range(width):
+            edges.append((node(s - 1, lane), node(s, lane)))
+            edges.append((node(s - 1, lane ^ stride), node(s, lane)))
+    return DAG((stages + 1) * width, edges)
+
+
+def stencil_1d_dag(width: int, steps: int) -> DAG:
+    """1-D three-point stencil: cell ``(t, x)`` depends on
+    ``(t−1, x−1..x+1)``."""
+    if width < 1 or steps < 0:
+        raise ValueError("need width >= 1 and steps >= 0")
+    def node(t: int, x: int) -> int:
+        return t * width + x
+    edges = []
+    for t in range(1, steps + 1):
+        for x in range(width):
+            for dx in (-1, 0, 1):
+                if 0 <= x + dx < width:
+                    edges.append((node(t - 1, x + dx), node(t, x)))
+    return DAG((steps + 1) * width, edges)
+
+
+def grid_dag(rows: int, cols: int) -> DAG:
+    """Wavefront/grid DAG: cell ``(i, j)`` depends on ``(i−1, j)`` and
+    ``(i, j−1)`` (dynamic-programming table shape)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    def node(i: int, j: int) -> int:
+        return i * cols + j
+    edges = []
+    for i in range(rows):
+        for j in range(cols):
+            if i:
+                edges.append((node(i - 1, j), node(i, j)))
+            if j:
+                edges.append((node(i, j - 1), node(i, j)))
+    return DAG(rows * cols, edges)

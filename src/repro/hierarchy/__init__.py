@@ -1,0 +1,44 @@
+"""Hierarchical (NUMA-aware) partitioning (paper Section 7, App. G–I)."""
+
+from .assignment import (
+    apply_assignment,
+    brute_force_assignment,
+    canonical_assignments,
+    contract_partition,
+    matching_assignment,
+    optimal_assignment,
+)
+from .cost import (
+    hierarchical_cost,
+    hierarchical_lambdas,
+    steiner_hyperedge_cost,
+    steiner_tree_cost,
+)
+from .recursive import recursive_hierarchical_partition
+from .refine import direct_hierarchical_partition, hierarchical_fm_refine
+from .topology import HierarchyTopology
+from .two_step import (
+    exact_hierarchical_partition,
+    two_step_from_partition,
+    two_step_partition,
+)
+
+__all__ = [
+    "HierarchyTopology",
+    "apply_assignment",
+    "brute_force_assignment",
+    "canonical_assignments",
+    "contract_partition",
+    "direct_hierarchical_partition",
+    "exact_hierarchical_partition",
+    "hierarchical_cost",
+    "hierarchical_fm_refine",
+    "hierarchical_lambdas",
+    "matching_assignment",
+    "optimal_assignment",
+    "recursive_hierarchical_partition",
+    "steiner_hyperedge_cost",
+    "steiner_tree_cost",
+    "two_step_from_partition",
+    "two_step_partition",
+]

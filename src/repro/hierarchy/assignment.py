@@ -1,0 +1,189 @@
+"""The hierarchy assignment problem (Section 7.3, Appendix H).
+
+Given an already fixed k-way partitioning, assign the k parts to the k
+leaf positions of the hierarchy to minimise hierarchical cost.  The
+contracted instance is a multi-hypergraph on k nodes (Appendix H.1).
+
+* :func:`contract_partition` builds that instance;
+* :func:`brute_force_assignment` enumerates the ``f(k)`` non-equivalent
+  assignments (Appendix H.1) — exact for small k;
+* :func:`matching_assignment` is the polynomial algorithm of Lemma H.1
+  for ``d = 2, b_2 = 2`` via maximum-weight perfect matching;
+* :func:`optimal_assignment` dispatches.
+
+For ``b_2 = 3`` the problem is NP-hard (Lemma H.2, via 3-dimensional
+matching — see :mod:`repro.reductions.hierarchy_hard`), so brute force
+is the only exact option there.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..core.hypergraph import Hypergraph
+from ..core.partition import Partition
+from ..errors import ProblemTooLargeError
+from .cost import hierarchical_cost
+from .topology import HierarchyTopology
+
+__all__ = [
+    "contract_partition",
+    "canonical_assignments",
+    "brute_force_assignment",
+    "matching_assignment",
+    "optimal_assignment",
+    "apply_assignment",
+]
+
+
+def contract_partition(graph: Hypergraph, partition: Partition) -> Hypergraph:
+    """Contract each part to a single node (Appendix H.1).
+
+    Uncut hyperedges collapse to singletons and are dropped; duplicates
+    are kept, so the result is a multi-hypergraph on ``k`` nodes.
+    """
+    return graph.contract(partition.labels, num_groups=partition.k)
+
+
+def canonical_assignments(topology: HierarchyTopology,
+                          max_assignments: int = 500_000,
+                          ) -> Iterator[tuple[int, ...]]:
+    """Yield the ``f(k)`` non-equivalent leaf assignments.
+
+    An assignment maps leaf position → part id.  Two assignments related
+    by permuting sibling subtrees are equivalent; we break the symmetry
+    by requiring each internal node's child subtrees to be ordered by
+    their minimal contained part id.
+    """
+    count = topology.num_assignments()
+    if count > max_assignments:
+        raise ProblemTooLargeError(
+            f"f(k) = {count} assignments exceed limit {max_assignments}")
+
+    def rec(parts: tuple[int, ...], level: int) -> Iterator[tuple[int, ...]]:
+        if level == topology.depth:
+            assert len(parts) == 1
+            yield parts
+            return
+        b = topology.b[level]
+        group_size = len(parts) // b
+
+        def split(remaining: tuple[int, ...]) -> Iterator[tuple[tuple[int, ...], ...]]:
+            if not remaining:
+                yield ()
+                return
+            # Canonical: the first group contains the smallest remaining id.
+            head = remaining[0]
+            rest = remaining[1:]
+            for others in combinations(rest, group_size - 1):
+                group = (head, *others)
+                left = tuple(x for x in rest if x not in others)
+                for tail in split(left):
+                    yield (group, *tail)
+
+        for groups in split(parts):
+            subs = [list(rec(g, level + 1)) for g in groups]
+
+            def cross(i: int) -> Iterator[tuple[int, ...]]:
+                if i == len(subs):
+                    yield ()
+                    return
+                for choice in subs[i]:
+                    for tail in cross(i + 1):
+                        yield choice + tail
+
+            yield from cross(0)
+
+    yield from rec(tuple(range(topology.k)), 0)
+
+
+def apply_assignment(partition: Partition,
+                     leaf_to_part: Sequence[int]) -> Partition:
+    """Relabel a partition so part ``leaf_to_part[x]`` lands on leaf ``x``."""
+    leaf_of_part = np.empty(partition.k, dtype=np.int64)
+    for leaf, part in enumerate(leaf_to_part):
+        leaf_of_part[part] = leaf
+    return Partition(leaf_of_part[partition.labels], partition.k)
+
+
+def brute_force_assignment(
+    contracted: Hypergraph,
+    topology: HierarchyTopology,
+    max_assignments: int = 500_000,
+) -> tuple[tuple[int, ...], float]:
+    """Exact hierarchy assignment by enumerating canonical assignments.
+
+    Returns ``(leaf_to_part, cost)`` where ``leaf_to_part[x]`` is the
+    part placed on leaf ``x`` and ``cost`` is the hierarchical cost of
+    the contracted hypergraph.
+    """
+    if contracted.n != topology.k:
+        raise ValueError("contracted instance size must equal topology k")
+    best: tuple[int, ...] | None = None
+    best_cost = np.inf
+    for assignment in canonical_assignments(topology, max_assignments):
+        part_to_leaf = np.empty(topology.k, dtype=np.int64)
+        for leaf, part in enumerate(assignment):
+            part_to_leaf[part] = leaf
+        c = hierarchical_cost(contracted, part_to_leaf, topology)
+        if c < best_cost - 1e-12:
+            best_cost = c
+            best = assignment
+    assert best is not None
+    return best, float(best_cost)
+
+
+def matching_assignment(
+    contracted: Hypergraph,
+    topology: HierarchyTopology,
+) -> tuple[tuple[int, ...], float]:
+    """Lemma H.1: polynomial optimal assignment for ``d = 2, b_2 = 2``.
+
+    Pairing parts ``u, v`` on bottom-level siblings saves
+    ``w_{(u,v)} = Σ_{e ⊇ {u,v}} w_e`` versus fully scattering, so a
+    maximum-weight perfect matching on the k parts is optimal (Edmonds).
+    """
+    if topology.depth != 2 or topology.b[1] != 2:
+        raise ValueError("matching_assignment requires d = 2 and b_2 = 2")
+    k = topology.k
+    if contracted.n != k:
+        raise ValueError("contracted instance size must equal topology k")
+    weights: dict[tuple[int, int], float] = {}
+    for j, e in enumerate(contracted.edges):
+        for u, v in combinations(e, 2):
+            weights[(u, v)] = weights.get((u, v), 0.0) + float(
+                contracted.edge_weights[j])
+    G = nx.Graph()
+    G.add_nodes_from(range(k))
+    for (u, v), w in weights.items():
+        G.add_edge(u, v, weight=w)
+    # Complete the graph with zero-weight edges so a perfect matching
+    # always exists.
+    for u, v in combinations(range(k), 2):
+        if not G.has_edge(u, v):
+            G.add_edge(u, v, weight=0.0)
+    matching = nx.max_weight_matching(G, maxcardinality=True)
+    leaf_to_part: list[int] = []
+    for u, v in sorted((min(p), max(p)) for p in matching):
+        leaf_to_part.extend((u, v))
+    assignment = tuple(leaf_to_part)
+    part_to_leaf = np.empty(k, dtype=np.int64)
+    for leaf, part in enumerate(assignment):
+        part_to_leaf[part] = leaf
+    return assignment, hierarchical_cost(contracted, part_to_leaf, topology)
+
+
+def optimal_assignment(
+    contracted: Hypergraph,
+    topology: HierarchyTopology,
+    max_assignments: int = 500_000,
+) -> tuple[tuple[int, ...], float]:
+    """Best available exact method: Lemma H.1 matching when applicable,
+    otherwise canonical brute force."""
+    if topology.depth == 2 and topology.b[1] == 2:
+        return matching_assignment(contracted, topology)
+    return brute_force_assignment(contracted, topology, max_assignments)

@@ -1,0 +1,86 @@
+"""Recursive hierarchical partitioning (Section 7.1).
+
+Split the hypergraph into ``b_1`` parts, each of those into ``b_2``,
+and so on down the tree — the "intuitive" method whose worst case
+Lemma 7.2 (Figure 8) pins at a Θ(n) factor from optimal even when each
+individual step is optimal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.balance import balance_threshold
+from ..core.cost import Metric
+from ..core.hypergraph import Hypergraph
+from ..core.partition import Partition
+from ..partitioners.fm import fm_refine
+from ..partitioners.greedy import greedy_sequential_partition
+from ..partitioners.recursive import restrict_to_nodes
+from .topology import HierarchyTopology
+
+__all__ = ["recursive_hierarchical_partition"]
+
+#: Splits a sub-hypergraph into ``parts`` groups under per-group weight
+#: ``cap``; returns a label vector in [0, parts).
+LevelSplitFn = Callable[[Hypergraph, int, float, np.random.Generator], np.ndarray]
+
+
+def _default_level_split(sub: Hypergraph, parts: int, cap: float,
+                         rng: np.random.Generator) -> np.ndarray:
+    start = greedy_sequential_partition(sub, parts, eps=0.0, rng=rng,
+                                        relaxed=True)
+    caps = np.full(parts, cap)
+    refined = fm_refine(sub, start, caps=caps, metric=Metric.CONNECTIVITY)
+    return refined.labels
+
+
+def recursive_hierarchical_partition(
+    graph: Hypergraph,
+    topology: HierarchyTopology,
+    eps: float = 0.0,
+    rng: int | np.random.Generator | None = None,
+    split_fn: LevelSplitFn | None = None,
+    relaxed: bool = False,
+) -> Partition:
+    """Partition level by level down the hierarchy tree.
+
+    At level ``i`` each current group is split into ``b_i`` subgroups,
+    each allowed the weight of its whole subtree (subtree-leaf count ×
+    the per-leaf ε-cap).  Leaves inherit the recursion order, so the
+    output partition is already hierarchy-aligned: part ``x`` *is* leaf
+    ``x``.
+    """
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    if split_fn is None:
+        split_fn = _default_level_split
+    k = topology.k
+    if float(graph.total_node_weight).is_integer():
+        leaf_cap = float(balance_threshold(int(graph.total_node_weight), k,
+                                           eps, relaxed=relaxed))
+    else:
+        leaf_cap = (1 + eps) * graph.total_node_weight / k
+    labels = np.zeros(graph.n, dtype=np.int64)
+
+    def rec(node_ids: list[int], level: int, leaf_offset: int) -> None:
+        if level == topology.depth:
+            for v in node_ids:
+                labels[v] = leaf_offset
+            return
+        b = topology.b[level]
+        subtree = topology.subtree_leaves(level + 1)
+        cap = subtree * leaf_cap
+        if node_ids:
+            sub = restrict_to_nodes(graph, node_ids)
+            side = split_fn(sub, b, cap, gen)
+        else:
+            side = np.zeros(0, dtype=np.int64)
+        for child in range(b):
+            ids = [node_ids[i] for i in range(len(node_ids))
+                   if side[i] == child]
+            rec(ids, level + 1, leaf_offset + child * subtree)
+
+    rec(list(range(graph.n)), 0, 0)
+    return Partition(labels, k)

@@ -1,0 +1,141 @@
+"""Hierarchical processor topologies (paper Section 7, Definition 7.1).
+
+A machine is a rooted tree of depth ``d`` with fixed per-level branching
+factors ``b_1, ..., b_d`` (so ``k = Π b_i`` compute units at the leaves)
+and monotonically decreasing transfer costs ``g_1 ≥ g_2 ≥ ... ≥ g_d``:
+moving a value between two leaves whose lowest common ancestor sits on
+level ``i`` costs ``g_i``.  By the paper's normalisation ``g_d = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import reduce
+
+import numpy as np
+
+__all__ = ["HierarchyTopology"]
+
+
+@dataclass(frozen=True)
+class HierarchyTopology:
+    """A depth-``d`` tree topology with branching ``b`` and costs ``g``.
+
+    ``b[i]`` / ``g[i]`` are the paper's ``b_{i+1}`` / ``g_{i+1}``
+    (0-indexed).  Leaves are numbered ``0..k-1`` in canonical tree order:
+    the level-``i`` ancestor of leaf ``x`` is ``x // Π_{j>i} b_j``.
+    """
+
+    b: tuple[int, ...]
+    g: tuple[float, ...]
+
+    def __init__(self, b: tuple[int, ...] | list[int],
+                 g: tuple[float, ...] | list[float]) -> None:
+        bb = tuple(int(x) for x in b)
+        gg = tuple(float(x) for x in g)
+        if len(bb) != len(gg):
+            raise ValueError("b and g must have equal length (one per level)")
+        if not bb:
+            raise ValueError("topology needs at least one level")
+        if any(x < 1 for x in bb):
+            raise ValueError("branching factors must be >= 1")
+        if any(gg[i] < gg[i + 1] for i in range(len(gg) - 1)):
+            raise ValueError("costs g must be monotonically decreasing")
+        if any(x <= 0 for x in gg):
+            raise ValueError("costs g must be positive")
+        object.__setattr__(self, "b", bb)
+        object.__setattr__(self, "g", gg)
+
+    @staticmethod
+    def flat(k: int) -> "HierarchyTopology":
+        """Depth-1 topology: the standard partitioning problem
+        (Section 7: "the standard partitioning problem is obtained as a
+        special case ... when our hierarchy has depth d = 1")."""
+        return HierarchyTopology((k,), (1.0,))
+
+    @staticmethod
+    def uniform_binary(depth: int, g1: float = 4.0) -> "HierarchyTopology":
+        """Binary tree of the given depth with geometrically decreasing
+        costs ending at 1."""
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        ratio = g1 ** (1.0 / max(depth - 1, 1)) if depth > 1 else 1.0
+        g = tuple(g1 / ratio**i for i in range(depth))
+        g = g[:-1] + (1.0,) if depth > 1 else (g1,)
+        return HierarchyTopology((2,) * depth, g)
+
+    @property
+    def depth(self) -> int:
+        return len(self.b)
+
+    @property
+    def k(self) -> int:
+        """Total number of leaves ``Π b_i``."""
+        return reduce(lambda a, x: a * x, self.b, 1)
+
+    def subtree_leaves(self, level: int) -> int:
+        """Leaves under one level-``level`` node (levels 1-based;
+        ``level = 0`` is the root covering all k leaves)."""
+        out = 1
+        for i in range(level, self.depth):
+            out *= self.b[i]
+        return out
+
+    def ancestor(self, leaf: int, level: int) -> int:
+        """Id of the level-``level`` ancestor of a leaf (1-based level;
+        level ``d`` returns the leaf itself, level 0 returns 0)."""
+        return leaf // self.subtree_leaves(level)
+
+    def ancestors_matrix(self) -> np.ndarray:
+        """(d+1) × k matrix: row ``i`` is each leaf's level-i ancestor."""
+        k = self.k
+        out = np.empty((self.depth + 1, k), dtype=np.int64)
+        leaves = np.arange(k)
+        for level in range(self.depth + 1):
+            out[level] = leaves // self.subtree_leaves(level)
+        return out
+
+    def lca_level(self, leaf_a: int, leaf_b: int) -> int:
+        """Level of the lowest common ancestor of two leaves
+        (``d`` if equal, i.e. "no transfer"; 1 = crossing the root)."""
+        if leaf_a == leaf_b:
+            return self.depth
+        level = self.depth
+        while self.ancestor(leaf_a, level) != self.ancestor(leaf_b, level):
+            level -= 1
+        return level + 1
+
+    def transfer_cost(self, leaf_a: int, leaf_b: int) -> float:
+        """g_{lca level}: cost of moving one value between two leaves."""
+        if leaf_a == leaf_b:
+            return 0.0
+        return self.g[self.lca_level(leaf_a, leaf_b) - 1]
+
+    def distance_matrix(self) -> np.ndarray:
+        """k × k matrix of pairwise transfer costs ``g_{lca(a,b)}``.
+
+        This is the processor metric of Appendix I.2; since it is an
+        ultrametric, the minimum Steiner tree over any terminal set
+        equals the Definition 7.1 hierarchical cost of a hyperedge
+        touching those leaves — a cross-check the tests exploit.
+        """
+        k = self.k
+        out = np.zeros((k, k), dtype=np.float64)
+        for a in range(k):
+            for b in range(a + 1, k):
+                out[a, b] = out[b, a] = self.transfer_cost(a, b)
+        return out
+
+    def num_assignments(self) -> int:
+        """f(k): non-equivalent hierarchy assignments (Appendix H.1):
+        ``k! / Π_i (b_i!)^{Π_{j<i} b_j}``."""
+        denom = 1
+        prefix = 1
+        for bi in self.b:
+            denom *= math.factorial(bi) ** prefix
+            prefix *= bi
+        return math.factorial(self.k) // denom
+
+    def __repr__(self) -> str:
+        return f"HierarchyTopology(b={self.b}, g={self.g}, k={self.k})"

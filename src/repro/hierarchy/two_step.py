@@ -1,0 +1,114 @@
+"""The two-step (hierarchy-agnostic) method (Section 7.2).
+
+Step (i): find a good *standard* k-way partitioning, ignoring the
+hierarchy.  Step (ii): assign the k parts to the k leaf positions
+optimally.  Lemma 7.3 bounds its cost by ``g_1 ×`` the hierarchical
+optimum; Theorem 7.4 shows the bound is nearly tight.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.cost import Metric
+from ..core.hypergraph import Hypergraph
+from ..core.partition import Partition
+from ..errors import ProblemTooLargeError
+from .assignment import apply_assignment, contract_partition, optimal_assignment
+from .cost import hierarchical_cost
+from .topology import HierarchyTopology
+
+__all__ = ["two_step_from_partition", "two_step_partition",
+           "exact_hierarchical_partition"]
+
+
+def two_step_from_partition(
+    graph: Hypergraph,
+    partition: Partition,
+    topology: HierarchyTopology,
+    max_assignments: int = 500_000,
+) -> tuple[Partition, float]:
+    """Step (ii) only: optimally place an existing partition's parts on
+    the hierarchy leaves.  Returns the leaf-aligned partition and its
+    hierarchical cost on ``graph``."""
+    contracted = contract_partition(graph, partition)
+    assignment, _ = optimal_assignment(contracted, topology, max_assignments)
+    placed = apply_assignment(partition, assignment)
+    return placed, hierarchical_cost(graph, placed, topology)
+
+
+def two_step_partition(
+    graph: Hypergraph,
+    topology: HierarchyTopology,
+    eps: float = 0.0,
+    metric: Metric = Metric.CONNECTIVITY,
+    partition_fn: Callable[[Hypergraph, int], Partition] | None = None,
+    rng: int | np.random.Generator | None = None,
+    max_assignments: int = 500_000,
+) -> tuple[Partition, float]:
+    """Full two-step method.
+
+    ``partition_fn(graph, k)`` supplies step (i); defaults to the
+    multilevel heuristic.  Pass an exact partitioner to study the
+    paper's idealised setting where *both* steps are optimal
+    (Theorem 7.4's analysis).
+    """
+    k = topology.k
+    if partition_fn is None:
+        from ..partitioners.multilevel import multilevel_partition
+
+        def partition_fn(g: Hypergraph, kk: int) -> Partition:
+            return multilevel_partition(g, kk, eps=eps, metric=metric, rng=rng)
+
+    flat = partition_fn(graph, k)
+    return two_step_from_partition(graph, flat, topology, max_assignments)
+
+
+def exact_hierarchical_partition(
+    graph: Hypergraph,
+    topology: HierarchyTopology,
+    eps: float = 0.0,
+    relaxed: bool = False,
+    max_nodes: int = 12,
+) -> tuple[Partition, float]:
+    """Certified-optimal *hierarchical* partitioning by enumeration.
+
+    Enumerates all ε-balanced leaf assignments of the nodes (with
+    first-node symmetry pinned inside the first subtree) and minimises
+    Definition 7.1 cost.  Exponential — tiny instances only.
+    """
+    from ..core.balance import balance_threshold
+
+    n = graph.n
+    if n > max_nodes:
+        raise ProblemTooLargeError(
+            f"exact_hierarchical_partition guards at {max_nodes} nodes")
+    k = topology.k
+    cap = balance_threshold(n, k, eps, relaxed=relaxed)
+    best_cost = np.inf
+    best: np.ndarray | None = None
+    labels = np.zeros(n, dtype=np.int64)
+    sizes = np.zeros(k, dtype=np.int64)
+
+    def rec(v: int) -> None:
+        nonlocal best_cost, best
+        if v == n:
+            c = hierarchical_cost(graph, labels, topology)
+            if c < best_cost:
+                best_cost = c
+                best = labels.copy()
+            return
+        for p in range(k):
+            if sizes[p] >= cap:
+                continue
+            labels[v] = p
+            sizes[p] += 1
+            rec(v + 1)
+            sizes[p] -= 1
+
+    rec(0)
+    if best is None:
+        raise ProblemTooLargeError("no balanced assignment exists")
+    return Partition(best, k), float(best_cost)

@@ -1,0 +1,5 @@
+"""File formats (hMETIS-compatible hypergraphs and partition files)."""
+
+from .hmetis import read_hgr, read_partition, write_hgr, write_partition
+
+__all__ = ["read_hgr", "read_partition", "write_hgr", "write_partition"]

@@ -1,0 +1,108 @@
+"""hMETIS-compatible hypergraph file I/O.
+
+The ``.hgr`` format used by hMETIS/KaHyPar/PaToH-adjacent tooling:
+
+* header: ``<num_hyperedges> <num_nodes> [fmt]`` where ``fmt`` is
+  ``1`` (hyperedge weights), ``10`` (node weights) or ``11`` (both);
+* one line per hyperedge: ``[weight] pin pin ...`` with 1-based pins;
+* with node weights, ``num_nodes`` further lines of one weight each;
+* ``%``-prefixed lines are comments.
+
+Partition files hold one 0-based part id per line.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..core.hypergraph import Hypergraph
+from ..core.partition import Partition
+from ..errors import InvalidHypergraphError
+
+__all__ = ["write_hgr", "read_hgr", "write_partition", "read_partition"]
+
+
+def _has_nondefault(arr: np.ndarray) -> bool:
+    return bool(np.any(arr != 1.0))
+
+
+def write_hgr(graph: Hypergraph, path: str | Path) -> None:
+    """Write a hypergraph in hMETIS format (weights included only when
+    not all 1)."""
+    edge_w = _has_nondefault(graph.edge_weights)
+    node_w = _has_nondefault(graph.node_weights)
+    fmt = ""
+    if edge_w and node_w:
+        fmt = " 11"
+    elif node_w:
+        fmt = " 10"
+    elif edge_w:
+        fmt = " 1"
+    out = io.StringIO()
+    out.write(f"{graph.num_edges} {graph.n}{fmt}\n")
+    for j, e in enumerate(graph.edges):
+        pins = " ".join(str(v + 1) for v in e)
+        if edge_w:
+            w = graph.edge_weights[j]
+            wtxt = str(int(w)) if float(w).is_integer() else str(float(w))
+            out.write(f"{wtxt} {pins}\n")
+        else:
+            out.write(pins + "\n")
+    if node_w:
+        for w in graph.node_weights:
+            wtxt = str(int(w)) if float(w).is_integer() else str(float(w))
+            out.write(wtxt + "\n")
+    Path(path).write_text(out.getvalue())
+
+
+def read_hgr(path: str | Path, name: str = "") -> Hypergraph:
+    """Read an hMETIS ``.hgr`` file."""
+    lines = [ln.strip() for ln in Path(path).read_text().splitlines()]
+    lines = [ln for ln in lines if ln and not ln.startswith("%")]
+    if not lines:
+        raise InvalidHypergraphError("empty hgr file")
+    header = lines[0].split()
+    if len(header) not in (2, 3):
+        raise InvalidHypergraphError(f"bad header: {lines[0]!r}")
+    m, n = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) == 3 else "0"
+    edge_w = fmt in ("1", "11")
+    node_w = fmt in ("10", "11")
+    if len(lines) < 1 + m + (n if node_w else 0):
+        raise InvalidHypergraphError("truncated hgr file")
+    edges = []
+    weights = []
+    for j in range(m):
+        parts = lines[1 + j].split()
+        if edge_w:
+            weights.append(float(parts[0]))
+            parts = parts[1:]
+        pins = [int(x) - 1 for x in parts]
+        if any(not 0 <= v < n for v in pins):
+            raise InvalidHypergraphError(f"pin out of range on line {j + 2}")
+        edges.append(tuple(pins))
+    node_weights = None
+    if node_w:
+        node_weights = [float(lines[1 + m + i]) for i in range(n)]
+    return Hypergraph(n, edges,
+                      node_weights=node_weights,
+                      edge_weights=weights if edge_w else None,
+                      name=name or Path(path).stem)
+
+
+def write_partition(partition: Partition, path: str | Path) -> None:
+    """Write one 0-based part id per line."""
+    Path(path).write_text(
+        "\n".join(str(int(p)) for p in partition.labels) + "\n")
+
+
+def read_partition(path: str | Path, k: int | None = None) -> Partition:
+    """Read a partition file; ``k`` defaults to ``max(label) + 1``."""
+    labels = [int(ln) for ln in Path(path).read_text().split()]
+    arr = np.asarray(labels, dtype=np.int64)
+    if k is None:
+        k = int(arr.max()) + 1 if arr.size else 1
+    return Partition(arr, k)

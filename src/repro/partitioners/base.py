@@ -1,0 +1,97 @@
+"""Common partitioner types and helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.balance import balance_threshold
+from ..core.cost import Metric, cost
+from ..core.hypergraph import Hypergraph
+from ..core.partition import Partition
+
+__all__ = ["PartitionResult", "weight_caps", "rebalance", "evaluate"]
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Outcome of a partitioning run.
+
+    Attributes
+    ----------
+    partition:
+        The resulting k-way partition.
+    cost:
+        Cost under ``metric``.
+    metric:
+        Which metric ``cost`` was measured with.
+    optimal:
+        ``True`` only when produced by an exact solver that proved
+        optimality.
+    info:
+        Algorithm-specific diagnostics (passes, nodes explored, ...).
+    """
+
+    partition: Partition
+    cost: float
+    metric: Metric
+    optimal: bool = False
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+def weight_caps(graph: Hypergraph, k: int, eps: float,
+                relaxed: bool = False) -> np.ndarray:
+    """Per-part weight capacities for the ε-balance constraint.
+
+    For unit node weights this is exactly the Definition 3.1 threshold
+    ``floor((1+ε)·n/k)``; for weighted nodes (coarsened hypergraphs,
+    where weights count original nodes) the same formula applies to the
+    total weight.
+    """
+    total = graph.total_node_weight
+    if float(total).is_integer():
+        cap = float(balance_threshold(int(total), k, eps, relaxed=relaxed))
+    else:
+        cap = (1.0 + eps) * total / k
+    return np.full(k, cap, dtype=np.float64)
+
+
+def rebalance(graph: Hypergraph, labels: np.ndarray,
+              caps: np.ndarray) -> np.ndarray:
+    """Repair cap violations by moving the lightest nodes out of
+    overweight parts into the least-loaded feasible part.
+
+    Returns a new label vector; raises nothing — if caps cannot be met
+    (pathological weights) the least-violating assignment is returned.
+    """
+    k = caps.shape[0]
+    labels = np.asarray(labels, dtype=np.int64).copy()
+    weight = np.zeros(k, dtype=np.float64)
+    np.add.at(weight, labels, graph.node_weights)
+    for p in range(k):
+        if weight[p] <= caps[p] + 1e-9:
+            continue
+        movers = sorted(np.flatnonzero(labels == p),
+                        key=lambda v: graph.node_weights[v])
+        for v in movers:
+            if weight[p] <= caps[p] + 1e-9:
+                break
+            w = graph.node_weights[v]
+            order = sorted(range(k), key=lambda q: weight[q])
+            for q in order:
+                if q != p and weight[q] + w <= caps[q] + 1e-9:
+                    labels[v] = q
+                    weight[p] -= w
+                    weight[q] += w
+                    break
+    return labels
+
+
+def evaluate(graph: Hypergraph, partition: Partition,
+             metric: Metric = Metric.CONNECTIVITY,
+             optimal: bool = False, **info: Any) -> PartitionResult:
+    """Wrap a partition into a :class:`PartitionResult` with its cost."""
+    return PartitionResult(partition, cost(graph, partition, metric),
+                           metric, optimal, dict(info))

@@ -1,0 +1,176 @@
+"""Multilevel k-way hypergraph partitioning (coarsen → initial → refine).
+
+The standard practical answer to the paper's inapproximability results:
+heavy-pin matching coarsens the hypergraph, a portfolio of constructive
+heuristics partitions the coarsest level, and FM refinement is applied
+while uncoarsening (the n-level/multilevel scheme of [28, 45]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cost import Metric, cost
+from ..core.hypergraph import Hypergraph
+from ..core.partition import Partition
+from .base import rebalance, weight_caps
+from .fm import fm_refine
+from .greedy import bfs_growth_partition, greedy_sequential_partition
+from .random_part import random_balanced_partition
+
+__all__ = ["coarsen_step", "multilevel_partition"]
+
+
+def coarsen_step(
+    graph: Hypergraph,
+    rng: np.random.Generator,
+    max_cluster_weight: float,
+) -> tuple[Hypergraph, np.ndarray] | None:
+    """One heavy-pin matching + contraction step.
+
+    Nodes are visited in random order; each unmatched node pairs with the
+    unmatched neighbour maximising the heavy-edge score
+    ``Σ_{e ∋ u,v} w_e / (|e| − 1)``, subject to the merged weight staying
+    below ``max_cluster_weight``.  Returns ``(coarser graph, mapping)``
+    or ``None`` when no pair matched (coarsening has converged).
+    """
+    n = graph.n
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    any_matched = False
+    for v in order:
+        if match[v] != -1:
+            continue
+        scores: dict[int, float] = {}
+        for j in graph.incident_edges(v):
+            j = int(j)
+            e = graph.edges[j]
+            if len(e) < 2:
+                continue
+            s = graph.edge_weights[j] / (len(e) - 1)
+            for u in e:
+                if u != v and match[u] == -1:
+                    scores[u] = scores.get(u, 0.0) + s
+        best_u, best_s = -1, 0.0
+        wv = graph.node_weights[v]
+        for u, s in scores.items():
+            if wv + graph.node_weights[u] > max_cluster_weight:
+                continue
+            if s > best_s:
+                best_u, best_s = u, s
+        if best_u != -1:
+            match[v] = best_u
+            match[best_u] = v
+            any_matched = True
+    if not any_matched:
+        return None
+    mapping = np.full(n, -1, dtype=np.int64)
+    nxt = 0
+    for v in range(n):
+        if mapping[v] != -1:
+            continue
+        mapping[v] = nxt
+        if match[v] != -1:
+            mapping[match[v]] = nxt
+        nxt += 1
+    coarse = graph.contract(mapping, num_groups=nxt).merge_parallel_edges()
+    return coarse, mapping
+
+
+def _initial_portfolio(
+    graph: Hypergraph,
+    k: int,
+    eps: float,
+    metric: Metric,
+    rng: np.random.Generator,
+    caps: np.ndarray,
+    tries: int,
+) -> Partition:
+    """Best of several constructive starts, each FM-refined."""
+    candidates: list[Partition] = []
+    for fn in (greedy_sequential_partition, bfs_growth_partition):
+        try:
+            candidates.append(fn(graph, k, eps, rng=rng, relaxed=True))
+        except Exception:
+            pass
+    for _ in range(tries):
+        try:
+            candidates.append(random_balanced_partition(graph, k, eps, rng=rng,
+                                                        relaxed=True))
+        except Exception:
+            pass
+    best, best_c = None, np.inf
+    for p in candidates:
+        # count-based constructions can violate *weight* caps on
+        # coarsened hypergraphs — repair before refining, since FM only
+        # keeps cap-respecting prefixes from a feasible start.
+        repaired = rebalance(graph, p.labels, caps)
+        refined = fm_refine(graph, repaired, k=k, eps=eps, metric=metric,
+                            caps=caps)
+        c = cost(graph, refined, metric)
+        if c < best_c:
+            best, best_c = refined, c
+    assert best is not None, "no initial partition could be constructed"
+    return best
+
+
+def multilevel_partition(
+    graph: Hypergraph,
+    k: int,
+    eps: float = 0.0,
+    metric: Metric = Metric.CONNECTIVITY,
+    rng: int | np.random.Generator | None = None,
+    coarsen_to: int | None = None,
+    initial_tries: int = 4,
+    relaxed: bool = True,
+    repetitions: int = 1,
+) -> Partition:
+    """Full multilevel partitioner.
+
+    ``relaxed=True`` (default) uses the ``ceil`` balance threshold so a
+    feasible solution always exists (Appendix A); pass ``False`` for the
+    strict constraint on instances where you know it is satisfiable.
+    ``repetitions > 1`` runs independent V-cycles with different random
+    matchings and keeps the cheapest result.
+    """
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    if repetitions > 1:
+        best: Partition | None = None
+        best_cost = np.inf
+        for _ in range(repetitions):
+            cand = multilevel_partition(graph, k, eps, metric, gen,
+                                        coarsen_to, initial_tries, relaxed,
+                                        repetitions=1)
+            c = cost(graph, cand, metric)
+            if c < best_cost:
+                best, best_cost = cand, c
+        assert best is not None
+        return best
+    if coarsen_to is None:
+        coarsen_to = max(40, 4 * k)
+    caps = weight_caps(graph, k, eps, relaxed=relaxed)
+    max_cluster = max(float(graph.node_weights.max(initial=1.0)),
+                      float(caps[0]) / 3.0)
+
+    levels: list[tuple[Hypergraph, np.ndarray]] = []
+    cur = graph
+    while cur.n > coarsen_to:
+        step = coarsen_step(cur, gen, max_cluster)
+        if step is None or step[0].n >= cur.n:
+            break
+        coarse, mapping = step
+        levels.append((cur, mapping))
+        cur = coarse
+
+    part = _initial_portfolio(cur, k, eps, metric, gen, caps, initial_tries)
+    labels = part.labels.copy()
+    for fine, mapping in reversed(levels):
+        labels = labels[mapping]
+        labels = fm_refine(fine, labels, k=k, eps=eps, metric=metric,
+                           caps=caps).labels.copy()
+    # final safety: the flat graph has unit weights, so repair + refine
+    # guarantees the returned partition honours the balance caps.
+    labels = rebalance(graph, labels, caps)
+    labels = fm_refine(graph, labels, k=k, eps=eps, metric=metric,
+                       caps=caps).labels.copy()
+    return Partition(labels, k)

@@ -1,0 +1,55 @@
+"""Random balanced partitioning — the baseline every heuristic must beat."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.balance import balance_threshold
+from ..core.hypergraph import Hypergraph
+from ..core.partition import Partition
+from ..errors import InfeasibleError
+
+__all__ = ["random_balanced_partition", "random_balanced_labels"]
+
+
+def random_balanced_labels(
+    n: int,
+    k: int,
+    eps: float = 0.0,
+    rng: int | np.random.Generator | None = None,
+    relaxed: bool = False,
+) -> np.ndarray:
+    """A uniformly random node order filled into parts up to the
+    ε-balance cap.  Raises :class:`InfeasibleError` if the caps cannot
+    hold all nodes (only possible through rounding at tiny ``n``)."""
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    cap = balance_threshold(n, k, eps, relaxed=relaxed)
+    if cap * k < n:
+        raise InfeasibleError(
+            f"caps too small: {k} parts of {cap} cannot hold {n} nodes "
+            "(retry with relaxed=True)"
+        )
+    order = gen.permutation(n)
+    labels = np.empty(n, dtype=np.int64)
+    sizes = np.zeros(k, dtype=np.int64)
+    # Round-robin over parts with remaining capacity keeps the result
+    # near-perfectly balanced while the node order stays uniform.
+    part = 0
+    for v in order:
+        while sizes[part] >= cap:
+            part = (part + 1) % k
+        labels[v] = part
+        sizes[part] += 1
+        part = (part + 1) % k
+    return labels
+
+
+def random_balanced_partition(
+    graph: Hypergraph,
+    k: int,
+    eps: float = 0.0,
+    rng: int | np.random.Generator | None = None,
+    relaxed: bool = False,
+) -> Partition:
+    """Random ε-balanced partition of a hypergraph's nodes."""
+    return Partition(random_balanced_labels(graph.n, k, eps, rng, relaxed), k)

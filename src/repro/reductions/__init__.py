@@ -1,0 +1,122 @@
+"""Executable hardness constructions (paper Sections 4–7, Appendices).
+
+Every reduction in the paper is implemented as a builder returning the
+derived instance plus solution mappings in both directions, together
+with reference oracles (brute-force solvers for SpES, OVP, 3-colouring,
+3-PARTITION, CLIQUE, 3DM) so the claimed optimum correspondences can be
+checked empirically on small instances.
+"""
+
+from ._builder import BuiltInstance, MultiConstraintBuilder
+from .bisection import lift_ksection_solution, pad_count, pad_for_ksection
+from .coloring import (
+    ColoringReduction,
+    build_coloring_reduction,
+    is_three_colorable,
+    three_coloring_brute_force,
+)
+from .hyperdag_np import HyperDAGNPReduction, build_hyperdag_np_reduction
+from .hierarchy_hard import (
+    BlockStructure,
+    ThreeDMInstance,
+    assignment_gain,
+    block_respecting_bisection,
+    block_respecting_hierarchical_optimum,
+    block_respecting_kway_optimum,
+    build_3dm_assignment_instance,
+    build_recursive_gap_instance,
+    build_recursive_gap_instance_general,
+    build_two_step_gap_instance,
+    three_dm_brute_force,
+)
+from .layerwise import (
+    LayerwiseInstance,
+    build_layerwise_reduction,
+    layerwise_zero_cost_feasible,
+)
+from .multi_to_single import MultiToSingleReduction, build_multi_to_single
+from .ovp import OVPInstance, OVPReduction, build_ovp_reduction, ovp_brute_force
+from .spes import (
+    MpUInstance,
+    SpESInstance,
+    SpESReduction,
+    build_mpu_reduction,
+    build_spes_reduction,
+    min_p_union,
+    mpu_optimum,
+    spes_optimum,
+)
+from .spes_delta2 import Delta2Reduction, build_delta2_reduction
+from .spes_kway import KWaySpESReduction, build_spes_reduction_kway
+from .three_partition import (
+    LayeringInstance,
+    MupInstance,
+    find_clique,
+    find_grouping,
+    find_triplet_partition,
+    is_strict_three_partition_instance,
+    layering_instance,
+    layering_zero_cost_exists,
+    mup_bounded_height_instance,
+    mup_chain_instance,
+    mup_level_order_instance,
+    mup_outtree_instance,
+)
+
+__all__ = [
+    "BlockStructure",
+    "BuiltInstance",
+    "ColoringReduction",
+    "Delta2Reduction",
+    "HyperDAGNPReduction",
+    "KWaySpESReduction",
+    "LayeringInstance",
+    "LayerwiseInstance",
+    "MpUInstance",
+    "MultiConstraintBuilder",
+    "MultiToSingleReduction",
+    "MupInstance",
+    "OVPInstance",
+    "OVPReduction",
+    "SpESInstance",
+    "SpESReduction",
+    "ThreeDMInstance",
+    "assignment_gain",
+    "block_respecting_bisection",
+    "block_respecting_hierarchical_optimum",
+    "block_respecting_kway_optimum",
+    "build_3dm_assignment_instance",
+    "build_coloring_reduction",
+    "build_delta2_reduction",
+    "build_hyperdag_np_reduction",
+    "build_layerwise_reduction",
+    "build_mpu_reduction",
+    "build_multi_to_single",
+    "build_ovp_reduction",
+    "build_recursive_gap_instance",
+    "build_recursive_gap_instance_general",
+    "build_spes_reduction",
+    "build_spes_reduction_kway",
+    "build_two_step_gap_instance",
+    "find_clique",
+    "find_grouping",
+    "find_triplet_partition",
+    "is_strict_three_partition_instance",
+    "is_three_colorable",
+    "layering_instance",
+    "layering_zero_cost_exists",
+    "layerwise_zero_cost_feasible",
+    "lift_ksection_solution",
+    "min_p_union",
+    "mpu_optimum",
+    "mup_bounded_height_instance",
+    "mup_chain_instance",
+    "mup_level_order_instance",
+    "mup_outtree_instance",
+    "ovp_brute_force",
+    "pad_count",
+    "pad_for_ksection",
+    "spes_optimum",
+    "three_coloring_brute_force",
+    "three_dm_brute_force",
+]

@@ -1,0 +1,130 @@
+"""Shared construction kit for multi-constraint reductions (App. D.3).
+
+The negative-result constructions of Section 6 / Appendix D all need
+*fixed-colour* nodes: nodes guaranteed red or blue in any cost-0
+solution.  Following Appendix D.3 we realise them with two anchor
+blocks, each spanned by a single hyperedge (monochromatic at cost 0) and
+combined in one balance constraint that forbids them sharing a colour.
+Fixed nodes for the Lemma D.2 paddings are drawn *into the anchor
+hyperedges* (so cost 0 forces their colour) while staying outside the
+anchor-pair constraint subset — keeping all constraint subsets disjoint
+as Definition 6.1 requires.
+
+Everything is symmetric under a global colour swap, so "red" below
+means "the colour of the first anchor block"; decision answers are
+swap-invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.balance import MultiConstraint
+from ..core.hypergraph import Hypergraph
+from ..generators.gadgets import BoundMode, constraint_padding
+
+__all__ = ["MultiConstraintBuilder", "BuiltInstance"]
+
+
+@dataclass
+class BuiltInstance:
+    """A finished multi-constraint partitioning instance (k = 2).
+
+    ``bounds`` records the *raw* semantic constraints — ``(subset, h,
+    mode)`` before padding — which the layer-wise transform of
+    Theorem 5.2 re-encodes as DAG layers.  ``core_edges``/``core_nodes``
+    are the gadget hyperedges/nodes excluding the anchor machinery.
+    """
+
+    hypergraph: Hypergraph = field(repr=False)
+    constraints: MultiConstraint
+    eps: float
+    red_anchor: tuple[int, ...]
+    blue_anchor: tuple[int, ...]
+    bounds: tuple[tuple[tuple[int, ...], int, str], ...] = ()
+    num_core_edges: int = 0
+
+    def core_nodes(self) -> list[int]:
+        anchored = set(self.red_anchor) | set(self.blue_anchor)
+        return [v for v in range(self.hypergraph.n) if v not in anchored]
+
+
+class MultiConstraintBuilder:
+    """Incrementally assembles nodes, hyperedges and constraints."""
+
+    def __init__(self, eps: float, anchor_core: int = 3) -> None:
+        if not 0 < eps < 1:
+            raise ValueError("builder requires 0 < eps < 1 (k = 2)")
+        self.eps = eps
+        self._n = 0
+        self._edges: list[tuple[int, ...]] = []
+        self._subsets: list[list[int]] = []
+        self._red_members: list[int] = []
+        self._blue_members: list[int] = []
+        self._core = anchor_core
+        self._bounds: list[tuple[tuple[int, ...], int, str]] = []
+
+    # -- node/edge primitives ------------------------------------------
+    def alloc(self, count: int = 1) -> list[int]:
+        out = list(range(self._n, self._n + count))
+        self._n += count
+        return out
+
+    def add_edge(self, pins: list[int] | tuple[int, ...]) -> int:
+        self._edges.append(tuple(pins))
+        return len(self._edges) - 1
+
+    def fixed_red(self, count: int) -> list[int]:
+        """Fresh nodes forced red (joined into the red anchor hyperedge)."""
+        nodes = self.alloc(count)
+        self._red_members.extend(nodes)
+        return nodes
+
+    def fixed_blue(self, count: int) -> list[int]:
+        nodes = self.alloc(count)
+        self._blue_members.extend(nodes)
+        return nodes
+
+    # -- constraints -----------------------------------------------------
+    def _bounded_constraint(self, subset: list[int], h: int,
+                            mode: BoundMode) -> None:
+        pad = constraint_padding(len(subset), h, k=2, eps=self.eps, mode=mode)
+        reds = self.fixed_red(pad.fixed_counts[0])
+        blues = self.fixed_blue(pad.fixed_counts[1])
+        self._subsets.append(list(subset) + reds + blues)
+        self._bounds.append((tuple(subset), h, mode.value))
+
+    def at_most_red(self, subset: list[int], h: int) -> None:
+        """Balance constraint satisfied iff ≤ h of ``subset`` are red
+        (Lemma D.2)."""
+        self._bounded_constraint(subset, h, BoundMode.AT_MOST)
+
+    def at_least_red(self, subset: list[int], h: int) -> None:
+        """Balance constraint satisfied iff ≥ h of ``subset`` are red."""
+        self._bounded_constraint(subset, h, BoundMode.AT_LEAST)
+
+    # -- finalisation ------------------------------------------------------
+    def build(self, name: str = "") -> BuiltInstance:
+        """Materialise the anchor blocks and return the instance."""
+        num_core_edges = len(self._edges)
+        red_core = self.alloc(self._core)
+        blue_core = self.alloc(self._core)
+        red_all = tuple(red_core + self._red_members)
+        blue_all = tuple(blue_core + self._blue_members)
+        # One hyperedge spanning each anchor group: cost 0 forces each
+        # group monochromatic.
+        self.add_edge(red_all)
+        self.add_edge(blue_all)
+        # Anchor-pair constraint on the cores only (disjoint from all
+        # padding subsets): both colours must appear among the cores.
+        pair = list(red_core) + list(blue_core)
+        self._subsets.append(pair)
+        hg = Hypergraph(self._n, self._edges, name=name)
+        mc = MultiConstraint(self._subsets)
+        # sanity: the pair constraint really forbids a monochromatic pair
+        from ..core.balance import balance_threshold
+        cap = balance_threshold(len(pair), 2, self.eps)
+        assert cap < len(pair), "anchor-pair constraint is vacuous"
+        assert self._core <= cap, "anchor cores cannot be separated"
+        return BuiltInstance(hg, mc, self.eps, red_all, blue_all,
+                             tuple(self._bounds), num_core_edges)

@@ -1,0 +1,46 @@
+"""ε-balanced partitioning ⇄ k-section (Lemma A.1).
+
+Adding ``ε·n`` isolated nodes turns an ε-balanced instance into an
+equivalent k-section (``ε = 0``) instance: a k-section of cost L exists
+in the padded hypergraph iff an ε-balanced partitioning of cost L exists
+in the original.  This is the easy direction showing bisection is the
+*hardest* case; the paper's main theorem closes the other direction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.balance import balance_threshold
+from ..core.hypergraph import Hypergraph
+from ..core.partition import Partition
+
+__all__ = ["pad_for_ksection", "lift_ksection_solution", "pad_count"]
+
+
+def pad_count(n: int, k: int, eps: float) -> int:
+    """Number of isolated nodes to add.
+
+    The proof uses ``ε·n`` so that ``n'/k = (1+ε)·n/k``; we round up to
+    the next multiple matching an integral ``n'/k`` when possible, else
+    take ``⌈ε·n⌉``.
+    """
+    target = int(math.ceil((1 + eps) * n))
+    # prefer an n' divisible by k so the k-section is tight
+    while target % k != 0:
+        target += 1
+    return target - n
+
+
+def pad_for_ksection(graph: Hypergraph, k: int, eps: float) -> Hypergraph:
+    """The padded hypergraph of Lemma A.1 (isolated nodes appended)."""
+    return graph.add_nodes(pad_count(graph.n, k, eps))
+
+
+def lift_ksection_solution(graph: Hypergraph, padded_partition: Partition) -> Partition:
+    """Restrict a k-section of the padded hypergraph back to the
+    original nodes; by Lemma A.1 the restriction is ε-balanced with the
+    same cost (isolated nodes touch no hyperedge)."""
+    return padded_partition.restrict(range(graph.n))

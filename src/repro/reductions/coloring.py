@@ -1,0 +1,121 @@
+"""3-colouring → multi-constraint partitioning (Lemma 6.3).
+
+With ``c ≥ n^δ`` balance constraints, deciding whether a cost-0
+partitioning exists is NP-hard: for every graph node ``v`` and colour
+``i ∈ [3]`` the construction has a gadget hyperedge (all ``w_{v,e,i}``
+for incident edges ``e`` plus two ``ŵ`` selector nodes); constraints
+force exactly one of the three gadgets of ``v`` red, and forbid the same
+colour index on both endpoints of an edge.  A cost-0 feasible
+partitioning exists iff the graph is 3-colourable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+import numpy as np
+
+from ..core.hypergraph import Hypergraph
+from ..core.partition import BLUE, RED, Partition
+from ._builder import BuiltInstance, MultiConstraintBuilder
+
+__all__ = ["ColoringReduction", "build_coloring_reduction",
+           "is_three_colorable", "three_coloring_brute_force"]
+
+
+def three_coloring_brute_force(num_nodes: int,
+                               edges: tuple[tuple[int, int], ...]
+                               ) -> tuple[int, ...] | None:
+    """Exhaustive proper 3-colouring (reference oracle; tiny graphs)."""
+    for colours in product(range(3), repeat=num_nodes):
+        if all(colours[u] != colours[v] for u, v in edges):
+            return colours
+    return None
+
+
+def is_three_colorable(num_nodes: int,
+                       edges: tuple[tuple[int, int], ...]) -> bool:
+    return three_coloring_brute_force(num_nodes, edges) is not None
+
+
+@dataclass
+class ColoringReduction:
+    """The derived instance plus the gadget index."""
+
+    num_nodes: int
+    graph_edges: tuple[tuple[int, int], ...]
+    built: BuiltInstance = field(repr=False)
+    # gadget_nodes[v][i]: all nodes of the (v, colour-i) gadget
+    gadget_nodes: tuple[tuple[tuple[int, ...], ...], ...]
+
+    @property
+    def hypergraph(self) -> Hypergraph:
+        return self.built.hypergraph
+
+    def partition_from_coloring(self, colours: tuple[int, ...]) -> Partition:
+        """Proper 3-colouring → feasible cost-0 partition."""
+        labels = np.full(self.hypergraph.n, BLUE, dtype=np.int64)
+        for v in self.built.red_anchor:
+            labels[v] = RED
+        for v, colour in enumerate(colours):
+            for x in self.gadget_nodes[v][colour]:
+                labels[x] = RED
+        return Partition(labels, 2)
+
+    def coloring_from_partition(self, partition: Partition) -> tuple[int, ...]:
+        """Cost-0 feasible partition → proper 3-colouring: the colour of
+        ``v`` is the index of its red gadget (red = the anchor's side)."""
+        red = int(partition.labels[self.built.red_anchor[0]])
+        colours = []
+        for v in range(self.num_nodes):
+            chosen = [i for i in range(3)
+                      if partition.labels[self.gadget_nodes[v][i][0]] == red]
+            assert len(chosen) == 1, "not a cost-0 feasible partition"
+            colours.append(chosen[0])
+        return tuple(colours)
+
+
+def build_coloring_reduction(num_nodes: int,
+                             edges: tuple[tuple[int, int], ...],
+                             eps: float = 0.3) -> ColoringReduction:
+    """Build the Lemma 6.3 construction for a 3-colouring instance."""
+    edges = tuple((min(u, v), max(u, v)) for u, v in edges)
+    b = MultiConstraintBuilder(eps)
+    incident: list[list[int]] = [[] for _ in range(num_nodes)]
+    for j, (u, v) in enumerate(edges):
+        incident[u].append(j)
+        incident[v].append(j)
+
+    # w[v][e_idx][i] node ids; selector nodes ŵ.
+    w: dict[tuple[int, int, int], int] = {}
+    sel1: dict[tuple[int, int], int] = {}
+    sel2: dict[tuple[int, int], int] = {}
+    gadget_nodes: list[list[tuple[int, ...]]] = []
+    for v in range(num_nodes):
+        per_colour: list[tuple[int, ...]] = []
+        for i in range(3):
+            pins: list[int] = []
+            for j in incident[v]:
+                node = b.alloc(1)[0]
+                w[(v, j, i)] = node
+                pins.append(node)
+            s1 = b.alloc(1)[0]
+            s2 = b.alloc(1)[0]
+            sel1[(v, i)] = s1
+            sel2[(v, i)] = s2
+            pins.extend((s1, s2))
+            b.add_edge(pins)
+            per_colour.append(tuple(pins))
+        gadget_nodes.append(per_colour)
+
+    for v in range(num_nodes):
+        b.at_most_red([sel1[(v, i)] for i in range(3)], h=1)
+        b.at_least_red([sel2[(v, i)] for i in range(3)], h=1)
+    for j, (u, v) in enumerate(edges):
+        for i in range(3):
+            b.at_most_red([w[(u, j, i)], w[(v, j, i)]], h=1)
+
+    built = b.build(name=f"coloring-reduction-n{num_nodes}")
+    return ColoringReduction(num_nodes, edges, built,
+                             tuple(tuple(g) for g in gadget_nodes))

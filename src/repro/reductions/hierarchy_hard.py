@@ -1,0 +1,517 @@
+"""Hierarchical-partitioning lower-bound constructions (Section 7, App. G/H).
+
+* :func:`build_recursive_gap_instance` — Figure 8 / Lemma 7.2: nine
+  blocks arranged so optimal recursive bipartitioning pays Θ(n) while a
+  direct 4-way partitioning pays O(1).
+* :func:`build_two_step_gap_instance` — Figure 9 / Theorem 7.4: a star
+  of blocks where the *standard* optimum scatters the B_i across the
+  hierarchy, paying ≈ ``(b₁−1)/b₁·g₁`` times the hierarchical optimum.
+* :func:`build_3dm_assignment_instance` — Lemma H.2: hierarchy
+  assignment with ``b₂ = 3`` is NP-hard via 3-dimensional matching.
+
+Blocks here are *heavy paths*: ``size`` nodes chained by 2-pin
+hyperedges of weight ``W ≈ size``.  Like the paper's Lemma A.5 blocks,
+any partition splitting one costs at least ``W``; unlike them, the pin
+count stays linear in ``n``, which keeps the Θ(n)-sweep benchmarks
+cheap.  (``dense=True`` switches to the paper's literal blocks for
+cross-checking at small sizes.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations, product
+
+import numpy as np
+
+from ..core.balance import balance_threshold
+from ..core.hypergraph import Hypergraph
+from ..core.partition import Partition
+from ..errors import ProblemTooLargeError
+from ..hierarchy.topology import HierarchyTopology
+
+__all__ = [
+    "BlockStructure",
+    "build_recursive_gap_instance",
+    "build_recursive_gap_instance_general",
+    "build_two_step_gap_instance",
+    "block_respecting_bisection",
+    "block_respecting_kway_optimum",
+    "block_respecting_hierarchical_optimum",
+    "ThreeDMInstance",
+    "three_dm_brute_force",
+    "build_3dm_assignment_instance",
+    "assignment_gain",
+]
+
+
+# ---------------------------------------------------------------------------
+# Block-structured hypergraphs
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BlockStructure:
+    """A hypergraph composed of unsplittable blocks plus light edges."""
+
+    hypergraph: Hypergraph = field(repr=False)
+    blocks: tuple[tuple[int, ...], ...]
+    block_split_cost: float  # lower bound on the cost of splitting any block
+    topology: HierarchyTopology | None = None
+    meta: dict = field(default_factory=dict)
+
+    def unit_mapping(self) -> np.ndarray:
+        mapping = np.empty(self.hypergraph.n, dtype=np.int64)
+        for i, blk in enumerate(self.blocks):
+            for v in blk:
+                mapping[v] = i
+        return mapping
+
+    def expand_unit_labels(self, unit_labels: np.ndarray, k: int) -> Partition:
+        labels = np.empty(self.hypergraph.n, dtype=np.int64)
+        for i, blk in enumerate(self.blocks):
+            for v in blk:
+                labels[v] = unit_labels[i]
+        return Partition(labels, k)
+
+
+class _Builder:
+    """Assembles block-structured hypergraphs in three styles:
+
+    * ``"heavy"`` — blocks are weight-W paths (cheap, linear pins);
+    * ``"dense"`` — the paper's literal Lemma A.5 blocks;
+    * ``"hyperdag"`` — Appendix I.1 two-level blocks (a small first
+      group of generators wired to a large second group), with link
+      hyperedges anchored at *distinct second-group nodes* so the whole
+      construction admits an injective generator assignment and is a
+      valid hyperDAG.
+    """
+
+    def __init__(self, style: str = "heavy") -> None:
+        if style not in ("heavy", "dense", "hyperdag"):
+            raise ValueError(f"unknown block style {style!r}")
+        self.style = style
+        self.n = 0
+        self.edges: list[tuple[int, ...]] = []
+        self.weights: list[float] = []
+        self.blocks: list[tuple[int, ...]] = []
+        self._link_pool: list[list[int]] = []  # free link endpoints
+
+    def add_block(self, size: int, heavy_weight: float) -> tuple[int, ...]:
+        nodes = tuple(range(self.n, self.n + size))
+        self.n += size
+        if self.style == "dense":
+            for i in range(size):
+                self.edges.append(
+                    tuple(x for j, x in enumerate(nodes) if j != i))
+                self.weights.append(1.0)
+            pool = list(nodes)
+        elif self.style == "hyperdag":
+            # first group ~ size/6 generators, second group the rest
+            # (the 1:5 ratio of Appendix I.1's Figure 8 adaptation)
+            b0 = max(2, size // 6)
+            first, second = nodes[:b0], nodes[b0:]
+            for f in first:
+                self.edges.append((f, *second))
+                self.weights.append(1.0)
+            pool = list(second)
+        else:
+            for i in range(size - 1):
+                self.edges.append((nodes[i], nodes[i + 1]))
+                self.weights.append(heavy_weight)
+            pool = list(nodes)
+        self.blocks.append(nodes)
+        self._link_pool.append(pool)
+        return nodes
+
+    def _endpoint(self, block: tuple[int, ...]) -> int:
+        idx = self.blocks.index(block)
+        pool = self._link_pool[idx]
+        if self.style == "hyperdag":
+            # each link consumes a fresh second-group node, which then
+            # serves as the link hyperedge's generator (Appendix I.1)
+            if len(pool) < 2:
+                raise ProblemTooLargeError("block too small for its links")
+            return pool.pop()
+        return pool[0]
+
+    def link(self, a: tuple[int, ...], b: tuple[int, ...],
+             weight: float = 1.0) -> None:
+        """A light 2-pin hyperedge between two blocks."""
+        self.edges.append((self._endpoint(a), self._endpoint(b)))
+        self.weights.append(weight)
+
+    def build(self, name: str) -> Hypergraph:
+        return Hypergraph(self.n, self.edges, edge_weights=self.weights,
+                          name=name)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 / Lemma 7.2
+# ---------------------------------------------------------------------------
+
+def build_recursive_gap_instance(unit: int, g1: float = 4.0,
+                                 dense: bool = False,
+                                 hyperdag: bool = False) -> BlockStructure:
+    """The nine-block construction of Figure 8 (``b₁ = b₂ = 2``).
+
+    ``unit`` = n/12: the large blocks have ``2·unit`` nodes (n/6), the
+    small ones ``unit`` (n/12).  The left side is a chain of 3 large
+    blocks, the right side a chain of 6 small blocks; the sides are
+    disconnected so the optimal first bisection splits them at cost 0 —
+    after which one large block *must* be cut (cost ≥ Θ(n)), whereas the
+    direct 4-way optimum only cuts O(1) light chain edges.
+    """
+    if unit < 2:
+        raise ValueError("unit must be >= 2")
+    if unit < 12 and hyperdag:
+        raise ValueError("hyperdag style needs unit >= 12 (first groups)")
+    W = float(2 * unit)  # splitting any block costs at least ~ its size
+    style = "hyperdag" if hyperdag else ("dense" if dense else "heavy")
+    b = _Builder(style)
+    large = [b.add_block(2 * unit, W) for _ in range(3)]
+    small = [b.add_block(unit, W) for _ in range(6)]
+    for i in range(2):
+        b.link(large[i], large[i + 1])
+    for i in range(5):
+        b.link(small[i], small[i + 1])
+    hg = b.build(f"fig8-recursive-gap-u{unit}")
+    topo = HierarchyTopology((2, 2), (g1, 1.0))
+    meta = {"unit": unit, "large": [0, 1, 2], "small": [3, 4, 5, 6, 7, 8]}
+    if style == "dense":
+        split_cost = 2 * unit - 1
+    elif style == "hyperdag":
+        split_cost = max(2, unit // 6)  # cutting a second group cuts all
+        #                                 b0 gadget hyperedges (App. I.1)
+    else:
+        split_cost = W
+    return BlockStructure(hg, tuple(b.blocks), float(split_cost), topo, meta)
+
+
+def block_respecting_bisection(structure: BlockStructure,
+                               node_ids: list[int],
+                               caps: tuple[float, float]) -> np.ndarray:
+    """Optimal bisection of a node subset among partitions that keep
+    every (restricted) block monochromatic.
+
+    Used to realise "each recursive step is optimal separately" from
+    Lemma 7.2: by the block-splitting bound, the block-respecting
+    optimum is the true optimum whenever it costs less than
+    ``block_split_cost``.  Returns 0/1 labels over ``node_ids``.
+    """
+    from ..partitioners.recursive import restrict_to_nodes
+
+    sub = restrict_to_nodes(structure.hypergraph, node_ids)
+    id_set = set(node_ids)
+    pos = {v: i for i, v in enumerate(node_ids)}
+    units: list[list[int]] = []
+    for blk in structure.blocks:
+        inside = [pos[v] for v in blk if v in id_set]
+        if inside:
+            units.append(inside)
+    mapping = np.empty(sub.n, dtype=np.int64)
+    for i, unit_nodes in enumerate(units):
+        for v in unit_nodes:
+            mapping[v] = i
+    contracted = sub.contract(mapping, num_groups=len(units))
+    sizes = np.array([len(u) for u in units], dtype=np.float64)
+    if len(units) > 24:
+        raise ProblemTooLargeError("too many units for exact enumeration")
+    best_cost, best = np.inf, None
+    for bits in range(1 << len(units)):
+        lab = np.array([(bits >> i) & 1 for i in range(len(units))],
+                       dtype=np.int64)
+        w0 = float(sizes[lab == 0].sum())
+        w1 = float(sizes[lab == 1].sum())
+        if w0 > caps[0] + 1e-9 or w1 > caps[1] + 1e-9:
+            continue
+        from ..core.cost import connectivity_cost
+        c = connectivity_cost(contracted, lab, 2)
+        if c < best_cost:
+            best_cost, best = c, lab
+    if best is None:
+        raise ProblemTooLargeError("no feasible block-respecting bisection")
+    out = np.empty(sub.n, dtype=np.int64)
+    for i, unit_nodes in enumerate(units):
+        for v in unit_nodes:
+            out[v] = best[i]
+    return out
+
+
+def block_respecting_kway_optimum(structure: BlockStructure, k: int,
+                                  eps: float = 0.0,
+                                  relaxed: bool = False,
+                                  state_limit: int = 20_000_000,
+                                  ) -> tuple[float, Partition]:
+    """Exact standard (connectivity) optimum over block-monochromatic
+    partitions, by enumerating unit colourings with part-symmetry and
+    balance pruning (guarded by an explored-state counter)."""
+    from ..core.cost import connectivity_cost
+
+    from ..core.cost import Metric
+    from ..errors import InfeasibleError
+    from ..partitioners.exact import exact_partition
+
+    hg = structure.hypergraph
+    units = structure.blocks
+    nu = len(units)
+    mapping = structure.unit_mapping()
+    contracted = hg.contract(mapping, num_groups=nu)
+    # Unit weights encode the original node counts, so the exact solver's
+    # weighted-balance mode reproduces the ε-cap on original nodes —
+    # with full branch-and-bound cost pruning.
+    try:
+        res = exact_partition(contracted, k, eps=eps,
+                              metric=Metric.CONNECTIVITY,
+                              relaxed=relaxed, use_node_weights=True,
+                              max_nodes=nu, node_limit=state_limit)
+    except InfeasibleError:
+        raise ProblemTooLargeError(
+            "no balanced block-respecting partition") from None
+    return float(res.cost), structure.expand_unit_labels(
+        res.partition.labels, k)
+
+
+def block_respecting_hierarchical_optimum(structure: BlockStructure,
+                                          eps: float = 0.0,
+                                          relaxed: bool = False,
+                                          ) -> tuple[float, Partition]:
+    """Exact hierarchical optimum over block-monochromatic partitions
+    (leaves are *not* symmetric, so all ``k^units`` colourings are
+    scanned with balance pruning)."""
+    from ..hierarchy.cost import hierarchical_cost
+
+    topo = structure.topology
+    assert topo is not None
+    k = topo.k
+    hg = structure.hypergraph
+    units = structure.blocks
+    nu = len(units)
+    if k ** nu > 50_000_000:
+        raise ProblemTooLargeError("unit enumeration too large")
+    mapping = structure.unit_mapping()
+    contracted = hg.contract(mapping, num_groups=nu)
+    sizes = np.array([len(u) for u in units], dtype=np.int64)
+    cap = balance_threshold(hg.n, k, eps, relaxed=relaxed)
+    best_cost, best = np.inf, None
+    lab = np.zeros(nu, dtype=np.int64)
+    totals = np.zeros(k, dtype=np.int64)
+
+    def rec(i: int) -> None:
+        nonlocal best_cost, best
+        if i == nu:
+            c = hierarchical_cost(contracted, lab, topo)
+            if c < best_cost:
+                best_cost, best = c, lab.copy()
+            return
+        for p in range(k):
+            if totals[p] + sizes[i] > cap:
+                continue
+            lab[i] = p
+            totals[p] += sizes[i]
+            rec(i + 1)
+            totals[p] -= sizes[i]
+
+    rec(0)
+    if best is None:
+        raise ProblemTooLargeError("no balanced block-respecting partition")
+    return float(best_cost), structure.expand_unit_labels(best, k)
+
+
+def build_recursive_gap_instance_general(
+    b: tuple[int, ...],
+    unit: int,
+    g1: float = 4.0,
+    dense: bool = False,
+) -> BlockStructure:
+    """Appendix G.1: the Figure 8 phenomenon for arbitrary branching
+    factors ``b = (b₁, ..., b_d)``.
+
+    With ``b' = b₂···b_d``: one chain of ``b'+1`` large blocks (each
+    ``b'·unit`` nodes) plus ``b₁−1`` chains of ``b'(b'+1)`` small blocks
+    (each ``unit`` nodes).  The first recursive split separates the
+    chains at cost 0, but the large-block chain must later split into
+    ``b'`` parts — forcing a block cut of cost Θ(n) — while a direct
+    k-way partitioning pairs large with small blocks at cost O(1).
+    """
+    if len(b) < 2 or any(x < 2 for x in b):
+        raise ValueError("need depth >= 2 branching factors, all >= 2")
+    if unit < 2:
+        raise ValueError("unit must be >= 2")
+    b1 = b[0]
+    b_prime = 1
+    for x in b[1:]:
+        b_prime *= x
+    large_size = b_prime * unit
+    W = float(large_size)
+    builder = _Builder("dense" if dense else "heavy")
+    large = [builder.add_block(large_size, W) for _ in range(b_prime + 1)]
+    for i in range(b_prime):
+        builder.link(large[i], large[i + 1])
+    small_chains = []
+    for _ in range(b1 - 1):
+        chain = [builder.add_block(unit, W)
+                 for _ in range(b_prime * (b_prime + 1))]
+        for i in range(len(chain) - 1):
+            builder.link(chain[i], chain[i + 1])
+        small_chains.append(chain)
+    hg = builder.build(f"fig8-general-b{'x'.join(map(str, b))}-u{unit}")
+    costs = tuple(g1 / (2 ** i) for i in range(len(b) - 1)) + (1.0,)
+    # enforce monotone decreasing ending at 1
+    costs = tuple(max(c, 1.0) for c in costs)
+    topo = HierarchyTopology(b, costs)
+    assert topo.k == b1 * b_prime
+    # total nodes: (b'+1)·b'·unit + (b1−1)·b'(b'+1)·unit = b1·b'(b'+1)·unit
+    assert hg.n == b1 * b_prime * (b_prime + 1) * unit
+    meta = {"unit": unit, "b": b, "b_prime": b_prime,
+            "num_large": b_prime + 1}
+    return BlockStructure(hg, tuple(builder.blocks), W, topo, meta)
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 / Theorem 7.4
+# ---------------------------------------------------------------------------
+
+def build_two_step_gap_instance(unit: int, k: int = 4, g1: float = 4.0,
+                                m: int | None = None, b1: int = 2,
+                                dense: bool = False,
+                                hyperdag: bool = False) -> BlockStructure:
+    """The star construction of Figure 9 (ε = 0, general ``k``).
+
+    ``T = (k−1)·unit`` nodes per part, ``n = k·T``.  Blocks: A (T),
+    B₁..B₍k−1₎ (unit each), C₁..C₍k−2₎ ((k−2)·unit each), D (unit),
+    E₁..E₍k−3₎ (unit each).  ``m`` parallel light edges A↔Bᵢ (realised
+    as one weight-m edge), single edges Bᵢ↔Cᵢ and B₍k−1₎↔D.
+    """
+    if k < 3:
+        raise ValueError("construction needs k >= 3")
+    if unit < 2:
+        raise ValueError("unit must be >= 2")
+    if m is None:
+        m = int(math.ceil(g1 * k)) + 1
+    T = (k - 1) * unit
+    W = float(g1 * (m + 1) * (k - 1) + 1)  # splitting dominates everything
+    style = "hyperdag" if hyperdag else ("dense" if dense else "heavy")
+    if hyperdag and unit < 12:
+        raise ValueError("hyperdag style needs unit >= 12 (first groups)")
+    b = _Builder(style)
+    A = b.add_block(T, W)
+    B = [b.add_block(unit, W) for _ in range(k - 1)]
+    C = [b.add_block((k - 2) * unit, W) for _ in range(k - 2)]
+    D = b.add_block(unit, W)
+    E = [b.add_block(unit, W) for _ in range(k - 3)]
+    for i in range(k - 1):
+        b.link(A, B[i], weight=float(m))
+    for i in range(k - 2):
+        b.link(B[i], C[i])
+    b.link(B[k - 2], D)
+    hg = b.build(f"fig9-two-step-gap-k{k}-u{unit}")
+    if k % b1 != 0 or k // b1 < 2:
+        raise ValueError("need b1 | k with k/b1 >= 2 (two-level tree)")
+    topo = HierarchyTopology((b1, k // b1), (g1, 1.0))
+    meta = {"unit": unit, "m": m, "T": T,
+            "A": 0, "B": list(range(1, k)),
+            "C": list(range(k, 2 * k - 2)), "D": 2 * k - 2,
+            "E": list(range(2 * k - 1, 2 * k - 1 + (k - 3)))}
+    return BlockStructure(hg, tuple(b.blocks), W, topo, meta)
+
+
+# ---------------------------------------------------------------------------
+# Lemma H.2: 3-dimensional matching → hierarchy assignment with b2 = 3
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ThreeDMInstance:
+    """Tripartite 3DM: triples over X × Y × Z with |X| = |Y| = |Z| = q."""
+
+    q: int
+    triples: tuple[tuple[int, int, int], ...]  # (x, y, z), each in [0, q)
+
+    def __post_init__(self) -> None:
+        for x, y, z in self.triples:
+            if not (0 <= x < self.q and 0 <= y < self.q and 0 <= z < self.q):
+                raise ValueError("triple coordinates out of range")
+
+    def node_ids(self, x: int, y: int, z: int) -> tuple[int, int, int]:
+        """Global node ids: X = [0, q), Y = [q, 2q), Z = [2q, 3q)."""
+        return x, self.q + y, 2 * self.q + z
+
+
+def three_dm_brute_force(instance: ThreeDMInstance) -> tuple[int, ...] | None:
+    """Indices of a perfect matching (q disjoint triples), or ``None``."""
+    q = instance.q
+
+    def rec(used_x: int, used_y: int, used_z: int,
+            start: int, chosen: list[int]) -> tuple[int, ...] | None:
+        if len(chosen) == q:
+            return tuple(chosen)
+        for j in range(start, len(instance.triples)):
+            x, y, z = instance.triples[j]
+            if (used_x >> x) & 1 or (used_y >> y) & 1 or (used_z >> z) & 1:
+                continue
+            out = rec(used_x | (1 << x), used_y | (1 << y),
+                      used_z | (1 << z), j + 1, chosen + [j])
+            if out is not None:
+                return out
+        return None
+
+    return rec(0, 0, 0, 0, [])
+
+
+def build_3dm_assignment_instance(
+    instance: ThreeDMInstance,
+    g1: float = 3.0,
+    w0: float | None = None,
+) -> tuple[Hypergraph, HierarchyTopology, float]:
+    """Lemma H.2 construction: a contracted multi-hypergraph on ``3q``
+    parts with topology ``(q, 3)``; returns ``(hypergraph, topology,
+    gain_threshold)`` such that a perfect 3DM exists iff some hierarchy
+    assignment achieves total *gain* ≥ ``gain_threshold``.
+
+    The gain of an assignment is ``Σ_e w_e·(|e| − λ_e^{(1)})`` — the
+    hierarchical-cost saving versus fully scattering, so maximising gain
+    minimises hierarchical cost.
+    """
+    q = instance.q
+    k = 3 * q
+    if w0 is None:
+        w0 = 10.0 * k * k
+    edges: list[tuple[int, ...]] = []
+    weights: list[float] = []
+    # (i) each original triple -> three size-2 edges
+    orig = set()
+    for (x, y, z) in instance.triples:
+        a, b_, c = instance.node_ids(x, y, z)
+        orig.add(tuple(sorted((a, b_, c))))
+        for u, v in combinations((a, b_, c), 2):
+            edges.append((u, v))
+            weights.append(1.0)
+    # (ii) a size-3 edge for every node triple that is NOT an original triple
+    for trip in combinations(range(k), 3):
+        if trip not in orig:
+            edges.append(trip)
+            weights.append(1.0)
+    # (iii) weight-w0 edge for every tripartite triple (forces tripartite
+    # groupings)
+    for x in range(q):
+        for y in range(q):
+            for z in range(q):
+                edges.append(tuple(sorted(instance.node_ids(x, y, z))))
+                weights.append(w0)
+    hg = Hypergraph(k, edges, edge_weights=weights,
+                    name=f"3dm-assignment-q{q}")
+    topo = HierarchyTopology((q, 3), (g1, 1.0))
+    # Gain of a perfect matching (paper's accounting): each chosen triplet
+    # gains 3(k-3)+3 from (i)+(ii) and (k-1)·w0 from (iii).
+    gain_threshold = q * (3 * (k - 3) + 3) + q * (k - 1) * w0
+    return hg, topo, float(gain_threshold)
+
+
+def assignment_gain(contracted: Hypergraph, topology: HierarchyTopology,
+                    part_to_leaf: np.ndarray) -> float:
+    """Σ w_e (|e| − λ_e^{(1)}) for an assignment (cf. Lemma H.1/H.2)."""
+    from ..hierarchy.cost import hierarchical_lambdas
+
+    lam = hierarchical_lambdas(contracted, part_to_leaf, topology)
+    sizes = np.array([len(e) for e in contracted.edges], dtype=np.float64)
+    return float((contracted.edge_weights * (sizes - lam[1])).sum())

@@ -1,0 +1,109 @@
+"""NP-hardness of partitioning restricted to hyperDAGs (Lemma B.3).
+
+Each node ``v`` of a general hypergraph instance becomes a "hyperDAG
+block" — the densest possible hyperDAG on ``m`` nodes, whose degree
+sequence is ``(1, 2, ..., m−1, m−1)`` (Appendix B.1).  Each original
+hyperedge keeps only the *last* node of every incident block and gains
+one fresh *light node*, which serves as the hyperedge's generator.  The
+result is always a valid hyperDAG, and with the adjusted balance
+parameter ε′ the optimum is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.balance import balance_threshold
+from ..core.cost import Metric, cost
+from ..core.hypergraph import Hypergraph
+from ..core.partition import Partition
+from ..errors import ProblemTooLargeError
+
+__all__ = ["HyperDAGNPReduction", "build_hyperdag_np_reduction"]
+
+
+@dataclass
+class HyperDAGNPReduction:
+    """Bookkeeping for the Lemma B.3 construction."""
+
+    original: Hypergraph = field(repr=False)
+    k: int
+    eps: float
+    m: int
+    eps_prime: float
+    hypergraph: Hypergraph = field(repr=False)
+    blocks: tuple[tuple[int, ...], ...]   # per original node: its m ids
+    light_nodes: tuple[int, ...]          # per original hyperedge
+
+    def partition_from_original(self, partition: Partition) -> Partition:
+        """Original solution → hyperDAG solution of the same cost:
+        blocks follow their node's colour; light nodes join (any) part
+        intersecting their hyperedge."""
+        labels = np.empty(self.hypergraph.n, dtype=np.int64)
+        for v, blk in enumerate(self.blocks):
+            for x in blk:
+                labels[x] = partition.labels[v]
+        for j, light in enumerate(self.light_nodes):
+            pins = self.original.edges[j]
+            labels[light] = partition.labels[pins[0]] if pins else 0
+        return Partition(labels, self.k)
+
+    def partition_to_original(self, partition: Partition) -> Partition:
+        """HyperDAG solution → original solution: each node takes the
+        majority colour of the tail of its block (the proof's "last m₀
+        nodes" argument)."""
+        labels = np.empty(self.original.n, dtype=np.int64)
+        for v, blk in enumerate(self.blocks):
+            tail = partition.labels[list(blk[len(blk) // 2:])]
+            labels[v] = int(np.bincount(tail, minlength=self.k).argmax())
+        return Partition(labels, self.k)
+
+
+def build_hyperdag_np_reduction(
+    graph: Hypergraph,
+    k: int = 2,
+    eps: float = 0.25,
+    m: int | None = None,
+    max_nodes: int = 50_000,
+) -> HyperDAGNPReduction:
+    """Construct the Lemma B.3 hyperDAG instance.
+
+    Sizes follow the proof: blocks of ``m`` nodes with
+    ``m > (k−1)·|E| / (ε·|V|)`` (so light nodes fit anywhere) and a new
+    balance parameter ε′ with
+    ``(1+ε′)·n'/k = m·⌊(1+ε)·|V|/k⌋ + |E|``.
+    """
+    if eps <= 0:
+        raise ValueError("Lemma B.3 as implemented requires eps > 0 "
+                         "(the eps = 0 case goes through Lemma A.1)")
+    V, E = graph.n, graph.num_edges
+    if V == 0:
+        raise ValueError("empty instance")
+    if m is None:
+        m = max(int((k - 1) * E / (eps * V)) + 1, V + 2, 4)
+    n_prime = m * V + E
+    if n_prime > max_nodes:
+        raise ProblemTooLargeError(f"n' = {n_prime} exceeds guard {max_nodes}")
+    cap_orig = balance_threshold(V, k, eps)
+    eps_prime = (m * cap_orig + E) * k / n_prime - 1
+    if eps_prime <= 0:
+        raise ProblemTooLargeError("could not achieve eps' > 0; increase m")
+
+    edges: list[tuple[int, ...]] = []
+    blocks: list[tuple[int, ...]] = []
+    for v in range(V):
+        base = v * m
+        blk = tuple(range(base, base + m))
+        blocks.append(blk)
+        # densest hyperDAG on the block: hyperedge i = {blk[i], ..., blk[m-1]}
+        for i in range(m - 1):
+            edges.append(blk[i:])
+    light = tuple(range(m * V, m * V + E))
+    for j, e in enumerate(graph.edges):
+        pins = [blocks[v][-1] for v in e] + [light[j]]
+        edges.append(tuple(pins))
+    hg = Hypergraph(n_prime, edges, name="hyperdag-np-reduction")
+    return HyperDAGNPReduction(graph, k, eps, m, eps_prime, hg,
+                               tuple(blocks), light)

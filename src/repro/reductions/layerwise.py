@@ -1,0 +1,258 @@
+"""Layer-wise balanced hyperDAG partitioning hardness (Theorem 5.2).
+
+Theorem 5.2 converts a multi-constraint instance (here: the 3-colouring
+construction of Lemma 6.3) into a computational DAG whose *layer-wise*
+balance constraints (Definition 5.1) encode the original ones:
+
+* each connected component of the gadget hypergraph becomes a directed
+  path spanning all layers — cost 0 forces every path monochromatic;
+* the same number of *filler* paths lets any real-component colouring be
+  completed to exactly ``ρ`` red paths;
+* two *control* paths supply fixed colours; per-layer blocks on them
+  realise the Lemma D.2 paddings (its "predetermined occurrences"
+  variant, since every layer also carries the ``2ρ`` path nodes);
+* a separation layer with heavy control blocks forces the two control
+  paths onto different colours;
+* two counting layers pin the number of red paths to exactly ``ρ``;
+* one layer per original bound attaches, for every constrained node
+  ``v``, an extra node to ``v``'s component path — so the layer's red
+  count measures the bound's subset.
+
+Every node lies on a maximum-length path, so the layering is unique,
+and the hardness applies to both the fixed- and the flexible-layering
+problem (as the paper argues).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.balance import balance_threshold
+from ..core.dag import DAG
+from ..errors import ProblemTooLargeError
+from ..generators.gadgets import BoundMode, constraint_padding
+from ._builder import BuiltInstance
+
+__all__ = ["LayerwiseInstance", "build_layerwise_reduction",
+           "layerwise_zero_cost_feasible"]
+
+
+@dataclass
+class LayerwiseInstance:
+    """The Theorem 5.2 DAG plus the bookkeeping to check feasibility."""
+
+    dag: DAG = field(repr=False)
+    eps: float
+    num_real: int                       # real component paths
+    num_filler: int
+    rho: int                            # required number of red paths
+    layer_of: np.ndarray = field(repr=False)     # unique layering
+    # per layer: (node count, red control/block nodes, blue control/block
+    # nodes, extras grouped by real component)
+    layer_sizes: tuple[int, ...] = ()
+    layer_red_fixed: tuple[int, ...] = ()
+    layer_blue_fixed: tuple[int, ...] = ()
+    layer_extras: tuple[tuple[tuple[int, int], ...], ...] = ()
+    component_of_core: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_sizes)
+
+    def caps(self) -> list[int]:
+        return [balance_threshold(sz, 2, self.eps)
+                for sz in self.layer_sizes]
+
+
+def build_layerwise_reduction(built: BuiltInstance,
+                              max_nodes: int = 500_000) -> LayerwiseInstance:
+    """Transform a builder-made multi-constraint instance into the
+    Theorem 5.2 layer-wise DAG (``k = 2``)."""
+    eps = built.eps
+    hg = built.hypergraph
+    core = built.core_nodes()
+    core_set = set(core)
+    # connected components of the gadget part
+    parent = {v: v for v in core}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for e in hg.edges[: built.num_core_edges]:
+        pins = [v for v in e if v in core_set]
+        for v in pins[1:]:
+            ra, rb = find(pins[0]), find(v)
+            if ra != rb:
+                parent[rb] = ra
+    comp_ids: dict[int, int] = {}
+    component_of_core: dict[int, int] = {}
+    for v in core:
+        r = find(v)
+        if r not in comp_ids:
+            comp_ids[r] = len(comp_ids)
+        component_of_core[v] = comp_ids[r]
+    C = len(comp_ids)
+    P = 2 * C            # real + filler paths
+    rho = C
+
+    # ---- plan layers ---------------------------------------------------
+    # Layer plan entries: ("sep",), ("count_max",), ("count_min",),
+    # ("bound", subset, h, mode), ("plain",)
+    plan: list[tuple] = [("plain",), ("sep",), ("count_max",), ("count_min",)]
+    for subset, h, mode in built.bounds:
+        plan.append(("bound", subset, h, mode))
+    plan.append(("plain",))
+    L = len(plan)
+
+    # ---- per-layer fixed-colour block sizes ----------------------------
+    red_fixed: list[int] = []
+    blue_fixed: list[int] = []
+    extras_plan: list[list[tuple[int, int]]] = []   # (component, count)
+    for entry in plan:
+        kind = entry[0]
+        if kind == "plain":
+            red_fixed.append(1)
+            blue_fixed.append(1)
+            extras_plan.append([])
+        elif kind == "sep":
+            # both controls same colour must overflow even if all paths
+            # take the other colour
+            x = 1
+            while True:
+                total = 2 * x + P
+                cap = balance_threshold(total, 2, eps)
+                if 2 * x > cap and x + P <= cap:
+                    break
+                x += 1
+                if x > 10 * (P + 4) / max(1e-9, 1 - eps):
+                    raise ProblemTooLargeError("no separation block size")
+            red_fixed.append(x)
+            blue_fixed.append(x)
+            extras_plan.append([])
+        elif kind in ("count_max", "count_min"):
+            mode = (BoundMode.AT_MOST if kind == "count_max"
+                    else BoundMode.AT_LEAST)
+            pad = constraint_padding(P, rho, 2, eps, mode,
+                                     min_counts=(1, 1))
+            red_fixed.append(pad.fixed_counts[0])
+            blue_fixed.append(pad.fixed_counts[1])
+            extras_plan.append([])
+        else:  # bound layer
+            _, subset, h, mode_str = entry
+            mode = BoundMode(mode_str)
+            pad = constraint_padding(len(subset), h, 2, eps, mode,
+                                     min_counts=(rho + 1, rho + 1))
+            red_fixed.append(pad.fixed_counts[0] - rho)
+            blue_fixed.append(pad.fixed_counts[1] - rho)
+            per_comp: dict[int, int] = {}
+            for v in subset:
+                ci = component_of_core[v]
+                per_comp[ci] = per_comp.get(ci, 0) + 1
+            extras_plan.append(sorted(per_comp.items()))
+
+    # ---- materialise the DAG ------------------------------------------
+    edges: list[tuple[int, int]] = []
+    layer_of: list[int] = []
+    nxt = 0
+
+    def alloc(layer: int, count: int) -> list[int]:
+        nonlocal nxt
+        out = list(range(nxt, nxt + count))
+        nxt += count
+        layer_of.extend([layer] * count)
+        return out
+
+    def make_path_with_blocks(sizes_per_layer: list[int]) -> list[list[int]]:
+        groups: list[list[int]] = []
+        prev: list[int] = []
+        for layer, size in enumerate(sizes_per_layer):
+            cur = alloc(layer, size)
+            for p in prev:
+                for c in cur:
+                    edges.append((p, c))
+            groups.append(cur)
+            prev = cur
+        return groups
+
+    # real + filler paths: single node per layer
+    path_groups: list[list[list[int]]] = []
+    for _ in range(P):
+        path_groups.append(make_path_with_blocks([1] * L))
+    # control paths with per-layer blocks
+    red_ctrl = make_path_with_blocks(red_fixed)
+    blue_ctrl = make_path_with_blocks(blue_fixed)
+    # extras: node hung between consecutive path nodes of its component
+    layer_extras: list[list[tuple[int, int]]] = [list(x) for x in extras_plan]
+    for layer, per_comp in enumerate(extras_plan):
+        for ci, count in per_comp:
+            path = path_groups[ci]
+            for node in alloc(layer, count):
+                if layer > 0:
+                    edges.append((path[layer - 1][0], node))
+                if layer + 1 < L:
+                    edges.append((node, path[layer + 1][0]))
+
+    if nxt > max_nodes:
+        raise ProblemTooLargeError(f"{nxt} nodes exceed guard {max_nodes}")
+    dag = DAG(nxt, edges)
+    layer_arr = np.array(layer_of, dtype=np.int64)
+    sizes = tuple(int((layer_arr == i).sum()) for i in range(L))
+    inst = LayerwiseInstance(
+        dag, eps, C, C, rho, layer_arr, sizes,
+        tuple(red_fixed), tuple(blue_fixed),
+        tuple(tuple(x) for x in layer_extras), component_of_core)
+    # the layering must be the unique valid one
+    assert dag.is_valid_layering(layer_arr)
+    asap, alap = dag.asap_layers(), dag.alap_layers()
+    assert np.array_equal(asap, alap), "layering is not unique"
+    return inst
+
+
+def layerwise_zero_cost_feasible(instance: LayerwiseInstance,
+                                 max_components: int = 22) -> bool:
+    """Does a cost-0, layer-wise ε-balanced partitioning exist?
+
+    Cost 0 forces every weakly-connected DAG component monochromatic;
+    we enumerate colourings of the real component paths (fillers are
+    interchangeable — only their red count matters) and check every
+    layer's balance constraint.  Control paths take their designated
+    colours (global swap symmetry makes the other orientation
+    redundant).
+    """
+    C = instance.num_real
+    if C > max_components:
+        raise ProblemTooLargeError(f"{C} components exceed guard")
+    caps = instance.caps()
+    L = instance.num_layers
+    P = C + instance.num_filler
+    for bits in range(1 << C):
+        real_red = [bool((bits >> i) & 1) for i in range(C)]
+        r = sum(real_red)
+        # fillers are interchangeable: only their red count matters, and
+        # we do NOT assume the counting layers work — every filler count
+        # is tried, so the checker independently verifies them.
+        for filler_red in range(instance.num_filler + 1):
+            red_paths = r + filler_red
+            ok = True
+            for layer in range(L):
+                red = instance.layer_red_fixed[layer] + red_paths
+                blue = (instance.layer_blue_fixed[layer]
+                        + (P - red_paths))
+                for ci, count in instance.layer_extras[layer]:
+                    if real_red[ci]:
+                        red += count
+                    else:
+                        blue += count
+                cap = caps[layer]
+                if red > cap or blue > cap:
+                    ok = False
+                    break
+            if ok:
+                return True
+    return False

@@ -1,0 +1,139 @@
+"""Multi-constraint k-section → standard k-section (Lemma D.1 / 6.2).
+
+With ``c ∈ O(1)`` balance constraints, the multi-constraint k-section
+problem reduces to the single-constraint one: each node of constraint
+class ``V_i`` is blown up into a block of ``m_i = n₀^i`` nodes, the
+geometric size separation making the single balance constraint enforce
+every class constraint simultaneously (the paper's induction from
+``i = c`` down to 1).  The construction multiplies the size to
+``n' ≈ n^{c+1}``, which is why it only transfers approximation
+guarantees in a weakened form (Appendix D.1's discussion).
+
+Blocks here are Lemma A.5 blocks by default; for inputs with
+``|E| = ω(n)`` the paper switches to the strong blocks of Appendix D.1
+(``strong=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.balance import MultiConstraint
+from ..core.hypergraph import Hypergraph
+from ..core.partition import Partition
+from ..errors import ProblemTooLargeError
+
+__all__ = ["MultiToSingleReduction", "build_multi_to_single"]
+
+
+@dataclass
+class MultiToSingleReduction:
+    """Bookkeeping for the Lemma D.1 blow-up."""
+
+    original: Hypergraph = field(repr=False)
+    constraints: MultiConstraint
+    k: int
+    hypergraph: Hypergraph = field(repr=False)
+    # per original node: the ids of its block in the derived instance
+    blocks: tuple[tuple[int, ...], ...]
+    num_isolated: int
+
+    def partition_from_original(self, partition: Partition) -> Partition:
+        """Original feasible k-section → derived balanced k-section.
+
+        Blocks inherit their node's part; isolated filler nodes are
+        spread to even the part sizes exactly.
+        """
+        n_prime = self.hypergraph.n
+        labels = np.full(n_prime, -1, dtype=np.int64)
+        for v, blk in enumerate(self.blocks):
+            for x in blk:
+                labels[x] = partition.labels[v]
+        sizes = np.bincount(labels[labels >= 0], minlength=self.k)
+        target = n_prime // self.k
+        fill = np.flatnonzero(labels < 0)
+        pos = 0
+        for p in range(self.k):
+            need = target - int(sizes[p])
+            for _ in range(max(need, 0)):
+                labels[fill[pos]] = p
+                pos += 1
+        # any leftovers (rounding) go to the lightest parts
+        for x in fill[pos:]:
+            sizes = np.bincount(labels[labels >= 0], minlength=self.k)
+            labels[x] = int(np.argmin(sizes))
+        return Partition(labels, self.k)
+
+    def partition_to_original(self, partition: Partition) -> Partition:
+        """Derived block-respecting k-section → original k-section
+        (each node takes its block's majority part)."""
+        labels = np.empty(self.original.n, dtype=np.int64)
+        for v, blk in enumerate(self.blocks):
+            counts = np.bincount(partition.labels[list(blk)],
+                                 minlength=self.k)
+            labels[v] = int(np.argmax(counts))
+        return Partition(labels, self.k)
+
+
+def build_multi_to_single(
+    graph: Hypergraph,
+    constraints: MultiConstraint,
+    k: int = 2,
+    max_nodes: int = 100_000,
+) -> MultiToSingleReduction:
+    """Construct the Lemma D.1 instance (ε = 0, k-section).
+
+    Requires every ``|V_i|`` divisible by ``k`` (the paper pads with
+    isolated nodes otherwise; callers should pre-pad for exactness).
+    """
+    subsets = constraints.subsets
+    c = len(subsets)
+    for s in subsets:
+        if len(s) % k != 0:
+            raise ValueError(
+                "each constraint class size must be divisible by k "
+                "(pad with isolated nodes first)")
+    in_subset = {}
+    for i, s in enumerate(subsets):
+        for v in s:
+            in_subset[v] = i + 1  # class index 1..c; 0 = unconstrained
+    # n0: nodes after the (k-1)*|V \ union| isolated-node padding
+    unconstrained = [v for v in range(graph.n) if v not in in_subset]
+    n0 = graph.n + (k - 1) * len(unconstrained)
+    sizes = [1] * (c + 1)
+    for i in range(1, c + 1):
+        sizes[i] = n0 ** i
+    total = sum(sizes[in_subset.get(v, 0)] for v in range(graph.n))
+    total += (k - 1) * len(unconstrained)
+    if total > max_nodes:
+        raise ProblemTooLargeError(f"n' = {total} exceeds guard {max_nodes}")
+
+    edges: list[tuple[int, ...]] = []
+    weights: list[float] = []
+    blocks: list[tuple[int, ...]] = []
+    nxt = 0
+    # a block's splitting cost must dominate any cut of original edges
+    heavy = float((k - 1) * graph.num_edges *
+                  float(graph.edge_weights.sum() if graph.num_edges else 1)
+                  + 1)
+    for v in range(graph.n):
+        size = sizes[in_subset.get(v, 0)]
+        blk = tuple(range(nxt, nxt + size))
+        nxt += size
+        blocks.append(blk)
+        # heavy path: splitting the block costs >= heavy > any edge cut
+        for i in range(size - 1):
+            edges.append((blk[i], blk[i + 1]))
+            weights.append(heavy)
+    iso_start = nxt
+    nxt += (k - 1) * len(unconstrained)
+    # original hyperedges: one representative pin per node's block
+    for j, e in enumerate(graph.edges):
+        edges.append(tuple(blocks[v][0] for v in e))
+        weights.append(float(graph.edge_weights[j]))
+    hg = Hypergraph(nxt, edges, edge_weights=weights,
+                    name="multi-to-single")
+    return MultiToSingleReduction(graph, constraints, k, hg,
+                                  tuple(blocks), nxt - iso_start)

@@ -1,0 +1,107 @@
+"""Orthogonal Vectors → multi-constraint partitioning (Theorem 6.4).
+
+With ``c = ω(log n)`` constraints, any finite-factor approximation in
+subquadratic time would falsify SETH.  The construction: one gadget per
+binary vector (an anchor node ``u_i`` plus nodes ``v_i^{(j)}`` for its
+1-coordinates, joined by one hyperedge); a constraint forcing at least
+two red anchors; and a per-dimension constraint allowing at most one red
+``v_i^{(j)}``.  A cost-0 feasible partition exists iff two of the
+vectors are orthogonal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from ..core.hypergraph import Hypergraph
+from ..core.partition import BLUE, RED, Partition
+from ._builder import BuiltInstance, MultiConstraintBuilder
+
+__all__ = ["OVPInstance", "ovp_brute_force", "OVPReduction",
+           "build_ovp_reduction"]
+
+
+@dataclass(frozen=True)
+class OVPInstance:
+    """A set of m binary vectors of dimension D."""
+
+    vectors: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        vs = tuple(tuple(int(bool(x)) for x in v) for v in self.vectors)
+        if vs and any(len(v) != len(vs[0]) for v in vs):
+            raise ValueError("vectors must share a dimension")
+        object.__setattr__(self, "vectors", vs)
+
+    @property
+    def m(self) -> int:
+        return len(self.vectors)
+
+    @property
+    def dim(self) -> int:
+        return len(self.vectors[0]) if self.vectors else 0
+
+
+def ovp_brute_force(instance: OVPInstance) -> tuple[int, int] | None:
+    """O(m²·D) reference: indices of an orthogonal pair, or ``None``."""
+    for i, j in combinations(range(instance.m), 2):
+        if all(a * b == 0 for a, b in zip(instance.vectors[i],
+                                          instance.vectors[j])):
+            return i, j
+    return None
+
+
+@dataclass
+class OVPReduction:
+    instance: OVPInstance
+    built: BuiltInstance = field(repr=False)
+    anchors: tuple[int, ...]                    # u_i
+    dim_nodes: tuple[tuple[int, ...], ...]      # dim_nodes[i][j] = v_i^{(j)}
+
+    @property
+    def hypergraph(self) -> Hypergraph:
+        return self.built.hypergraph
+
+    def partition_from_pair(self, i1: int, i2: int) -> Partition:
+        """Orthogonal pair → feasible cost-0 partition (the two vector
+        gadgets red, everything else blue)."""
+        labels = np.full(self.hypergraph.n, BLUE, dtype=np.int64)
+        for v in self.built.red_anchor:
+            labels[v] = RED
+        for i in (i1, i2):
+            labels[self.anchors[i]] = RED
+            for j, bit in enumerate(self.instance.vectors[i]):
+                if bit:
+                    labels[self.dim_nodes[i][j]] = RED
+        return Partition(labels, 2)
+
+    def pair_from_partition(self, partition: Partition) -> tuple[int, int]:
+        """Cost-0 feasible partition → an orthogonal pair (any two red
+        anchors)."""
+        red = int(partition.labels[self.built.red_anchor[0]])
+        reds = [i for i, u in enumerate(self.anchors)
+                if partition.labels[u] == red]
+        assert len(reds) >= 2, "not a cost-0 feasible partition"
+        return reds[0], reds[1]
+
+
+def build_ovp_reduction(instance: OVPInstance, eps: float = 0.3) -> OVPReduction:
+    """Build the Theorem 6.4 construction (``c = D + 2`` constraints)."""
+    if instance.m < 2:
+        raise ValueError("need at least two vectors")
+    b = MultiConstraintBuilder(eps)
+    m, D = instance.m, instance.dim
+    anchors = tuple(b.alloc(m))
+    dim_nodes = tuple(tuple(b.alloc(D)) for _ in range(m))
+    for i in range(m):
+        pins = [anchors[i]] + [dim_nodes[i][j] for j in range(D)
+                               if instance.vectors[i][j]]
+        b.add_edge(pins)
+    b.at_least_red(list(anchors), h=2)
+    for j in range(D):
+        b.at_most_red([dim_nodes[i][j] for i in range(m)], h=1)
+    built = b.build(name=f"ovp-reduction-m{m}-D{D}")
+    return OVPReduction(instance, built, anchors, dim_nodes)

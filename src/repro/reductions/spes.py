@@ -1,0 +1,344 @@
+"""The Smallest p-Edge Subgraph problem and the Lemma C.1 reduction.
+
+Theorem 4.1's engine: SpES — given a graph and an integer ``p``, pick a
+minimum set of nodes inducing at least ``p`` edges — is inapproximable
+under ETH [35], and Lemma C.1 embeds it into ε-balanced 2-way hypergraph
+partitioning with ``OPT_part = OPT_SpES``.
+
+The reduction builds (Figure 3):
+
+* a block ``B_e`` of ``m ≥ n+1`` nodes per input edge ``e``;
+* a node ``b_v`` per input node ``v``;
+* two large blocks ``A`` (forced blue, tied to every ``b_v`` by ``m``
+  parallel 2-pin hyperedges) and ``A'`` (forced red);
+* a *main hyperedge* per ``v``: ``{b_v} ∪ {one node of each incident
+  B_e}`` — cut exactly when some incident edge-block turns red;
+* sizes chosen so the balance constraint forces ≥ ``p`` red edge-blocks.
+
+Because a full exact solve of the derived instance is out of reach even
+for tiny inputs (n' = O(n³)), optimum verification follows the proof's
+own structure: Lemma A.5 guarantees block-splitting solutions are
+dominated (tested property-based in the gadget tests), so the optimum
+over *block-respecting* partitions — computed exactly here by weighted
+enumeration over the contracted units — is the true optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from ..core.balance import balance_threshold
+from ..core.cost import Metric, cost
+from ..core.hypergraph import Hypergraph
+from ..core.partition import BLUE, RED, Partition
+from ..errors import ProblemTooLargeError
+
+__all__ = ["SpESInstance", "min_p_union", "spes_optimum", "SpESReduction",
+           "build_spes_reduction", "MpUInstance", "mpu_optimum",
+           "build_mpu_reduction"]
+
+
+@dataclass(frozen=True)
+class SpESInstance:
+    """A simple graph plus the target edge count ``p``."""
+
+    num_nodes: int
+    edges: tuple[tuple[int, int], ...]
+    p: int
+
+    def __post_init__(self) -> None:
+        norm = tuple(sorted((min(u, v), max(u, v)) for u, v in self.edges))
+        if len(set(norm)) != len(norm):
+            raise ValueError("duplicate edges")
+        for u, v in norm:
+            if u == v or not 0 <= u < self.num_nodes or not 0 <= v < self.num_nodes:
+                raise ValueError(f"bad edge ({u},{v})")
+        if not 0 <= self.p <= len(norm):
+            raise ValueError("need 0 <= p <= |E|")
+        object.__setattr__(self, "edges", norm)
+
+
+@dataclass(frozen=True)
+class MpUInstance:
+    """Minimum p-Union (Appendix C.5, [11]): given a hypergraph, choose
+    ``p`` hyperedges minimising the size of their union.  SpES is the
+    special case where every hyperedge has size 2."""
+
+    num_nodes: int
+    sets: tuple[tuple[int, ...], ...]
+    p: int
+
+    def __post_init__(self) -> None:
+        norm = tuple(tuple(sorted(set(int(v) for v in s)))
+                     for s in self.sets)
+        for s in norm:
+            if not s:
+                raise ValueError("empty set")
+            if s[0] < 0 or s[-1] >= self.num_nodes:
+                raise ValueError("set member out of range")
+        if not 0 <= self.p <= len(norm):
+            raise ValueError("need 0 <= p <= number of sets")
+        object.__setattr__(self, "sets", norm)
+
+
+def mpu_optimum(instance: MpUInstance,
+                max_combos: int = 2_000_000) -> tuple[int, tuple[int, ...]]:
+    """Exact Minimum p-Union by brute force over set p-subsets."""
+    if instance.p == 0:
+        return 0, ()
+    m = len(instance.sets)
+    if math.comb(m, instance.p) > max_combos:
+        raise ProblemTooLargeError("too many set subsets to enumerate")
+    best = None
+    best_sets: tuple[int, ...] = ()
+    for chosen in combinations(range(m), instance.p):
+        covered = set()
+        for j in chosen:
+            covered.update(instance.sets[j])
+        if best is None or len(covered) < best:
+            best = len(covered)
+            best_sets = chosen
+    assert best is not None
+    return best, best_sets
+
+
+def min_p_union(instance: SpESInstance, max_combos: int = 2_000_000) -> tuple[int, tuple[int, ...]]:
+    """Exact SpES optimum: the fewest nodes covered by some ``p`` edges.
+
+    (Choosing ``V₀`` = the covered nodes gives the SpES formulation; the
+    two optima coincide.)  Brute force over edge ``p``-subsets.
+    """
+    if instance.p == 0:
+        return 0, ()
+    m = len(instance.edges)
+    if math.comb(m, instance.p) > max_combos:
+        raise ProblemTooLargeError("too many edge subsets to enumerate")
+    best = None
+    best_edges: tuple[int, ...] = ()
+    for chosen in combinations(range(m), instance.p):
+        covered = set()
+        for j in chosen:
+            covered.update(instance.edges[j])
+        if best is None or len(covered) < best:
+            best = len(covered)
+            best_edges = chosen
+    assert best is not None
+    return best, best_edges
+
+
+def spes_optimum(instance: SpESInstance, **kwargs) -> int:
+    """OPT_SpES — minimum ``|V₀|`` with ≥ p induced edges."""
+    return min_p_union(instance, **kwargs)[0]
+
+
+@dataclass
+class SpESReduction:
+    """The derived partitioning instance plus its bookkeeping.
+
+    Node layout: ``A`` nodes, then ``A'`` nodes, then the blocks ``B_e``
+    (in edge order), then the ``b_v`` nodes.
+    """
+
+    instance: SpESInstance
+    eps: float
+    m: int                       # block size for the B_e
+    hypergraph: Hypergraph = field(repr=False)
+    a_nodes: tuple[int, ...]
+    a_prime_nodes: tuple[int, ...]
+    edge_blocks: tuple[tuple[int, ...], ...]
+    bv_nodes: tuple[int, ...]
+    main_edge_ids: tuple[int, ...]
+
+    @property
+    def n_prime(self) -> int:
+        return self.hypergraph.n
+
+    # -- solution mappings (the two directions of Lemma C.1) ----------
+    def partition_from_edge_subset(self, chosen: tuple[int, ...] | list[int]) -> Partition:
+        """SpES solution (p chosen edges) → balanced partition of equal
+        cost: colour A' and the chosen edge blocks red, the rest blue,
+        then pad with red edge blocks only as the proof never needs."""
+        labels = np.full(self.n_prime, BLUE, dtype=np.int64)
+        for v in self.a_prime_nodes:
+            labels[v] = RED
+        for j in chosen:
+            for v in self.edge_blocks[j]:
+                labels[v] = RED
+        return Partition(labels, 2)
+
+    def edge_subset_from_partition(self, partition: Partition) -> tuple[int, ...]:
+        """Balanced block-respecting partition → ≥ p red edge blocks.
+
+        The red colour is identified as the majority colour of A'.
+        """
+        labels = partition.labels
+        a_prime_colours = labels[list(self.a_prime_nodes)]
+        red = int(np.bincount(a_prime_colours, minlength=2).argmax())
+        chosen = []
+        for j, blk in enumerate(self.edge_blocks):
+            colours = labels[list(blk)]
+            if int(np.bincount(colours, minlength=2).argmax()) == red:
+                chosen.append(j)
+        return tuple(chosen)
+
+    # -- exact optimum over block-respecting partitions ----------------
+    def units(self) -> tuple[list[tuple[int, ...]], np.ndarray]:
+        """The contraction units: A, A', each B_e, each {b_v}."""
+        units: list[tuple[int, ...]] = [self.a_nodes, self.a_prime_nodes]
+        units.extend(self.edge_blocks)
+        units.extend((v,) for v in self.bv_nodes)
+        mapping = np.empty(self.n_prime, dtype=np.int64)
+        for i, unit in enumerate(units):
+            for v in unit:
+                mapping[v] = i
+        return units, mapping
+
+    def block_respecting_optimum(self, max_units: int = 22) -> tuple[float, Partition]:
+        """Exact optimum over partitions colouring every block
+        monochromatically (= the true optimum, by Lemma A.5 dominance).
+
+        Enumerates 2-colourings of the contraction units with balance
+        pruning; exponential in the number of units, guarded.
+        """
+        units, mapping = self.units()
+        if len(units) > max_units:
+            raise ProblemTooLargeError(
+                f"{len(units)} units exceed guard {max_units}")
+        contracted = self.hypergraph.contract(mapping, num_groups=len(units))
+        sizes = np.array([len(u) for u in units], dtype=np.int64)
+        cap = balance_threshold(self.n_prime, 2, self.eps)
+        nu = len(units)
+        best_cost = np.inf
+        best_labels: np.ndarray | None = None
+        unit_labels = np.zeros(nu, dtype=np.int64)
+        totals = np.zeros(2, dtype=np.int64)
+        suffix = np.concatenate([np.cumsum(sizes[::-1])[::-1], [0]])
+
+        def rec(i: int) -> None:
+            nonlocal best_cost, best_labels
+            if totals.max(initial=0) > cap:
+                return
+            if i == nu:
+                c = cost(contracted, unit_labels, Metric.CUT_NET, k=2)
+                if c < best_cost:
+                    best_cost = c
+                    best_labels = unit_labels.copy()
+                return
+            # prune: remaining nodes must fit
+            if totals.sum() + suffix[i] > 2 * cap:
+                return
+            for colour in (RED, BLUE):
+                unit_labels[i] = colour
+                totals[colour] += sizes[i]
+                rec(i + 1)
+                totals[colour] -= sizes[i]
+
+        rec(0)
+        if best_labels is None:
+            raise ProblemTooLargeError("no balanced block-respecting partition")
+        labels = np.empty(self.n_prime, dtype=np.int64)
+        for i, unit in enumerate(units):
+            for v in unit:
+                labels[v] = best_labels[i]
+        return float(best_cost), Partition(labels, 2)
+
+
+def build_spes_reduction(instance: SpESInstance, eps: float = 0.0,
+                         m: int | None = None,
+                         max_nodes: int = 20_000) -> SpESReduction:
+    """Construct the Lemma C.1 instance for ``k = 2``.
+
+    Sizes follow the proof: ``s = |E|·m + n``; ``n'`` is the smallest
+    value with ``s < (1−ε)·n'/2``; ``|A'| = ⌊(1−ε)·n'/2⌋ − p·m``;
+    ``|A| = n' − s − |A'|``.
+    """
+    red = build_mpu_reduction(
+        MpUInstance(instance.num_nodes, instance.edges, instance.p),
+        eps=eps, m=m, max_nodes=max_nodes)
+    red.instance = instance  # keep the SpES view for callers
+    return red
+
+
+def build_mpu_reduction(instance: MpUInstance, eps: float = 0.0,
+                        m: int | None = None,
+                        max_nodes: int = 20_000) -> SpESReduction:
+    """The Minimum p-Union generalisation of Lemma C.1 (Appendix C.5).
+
+    Identical construction, except each set block ``B_e`` now has up to
+    ``n`` incident main hyperedges (one per set member) — the extension
+    the paper uses to inherit the stronger MpU-based inapproximability
+    bounds (Corollary 4.2).
+    """
+    if not 0 <= eps < 1:
+        raise ValueError("reduction stated for k = 2 requires 0 <= eps < 1")
+    n = instance.num_nodes
+    E = instance.sets
+    p = instance.p
+    if m is None:
+        m = n + 1
+    if m < n + 1:
+        raise ValueError("block size m must be >= n + 1")
+    s = len(E) * m + n
+    # smallest n' with s < (1-eps) * n' / 2 and room for |A| >= 2
+    n_prime = int(math.floor(2 * s / (1 - eps))) + 1
+
+    def sizes_ok(np_: int) -> bool:
+        a_prime = math.floor((1 - eps) * np_ / 2) - p * m
+        a = np_ - s - a_prime
+        cap = balance_threshold(np_, 2, eps)
+        red = a_prime + p * m
+        blue = np_ - red
+        return a_prime >= 2 and a >= 2 and red <= cap and blue <= cap
+
+    while not sizes_ok(n_prime):
+        n_prime += 1
+    if n_prime > max_nodes:
+        raise ProblemTooLargeError(f"n' = {n_prime} exceeds guard {max_nodes}")
+    size_a_prime = int(math.floor((1 - eps) * n_prime / 2)) - p * m
+    size_a = n_prime - s - size_a_prime
+
+    # Node layout.
+    a_nodes = tuple(range(size_a))
+    a_prime_nodes = tuple(range(size_a, size_a + size_a_prime))
+    offset = size_a + size_a_prime
+    edge_blocks = []
+    for _ in E:
+        edge_blocks.append(tuple(range(offset, offset + m)))
+        offset += m
+    bv_nodes = tuple(range(offset, offset + n))
+    assert offset + n == n_prime
+
+    edges: list[tuple[int, ...]] = []
+
+    def add_block_edges(nodes: tuple[int, ...]) -> None:
+        for i in range(len(nodes)):
+            edges.append(tuple(x for j, x in enumerate(nodes) if j != i))
+
+    add_block_edges(a_nodes)
+    add_block_edges(a_prime_nodes)
+    for blk in edge_blocks:
+        add_block_edges(blk)
+    # m parallel hyperedges {A-node, b_v} tying every b_v to A's colour.
+    for v in range(n):
+        for t in range(m):
+            edges.append((a_nodes[t % len(a_nodes)], bv_nodes[v]))
+    # Main hyperedges (Figure 3).
+    main_ids = []
+    incident = [[] for _ in range(n)]
+    for j, members in enumerate(E):
+        for v in members:
+            incident[v].append(j)
+    for v in range(n):
+        pins = [bv_nodes[v]]
+        for idx, j in enumerate(incident[v]):
+            pins.append(edge_blocks[j][idx % m])
+        main_ids.append(len(edges))
+        edges.append(tuple(pins))
+
+    hg = Hypergraph(n_prime, edges, name=f"spes-reduction-n{n}-p{p}")
+    return SpESReduction(instance, eps, m, hg, a_nodes, a_prime_nodes,
+                         tuple(edge_blocks), bv_nodes, tuple(main_ids))

@@ -1,0 +1,196 @@
+"""The Δ = 2 / hyperDAG strengthening of Theorem 4.1 (Lemma C.6, App. C.3).
+
+The block gadgets of Lemma C.1 have high degree; to push the hardness
+down to hyperDAGs of maximal degree 2 the paper replaces every block by
+a *grid gadget* (Definition C.2) and attaches the inter-gadget structure
+through degree-1 *outsider* nodes:
+
+* each edge block ``B_e`` becomes an ``ℓ×ℓ`` extended grid (``ℓ = 2n``)
+  with two outsiders, one per endpoint of ``e``;
+* ``A`` becomes an extended grid whose outsiders are the ``b_v`` (plus
+  one extra outsider that makes the gadget a hyperDAG, Appendix C.3);
+* ``A'`` becomes an extended grid with padding outsiders (used to hit
+  the exact balance size, as in the paper's square-number discussion)
+  plus one extra hyperDAG outsider;
+* the *main hyperedge* of ``v`` joins ``b_v`` with the outsiders
+  representing ``v`` in the incident edge grids.
+
+Every node then has degree ≤ 2 and the hypergraph is a hyperDAG; grid
+splitting is dominated by Lemma C.3 (cut ≥ √t for t minority nodes), so
+cost-preservation of the solution mappings carries Theorem 4.1 over.
+The construction also has the bipartite hyperedge property of the SpMV
+hypergraphs of [30] (rows in one class, columns + main hyperedges in
+the other), which the tests check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.balance import balance_threshold
+from ..core.hypergraph import Hypergraph
+from ..core.partition import BLUE, RED, Partition
+from ..errors import ProblemTooLargeError
+from .spes import SpESInstance
+
+__all__ = ["Delta2Reduction", "build_delta2_reduction"]
+
+
+@dataclass
+class Delta2Reduction:
+    """The Δ = 2 hyperDAG instance derived from a SpES instance."""
+
+    instance: SpESInstance
+    eps: float
+    ell: int                                 # side of the edge grids (2n)
+    hypergraph: Hypergraph = field(repr=False)
+    a_grid: tuple[int, ...]                  # interior of A's grid
+    a_prime_grid: tuple[int, ...]
+    bv_nodes: tuple[int, ...]                # = A's outsiders 0..n-1
+    a_extra: int                             # A's hyperDAG outsider
+    a_prime_pad: tuple[int, ...]             # A''s padding outsiders
+    a_prime_extra: int
+    edge_grids: tuple[tuple[int, ...], ...]  # interiors of the B_e grids
+    edge_outsiders: tuple[tuple[int, int], ...]  # per edge: (out_u, out_v)
+    main_edge_ids: tuple[int, ...]
+
+    @property
+    def n_prime(self) -> int:
+        return self.hypergraph.n
+
+    def red_group(self) -> list[int]:
+        """All nodes coloured red in the canonical solution shape:
+        A' (grid + pads + extra)."""
+        return list(self.a_prime_grid) + list(self.a_prime_pad) + [self.a_prime_extra]
+
+    def partition_from_edge_subset(self, chosen: tuple[int, ...] | list[int]) -> Partition:
+        """SpES solution (p chosen edges) → balanced Δ=2 partition of
+        equal cut cost: A'-group and the chosen edge grids (with their
+        outsiders) red; everything else blue."""
+        labels = np.full(self.n_prime, BLUE, dtype=np.int64)
+        for v in self.red_group():
+            labels[v] = RED
+        for j in chosen:
+            for v in self.edge_grids[j]:
+                labels[v] = RED
+            for v in self.edge_outsiders[j]:
+                labels[v] = RED
+        return Partition(labels, 2)
+
+
+def build_delta2_reduction(instance: SpESInstance, eps: float = 0.2,
+                           max_nodes: int = 200_000) -> Delta2Reduction:
+    """Build the Lemma C.6 construction, searching grid sides so that
+
+    * the canonical p-red-grids solution is ε-balanced;
+    * colouring only p−1 edge grids red violates the balance constraint
+      (the "≥ p red grids" forcing);
+    * A and A' cannot share a majority colour within balance even after
+      up to ``t = (2n)²`` minority-coloured grid nodes.
+    """
+    if not 0 <= eps < 1:
+        raise ValueError("requires 0 <= eps < 1 (k = 2)")
+    n = instance.num_nodes
+    E = instance.edges
+    p = instance.p
+    ell = 2 * n
+    gsz = ell * ell + 2  # grid + its two outsiders
+    t_slack = ell * ell
+
+    def try_sizes(la: int, lap: int, pad: int):
+        n_prime = (la * la + n + 1) + (lap * lap + pad + 1) + len(E) * gsz
+        cap = balance_threshold(n_prime, 2, eps)
+        blue = la * la + n + 1 + (len(E) - p) * gsz
+        red = lap * lap + pad + 1 + p * gsz
+        if blue + red != n_prime:
+            return None
+        if blue > cap or red > cap:
+            return None
+        if p >= 1 and blue + gsz <= cap:   # p-1 red grids must not fit
+            return None
+        if la * la + lap * lap - t_slack <= cap:  # A, A' forced apart
+            return None
+        return n_prime
+
+    found = None
+    for la in range(max(ell, n + 1), 40 * ell):
+        for lap in range(ell, 40 * ell):
+            lo_pad, hi_pad = 0, lap - 1
+            for pad in range(lo_pad, hi_pad + 1):
+                if try_sizes(la, lap, pad) is not None:
+                    found = (la, lap, pad)
+                    break
+            if found:
+                break
+        if found:
+            break
+    if found is None:
+        raise ProblemTooLargeError("no feasible grid sizes found")
+    la, lap, pad = found
+    n_prime = try_sizes(la, lap, pad)
+    if n_prime is None or n_prime > max_nodes:
+        raise ProblemTooLargeError(f"n' = {n_prime} exceeds guard {max_nodes}")
+
+    # ---- node layout -------------------------------------------------
+    edges: list[tuple[int, ...]] = []
+    next_id = 0
+
+    def alloc(count: int) -> list[int]:
+        nonlocal next_id
+        out = list(range(next_id, next_id + count))
+        next_id += count
+        return out
+
+    def add_extended_grid(side: int, outsiders: list[int]) -> list[int]:
+        """Grid of ``side``²  fresh nodes; outsider ``i`` joins row ``i``.
+        Returns the interior node ids."""
+        assert len(outsiders) <= side
+        interior = alloc(side * side)
+
+        def gn(r: int, c: int) -> int:
+            return interior[r * side + c]
+
+        for r in range(side):
+            pins = [gn(r, c) for c in range(side)]
+            if r < len(outsiders):
+                pins.append(outsiders[r])
+            edges.append(tuple(pins))
+        for c in range(side):
+            edges.append(tuple(gn(r, c) for r in range(side)))
+        return interior
+
+    bv_nodes = alloc(n)
+    a_extra = alloc(1)[0]
+    a_grid = add_extended_grid(la, bv_nodes + [a_extra])
+
+    a_prime_pad = alloc(pad)
+    a_prime_extra = alloc(1)[0]
+    a_prime_grid = add_extended_grid(lap, a_prime_pad + [a_prime_extra])
+
+    edge_grids: list[tuple[int, ...]] = []
+    edge_outsiders: list[tuple[int, int]] = []
+    for (u, v) in E:
+        out_u, out_v = alloc(2)
+        interior = add_extended_grid(ell, [out_u, out_v])
+        edge_grids.append(tuple(interior))
+        edge_outsiders.append((out_u, out_v))
+
+    # Main hyperedges: {b_v} ∪ {outsider representing v in each incident grid}.
+    incident: list[list[int]] = [[] for _ in range(n)]
+    for j, (u, v) in enumerate(E):
+        incident[u].append(edge_outsiders[j][0])
+        incident[v].append(edge_outsiders[j][1])
+    main_ids = []
+    for v in range(n):
+        main_ids.append(len(edges))
+        edges.append(tuple([bv_nodes[v], *incident[v]]))
+
+    assert next_id == n_prime, (next_id, n_prime)
+    hg = Hypergraph(n_prime, edges, name=f"delta2-spes-n{n}-p{p}")
+    return Delta2Reduction(instance, eps, ell, hg, tuple(a_grid),
+                           tuple(a_prime_grid), tuple(bv_nodes), a_extra,
+                           tuple(a_prime_pad), a_prime_extra,
+                           tuple(edge_grids), tuple(edge_outsiders),
+                           tuple(main_ids))

@@ -1,0 +1,155 @@
+"""The k ≥ 3 generalisation of the main reduction (Appendix C.4).
+
+Theorem 4.1 holds for every fixed ``k ≥ 2``.  For ``k ≥ 3`` the blue
+side (block A, the ``b_v`` and ``|E|−p`` edge blocks) is sized to fill
+one part's capacity exactly, and — when two colours cannot cover the
+hypergraph, i.e. ``k₀ = ⌈k/(1+ε)⌉ > 2`` — the remaining node weight is
+split into ``k₀−1`` equal components of size ``T₀``: the red component
+(A′ plus the ``p`` chosen edge blocks) and ``k₀−2`` further filler
+blocks, one per extra colour.  The optimum still equals ``OPT_SpES``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.balance import balance_threshold
+from ..core.hypergraph import Hypergraph
+from ..core.partition import Partition
+from ..errors import ProblemTooLargeError
+from .hierarchy_hard import BlockStructure
+from .spes import SpESInstance
+
+__all__ = ["KWaySpESReduction", "build_spes_reduction_kway"]
+
+
+@dataclass
+class KWaySpESReduction:
+    """The derived k-way instance plus its unit structure."""
+
+    instance: SpESInstance
+    k: int
+    eps: float
+    m: int
+    hypergraph: Hypergraph = field(repr=False)
+    a_nodes: tuple[int, ...]
+    a_prime_nodes: tuple[int, ...]
+    filler_blocks: tuple[tuple[int, ...], ...]  # one per extra colour
+    edge_blocks: tuple[tuple[int, ...], ...]
+    bv_nodes: tuple[int, ...]
+
+    @property
+    def n_prime(self) -> int:
+        return self.hypergraph.n
+
+    def as_block_structure(self) -> BlockStructure:
+        """Unit view for the exact block-respecting optimiser."""
+        blocks: list[tuple[int, ...]] = [self.a_nodes, self.a_prime_nodes]
+        blocks.extend(self.filler_blocks)
+        blocks.extend(self.edge_blocks)
+        blocks.extend((v,) for v in self.bv_nodes)
+        return BlockStructure(self.hypergraph, tuple(blocks),
+                              block_split_cost=float(self.m - 1))
+
+    def partition_from_edge_subset(self, chosen) -> Partition:
+        """SpES solution → balanced k-way partition of equal cost:
+        blue = A side + unchosen blocks; red = A' + chosen blocks;
+        colour 2+i = the i-th filler block."""
+        labels = np.zeros(self.n_prime, dtype=np.int64)  # blue = 0
+        for v in self.a_prime_nodes:
+            labels[v] = 1
+        chosen_set = set(int(j) for j in chosen)
+        for j, blk in enumerate(self.edge_blocks):
+            colour = 1 if j in chosen_set else 0
+            for v in blk:
+                labels[v] = colour
+        for i, blk in enumerate(self.filler_blocks):
+            for v in blk:
+                labels[v] = 2 + i
+        return Partition(labels, self.k)
+
+
+def build_spes_reduction_kway(instance: SpESInstance, k: int,
+                              eps: float = 0.0, m: int | None = None,
+                              max_nodes: int = 100_000) -> KWaySpESReduction:
+    """Construct the Appendix C.4 instance for any fixed ``k ≥ 2``."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if not 0 <= eps < k - 1:
+        raise ValueError("need 0 <= eps < k - 1")
+    n = instance.num_nodes
+    E = instance.edges
+    p = instance.p
+    if m is None:
+        m = n + 1
+    k0 = int(math.ceil(k / (1 + eps)))
+    extra_colours = max(k0 - 2, 0)
+    s_base = len(E) * m + n
+
+    def layout(n_prime: int):
+        cap = balance_threshold(n_prime, k, eps)
+        size_a = cap - (len(E) - p) * m - n
+        remaining = n_prime - cap
+        groups = max(k0 - 1, 1)
+        if size_a < 2 or remaining <= 0 or remaining % groups != 0:
+            return None
+        t0 = remaining // groups
+        size_a_prime = t0 - p * m
+        if size_a_prime < 2 or t0 > cap:
+            return None
+        return cap, size_a, size_a_prime, t0
+
+    n_prime = s_base + 4
+    while layout(n_prime) is None:
+        n_prime += 1
+        if n_prime > max_nodes:
+            raise ProblemTooLargeError(
+                f"no feasible n' found below {max_nodes}")
+    cap, size_a, size_a_prime, t0 = layout(n_prime)
+
+    nxt = 0
+
+    def alloc(count: int) -> tuple[int, ...]:
+        nonlocal nxt
+        out = tuple(range(nxt, nxt + count))
+        nxt += count
+        return out
+
+    edges: list[tuple[int, ...]] = []
+
+    def add_block_edges(nodes: tuple[int, ...]) -> None:
+        for i in range(len(nodes)):
+            edges.append(tuple(x for j, x in enumerate(nodes) if j != i))
+
+    a_nodes = alloc(size_a)
+    a_prime_nodes = alloc(size_a_prime)
+    fillers = tuple(alloc(t0) for _ in range(extra_colours))
+    edge_blocks = tuple(alloc(m) for _ in E)
+    bv_nodes = alloc(n)
+    assert nxt == n_prime, (nxt, n_prime)
+
+    add_block_edges(a_nodes)
+    add_block_edges(a_prime_nodes)
+    for blk in fillers:
+        add_block_edges(blk)
+    for blk in edge_blocks:
+        add_block_edges(blk)
+    for v in range(n):
+        for t in range(m):
+            edges.append((a_nodes[t % len(a_nodes)], bv_nodes[v]))
+    incident: list[list[int]] = [[] for _ in range(n)]
+    for j, (u, v) in enumerate(E):
+        incident[u].append(j)
+        incident[v].append(j)
+    for v in range(n):
+        pins = [bv_nodes[v]]
+        for idx, j in enumerate(incident[v]):
+            pins.append(edge_blocks[j][idx % m])
+        edges.append(tuple(pins))
+
+    hg = Hypergraph(n_prime, edges, name=f"spes-kway-k{k}-n{n}-p{p}")
+    return KWaySpESReduction(instance, k, eps, m, hg, a_nodes,
+                             a_prime_nodes, fillers, edge_blocks, bv_nodes)

@@ -1,0 +1,442 @@
+"""3-PARTITION and clique based scheduling hardness (Thm 5.5, Thm E.1).
+
+Theorem 5.5: computing μ_p (the makespan of a *fixed* partition) is
+NP-hard for ``k = 2`` even on chain graphs / out-trees / level-order
+DAGs — exactly the classes where μ itself is polynomial.  The
+construction encodes a 3-PARTITION instance as coloured chains: a main
+path of ``2tb`` nodes in alternating colour blocks of size ``b``, plus a
+small path of ``2a_i`` nodes (``a_i`` red then ``a_i`` blue) per number.
+A schedule of makespan ``n/2`` exists iff the numbers can be grouped
+into sets summing exactly ``b`` (triplets, under the standard
+``b/4 < a_i < b/2`` promise).
+
+The bounded-height case reduces from CLIQUE: one blue node per graph
+vertex, one red node per edge, incidence arcs, plus a serial "clock"
+component whose colour sequence forces the processor to execute ``L``
+vertices, then ``C(L,2)`` edges, then the rest — possible iff a clique
+of size ``L`` exists.
+
+Theorem E.1: even *choosing the best layering* of a DAG is NP-hard,
+via group gadgets whose first/second-level node counts must fill odd/
+even layers exactly — forcing a grouping of the numbers into sets of
+sum ``b``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from ..core.dag import DAG
+from ..errors import ProblemTooLargeError
+
+__all__ = [
+    "find_grouping",
+    "find_triplet_partition",
+    "is_strict_three_partition_instance",
+    "MupInstance",
+    "mup_chain_instance",
+    "mup_outtree_instance",
+    "mup_level_order_instance",
+    "find_clique",
+    "mup_bounded_height_instance",
+    "LayeringInstance",
+    "layering_instance",
+    "layering_zero_cost_exists",
+]
+
+
+# ---------------------------------------------------------------------------
+# Number-partitioning oracles
+# ---------------------------------------------------------------------------
+
+def find_grouping(numbers: list[int] | tuple[int, ...], b: int,
+                  ) -> list[list[int]] | None:
+    """Partition *all* numbers into groups each summing exactly ``b``
+    (indices returned).  Backtracking; ``None`` if impossible."""
+    total = sum(numbers)
+    if b <= 0 or total % b != 0:
+        return None
+    t = total // b
+    order = sorted(range(len(numbers)), key=lambda i: -numbers[i])
+    groups: list[list[int]] = [[] for _ in range(t)]
+    sums = [0] * t
+
+    def rec(pos: int) -> bool:
+        if pos == len(order):
+            return all(s == b for s in sums)
+        i = order[pos]
+        tried: set[int] = set()
+        for gi in range(t):
+            if sums[gi] in tried:  # symmetric group states
+                continue
+            tried.add(sums[gi])
+            if sums[gi] + numbers[i] <= b:
+                sums[gi] += numbers[i]
+                groups[gi].append(i)
+                if rec(pos + 1):
+                    return True
+                groups[gi].pop()
+                sums[gi] -= numbers[i]
+        return False
+
+    return [g for g in groups] if rec(0) else None
+
+
+def is_strict_three_partition_instance(numbers: list[int] | tuple[int, ...],
+                                       b: int) -> bool:
+    """The classic promise ``b/4 < a_i < b/2`` forcing all groups to be
+    triplets."""
+    return all(4 * a > b and 2 * a < b for a in numbers)
+
+
+def find_triplet_partition(numbers: list[int] | tuple[int, ...], b: int,
+                           ) -> list[tuple[int, int, int]] | None:
+    """Strict 3-PARTITION: groups must be triplets of sum b."""
+    grouping = find_grouping(numbers, b)
+    if grouping is None:
+        return None
+    if any(len(g) != 3 for g in grouping):
+        # generic grouping found non-triplets; retry restricted search
+        n = len(numbers)
+        if n % 3 != 0:
+            return None
+        def rec(remaining: frozenset[int]) -> list[tuple[int, int, int]] | None:
+            if not remaining:
+                return []
+            first = min(remaining)
+            rest = sorted(remaining - {first})
+            for i, j in combinations(rest, 2):
+                if numbers[first] + numbers[i] + numbers[j] == b:
+                    sub = rec(remaining - {first, i, j})
+                    if sub is not None:
+                        return [(first, i, j)] + sub
+            return None
+        return rec(frozenset(range(n)))
+    return [tuple(g) for g in grouping]  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5.5: μ_p hardness constructions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MupInstance:
+    """A DAG + fixed 2-way partition + target makespan.
+
+    ``μ_p == target`` iff the encoded combinatorial problem has a
+    solution (by the respective Theorem 5.5 argument); ``target`` equals
+    the flawless ``n/2`` parallelisation (plus 1 for the out-tree
+    variant's extra source).
+    """
+
+    dag: DAG
+    labels: np.ndarray
+    target: int
+    kind: str
+    numbers: tuple[int, ...] = ()
+    b: int = 0
+
+
+def _alternating_colours(t: int, b: int) -> list[int]:
+    """b blue, b red, b blue, ... for 2t blocks (blue = 1, red = 0)."""
+    colours: list[int] = []
+    for block_idx in range(2 * t):
+        colours.extend([1 if block_idx % 2 == 0 else 0] * b)
+    return colours
+
+
+def mup_chain_instance(numbers: list[int] | tuple[int, ...], b: int) -> MupInstance:
+    """The chain-graph construction of Theorem 5.5.
+
+    Main path: ``2tb`` nodes in alternating blue/red blocks of ``b``;
+    per number ``a_i`` a path of ``a_i`` red then ``a_i`` blue nodes.
+    ``n = 4tb``; makespan ``n/2 = 2tb`` is achievable iff the numbers
+    admit a grouping into sets of sum ``b``.
+    """
+    total = sum(numbers)
+    if b <= 0 or total % b != 0:
+        raise ValueError("sum of numbers must be a positive multiple of b")
+    t = total // b
+    edges: list[tuple[int, int]] = []
+    colours: list[int] = []
+    main_cols = _alternating_colours(t, b)
+    main = list(range(len(main_cols)))
+    edges.extend((v, v + 1) for v in main[:-1])
+    colours.extend(main_cols)
+    nxt = len(colours)
+    for a in numbers:
+        path = list(range(nxt, nxt + 2 * a))
+        edges.extend((v, v + 1) for v in path[:-1])
+        colours.extend([0] * a + [1] * a)
+        nxt += 2 * a
+    dag = DAG(nxt, edges)
+    labels = np.array(colours, dtype=np.int64)
+    assert dag.n == 4 * t * b
+    return MupInstance(dag, labels, target=2 * t * b, kind="chain",
+                       numbers=tuple(numbers), b=b)
+
+
+def mup_outtree_instance(numbers: list[int] | tuple[int, ...], b: int) -> MupInstance:
+    """Out-tree variant: a common source above every chain head
+    (the paper's adaptation; target grows by 1)."""
+    base = mup_chain_instance(numbers, b)
+    n = base.dag.n
+    root = n
+    edges = list(base.dag.edges)
+    for v in base.dag.sources():
+        edges.append((root, v))
+    dag = DAG(n + 1, edges)
+    labels = np.concatenate([base.labels, [1]])
+    return MupInstance(dag, labels, base.target + 1, "out-tree",
+                       base.numbers, b)
+
+
+def mup_level_order_instance(numbers: list[int] | tuple[int, ...], b: int) -> MupInstance:
+    """Level-order variant: chains *are* level-order DAGs (each layer is
+    a single node), so the construction is reused verbatim — the paper
+    makes exactly this observation."""
+    inst = mup_chain_instance(numbers, b)
+    return MupInstance(inst.dag, inst.labels, inst.target, "level-order",
+                       inst.numbers, b)
+
+
+# ---------------------------------------------------------------------------
+# Bounded-height case: reduction from CLIQUE
+# ---------------------------------------------------------------------------
+
+def find_clique(num_nodes: int, edges: tuple[tuple[int, int], ...],
+                size: int) -> tuple[int, ...] | None:
+    """Brute-force clique of the given size (reference oracle)."""
+    eset = {(min(u, v), max(u, v)) for u, v in edges}
+    for cand in combinations(range(num_nodes), size):
+        if all((a, b) in eset for a, b in combinations(cand, 2)):
+            return cand
+    return None
+
+
+def mup_bounded_height_instance(num_nodes: int,
+                                edges: tuple[tuple[int, int], ...],
+                                clique_size: int) -> MupInstance:
+    """Bounded-height construction of Theorem 5.5 (reduction from CLIQUE).
+
+    Graph part: blue node per vertex, red node per edge, arcs vertex →
+    incident edge (height 2).  Clock component ``C``: four level-order
+    layers coloured [L red], [C(L,2) blue], [|V|−L red],
+    [|E|−C(L,2) blue] — at most one ``C`` node runs per step, so a
+    makespan of ``|V|+|E|`` forces the other processor through L
+    vertices, then the clique's edges, etc.; achievable iff a clique of
+    size ``L`` exists.
+    """
+    L = clique_size
+    E = tuple((min(u, v), max(u, v)) for u, v in edges)
+    mE = len(E)
+    need_edges = math.comb(L, 2)
+    if L > num_nodes or need_edges > mE:
+        raise ValueError("clique size too large for the graph")
+    dag_edges: list[tuple[int, int]] = []
+    colours: list[int] = []
+    # vertices: blue (1); edge nodes: red (0)
+    vert = list(range(num_nodes))
+    colours.extend([1] * num_nodes)
+    edge_nodes = list(range(num_nodes, num_nodes + mE))
+    colours.extend([0] * mE)
+    for j, (u, v) in enumerate(E):
+        dag_edges.append((u, edge_nodes[j]))
+        dag_edges.append((v, edge_nodes[j]))
+    # clock component: level-order layers
+    layers = [(L, 0), (need_edges, 1), (num_nodes - L, 0),
+              (mE - need_edges, 1)]
+    prev: list[int] = []
+    nxt = num_nodes + mE
+    for size, colour in layers:
+        cur = list(range(nxt, nxt + size))
+        nxt += size
+        colours.extend([colour] * size)
+        for p in prev:
+            for c in cur:
+                dag_edges.append((p, c))
+        if cur:
+            prev = cur
+    dag = DAG(nxt, dag_edges)
+    return MupInstance(dag, np.array(colours, dtype=np.int64),
+                       target=num_nodes + mE, kind="bounded-height")
+
+
+# ---------------------------------------------------------------------------
+# Theorem E.1: hardness of choosing the best layering
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LayeringInstance:
+    """The Theorem E.1 DAG: a red path with flexible group gadgets and a
+    blue path with per-layer blocks, under ε = 0 layer-wise balance."""
+
+    dag: DAG = field(repr=False)
+    numbers: tuple[int, ...]
+    b: int
+    m: int
+    t: int
+    red_path: tuple[int, ...]
+    blue_nodes_by_layer: tuple[tuple[int, ...], ...]
+    first_groups: tuple[tuple[int, ...], ...]
+    second_groups: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.red_path)
+
+
+def layering_instance(numbers: list[int] | tuple[int, ...], b: int,
+                      m: int | None = None,
+                      max_nodes: int = 100_000) -> LayeringInstance:
+    """Build the Theorem E.1 construction (ε = 0, k = 2).
+
+    Layers ``1..2t`` carry the encoding; the blue component has exactly
+    ``b`` nodes in odd and ``m·b`` in even layers (plus its path node),
+    the red path one node per layer.  The ``ε = 0`` layer-wise balance
+    forces the flexible first/second-level group nodes to contribute
+    exactly ``b`` red nodes to every odd and ``m·b`` to every even
+    layer.  A final 2-node layer pins the two components to different
+    colours.
+    """
+    total = sum(numbers)
+    if b <= 0 or total % b != 0:
+        raise ValueError("sum must be a positive multiple of b")
+    t = total // b
+    if m is None:
+        m = t * b + 1
+    if m <= t * b:
+        raise ValueError("need m > t*b for the forcing argument")
+    layers = 2 * t + 1  # encoding layers + final separator layer
+    edges: list[tuple[int, int]] = []
+    nxt = 0
+
+    def alloc(c: int) -> list[int]:
+        nonlocal nxt
+        out = list(range(nxt, nxt + c))
+        nxt += c
+        return out
+
+    red_path = alloc(layers)
+    edges.extend((red_path[i], red_path[i + 1]) for i in range(layers - 1))
+    # blue component: a path whose node in layer i is replaced by a block
+    blue_layers: list[list[int]] = []
+    prev_block: list[int] = []
+    for layer in range(layers):
+        if layer == layers - 1:
+            size = 1
+        elif layer % 2 == 0:        # odd layers of the paper (1-based)
+            size = b + 1
+        else:
+            size = m * b + 1
+        block = alloc(size)
+        blue_layers.append(block)
+        for p in prev_block:
+            for c in block:
+                edges.append((p, c))
+        prev_block = block
+    # group gadgets
+    first_groups: list[list[int]] = []
+    second_groups: list[list[int]] = []
+    anchor = red_path[2 * t]  # layer index 2t (the final layer's red node)
+    for a in numbers:
+        first = alloc(a)
+        second = alloc(a * m)
+        for f in first:
+            for s in second:
+                edges.append((f, s))
+        for s in second:
+            edges.append((s, anchor))
+        first_groups.append(first)
+        second_groups.append(second)
+    if nxt > max_nodes:
+        raise ProblemTooLargeError(f"{nxt} nodes exceed guard {max_nodes}")
+    dag = DAG(nxt, edges)
+    assert dag.longest_path_length() == layers
+    return LayeringInstance(dag, tuple(numbers), b, m, t, tuple(red_path),
+                            tuple(tuple(blk) for blk in blue_layers),
+                            tuple(tuple(g) for g in first_groups),
+                            tuple(tuple(g) for g in second_groups))
+
+
+def layering_zero_cost_exists(instance: LayeringInstance,
+                              grouped_only: bool = False,
+                              state_limit: int = 500_000) -> bool:
+    """Does some valid layering admit an ε = 0 layer-wise-balanced
+    partitioning of cost 0?
+
+    Cost 0 forces both components monochromatic (and different colours
+    via the final layer), so the question reduces to placing the
+    flexible red group nodes: every odd layer needs exactly ``b`` and
+    every even layer exactly ``m·b`` extra red nodes.  With
+    ``grouped_only=True`` only placements keeping each gadget's
+    first/second level in single layers are tried (the witness shape);
+    otherwise a memoised exact search over fractional placements runs
+    (the full Theorem E.1 statement).
+    """
+    nums = instance.numbers
+    b, m, t = instance.b, instance.m, instance.t
+    if grouped_only:
+        return find_grouping(list(nums), b) is not None
+    # Exact search: process layers 1..2t in order.  State: per number,
+    # (first-level remaining, second-level remaining, first_done_before).
+    # Second-level nodes of i are placeable only once first level of i
+    # was fully placed in strictly earlier layers.
+    n_i = len(nums)
+    seen: set[tuple] = set()
+
+    def rec(layer: int, f_rem: tuple[int, ...], s_rem: tuple[int, ...],
+            f_done_at: tuple[int, ...]) -> bool:
+        # f_done_at[i]: layer index after which first level i completed
+        # (large if not yet); second level placeable at `layer` iff
+        # f_done_at[i] < layer.
+        if layer == 2 * t:
+            # every flexible node must have found a layer
+            return all(r == 0 for r in s_rem) and all(r == 0 for r in f_rem)
+        key = (layer, f_rem, s_rem, f_done_at)
+        if key in seen:
+            return False
+        if len(seen) > state_limit:
+            raise ProblemTooLargeError("layering search exceeded state limit")
+        seen.add(key)
+        budget = b if layer % 2 == 0 else m * b
+        # enumerate how many first-level and second-level nodes of each
+        # number to place in this layer
+        choices: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+
+        def enum(i: int, left: int, f_acc: list[int], s_acc: list[int]):
+            if i == n_i:
+                if left == 0:
+                    choices.append((tuple(f_acc), tuple(s_acc)))
+                return
+            max_f = min(f_rem[i], left)
+            for df in range(max_f + 1):
+                max_s = min(s_rem[i], left - df) if f_done_at[i] < layer else 0
+                for ds in range(max_s + 1):
+                    f_acc.append(df)
+                    s_acc.append(ds)
+                    enum(i + 1, left - df - ds, f_acc, s_acc)
+                    f_acc.pop()
+                    s_acc.pop()
+
+        enum(0, budget, [], [])
+        for df, ds in choices:
+            nf = tuple(f_rem[i] - df[i] for i in range(n_i))
+            ns = tuple(s_rem[i] - ds[i] for i in range(n_i))
+            nfd = tuple(layer if (nf[i] == 0 and f_rem[i] > 0 and df[i] > 0
+                                  and f_done_at[i] >= 2 * t)
+                        else f_done_at[i] for i in range(n_i))
+            # a number whose first level completed earlier keeps its mark
+            if rec(layer + 1, nf, ns, nfd):
+                return True
+        return False
+
+    big = 10 ** 9
+    f0 = tuple(nums)
+    s0 = tuple(a * m for a in nums)
+    fd0 = tuple(big if a > 0 else -1 for a in nums)
+    return rec(0, f0, s0, fd0)

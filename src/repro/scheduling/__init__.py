@@ -1,0 +1,48 @@
+"""DAG scheduling (paper Definition 5.3, Section 5.2, Appendix F)."""
+
+from .constraints import (
+    schedule_based_feasible,
+    schedule_based_feasible_heuristic,
+)
+from .list_scheduler import (
+    critical_path_priority,
+    list_schedule,
+    list_schedule_fixed_partition,
+)
+from .optimal import (
+    chain_decomposition,
+    chain_fixed_makespan,
+    chain_fixed_schedule,
+    coffman_graham_makespan,
+    coffman_graham_schedule,
+    exact_fixed_makespan,
+    exact_makespan,
+    exact_schedule,
+    fixed_makespan,
+    hu_makespan,
+    is_forest,
+    optimal_makespan,
+)
+from .schedule import Schedule, trivial_lower_bound
+
+__all__ = [
+    "Schedule",
+    "chain_decomposition",
+    "chain_fixed_makespan",
+    "chain_fixed_schedule",
+    "coffman_graham_makespan",
+    "coffman_graham_schedule",
+    "critical_path_priority",
+    "exact_fixed_makespan",
+    "exact_makespan",
+    "exact_schedule",
+    "fixed_makespan",
+    "hu_makespan",
+    "is_forest",
+    "list_schedule",
+    "list_schedule_fixed_partition",
+    "optimal_makespan",
+    "schedule_based_feasible",
+    "schedule_based_feasible_heuristic",
+    "trivial_lower_bound",
+]

@@ -1,0 +1,56 @@
+"""Schedule-based balance constraints (Definition 5.4).
+
+A partitioning ``p`` is feasible iff ``μ_p ≤ (1+ε)·μ``: its best
+achievable makespan is within a ``(1+ε)`` factor of the DAG's optimal
+parallelisation.  Theorem 5.5 shows that *checking* this is NP-hard even
+where μ itself is polynomial — the library therefore exposes both the
+exact check (small instances) and the heuristic upper-bound check used
+in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dag import DAG
+from .list_scheduler import list_schedule_fixed_partition
+from .optimal import fixed_makespan, optimal_makespan
+
+__all__ = ["schedule_based_feasible", "schedule_based_feasible_heuristic"]
+
+
+def schedule_based_feasible(
+    dag: DAG,
+    labels: Sequence[int] | np.ndarray,
+    k: int,
+    eps: float,
+    mu: int | None = None,
+    **kwargs,
+) -> bool:
+    """Exact Definition 5.4 check: ``μ_p ≤ (1+ε)·μ``.
+
+    Computes μ (polynomially where possible) and μ_p (exact search —
+    exponential in general, Theorem 5.5).  Pass ``mu`` if already known.
+    """
+    if mu is None:
+        mu = optimal_makespan(dag, k)
+    mup = fixed_makespan(dag, labels, k, **kwargs)
+    return mup <= (1.0 + eps) * mu + 1e-9
+
+
+def schedule_based_feasible_heuristic(
+    dag: DAG,
+    labels: Sequence[int] | np.ndarray,
+    k: int,
+    eps: float,
+    mu: int | None = None,
+) -> bool:
+    """One-sided check via list scheduling: if even the greedy μ_p upper
+    bound satisfies the constraint, the partition is certainly feasible.
+    (A ``False`` here is inconclusive — the gap Theorem 5.5 exploits.)"""
+    if mu is None:
+        mu = optimal_makespan(dag, k)
+    ub = list_schedule_fixed_partition(dag, labels, k).makespan
+    return ub <= (1.0 + eps) * mu + 1e-9

@@ -1,0 +1,114 @@
+"""Greedy list scheduling — upper bounds for μ and μ_p.
+
+List scheduling with critical-path priority is the standard heuristic:
+at each unit time step, the ≤ k ready nodes of highest priority execute.
+With a fixed partition (the μ_p setting of Section 5.2) each processor
+may only execute its own nodes — one per step.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dag import DAG
+from .schedule import Schedule
+
+__all__ = ["critical_path_priority", "list_schedule",
+           "list_schedule_fixed_partition"]
+
+
+def critical_path_priority(dag: DAG) -> np.ndarray:
+    """Length (in nodes) of the longest path starting at each node —
+    the classic "highest level first" priority (Hu's levels)."""
+    prio = np.ones(dag.n, dtype=np.int64)
+    for v in reversed(dag.topological_order()):
+        for w in dag.successors(v):
+            prio[v] = max(prio[v], prio[w] + 1)
+    return prio
+
+
+def list_schedule(dag: DAG, k: int,
+                  priority: Sequence[int] | np.ndarray | None = None) -> Schedule:
+    """Time-stepped list scheduling on ``k`` identical processors.
+
+    Optimal for in-/out-forests with the default critical-path priority
+    (Hu's algorithm) and a (2 − 1/k)-approximation in general.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    prio = (critical_path_priority(dag) if priority is None
+            else np.asarray(priority, dtype=np.int64))
+    n = dag.n
+    indeg = np.array([dag.in_degree(v) for v in range(n)], dtype=np.int64)
+    ready = sorted((v for v in range(n) if indeg[v] == 0),
+                   key=lambda v: (-prio[v], v))
+    procs = np.zeros(n, dtype=np.int64)
+    times = np.zeros(n, dtype=np.int64)
+    t = 0
+    done = 0
+    while done < n:
+        t += 1
+        batch = ready[:k]
+        ready = ready[k:]
+        newly: list[int] = []
+        for slot, v in enumerate(batch):
+            procs[v] = slot
+            times[v] = t
+            done += 1
+            for w in dag.successors(v):
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    newly.append(w)
+        if newly:
+            ready = sorted(ready + newly, key=lambda v: (-prio[v], v))
+    return Schedule(procs, times, k)
+
+
+def list_schedule_fixed_partition(dag: DAG, labels: Sequence[int] | np.ndarray,
+                                  k: int,
+                                  priority: Sequence[int] | np.ndarray | None = None,
+                                  ) -> Schedule:
+    """Greedy schedule honouring a fixed processor assignment — an upper
+    bound on μ_p (Section 5.2; computing μ_p exactly is NP-hard,
+    Theorem 5.5)."""
+    arr = np.asarray(labels, dtype=np.int64)
+    if arr.shape != (dag.n,):
+        raise ValueError("labels has wrong length")
+    prio = (critical_path_priority(dag) if priority is None
+            else np.asarray(priority, dtype=np.int64))
+    n = dag.n
+    indeg = np.array([dag.in_degree(v) for v in range(n)], dtype=np.int64)
+    ready: list[list[int]] = [[] for _ in range(k)]
+    for v in range(n):
+        if indeg[v] == 0:
+            ready[arr[v]].append(v)
+    for q in ready:
+        q.sort(key=lambda v: (-prio[v], v))
+    procs = arr.copy()
+    times = np.zeros(n, dtype=np.int64)
+    t = 0
+    done = 0
+    while done < n:
+        t += 1
+        newly: list[int] = []
+        executed = 0
+        for p in range(k):
+            if ready[p]:
+                v = ready[p].pop(0)
+                times[v] = t
+                done += 1
+                executed += 1
+                for w in dag.successors(v):
+                    indeg[w] -= 1
+                    if indeg[w] == 0:
+                        newly.append(w)
+        # With unit tasks a step always executes something: any minimal
+        # unexecuted node is ready on its own processor.
+        assert executed > 0, "deadlock: no ready node on any processor"
+        for w in newly:
+            ready[arr[w]].append(w)
+        for p in range(k):
+            ready[p].sort(key=lambda v: (-prio[v], v))
+    return Schedule(procs, times, k)

@@ -1,0 +1,376 @@
+"""Exact and polynomial-special-case makespan computation.
+
+The paper (Section 5.2, Appendix F) contrasts:
+
+* computing μ (the unconstrained optimal makespan) — polynomial for
+  ``k = 2`` (Coffman–Graham [13]), for in-/out-forests (Hu's level
+  algorithm [22]) and a few other classes;
+* computing μ_p for a *fixed partition* — NP-hard even in those same
+  special cases (Theorem 5.5).
+
+Accordingly this module provides polynomial algorithms for μ where they
+exist, exponential-but-certified search for μ and μ_p in general, and a
+fast progress-vector search for μ_p on chain graphs (the shape of the
+Theorem 5.5 constructions).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..core.dag import DAG
+from ..errors import ProblemTooLargeError
+from .list_scheduler import list_schedule
+
+__all__ = [
+    "is_forest",
+    "hu_makespan",
+    "coffman_graham_makespan",
+    "coffman_graham_schedule",
+    "exact_makespan",
+    "exact_schedule",
+    "optimal_makespan",
+    "exact_fixed_makespan",
+    "chain_decomposition",
+    "chain_fixed_makespan",
+    "chain_fixed_schedule",
+    "fixed_makespan",
+]
+
+
+def is_forest(dag: DAG, direction: str = "out") -> bool:
+    """Whether the DAG is an out-forest (all indegrees ≤ 1) or an
+    in-forest (all outdegrees ≤ 1)."""
+    if direction == "out":
+        return dag.max_in_degree() <= 1
+    if direction == "in":
+        return all(dag.out_degree(v) <= 1 for v in range(dag.n))
+    raise ValueError("direction must be 'in' or 'out'")
+
+
+def hu_makespan(dag: DAG, k: int) -> int:
+    """Hu's level algorithm: optimal makespan for in- or out-forests.
+
+    List scheduling with critical-path ("level") priority is optimal for
+    in-forests [22]; by time reversal the same value is optimal for
+    out-forests (we schedule the reversed DAG, which is then an
+    in-forest).  Raises if the input is neither.
+    """
+    if is_forest(dag, "in"):
+        return list_schedule(dag, k).makespan
+    if is_forest(dag, "out"):
+        reversed_dag = DAG(dag.n, [(v, u) for u, v in dag.edges])
+        return list_schedule(reversed_dag, k).makespan
+    raise ValueError("hu_makespan requires an in- or out-forest")
+
+
+def coffman_graham_schedule(dag: DAG):
+    """Optimal 2-processor schedule by Coffman–Graham [13].
+
+    Labels nodes on the transitive reduction in reverse lexicographic
+    order of successor label sets, then list-schedules by decreasing
+    label.  Optimal for ``k = 2`` with unit tasks; returns the
+    :class:`~repro.scheduling.schedule.Schedule` witness.
+    """
+    n = dag.n
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(n))
+    nxg.add_edges_from(dag.edges)
+    red = nx.transitive_reduction(nxg)
+    succ = {v: set(red.successors(v)) for v in range(n)}
+    label = [0] * n
+    unlabeled = set(range(n))
+    for next_label in range(1, n + 1):
+        candidates = [v for v in unlabeled if all(w not in unlabeled
+                                                  for w in succ[v])]
+        # Pick the candidate whose decreasing successor-label sequence is
+        # lexicographically smallest.
+        def key(v: int) -> list[int]:
+            return sorted((label[w] for w in succ[v]), reverse=True)
+        v = min(candidates, key=key)
+        label[v] = next_label
+        unlabeled.discard(v)
+    return list_schedule(dag, 2, priority=label)
+
+
+def coffman_graham_makespan(dag: DAG) -> int:
+    """Optimal 2-processor makespan (see :func:`coffman_graham_schedule`)."""
+    if dag.n == 0:
+        return 0
+    return coffman_graham_schedule(dag).makespan
+
+
+def _exact_search(dag: DAG, k: int, max_nodes: int, state_limit: int,
+                  want_witness: bool):
+    """Shared BFS over executed-node bitmasks; optionally tracks parents
+    so a witness schedule can be reconstructed."""
+    n = dag.n
+    if n > max_nodes:
+        raise ProblemTooLargeError(
+            f"exact makespan search guards at {max_nodes} nodes, got {n}")
+    full = (1 << n) - 1
+    preds_mask = [0] * n
+    for u, v in dag.edges:
+        preds_mask[v] |= 1 << u
+    frontier = {0}
+    t = 0
+    seen = {0}
+    parent: dict[int, tuple[int, tuple[int, ...]]] = {}
+    while True:
+        if full in frontier:
+            return t, parent
+        t += 1
+        nxt: set[int] = set()
+        for state in frontier:
+            ready = [v for v in range(n)
+                     if not (state >> v) & 1
+                     and (preds_mask[v] & state) == preds_mask[v]]
+            if len(ready) <= k:
+                batches = [tuple(ready)] if ready else []
+            else:
+                batches = list(combinations(ready, k))
+            for batch in batches:
+                new = state
+                for v in batch:
+                    new |= 1 << v
+                if new not in seen:
+                    seen.add(new)
+                    nxt.add(new)
+                    if want_witness:
+                        parent[new] = (state, batch)
+                    if len(seen) > state_limit:
+                        raise ProblemTooLargeError(
+                            "exact makespan search exceeded state limit")
+        frontier = nxt
+        assert frontier, "search exhausted without completing the DAG"
+
+
+def exact_makespan(dag: DAG, k: int, max_nodes: int = 20,
+                   state_limit: int = 2_000_000) -> int:
+    """Certified optimal makespan μ by BFS over executed-node sets.
+
+    Exponential; guarded by ``max_nodes``/``state_limit``.
+    """
+    if dag.n == 0:
+        return 0
+    t, _ = _exact_search(dag, k, max_nodes, state_limit, want_witness=False)
+    return t
+
+
+def exact_schedule(dag: DAG, k: int, max_nodes: int = 20,
+                   state_limit: int = 2_000_000):
+    """Certified optimal schedule (a witness for :func:`exact_makespan`)."""
+    from .schedule import Schedule
+
+    n = dag.n
+    if n == 0:
+        return Schedule(np.zeros(0, dtype=np.int64),
+                        np.zeros(0, dtype=np.int64), k)
+    t, parent = _exact_search(dag, k, max_nodes, state_limit,
+                              want_witness=True)
+    procs = np.zeros(n, dtype=np.int64)
+    times = np.zeros(n, dtype=np.int64)
+    state = (1 << n) - 1
+    step = t
+    while state:
+        prev, batch = parent[state]
+        for slot, v in enumerate(batch):
+            procs[v] = slot
+            times[v] = step
+        state = prev
+        step -= 1
+    sched = Schedule(procs, times, k)
+    assert sched.is_valid(dag)
+    assert sched.makespan == t
+    return sched
+
+
+def optimal_makespan(dag: DAG, k: int, **kwargs) -> int:
+    """μ via the cheapest applicable method: Hu for forests,
+    Coffman–Graham for ``k = 2``, exact search otherwise."""
+    if k >= dag.n:
+        return dag.longest_path_length()
+    try:
+        return hu_makespan(dag, k)
+    except ValueError:
+        pass
+    if k == 2:
+        return coffman_graham_makespan(dag)
+    return exact_makespan(dag, k, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# μ_p: makespan for a fixed partition (Section 5.2)
+# ---------------------------------------------------------------------------
+
+def exact_fixed_makespan(dag: DAG, labels: Sequence[int] | np.ndarray, k: int,
+                         max_nodes: int = 18,
+                         state_limit: int = 2_000_000) -> int:
+    """Certified μ_p by BFS over executed-node sets, each step executing
+    at most one ready node per processor.  Exponential; guarded."""
+    arr = np.asarray(labels, dtype=np.int64)
+    n = dag.n
+    if arr.shape != (n,):
+        raise ValueError("labels has wrong length")
+    if n == 0:
+        return 0
+    if n > max_nodes:
+        raise ProblemTooLargeError(
+            f"exact_fixed_makespan guards at {max_nodes} nodes, got {n}")
+    full = (1 << n) - 1
+    preds_mask = [0] * n
+    for u, v in dag.edges:
+        preds_mask[v] |= 1 << u
+    frontier = {0}
+    seen = {0}
+    t = 0
+    while True:
+        if full in frontier:
+            return t
+        t += 1
+        nxt: set[int] = set()
+        for state in frontier:
+            ready_by_proc: list[list[int]] = [[] for _ in range(k)]
+            for v in range(n):
+                if not (state >> v) & 1 and (preds_mask[v] & state) == preds_mask[v]:
+                    ready_by_proc[arr[v]].append(v)
+            # Choice per processor: one ready node or idle.
+            choices = [q + [-1] for q in ready_by_proc]
+            def expand(p: int, acc: int) -> None:
+                if p == k:
+                    if acc != state and acc not in seen:
+                        seen.add(acc)
+                        nxt.add(acc)
+                    return
+                for v in choices[p]:
+                    expand(p + 1, acc | (1 << v) if v >= 0 else acc)
+            expand(0, state)
+            if len(seen) > state_limit:
+                raise ProblemTooLargeError(
+                    "exact_fixed_makespan exceeded state limit")
+        frontier = nxt
+        if not frontier:
+            raise AssertionError("search exhausted without completion")
+
+
+def chain_decomposition(dag: DAG) -> list[list[int]] | None:
+    """If the DAG is a chain graph (all in/out degrees ≤ 1), return its
+    chains as node lists in path order; otherwise ``None``."""
+    if dag.max_in_degree() > 1 or any(dag.out_degree(v) > 1
+                                      for v in range(dag.n)):
+        return None
+    chains = []
+    seen = [False] * dag.n
+    for v in range(dag.n):
+        if dag.in_degree(v) == 0 and not seen[v]:
+            chain = [v]
+            seen[v] = True
+            cur = v
+            while dag.successors(cur):
+                cur = dag.successors(cur)[0]
+                chain.append(cur)
+                seen[cur] = True
+            chains.append(chain)
+    return chains
+
+
+def _chain_search(dag: DAG, labels: Sequence[int] | np.ndarray, k: int,
+                  state_limit: int, want_witness: bool):
+    chains = chain_decomposition(dag)
+    if chains is None:
+        raise ValueError("chain μ_p solvers require a chain graph")
+    arr = np.asarray(labels, dtype=np.int64)
+    colour = [[int(arr[v]) for v in chain] for chain in chains]
+    lens = tuple(len(c) for c in chains)
+    start = (0,) * len(chains)
+    goal = lens
+    frontier = {start}
+    seen = {start}
+    parent: dict[tuple[int, ...], tuple[int, ...]] = {}
+    t = 0
+    while True:
+        if goal in frontier:
+            return t, chains, parent
+        t += 1
+        nxt: set[tuple[int, ...]] = set()
+        for state in frontier:
+            # Per processor, the set of chains whose next node is theirs.
+            options: list[list[int]] = [[] for _ in range(k)]
+            for ci, prog in enumerate(state):
+                if prog < lens[ci]:
+                    options[colour[ci][prog]].append(ci)
+
+            def expand(p: int, state_now: tuple[int, ...], used: frozenset[int]) -> None:
+                if p == k:
+                    if state_now != state and state_now not in seen:
+                        seen.add(state_now)
+                        nxt.add(state_now)
+                        if want_witness:
+                            parent[state_now] = state
+                    return
+                expand(p + 1, state_now, used)  # idle
+                for ci in options[p]:
+                    if ci in used:
+                        continue
+                    lst = list(state_now)
+                    lst[ci] += 1
+                    expand(p + 1, tuple(lst), used | {ci})
+
+            expand(0, state, frozenset())
+            if len(seen) > state_limit:
+                raise ProblemTooLargeError(
+                    "chain μ_p search exceeded state limit")
+        frontier = nxt
+        assert frontier, "search exhausted without completion"
+
+
+def chain_fixed_makespan(dag: DAG, labels: Sequence[int] | np.ndarray, k: int,
+                         state_limit: int = 5_000_000) -> int:
+    """Exact μ_p for chain graphs via progress-vector BFS.
+
+    A chain's execution state is just how many of its nodes are done, so
+    the state space is ``Π (len_i + 1)`` instead of ``2^n`` — this is
+    what makes the Theorem 5.5 experiment (3-PARTITION instances encoded
+    as coloured chains) tractable.
+    """
+    t, _, _ = _chain_search(dag, labels, k, state_limit, want_witness=False)
+    return t
+
+
+def chain_fixed_schedule(dag: DAG, labels: Sequence[int] | np.ndarray, k: int,
+                         state_limit: int = 5_000_000):
+    """Exact μ_p witness schedule for chain graphs (see
+    :func:`chain_fixed_makespan`)."""
+    from .schedule import Schedule
+
+    arr = np.asarray(labels, dtype=np.int64)
+    t, chains, parent = _chain_search(dag, labels, k, state_limit,
+                                      want_witness=True)
+    lens = tuple(len(c) for c in chains)
+    times = np.zeros(dag.n, dtype=np.int64)
+    state = lens
+    step = t
+    while step > 0:
+        prev = parent[state]
+        for ci in range(len(chains)):
+            if state[ci] != prev[ci]:
+                node = chains[ci][prev[ci]]
+                times[node] = step
+        state = prev
+        step -= 1
+    sched = Schedule(arr.copy(), times, k)
+    assert sched.is_valid(dag)
+    assert sched.makespan == t
+    return sched
+
+
+def fixed_makespan(dag: DAG, labels: Sequence[int] | np.ndarray, k: int,
+                   **kwargs) -> int:
+    """μ_p via the cheapest applicable exact method."""
+    if chain_decomposition(dag) is not None:
+        return chain_fixed_makespan(dag, labels, k, **kwargs)
+    return exact_fixed_makespan(dag, labels, k, **kwargs)

@@ -1,0 +1,72 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+
+from repro.core import DAG, Hypergraph
+
+# Hypothesis profiles: "ci" (default) keeps the suite fast; run
+#   REPRO_HYPOTHESIS_PROFILE=thorough pytest tests/
+# for a 5x-deeper property-testing sweep.
+settings.register_profile("ci", max_examples=50, deadline=None)
+settings.register_profile("thorough", max_examples=250, deadline=None)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle() -> Hypergraph:
+    """Figure 2: the simplest hypergraph that is not a hyperDAG."""
+    return Hypergraph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def diamond_dag() -> DAG:
+    """The classic diamond DAG: 0 -> {1, 2} -> 3."""
+    return DAG(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def hypergraphs(draw, max_nodes: int = 12, max_edges: int = 15,
+                min_nodes: int = 1) -> Hypergraph:
+    """Random small hypergraphs (possibly with parallel/singleton edges)."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(m):
+        size = draw(st.integers(min_value=1, max_value=n))
+        edges.append(draw(st.lists(st.integers(0, n - 1), min_size=size,
+                                   max_size=size)))
+    return Hypergraph(n, edges)
+
+
+@st.composite
+def dags(draw, max_nodes: int = 12, edge_prob: float = 0.35) -> DAG:
+    """Random DAGs via upper-triangular edge selection."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()) and draw(st.floats(0, 1)) < edge_prob:
+                edges.append((u, v))
+    return DAG(n, edges)
+
+
+@st.composite
+def labelings(draw, n: int, k: int) -> np.ndarray:
+    return np.array(draw(st.lists(st.integers(0, k - 1), min_size=n,
+                                  max_size=n)), dtype=np.int64)

@@ -1,0 +1,139 @@
+"""Tests for balance constraints (Definitions 3.1, 6.1; Appendix A)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MultiConstraint,
+    Partition,
+    all_parts_nonempty_guaranteed,
+    balance_threshold,
+    is_balanced,
+    max_nonempty_parts_bound,
+    min_parts_to_cover,
+)
+from repro.errors import InvalidPartitionError
+
+
+class TestThreshold:
+    def test_bisection_even(self):
+        assert balance_threshold(10, 2, 0.0) == 5
+
+    def test_bisection_odd_strict_vs_relaxed(self):
+        assert balance_threshold(11, 2, 0.0) == 5
+        assert balance_threshold(11, 2, 0.0, relaxed=True) == 6
+
+    def test_epsilon(self):
+        assert balance_threshold(100, 4, 0.2) == 30
+
+    def test_float_noise_snapped(self):
+        # (1+0.5)*12/2 = 9.0 exactly; must not floor to 8 via fp noise.
+        assert balance_threshold(12, 2, 0.5) == 9
+        assert balance_threshold(30, 3, 0.1) == 11
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            balance_threshold(10, 0, 0.0)
+        with pytest.raises(ValueError):
+            balance_threshold(10, 2, -0.1)
+
+    @given(st.integers(1, 200), st.integers(1, 8),
+           st.floats(0, 3, allow_nan=False))
+    @settings(max_examples=100)
+    def test_strict_le_relaxed(self, n, k, eps):
+        lo = balance_threshold(n, k, eps)
+        hi = balance_threshold(n, k, eps, relaxed=True)
+        assert lo <= hi <= lo + 1
+        assert lo <= (1 + eps) * n / k + 1e-6
+
+
+class TestIsBalanced:
+    def test_perfect_bisection(self):
+        assert is_balanced([0, 0, 1, 1], eps=0.0, k=2)
+
+    def test_unbalanced_bisection(self):
+        assert not is_balanced([0, 0, 0, 1], eps=0.0, k=2)
+
+    def test_epsilon_slack(self):
+        # 3 vs 1 split of 4 nodes: cap (1+0.5)*2 = 3.
+        assert is_balanced([0, 0, 0, 1], eps=0.5, k=2)
+
+    def test_partition_object(self):
+        p = Partition(np.array([0, 1, 0, 1]), 2)
+        assert is_balanced(p, eps=0.0)
+
+    def test_k_required_for_raw(self):
+        with pytest.raises(ValueError):
+            is_balanced([0, 1], eps=0.0)
+
+    def test_empty_parts_allowed(self):
+        # Lemma A.3: empty parts are legal under the constraint.
+        assert is_balanced([0, 0, 1, 1], eps=1.0, k=4)
+
+
+class TestMultiConstraint:
+    def test_disjointness_enforced(self):
+        with pytest.raises(InvalidPartitionError):
+            MultiConstraint([[0, 1], [1, 2]])
+
+    def test_feasibility_per_subset(self):
+        mc = MultiConstraint([[0, 1, 2, 3], [4, 5]])
+        labels = np.array([0, 0, 1, 1, 0, 1])
+        assert mc.is_feasible(labels, eps=0.0, k=2)
+        # Now overload subset 1 on part 0.
+        labels2 = np.array([0, 0, 1, 1, 0, 0])
+        assert not mc.is_feasible(labels2, eps=0.0, k=2)
+
+    def test_nodes_outside_subsets_unconstrained(self):
+        mc = MultiConstraint([[0, 1]])
+        labels = np.array([0, 1, 0, 0, 0])
+        assert mc.is_feasible(labels, eps=0.0, k=2)
+
+    def test_violations_listing(self):
+        mc = MultiConstraint([[0, 1], [2, 3]])
+        p = Partition(np.array([0, 0, 0, 1]), 2)
+        viol = mc.violations(p, eps=0.0)
+        assert viol == [(0, 0, 2, 1)]
+
+    def test_c_count(self):
+        assert MultiConstraint([[0], [1], [2]]).c == 3
+
+    def test_empty_subset_ignored(self):
+        mc = MultiConstraint([[]])
+        assert mc.is_feasible(np.array([0, 0]), eps=0.0, k=2)
+
+    def test_partition_object_accepted(self):
+        mc = MultiConstraint([[0, 1]])
+        assert mc.is_feasible(Partition(np.array([0, 1]), 2), eps=0.0)
+
+
+class TestAppendixALemmas:
+    def test_lemma_a3_bound(self):
+        # eps = 1, k = 4 -> fewer than 4 nonempty parts suffice.
+        assert max_nonempty_parts_bound(4, 1.0) == 4
+
+    def test_lemma_a4(self):
+        assert all_parts_nonempty_guaranteed(2, 0.5)  # 0.5 < 1/(2-1)
+        assert not all_parts_nonempty_guaranteed(3, 0.5)  # 0.5 >= 1/2
+        assert all_parts_nonempty_guaranteed(1, 10.0)
+
+    def test_min_parts_to_cover(self):
+        assert min_parts_to_cover(4, 0.0) == 4
+        assert min_parts_to_cover(4, 1.0) == 2
+        assert min_parts_to_cover(3, 0.5) == 2
+
+    @given(st.integers(2, 10), st.floats(0, 3, allow_nan=False))
+    @settings(max_examples=60)
+    def test_cover_bound_consistent(self, k, eps):
+        k0 = min_parts_to_cover(k, eps)
+        # k0 parts of maximal fractional size can cover everything...
+        assert k0 * (1 + eps) / k >= 1 - 1e-9
+        # ...but k0 - 1 cannot.
+        if k0 > 1:
+            assert (k0 - 1) * (1 + eps) / k < 1

@@ -1,0 +1,114 @@
+"""Tests for computational DAGs and layerings (Sections 3.2, 5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import DAG
+from repro.errors import InvalidHypergraphError
+
+from ..conftest import dags
+
+
+class TestConstruction:
+    def test_cycle_rejected(self):
+        with pytest.raises(InvalidHypergraphError):
+            DAG(2, [(0, 1), (1, 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidHypergraphError):
+            DAG(1, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidHypergraphError):
+            DAG(2, [(0, 2)])
+
+    def test_duplicate_edges_collapsed(self):
+        d = DAG(2, [(0, 1), (0, 1)])
+        assert d.num_edges == 1
+
+    def test_adjacency(self, diamond_dag):
+        assert set(diamond_dag.successors(0)) == {1, 2}
+        assert set(diamond_dag.predecessors(3)) == {1, 2}
+        assert diamond_dag.in_degree(0) == 0
+        assert diamond_dag.out_degree(3) == 0
+
+    def test_sources_sinks(self, diamond_dag):
+        assert diamond_dag.sources() == [0]
+        assert diamond_dag.sinks() == [3]
+
+    def test_max_in_degree(self, diamond_dag):
+        assert diamond_dag.max_in_degree() == 2
+
+
+class TestTopoAndLayers:
+    def test_topological_order_valid(self, diamond_dag):
+        order = diamond_dag.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        assert all(pos[u] < pos[v] for u, v in diamond_dag.edges)
+
+    def test_path_layers(self):
+        d = DAG.path(4)
+        assert d.asap_layers().tolist() == [0, 1, 2, 3]
+        assert d.alap_layers().tolist() == [0, 1, 2, 3]
+        assert d.longest_path_length() == 4
+
+    def test_diamond_layers(self, diamond_dag):
+        assert diamond_dag.asap_layers().tolist() == [0, 1, 1, 2]
+        assert diamond_dag.longest_path_length() == 3
+
+    def test_flexible_node_figure5_style(self):
+        # A long path plus a short appendage: the appendage node can sit
+        # in several layers (the Figure 5 phenomenon).
+        d = DAG(5, [(0, 1), (1, 2), (2, 3), (0, 4)])
+        assert d.flexible_nodes() == [4]
+        asap, alap = d.asap_layers(), d.alap_layers()
+        assert asap[4] == 1 and alap[4] == 3
+
+    def test_empty_dag(self):
+        d = DAG(0, [])
+        assert d.longest_path_length() == 0
+        assert d.topological_order() == ()
+
+    @given(dags())
+    @settings(max_examples=60)
+    def test_asap_alap_are_valid_layerings(self, d: DAG):
+        assert d.is_valid_layering(d.asap_layers())
+        assert d.is_valid_layering(d.alap_layers())
+        assert np.all(d.asap_layers() <= d.alap_layers())
+
+    def test_invalid_layering_rejected(self):
+        d = DAG.path(3)
+        assert not d.is_valid_layering([0, 0, 1])   # edge not forward
+        assert not d.is_valid_layering([0, 1])      # wrong shape
+        assert not d.is_valid_layering([0, 1, 3])   # beyond depth
+
+    def test_layers_from_assignment(self, diamond_dag):
+        groups = diamond_dag.layers_from_assignment(diamond_dag.asap_layers())
+        assert groups == [[0], [1, 2], [3]]
+
+
+class TestComposition:
+    def test_disjoint_union(self):
+        d = DAG.disjoint_union([DAG.path(2), DAG.path(3)])
+        assert d.n == 5
+        assert (0, 1) in d.edges and (2, 3) in d.edges and (3, 4) in d.edges
+
+    def test_serial_concatenation_forces_order(self):
+        """Figure 4: serial composition kills parallelism."""
+        a, b = DAG.path(3), DAG.path(3)
+        s = DAG.serial_concatenation(a, b)
+        assert s.n == 6
+        assert s.longest_path_length() == 6
+        # every node of `a` precedes every node of `b`
+        assert s.reachable_from([0]) == set(range(6))
+
+    def test_reachable_from(self, diamond_dag):
+        assert diamond_dag.reachable_from([1]) == {1, 3}
+
+    def test_eq_hash(self):
+        assert DAG.path(3) == DAG.path(3)
+        assert hash(DAG.path(3)) == hash(DAG.path(3))
+        assert DAG.path(3) != DAG.path(4)

@@ -1,0 +1,226 @@
+"""Tests for hyperDAGs: conversion, recognition, gadgets (Sec 3.2, App B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    DAG,
+    Hypergraph,
+    connectivity_cost,
+    densest_hyperdag,
+    hendrickson_kolda_hypergraph,
+    hyperdag_from_dag,
+    is_hyperdag,
+    recognize,
+    to_dag,
+    verify_generators,
+)
+from repro.errors import NotAHyperDAGError
+
+from ..conftest import dags
+
+
+class TestConversion:
+    def test_figure1_style(self, diamond_dag):
+        h, gens = hyperdag_from_dag(diamond_dag)
+        # 4 nodes, 1 sink -> 3 hyperedges (Appendix B: n - |V_sink|).
+        assert h.num_edges == diamond_dag.n - len(diamond_dag.sinks())
+        assert gens == (0, 1, 2)
+        assert h.edges == ((0, 1, 2), (1, 3), (2, 3))
+
+    def test_keep_singletons(self, diamond_dag):
+        h, gens = hyperdag_from_dag(diamond_dag, keep_singletons=True)
+        assert h.num_edges == 4
+        assert (3,) in h.edges
+
+    def test_indegree_bound_gives_small_delta(self):
+        # Section 3.2: indegree <= 2 => hyperDAG Δ <= 3.
+        d = DAG(7, [(0, 2), (1, 2), (2, 3), (2, 4), (3, 5), (4, 5), (5, 6)])
+        assert d.max_in_degree() <= 2
+        h, _ = hyperdag_from_dag(d)
+        assert h.max_degree <= 3
+
+    @given(dags())
+    @settings(max_examples=60)
+    def test_edge_count_law(self, d: DAG):
+        h, gens = hyperdag_from_dag(d)
+        assert h.num_edges == d.n - len(d.sinks())
+        assert len(gens) == h.num_edges
+
+    @given(dags())
+    @settings(max_examples=60)
+    def test_conversion_yields_hyperdag(self, d: DAG):
+        h, gens = hyperdag_from_dag(d)
+        assert is_hyperdag(h)
+        assert verify_generators(h, gens)
+
+
+class TestRecognition:
+    def test_triangle_rejected(self, triangle):
+        """Figure 2: the triangle is not a hyperDAG."""
+        assert recognize(triangle) is None
+        assert not is_hyperdag(triangle)
+
+    def test_empty_hyperedge_rejected(self):
+        g = Hypergraph(2, [()])
+        assert not is_hyperdag(g)
+
+    def test_edgeless_graph_accepted(self):
+        assert is_hyperdag(Hypergraph(3, []))
+
+    def test_too_many_edges_rejected(self):
+        # Appendix B.1: any hyperDAG satisfies |E| <= n - 1.
+        g = densest_hyperdag(5)
+        extra = g.with_edges([(0, 1)])
+        # n=5, now 5 edges: cannot be a hyperDAG.
+        assert extra.num_edges == extra.n
+        assert not is_hyperdag(extra)
+
+    def test_certificate_roundtrip(self, diamond_dag):
+        h, _ = hyperdag_from_dag(diamond_dag)
+        cert = recognize(h)
+        assert cert is not None
+        d2 = to_dag(h, cert)
+        h2, _ = hyperdag_from_dag(d2)
+        # Reconstruction may pick different generators, but the hyperedge
+        # multiset must be recoverable: converting back gives a hyperDAG
+        # with the same node count and the same hyperedges.
+        assert sorted(h2.edges) == sorted(h.edges)
+
+    def test_two_edge_ambiguity(self):
+        # Appendix B.1: 3 nodes, two size-2 hyperedges can come from two
+        # non-isomorphic DAGs; recognition must accept it.
+        g = Hypergraph(3, [(0, 1), (1, 2)])
+        cert = recognize(g)
+        assert cert is not None
+        assert verify_generators(g, cert.generators)
+
+    def test_subgraph_condition_violation(self):
+        # An induced subgraph with all degrees >= 2 disqualifies (Lemma B.1):
+        # two nodes bound together by two parallel hyperedges.
+        g = Hypergraph(4, [(0, 1), (0, 1), (1, 2), (2, 3)])
+        assert not is_hyperdag(g)
+
+    @given(dags(max_nodes=10))
+    @settings(max_examples=60)
+    def test_recognized_certificate_verifies(self, d: DAG):
+        h, _ = hyperdag_from_dag(d)
+        cert = recognize(h)
+        assert cert is not None
+        assert verify_generators(h, cert.generators)
+        # Generators must be distinct and removal order a topological
+        # order of the reconstructed DAG.
+        rebuilt = to_dag(h, cert)
+        pos = {v: i for i, v in enumerate(cert.removal_order)}
+        for j, e in enumerate(h.edges):
+            gen = cert.generators[j]
+            for w in e:
+                if w != gen and w in pos:
+                    assert pos[gen] < pos[w]
+        assert rebuilt.n == h.n
+
+
+class TestVerifyGenerators:
+    def test_rejects_duplicates(self):
+        g = Hypergraph(3, [(0, 1), (0, 2)])
+        assert not verify_generators(g, (0, 0))
+
+    def test_rejects_nonmember(self):
+        g = Hypergraph(3, [(0, 1)])
+        assert not verify_generators(g, (2,))
+
+    def test_rejects_wrong_length(self):
+        g = Hypergraph(3, [(0, 1)])
+        assert not verify_generators(g, ())
+
+    def test_rejects_cyclic_assignment(self):
+        # Choose generators so the induced digraph has a cycle.
+        g = Hypergraph(4, [(0, 1), (1, 2), (0, 2)])
+        # gens (1, 2, 0): edges 1->0, 2->1, 0->2 -> cycle.
+        assert not verify_generators(g, (1, 2, 0))
+
+    def test_to_dag_bad_generator_raises(self):
+        g = Hypergraph(3, [(0, 1)])
+        from repro.core import HyperDAGCertificate
+        bad = HyperDAGCertificate((2,), (2,))
+        with pytest.raises(NotAHyperDAGError):
+            to_dag(g, bad)
+
+
+class TestDensestHyperdag:
+    def test_degree_sequence_law(self):
+        # Appendix B.1: degree sequence (1, 2, ..., n-2, n-1, n-1).
+        for n in (2, 3, 5, 8):
+            g = densest_hyperdag(n)
+            expected = sorted(list(range(1, n - 1)) + [n - 1, n - 1])
+            assert sorted(g.degrees.tolist()) == expected
+            assert g.num_edges == n - 1
+            assert is_hyperdag(g)
+
+    def test_minimum_size(self):
+        g = densest_hyperdag(1)
+        assert g.n == 1 and g.num_edges == 0
+        with pytest.raises(ValueError):
+            densest_hyperdag(0)
+
+    def test_splitting_is_expensive(self):
+        # Block behaviour (used in Lemma B.3): the last m0 nodes must stay
+        # together or the cost explodes. Splitting in half cuts many edges.
+        n = 10
+        g = densest_hyperdag(n)
+        labels = np.array([0] * (n // 2) + [1] * (n - n // 2))
+        assert connectivity_cost(g, labels, 2) >= n // 2 - 1
+
+
+class TestHendricksonKolda:
+    def test_overcount_construction(self):
+        """Appendix B: (k-1) sources, m sinks, complete bipartite.
+
+        HK-model cost is m·(k−1); the true (hyperDAG) cost is (k−1).
+        """
+        k, m = 4, 6
+        sources = list(range(k - 1))
+        sinks = list(range(k - 1, k - 1 + m))
+        d = DAG(k - 1 + m, [(s, t) for s in sources for t in sinks])
+        labels = np.zeros(d.n, dtype=np.int64)
+        for i, s in enumerate(sources):
+            labels[s] = 1 + i  # each source a distinct non-red colour
+        hk = hendrickson_kolda_hypergraph(d)
+        hd, _ = hyperdag_from_dag(d)
+        hk_cost = connectivity_cost(hk, labels, k)
+        true_cost = connectivity_cost(hd, labels, k)
+        assert true_cost == k - 1
+        assert hk_cost >= m * (k - 1)
+
+    def test_isolated_node_has_no_edge(self):
+        d = DAG(2, [])
+        assert hendrickson_kolda_hypergraph(d).num_edges == 0
+
+
+class TestDegreeSequenceAdmissible:
+    def test_triangle_fails(self, triangle):
+        from repro.core import degree_sequence_admissible
+        assert not degree_sequence_admissible(triangle)
+
+    def test_densest_passes(self):
+        from repro.core import degree_sequence_admissible
+        assert degree_sequence_admissible(densest_hyperdag(7))
+
+    def test_necessary_for_all_hyperdags(self):
+        from repro.core import degree_sequence_admissible
+        from repro.generators import random_dag
+        for seed in range(10):
+            d = random_dag(10, 0.3, rng=seed)
+            h, _ = hyperdag_from_dag(d)
+            assert degree_sequence_admissible(h)
+
+    def test_not_sufficient(self):
+        # degree sequence (1,1,2,2) with |E| <= n-1 but an all->=2
+        # induced subgraph: two parallel edges binding nodes 2,3.
+        from repro.core import degree_sequence_admissible
+        g = Hypergraph(4, [(2, 3), (2, 3), (0, 1)])
+        assert degree_sequence_admissible(g)
+        assert not is_hyperdag(g)

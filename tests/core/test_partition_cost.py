@@ -1,0 +1,192 @@
+"""Tests for partitions, λ computation, and the two cost metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BLUE,
+    RED,
+    Hypergraph,
+    Metric,
+    Partition,
+    connectivity_cost,
+    cost,
+    cut_edges,
+    cut_net_cost,
+    lambdas,
+    part_sizes,
+    part_weights,
+)
+from repro.errors import InvalidPartitionError
+
+from ..conftest import hypergraphs
+
+
+class TestLambdas:
+    def test_uncut_edge(self):
+        g = Hypergraph(3, [(0, 1, 2)])
+        assert lambdas(g, [0, 0, 0], 2).tolist() == [1]
+
+    def test_fully_spread_edge(self):
+        g = Hypergraph(3, [(0, 1, 2)])
+        assert lambdas(g, [0, 1, 2], 3).tolist() == [3]
+
+    def test_per_edge(self):
+        g = Hypergraph(4, [(0, 1), (1, 2, 3), (0, 3)])
+        lam = lambdas(g, [0, 0, 1, 1], 2)
+        assert lam.tolist() == [1, 2, 2]
+
+    def test_bad_labels(self):
+        g = Hypergraph(2, [(0, 1)])
+        with pytest.raises(InvalidPartitionError):
+            lambdas(g, [0, 2], 2)
+        with pytest.raises(InvalidPartitionError):
+            lambdas(g, [0], 2)
+
+    def test_empty_edge_list(self):
+        g = Hypergraph(3, [])
+        assert lambdas(g, [0, 1, 0], 2).shape == (0,)
+
+    @given(hypergraphs(), st.integers(2, 4), st.data())
+    @settings(max_examples=60)
+    def test_lambda_bounds(self, g: Hypergraph, k: int, data):
+        labels = np.array(
+            data.draw(st.lists(st.integers(0, k - 1), min_size=g.n, max_size=g.n)),
+            dtype=np.int64,
+        )
+        lam = lambdas(g, labels, k)
+        for j, e in enumerate(g.edges):
+            assert 1 <= lam[j] <= min(len(e), k) or (len(e) == 0 and lam[j] == 0)
+            # λ_e equals the number of distinct labels among the pins.
+            assert lam[j] == len({int(labels[v]) for v in e})
+
+
+class TestCosts:
+    def test_cut_net_vs_connectivity(self):
+        g = Hypergraph(6, [(0, 1, 2, 3, 4, 5)])
+        labels = [0, 0, 1, 1, 2, 2]
+        assert cut_net_cost(g, labels, 3) == 1.0
+        assert connectivity_cost(g, labels, 3) == 2.0
+
+    def test_metrics_coincide_for_k2(self):
+        g = Hypergraph(4, [(0, 1), (1, 2, 3), (0, 3)])
+        labels = [RED, RED, BLUE, BLUE]
+        assert cut_net_cost(g, labels, 2) == connectivity_cost(g, labels, 2)
+
+    @given(hypergraphs(), st.data())
+    @settings(max_examples=60)
+    def test_metrics_coincide_for_k2_property(self, g: Hypergraph, data):
+        labels = np.array(
+            data.draw(st.lists(st.integers(0, 1), min_size=g.n, max_size=g.n)),
+            dtype=np.int64,
+        )
+        assert cut_net_cost(g, labels, 2) == connectivity_cost(g, labels, 2)
+
+    @given(hypergraphs(), st.integers(2, 5), st.data())
+    @settings(max_examples=60)
+    def test_cutnet_le_connectivity(self, g, k, data):
+        labels = np.array(
+            data.draw(st.lists(st.integers(0, k - 1), min_size=g.n, max_size=g.n)),
+            dtype=np.int64,
+        )
+        assert cut_net_cost(g, labels, k) <= connectivity_cost(g, labels, k)
+        assert connectivity_cost(g, labels, k) <= (k - 1) * max(g.num_edges, 1)
+
+    def test_edge_weights_respected(self):
+        g = Hypergraph(2, [(0, 1)], edge_weights=[7.0])
+        assert cut_net_cost(g, [0, 1], 2) == 7.0
+        assert connectivity_cost(g, [0, 1], 2) == 7.0
+
+    def test_monochromatic_costs_zero(self):
+        g = Hypergraph(5, [(0, 1, 2), (2, 3, 4)])
+        assert connectivity_cost(g, [1] * 5, 3) == 0.0
+
+    def test_cost_dispatch(self):
+        g = Hypergraph(3, [(0, 1, 2)])
+        p = Partition(np.array([0, 1, 2]), 3)
+        assert cost(g, p, Metric.CUT_NET) == 1.0
+        assert cost(g, p, Metric.CONNECTIVITY) == 2.0
+        assert cost(g, [0, 1, 2], Metric.CONNECTIVITY, k=3) == 2.0
+        with pytest.raises(ValueError):
+            cost(g, [0, 1, 2])  # k missing for raw labels
+
+    def test_cut_edges_ids(self):
+        g = Hypergraph(4, [(0, 1), (2, 3), (1, 2)])
+        assert cut_edges(g, [0, 0, 1, 1], 2).tolist() == [2]
+
+
+class TestPartition:
+    def test_from_blocks_roundtrip(self):
+        p = Partition.from_blocks([[0, 2], [1]], n=3)
+        assert p.labels.tolist() == [0, 1, 0]
+        assert p.blocks() == [[0, 2], [1]]
+
+    def test_from_blocks_missing_node(self):
+        with pytest.raises(InvalidPartitionError):
+            Partition.from_blocks([[0]], n=2)
+
+    def test_from_blocks_duplicate_node(self):
+        with pytest.raises(InvalidPartitionError):
+            Partition.from_blocks([[0, 1], [1]], n=2)
+
+    def test_sizes_and_nonempty(self):
+        p = Partition(np.array([0, 0, 2]), 4)
+        assert p.sizes().tolist() == [2, 0, 1, 0]
+        assert p.nonempty_parts() == 2
+
+    def test_relabel(self):
+        p = Partition(np.array([0, 1, 0]), 2)
+        q = p.relabel([1, 0])
+        assert q.labels.tolist() == [1, 0, 1]
+        with pytest.raises(InvalidPartitionError):
+            p.relabel([0, 0])
+
+    def test_labels_immutable(self):
+        p = Partition(np.array([0, 1]), 2)
+        with pytest.raises(ValueError):
+            p.labels[0] = 1
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidPartitionError):
+            Partition(np.array([0]), 0)
+        with pytest.raises(InvalidPartitionError):
+            Partition(np.array([3]), 2)
+
+    def test_restrict(self):
+        p = Partition(np.array([0, 1, 1, 0]), 2)
+        assert p.restrict([1, 3]).labels.tolist() == [1, 0]
+
+    def test_eq_hash(self):
+        a = Partition(np.array([0, 1]), 2)
+        b = Partition(np.array([0, 1]), 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != Partition(np.array([0, 1]), 3)
+
+
+class TestPartSizesWeights:
+    def test_part_sizes_counts(self):
+        assert part_sizes(np.array([0, 1, 1, 3]), 4).tolist() == [1, 2, 0, 1]
+
+    def test_part_weights(self):
+        g = Hypergraph(3, [], node_weights=[1, 2, 4])
+        assert part_weights(g, [0, 1, 0], 2).tolist() == [5, 2]
+
+
+class TestImbalance:
+    def test_perfect_balance(self):
+        p = Partition(np.array([0, 1, 0, 1]), 2)
+        assert p.imbalance() == 0.0
+
+    def test_skewed(self):
+        p = Partition(np.array([0, 0, 0, 1]), 2)
+        assert p.imbalance() == pytest.approx(0.5)
+
+    def test_consistent_with_is_balanced(self):
+        from repro.core import is_balanced
+        p = Partition(np.array([0, 0, 1, 1, 0, 1, 0]), 2)
+        eps = p.imbalance()
+        assert is_balanced(p, eps + 1e-9)

@@ -1,0 +1,239 @@
+"""Tests for the gadget zoo: blocks, grids, paddings (Appendices A, C, D)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Hypergraph, connectivity_cost, cut_net_cost, is_hyperdag
+from repro.errors import InfeasibleError, ProblemTooLargeError
+from repro.generators import (
+    BoundMode,
+    block,
+    constraint_padding,
+    extended_grid,
+    grid_gadget,
+    grid_node,
+    strong_block,
+    two_level_block,
+)
+
+
+class TestBlock:
+    def test_structure(self):
+        g = block(4)
+        assert g.n == 4
+        assert g.num_edges == 4
+        assert all(len(e) == 3 for e in g.edges)
+        # edge i omits node i
+        for i, e in enumerate(g.edges):
+            assert i not in e
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            block(1)
+
+    @given(st.integers(3, 8), st.data())
+    @settings(max_examples=50)
+    def test_lemma_a5_split_cost(self, b, data):
+        """Lemma A.5: any non-monochromatic colouring costs >= b - 1."""
+        g = block(b)
+        labels = np.array(
+            data.draw(st.lists(st.integers(0, 2), min_size=b, max_size=b)))
+        if len(set(labels.tolist())) == 1:
+            assert cut_net_cost(g, labels, 3) == 0
+        else:
+            assert cut_net_cost(g, labels, 3) >= b - 1
+
+    def test_monochromatic_is_free(self):
+        g = block(5)
+        assert connectivity_cost(g, [1] * 5, 2) == 0
+
+
+class TestStrongBlock:
+    def test_edge_subsets(self):
+        g = strong_block(5, 1)
+        # subsets of size >= 5-1-2 = 2
+        expected = sum(math.comb(5, s) for s in range(2, 6))
+        assert g.num_edges == expected
+
+    def test_split_cost_bound(self):
+        # Appendix D.1: splitting costs >= C(b-1, h+1).
+        b, h = 6, 1
+        g = strong_block(b, h)
+        bound = math.comb(b - 1, h + 1)
+        for split in range(1, b):
+            labels = np.array([0] * split + [1] * (b - split))
+            assert cut_net_cost(g, labels, 2) >= bound
+
+    def test_size_guard(self):
+        with pytest.raises(ProblemTooLargeError):
+            strong_block(40, 30, max_edges=1000)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            strong_block(1, 0)
+        with pytest.raises(ValueError):
+            strong_block(4, -1)
+
+
+class TestGridGadget:
+    def test_structure(self):
+        ell = 4
+        g = grid_gadget(ell)
+        assert g.n == ell * ell
+        assert g.num_edges == 2 * ell
+        assert g.max_degree == 2
+        assert all(len(e) == ell for e in g.edges)
+
+    def test_grid_node_indexing(self):
+        assert grid_node(4, 0, 0) == 0
+        assert grid_node(4, 1, 2) == 6
+
+    def test_lemma_c3_square_minority(self):
+        """Lemma C.3: t0 minority nodes in a square shape cut 2*sqrt(t0)."""
+        ell = 6
+        g = grid_gadget(ell)
+        labels = np.zeros(g.n, dtype=np.int64)
+        t0 = 4  # 2x2 red square
+        for r in range(2):
+            for c in range(2):
+                labels[grid_node(ell, r, c)] = 1
+        assert cut_net_cost(g, labels, 2) == 2 * int(math.isqrt(t0))
+
+    @given(st.integers(2, 5), st.data())
+    @settings(max_examples=60)
+    def test_lemma_c3_lower_bound(self, ell, data):
+        """Any 2-colouring with t0 minority nodes costs >= sqrt(t0)."""
+        g = grid_gadget(ell)
+        labels = np.array(data.draw(
+            st.lists(st.integers(0, 1), min_size=g.n, max_size=g.n)))
+        counts = np.bincount(labels, minlength=2)
+        t0 = int(counts.min())
+        assert cut_net_cost(g, labels, 2) >= math.sqrt(t0) - 1e-9
+
+    def test_full_row_red(self):
+        # A full red row with no red column: every column is cut (l) but
+        # rows other than the red one are monochromatic blue.
+        ell = 5
+        g = grid_gadget(ell)
+        labels = np.zeros(g.n, dtype=np.int64)
+        for c in range(ell):
+            labels[grid_node(ell, 0, c)] = 1
+        assert cut_net_cost(g, labels, 2) == ell
+
+
+class TestExtendedGrid:
+    def test_structure(self):
+        g, outs = extended_grid(4, 3)
+        assert g.n == 16 + 3
+        assert len(outs) == 3
+        assert g.max_degree == 2
+        # outsider i joins row i
+        for i, o in enumerate(outs):
+            assert o in g.edges[i]
+        # outsiders have degree 1 inside the gadget
+        assert all(g.degrees[o] == 1 for o in outs)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            extended_grid(3, 4)
+        g, outs = extended_grid(3, 0)
+        assert outs == ()
+
+    def test_lemma_c5_recolor_no_worse(self):
+        """Recolouring a minority-red extended grid to blue cannot
+        increase the number of cut hyperedges among its own edges."""
+        ell = 4
+        g, outs = extended_grid(ell, 2)
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            labels = (rng.random(g.n) < 0.3).astype(np.int64)  # red minority
+            counts = np.bincount(labels[: ell * ell], minlength=2)
+            if counts[1] > counts[0]:
+                continue  # ensure red (=1) is the grid minority
+            before = cut_net_cost(g, labels, 2)
+            after = cut_net_cost(g, np.zeros(g.n, dtype=np.int64), 2)
+            assert after <= before
+
+
+class TestTwoLevelBlock:
+    def test_is_hyperdag(self):
+        g, first, second = two_level_block(3, 7)
+        assert is_hyperdag(g)
+        assert len(first) == 3 and len(second) == 7
+        assert g.num_edges == 3
+
+    def test_splitting_second_group_expensive(self):
+        g, first, second = two_level_block(5, 10)
+        labels = np.zeros(g.n, dtype=np.int64)
+        labels[second[0]] = 1  # split one node off the second group
+        assert cut_net_cost(g, labels, 2) == 5  # all b0 hyperedges cut
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            two_level_block(0, 5)
+
+
+class TestConstraintPadding:
+    @pytest.mark.parametrize("s,h,k,eps", [
+        (6, 2, 2, 0.3), (5, 0, 2, 0.5), (4, 4, 2, 0.2),
+        (6, 2, 3, 0.4), (5, 1, 4, 0.5),
+    ])
+    def test_at_most_boundary(self, s, h, k, eps):
+        pad = constraint_padding(s, h, k, eps, BoundMode.AT_MOST)
+        for r in range(s + 1):
+            assert pad.satisfied(r) == (r <= h), f"r={r}"
+
+    @pytest.mark.parametrize("s,h,k,eps", [
+        (6, 2, 2, 0.3), (5, 5, 2, 0.5), (4, 1, 3, 0.4),
+    ])
+    def test_at_least_boundary(self, s, h, k, eps):
+        pad = constraint_padding(s, h, k, eps, BoundMode.AT_LEAST)
+        for r in range(s + 1):
+            assert pad.satisfied(r) == (r >= h), f"r={r}"
+
+    @pytest.mark.parametrize("s,h,k", [(6, 2, 2), (5, 0, 2), (4, 2, 3)])
+    def test_exactly_eps0(self, s, h, k):
+        pad = constraint_padding(s, h, k, 0.0, BoundMode.EXACTLY)
+        for r in range(s + 1):
+            assert pad.satisfied(r) == (r == h), f"r={r}"
+
+    def test_at_most_tolerates_other_colours(self):
+        pad = constraint_padding(6, 2, 3, 0.4, BoundMode.AT_MOST)
+        # r red, b blue, rest colour-2: constraint must only track red.
+        for r in range(7):
+            for b in range(7 - r):
+                assert pad.satisfied(r, b) == (r <= 2)
+
+    def test_size_linear_in_s(self):
+        # Lemma D.2: |V0| = O(|S|).
+        for s in (5, 20, 80):
+            pad = constraint_padding(s, s // 3, 2, 0.5, BoundMode.AT_MOST)
+            assert pad.total_size <= 40 * s + 200
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            constraint_padding(3, 5, 2, 0.5)
+        with pytest.raises(ValueError):
+            constraint_padding(3, 1, 1, 0.5)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleError):
+            # EXACTLY with eps>0 large total required but tiny cap window.
+            constraint_padding(6, 3, 2, 0.37, BoundMode.EXACTLY, max_total=8)
+
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_at_most_property(self, s, data):
+        h = data.draw(st.integers(0, s))
+        k = data.draw(st.integers(2, 4))
+        eps = data.draw(st.sampled_from([0.2, 0.3, 0.5, 0.9]))
+        pad = constraint_padding(s, h, k, eps, BoundMode.AT_MOST)
+        for r in range(s + 1):
+            assert pad.satisfied(r) == (r <= h)

@@ -1,0 +1,89 @@
+"""Tests for structured sparse-matrix pattern generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import connectivity_cost
+from repro.generators import (
+    arrow_pattern,
+    banded_pattern,
+    block_diagonal_pattern,
+    has_bipartite_edge_property,
+    laplacian_2d_pattern,
+    spmv_fine_grain,
+)
+from repro.partitioners import multilevel_partition
+
+
+class TestBanded:
+    def test_tridiagonal_counts(self):
+        pat = banded_pattern(5, 1)
+        assert pat.nnz == 5 + 2 * 4  # diag + two off-diags
+
+    def test_diagonal_only(self):
+        pat = banded_pattern(4, 0)
+        assert pat.nnz == 4
+        assert pat.rows == pat.cols
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            banded_pattern(0, 1)
+        with pytest.raises(ValueError):
+            banded_pattern(3, -1)
+
+    def test_fine_grain_2regular(self):
+        g = spmv_fine_grain(banded_pattern(8, 1))
+        assert np.all(g.degrees == 2)
+        assert has_bipartite_edge_property(g)
+
+
+class TestLaplacian2D:
+    def test_interior_has_5_points(self):
+        pat = laplacian_2d_pattern(4)
+        # the interior node (1,1) = index 5 has 5 nonzeros in its row
+        row5 = sum(1 for r in pat.rows if r == 5)
+        assert row5 == 5
+
+    def test_corner_has_3_points(self):
+        pat = laplacian_2d_pattern(4)
+        row0 = sum(1 for r in pat.rows if r == 0)
+        assert row0 == 3
+
+    def test_nnz_formula(self):
+        g = 5
+        pat = laplacian_2d_pattern(g)
+        # n diagonal + 2 * (horizontal + vertical neighbour pairs)
+        assert pat.nnz == g * g + 2 * 2 * g * (g - 1)
+
+
+class TestBlockDiagonal:
+    def test_block_structure_recoverable(self):
+        pat = block_diagonal_pattern(4, 4, coupling=6, rng=0)
+        g = spmv_fine_grain(pat)
+        part = multilevel_partition(g, 4, eps=0.1, rng=0)
+        # coupling entries bound the cut: each coupled nonzero sits in a
+        # foreign row and column, costing at most 2
+        assert connectivity_cost(g, part.labels, 4) <= 2 * 6 + 4
+
+    def test_no_coupling_is_separable(self):
+        pat = block_diagonal_pattern(3, 3, coupling=0)
+        g = spmv_fine_grain(pat)
+        part = multilevel_partition(g, 3, eps=0.0, rng=0)
+        assert connectivity_cost(g, part.labels, 3) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_diagonal_pattern(0, 3)
+
+
+class TestArrow:
+    def test_nnz(self):
+        pat = arrow_pattern(6)
+        # diag (6) + first row (5 extra) + first col (5 extra)
+        assert pat.nnz == 16
+
+    def test_first_row_edge_is_large(self):
+        g = spmv_fine_grain(arrow_pattern(6))
+        assert max(len(e) for e in g.edges) == 6

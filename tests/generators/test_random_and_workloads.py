@@ -1,0 +1,172 @@
+"""Tests for random hypergraph/DAG generators, SpMV, and workload DAGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import connectivity_cost, hyperdag_from_dag, is_hyperdag
+from repro.generators import (
+    SparsePattern,
+    butterfly_dag,
+    chain_graph,
+    grid_dag,
+    has_bipartite_edge_property,
+    level_order_dag,
+    planted_partition_hypergraph,
+    random_bounded_height_dag,
+    random_dag,
+    random_hypergraph,
+    random_layered_dag,
+    random_out_tree,
+    random_sparse_pattern,
+    random_uniform_hypergraph,
+    reduction_tree_dag,
+    spmv_fine_grain,
+    stencil_1d_dag,
+)
+
+
+class TestRandomHypergraphs:
+    def test_uniform_shape(self, rng):
+        g = random_uniform_hypergraph(20, 15, 3, rng)
+        assert g.n == 20 and g.num_edges == 15
+        assert all(len(e) == 3 for e in g.edges)
+
+    def test_uniform_size_guard(self):
+        with pytest.raises(ValueError):
+            random_uniform_hypergraph(2, 1, 3)
+
+    def test_random_sizes_in_range(self, rng):
+        g = random_hypergraph(15, 20, 2, 5, rng)
+        assert all(2 <= len(e) <= 5 for e in g.edges)
+
+    def test_random_size_guard(self):
+        with pytest.raises(ValueError):
+            random_hypergraph(3, 1, 2, 5)
+
+    def test_determinism(self):
+        a = random_hypergraph(10, 8, rng=42)
+        b = random_hypergraph(10, 8, rng=42)
+        assert a.edges == b.edges
+
+    def test_planted_partition_recoverable(self):
+        g, labels = planted_partition_hypergraph(40, 2, m_intra=60,
+                                                 m_inter=4, rng=3)
+        cut = connectivity_cost(g, labels, 2)
+        assert cut <= 4  # only inter edges can be cut
+
+
+class TestRandomDags:
+    def test_random_dag_indegree_cap(self, rng):
+        d = random_dag(30, 0.5, rng, max_in_degree=2)
+        assert d.max_in_degree() <= 2
+        h, _ = hyperdag_from_dag(d)
+        assert h.max_degree <= 3  # Section 3.2 observation
+
+    def test_layered_dag_layers(self, rng):
+        sizes = [3, 4, 2]
+        d = random_layered_dag(sizes, 0.5, rng)
+        assert d.n == 9
+        asap = d.asap_layers()
+        for i, size in enumerate(sizes):
+            assert int((asap == i).sum()) == size
+
+    def test_out_tree_indegree(self, rng):
+        d = random_out_tree(25, rng)
+        assert d.max_in_degree() <= 1
+        assert len(d.sources()) == 1
+
+    def test_chain_graph(self):
+        d = chain_graph([3, 2])
+        assert d.n == 5
+        assert d.max_in_degree() <= 1
+        assert all(d.out_degree(v) <= 1 for v in range(d.n))
+
+    def test_level_order(self):
+        d = level_order_dag([2, 3, 1])
+        assert d.num_edges == 2 * 3 + 3 * 1
+        # every node of layer j precedes every node of layer j+1
+        assert set(d.successors(0)) == {2, 3, 4}
+
+    def test_bounded_height(self, rng):
+        d = random_bounded_height_dag(30, 4, rng=rng)
+        assert d.longest_path_length() <= 4
+
+
+class TestSpmv:
+    def test_fine_grain_structure(self, rng):
+        pat = random_sparse_pattern(6, 8, 0.3, rng)
+        g = spmv_fine_grain(pat)
+        assert g.n == pat.nnz
+        # Every node (nonzero) is in exactly its row and column edge.
+        assert g.max_degree == 2
+        assert np.all(g.degrees == 2)
+
+    def test_bipartite_property(self, rng):
+        pat = random_sparse_pattern(5, 5, 0.4, rng)
+        g = spmv_fine_grain(pat)
+        assert has_bipartite_edge_property(g)
+
+    def test_bipartite_property_rejects_triangle(self, triangle):
+        assert not has_bipartite_edge_property(triangle)
+
+    def test_pattern_covers_all_rows_cols(self, rng):
+        pat = random_sparse_pattern(10, 7, 0.05, rng)
+        assert set(pat.rows) == set(range(10))
+        assert set(pat.cols) == set(range(7))
+
+    def test_explicit_pattern(self):
+        pat = SparsePattern(2, 2, (0, 0, 1), (0, 1, 1))
+        g = spmv_fine_grain(pat)
+        assert sorted(g.edges) == sorted([(0, 1), (2,), (0,), (1, 2)])
+
+
+class TestWorkloads:
+    def test_reduction_tree(self):
+        d = reduction_tree_dag(8)
+        assert d.n == 15
+        assert len(d.sinks()) == 1
+        assert d.max_in_degree() == 2
+        assert d.longest_path_length() == 4
+
+    def test_reduction_tree_non_power_of_two(self):
+        d = reduction_tree_dag(5)
+        assert len(d.sinks()) == 1
+        assert d.max_in_degree() == 2
+
+    def test_butterfly(self):
+        d = butterfly_dag(3)
+        assert d.n == 4 * 8
+        assert d.max_in_degree() == 2
+        # every output depends on every input
+        reach = d.reachable_from([0])
+        assert all(3 * 8 + lane in reach for lane in range(8))
+
+    def test_stencil(self):
+        d = stencil_1d_dag(5, 3)
+        assert d.n == 20
+        assert d.longest_path_length() == 4
+        assert d.max_in_degree() == 3
+
+    def test_grid_dag(self):
+        d = grid_dag(3, 4)
+        assert d.n == 12
+        assert d.longest_path_length() == 3 + 4 - 1
+        assert d.max_in_degree() == 2
+
+    def test_workload_hyperdags_valid(self):
+        for d in (reduction_tree_dag(6), butterfly_dag(2),
+                  stencil_1d_dag(4, 2), grid_dag(3, 3)):
+            h, gens = hyperdag_from_dag(d)
+            assert is_hyperdag(h)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            reduction_tree_dag(0)
+        with pytest.raises(ValueError):
+            stencil_1d_dag(0, 1)
+        with pytest.raises(ValueError):
+            grid_dag(0, 3)
+        with pytest.raises(ValueError):
+            butterfly_dag(-1)

@@ -1,0 +1,306 @@
+"""Tests for hierarchical topology, cost, assignment, and methods (Sec 7)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Hypergraph,
+    Partition,
+    connectivity_cost,
+    is_balanced,
+)
+from repro.errors import ProblemTooLargeError
+from repro.generators import block, random_hypergraph
+from repro.hierarchy import (
+    HierarchyTopology,
+    apply_assignment,
+    brute_force_assignment,
+    canonical_assignments,
+    contract_partition,
+    exact_hierarchical_partition,
+    hierarchical_cost,
+    hierarchical_lambdas,
+    matching_assignment,
+    optimal_assignment,
+    recursive_hierarchical_partition,
+    steiner_hyperedge_cost,
+    steiner_tree_cost,
+    two_step_from_partition,
+    two_step_partition,
+)
+
+from ..conftest import hypergraphs
+
+
+TOPO22 = HierarchyTopology((2, 2), (4.0, 1.0))
+
+
+class TestTopology:
+    def test_basic_properties(self):
+        assert TOPO22.k == 4
+        assert TOPO22.depth == 2
+        assert TOPO22.subtree_leaves(1) == 2
+        assert TOPO22.subtree_leaves(2) == 1
+        assert TOPO22.subtree_leaves(0) == 4
+
+    def test_ancestors(self):
+        assert TOPO22.ancestor(3, 1) == 1
+        assert TOPO22.ancestor(2, 1) == 1
+        assert TOPO22.ancestor(1, 1) == 0
+        m = TOPO22.ancestors_matrix()
+        assert m[0].tolist() == [0, 0, 0, 0]
+        assert m[1].tolist() == [0, 0, 1, 1]
+        assert m[2].tolist() == [0, 1, 2, 3]
+
+    def test_lca_and_transfer(self):
+        assert TOPO22.lca_level(0, 1) == 2
+        assert TOPO22.lca_level(0, 2) == 1
+        assert TOPO22.lca_level(1, 1) == 2
+        assert TOPO22.transfer_cost(0, 1) == 1.0
+        assert TOPO22.transfer_cost(0, 3) == 4.0
+        assert TOPO22.transfer_cost(2, 2) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchyTopology((2,), (1.0, 2.0))  # length mismatch
+        with pytest.raises(ValueError):
+            HierarchyTopology((2, 2), (1.0, 4.0))  # increasing costs
+        with pytest.raises(ValueError):
+            HierarchyTopology((), ())
+        with pytest.raises(ValueError):
+            HierarchyTopology((0,), (1.0,))
+
+    def test_num_assignments_formula(self):
+        # Appendix H.1: f(k) = k! / prod (b_i!)^(prod_{j<i} b_j)
+        assert TOPO22.num_assignments() == math.factorial(4) // (2 * 2 * 2)
+        t8 = HierarchyTopology((2, 2, 2), (4, 2, 1))
+        assert t8.num_assignments() == math.factorial(8) // (2 * 4 * 16)
+
+    def test_flat_special_case(self):
+        flat = HierarchyTopology.flat(5)
+        assert flat.k == 5 and flat.depth == 1
+        assert flat.num_assignments() == 1
+
+    def test_uniform_binary(self):
+        t = HierarchyTopology.uniform_binary(3, g1=4.0)
+        assert t.b == (2, 2, 2)
+        assert t.g[0] == 4.0 and t.g[-1] == 1.0
+
+
+class TestHierarchicalCost:
+    def test_paper_example(self):
+        """Section 7: e intersecting all 4 parts of a 2-level b=2 tree
+        costs g1 + 2·g2."""
+        g = Hypergraph(4, [(0, 1, 2, 3)])
+        labels = np.array([0, 1, 2, 3])
+        lam = hierarchical_lambdas(g, labels, TOPO22)
+        assert lam[:, 0].tolist() == [1, 2, 4]
+        assert hierarchical_cost(g, labels, TOPO22) == 4.0 + 2.0
+
+    def test_flat_equals_connectivity(self):
+        g = random_hypergraph(12, 10, rng=0)
+        labels = np.random.default_rng(1).integers(0, 3, size=12)
+        flat = HierarchyTopology.flat(3)
+        assert hierarchical_cost(g, labels, flat) == \
+            connectivity_cost(g, labels, 3)
+
+    def test_sibling_cheaper_than_cousin(self):
+        g = Hypergraph(2, [(0, 1)])
+        assert hierarchical_cost(g, np.array([0, 1]), TOPO22) == 1.0
+        assert hierarchical_cost(g, np.array([0, 2]), TOPO22) == 4.0
+
+    def test_uncut_edge_free(self):
+        g = Hypergraph(3, [(0, 1, 2)])
+        assert hierarchical_cost(g, np.array([2, 2, 2]), TOPO22) == 0.0
+
+    def test_empty_edge_free(self):
+        g = Hypergraph(2, [()])
+        assert hierarchical_cost(g, np.array([0, 3]), TOPO22) == 0.0
+
+    @given(hypergraphs(max_nodes=8), st.data())
+    @settings(max_examples=40)
+    def test_sandwich_bounds(self, g, data):
+        """cut ≤ hierarchical ≤ g1 · connectivity (Lemma 7.3's engine)."""
+        labels = np.array(data.draw(
+            st.lists(st.integers(0, 3), min_size=g.n, max_size=g.n)))
+        h = hierarchical_cost(g, labels, TOPO22)
+        conn = connectivity_cost(g, labels, 4)
+        assert conn - 1e-9 <= h <= 4.0 * conn + 1e-9
+
+    def test_partition_object_k_mismatch(self):
+        g = Hypergraph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            hierarchical_cost(g, Partition(np.array([0, 1]), 2), TOPO22)
+
+
+class TestSteiner:
+    def _metric(self):
+        # path metric on 4 processors: 0-1-2-3
+        d = np.abs(np.subtract.outer(np.arange(4), np.arange(4))).astype(float)
+        return d
+
+    def test_two_terminals(self):
+        d = self._metric()
+        assert steiner_tree_cost(d, [0, 3]) == 3.0
+        assert steiner_tree_cost(d, [2]) == 0.0
+        assert steiner_tree_cost(d, []) == 0.0
+
+    def test_path_terminals(self):
+        d = self._metric()
+        assert steiner_tree_cost(d, [0, 1, 3]) == 3.0
+
+    def test_exact_beats_or_ties_mst(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            pts = rng.random((5, 2))
+            d = np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+            exact = steiner_tree_cost(d, [0, 1, 2, 3, 4], exact=True)
+            approx = steiner_tree_cost(d, [0, 1, 2, 3, 4], exact=False)
+            assert exact <= approx + 1e-9
+
+    def test_guard(self):
+        d = np.zeros((20, 20))
+        with pytest.raises(ProblemTooLargeError):
+            steiner_tree_cost(d, list(range(15)), exact=True, max_terminals=10)
+
+    def test_hyperedge_cost(self):
+        d = self._metric()
+        g = Hypergraph(3, [(0, 1, 2)])
+        labels = np.array([0, 1, 3])
+        assert steiner_hyperedge_cost(g, labels, d) == 3.0
+
+
+class TestAssignment:
+    def test_contract_partition(self):
+        g = Hypergraph(6, [(0, 1), (0, 2), (2, 3), (4, 5)])
+        p = Partition(np.array([0, 0, 1, 1, 2, 2]), 4)
+        c = contract_partition(g, p)
+        assert c.n == 4
+        # (0,1)->dropped; (0,2)->(0,1); (2,3)->dropped; (4,5)->dropped
+        assert c.edges == ((0, 1),)
+
+    def test_canonical_assignment_count(self):
+        assert len(list(canonical_assignments(TOPO22))) == \
+            TOPO22.num_assignments()
+        t6 = HierarchyTopology((3, 2), (2, 1))
+        assert len(list(canonical_assignments(t6))) == t6.num_assignments()
+
+    def test_assignment_guard(self):
+        big = HierarchyTopology((2,) * 4, (8, 4, 2, 1))
+        with pytest.raises(ProblemTooLargeError):
+            list(canonical_assignments(big, max_assignments=10))
+
+    def test_brute_force_groups_friends(self):
+        # Parts 0 and 3 share many hyperedges: they must become siblings.
+        edges = [(0, 3)] * 5 + [(1, 2)]
+        c = Hypergraph(4, edges)
+        assignment, cost_val = brute_force_assignment(c, TOPO22)
+        pos = {part: leaf for leaf, part in enumerate(assignment)}
+        assert TOPO22.lca_level(pos[0], pos[3]) == 2  # siblings
+        assert cost_val == 5.0 + 1.0
+
+    def test_matching_agrees_with_brute_force(self):
+        rng = np.random.default_rng(3)
+        for seed in range(8):
+            c = random_hypergraph(4, 6, 2, 3, rng=seed)
+            _, bf = brute_force_assignment(c, TOPO22)
+            _, mt = matching_assignment(c, TOPO22)
+            assert bf == pytest.approx(mt), seed
+
+    def test_matching_rejects_wrong_topology(self):
+        t = HierarchyTopology((2, 3), (2, 1))
+        c = Hypergraph(6, [])
+        with pytest.raises(ValueError):
+            matching_assignment(c, t)
+
+    def test_optimal_dispatch(self):
+        c = random_hypergraph(4, 5, 2, 3, rng=1)
+        a1, c1 = optimal_assignment(c, TOPO22)
+        a2, c2 = brute_force_assignment(c, TOPO22)
+        assert c1 == pytest.approx(c2)
+
+    def test_apply_assignment(self):
+        p = Partition(np.array([0, 1, 2, 3]), 4)
+        placed = apply_assignment(p, (2, 0, 3, 1))
+        # part 2 -> leaf 0, part 0 -> leaf 1, part 3 -> leaf 2, part 1 -> leaf 3
+        assert placed.labels.tolist() == [1, 3, 0, 2]
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            brute_force_assignment(Hypergraph(3, []), TOPO22)
+
+
+class TestTwoStep:
+    def test_from_partition_cost_sandwich(self):
+        g = random_hypergraph(16, 20, rng=2)
+        p = Partition(np.random.default_rng(0).integers(0, 4, 16), 4)
+        placed, hcost = two_step_from_partition(g, p, TOPO22)
+        assert hcost == pytest.approx(hierarchical_cost(g, placed, TOPO22))
+        conn = connectivity_cost(g, p.labels, 4)
+        assert conn - 1e-9 <= hcost <= 4.0 * conn + 1e-9
+
+    def test_full_two_step_balanced(self):
+        g = random_hypergraph(24, 30, rng=4)
+        placed, hcost = two_step_partition(g, TOPO22, eps=0.2, rng=0)
+        assert is_balanced(placed, 0.2, relaxed=True)
+
+    def test_lemma73_bound_vs_exact(self):
+        """Two-step with exact step (i) is within g1 of the hierarchical
+        optimum (Lemma 7.3) on tiny instances."""
+        from repro.partitioners import exact_partition
+
+        for seed in range(3):
+            g = random_hypergraph(8, 6, rng=seed)
+            opt_p, opt_cost = exact_hierarchical_partition(g, TOPO22, eps=0.0)
+
+            def exact_fn(gr, k):
+                return exact_partition(gr, k, eps=0.0).partition
+
+            _, ts_cost = two_step_partition(g, TOPO22, eps=0.0,
+                                            partition_fn=exact_fn)
+            assert ts_cost <= 4.0 * opt_cost + 1e-9
+            assert ts_cost >= opt_cost - 1e-9
+
+
+class TestExactHierarchical:
+    def test_separable_blocks(self):
+        # four 2-node groups bound by heavy internal edges, two light
+        # bridges — kept at n=8 so the 4^n enumeration stays fast
+        g = Hypergraph(8, [(0, 1), (2, 3), (4, 5), (6, 7),
+                           (0, 2), (4, 6)],
+                       edge_weights=[10, 10, 10, 10, 1, 1])
+        p, c = exact_hierarchical_partition(g, TOPO22, eps=0.0)
+        # groups pair up as siblings: the two bridges cost g2 each
+        assert c == 2.0
+        assert is_balanced(p, 0.0)
+
+    def test_guard(self):
+        g = Hypergraph(20, [])
+        with pytest.raises(ProblemTooLargeError):
+            exact_hierarchical_partition(g, TOPO22, max_nodes=10)
+
+
+class TestRecursiveHierarchical:
+    def test_balanced_and_aligned(self):
+        g = random_hypergraph(32, 40, rng=5)
+        p = recursive_hierarchical_partition(g, TOPO22, eps=0.2, rng=0)
+        assert p.k == 4
+        assert is_balanced(p, 0.2)
+
+    def test_separable_optimal(self):
+        g = Hypergraph.disjoint_union([block(6)] * 4)
+        p = recursive_hierarchical_partition(g, TOPO22, eps=0.0, rng=0)
+        assert hierarchical_cost(g, p, TOPO22) == 0.0
+
+    def test_deeper_tree(self):
+        t8 = HierarchyTopology((2, 2, 2), (4, 2, 1))
+        g = random_hypergraph(32, 30, rng=6)
+        p = recursive_hierarchical_partition(g, t8, eps=0.3, rng=0)
+        assert p.k == 8
+        assert is_balanced(p, 0.3)

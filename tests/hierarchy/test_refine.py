@@ -1,0 +1,108 @@
+"""Tests for hierarchy-aware FM refinement (the Section 7 counterpart)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Hypergraph, Partition, is_balanced
+from repro.generators import planted_partition_hypergraph, random_hypergraph
+from repro.hierarchy import (
+    HierarchyTopology,
+    direct_hierarchical_partition,
+    hierarchical_cost,
+    hierarchical_fm_refine,
+    two_step_from_partition,
+)
+from repro.reductions import (
+    block_respecting_hierarchical_optimum,
+    block_respecting_kway_optimum,
+    build_two_step_gap_instance,
+)
+
+TOPO22 = HierarchyTopology((2, 2), (4.0, 1.0))
+
+
+class TestHierarchicalFM:
+    def test_never_worse(self):
+        for seed in range(4):
+            g = random_hypergraph(24, 30, rng=seed)
+            start = Partition(
+                np.random.default_rng(seed).integers(0, 4, 24), 4)
+            refined = hierarchical_fm_refine(g, start, TOPO22, eps=0.5)
+            assert hierarchical_cost(g, refined, TOPO22) <= \
+                hierarchical_cost(g, start, TOPO22) + 1e-9
+
+    def test_respects_balance(self):
+        g = random_hypergraph(24, 30, rng=1)
+        start = Partition(np.random.default_rng(0).integers(0, 4, 24), 4)
+        refined = hierarchical_fm_refine(g, start, TOPO22, eps=0.2)
+        assert is_balanced(refined, 0.2, relaxed=True)
+
+    def test_regroups_siblings(self):
+        """Two tightly-coupled groups placed on cousin leaves should be
+        pulled onto sibling leaves."""
+        g = Hypergraph(4, [(0, 1)] * 6 + [(2, 3)] * 6)
+        start = Partition(np.array([0, 2, 1, 3]), 4)  # cousins: cost 4g1...
+        refined = hierarchical_fm_refine(g, start, TOPO22, eps=0.0)
+        assert hierarchical_cost(g, refined, TOPO22) <= \
+            hierarchical_cost(g, start, TOPO22) - 6 * (4.0 - 1.0) * 2 + 1e-9
+
+    def test_k_mismatch_rejected(self):
+        g = random_hypergraph(8, 6, rng=0)
+        with pytest.raises(ValueError):
+            hierarchical_fm_refine(g, Partition(np.zeros(8, dtype=np.int64),
+                                                2), TOPO22)
+
+    def test_node_level_cannot_escape_figure9(self):
+        """The Theorem 7.4 trap is robust to *node-level* local search:
+        escaping requires moving whole blocks, and splitting a block is
+        prohibitively expensive — the refiner stays at the two-step cost
+        (this robustness is what makes the construction meaningful)."""
+        st = build_two_step_gap_instance(unit=3, k=4, g1=4.0)
+        _, pstd = block_respecting_kway_optimum(st, 4, eps=0.0)
+        placed, two_step_cost = two_step_from_partition(
+            st.hypergraph, pstd, st.topology)
+        refined = hierarchical_fm_refine(st.hypergraph, placed,
+                                         st.topology, eps=0.0,
+                                         max_swap_nodes=0)
+        ref_cost = hierarchical_cost(st.hypergraph, refined, st.topology)
+        assert ref_cost == two_step_cost
+
+    def test_block_level_escapes_figure9(self):
+        """Contracting blocks to weighted nodes lets hierarchical FM
+        move whole blocks — and it then recovers the exact hierarchical
+        optimum from the two-step trap (153 → 63 at g₁ = 4)."""
+        st = build_two_step_gap_instance(unit=3, k=4, g1=4.0)
+        _, pstd = block_respecting_kway_optimum(st, 4, eps=0.0)
+        placed, two_step_cost = two_step_from_partition(
+            st.hypergraph, pstd, st.topology)
+        mapping = st.unit_mapping()
+        contracted = st.hypergraph.contract(mapping,
+                                            num_groups=len(st.blocks))
+        unit_leaf = np.array([placed.labels[blk[0]] for blk in st.blocks])
+        caps = np.full(4, float(st.meta["T"]))
+        refined = hierarchical_fm_refine(contracted,
+                                         Partition(unit_leaf, 4),
+                                         st.topology, caps=caps)
+        ref_cost = hierarchical_cost(contracted, refined, st.topology)
+        opt, _ = block_respecting_hierarchical_optimum(st, eps=0.0)
+        assert ref_cost == opt < two_step_cost
+
+
+class TestDirectHierarchical:
+    def test_balanced_and_sandwiched(self):
+        g, _ = planted_partition_hypergraph(48, 4, 120, 8, rng=7)
+        part, hcost = direct_hierarchical_partition(g, TOPO22, eps=0.1,
+                                                    rng=0)
+        assert is_balanced(part, 0.1, relaxed=True)
+        assert hcost == hierarchical_cost(g, part, TOPO22)
+
+    def test_beats_or_matches_recursive(self):
+        from repro.hierarchy import recursive_hierarchical_partition
+
+        g, _ = planted_partition_hypergraph(48, 4, 120, 8, rng=8)
+        rec = recursive_hierarchical_partition(g, TOPO22, eps=0.1, rng=0)
+        direct, hcost = direct_hierarchical_partition(g, TOPO22, eps=0.1,
+                                                      rng=0)
+        assert hcost <= hierarchical_cost(g, rec, TOPO22) + 1e-9

@@ -1,0 +1,93 @@
+"""Tests for hMETIS file I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Hypergraph, Partition
+from repro.errors import InvalidHypergraphError
+from repro.generators import random_hypergraph
+from repro.io import read_hgr, read_partition, write_hgr, write_partition
+
+from ..conftest import hypergraphs
+
+
+class TestHgrRoundtrip:
+    def test_plain(self, tmp_path):
+        g = random_hypergraph(10, 8, rng=0)
+        path = tmp_path / "g.hgr"
+        write_hgr(g, path)
+        back = read_hgr(path)
+        assert back.n == g.n
+        assert back.edges == g.edges
+
+    def test_edge_weights(self, tmp_path):
+        g = Hypergraph(3, [(0, 1), (1, 2)], edge_weights=[2.0, 5.0])
+        path = tmp_path / "g.hgr"
+        write_hgr(g, path)
+        back = read_hgr(path)
+        assert back.edge_weights.tolist() == [2.0, 5.0]
+        assert path.read_text().splitlines()[0] == "2 3 1"
+
+    def test_node_weights(self, tmp_path):
+        g = Hypergraph(3, [(0, 1)], node_weights=[1, 2, 3])
+        path = tmp_path / "g.hgr"
+        write_hgr(g, path)
+        back = read_hgr(path)
+        assert back.node_weights.tolist() == [1, 2, 3]
+
+    def test_both_weights(self, tmp_path):
+        g = Hypergraph(3, [(0, 1)], node_weights=[1, 2, 3],
+                       edge_weights=[4.5])
+        path = tmp_path / "g.hgr"
+        write_hgr(g, path)
+        back = read_hgr(path)
+        assert back == g
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.hgr"
+        path.write_text("% a comment\n2 3\n1 2\n% another\n2 3\n")
+        g = read_hgr(path)
+        assert g.edges == ((0, 1), (1, 2))
+
+    def test_bad_files(self, tmp_path):
+        p = tmp_path / "bad.hgr"
+        p.write_text("")
+        with pytest.raises(InvalidHypergraphError):
+            read_hgr(p)
+        p.write_text("2 3\n1 2\n")  # truncated
+        with pytest.raises(InvalidHypergraphError):
+            read_hgr(p)
+        p.write_text("1 2\n1 5\n")  # pin out of range
+        with pytest.raises(InvalidHypergraphError):
+            read_hgr(p)
+
+    @given(hypergraphs(max_nodes=10))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, g):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "g.hgr"
+            write_hgr(g, path)
+            back = read_hgr(path)
+        assert back.n == g.n and back.edges == g.edges
+
+
+class TestPartitionFiles:
+    def test_roundtrip(self, tmp_path):
+        p = Partition(np.array([0, 2, 1, 2]), 3)
+        path = tmp_path / "p.part"
+        write_partition(p, path)
+        back = read_partition(path)
+        assert back == p
+
+    def test_explicit_k(self, tmp_path):
+        p = Partition(np.array([0, 0]), 4)
+        path = tmp_path / "p.part"
+        write_partition(p, path)
+        back = read_partition(path, k=4)
+        assert back.k == 4

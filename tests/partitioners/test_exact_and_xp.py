@@ -1,0 +1,259 @@
+"""Tests for the exact branch-and-bound and the Lemma 4.3 XP solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Hypergraph,
+    Metric,
+    MultiConstraint,
+    connectivity_cost,
+    cost,
+    is_balanced,
+)
+from repro.errors import InfeasibleError, ProblemTooLargeError
+from repro.generators import block, random_hypergraph
+from repro.partitioners import (
+    exact_bisection,
+    exact_decision,
+    exact_partition,
+    xp_decision,
+    xp_multiconstraint_decision,
+    xp_optimum,
+)
+
+from ..conftest import hypergraphs
+
+
+def brute_force_optimum(g: Hypergraph, k: int, eps: float,
+                        metric: Metric = Metric.CONNECTIVITY,
+                        relaxed: bool = False) -> float:
+    """Reference optimum by full enumeration (tiny n only)."""
+    from itertools import product
+    best = np.inf
+    for labels in product(range(k), repeat=g.n):
+        arr = np.array(labels, dtype=np.int64)
+        if not is_balanced(arr, eps, k=k, relaxed=relaxed):
+            continue
+        best = min(best, cost(g, arr, metric, k=k))
+    return best
+
+
+class TestExactPartition:
+    def test_two_blocks_one_bridge(self):
+        g = Hypergraph.disjoint_union([block(4), block(4)]).with_edges([(0, 4)])
+        res = exact_bisection(g)
+        assert res.optimal
+        assert res.cost == 1.0
+
+    def test_matches_brute_force(self):
+        # n=7 with k=2, eps=0 is strictly infeasible (two caps of 3);
+        # the relaxed (ceil) threshold is the paper's fallback there.
+        for seed in range(4):
+            g = random_hypergraph(7, 6, rng=seed)
+            for k, eps in ((2, 0.0), (2, 0.5), (3, 0.0)):
+                res = exact_partition(g, k, eps, relaxed=True)
+                assert res.cost == brute_force_optimum(
+                    g, k, eps, relaxed=True), (seed, k, eps)
+
+    def test_matches_brute_force_cutnet(self):
+        g = random_hypergraph(7, 6, rng=9)
+        res = exact_partition(g, 3, 0.0, metric=Metric.CUT_NET, relaxed=True)
+        assert res.cost == brute_force_optimum(g, 3, 0.0, Metric.CUT_NET,
+                                               relaxed=True)
+
+    def test_balance_respected(self):
+        g = random_hypergraph(8, 6, rng=1)
+        res = exact_partition(g, 3, eps=0.0, relaxed=True)
+        assert is_balanced(res.partition, 0.0, relaxed=True)
+
+    def test_fixed_labels(self):
+        g = Hypergraph(4, [(0, 1), (2, 3)])
+        res = exact_partition(g, 2, eps=0.0, fixed={0: 0, 2: 1})
+        assert res.partition.labels[0] == 0
+        assert res.partition.labels[2] == 1
+        assert res.cost == 0.0
+
+    def test_fixed_labels_force_cut(self):
+        g = Hypergraph(4, [(0, 1), (2, 3)])
+        # Force nodes of the same edge apart.
+        res = exact_partition(g, 2, eps=1.0, fixed={0: 0, 1: 1})
+        assert res.cost == 1.0
+
+    def test_multiconstraint(self):
+        g = Hypergraph(4, [(0, 1)])
+        mc = MultiConstraint([[0, 1]])
+        # The subset {0,1} must be split across the two parts.
+        res = exact_partition(g, 2, eps=0.0, constraints=mc)
+        assert res.cost == 1.0
+        assert res.partition.labels[0] != res.partition.labels[1]
+
+    def test_infeasible_raises(self):
+        g = Hypergraph(3, [])
+        mc = MultiConstraint([[0, 1, 2]])
+        # 3 nodes in one subset, k=2, eps=0: cap = floor(3/2) = 1 per part.
+        with pytest.raises(InfeasibleError):
+            exact_partition(g, 2, eps=0.0, constraints=mc)
+
+    def test_size_guard(self):
+        g = Hypergraph(40, [])
+        with pytest.raises(ProblemTooLargeError):
+            exact_partition(g, 2, max_nodes=20)
+
+    def test_node_limit_guard(self):
+        g = random_hypergraph(14, 20, rng=0)
+        with pytest.raises(ProblemTooLargeError):
+            exact_partition(g, 3, eps=0.5, node_limit=50)
+
+    def test_upper_bound_seeding(self):
+        g = Hypergraph.disjoint_union([block(4), block(4)]).with_edges([(0, 4)])
+        res = exact_bisection(g, upper_bound=1.0)
+        assert res.cost == 1.0
+
+    @given(hypergraphs(max_nodes=6), st.integers(2, 3),
+           st.sampled_from([0.0, 0.5]), st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_brute_force(self, g, k, eps, relaxed):
+        try:
+            res = exact_partition(g, k, eps, relaxed=relaxed)
+            got = res.cost
+        except InfeasibleError:
+            got = np.inf
+        assert got == brute_force_optimum(g, k, eps, relaxed=relaxed)
+
+
+class TestExactDecision:
+    def test_yes_instance(self):
+        g = Hypergraph.disjoint_union([block(4), block(4)]).with_edges([(0, 4)])
+        p = exact_decision(g, 2, L=1.0)
+        assert p is not None
+        assert cost(g, p) <= 1.0
+        assert is_balanced(p, 0.0)
+
+    def test_no_instance(self):
+        g = Hypergraph.disjoint_union([block(4), block(4)]).with_edges([(0, 4)])
+        assert exact_decision(g, 2, L=0.0) is None
+
+    def test_l_zero_separable(self):
+        g = Hypergraph.disjoint_union([block(4), block(4)])
+        p = exact_decision(g, 2, L=0.0)
+        assert p is not None
+        assert cost(g, p) == 0.0
+
+
+class TestXPSolver:
+    def test_agrees_with_exact_small(self):
+        for seed in range(4):
+            g = random_hypergraph(7, 5, rng=seed)
+            opt = exact_partition(g, 2, 0.0, metric=Metric.CUT_NET,
+                                  relaxed=True).cost
+            res = xp_optimum(g, 2, 0.0, metric=Metric.CUT_NET, relaxed=True)
+            assert res.cost == opt, seed
+            assert res.optimal
+
+    def test_decision_yes_no(self):
+        g = Hypergraph.disjoint_union([block(4), block(4)]).with_edges([(0, 4)])
+        assert xp_decision(g, 2, L=0) is None
+        w = xp_decision(g, 2, L=1)
+        assert w is not None and cost(g, w, Metric.CUT_NET, k=2) <= 1
+
+    def test_connectivity_k3(self):
+        # One big hyperedge forced across three parts by eps=0 on n=3.
+        g = Hypergraph(3, [(0, 1, 2)])
+        assert xp_decision(g, 3, L=1, metric=Metric.CONNECTIVITY) is None
+        w = xp_decision(g, 3, L=2, metric=Metric.CONNECTIVITY)
+        assert w is not None
+        assert connectivity_cost(g, w.labels, 3) == 2
+
+    def test_balance_respected(self):
+        g = random_hypergraph(8, 5, rng=3)
+        w = xp_decision(g, 2, L=5, eps=0.0)
+        if w is not None:
+            assert is_balanced(w, 0.0)
+
+    def test_weight_guard(self):
+        g = Hypergraph(2, [(0, 1)], edge_weights=[0.5])
+        with pytest.raises(ValueError):
+            xp_decision(g, 2, L=1)
+
+    def test_subset_guard(self):
+        g = random_hypergraph(12, 20, rng=0)
+        with pytest.raises(ProblemTooLargeError):
+            xp_decision(g, 2, L=6, max_subsets=100)
+
+    def test_negative_l(self):
+        g = Hypergraph(2, [(0, 1)])
+        assert xp_decision(g, 2, L=-1) is None
+
+    @given(hypergraphs(max_nodes=6, max_edges=5), st.integers(0, 2))
+    @settings(max_examples=20, deadline=None)
+    def test_decision_consistent_with_exact(self, g, L):
+        witness = xp_decision(g, 2, L=L, eps=0.0, metric=Metric.CUT_NET)
+        exact = exact_decision(g, 2, L=float(L), eps=0.0,
+                               metric=Metric.CUT_NET)
+        assert (witness is None) == (exact is None)
+        if witness is not None:
+            assert cost(g, witness, Metric.CUT_NET) <= L
+            assert is_balanced(witness, 0.0)
+
+
+class TestXPMultiConstraint:
+    def test_forced_split_subset(self):
+        g = Hypergraph(4, [(0, 1)])
+        mc = MultiConstraint([[0, 1]])
+        assert xp_multiconstraint_decision(g, 2, L=0, constraints=mc) is None
+        w = xp_multiconstraint_decision(g, 2, L=1, constraints=mc)
+        assert w is not None
+        assert w.labels[0] != w.labels[1]
+
+    def test_feasible_zero(self):
+        g = Hypergraph(4, [(0, 1), (2, 3)])
+        mc = MultiConstraint([[0, 2], [1, 3]])
+        w = xp_multiconstraint_decision(g, 2, L=0, constraints=mc)
+        assert w is not None
+        assert cost(g, w, Metric.CUT_NET) == 0
+        assert mc.is_feasible(w, eps=0.0)
+
+    def test_connectivity_k3_unsupported(self):
+        g = Hypergraph(3, [(0, 1, 2)])
+        mc = MultiConstraint([[0, 1, 2]])
+        with pytest.raises(NotImplementedError):
+            xp_multiconstraint_decision(g, 3, L=1, constraints=mc,
+                                        metric=Metric.CONNECTIVITY)
+
+
+class TestWeightedExact:
+    def test_weight_caps_enforced(self):
+        # weights 3,3,1,1: eps=0 weight cap = 4 per side -> each heavy
+        # node must pair with a light one.
+        g = Hypergraph(4, [(0, 1)], node_weights=[3, 3, 1, 1])
+        res = exact_partition(g, 2, eps=0.0, use_node_weights=True)
+        labels = res.partition.labels
+        assert labels[0] != labels[1]
+        assert res.cost == 1.0
+
+    def test_counts_mode_unchanged(self):
+        # same instance without weights: cap = 2 nodes per side, the
+        # heavy pair may stay together.
+        g = Hypergraph(4, [(0, 1)], node_weights=[3, 3, 1, 1])
+        res = exact_partition(g, 2, eps=0.0, use_node_weights=False)
+        assert res.cost == 0.0
+
+    def test_weighted_infeasible(self):
+        g = Hypergraph(3, [], node_weights=[5, 1, 1])
+        with pytest.raises(InfeasibleError):
+            exact_partition(g, 2, eps=0.0, use_node_weights=True)
+
+    def test_weighted_matches_blowup(self):
+        # replacing a weight-w node by w unit clones yields the same
+        # optimum (weights are just contracted counts).
+        g = Hypergraph(3, [(0, 1), (1, 2)], node_weights=[2, 1, 1])
+        weighted = exact_partition(g, 2, eps=0.0,
+                                   use_node_weights=True).cost
+        clone = Hypergraph(4, [(0, 2), (2, 3)])  # node0 -> {0,1}
+        blown = exact_partition(clone, 2, eps=0.0).cost
+        assert weighted == blown

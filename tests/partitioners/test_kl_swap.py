@@ -1,0 +1,62 @@
+"""Tests for KL pairwise-swap refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Hypergraph, Partition, cost, is_balanced
+from repro.errors import ProblemTooLargeError
+from repro.generators import block, random_hypergraph
+from repro.partitioners import kl_swap_refine
+
+
+class TestKLSwap:
+    def test_fixes_tight_balance_stall(self):
+        """At ε = 0 the crossed assignment cannot be fixed by single
+        moves, but one swap repairs it."""
+        g = Hypergraph(4, [(0, 1)] * 3 + [(2, 3)] * 3)
+        crossed = Partition(np.array([0, 1, 1, 0]), 2)
+        refined = kl_swap_refine(g, crossed, eps=0.0)
+        assert cost(g, refined) == 0.0
+        assert is_balanced(refined, 0.0)
+
+    def test_never_worse(self):
+        for seed in range(5):
+            g = random_hypergraph(20, 24, rng=seed)
+            start = Partition(
+                np.array([i % 2 for i in range(20)]), 2)
+            refined = kl_swap_refine(g, start, eps=0.0)
+            assert cost(g, refined) <= cost(g, start) + 1e-9
+            assert is_balanced(refined, 0.0)
+
+    def test_preserves_sizes_exactly(self):
+        g = random_hypergraph(12, 10, rng=1)
+        start = Partition(np.array([i % 3 for i in range(12)]), 3)
+        refined = kl_swap_refine(g, start, eps=0.0)
+        assert refined.sizes().tolist() == start.sizes().tolist()
+
+    def test_weighted_swaps_respect_caps(self):
+        g = Hypergraph(4, [(0, 2), (1, 3)], node_weights=[3, 1, 1, 3])
+        start = Partition(np.array([0, 0, 1, 1]), 2)
+        caps = np.array([4.0, 4.0])
+        refined = kl_swap_refine(g, start, caps=caps)
+        w = g.node_weights
+        sizes = [w[refined.labels == p].sum() for p in (0, 1)]
+        assert max(sizes) <= 4.0
+
+    def test_size_guard(self):
+        g = Hypergraph(700, [])
+        with pytest.raises(ProblemTooLargeError):
+            kl_swap_refine(g, np.zeros(700, dtype=np.int64), k=2)
+
+    def test_raw_labels_need_k(self):
+        g = random_hypergraph(6, 4, rng=0)
+        with pytest.raises(ValueError):
+            kl_swap_refine(g, np.zeros(6, dtype=np.int64))
+
+    def test_improves_separable_blocks(self):
+        g = Hypergraph.disjoint_union([block(4), block(4)])
+        crossed = Partition(np.array([0, 1, 0, 1, 1, 0, 1, 0]), 2)
+        refined = kl_swap_refine(g, crossed, eps=0.0, max_sweeps=8)
+        assert cost(g, refined) == 0.0

@@ -1,0 +1,214 @@
+"""Tests for Lemma 6.3 (3-colouring), Thm 6.4 (OVP), Thm 5.2 (layer-wise),
+Lemma A.1 (ε padding) and Lemma B.3 (hyperDAG NP-hardness)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Hypergraph,
+    Metric,
+    Partition,
+    cost,
+    is_balanced,
+    is_hyperdag,
+)
+from repro.generators import random_hypergraph
+from repro.partitioners import (
+    exact_partition,
+    xp_multiconstraint_decision,
+)
+from repro.reductions import (
+    OVPInstance,
+    build_coloring_reduction,
+    build_hyperdag_np_reduction,
+    build_layerwise_reduction,
+    build_ovp_reduction,
+    is_three_colorable,
+    layerwise_zero_cost_feasible,
+    lift_ksection_solution,
+    ovp_brute_force,
+    pad_for_ksection,
+    three_coloring_brute_force,
+)
+
+TRIANGLE = (3, ((0, 1), (1, 2), (0, 2)))
+K4 = (4, tuple((i, j) for i in range(4) for j in range(i + 1, 4)))
+PATH3 = (3, ((0, 1), (1, 2)))
+ODD_CYCLE5 = (5, ((0, 1), (1, 2), (2, 3), (3, 4), (4, 0)))
+
+
+class TestColoringOracle:
+    def test_triangle_colorable(self):
+        assert is_three_colorable(*TRIANGLE)
+
+    def test_k4_not(self):
+        assert not is_three_colorable(*K4)
+
+    def test_witness_is_proper(self):
+        col = three_coloring_brute_force(*ODD_CYCLE5)
+        assert col is not None
+        assert all(col[u] != col[v] for u, v in ODD_CYCLE5[1])
+
+
+class TestLemma63:
+    @pytest.mark.parametrize("graph,expect", [
+        (TRIANGLE, True), (K4, False), (PATH3, True), (ODD_CYCLE5, True),
+    ])
+    def test_cost0_iff_colorable(self, graph, expect):
+        n, edges = graph
+        red = build_coloring_reduction(n, edges, eps=0.3)
+        w = xp_multiconstraint_decision(red.hypergraph, 2, L=0,
+                                        constraints=red.built.constraints,
+                                        eps=0.3)
+        assert (w is not None) == expect
+
+    def test_witness_maps_to_proper_coloring(self):
+        n, edges = ODD_CYCLE5
+        red = build_coloring_reduction(n, edges, eps=0.3)
+        w = xp_multiconstraint_decision(red.hypergraph, 2, L=0,
+                                        constraints=red.built.constraints,
+                                        eps=0.3)
+        assert w is not None
+        colours = red.coloring_from_partition(w)
+        assert all(colours[u] != colours[v] for u, v in edges)
+
+    def test_forward_mapping_feasible(self):
+        n, edges = TRIANGLE
+        red = build_coloring_reduction(n, edges, eps=0.3)
+        colours = three_coloring_brute_force(n, edges)
+        p = red.partition_from_coloring(colours)
+        assert cost(red.hypergraph, p, Metric.CUT_NET) == 0
+        assert red.built.constraints.is_feasible(p, eps=0.3)
+
+    def test_constraint_count_matches_paper(self):
+        # 2n + 3|E| semantic constraints (+1 anchor pair).
+        n, edges = K4
+        red = build_coloring_reduction(n, edges, eps=0.3)
+        assert red.built.constraints.c == 2 * n + 3 * len(edges) + 1
+
+
+class TestTheorem64:
+    def test_yes_instance(self):
+        inst = OVPInstance(((1, 0, 1), (0, 1, 0), (1, 1, 1)))
+        assert ovp_brute_force(inst) == (0, 1)
+        red = build_ovp_reduction(inst, eps=0.3)
+        w = xp_multiconstraint_decision(red.hypergraph, 2, L=0,
+                                        constraints=red.built.constraints,
+                                        eps=0.3)
+        assert w is not None
+        i, j = red.pair_from_partition(w)
+        assert all(a * b == 0 for a, b in
+                   zip(inst.vectors[i], inst.vectors[j]))
+
+    def test_no_instance(self):
+        inst = OVPInstance(((1, 0, 1), (0, 1, 1), (1, 1, 0)))
+        assert ovp_brute_force(inst) is None
+        red = build_ovp_reduction(inst, eps=0.3)
+        w = xp_multiconstraint_decision(red.hypergraph, 2, L=0,
+                                        constraints=red.built.constraints,
+                                        eps=0.3)
+        assert w is None
+
+    def test_forward_mapping(self):
+        inst = OVPInstance(((1, 0), (0, 1), (1, 1)))
+        red = build_ovp_reduction(inst, eps=0.3)
+        p = red.partition_from_pair(0, 1)
+        assert cost(red.hypergraph, p, Metric.CUT_NET) == 0
+        assert red.built.constraints.is_feasible(p, eps=0.3)
+
+    def test_constraint_count(self):
+        # D dimension constraints + 1 anchor-count (+1 anchor pair).
+        inst = OVPInstance(((1, 0, 0, 1), (0, 1, 0, 0)))
+        red = build_ovp_reduction(inst, eps=0.3)
+        assert red.built.constraints.c == inst.dim + 2
+
+    def test_needs_two_vectors(self):
+        with pytest.raises(ValueError):
+            build_ovp_reduction(OVPInstance(((1, 0),)), eps=0.3)
+
+
+class TestTheorem52:
+    @pytest.mark.parametrize("graph,expect", [
+        (TRIANGLE, True), (K4, False), (PATH3, True),
+    ])
+    def test_layerwise_cost0_iff_colorable(self, graph, expect):
+        n, edges = graph
+        red = build_coloring_reduction(n, edges, eps=0.3)
+        li = build_layerwise_reduction(red.built)
+        assert layerwise_zero_cost_feasible(li) == expect
+
+    def test_unique_layering(self):
+        n, edges = PATH3
+        red = build_coloring_reduction(n, edges, eps=0.3)
+        li = build_layerwise_reduction(red.built)
+        assert np.array_equal(li.dag.asap_layers(), li.dag.alap_layers())
+        assert li.dag.is_valid_layering(li.layer_of)
+
+    def test_layer_sizes_consistent(self):
+        n, edges = TRIANGLE
+        red = build_coloring_reduction(n, edges, eps=0.3)
+        li = build_layerwise_reduction(red.built)
+        assert sum(li.layer_sizes) == li.dag.n
+        assert li.num_layers == li.dag.longest_path_length()
+
+
+class TestLemmaA1:
+    def test_padded_size(self):
+        g = random_hypergraph(9, 6, rng=0)
+        padded = pad_for_ksection(g, k=2, eps=0.5)
+        assert padded.n % 2 == 0
+        assert padded.n >= int(np.ceil(1.5 * 9))
+
+    def test_optimum_correspondence(self):
+        """k-section OPT of the padded graph == ε-balanced OPT."""
+        for seed in range(3):
+            g = random_hypergraph(8, 6, rng=seed)
+            eps = 0.5
+            direct = exact_partition(g, 2, eps=eps).cost
+            padded = pad_for_ksection(g, 2, eps)
+            via = exact_partition(padded, 2, eps=0.0).cost
+            assert direct == via, seed
+
+    def test_lift_solution(self):
+        g = random_hypergraph(8, 6, rng=1)
+        padded = pad_for_ksection(g, 2, 0.5)
+        res = exact_partition(padded, 2, eps=0.0)
+        lifted = lift_ksection_solution(g, res.partition)
+        assert lifted.n == g.n
+        assert is_balanced(lifted, 0.5)
+        assert cost(g, lifted) == res.cost
+
+
+class TestLemmaB3:
+    def test_result_is_hyperdag(self):
+        g = random_hypergraph(5, 4, rng=2)
+        red = build_hyperdag_np_reduction(g, k=2, eps=0.25)
+        assert is_hyperdag(red.hypergraph)
+
+    def test_eps_prime_positive(self):
+        g = random_hypergraph(5, 4, rng=2)
+        red = build_hyperdag_np_reduction(g, k=2, eps=0.25)
+        assert red.eps_prime > 0
+
+    def test_forward_mapping_preserves_cost_and_balance(self):
+        g = random_hypergraph(5, 4, rng=3)
+        res = exact_partition(g, 2, eps=0.25)
+        red = build_hyperdag_np_reduction(g, k=2, eps=0.25)
+        mapped = red.partition_from_original(res.partition)
+        assert cost(red.hypergraph, mapped) == res.cost
+        assert is_balanced(mapped, red.eps_prime)
+
+    def test_roundtrip(self):
+        g = random_hypergraph(5, 4, rng=4)
+        res = exact_partition(g, 2, eps=0.25)
+        red = build_hyperdag_np_reduction(g, k=2, eps=0.25)
+        mapped = red.partition_from_original(res.partition)
+        back = red.partition_to_original(mapped)
+        assert back == res.partition
+
+    def test_eps_zero_rejected(self):
+        g = random_hypergraph(4, 3, rng=0)
+        with pytest.raises(ValueError):
+            build_hyperdag_np_reduction(g, eps=0.0)

@@ -1,0 +1,156 @@
+"""Tests for Theorem 5.5 (μ_p hardness) and Theorem E.1 (layering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemTooLargeError
+from repro.reductions import (
+    find_clique,
+    find_grouping,
+    find_triplet_partition,
+    is_strict_three_partition_instance,
+    layering_instance,
+    layering_zero_cost_exists,
+    mup_bounded_height_instance,
+    mup_chain_instance,
+    mup_level_order_instance,
+    mup_outtree_instance,
+)
+from repro.scheduling import (
+    chain_fixed_makespan,
+    exact_fixed_makespan,
+    is_forest,
+    optimal_makespan,
+)
+
+YES_NUMBERS, YES_B = [2, 2, 1, 3], 4       # groups (2,2) and (1,3)
+NO_NUMBERS, NO_B = [3, 3, 2], 4            # sum 8; no subset sums to 4
+
+
+class TestNumberOracles:
+    def test_grouping_yes(self):
+        groups = find_grouping(YES_NUMBERS, YES_B)
+        assert groups is not None
+        for g in groups:
+            assert sum(YES_NUMBERS[i] for i in g) == YES_B
+
+    def test_grouping_no(self):
+        assert find_grouping(NO_NUMBERS, NO_B) is None
+
+    def test_grouping_bad_b(self):
+        assert find_grouping([1, 2], 5) is None
+        assert find_grouping([1, 2], 0) is None
+
+    def test_triplets_yes(self):
+        trip = find_triplet_partition([4, 4, 4, 4, 4, 4], 12)
+        assert trip is not None and all(len(t) == 3 for t in trip)
+
+    def test_triplets_no(self):
+        assert find_triplet_partition([5, 5, 5, 5, 5, 7], 16) is None
+
+    def test_strictness_promise(self):
+        assert is_strict_three_partition_instance([4, 4, 4], 12)
+        assert not is_strict_three_partition_instance([2, 5, 5], 12)
+
+
+class TestTheorem55Chains:
+    def test_yes_instance_hits_target(self):
+        inst = mup_chain_instance(YES_NUMBERS, YES_B)
+        assert inst.dag.n == 4 * 2 * YES_B
+        mup = chain_fixed_makespan(inst.dag, inst.labels, 2)
+        assert mup == inst.target
+
+    def test_no_instance_misses_target(self):
+        inst = mup_chain_instance(NO_NUMBERS, NO_B)
+        mup = chain_fixed_makespan(inst.dag, inst.labels, 2)
+        assert mup > inst.target
+
+    def test_mu_itself_is_fine(self):
+        """The paradox of Theorem 5.5: μ is easy (Coffman–Graham) and
+        equals the flawless bound — only μ_p is hard."""
+        inst = mup_chain_instance(NO_NUMBERS, NO_B)
+        assert optimal_makespan(inst.dag, 2) == inst.target
+
+    def test_level_order_alias(self):
+        inst = mup_level_order_instance(YES_NUMBERS, YES_B)
+        assert inst.kind == "level-order"
+        assert chain_fixed_makespan(inst.dag, inst.labels, 2) == inst.target
+
+    def test_bad_b(self):
+        with pytest.raises(ValueError):
+            mup_chain_instance([1, 2], 2)
+
+
+class TestTheorem55OutTree:
+    def test_is_out_tree(self):
+        inst = mup_outtree_instance([2, 2], 2)
+        assert is_forest(inst.dag, "out")
+        assert len(inst.dag.sources()) == 1
+
+    def test_yes_instance(self):
+        inst = mup_outtree_instance([2, 2], 2)
+        mup = exact_fixed_makespan(inst.dag, inst.labels, 2, max_nodes=20)
+        assert mup == inst.target
+
+    def test_no_instance(self):
+        inst = mup_outtree_instance([1, 3], 2)  # no subset sums to 2... 1+?
+        # numbers [1,3]: groups of sum 2 impossible (1 alone, 3 alone)
+        assert find_grouping([1, 3], 2) is None
+        mup = exact_fixed_makespan(inst.dag, inst.labels, 2, max_nodes=20)
+        assert mup > inst.target
+
+
+class TestTheorem55BoundedHeight:
+    def test_triangle_clique_yes(self):
+        inst = mup_bounded_height_instance(3, ((0, 1), (1, 2), (0, 2)), 3)
+        assert inst.dag.longest_path_length() <= 4
+        mup = exact_fixed_makespan(inst.dag, inst.labels, 2, max_nodes=20)
+        assert mup == inst.target
+
+    def test_c4_clique_no(self):
+        edges = ((0, 1), (1, 2), (2, 3), (0, 3))
+        assert find_clique(4, edges, 3) is None
+        inst = mup_bounded_height_instance(4, edges, 3)
+        mup = exact_fixed_makespan(inst.dag, inst.labels, 2, max_nodes=20)
+        assert mup > inst.target
+
+    def test_clique_oracle(self):
+        edges = ((0, 1), (1, 2), (0, 2), (2, 3))
+        assert find_clique(4, edges, 3) == (0, 1, 2)
+        assert find_clique(4, edges, 4) is None
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            mup_bounded_height_instance(3, ((0, 1),), 3)
+
+
+class TestTheoremE1:
+    def test_yes_instance_full_search(self):
+        li = layering_instance(YES_NUMBERS, YES_B, m=9)
+        assert layering_zero_cost_exists(li, grouped_only=True)
+        assert layering_zero_cost_exists(li)
+
+    def test_no_instance_full_search(self):
+        li = layering_instance(NO_NUMBERS, NO_B, m=9)
+        assert not layering_zero_cost_exists(li, grouped_only=True)
+        assert not layering_zero_cost_exists(li)
+
+    def test_group_nodes_are_flexible(self):
+        """The gadget nodes are exactly the layering-flexible ones
+        (Appendix E.2: nodes not on any maximum path)."""
+        li = layering_instance([1, 1, 1, 1], 2, m=5)
+        flexible = set(li.dag.flexible_nodes())
+        gadget = {v for grp in li.first_groups for v in grp}
+        gadget |= {v for grp in li.second_groups for v in grp}
+        assert gadget <= flexible
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            layering_instance([2, 2], 2, m=3)  # m must exceed t*b = 4
+
+    def test_state_guard(self):
+        li = layering_instance([2, 2, 1, 3], 4, m=9)
+        with pytest.raises(ProblemTooLargeError):
+            layering_zero_cost_exists(li, state_limit=1)

@@ -1,0 +1,145 @@
+"""Tests for SpES, Lemma C.1, and the Δ=2/hyperDAG version (Thm 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Metric, cost, is_balanced, is_hyperdag
+from repro.errors import ProblemTooLargeError
+from repro.generators import has_bipartite_edge_property
+from repro.reductions import (
+    SpESInstance,
+    build_delta2_reduction,
+    build_spes_reduction,
+    min_p_union,
+    spes_optimum,
+)
+
+TRIANGLE_PLUS = SpESInstance(4, ((0, 1), (1, 2), (0, 2), (2, 3)), p=2)
+
+
+class TestSpESOracle:
+    def test_instance_validation(self):
+        with pytest.raises(ValueError):
+            SpESInstance(3, ((0, 0),), p=1)
+        with pytest.raises(ValueError):
+            SpESInstance(3, ((0, 1), (1, 0)), p=1)  # duplicate
+        with pytest.raises(ValueError):
+            SpESInstance(3, ((0, 1),), p=2)
+
+    def test_min_p_union_triangle(self):
+        inst = SpESInstance(3, ((0, 1), (1, 2), (0, 2)), p=2)
+        opt, chosen = min_p_union(inst)
+        assert opt == 3  # any two triangle edges cover all 3 nodes
+        assert len(chosen) == 2
+
+    def test_p_zero(self):
+        assert spes_optimum(SpESInstance(3, ((0, 1),), p=0)) == 0
+
+    def test_disjoint_edges(self):
+        inst = SpESInstance(6, ((0, 1), (2, 3), (4, 5)), p=2)
+        assert spes_optimum(inst) == 4
+
+    def test_star_center_shared(self):
+        inst = SpESInstance(4, ((0, 1), (0, 2), (0, 3)), p=2)
+        assert spes_optimum(inst) == 3  # two star edges share the centre
+
+    def test_guard(self):
+        edges = tuple((i, j) for i in range(10) for j in range(i + 1, 10))
+        with pytest.raises(ProblemTooLargeError):
+            min_p_union(SpESInstance(10, edges, p=20), max_combos=10)
+
+
+class TestLemmaC1:
+    @pytest.mark.parametrize("eps", [0.0, 0.2, 0.5])
+    def test_opt_correspondence(self, eps):
+        """The testable core of Theorem 4.1: OPT_part == OPT_SpES."""
+        red = build_spes_reduction(TRIANGLE_PLUS, eps=eps)
+        opt_spes, chosen = min_p_union(TRIANGLE_PLUS)
+        opt_part, witness = red.block_respecting_optimum()
+        assert opt_part == opt_spes
+        assert is_balanced(witness, eps)
+
+    def test_forward_mapping_cost(self):
+        red = build_spes_reduction(TRIANGLE_PLUS, eps=0.2)
+        opt, chosen = min_p_union(TRIANGLE_PLUS)
+        p = red.partition_from_edge_subset(chosen)
+        assert is_balanced(p, 0.2)
+        assert cost(red.hypergraph, p, Metric.CUT_NET) == opt
+
+    def test_backward_mapping(self):
+        red = build_spes_reduction(TRIANGLE_PLUS, eps=0.2)
+        opt_part, witness = red.block_respecting_optimum()
+        chosen = red.edge_subset_from_partition(witness)
+        assert len(chosen) >= TRIANGLE_PLUS.p
+        covered = set()
+        for j in list(chosen)[:TRIANGLE_PLUS.p]:
+            covered.update(TRIANGLE_PLUS.edges[j])
+        # any p of the red edges cover at most OPT_part nodes... at least:
+        # the SpES objective value of the returned solution equals OPT.
+        assert len(covered) <= opt_part
+
+    def test_suboptimal_edge_choice_costs_more(self):
+        # After canonical sorting the edges are (0,1), (0,2), (2,3):
+        # the first two share node 0 (3 covered), (0,1)+(2,3) are
+        # disjoint (4 covered) — the mapping must reproduce both costs.
+        inst = SpESInstance(6, ((0, 1), (2, 3), (0, 2)), p=2)
+        assert inst.edges == ((0, 1), (0, 2), (2, 3))
+        red = build_spes_reduction(inst, eps=0.2)
+        good = red.partition_from_edge_subset((0, 1))  # share node 0 -> 3
+        bad = red.partition_from_edge_subset((0, 2))   # disjoint -> 4
+        assert cost(red.hypergraph, good, Metric.CUT_NET) == 3
+        assert cost(red.hypergraph, bad, Metric.CUT_NET) == 4
+
+    def test_size_polynomial(self):
+        red = build_spes_reduction(TRIANGLE_PLUS, eps=0.2)
+        n = TRIANGLE_PLUS.num_nodes
+        assert red.n_prime <= 100 * n**3
+
+    def test_eps_bounds(self):
+        with pytest.raises(ValueError):
+            build_spes_reduction(TRIANGLE_PLUS, eps=1.0)
+
+    def test_node_guard(self):
+        with pytest.raises(ProblemTooLargeError):
+            build_spes_reduction(TRIANGLE_PLUS, eps=0.2, max_nodes=10)
+
+
+class TestDelta2:
+    @pytest.fixture(scope="class")
+    def reduction(self):
+        inst = SpESInstance(3, ((0, 1), (1, 2), (0, 2)), p=2)
+        return inst, build_delta2_reduction(inst, eps=0.2)
+
+    def test_degree_two(self, reduction):
+        _, red = reduction
+        assert red.hypergraph.max_degree == 2
+
+    def test_is_hyperdag(self, reduction):
+        """Appendix C.3: the construction is a valid hyperDAG."""
+        _, red = reduction
+        assert is_hyperdag(red.hypergraph)
+
+    def test_bipartite_property(self, reduction):
+        """The [30] SpMV-class property claimed after Lemma C.6."""
+        _, red = reduction
+        assert has_bipartite_edge_property(red.hypergraph)
+
+    def test_solution_mapping_cost_and_balance(self, reduction):
+        inst, red = reduction
+        opt, chosen = min_p_union(inst)
+        p = red.partition_from_edge_subset(chosen)
+        assert is_balanced(p, 0.2)
+        assert cost(red.hypergraph, p, Metric.CUT_NET) == opt
+
+    def test_p_minus_one_red_grids_unbalanced(self, reduction):
+        """The balance constraint really forces ≥ p red edge grids."""
+        inst, red = reduction
+        p = red.partition_from_edge_subset((0,))  # only one red grid
+        assert not is_balanced(p, 0.2)
+
+    def test_guard(self):
+        inst = SpESInstance(3, ((0, 1), (1, 2), (0, 2)), p=2)
+        with pytest.raises(ProblemTooLargeError):
+            build_delta2_reduction(inst, eps=0.2, max_nodes=50)

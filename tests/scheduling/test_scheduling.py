@@ -1,0 +1,252 @@
+"""Tests for DAG scheduling: list scheduling, μ, μ_p (Section 5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DAG
+from repro.errors import ProblemTooLargeError
+from repro.generators import chain_graph, random_out_tree
+from repro.scheduling import (
+    Schedule,
+    chain_decomposition,
+    chain_fixed_makespan,
+    coffman_graham_makespan,
+    critical_path_priority,
+    exact_fixed_makespan,
+    exact_makespan,
+    fixed_makespan,
+    hu_makespan,
+    is_forest,
+    list_schedule,
+    list_schedule_fixed_partition,
+    optimal_makespan,
+    schedule_based_feasible,
+    schedule_based_feasible_heuristic,
+    trivial_lower_bound,
+)
+
+from ..conftest import dags
+
+
+class TestSchedule:
+    def test_valid_schedule(self, diamond_dag):
+        s = Schedule(np.array([0, 0, 1, 0]), np.array([1, 2, 2, 3]), 2)
+        assert s.is_valid(diamond_dag)
+        assert s.makespan == 3
+
+    def test_slot_conflict_invalid(self, diamond_dag):
+        s = Schedule(np.array([0, 0, 0, 0]), np.array([1, 2, 2, 3]), 2)
+        assert not s.is_valid(diamond_dag)
+
+    def test_precedence_violation_invalid(self, diamond_dag):
+        s = Schedule(np.array([0, 1, 0, 1]), np.array([2, 1, 3, 4]), 2)
+        assert not s.is_valid(diamond_dag)
+
+    def test_time_must_be_positive(self, diamond_dag):
+        s = Schedule(np.array([0, 1, 0, 1]), np.array([0, 1, 1, 2]), 2)
+        assert not s.is_valid(diamond_dag)
+
+    def test_respects_partition(self, diamond_dag):
+        s = Schedule(np.array([0, 0, 1, 0]), np.array([1, 2, 2, 3]), 2)
+        assert s.respects_partition(np.array([0, 0, 1, 0]))
+        assert not s.respects_partition(np.array([0, 0, 0, 0]))
+
+    def test_lower_bound(self, diamond_dag):
+        assert trivial_lower_bound(diamond_dag, 2) == 3  # path length wins
+        assert trivial_lower_bound(DAG(6, []), 2) == 3  # n/k wins
+
+
+class TestListScheduling:
+    @given(dags(), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_always_valid(self, d, k):
+        s = list_schedule(d, k)
+        assert s.is_valid(d)
+        assert s.makespan >= trivial_lower_bound(d, k)
+
+    def test_path_is_serial(self):
+        d = DAG.path(5)
+        assert list_schedule(d, 3).makespan == 5
+
+    def test_parallel_components(self):
+        d = chain_graph([4, 4])
+        assert list_schedule(d, 2).makespan == 4
+
+    def test_priority_matters(self):
+        # Critical-path priority schedules the long chain first.
+        d = DAG.disjoint_union([DAG.path(4), DAG.path(1), DAG.path(1),
+                                DAG.path(1), DAG.path(1)])
+        s = list_schedule(d, 2)
+        assert s.makespan == 4
+
+    def test_fixed_partition_valid(self, diamond_dag):
+        labels = np.array([0, 0, 1, 1])
+        s = list_schedule_fixed_partition(diamond_dag, labels, 2)
+        assert s.is_valid(diamond_dag)
+        assert s.respects_partition(labels)
+
+    def test_fixed_partition_figure4(self):
+        """Figure 4: serially composed halves, each monochromatic —
+        no parallelism at all, makespan = n."""
+        a, b = DAG.path(4), DAG.path(4)
+        d = DAG.serial_concatenation(a, b)
+        labels = np.array([0] * 4 + [1] * 4)
+        s = list_schedule_fixed_partition(d, labels, 2)
+        assert s.makespan == 8
+
+    def test_bad_label_length(self, diamond_dag):
+        with pytest.raises(ValueError):
+            list_schedule_fixed_partition(diamond_dag, np.array([0]), 2)
+
+    def test_k_guard(self, diamond_dag):
+        with pytest.raises(ValueError):
+            list_schedule(diamond_dag, 0)
+
+
+class TestOptimalMakespan:
+    def test_exact_diamond(self, diamond_dag):
+        assert exact_makespan(diamond_dag, 2) == 3
+        assert exact_makespan(diamond_dag, 1) == 4
+
+    def test_exact_guards(self):
+        with pytest.raises(ProblemTooLargeError):
+            exact_makespan(DAG(30, []), 2, max_nodes=20)
+
+    def test_hu_out_tree(self, rng):
+        d = random_out_tree(14, rng)
+        assert is_forest(d, "out")
+        assert hu_makespan(d, 2) == exact_makespan(d, 2)
+
+    def test_hu_in_tree(self):
+        # binary in-tree (reduction tree) is an in-forest
+        from repro.generators import reduction_tree_dag
+        d = reduction_tree_dag(8)
+        assert is_forest(d, "in")
+        assert hu_makespan(d, 2) == exact_makespan(d, 2)
+
+    def test_hu_rejects_general(self, diamond_dag):
+        d = DAG(4, [(0, 2), (1, 2), (0, 3), (1, 3)])
+        with pytest.raises(ValueError):
+            hu_makespan(d, 2)
+
+    @given(dags(max_nodes=9))
+    @settings(max_examples=40, deadline=None)
+    def test_coffman_graham_optimal(self, d):
+        assert coffman_graham_makespan(d) == exact_makespan(d, 2)
+
+    @given(dags(max_nodes=8), st.integers(2, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_dispatch_consistent(self, d, k):
+        assert optimal_makespan(d, k) == exact_makespan(d, k)
+
+    def test_k_ge_n_shortcut(self):
+        d = DAG.path(3)
+        assert optimal_makespan(d, 10) == 3
+
+
+class TestFixedMakespan:
+    def test_mup_ge_mu(self, diamond_dag):
+        mu = exact_makespan(diamond_dag, 2)
+        labels = np.array([0, 0, 1, 1])
+        assert exact_fixed_makespan(diamond_dag, labels, 2) >= mu
+
+    def test_perfect_split(self):
+        d = chain_graph([3, 3])
+        labels = np.array([0] * 3 + [1] * 3)
+        assert exact_fixed_makespan(d, labels, 2) == 3
+
+    def test_bad_split_serialises(self):
+        # Both chains on processor 0: processor 1 idles, makespan 6.
+        d = chain_graph([3, 3])
+        labels = np.zeros(6, dtype=np.int64)
+        assert exact_fixed_makespan(d, labels, 2) == 6
+
+    def test_chain_solver_matches_general(self, rng):
+        for seed in range(5):
+            gen = np.random.default_rng(seed)
+            lens = gen.integers(1, 4, size=3).tolist()
+            d = chain_graph(lens)
+            labels = gen.integers(0, 2, size=d.n)
+            assert chain_fixed_makespan(d, labels, 2) == \
+                exact_fixed_makespan(d, labels, 2)
+
+    def test_chain_solver_rejects_non_chain(self, diamond_dag):
+        with pytest.raises(ValueError):
+            chain_fixed_makespan(diamond_dag, np.zeros(4, dtype=np.int64), 2)
+
+    def test_chain_decomposition(self):
+        d = chain_graph([2, 3])
+        chains = chain_decomposition(d)
+        assert chains is not None
+        assert sorted(len(c) for c in chains) == [2, 3]
+        assert chain_decomposition(DAG(3, [(0, 1), (0, 2)])) is None
+
+    def test_dispatcher(self):
+        d = chain_graph([2, 2])
+        labels = np.array([0, 0, 1, 1])
+        assert fixed_makespan(d, labels, 2) == 2
+
+    def test_list_schedule_upper_bounds_mup(self, rng):
+        for seed in range(5):
+            gen = np.random.default_rng(seed)
+            d = chain_graph(gen.integers(1, 4, size=3).tolist())
+            labels = gen.integers(0, 2, size=d.n)
+            exact = chain_fixed_makespan(d, labels, 2)
+            greedy = list_schedule_fixed_partition(d, labels, 2).makespan
+            assert greedy >= exact
+
+
+class TestScheduleBasedConstraint:
+    def test_figure4_infeasible(self):
+        """Figure 4 phenomenon: a perfectly balanced split that cannot be
+        parallelised fails the schedule-based constraint."""
+        a, b = DAG.path(4), DAG.path(4)
+        d = DAG.serial_concatenation(a, b)
+        labels = np.array([0] * 4 + [1] * 4)
+        # μ = 8 (d is a path-like serial DAG): all partitions feasible...
+        mu = optimal_makespan(d, 2)
+        assert mu == 8
+        assert schedule_based_feasible(d, labels, 2, eps=0.0, mu=mu)
+        # ...but with two independent chains the same split fails:
+        d2 = chain_graph([4, 4])
+        labels2 = np.zeros(8, dtype=np.int64)
+        assert not schedule_based_feasible(d2, labels2, 2, eps=0.0)
+        good = np.array([0] * 4 + [1] * 4)
+        assert schedule_based_feasible(d2, good, 2, eps=0.0)
+
+    def test_heuristic_one_sided(self):
+        d = chain_graph([4, 4])
+        good = np.array([0] * 4 + [1] * 4)
+        assert schedule_based_feasible_heuristic(d, good, 2, eps=0.0)
+
+    def test_priority_computation(self, diamond_dag):
+        prio = critical_path_priority(diamond_dag)
+        assert prio.tolist() == [3, 2, 2, 1]
+
+
+class TestChainScheduleWitness:
+    def test_witness_valid_and_optimal(self):
+        from repro.scheduling import chain_fixed_schedule
+        d = chain_graph([3, 2, 2])
+        labels = np.array([0, 0, 1, 1, 0, 1, 0])
+        sched = chain_fixed_schedule(d, labels, 2)
+        assert sched.is_valid(d)
+        assert sched.respects_partition(labels)
+        assert sched.makespan == chain_fixed_makespan(d, labels, 2)
+
+    def test_witness_on_thm55_instance(self):
+        from repro.reductions import mup_chain_instance
+        from repro.scheduling import chain_fixed_schedule
+        inst = mup_chain_instance([2, 2], 2)
+        sched = chain_fixed_schedule(inst.dag, inst.labels, 2)
+        assert sched.makespan == inst.target
+        assert sched.is_valid(inst.dag)
+
+    def test_rejects_non_chain(self, diamond_dag):
+        from repro.scheduling import chain_fixed_schedule
+        with pytest.raises(ValueError):
+            chain_fixed_schedule(diamond_dag, np.zeros(4, dtype=np.int64), 2)

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import densest_hyperdag
+from repro.generators import random_hypergraph
+from repro.io import read_partition, write_hgr
+
+
+@pytest.fixture
+def hgr_file(tmp_path):
+    g = random_hypergraph(20, 18, rng=0)
+    path = tmp_path / "g.hgr"
+    write_hgr(g, path)
+    return path
+
+
+class TestPartitionCommand:
+    @pytest.mark.parametrize("algo", ["multilevel", "recursive", "greedy",
+                                      "spectral", "random"])
+    def test_algorithms(self, hgr_file, tmp_path, algo, capsys):
+        out = tmp_path / "p.part"
+        rc = main(["partition", str(hgr_file), "-k", "3", "--eps", "0.2",
+                   "--algorithm", algo, "-o", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "connectivity" in text and "eps-balanced  : True" in text
+        part = read_partition(out, k=3)
+        assert part.n == 20
+
+    def test_exact_small(self, tmp_path, capsys):
+        g = random_hypergraph(8, 6, rng=1)
+        path = tmp_path / "small.hgr"
+        write_hgr(g, path)
+        rc = main(["partition", str(path), "-k", "2", "--eps", "0.2",
+                   "--algorithm", "exact"])
+        assert rc == 0
+        assert "connectivity" in capsys.readouterr().out
+
+    def test_cut_net_metric(self, hgr_file, capsys):
+        rc = main(["partition", str(hgr_file), "-k", "2",
+                   "--metric", "cut-net"])
+        assert rc == 0
+
+
+class TestEvaluateCommand:
+    def test_roundtrip(self, hgr_file, tmp_path, capsys):
+        out = tmp_path / "p.part"
+        main(["partition", str(hgr_file), "-k", "2", "--eps", "0.2",
+              "-o", str(out)])
+        capsys.readouterr()
+        rc = main(["evaluate", str(hgr_file), str(out), "--eps", "0.2"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "cut-net" in text
+
+    def test_length_mismatch(self, hgr_file, tmp_path, capsys):
+        bad = tmp_path / "bad.part"
+        bad.write_text("0\n1\n")
+        rc = main(["evaluate", str(hgr_file), str(bad)])
+        assert rc == 2
+
+
+class TestRecognizeCommand:
+    def test_hyperdag_accepted(self, tmp_path, capsys):
+        path = tmp_path / "hd.hgr"
+        write_hgr(densest_hyperdag(8), path)
+        rc = main(["recognize", str(path)])
+        assert rc == 0
+        assert "hyperDAG: yes" in capsys.readouterr().out
+
+    def test_triangle_rejected(self, tmp_path, capsys):
+        from repro.core import Hypergraph
+        path = tmp_path / "tri.hgr"
+        write_hgr(Hypergraph(3, [(0, 1), (1, 2), (0, 2)]), path)
+        rc = main(["recognize", str(path)])
+        assert rc == 1
+        assert "NOT a hyperDAG" in capsys.readouterr().out
+
+
+class TestInfoCommand:
+    def test_stats(self, hgr_file, capsys):
+        rc = main(["info", str(hgr_file)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "nodes n       : 20" in text
+        assert "pins rho" in text
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("kind,n", [
+        ("random", 30), ("planted", 40), ("spmv-random", 20),
+        ("spmv-banded", 20), ("spmv-laplacian2d", 5),
+        ("spmv-blockdiag", 16), ("hyperdag-fft", 3),
+        ("hyperdag-stencil", 8), ("grid-gadget", 4),
+    ])
+    def test_all_kinds(self, tmp_path, kind, n, capsys):
+        out = tmp_path / "g.hgr"
+        rc = main(["generate", kind, str(out), "-n", str(n)])
+        assert rc == 0
+        assert out.exists()
+        from repro.io import read_hgr
+        g = read_hgr(out)
+        assert g.n > 0
+
+    def test_generate_then_partition(self, tmp_path, capsys):
+        out = tmp_path / "g.hgr"
+        main(["generate", "planted", str(out), "-n", "60", "-k", "3"])
+        capsys.readouterr()
+        rc = main(["partition", str(out), "-k", "3", "--eps", "0.1"])
+        assert rc == 0
+        assert "connectivity" in capsys.readouterr().out

@@ -1,0 +1,146 @@
+"""End-to-end integration tests across subsystems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Metric,
+    MultiConstraint,
+    cost,
+    hyperdag_from_dag,
+    is_balanced,
+    is_hyperdag,
+    recognize,
+    to_dag,
+    validate_partition,
+)
+from repro.generators import (
+    butterfly_dag,
+    planted_partition_hypergraph,
+    random_hypergraph,
+    random_layered_dag,
+)
+from repro.hierarchy import (
+    HierarchyTopology,
+    hierarchical_cost,
+    recursive_hierarchical_partition,
+    two_step_partition,
+)
+from repro.io import read_hgr, read_partition, write_hgr, write_partition
+from repro.partitioners import (
+    exact_partition,
+    fm_refine,
+    multilevel_partition,
+    xp_multiconstraint_decision,
+)
+from repro.scheduling import (
+    list_schedule_fixed_partition,
+    optimal_makespan,
+)
+
+from .conftest import hypergraphs
+
+
+class TestFullPipelines:
+    def test_generate_partition_refine_evaluate(self, tmp_path):
+        """generate → partition → save → load → evaluate → refine."""
+        g, _ = planted_partition_hypergraph(100, 4, 250, 12, rng=1)
+        part = multilevel_partition(g, 4, eps=0.1, rng=1)
+        ghr = tmp_path / "g.hgr"
+        phr = tmp_path / "g.part"
+        write_hgr(g, ghr)
+        write_partition(part, phr)
+        g2 = read_hgr(ghr)
+        p2 = read_partition(phr, k=4)
+        assert cost(g2, p2) == cost(g, part)
+        report = validate_partition(g2, p2, eps=0.1, relaxed=True)
+        assert report.balanced
+        refined = fm_refine(g2, p2, eps=0.1, relaxed=True)
+        assert cost(g2, refined) <= cost(g2, p2)
+
+    def test_dag_to_partitioned_schedule(self):
+        """DAG → hyperDAG → balanced partition → feasible schedule."""
+        dag = butterfly_dag(3)
+        h, _ = hyperdag_from_dag(dag)
+        part = multilevel_partition(h, 2, eps=0.0, rng=0)
+        assert is_balanced(part, 0.0, relaxed=True)
+        sched = list_schedule_fixed_partition(dag, part.labels, 2)
+        assert sched.is_valid(dag)
+        mu = optimal_makespan(dag, 2)
+        assert sched.makespan >= mu
+
+    def test_hyperdag_roundtrip_through_file(self, tmp_path):
+        dag = random_layered_dag([4, 5, 4], 0.5, np.random.default_rng(2))
+        h, gens = hyperdag_from_dag(dag)
+        path = tmp_path / "hd.hgr"
+        write_hgr(h, path)
+        back = read_hgr(path)
+        cert = recognize(back)
+        assert cert is not None
+        rebuilt = to_dag(back, cert)
+        h2, _ = hyperdag_from_dag(rebuilt)
+        assert sorted(h2.edges) == sorted(back.edges)
+
+    def test_hierarchical_pipeline(self):
+        topo = HierarchyTopology((2, 2), (4.0, 1.0))
+        g, _ = planted_partition_hypergraph(64, 4, 160, 10, rng=3)
+        placed, ts_cost = two_step_partition(g, topo, eps=0.1, rng=0)
+        rec = recursive_hierarchical_partition(g, topo, eps=0.1, rng=0)
+        for part in (placed, rec):
+            assert is_balanced(part, 0.1, relaxed=True)
+            hc = hierarchical_cost(g, part, topo)
+            flat = cost(g, part)
+            assert flat - 1e-9 <= hc <= 4.0 * flat + 1e-9
+
+
+class TestSolverCrossValidation:
+    @given(hypergraphs(max_nodes=6, max_edges=5), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_xp_multiconstraint_vs_exact(self, g, data):
+        """The Appendix D.2 XP solver and branch-and-bound agree on the
+        pure Definition 6.1 feasibility question (cost 0)."""
+        if g.n < 2:
+            return
+        size = data.draw(st.integers(2, g.n))
+        subset = list(range(size))
+        mc = MultiConstraint([subset])
+        xp = xp_multiconstraint_decision(g, 2, L=0, constraints=mc,
+                                         eps=0.0)
+        try:
+            bb = exact_partition(g, 2, eps=0.0, constraints=mc,
+                                 metric=Metric.CUT_NET,
+                                 global_balance=False)
+            bb_zero = bb.cost == 0
+        except Exception:
+            bb_zero = False
+        assert (xp is not None) == bb_zero
+
+    @given(hypergraphs(max_nodes=7, max_edges=6), st.integers(0, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_xp_vs_exact_decision_relaxed(self, g, L):
+        from repro.partitioners import exact_decision, xp_decision
+
+        xp = xp_decision(g, 2, L=L, eps=0.0, metric=Metric.CUT_NET,
+                         relaxed=True)
+        bb = exact_decision(g, 2, L=float(L), eps=0.0,
+                            metric=Metric.CUT_NET, relaxed=True)
+        assert (xp is None) == (bb is None)
+
+
+class TestGuardsAndErrors:
+    def test_exact_guard_messages(self):
+        from repro.errors import ProblemTooLargeError
+        g = random_hypergraph(30, 10, rng=0)
+        with pytest.raises(ProblemTooLargeError, match="guards at"):
+            exact_partition(g, 2)
+
+    def test_everything_importable_from_top_level(self):
+        import repro
+
+        assert repro.__version__
+        assert hasattr(repro, "Hypergraph")
+        assert hasattr(repro, "DAG")

