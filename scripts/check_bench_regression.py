@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Guard against kernel performance regressions.
+
+Re-runs the microbenchmarks from ``benchmarks/bench_kernels.py`` on the
+exact instance sizes recorded in the committed baseline
+(``benchmarks/BENCH_kernels.json``) and compares the vectorised-kernel
+timings. Exits nonzero if any kernel is more than ``--threshold``
+(default 25%) slower than its baseline time.
+
+Run::
+
+    python scripts/check_bench_regression.py
+    python scripts/check_bench_regression.py --threshold 0.5 --repeats 9
+
+Also wired as an opt-in pytest marker::
+
+    PYTHONPATH=src python -m pytest -m benchcheck
+
+Timing on shared hardware is noisy; the check uses best-of-N repeats and
+a generous threshold, but a loaded machine can still produce false
+positives — rerun before trusting a failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+for p in (ROOT / "src", ROOT / "benchmarks"):
+    if str(p) not in sys.path:
+        sys.path.insert(0, str(p))
+
+import bench_kernels  # noqa: E402
+
+DEFAULT_BASELINE = ROOT / "benchmarks" / "BENCH_kernels.json"
+
+
+def compare(baseline: dict, fresh: dict, threshold: float,
+            abs_margin_s: float = 5e-4) -> list[str]:
+    """Return one failure message per kernel slower than baseline*(1+thr).
+
+    A regression must exceed the relative threshold AND be at least
+    ``abs_margin_s`` slower in absolute terms — sub-millisecond kernels
+    jitter by factors of 2-3x from scheduler noise alone, and a 0.2 ms
+    blip is not a regression worth failing CI over.
+    """
+    base_cases = {(c["n"], c["m"]): c["kernels"] for c in baseline["cases"]}
+    failures: list[str] = []
+    for case in fresh["cases"]:
+        key = (case["n"], case["m"])
+        base = base_cases.get(key)
+        if base is None:
+            continue
+        print(f"n={key[0]} m={key[1]}")
+        for name, v in case["kernels"].items():
+            if name not in base:
+                continue
+            base_s = base[name]["vec_s"]
+            ratio = v["vec_s"] / base_s
+            slow = (ratio > 1 + threshold
+                    and v["vec_s"] - base_s > abs_margin_s)
+            print(f"  {name:<15} baseline {base_s * 1e3:8.2f} ms"
+                  f"  now {v['vec_s'] * 1e3:8.2f} ms  ({ratio:5.2f}x) "
+                  f"{'SLOW' if slow else 'ok'}")
+            if slow:
+                failures.append(
+                    f"{name} @ n={key[0]},m={key[1]}: {ratio:.2f}x baseline "
+                    f"(> {1 + threshold:.2f}x allowed)")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                    help="committed baseline JSON to compare against")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional slowdown (0.25 = 25%%)")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="best-of-N timing repeats for the fresh run")
+    ap.add_argument("--abs-margin-ms", type=float, default=0.5,
+                    help="absolute slowdown (ms) a regression must also "
+                         "exceed, filtering sub-ms timing jitter")
+    args = ap.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"error: baseline not found at {baseline_path}; generate it "
+              "with: PYTHONPATH=src python benchmarks/bench_kernels.py",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+
+    sizes = [(c["n"], c["m"]) for c in baseline["cases"]]
+    fresh = bench_kernels.run(sizes, args.repeats, with_parallel=False)
+
+    failures = compare(baseline, fresh, args.threshold,
+                       abs_margin_s=args.abs_margin_ms * 1e-3)
+    if failures:
+        print(f"\nFAIL: {len(failures)} kernel(s) regressed beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: all kernels within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

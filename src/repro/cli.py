@@ -53,6 +53,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metric", choices=["connectivity", "cut-net"],
                    default="connectivity")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--repetitions", type=int, default=1,
+                   help="independent multilevel V-cycles, best kept "
+                        "(multilevel only)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes for independent V-cycles / "
+                        "initial candidates (multilevel only)")
     p.add_argument("-o", "--output", help="write partition file here")
 
     e = sub.add_parser("evaluate", help="evaluate a partition file")
@@ -92,7 +98,9 @@ def _partition(args) -> int:
     if args.algorithm == "multilevel":
         from .partitioners import multilevel_partition
         part = multilevel_partition(graph, args.k, args.eps, metric,
-                                    rng=args.seed)
+                                    rng=args.seed,
+                                    repetitions=args.repetitions,
+                                    n_jobs=args.jobs)
     elif args.algorithm == "recursive":
         from .partitioners import recursive_partition
         part = recursive_partition(graph, args.k, args.eps, metric,

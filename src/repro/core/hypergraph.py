@@ -7,20 +7,25 @@ hyperedges ``E``, each a subset of ``V``.  Following the paper we track
 * ``rho`` — the total number of pins (sum of hyperedge sizes),
 * ``max_degree`` (Δ) — the maximal number of hyperedges incident to a node.
 
-The structure is immutable after construction; derived indices (CSR pin
-arrays, node→edge incidence) are built lazily and cached, which keeps
-construction cheap for the many thousands of small gadget hypergraphs the
-reduction machinery creates while still giving vectorised cost evaluation
-on large instances.
+The structure is immutable after construction.  The *primary*
+representation is CSR: ``(edge_ptr, edge_pins)`` arrays built once by the
+vectorised normalisation kernel (:mod:`repro.core.kernels`); the
+tuple-of-tuples ``edges`` view, the node→edge incidence, and the degree
+vector are derived lazily and cached.  Structural operations
+(contraction, parallel-edge merging, subgraphs, unions) run as array
+programs over the CSR arrays and re-enter through :meth:`from_csr`,
+which skips re-normalisation of already-normalised pin rows.
 """
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..errors import InvalidHypergraphError
+from . import kernels
 
 __all__ = ["Hypergraph"]
 
@@ -45,12 +50,12 @@ class Hypergraph:
 
     __slots__ = (
         "n",
-        "edges",
         "node_weights",
         "edge_weights",
         "name",
         "_edge_ptr",
         "_edge_pins",
+        "_edges_tup",
         "_node_ptr",
         "_node_edges",
         "_degrees",
@@ -67,16 +72,58 @@ class Hypergraph:
         if num_nodes < 0:
             raise InvalidHypergraphError(f"num_nodes must be >= 0, got {num_nodes}")
         self.n = int(num_nodes)
-        normalized: list[tuple[int, ...]] = []
-        for e in edges:
-            pins = tuple(sorted(set(int(v) for v in e)))
-            if pins and (pins[0] < 0 or pins[-1] >= self.n):
-                raise InvalidHypergraphError(
-                    f"hyperedge {pins} has pins outside [0, {self.n})"
-                )
-            normalized.append(pins)
-        self.edges: tuple[tuple[int, ...], ...] = tuple(normalized)
+        mat = [e if isinstance(e, (tuple, list)) else tuple(e) for e in edges]
+        lengths = np.fromiter((len(e) for e in mat), dtype=np.int64,
+                              count=len(mat))
+        flat = np.fromiter(chain.from_iterable(mat), dtype=np.int64,
+                           count=int(lengths.sum()))
+        self._edge_ptr, self._edge_pins = kernels.normalize_edges(
+            lengths, flat, self.n)
+        self._init_weights(node_weights, edge_weights)
+        self.name = name
+        self._edges_tup: tuple[tuple[int, ...], ...] | None = None
+        self._node_ptr: np.ndarray | None = None
+        self._node_edges: np.ndarray | None = None
+        self._degrees: np.ndarray | None = None
 
+    @classmethod
+    def from_csr(
+        cls,
+        num_nodes: int,
+        edge_ptr: np.ndarray,
+        edge_pins: np.ndarray,
+        node_weights: Sequence[float] | np.ndarray | None = None,
+        edge_weights: Sequence[float] | np.ndarray | None = None,
+        name: str = "",
+        copy: bool = True,
+    ) -> "Hypergraph":
+        """Build directly from *normalised* CSR arrays (fast path).
+
+        Pins of each hyperedge must be strictly increasing (sorted,
+        deduplicated); this is validated vectorised in O(ρ) instead of
+        re-running the per-edge normalisation loop.  Contraction,
+        parallel-edge merging, and the other structural operations use
+        this entry point.  With ``copy=False`` the arrays are adopted
+        without copying — callers must not mutate them afterwards.
+        """
+        if num_nodes < 0:
+            raise InvalidHypergraphError(f"num_nodes must be >= 0, got {num_nodes}")
+        ptr = np.array(edge_ptr, dtype=np.int64, copy=copy)
+        pins = np.array(edge_pins, dtype=np.int64, copy=copy)
+        kernels.check_csr(ptr, pins, int(num_nodes))
+        self = object.__new__(cls)
+        self.n = int(num_nodes)
+        self._edge_ptr, self._edge_pins = ptr, pins
+        self._init_weights(node_weights, edge_weights)
+        self.name = name
+        self._edges_tup = None
+        self._node_ptr = None
+        self._node_edges = None
+        self._degrees = None
+        return self
+
+    def _init_weights(self, node_weights, edge_weights) -> None:
+        m = self._edge_ptr.shape[0] - 1
         if node_weights is None:
             self.node_weights = np.ones(self.n, dtype=np.float64)
         else:
@@ -86,42 +133,42 @@ class Hypergraph:
             if np.any(self.node_weights < 0):
                 raise InvalidHypergraphError("node_weights must be nonnegative")
         if edge_weights is None:
-            self.edge_weights = np.ones(len(self.edges), dtype=np.float64)
+            self.edge_weights = np.ones(m, dtype=np.float64)
         else:
             self.edge_weights = np.asarray(edge_weights, dtype=np.float64).copy()
-            if self.edge_weights.shape != (len(self.edges),):
+            if self.edge_weights.shape != (m,):
                 raise InvalidHypergraphError("edge_weights has wrong length")
             if np.any(self.edge_weights < 0):
                 raise InvalidHypergraphError("edge_weights must be nonnegative")
-        self.name = name
-        self._edge_ptr: np.ndarray | None = None
-        self._edge_pins: np.ndarray | None = None
-        self._node_ptr: np.ndarray | None = None
-        self._node_edges: np.ndarray | None = None
-        self._degrees: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Basic quantities
     # ------------------------------------------------------------------
     @property
+    def edges(self) -> tuple[tuple[int, ...], ...]:
+        """Hyperedges as sorted tuples (materialised lazily from CSR)."""
+        if self._edges_tup is None:
+            po = self._edge_ptr.tolist()
+            pl = self._edge_pins.tolist()
+            self._edges_tup = tuple(
+                tuple(pl[po[j]:po[j + 1]]) for j in range(len(po) - 1))
+        return self._edges_tup
+
+    @property
     def num_edges(self) -> int:
         """Number of hyperedges ``|E|`` (counting multiplicity)."""
-        return len(self.edges)
+        return self._edge_ptr.shape[0] - 1
 
     @property
     def num_pins(self) -> int:
-        """Total number of pins ρ = Σ_e |e| (paper Section 3.1)."""
-        return sum(len(e) for e in self.edges)
+        """Total number of pins ρ = Σ_e |e| (paper Section 3.1).  O(1)."""
+        return int(self._edge_pins.size)
 
     @property
     def degrees(self) -> np.ndarray:
         """Degree of every node: the number of incident hyperedges."""
         if self._degrees is None:
-            deg = np.zeros(self.n, dtype=np.int64)
-            for e in self.edges:
-                for v in e:
-                    deg[v] += 1
-            self._degrees = deg
+            self._degrees = kernels.degrees_from_pins(self._edge_pins, self.n)
         return self._degrees
 
     @property
@@ -134,23 +181,13 @@ class Hypergraph:
         return float(self.node_weights.sum())
 
     # ------------------------------------------------------------------
-    # CSR views (built lazily, used by the vectorised cost code)
+    # CSR views (primary representation, used by the vectorised kernels)
     # ------------------------------------------------------------------
     def csr(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(edge_ptr, edge_pins)`` CSR arrays over hyperedges.
 
         Pins of hyperedge ``j`` are ``edge_pins[edge_ptr[j]:edge_ptr[j+1]]``.
         """
-        if self._edge_ptr is None:
-            sizes = np.fromiter(
-                (len(e) for e in self.edges), dtype=np.int64, count=len(self.edges)
-            )
-            ptr = np.zeros(len(self.edges) + 1, dtype=np.int64)
-            np.cumsum(sizes, out=ptr[1:])
-            pins = np.empty(int(ptr[-1]), dtype=np.int64)
-            for j, e in enumerate(self.edges):
-                pins[ptr[j] : ptr[j + 1]] = e
-            self._edge_ptr, self._edge_pins = ptr, pins
         return self._edge_ptr, self._edge_pins
 
     def incidence(self) -> tuple[np.ndarray, np.ndarray]:
@@ -160,16 +197,8 @@ class Hypergraph:
         ``node_edges[node_ptr[v]:node_ptr[v+1]]``.
         """
         if self._node_ptr is None:
-            deg = self.degrees
-            ptr = np.zeros(self.n + 1, dtype=np.int64)
-            np.cumsum(deg, out=ptr[1:])
-            out = np.empty(int(ptr[-1]), dtype=np.int64)
-            fill = ptr[:-1].copy()
-            for j, e in enumerate(self.edges):
-                for v in e:
-                    out[fill[v]] = j
-                    fill[v] += 1
-            self._node_ptr, self._node_edges = ptr, out
+            self._node_ptr, self._node_edges = kernels.incidence_from_csr(
+                self._edge_ptr, self._edge_pins, self.n)
         return self._node_ptr, self._node_edges
 
     def incident_edges(self, v: int) -> np.ndarray:
@@ -190,32 +219,38 @@ class Hypergraph:
         keep = sorted(set(int(v) for v in nodes))
         if keep and (keep[0] < 0 or keep[-1] >= self.n):
             raise InvalidHypergraphError("nodes outside range")
-        remap = {old: new for new, old in enumerate(keep)}
-        keep_set = set(keep)
-        new_edges = []
-        new_ew = []
-        for j, e in enumerate(self.edges):
-            if all(v in keep_set for v in e):
-                new_edges.append(tuple(remap[v] for v in e))
-                new_ew.append(self.edge_weights[j])
-        return Hypergraph(
+        mask = np.zeros(self.n, dtype=bool)
+        keep_arr = np.asarray(keep, dtype=np.int64)
+        mask[keep_arr] = True
+        ptr, pins = self._edge_ptr, self._edge_pins
+        inside = np.bincount(kernels.edge_ids_from_ptr(ptr),
+                             weights=mask[pins].astype(np.float64),
+                             minlength=self.num_edges)
+        kept = np.flatnonzero(inside == np.diff(ptr))
+        new_ptr, old_pins = kernels.gather_rows(ptr, pins, kept)
+        remap = np.cumsum(mask) - 1
+        return Hypergraph.from_csr(
             len(keep),
-            new_edges,
-            node_weights=self.node_weights[keep],
-            edge_weights=new_ew,
+            new_ptr,
+            remap[old_pins] if old_pins.size else old_pins,
+            node_weights=self.node_weights[keep_arr],
+            edge_weights=self.edge_weights[kept],
             name=f"{self.name}[induced]" if self.name else "",
+            copy=False,
         )
 
     def remove_edges(self, edge_ids: Iterable[int]) -> "Hypergraph":
         """Copy of the hypergraph with the given hyperedges deleted."""
         drop = set(int(j) for j in edge_ids)
-        keep = [j for j in range(self.num_edges) if j not in drop]
-        return Hypergraph(
-            self.n,
-            [self.edges[j] for j in keep],
+        keep = np.asarray([j for j in range(self.num_edges) if j not in drop],
+                          dtype=np.int64)
+        new_ptr, new_pins = kernels.gather_rows(self._edge_ptr,
+                                                self._edge_pins, keep)
+        return Hypergraph.from_csr(
+            self.n, new_ptr, new_pins,
             node_weights=self.node_weights,
             edge_weights=self.edge_weights[keep],
-            name=self.name,
+            name=self.name, copy=False,
         )
 
     def connected_components(self) -> list[list[int]]:
@@ -259,6 +294,8 @@ class Hypergraph:
         mapping = np.asarray(mapping, dtype=np.int64)
         if mapping.shape != (self.n,):
             raise InvalidHypergraphError("mapping has wrong length")
+        if mapping.size and int(mapping.min()) < 0:
+            raise InvalidHypergraphError("mapping has negative group ids")
         k = int(mapping.max()) + 1 if self.n else 0
         if num_groups is not None:
             if num_groups < k:
@@ -266,51 +303,48 @@ class Hypergraph:
             k = num_groups
         nw = np.zeros(k, dtype=np.float64)
         np.add.at(nw, mapping, self.node_weights)
-        new_edges = []
-        new_ew = []
-        for j, e in enumerate(self.edges):
-            img = tuple(sorted(set(int(mapping[v]) for v in e)))
-            if len(img) >= 2:
-                new_edges.append(img)
-                new_ew.append(self.edge_weights[j])
-        return Hypergraph(k, new_edges, node_weights=nw, edge_weights=new_ew,
-                          name=f"{self.name}[contracted]" if self.name else "")
+        new_ptr, new_pins, kept = kernels.contract_csr(
+            self._edge_ptr, self._edge_pins, mapping, k)
+        return Hypergraph.from_csr(
+            k, new_ptr, new_pins,
+            node_weights=nw, edge_weights=self.edge_weights[kept],
+            name=f"{self.name}[contracted]" if self.name else "", copy=False,
+        )
 
     def merge_parallel_edges(self) -> "Hypergraph":
         """Collapse identical hyperedges, summing their weights."""
-        agg: dict[tuple[int, ...], float] = {}
-        order: list[tuple[int, ...]] = []
-        for j, e in enumerate(self.edges):
-            if e not in agg:
-                agg[e] = 0.0
-                order.append(e)
-            agg[e] += float(self.edge_weights[j])
-        return Hypergraph(
-            self.n,
-            order,
-            node_weights=self.node_weights,
-            edge_weights=[agg[e] for e in order],
-            name=self.name,
+        new_ptr, new_pins, weights, _ = kernels.merge_parallel_csr(
+            self._edge_ptr, self._edge_pins, self.edge_weights)
+        return Hypergraph.from_csr(
+            self.n, new_ptr, new_pins,
+            node_weights=self.node_weights, edge_weights=weights,
+            name=self.name, copy=False,
         )
 
     @staticmethod
     def disjoint_union(parts: Sequence["Hypergraph"], name: str = "") -> "Hypergraph":
         """Disjoint union; nodes of later parts are shifted upward."""
         offset = 0
-        edges: list[tuple[int, ...]] = []
+        ptrs: list[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+        pin_chunks: list[np.ndarray] = []
         nws: list[np.ndarray] = []
         ews: list[np.ndarray] = []
+        pin_offset = 0
         for g in parts:
-            edges.extend(tuple(v + offset for v in e) for e in g.edges)
+            ptr, pins = g.csr()
+            ptrs.append(ptr[1:] + pin_offset)
+            pin_chunks.append(pins + offset)
             nws.append(g.node_weights)
             ews.append(g.edge_weights)
             offset += g.n
-        return Hypergraph(
+            pin_offset += pins.size
+        return Hypergraph.from_csr(
             offset,
-            edges,
+            np.concatenate(ptrs),
+            np.concatenate(pin_chunks) if pin_chunks else np.zeros(0, np.int64),
             node_weights=np.concatenate(nws) if nws else None,
             edge_weights=np.concatenate(ews) if ews else None,
-            name=name,
+            name=name, copy=False,
         )
 
     def add_nodes(self, count: int, weight: float = 1.0) -> "Hypergraph":
@@ -318,19 +352,33 @@ class Hypergraph:
         if count < 0:
             raise InvalidHypergraphError("count must be >= 0")
         nw = np.concatenate([self.node_weights, np.full(count, weight)])
-        return Hypergraph(self.n + count, self.edges, node_weights=nw,
-                          edge_weights=self.edge_weights, name=self.name)
+        return Hypergraph.from_csr(
+            self.n + count, self._edge_ptr, self._edge_pins,
+            node_weights=nw, edge_weights=self.edge_weights, name=self.name,
+        )
 
     def with_edges(self, extra_edges: Iterable[Iterable[int]],
                    extra_weights: Sequence[float] | None = None) -> "Hypergraph":
         """Copy with additional hyperedges appended."""
-        extra = [tuple(e) for e in extra_edges]
-        ew = list(self.edge_weights)
-        ew.extend([1.0] * len(extra) if extra_weights is None else
-                  [float(w) for w in extra_weights])
-        return Hypergraph(self.n, list(self.edges) + extra,
-                          node_weights=self.node_weights, edge_weights=ew,
-                          name=self.name)
+        mat = [e if isinstance(e, (tuple, list)) else tuple(e)
+               for e in extra_edges]
+        lengths = np.fromiter((len(e) for e in mat), dtype=np.int64,
+                              count=len(mat))
+        flat = np.fromiter(chain.from_iterable(mat), dtype=np.int64,
+                           count=int(lengths.sum()))
+        eptr, epins = kernels.normalize_edges(lengths, flat, self.n)
+        ew = np.concatenate([
+            self.edge_weights,
+            np.ones(len(mat)) if extra_weights is None
+            else np.asarray(extra_weights, dtype=np.float64),
+        ])
+        return Hypergraph.from_csr(
+            self.n,
+            np.concatenate([self._edge_ptr, eptr[1:] + self._edge_ptr[-1]]),
+            np.concatenate([self._edge_pins, epins]),
+            node_weights=self.node_weights, edge_weights=ew,
+            name=self.name, copy=False,
+        )
 
     # ------------------------------------------------------------------
     # Dunder / misc
@@ -346,9 +394,12 @@ class Hypergraph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Hypergraph):
             return NotImplemented
-        return (self.n == other.n and self.edges == other.edges
+        return (self.n == other.n
+                and np.array_equal(self._edge_ptr, other._edge_ptr)
+                and np.array_equal(self._edge_pins, other._edge_pins)
                 and np.array_equal(self.node_weights, other.node_weights)
                 and np.array_equal(self.edge_weights, other.edge_weights))
 
-    def __hash__(self) -> int:  # edges tuple dominates; weights rarely differ
-        return hash((self.n, self.edges))
+    def __hash__(self) -> int:  # structure dominates; weights rarely differ
+        return hash((self.n, self._edge_ptr.tobytes(),
+                     self._edge_pins.tobytes()))

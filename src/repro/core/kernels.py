@@ -1,0 +1,416 @@
+"""Vectorised CSR-native kernels — the performance layer of the library.
+
+Every pin-level hot path (edge normalisation, CSR/incidence construction,
+contraction with parallel-edge merging, λ counting, FM pin-count matrix
+initialisation, neighbour-adjacency extraction) is implemented here as a
+pure NumPy array program over the CSR arrays ``(edge_ptr, edge_pins)``:
+
+* ``edge_ptr`` — ``int64[m + 1]``, monotone, ``edge_ptr[0] == 0``;
+* ``edge_pins`` — ``int64[ρ]``; pins of hyperedge ``j`` are
+  ``edge_pins[edge_ptr[j]:edge_ptr[j + 1]]``, strictly increasing
+  (normalised: sorted, duplicate pins collapsed).
+
+The original Python-loop implementations are retained as
+``_reference_*`` oracles: the property-based tests in
+``tests/core/test_kernels.py`` assert bit-for-bit agreement on random
+hypergraphs, and ``benchmarks/bench_kernels.py`` times each kernel
+against its oracle to track the perf trajectory (``BENCH_kernels.json``).
+
+Design notes
+------------
+All kernels are O(ρ) or O(ρ log ρ) with small constants; none build
+Python objects.  Ragged (per-edge / per-node) operations use the
+standard CSR tricks: ``np.repeat`` for broadcasting per-row values to
+pins, ``np.lexsort`` + run-boundary masks for per-row sort/dedup, and
+offset arithmetic (``gather_rows``) for ragged gathers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import InvalidHypergraphError, ProblemTooLargeError
+
+__all__ = [
+    "normalize_edges",
+    "check_csr",
+    "gather_rows",
+    "edge_ids_from_ptr",
+    "degrees_from_pins",
+    "incidence_from_csr",
+    "contract_csr",
+    "merge_parallel_csr",
+    "lambda_counts",
+    "pin_count_matrix",
+    "adjacency_csr",
+    "DEFAULT_PIN_COUNT_BUDGET_BYTES",
+]
+
+#: Memory budget for the dense FM ``(m, k)`` pin-count matrix.  The
+#: refinement state is dense by design (O(1) gain updates); past this
+#: budget we fail loudly instead of silently allocating gigabytes.
+#: Override per-call or via the ``REPRO_PIN_COUNT_BUDGET_BYTES`` env var.
+DEFAULT_PIN_COUNT_BUDGET_BYTES = 2**30
+
+
+def edge_ids_from_ptr(ptr: np.ndarray) -> np.ndarray:
+    """Edge id of every pin: ``[0]*s_0 + [1]*s_1 + ...`` for sizes s_j."""
+    m = ptr.shape[0] - 1
+    return np.repeat(np.arange(m, dtype=np.int64), np.diff(ptr))
+
+
+def gather_rows(ptr: np.ndarray, pins: np.ndarray,
+                rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the pin rows ``rows`` (a ragged gather).
+
+    Returns CSR arrays ``(new_ptr, new_pins)`` over ``len(rows)`` edges,
+    preserving the order of ``rows``.  O(output pins), no Python loop.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    sizes = np.diff(ptr)[rows] if rows.size else np.zeros(0, dtype=np.int64)
+    new_ptr = np.zeros(rows.size + 1, dtype=np.int64)
+    np.cumsum(sizes, out=new_ptr[1:])
+    total = int(new_ptr[-1])
+    if total == 0:
+        return new_ptr, np.zeros(0, dtype=np.int64)
+    # output[o_r + t] = pins[s_r + t]  =>  index = repeat(s_r - o_r) + arange
+    idx = np.repeat(ptr[rows] - new_ptr[:-1], sizes) + np.arange(total)
+    return new_ptr, pins[idx]
+
+
+def normalize_edges(lengths: np.ndarray, flat: np.ndarray,
+                    n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Normalise raw edges: per-edge sort + duplicate-pin collapse.
+
+    ``lengths[j]`` is the raw size of edge ``j`` and ``flat`` the
+    concatenation of all raw pins.  Validates pins against ``[0, n)``
+    and returns normalised CSR arrays.  Replaces the per-edge
+    ``tuple(sorted(set(...)))`` loop of ``Hypergraph.__init__``.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    flat = np.asarray(flat, dtype=np.int64)
+    m = lengths.shape[0]
+    if flat.size and (int(flat.min()) < 0 or int(flat.max()) >= n):
+        raw_ptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(lengths, out=raw_ptr[1:])
+        bad = (flat < 0) | (flat >= n)
+        j = int(np.searchsorted(raw_ptr, int(np.flatnonzero(bad)[0]),
+                                side="right")) - 1
+        pins = tuple(sorted(set(flat[raw_ptr[j]:raw_ptr[j + 1]].tolist())))
+        raise InvalidHypergraphError(
+            f"hyperedge {pins} has pins outside [0, {n})")
+    eids = np.repeat(np.arange(m, dtype=np.int64), lengths)
+    if flat.size and n and m < 2**62 // n:
+        # Single-key sort on the encoded (edge, pin) code — roughly 2×
+        # faster than the two-pass lexsort fallback.
+        codes = np.sort(eids * np.int64(n) + flat)
+        keep = np.empty(codes.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(codes[1:], codes[:-1], out=keep[1:])
+        codes = codes[keep]
+        se, sp = codes // n, codes % n
+    else:
+        order = np.lexsort((flat, eids))
+        se, sp = eids[order], flat[order]
+        if sp.size:
+            keep = np.empty(sp.size, dtype=bool)
+            keep[0] = True
+            np.logical_or(se[1:] != se[:-1], sp[1:] != sp[:-1], out=keep[1:])
+            se, sp = se[keep], sp[keep]
+    ptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(np.bincount(se, minlength=m), out=ptr[1:])
+    return ptr, sp
+
+
+def check_csr(ptr: np.ndarray, pins: np.ndarray, n: int) -> None:
+    """Validate normalised CSR arrays; raise :class:`InvalidHypergraphError`.
+
+    Checks: monotone ``ptr`` starting at 0 and ending at ``len(pins)``,
+    pins inside ``[0, n)``, and strictly increasing pins within each
+    edge (the normalised form).  O(ρ), fully vectorised.
+    """
+    if ptr.ndim != 1 or ptr.size == 0 or int(ptr[0]) != 0 \
+            or int(ptr[-1]) != pins.size or np.any(np.diff(ptr) < 0):
+        raise InvalidHypergraphError("malformed edge_ptr array")
+    if pins.size == 0:
+        return
+    if int(pins.min()) < 0 or int(pins.max()) >= n:
+        raise InvalidHypergraphError(f"pins outside [0, {n})")
+    inner = np.ones(pins.size, dtype=bool)
+    starts = ptr[1:-1]  # positions that start a new edge (empty edges repeat)
+    inner[starts[starts < pins.size]] = False
+    if not np.all(np.diff(pins)[inner[1:]] > 0):
+        raise InvalidHypergraphError(
+            "edge pins are not strictly increasing (unnormalised CSR)")
+
+
+def degrees_from_pins(pins: np.ndarray, n: int) -> np.ndarray:
+    """Degree of every node (number of incident hyperedges)."""
+    return np.bincount(pins, minlength=n).astype(np.int64)
+
+
+def incidence_from_csr(ptr: np.ndarray, pins: np.ndarray,
+                       n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Node→edge incidence CSR ``(node_ptr, node_edges)``.
+
+    A stable counting sort of pins, so each node's incident edge ids
+    come out in increasing edge order — identical to the reference fill.
+    """
+    node_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(pins, minlength=n), out=node_ptr[1:])
+    order = np.argsort(pins, kind="stable")
+    return node_ptr, edge_ids_from_ptr(ptr)[order]
+
+
+def contract_csr(ptr: np.ndarray, pins: np.ndarray, mapping: np.ndarray,
+                 num_groups: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Contract pins through ``mapping``; drop edges with < 2 distinct pins.
+
+    Returns ``(new_ptr, new_pins, kept)`` where ``kept`` holds the
+    original ids of the surviving edges (for edge-weight gathering).
+    Image pins are sorted and deduplicated per edge — the sort/unique
+    over encoded pin rows that replaces the tuple-of-set Python loop.
+    """
+    ptr2, pins2 = normalize_edges(np.diff(ptr), mapping[pins], num_groups)
+    sizes2 = np.diff(ptr2)
+    survive = sizes2 >= 2
+    kept = np.flatnonzero(survive)
+    new_ptr = np.zeros(kept.size + 1, dtype=np.int64)
+    np.cumsum(sizes2[kept], out=new_ptr[1:])
+    return new_ptr, pins2[np.repeat(survive, sizes2)], kept
+
+
+def _pack_rows(rows: np.ndarray, bits: int) -> list[np.ndarray]:
+    """Pack each row of small ints into as few int64 sort keys as possible."""
+    per_key = max(1, 62 // bits)
+    keys = []
+    for lo in range(0, rows.shape[1], per_key):
+        chunk = rows[:, lo:lo + per_key]
+        key = chunk[:, 0].astype(np.int64, copy=True)
+        for c in range(1, chunk.shape[1]):
+            key <<= bits
+            key |= chunk[:, c]
+        keys.append(key)
+    return keys
+
+
+def merge_parallel_csr(
+    ptr: np.ndarray, pins: np.ndarray, edge_weights: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse identical hyperedges, summing weights.
+
+    Returns ``(new_ptr, new_pins, new_weights, first_ids)`` with one
+    edge per distinct pin row, in order of first occurrence (matching
+    the dict-based reference); ``first_ids`` are the original ids of
+    the representatives.  Rows are grouped size-class by size-class:
+    pins are bit-packed into a few int64 keys, a sort brings identical
+    rows together, run boundaries delimit the groups.
+    """
+    m = ptr.shape[0] - 1
+    sizes = np.diff(ptr)
+    rep = np.arange(m, dtype=np.int64)
+    bits = max(1, int(pins.max()).bit_length()) if pins.size else 1
+    for s in np.unique(sizes):
+        cls = sizes == s
+        idx = np.flatnonzero(cls)
+        if idx.size <= 1:
+            continue
+        if s == 0:
+            rep[idx] = idx[0]
+            continue
+        # rows of one size class are contiguous pin slices: a boolean
+        # gather + reshape beats a 2-D fancy index by a wide margin
+        rows = pins[np.repeat(cls, sizes)].reshape(-1, s)
+        keys = _pack_rows(rows, bits)
+        if len(keys) == 1:
+            order = np.argsort(keys[0])
+        else:
+            order = np.lexsort(keys)
+        sk = [key[order] for key in keys]
+        bound = np.empty(idx.size, dtype=bool)
+        bound[0] = True
+        bound[1:] = sk[0][1:] != sk[0][:-1]
+        for key in sk[1:]:
+            bound[1:] |= key[1:] != key[:-1]
+        # representative of each group = smallest original edge id in it
+        orig = idx[order]
+        group_rep = np.minimum.reduceat(orig, np.flatnonzero(bound))
+        rep[orig] = group_rep[np.cumsum(bound) - 1]
+    first_ids, inv_all = np.unique(rep, return_inverse=True)
+    weights = np.bincount(inv_all, weights=np.asarray(edge_weights,
+                                                     dtype=np.float64))
+    new_ptr, new_pins = gather_rows(ptr, pins, first_ids)
+    return new_ptr, new_pins, weights, first_ids
+
+
+def lambda_counts(ptr: np.ndarray, pins: np.ndarray, labels: np.ndarray,
+                  k: int) -> np.ndarray:
+    """λ_e per hyperedge: number of distinct parts its pins touch."""
+    m = ptr.shape[0] - 1
+    if m == 0:
+        return np.zeros(0, dtype=np.int64)
+    codes = np.sort(edge_ids_from_ptr(ptr) * k + labels[pins])
+    if codes.size == 0:
+        return np.zeros(m, dtype=np.int64)
+    keep = np.empty(codes.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(codes[1:], codes[:-1], out=keep[1:])
+    return np.bincount(codes[keep] // k, minlength=m).astype(np.int64)
+
+
+def _pin_count_budget() -> int:
+    raw = os.environ.get("REPRO_PIN_COUNT_BUDGET_BYTES", "")
+    return int(raw) if raw.isdigit() else DEFAULT_PIN_COUNT_BUDGET_BYTES
+
+
+def pin_count_matrix(ptr: np.ndarray, pins: np.ndarray, labels: np.ndarray,
+                     k: int, budget_bytes: int | None = None) -> np.ndarray:
+    """Dense ``(m, k)`` int32 pin-count matrix for FM refinement.
+
+    ``out[j, p]`` = number of pins of edge ``j`` in part ``p``.  Refuses
+    to allocate past ``budget_bytes`` (default
+    :data:`DEFAULT_PIN_COUNT_BUDGET_BYTES`, env-overridable) — a clear
+    error instead of silently eating gigabytes at large ``k``.
+    """
+    m = ptr.shape[0] - 1
+    if budget_bytes is None:
+        budget_bytes = _pin_count_budget()
+    needed = m * k * np.dtype(np.int32).itemsize
+    if needed > budget_bytes:
+        fmt = lambda b: (f"{b / 2**20:.1f} MiB" if b >= 2**20 else f"{b} B")
+        raise ProblemTooLargeError(
+            f"FM pin-count matrix of shape ({m}, {k}) needs {fmt(needed)} "
+            f"(> budget {fmt(budget_bytes)}); reduce k, coarsen the "
+            f"hypergraph first, or raise REPRO_PIN_COUNT_BUDGET_BYTES")
+    codes = edge_ids_from_ptr(ptr) * k + labels[pins]
+    return (np.bincount(codes, minlength=m * k)
+            .reshape(m, k).astype(np.int32))
+
+
+def adjacency_csr(ptr: np.ndarray, pins: np.ndarray,
+                  n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Neighbour CSR ``(adj_ptr, adj_nodes)``: nodes sharing a hyperedge.
+
+    Materialises all within-edge (owner, neighbour) pairs — Σ|e|² of
+    them — then sorts/dedups via encoded codes.  Neighbours of ``v``
+    come out sorted; self-pairs are excluded.
+    """
+    sizes = np.diff(ptr)
+    if pins.size == 0:
+        return np.zeros(n + 1, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    m = ptr.shape[0] - 1
+    sq = sizes * sizes
+    owners = np.repeat(pins, np.repeat(sizes, sizes))
+    off = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(sq, out=off[1:])
+    total = int(off[-1])
+    block = np.repeat(np.arange(m, dtype=np.int64), sq)
+    t_local = np.arange(total, dtype=np.int64) - off[block]
+    cand = pins[ptr[block] + t_local % sizes[block]]
+    mask = owners != cand
+    codes = np.unique(owners[mask] * np.int64(n) + cand[mask])
+    adj_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(codes // n, minlength=n), out=adj_ptr[1:])
+    return adj_ptr, codes % n
+
+
+# ---------------------------------------------------------------------------
+# Reference oracles — the original Python-loop implementations, kept for
+# property-based equivalence tests and the bench_kernels.py baselines.
+# ---------------------------------------------------------------------------
+
+def _reference_normalize(edges, n):
+    """Old ``Hypergraph.__init__`` normalisation loop."""
+    normalized = []
+    for e in edges:
+        pins = tuple(sorted(set(int(v) for v in e)))
+        if pins and (pins[0] < 0 or pins[-1] >= n):
+            raise InvalidHypergraphError(
+                f"hyperedge {pins} has pins outside [0, {n})")
+        normalized.append(pins)
+    return normalized
+
+
+def _reference_csr(edges):
+    """Old ``Hypergraph.csr`` fill loop (edges already normalised)."""
+    sizes = np.fromiter((len(e) for e in edges), dtype=np.int64,
+                        count=len(edges))
+    ptr = np.zeros(len(edges) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=ptr[1:])
+    pins = np.empty(int(ptr[-1]), dtype=np.int64)
+    for j, e in enumerate(edges):
+        pins[ptr[j]:ptr[j + 1]] = e
+    return ptr, pins
+
+
+def _reference_degrees(edges, n):
+    """Old ``Hypergraph.degrees`` loop."""
+    deg = np.zeros(n, dtype=np.int64)
+    for e in edges:
+        for v in e:
+            deg[v] += 1
+    return deg
+
+
+def _reference_incidence(edges, n):
+    """Old ``Hypergraph.incidence`` fill loop."""
+    deg = _reference_degrees(edges, n)
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deg, out=ptr[1:])
+    out = np.empty(int(ptr[-1]), dtype=np.int64)
+    fill = ptr[:-1].copy()
+    for j, e in enumerate(edges):
+        for v in e:
+            out[fill[v]] = j
+            fill[v] += 1
+    return ptr, out
+
+
+def _reference_contract(edges, mapping):
+    """Old ``Hypergraph.contract`` edge-image loop; returns (edges, kept)."""
+    new_edges, kept = [], []
+    for j, e in enumerate(edges):
+        img = tuple(sorted(set(int(mapping[v]) for v in e)))
+        if len(img) >= 2:
+            new_edges.append(img)
+            kept.append(j)
+    return new_edges, kept
+
+
+def _reference_merge_parallel(edges, edge_weights):
+    """Old ``Hypergraph.merge_parallel_edges`` dict loop."""
+    agg, order = {}, []
+    for j, e in enumerate(edges):
+        if e not in agg:
+            agg[e] = 0.0
+            order.append(e)
+        agg[e] += float(edge_weights[j])
+    return order, [agg[e] for e in order]
+
+
+def _reference_lambdas(edges, labels, k):
+    """Per-edge distinct-part counting, plain loop."""
+    lam = np.zeros(len(edges), dtype=np.int64)
+    for j, e in enumerate(edges):
+        lam[j] = len({int(labels[v]) for v in e})
+    return lam
+
+
+def _reference_pin_counts(edges, labels, k):
+    """Old FM ``_State.__init__`` pin-count fill loop."""
+    counts = np.zeros((len(edges), k), dtype=np.int64)
+    for j, e in enumerate(edges):
+        for v in e:
+            counts[j, labels[v]] += 1
+    return counts
+
+
+def _reference_adjacency(edges, n):
+    """Old FM ``_adjacency`` set loop; returns per-node sorted tuples."""
+    out = [set() for _ in range(n)]
+    for e in edges:
+        for v in e:
+            out[v].update(e)
+    return [tuple(sorted(s - {v})) for v, s in enumerate(out)]

@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..errors import InvalidPartitionError
+from . import kernels
 from .hypergraph import Hypergraph
 
 __all__ = [
@@ -49,18 +50,7 @@ def lambdas(graph: Hypergraph, labels: Sequence[int] | np.ndarray, k: int) -> np
     if arr.size and (arr.min() < 0 or arr.max() >= k):
         raise InvalidPartitionError("labels outside [0, k)")
     ptr, pins = graph.csr()
-    m = graph.num_edges
-    if m == 0:
-        return np.zeros(0, dtype=np.int64)
-    pin_parts = arr[pins]
-    # Unique (edge, part) pairs: encode as edge_id * k + part and count
-    # distinct codes per edge.
-    edge_ids = np.repeat(np.arange(m, dtype=np.int64), np.diff(ptr))
-    codes = edge_ids * k + pin_parts
-    uniq = np.unique(codes)
-    lam = np.zeros(m, dtype=np.int64)
-    np.add.at(lam, uniq // k, 1)
-    return lam
+    return kernels.lambda_counts(ptr, pins, arr, k)
 
 
 def part_sizes(labels: Sequence[int] | np.ndarray, k: int) -> np.ndarray:

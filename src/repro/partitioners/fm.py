@@ -17,6 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core import kernels
 from ..core.cost import Metric
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
@@ -32,11 +33,11 @@ class _State:
         self.graph = graph
         self.k = k
         self.labels = labels
-        m = graph.num_edges
-        self.pin_counts = np.zeros((m, k), dtype=np.int64)
-        for j, e in enumerate(graph.edges):
-            for v in e:
-                self.pin_counts[j, labels[v]] += 1
+        ptr, pins = graph.csr()
+        # int32 halves the footprint of the dense (m, k) matrix; the
+        # kernel raises ProblemTooLargeError past its memory budget
+        # instead of silently allocating gigabytes at large k.
+        self.pin_counts = kernels.pin_count_matrix(ptr, pins, labels, k)
         self.nonzero = (self.pin_counts > 0).sum(axis=1)
         self.part_weight = np.zeros(k, dtype=np.float64)
         np.add.at(self.part_weight, labels, graph.node_weights)
@@ -116,14 +117,12 @@ class _State:
         return (float(deltas[b]), b)
 
 
-def _adjacency(graph: Hypergraph) -> list[tuple[int, ...]]:
-    """Per-node neighbour lists (nodes sharing a hyperedge), computed
-    once per refinement call instead of once per move."""
-    out: list[set[int]] = [set() for _ in range(graph.n)]
-    for e in graph.edges:
-        for v in e:
-            out[v].update(e)
-    return [tuple(s - {v}) for v, s in enumerate(out)]
+def _adjacency(graph: Hypergraph) -> list[np.ndarray]:
+    """Per-node neighbour arrays (nodes sharing a hyperedge), computed
+    once per refinement call via the vectorised pair-expansion kernel."""
+    ptr, pins = graph.csr()
+    adj_ptr, adj_nodes = kernels.adjacency_csr(ptr, pins, graph.n)
+    return [adj_nodes[adj_ptr[v]:adj_ptr[v + 1]] for v in range(graph.n)]
 
 
 def fm_refine(

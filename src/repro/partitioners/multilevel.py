@@ -4,12 +4,21 @@ The standard practical answer to the paper's inapproximability results:
 heavy-pin matching coarsens the hypergraph, a portfolio of constructive
 heuristics partitions the coarsest level, and FM refinement is applied
 while uncoarsening (the n-level/multilevel scheme of [28, 45]).
+
+Independent work — the V-cycle ``repetitions`` and the candidates of the
+initial portfolio — can execute in parallel worker processes via
+``n_jobs``; per-task seeds are drawn up-front from the caller's RNG so
+the result is identical for every ``n_jobs`` given a fixed seed.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 
+from ..core import kernels
 from ..core.cost import Metric, cost
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
@@ -19,6 +28,8 @@ from .greedy import bfs_growth_partition, greedy_sequential_partition
 from .random_part import random_balanced_partition
 
 __all__ = ["coarsen_step", "multilevel_partition"]
+
+_SEED_BOUND = 2**62
 
 
 def coarsen_step(
@@ -31,50 +42,113 @@ def coarsen_step(
     Nodes are visited in random order; each unmatched node pairs with the
     unmatched neighbour maximising the heavy-edge score
     ``Σ_{e ∋ u,v} w_e / (|e| − 1)``, subject to the merged weight staying
-    below ``max_cluster_weight``.  Returns ``(coarser graph, mapping)``
+    below ``max_cluster_weight`` (ties broken by smallest node id).  The
+    per-node score accumulation is vectorised over the CSR arrays: one
+    ragged gather of the incident edges' pins plus a ``bincount``, no
+    Python iteration over pins.  Returns ``(coarser graph, mapping)``
     or ``None`` when no pair matched (coarsening has converged).
     """
     n = graph.n
+    ptr, pins = graph.csr()
+    node_ptr, node_edges = graph.incidence()
+    sizes = np.diff(ptr)
+    # Heavy-pin score contributed by each edge to every co-pin pair;
+    # singleton/empty edges contribute nothing.
+    escore = np.where(sizes > 1,
+                      graph.edge_weights / np.maximum(sizes - 1, 1), 0.0)
+    nw = graph.node_weights
     match = np.full(n, -1, dtype=np.int64)
-    order = rng.permutation(n)
     any_matched = False
-    for v in order:
+    for v in rng.permutation(n):
         if match[v] != -1:
             continue
-        scores: dict[int, float] = {}
-        for j in graph.incident_edges(v):
-            j = int(j)
-            e = graph.edges[j]
-            if len(e) < 2:
-                continue
-            s = graph.edge_weights[j] / (len(e) - 1)
-            for u in e:
-                if u != v and match[u] == -1:
-                    scores[u] = scores.get(u, 0.0) + s
-        best_u, best_s = -1, 0.0
-        wv = graph.node_weights[v]
-        for u, s in scores.items():
-            if wv + graph.node_weights[u] > max_cluster_weight:
-                continue
-            if s > best_s:
-                best_u, best_s = u, s
-        if best_u != -1:
-            match[v] = best_u
-            match[best_u] = v
-            any_matched = True
+        inc = node_edges[node_ptr[v]:node_ptr[v + 1]]
+        if inc.size == 0:
+            continue
+        _, cand = kernels.gather_rows(ptr, pins, inc)
+        contrib = np.repeat(escore[inc], sizes[inc])
+        uniq, inv = np.unique(cand, return_inverse=True)
+        score = np.bincount(inv, weights=contrib)
+        ok = ((uniq != v) & (match[uniq] == -1) & (score > 0.0)
+              & (nw[v] + nw[uniq] <= max_cluster_weight))
+        if not ok.any():
+            continue
+        u = int(uniq[int(np.argmax(np.where(ok, score, -1.0)))])
+        match[v] = u
+        match[u] = v
+        any_matched = True
     if not any_matched:
         return None
-    mapping = np.full(n, -1, dtype=np.int64)
-    nxt = 0
-    for v in range(n):
-        if mapping[v] != -1:
-            continue
-        mapping[v] = nxt
-        if match[v] != -1:
-            mapping[match[v]] = nxt
-        nxt += 1
-    coarse = graph.contract(mapping, num_groups=nxt).merge_parallel_edges()
+    # Group representative = smaller endpoint; ranking the sorted unique
+    # representatives reproduces the first-appearance numbering.
+    ids = np.arange(n, dtype=np.int64)
+    rep = np.where(match == -1, ids, np.minimum(ids, match))
+    uniq_rep, mapping = np.unique(rep, return_inverse=True)
+    mapping = mapping.astype(np.int64)
+    coarse = graph.contract(mapping, num_groups=int(uniq_rep.size))
+    coarse = coarse.merge_parallel_edges()
     return coarse, mapping
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution plumbing
+# ---------------------------------------------------------------------------
+
+def _run_tasks(fn, argtuples, n_jobs: int) -> list:
+    """Map ``fn`` over argument tuples, in-process or via worker processes.
+
+    Results come back in submission order, so parallel and serial
+    execution select the same winner.  Falls back to serial execution if
+    a worker pool cannot be created (restricted environments).
+    """
+    if n_jobs <= 1 or len(argtuples) <= 1:
+        return [fn(*args) for args in argtuples]
+    try:
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else methods[0])
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(argtuples)),
+                                 mp_context=ctx) as pool:
+            return list(pool.map(fn, *zip(*argtuples)))
+    except (OSError, PermissionError, ValueError):
+        return [fn(*args) for args in argtuples]
+
+
+def _portfolio_candidate(graph, k, eps, metric, caps, kind, seed):
+    """Build one constructive candidate, repair balance, FM-refine it.
+
+    Returns ``(cost, labels)`` or ``None`` when construction fails.
+    Top-level function so it pickles into worker processes.
+    """
+    rng = np.random.default_rng(seed)
+    try:
+        if kind == "greedy":
+            p = greedy_sequential_partition(graph, k, eps, rng=rng,
+                                            relaxed=True)
+        elif kind == "bfs":
+            p = bfs_growth_partition(graph, k, eps, rng=rng, relaxed=True)
+        else:
+            p = random_balanced_partition(graph, k, eps, rng=rng,
+                                          relaxed=True)
+    except Exception:
+        return None
+    # count-based constructions can violate *weight* caps on coarsened
+    # hypergraphs — repair before refining, since FM only keeps
+    # cap-respecting prefixes from a feasible start.
+    repaired = rebalance(graph, p.labels, caps)
+    refined = fm_refine(graph, repaired, k=k, eps=eps, metric=metric,
+                        caps=caps)
+    return float(cost(graph, refined, metric)), refined.labels
+
+
+def _single_vcycle(graph, k, eps, metric, seed, coarsen_to, initial_tries,
+                   relaxed):
+    """One seeded V-cycle; returns ``(cost, labels)``.  Picklable."""
+    part = multilevel_partition(graph, k, eps, metric,
+                                rng=np.random.default_rng(seed),
+                                coarsen_to=coarsen_to,
+                                initial_tries=initial_tries,
+                                relaxed=relaxed, repetitions=1, n_jobs=1)
+    return float(cost(graph, part, metric)), part.labels
 
 
 def _initial_portfolio(
@@ -85,33 +159,22 @@ def _initial_portfolio(
     rng: np.random.Generator,
     caps: np.ndarray,
     tries: int,
+    n_jobs: int = 1,
 ) -> Partition:
-    """Best of several constructive starts, each FM-refined."""
-    candidates: list[Partition] = []
-    for fn in (greedy_sequential_partition, bfs_growth_partition):
-        try:
-            candidates.append(fn(graph, k, eps, rng=rng, relaxed=True))
-        except Exception:
-            pass
-    for _ in range(tries):
-        try:
-            candidates.append(random_balanced_partition(graph, k, eps, rng=rng,
-                                                        relaxed=True))
-        except Exception:
-            pass
-    best, best_c = None, np.inf
-    for p in candidates:
-        # count-based constructions can violate *weight* caps on
-        # coarsened hypergraphs — repair before refining, since FM only
-        # keeps cap-respecting prefixes from a feasible start.
-        repaired = rebalance(graph, p.labels, caps)
-        refined = fm_refine(graph, repaired, k=k, eps=eps, metric=metric,
-                            caps=caps)
-        c = cost(graph, refined, metric)
-        if c < best_c:
-            best, best_c = refined, c
-    assert best is not None, "no initial partition could be constructed"
-    return best
+    """Best of several constructive starts, each FM-refined.
+
+    Candidate seeds are drawn up-front, so the winning candidate is the
+    same whether the portfolio runs serially or across processes.
+    """
+    kinds = ["greedy", "bfs"] + ["random"] * tries
+    seeds = rng.integers(0, _SEED_BOUND, size=len(kinds))
+    args = [(graph, k, eps, metric, caps, kind, int(seed))
+            for kind, seed in zip(kinds, seeds)]
+    results = [r for r in _run_tasks(_portfolio_candidate, args, n_jobs)
+               if r is not None]
+    assert results, "no initial partition could be constructed"
+    best = min(range(len(results)), key=lambda i: results[i][0])
+    return Partition(results[best][1], k)
 
 
 def multilevel_partition(
@@ -124,6 +187,7 @@ def multilevel_partition(
     initial_tries: int = 4,
     relaxed: bool = True,
     repetitions: int = 1,
+    n_jobs: int = 1,
 ) -> Partition:
     """Full multilevel partitioner.
 
@@ -131,21 +195,19 @@ def multilevel_partition(
     feasible solution always exists (Appendix A); pass ``False`` for the
     strict constraint on instances where you know it is satisfiable.
     ``repetitions > 1`` runs independent V-cycles with different random
-    matchings and keeps the cheapest result.
+    matchings and keeps the cheapest result.  ``n_jobs > 1`` executes
+    those V-cycles (and the initial-portfolio candidates of a single
+    cycle) in parallel worker processes; for a fixed seed the returned
+    partition is identical regardless of ``n_jobs``.
     """
     gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     if repetitions > 1:
-        best: Partition | None = None
-        best_cost = np.inf
-        for _ in range(repetitions):
-            cand = multilevel_partition(graph, k, eps, metric, gen,
-                                        coarsen_to, initial_tries, relaxed,
-                                        repetitions=1)
-            c = cost(graph, cand, metric)
-            if c < best_cost:
-                best, best_cost = cand, c
-        assert best is not None
-        return best
+        seeds = gen.integers(0, _SEED_BOUND, size=repetitions)
+        args = [(graph, k, eps, metric, int(seed), coarsen_to, initial_tries,
+                 relaxed) for seed in seeds]
+        results = _run_tasks(_single_vcycle, args, n_jobs)
+        best = min(range(len(results)), key=lambda i: results[i][0])
+        return Partition(results[best][1], k)
     if coarsen_to is None:
         coarsen_to = max(40, 4 * k)
     caps = weight_caps(graph, k, eps, relaxed=relaxed)
@@ -162,7 +224,8 @@ def multilevel_partition(
         levels.append((cur, mapping))
         cur = coarse
 
-    part = _initial_portfolio(cur, k, eps, metric, gen, caps, initial_tries)
+    part = _initial_portfolio(cur, k, eps, metric, gen, caps, initial_tries,
+                              n_jobs=n_jobs)
     labels = part.labels.copy()
     for fine, mapping in reversed(levels):
         labels = labels[mapping]

@@ -1,0 +1,32 @@
+"""Opt-in perf-regression gate (``pytest -m benchcheck``).
+
+Deselected by default (see ``addopts`` in pyproject.toml) because timing
+benchmarks are slow and noisy; run explicitly before merging kernel
+changes::
+
+    PYTHONPATH=src python -m pytest -m benchcheck
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = ROOT / "scripts" / "check_bench_regression.py"
+BASELINE = ROOT / "benchmarks" / "BENCH_kernels.json"
+
+
+@pytest.mark.benchcheck
+def test_kernels_within_baseline():
+    assert BASELINE.exists(), (
+        "committed baseline missing; regenerate with "
+        "PYTHONPATH=src python benchmarks/bench_kernels.py")
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--repeats", "5"],
+        capture_output=True, text=True, cwd=ROOT)
+    assert proc.returncode == 0, (
+        f"kernel perf regression detected:\n{proc.stdout}\n{proc.stderr}")

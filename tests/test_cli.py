@@ -46,6 +46,21 @@ class TestPartitionCommand:
                    "--metric", "cut-net"])
         assert rc == 0
 
+    def test_jobs_and_repetitions(self, hgr_file, capsys):
+        """--jobs/--repetitions thread through to multilevel_partition
+        and give the same cost as the serial run for a fixed seed."""
+        rc = main(["partition", str(hgr_file), "-k", "2", "--eps", "0.2",
+                   "--repetitions", "2", "--jobs", "2", "--seed", "5"])
+        assert rc == 0
+        parallel_out = capsys.readouterr().out
+        rc = main(["partition", str(hgr_file), "-k", "2", "--eps", "0.2",
+                   "--repetitions", "2", "--jobs", "1", "--seed", "5"])
+        assert rc == 0
+        serial_out = capsys.readouterr().out
+        pick = lambda txt: [l for l in txt.splitlines()
+                            if l.startswith("connectivity")]
+        assert pick(parallel_out) == pick(serial_out)
+
 
 class TestEvaluateCommand:
     def test_roundtrip(self, hgr_file, tmp_path, capsys):
