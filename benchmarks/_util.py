@@ -4,24 +4,20 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro.lab.report import format_table
+
 
 def print_table(title: str, header: Sequence[str],
-                rows: Sequence[Sequence[Any]]) -> None:
-    """Print an experiment's result series in a paper-style table."""
-    cols = len(header)
-    widths = [len(h) for h in header]
-    txt_rows = []
-    for row in rows:
-        txt = [f"{x:.4g}" if isinstance(x, float) else str(x) for x in row]
-        txt_rows.append(txt)
-        for i in range(cols):
-            widths[i] = max(widths[i], len(txt[i]))
-    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))
-    print(f"\n== {title} ==")
-    print(line)
-    print("-" * len(line))
-    for txt in txt_rows:
-        print("  ".join(txt[i].ljust(widths[i]) for i in range(cols)))
+                rows: Sequence[Sequence[Any]]) -> list[dict]:
+    """Print an experiment's result series in a paper-style table.
+
+    Returns the rendered rows as a list of ``{column: value}`` dicts —
+    the same formatting path (``repro.lab.report.format_table``) the
+    lab reporter uses, so both harnesses render identically.
+    """
+    text, dict_rows = format_table(title, header, rows)
+    print(text)
+    return dict_rows
 
 
 def once(benchmark, fn):

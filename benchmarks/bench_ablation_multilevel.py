@@ -25,6 +25,10 @@ from repro.partitioners.multilevel import _initial_portfolio
 
 from _util import once, print_table
 
+TITLE = "Multilevel ablation (connectivity, planted k=4)"
+HEADER = ["seed", "full", "no coarsening (FM only)", "no refinement",
+          "spectral+FM"]
+
 
 def _no_fm_variant(g, k, eps, rng):
     """Coarsen + initial portfolio, then project without refinement."""
@@ -47,28 +51,30 @@ def _no_fm_variant(g, k, eps, rng):
     return Partition(labels, k)
 
 
-def test_multilevel_ablation(benchmark):
-    k, eps = 4, 0.1
+def run_ablation(*, seed=0, num_seeds=3, n=150, edges=400, cluster=20,
+                 k=4, eps=0.1):
+    rows = []
+    for s in range(seed, seed + num_seeds):
+        g, _ = planted_partition_hypergraph(n, k, edges, cluster, rng=s)
+        full = cost(g, multilevel_partition(g, k, eps, rng=s))
+        no_coarsen = cost(g, fm_refine(
+            g, random_balanced_partition(g, k, eps, rng=s),
+            eps=eps, max_passes=8))
+        no_fm = cost(g, _no_fm_variant(g, k, eps, s))
+        spectral = cost(g, spectral_partition(g, k, eps, rng=s))
+        rows.append((s, full, no_coarsen, no_fm, spectral))
+    return rows
 
-    def run():
-        rows = []
-        for seed in (0, 1, 2):
-            g, _ = planted_partition_hypergraph(150, k, 400, 20, rng=seed)
-            full = cost(g, multilevel_partition(g, k, eps, rng=seed))
-            no_coarsen = cost(g, fm_refine(
-                g, random_balanced_partition(g, k, eps, rng=seed),
-                eps=eps, max_passes=8))
-            no_fm = cost(g, _no_fm_variant(g, k, eps, seed))
-            spectral = cost(g, spectral_partition(g, k, eps, rng=seed))
-            rows.append((seed, full, no_coarsen, no_fm, spectral))
-        return rows
 
-    rows = once(benchmark, run)
-    print_table("Multilevel ablation (connectivity, planted k=4)",
-                ["seed", "full", "no coarsening (FM only)",
-                 "no refinement", "spectral+FM"], rows)
+def check_ablation(rows):
     for seed, full, no_coarsen, no_fm, spectral in rows:
         assert full <= no_fm + 1e-9      # refinement always helps
         assert full <= 1.5 * no_coarsen + 10  # and full is competitive
     means = np.mean(np.array([r[1:] for r in rows], dtype=float), axis=0)
     assert means[0] <= means.min() + 1e-9  # full pipeline wins on average
+
+
+def test_multilevel_ablation(benchmark):
+    rows = once(benchmark, run_ablation)
+    print_table(TITLE, HEADER, rows)
+    check_ablation(rows)

@@ -18,27 +18,41 @@ from repro.reductions import pad_for_ksection
 
 from _util import once, print_table
 
+A1_TITLE = "Lemma A.1: eps-balanced OPT == k-section OPT (padded)"
+A1_HEADER = ["seed", "eps", "n", "n padded", "direct OPT", "via OPT"]
 
-def test_lemma_a1_padding(benchmark):
-    def run():
-        rows = []
-        for seed, eps in ((0, 0.25), (1, 0.5), (2, 0.75)):
-            g = random_hypergraph(8, 6, rng=seed)
-            direct = exact_partition(g, 2, eps=eps).cost
-            padded = pad_for_ksection(g, 2, eps)
-            via = exact_partition(padded, 2, eps=0.0).cost
-            rows.append((seed, eps, g.n, padded.n, direct, via))
-        return rows
+A34_TITLE = "Lemmas A.3/A.4: how many parts an optimum actually uses"
+A34_HEADER = ["k", "eps", "nonempty parts (OPT)", "A.3 bound (<)",
+              "A.4 all-nonempty?"]
 
-    rows = once(benchmark, run)
-    print_table("Lemma A.1: eps-balanced OPT == k-section OPT (padded)",
-                ["seed", "eps", "n", "n padded", "direct OPT", "via OPT"],
-                rows)
+A5_TITLE = "Lemma A.5: splitting a block of size b costs >= b-1"
+A5_HEADER = ["b", "bound b-1", "cheapest observed split"]
+
+C3_TITLE = ("Lemma C.3: grid cut >= sqrt(minority); square shape is "
+            "2*sqrt(t0)-tight")
+C3_HEADER = ["l", "violations", "min cut/sqrt(t0)", "t0 (square)",
+             "square cut", "2*sqrt(t0)"]
+
+
+def run_a1_padding(*, seed=0, cases=((0, 0.25), (1, 0.5), (2, 0.75)),
+                   n=8, m=6):
+    rows = []
+    for s, eps in cases:
+        g = random_hypergraph(n, m, rng=seed + s)
+        direct = exact_partition(g, 2, eps=eps).cost
+        padded = pad_for_ksection(g, 2, eps)
+        via = exact_partition(padded, 2, eps=0.0).cost
+        rows.append((seed + s, eps, g.n, padded.n, direct, via))
+    return rows
+
+
+def check_a1_padding(rows):
     for *_, direct, via in rows:
         assert direct == via
 
 
-def test_lemma_a3_a4_empty_parts(benchmark):
+def run_a3_a4_empty_parts(*, seed=9, n=12, m=10,
+                          cases=((4, 1.0), (4, 0.2), (3, 1.5), (3, 0.4))):
     """Lemmas A.3/A.4: with ε ≥ 1 some optimal solution leaves a part
     empty; with ε < 1/(k−1) every part must be nonempty."""
     from repro.core import (
@@ -47,87 +61,100 @@ def test_lemma_a3_a4_empty_parts(benchmark):
         part_sizes,
     )
 
-    def run():
-        rows = []
-        g = random_hypergraph(12, 10, rng=9)
-        for k, eps in ((4, 1.0), (4, 0.2), (3, 1.5), (3, 0.4)):
-            # A.4's guarantee is for the strict floor threshold
-            res = exact_partition(g, k, eps=eps, relaxed=False)
-            sizes = part_sizes(res.partition.labels, k)
-            nonempty = int((sizes > 0).sum())
-            rows.append((k, eps, nonempty,
-                         max_nonempty_parts_bound(k, eps),
-                         all_parts_nonempty_guaranteed(k, eps)))
-        return rows
+    rows = []
+    g = random_hypergraph(n, m, rng=seed)
+    for k, eps in cases:
+        # A.4's guarantee is for the strict floor threshold
+        res = exact_partition(g, k, eps=eps, relaxed=False)
+        sizes = part_sizes(res.partition.labels, k)
+        nonempty = int((sizes > 0).sum())
+        rows.append((k, eps, nonempty,
+                     max_nonempty_parts_bound(k, eps),
+                     all_parts_nonempty_guaranteed(k, eps)))
+    return rows
 
-    rows = once(benchmark, run)
-    print_table("Lemmas A.3/A.4: how many parts an optimum actually uses",
-                ["k", "eps", "nonempty parts (OPT)", "A.3 bound (<)",
-                 "A.4 all-nonempty?"], rows)
+
+def check_a3_a4_empty_parts(rows):
     for k, eps, nonempty, bound, forced in rows:
         assert nonempty <= bound
         if forced:
             assert nonempty == k
 
 
-def test_lemma_a5_block_law(benchmark):
-    rng = np.random.default_rng(5)
+def run_a5_block_law(*, seed=5, bs=(3, 5, 8, 12), samples=50):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for b in bs:
+        g = block(b)
+        worst = math.inf
+        for _ in range(samples):
+            labels = rng.integers(0, 2, size=b)
+            if len(set(labels.tolist())) < 2:
+                continue
+            worst = min(worst, cut_net_cost(g, labels, 2))
+        rows.append((b, b - 1, worst))
+    return rows
 
-    def run():
-        rows = []
-        for b in (3, 5, 8, 12):
-            g = block(b)
-            worst = math.inf
-            for _ in range(50):
-                labels = rng.integers(0, 2, size=b)
-                if len(set(labels.tolist())) < 2:
-                    continue
-                worst = min(worst, cut_net_cost(g, labels, 2))
-            rows.append((b, b - 1, worst))
-        return rows
 
-    rows = once(benchmark, run)
-    print_table("Lemma A.5: splitting a block of size b costs >= b-1",
-                ["b", "bound b-1", "cheapest observed split"], rows)
+def check_a5_block_law(rows):
     for b, bound, worst in rows:
         assert worst >= bound
 
 
-def test_lemma_c3_grid_law(benchmark):
-    rng = np.random.default_rng(33)
+def run_c3_grid_law(*, seed=33, ells=(3, 5, 8), samples=100):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for ell in ells:
+        g = grid_gadget(ell)
+        violations = 0
+        min_ratio = math.inf
+        for _ in range(samples):
+            labels = (rng.random(g.n) < rng.uniform(0.05, 0.5)).astype(int)
+            counts = np.bincount(labels, minlength=2)
+            t0 = int(counts.min())
+            c = cut_net_cost(g, labels, 2)
+            if t0 > 0:
+                if c < math.sqrt(t0) - 1e-9:
+                    violations += 1
+                min_ratio = min(min_ratio, c / math.sqrt(t0))
+        # square-shaped minority achieves exactly 2*sqrt(t0)
+        side = ell // 2
+        square = np.zeros(g.n, dtype=np.int64)
+        for r in range(side):
+            for col in range(side):
+                square[grid_node(ell, r, col)] = 1
+        tight = cut_net_cost(g, square, 2)
+        rows.append((ell, violations, min_ratio, side * side, tight,
+                     2 * side))
+    return rows
 
-    def run():
-        rows = []
-        for ell in (3, 5, 8):
-            g = grid_gadget(ell)
-            violations = 0
-            min_ratio = math.inf
-            for _ in range(100):
-                labels = (rng.random(g.n) < rng.uniform(0.05, 0.5)).astype(int)
-                counts = np.bincount(labels, minlength=2)
-                t0 = int(counts.min())
-                c = cut_net_cost(g, labels, 2)
-                if t0 > 0:
-                    if c < math.sqrt(t0) - 1e-9:
-                        violations += 1
-                    min_ratio = min(min_ratio, c / math.sqrt(t0))
-            # square-shaped minority achieves exactly 2*sqrt(t0)
-            side = ell // 2
-            square = np.zeros(g.n, dtype=np.int64)
-            for r in range(side):
-                for col in range(side):
-                    square[grid_node(ell, r, col)] = 1
-            tight = cut_net_cost(g, square, 2)
-            rows.append((ell, violations, min_ratio, side * side, tight,
-                         2 * side))
-        return rows
 
-    rows = once(benchmark, run)
-    print_table("Lemma C.3: grid cut >= sqrt(minority); square shape is "
-                "2*sqrt(t0)-tight",
-                ["l", "violations", "min cut/sqrt(t0)", "t0 (square)",
-                 "square cut", "2*sqrt(t0)"], rows)
+def check_c3_grid_law(rows):
     for ell, violations, ratio, t0, tight, bound in rows:
         assert violations == 0
         assert ratio >= 1.0 - 1e-9
         assert tight == bound
+
+
+def test_lemma_a1_padding(benchmark):
+    rows = once(benchmark, run_a1_padding)
+    print_table(A1_TITLE, A1_HEADER, rows)
+    check_a1_padding(rows)
+
+
+def test_lemma_a3_a4_empty_parts(benchmark):
+    rows = once(benchmark, run_a3_a4_empty_parts)
+    print_table(A34_TITLE, A34_HEADER, rows)
+    check_a3_a4_empty_parts(rows)
+
+
+def test_lemma_a5_block_law(benchmark):
+    rows = once(benchmark, run_a5_block_law)
+    print_table(A5_TITLE, A5_HEADER, rows)
+    check_a5_block_law(rows)
+
+
+def test_lemma_c3_grid_law(benchmark):
+    rows = once(benchmark, run_c3_grid_law)
+    print_table(C3_TITLE, C3_HEADER, rows)
+    check_c3_grid_law(rows)

@@ -27,54 +27,66 @@ from repro.reductions import build_hyperdag_np_reduction
 
 from _util import once, print_table
 
+B3_TITLE = "Lemma B.3: hyperDAG reduction preserves optimal cost"
+B3_HEADER = ["seed", "n", "n'", "hyperDAG", "OPT", "mapped cost",
+             "balanced"]
 
-def test_lemma_b3_reduction(benchmark):
-    def run():
-        rows = []
-        for seed in range(4):
-            g = random_hypergraph(5, 4, rng=seed)
-            res = exact_partition(g, 2, eps=0.25)
-            red = build_hyperdag_np_reduction(g, k=2, eps=0.25)
-            mapped = red.partition_from_original(res.partition)
-            rows.append((seed, g.n, red.hypergraph.n,
-                         is_hyperdag(red.hypergraph), res.cost,
-                         cost(red.hypergraph, mapped),
-                         is_balanced(mapped, red.eps_prime)))
-        return rows
+HK_TITLE = ("Appendix B: Hendrickson–Kolda model overcounts by a "
+            "factor Θ(m); hyperDAGs stay exact at k-1")
+HK_HEADER = ["sinks m", "hyperDAG (true) cost", "HK cost", "factor"]
 
-    rows = once(benchmark, run)
-    print_table("Lemma B.3: hyperDAG reduction preserves optimal cost",
-                ["seed", "n", "n'", "hyperDAG", "OPT", "mapped cost",
-                 "balanced"], rows)
+
+def run_b3_reduction(*, seed=0, num_seeds=4, n=5, m=4, eps=0.25):
+    rows = []
+    for s in range(seed, seed + num_seeds):
+        g = random_hypergraph(n, m, rng=s)
+        res = exact_partition(g, 2, eps=eps)
+        red = build_hyperdag_np_reduction(g, k=2, eps=eps)
+        mapped = red.partition_from_original(res.partition)
+        rows.append((s, g.n, red.hypergraph.n,
+                     is_hyperdag(red.hypergraph), res.cost,
+                     cost(red.hypergraph, mapped),
+                     is_balanced(mapped, red.eps_prime)))
+    return rows
+
+
+def check_b3_reduction(rows):
     for seed, n, n2, hd, opt, mapped, bal in rows:
         assert hd and bal
         assert mapped == opt
 
 
-def test_hendrickson_kolda_overcount(benchmark):
-    def run():
-        rows = []
-        k = 4
-        for m in (4, 8, 16, 32):
-            sources = list(range(k - 1))
-            sinks = list(range(k - 1, k - 1 + m))
-            d = DAG(k - 1 + m, [(s, t) for s in sources for t in sinks])
-            labels = np.zeros(d.n, dtype=np.int64)
-            for i, s in enumerate(sources):
-                labels[s] = 1 + i
-            hk = hendrickson_kolda_hypergraph(d)
-            hd, _ = hyperdag_from_dag(d)
-            true_cost = connectivity_cost(hd, labels, k)
-            hk_cost = connectivity_cost(hk, labels, k)
-            rows.append((m, true_cost, hk_cost, hk_cost / true_cost))
-        return rows
+def run_hk_overcount(*, seed=0, k=4, ms=(4, 8, 16, 32)):
+    rows = []
+    for m in ms:
+        sources = list(range(k - 1))
+        sinks = list(range(k - 1, k - 1 + m))
+        d = DAG(k - 1 + m, [(s, t) for s in sources for t in sinks])
+        labels = np.zeros(d.n, dtype=np.int64)
+        for i, s in enumerate(sources):
+            labels[s] = 1 + i
+        hk = hendrickson_kolda_hypergraph(d)
+        hd, _ = hyperdag_from_dag(d)
+        true_cost = connectivity_cost(hd, labels, k)
+        hk_cost = connectivity_cost(hk, labels, k)
+        rows.append((m, true_cost, hk_cost, hk_cost / true_cost))
+    return rows
 
-    rows = once(benchmark, run)
-    print_table("Appendix B: Hendrickson–Kolda model overcounts by a "
-                "factor Θ(m); hyperDAGs stay exact at k-1",
-                ["sinks m", "hyperDAG (true) cost", "HK cost", "factor"],
-                rows)
+
+def check_hk_overcount(rows):
     for m, true_cost, hk_cost, factor in rows:
         assert true_cost == 3          # k - 1 transfers, exactly
         assert hk_cost >= m * 3        # m-fold overcount
     assert rows[-1][3] >= 2 * rows[0][3]
+
+
+def test_lemma_b3_reduction(benchmark):
+    rows = once(benchmark, run_b3_reduction)
+    print_table(B3_TITLE, B3_HEADER, rows)
+    check_b3_reduction(rows)
+
+
+def test_hendrickson_kolda_overcount(benchmark):
+    rows = once(benchmark, run_hk_overcount)
+    print_table(HK_TITLE, HK_HEADER, rows)
+    check_hk_overcount(rows)

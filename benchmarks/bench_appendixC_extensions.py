@@ -25,98 +25,120 @@ from repro.reductions import (
 
 from _util import once, print_table
 
+C4_TITLE = "Appendix C.4: OPT_part == OPT_SpES for every fixed k"
+C4_HEADER = ["k", "eps", "n'", "fillers", "OPT_SpES", "OPT_part"]
+
+C5_TITLE = "Appendix C.5: the Minimum p-Union generalisation"
+C5_HEADER = ["n", "sets", "p", "n'", "OPT_MpU", "OPT_part", "fwd cost"]
+
+D1_TITLE = ("Lemma D.1: multi-constraint k-section == blown-up "
+            "single-constraint k-section")
+D1_HEADER = ["n", "c", "n'", "direct OPT", "blow-up OPT"]
+
 INST = SpESInstance(4, ((0, 1), (1, 2), (0, 2), (2, 3)), p=2)
 
+MPU_INSTANCES = [
+    MpUInstance(5, ((0, 1, 2), (2, 3), (3, 4), (0, 4)), p=2),
+    MpUInstance(6, ((0, 1, 2), (3, 4, 5), (1, 3), (2, 5)), p=2),
+    MpUInstance(4, ((0, 1, 2, 3), (0, 1), (2, 3)), p=2),
+]
 
-def test_appendix_c4_kway(benchmark):
-    def run():
-        rows = []
-        opt, _ = min_p_union(INST)
-        for k, eps in ((2, 0.0), (3, 0.0), (3, 0.4), (4, 0.0), (4, 0.5)):
-            red = build_spes_reduction_kway(INST, k, eps)
-            got, _ = block_respecting_kway_optimum(red.as_block_structure(),
-                                                   k, eps)
-            rows.append((k, eps, red.n_prime, len(red.filler_blocks),
-                         opt, got))
-        return rows
+D1_CASES = [
+    ((4, ((0, 1), (1, 2), (2, 3), (0, 3))), ((0, 1, 2, 3),)),
+    ((4, ((0, 1), (2, 3), (1, 2), (0, 3))), ((0, 1), (2, 3))),
+    ((6, ((0, 1, 2), (3, 4), (2, 3), (4, 5))), ((0, 1), (2, 3))),
+]
 
-    rows = once(benchmark, run)
-    print_table("Appendix C.4: OPT_part == OPT_SpES for every fixed k",
-                ["k", "eps", "n'", "fillers", "OPT_SpES", "OPT_part"], rows)
+
+def run_c4_kway(*, seed=0,
+                cases=((2, 0.0), (3, 0.0), (3, 0.4), (4, 0.0), (4, 0.5))):
+    rows = []
+    opt, _ = min_p_union(INST)
+    for k, eps in cases:
+        red = build_spes_reduction_kway(INST, k, eps)
+        got, _ = block_respecting_kway_optimum(red.as_block_structure(),
+                                               k, eps)
+        rows.append((k, eps, red.n_prime, len(red.filler_blocks),
+                     opt, got))
+    return rows
+
+
+def check_c4_kway(rows):
     for *_, opt, got in rows:
         assert opt == got
 
 
-def test_appendix_c5_mpu(benchmark):
-    instances = [
-        MpUInstance(5, ((0, 1, 2), (2, 3), (3, 4), (0, 4)), p=2),
-        MpUInstance(6, ((0, 1, 2), (3, 4, 5), (1, 3), (2, 5)), p=2),
-        MpUInstance(4, ((0, 1, 2, 3), (0, 1), (2, 3)), p=2),
-    ]
+def run_c5_mpu(*, seed=0, num_instances=3, eps=0.2):
+    rows = []
+    for inst in MPU_INSTANCES[:num_instances]:
+        opt, chosen = mpu_optimum(inst)
+        red = build_mpu_reduction(inst, eps=eps)
+        got, _ = red.block_respecting_optimum()
+        fwd = red.partition_from_edge_subset(chosen)
+        rows.append((inst.num_nodes, len(inst.sets), inst.p,
+                     red.n_prime, opt, got,
+                     cost(red.hypergraph, fwd, Metric.CUT_NET)))
+    return rows
 
-    def run():
-        rows = []
-        for inst in instances:
-            opt, chosen = mpu_optimum(inst)
-            red = build_mpu_reduction(inst, eps=0.2)
-            got, _ = red.block_respecting_optimum()
-            fwd = red.partition_from_edge_subset(chosen)
-            rows.append((inst.num_nodes, len(inst.sets), inst.p,
-                         red.n_prime, opt, got,
-                         cost(red.hypergraph, fwd, Metric.CUT_NET)))
-        return rows
 
-    rows = once(benchmark, run)
-    print_table("Appendix C.5: the Minimum p-Union generalisation",
-                ["n", "sets", "p", "n'", "OPT_MpU", "OPT_part",
-                 "fwd cost"], rows)
+def check_c5_mpu(rows):
     for *_, opt, got, fwd in rows:
         assert opt == got == fwd
 
 
-def test_lemma_d1_blowup(benchmark):
-    def run():
-        rows = []
-        cases = [
-            (Hypergraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)]),
-             MultiConstraint([[0, 1, 2, 3]])),
-            (Hypergraph(4, [(0, 1), (2, 3), (1, 2), (0, 3)]),
-             MultiConstraint([[0, 1], [2, 3]])),
-            (Hypergraph(6, [(0, 1, 2), (3, 4), (2, 3), (4, 5)]),
-             MultiConstraint([[0, 1], [2, 3]])),
-        ]
-        for g, mc in cases:
-            direct = exact_partition(g, 2, eps=0.0, constraints=mc,
-                                     global_balance=False).cost
-            red = build_multi_to_single(g, mc, k=2)
-            # exact optimum over block-monochromatic k-sections
-            from itertools import product
-            hg = red.hypergraph
-            units = list(red.blocks) + [
-                (v,) for v in range(hg.n - red.num_isolated, hg.n)]
-            mapping = np.empty(hg.n, dtype=np.int64)
-            for i, u in enumerate(units):
-                for v in u:
-                    mapping[v] = i
-            contracted = hg.contract(mapping, num_groups=len(units))
-            sizes = [len(u) for u in units]
-            target = hg.n // 2
-            best = np.inf
-            for labels in product(range(2), repeat=len(units)):
-                per = [0, 0]
-                for i, lab in enumerate(labels):
-                    per[lab] += sizes[i]
-                if per[0] != target:
-                    continue
-                best = min(best, cost(contracted, np.array(labels),
-                                      Metric.CUT_NET, k=2))
-            rows.append((g.n, mc.c, hg.n, direct, best))
-        return rows
+def run_d1_blowup(*, seed=0, num_cases=3):
+    from itertools import product
 
-    rows = once(benchmark, run)
-    print_table("Lemma D.1: multi-constraint k-section == blown-up "
-                "single-constraint k-section",
-                ["n", "c", "n'", "direct OPT", "blow-up OPT"], rows)
+    rows = []
+    for (n_g, edges), groups in D1_CASES[:num_cases]:
+        g = Hypergraph(n_g, [list(e) for e in edges])
+        mc = MultiConstraint([list(grp) for grp in groups])
+        direct = exact_partition(g, 2, eps=0.0, constraints=mc,
+                                 global_balance=False).cost
+        red = build_multi_to_single(g, mc, k=2)
+        # exact optimum over block-monochromatic k-sections
+        hg = red.hypergraph
+        units = list(red.blocks) + [
+            (v,) for v in range(hg.n - red.num_isolated, hg.n)]
+        mapping = np.empty(hg.n, dtype=np.int64)
+        for i, u in enumerate(units):
+            for v in u:
+                mapping[v] = i
+        contracted = hg.contract(mapping, num_groups=len(units))
+        sizes = [len(u) for u in units]
+        target = hg.n // 2
+        best = np.inf
+        for labels in product(range(2), repeat=len(units)):
+            per = [0, 0]
+            for i, lab in enumerate(labels):
+                per[lab] += sizes[i]
+            if per[0] != target:
+                continue
+            best = min(best, cost(contracted, np.array(labels),
+                                  Metric.CUT_NET, k=2))
+        rows.append((g.n, mc.c, hg.n, direct, best))
+    return rows
+
+
+def check_d1_blowup(rows):
     for n, c, n2, direct, via in rows:
         assert direct == via
         assert n2 >= n ** 2  # the n^{c+1} blow-up is real
+
+
+def test_appendix_c4_kway(benchmark):
+    rows = once(benchmark, run_c4_kway)
+    print_table(C4_TITLE, C4_HEADER, rows)
+    check_c4_kway(rows)
+
+
+def test_appendix_c5_mpu(benchmark):
+    rows = once(benchmark, run_c5_mpu)
+    print_table(C5_TITLE, C5_HEADER, rows)
+    check_c5_mpu(rows)
+
+
+def test_lemma_d1_blowup(benchmark):
+    rows = once(benchmark, run_d1_blowup)
+    print_table(D1_TITLE, D1_HEADER, rows)
+    check_d1_blowup(rows)

@@ -17,35 +17,40 @@ from repro.partitioners import random_balanced_labels
 
 from _util import once, print_table
 
+TITLE = "Figure 1: hyperDAG conversion (k=4 random balanced partition)"
+HEADER = ["n", "DAG edges", "hyperedges", "n - sinks", "edge cut",
+          "hyperDAG cost", "overcount x"]
+
 
 def _dag_edge_cut(dag, labels) -> int:
     return sum(1 for u, v in dag.edges if labels[u] != labels[v])
 
 
-def test_fig1_conversion(benchmark):
-    rng = np.random.default_rng(1)
+def run_conversion(*, seed=1, widths=(5, 10, 20, 40), layers=5,
+                   density=0.4):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for width in widths:
+        d = random_layered_dag([width] * layers, density, rng)
+        h, gens = hyperdag_from_dag(d)
+        labels = random_balanced_labels(d.n, 4, 0.1, rng, relaxed=True)
+        hyper_cost = connectivity_cost(h, labels, 4)
+        edge_cut = _dag_edge_cut(d, labels)
+        rows.append((d.n, d.num_edges, h.num_edges,
+                     d.n - len(d.sinks()), edge_cut, hyper_cost,
+                     edge_cut / max(hyper_cost, 1)))
+    return rows
 
-    def run():
-        rows = []
-        for width in (5, 10, 20, 40):
-            d = random_layered_dag([width] * 5, 0.4, rng)
-            h, gens = hyperdag_from_dag(d)
-            labels = random_balanced_labels(d.n, 4, 0.1, rng, relaxed=True)
-            hyper_cost = connectivity_cost(h, labels, 4)
-            edge_cut = _dag_edge_cut(d, labels)
-            rows.append((d.n, d.num_edges, h.num_edges,
-                         d.n - len(d.sinks()), edge_cut, hyper_cost,
-                         edge_cut / max(hyper_cost, 1)))
-        return rows
 
-    rows = once(benchmark, run)
-    print_table(
-        "Figure 1: hyperDAG conversion (k=4 random balanced partition)",
-        ["n", "DAG edges", "hyperedges", "n - sinks", "edge cut",
-         "hyperDAG cost", "overcount x"],
-        rows)
+def check_conversion(rows):
     for n, m, he, law, cut, hc, ratio in rows:
         assert he == law                       # Appendix B edge-count law
         assert hc <= cut + 1e-9                # hyperDAG never overcounts
     # fan-out makes the naive edge-cut overcount grow
     assert rows[-1][-1] > 1.5
+
+
+def test_fig1_conversion(benchmark):
+    rows = once(benchmark, run_conversion)
+    print_table(TITLE, HEADER, rows)
+    check_conversion(rows)

@@ -16,29 +16,69 @@ from repro.generators import random_layered_dag
 
 from _util import once, print_table
 
+TITLE = "Lemma B.2: recognition is linear in the pin count ρ"
+HEADER = ["n", "pins ρ", "time (ms)", "ns / pin"]
 
-def test_fig2_recognition_linear(benchmark):
-    rng = np.random.default_rng(2)
 
-    def run():
-        rows = []
-        for width in (10, 30, 100, 300):
-            d = random_layered_dag([width] * 6, 0.3, rng)
-            h, _ = hyperdag_from_dag(d)
-            t0 = time.perf_counter()
-            cert = recognize(h)
-            dt = time.perf_counter() - t0
-            assert cert is not None
-            rows.append((h.n, h.num_pins, dt * 1e3,
-                         dt * 1e9 / max(h.num_pins, 1)))
-        return rows
+def run_recognition(*, seed=2, widths=(10, 30, 100, 300), layers=6,
+                    density=0.3):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for width in widths:
+        d = random_layered_dag([width] * layers, density, rng)
+        h, _ = hyperdag_from_dag(d)
+        t0 = time.perf_counter()
+        cert = recognize(h)
+        dt = time.perf_counter() - t0
+        assert cert is not None
+        rows.append((h.n, h.num_pins, dt * 1e3,
+                     dt * 1e9 / max(h.num_pins, 1)))
+    return rows
 
-    rows = once(benchmark, run)
-    print_table("Lemma B.2: recognition is linear in the pin count ρ",
-                ["n", "pins ρ", "time (ms)", "ns / pin"], rows)
+
+def check_recognition(rows):
     # per-pin time must not blow up with size (allow 5x noise band)
     per_pin = [r[3] for r in rows]
     assert per_pin[-1] <= 5 * max(per_pin[0], 1e3)
+
+
+REJECT_TITLE = "Figure 2: structural rejections (|E| <= n-1 law)"
+REJECT_HEADER = ["instance", "n", "|E|", "hyperDAG?"]
+
+
+def run_rejections(*, seed=0, n=50):
+    """Figure 2 structural rejections (deterministic): the triangle and
+    an |E| > n−1 perturbation of the densest hyperDAG are rejected,
+    while the densest hyperDAG itself is accepted."""
+    from repro.core import densest_hyperdag
+
+    tri = Hypergraph(3, [(0, 1), (1, 2), (0, 2)])
+    dense = densest_hyperdag(n)
+    perturbed = dense.with_edges([(0, 1)])
+    return [("triangle", tri.n, tri.num_edges, is_hyperdag(tri)),
+            ("densest hyperDAG", dense.n, dense.num_edges,
+             is_hyperdag(dense)),
+            ("densest + 1 edge", perturbed.n, perturbed.num_edges,
+             is_hyperdag(perturbed))]
+
+
+def check_rejections(rows):
+    verdicts = {name: ok for name, _, _, ok in rows}
+    assert verdicts["triangle"] is False
+    assert verdicts["densest hyperDAG"] is True
+    assert verdicts["densest + 1 edge"] is False
+
+
+def test_fig2_recognition_linear(benchmark):
+    rows = once(benchmark, run_recognition)
+    print_table(TITLE, HEADER, rows)
+    check_recognition(rows)
+
+
+def test_fig2_rejections(benchmark):
+    rows = once(benchmark, run_rejections)
+    print_table(REJECT_TITLE, REJECT_HEADER, rows)
+    check_rejections(rows)
 
 
 def test_fig2_triangle_rejected(benchmark):

@@ -20,41 +20,46 @@ from repro.scheduling import (
 
 from _util import once, print_table
 
+TITLE = "Figure 4: balanced != parallel (serial concatenation, k=2)"
+HEADER = ["n", "G1|G2 balanced", "mu", "mu_p(G1|G2)", "mu_p(interleave)",
+          "slowdown"]
 
-def test_fig4_serial_concatenation(benchmark):
-    rng = np.random.default_rng(4)
 
-    def run():
-        rows = []
-        for width in (4, 8, 16):
-            half = random_layered_dag([width] * 3, 0.5, rng)
-            g = DAG.serial_concatenation(half, half)
-            n = g.n
-            serial_labels = np.array([0] * half.n + [1] * half.n)
-            # interleave within every layer of each half
-            asap = g.asap_layers()
-            inter_labels = np.zeros(n, dtype=np.int64)
-            for layer in range(int(asap.max()) + 1):
-                nodes = np.flatnonzero(asap == layer)
-                inter_labels[nodes[len(nodes) // 2:]] = 1
-            mu = optimal_makespan(g, 2)
-            mup_serial = list_schedule_fixed_partition(
-                g, serial_labels, 2).makespan
-            mup_inter = list_schedule_fixed_partition(
-                g, inter_labels, 2).makespan
-            rows.append((n, is_balanced(serial_labels, 0.0, k=2),
-                         mu, mup_serial, mup_inter,
-                         mup_serial / mu))
-        return rows
+def run_serial_concatenation(*, seed=4, widths=(4, 8, 16), layers=3,
+                             density=0.5):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for width in widths:
+        half = random_layered_dag([width] * layers, density, rng)
+        g = DAG.serial_concatenation(half, half)
+        n = g.n
+        serial_labels = np.array([0] * half.n + [1] * half.n)
+        # interleave within every layer of each half
+        asap = g.asap_layers()
+        inter_labels = np.zeros(n, dtype=np.int64)
+        for layer in range(int(asap.max()) + 1):
+            nodes = np.flatnonzero(asap == layer)
+            inter_labels[nodes[len(nodes) // 2:]] = 1
+        mu = optimal_makespan(g, 2)
+        mup_serial = list_schedule_fixed_partition(
+            g, serial_labels, 2).makespan
+        mup_inter = list_schedule_fixed_partition(
+            g, inter_labels, 2).makespan
+        rows.append((n, is_balanced(serial_labels, 0.0, k=2),
+                     mu, mup_serial, mup_inter,
+                     mup_serial / mu))
+    return rows
 
-    rows = once(benchmark, run)
-    print_table(
-        "Figure 4: balanced != parallel (serial concatenation, k=2)",
-        ["n", "G1|G2 balanced", "mu", "mu_p(G1|G2)", "mu_p(interleave)",
-         "slowdown"],
-        rows)
+
+def check_serial_concatenation(rows):
     for n, bal, mu, serial, inter, slow in rows:
         assert bal                      # the bad split IS balanced...
         assert serial == n              # ...but has zero speedup
         assert inter <= mu * 1.3        # interleaving parallelises well
     assert rows[-1][5] >= 1.5           # slowdown grows to ~2x
+
+
+def test_fig4_serial_concatenation(benchmark):
+    rows = once(benchmark, run_serial_concatenation)
+    print_table(TITLE, HEADER, rows)
+    check_serial_concatenation(rows)

@@ -20,6 +20,9 @@ from repro.partitioners import exact_partition
 
 from _util import once, print_table
 
+TITLE = "Figure 6: layer-wise optimum grows Θ(b); branch colouring costs O(1)"
+HEADER = ["b", "n", "layer-wise OPT", "branch-colour cost"]
+
 
 def figure6_dag(b: int) -> tuple[DAG, np.ndarray]:
     """Source → (U set of b | l1), (u2 | L set of b), (u3 | l3) → sink.
@@ -49,25 +52,28 @@ def figure6_dag(b: int) -> tuple[DAG, np.ndarray]:
     return dag, branch
 
 
-def test_fig6_layerwise_penalty(benchmark):
-    def run():
-        rows = []
-        for b in (2, 4, 6):
-            dag, branch = figure6_dag(b)
-            h, _ = hyperdag_from_dag(dag)
-            layers = dag.layers_from_assignment(dag.asap_layers())
-            mc = MultiConstraint(layers)
-            layerwise = exact_partition(h, 2, eps=0.0, constraints=mc,
-                                        relaxed=True).cost
-            free = cost(h, branch, Metric.CONNECTIVITY, k=2)
-            rows.append((b, dag.n, layerwise, free))
-        return rows
+def run_layerwise_penalty(*, seed=0, bs=(2, 4, 6)):
+    rows = []
+    for b in bs:
+        dag, branch = figure6_dag(b)
+        h, _ = hyperdag_from_dag(dag)
+        layers = dag.layers_from_assignment(dag.asap_layers())
+        mc = MultiConstraint(layers)
+        layerwise = exact_partition(h, 2, eps=0.0, constraints=mc,
+                                    relaxed=True).cost
+        free = cost(h, branch, Metric.CONNECTIVITY, k=2)
+        rows.append((b, dag.n, layerwise, free))
+    return rows
 
-    rows = once(benchmark, run)
-    print_table("Figure 6: layer-wise optimum grows Θ(b); branch "
-                "colouring costs O(1)",
-                ["b", "n", "layer-wise OPT", "branch-colour cost"], rows)
+
+def check_layerwise_penalty(rows):
     for b, n, lw, free in rows:
         assert free <= 3
         assert lw >= b / 2  # Θ(b): the split sets force ~b/2 cut nets
     assert rows[-1][2] > rows[0][2]  # strictly growing in b
+
+
+def test_fig6_layerwise_penalty(benchmark):
+    rows = once(benchmark, run_layerwise_penalty)
+    print_table(TITLE, HEADER, rows)
+    check_layerwise_penalty(rows)

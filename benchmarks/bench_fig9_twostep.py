@@ -18,32 +18,36 @@ from repro.reductions import (
 
 from _util import once, print_table
 
+TITLE = ("Figure 9 / Theorem 7.4: two-step vs hierarchical optimum (k=4, "
+         "b1=2)")
+HEADER = ["g1", "m", "std OPT", "two-step hier cost", "hier OPT",
+          "ratio", "(b1-1)/b1*g1", "g1 (Lemma 7.3 cap)"]
 
-def test_fig9_two_step_gap(benchmark):
-    def run():
-        rows = []
-        for g1 in (2.0, 4.0, 8.0):
-            st = build_two_step_gap_instance(unit=3, k=4, g1=g1)
-            m = st.meta["m"]
-            std_cost, std_part = block_respecting_kway_optimum(st, 4,
-                                                               eps=0.0)
-            _, two_step = two_step_from_partition(st.hypergraph, std_part,
-                                                  st.topology)
-            opt, _ = block_respecting_hierarchical_optimum(st, eps=0.0)
-            rows.append((g1, m, std_cost, two_step, opt, two_step / opt,
-                         g1 / 2, g1))
-        return rows
 
-    rows = once(benchmark, run)
-    print_table(
-        "Figure 9 / Theorem 7.4: two-step vs hierarchical optimum (k=4, "
-        "b1=2)",
-        ["g1", "m", "std OPT", "two-step hier cost", "hier OPT",
-         "ratio", "(b1-1)/b1*g1", "g1 (Lemma 7.3 cap)"],
-        rows)
+def run_two_step_gap(*, seed=0, g1s=(2.0, 4.0, 8.0), unit=3, k=4):
+    rows = []
+    for g1 in g1s:
+        st = build_two_step_gap_instance(unit=unit, k=k, g1=g1)
+        m = st.meta["m"]
+        std_cost, std_part = block_respecting_kway_optimum(st, k, eps=0.0)
+        _, two_step = two_step_from_partition(st.hypergraph, std_part,
+                                              st.topology)
+        opt, _ = block_respecting_hierarchical_optimum(st, eps=0.0)
+        rows.append((g1, m, std_cost, two_step, opt, two_step / opt,
+                     g1 / 2, g1))
+    return rows
+
+
+def check_two_step_gap(rows):
     prev_ratio = 0.0
     for g1, m, std, ts, opt, ratio, lo, hi in rows:
         assert std == 3 * m                 # standard optimum scatters
         assert lo - 1e-9 <= ratio <= hi + 1e-9
         assert ratio > prev_ratio           # gap widens with g1
         prev_ratio = ratio
+
+
+def test_fig9_two_step_gap(benchmark):
+    rows = once(benchmark, run_two_step_gap)
+    print_table(TITLE, HEADER, rows)
+    check_two_step_gap(rows)

@@ -18,6 +18,7 @@ from repro.hierarchy import (
     direct_hierarchical_partition,
     hierarchical_cost,
     hierarchical_fm_refine,
+    two_step_from_partition,
     two_step_partition,
 )
 from repro.reductions import (
@@ -25,54 +26,67 @@ from repro.reductions import (
     block_respecting_kway_optimum,
     build_two_step_gap_instance,
 )
-from repro.hierarchy import two_step_from_partition
 
 from _util import once, print_table
 
+WORKLOAD_TITLE = "Hierarchy-aware vs two-step (planted, k=4, g1=6)"
+WORKLOAD_HEADER = ["seed", "two-step", "direct (aware)", "ratio"]
 
-def test_direct_vs_two_step_on_workloads(benchmark):
-    topo = HierarchyTopology((2, 2), (6.0, 1.0))
+FM_TITLE = "Block-level hierarchical FM escapes the Figure 9 trap"
+FM_HEADER = ["g1", "two-step", "FM-refined", "hier OPT"]
 
-    def run():
-        rows = []
-        for seed in range(4):
-            g, _ = planted_partition_hypergraph(96, 4, 260, 18, rng=seed)
-            _, ts = two_step_partition(g, topo, eps=0.1, rng=seed)
-            _, direct = direct_hierarchical_partition(g, topo, eps=0.1,
-                                                      rng=seed)
-            rows.append((seed, ts, direct, direct / ts))
-        return rows
 
-    rows = once(benchmark, run)
-    print_table("Hierarchy-aware vs two-step (planted, k=4, g1=6)",
-                ["seed", "two-step", "direct (aware)", "ratio"], rows)
+def run_workloads(*, seed=0, num_seeds=4, n=96, edges=260, cluster=18,
+                  g1=6.0):
+    topo = HierarchyTopology((2, 2), (g1, 1.0))
+    rows = []
+    for s in range(seed, seed + num_seeds):
+        g, _ = planted_partition_hypergraph(n, 4, edges, cluster, rng=s)
+        _, ts = two_step_partition(g, topo, eps=0.1, rng=s)
+        _, direct = direct_hierarchical_partition(g, topo, eps=0.1,
+                                                  rng=s)
+        rows.append((s, ts, direct, direct / ts))
+    return rows
+
+
+def check_workloads(rows):
     means = np.mean([[r[1], r[2]] for r in rows], axis=0)
     assert means[1] <= 1.15 * means[0]  # aware method competitive or better
 
 
-def test_block_level_fm_recovers_fig9_optimum(benchmark):
-    def run():
-        rows = []
-        for g1 in (2.0, 4.0, 8.0):
-            st = build_two_step_gap_instance(unit=3, k=4, g1=g1)
-            _, pstd = block_respecting_kway_optimum(st, 4, eps=0.0)
-            placed, ts_cost = two_step_from_partition(
-                st.hypergraph, pstd, st.topology)
-            mapping = st.unit_mapping()
-            contracted = st.hypergraph.contract(
-                mapping, num_groups=len(st.blocks))
-            unit_leaf = np.array([placed.labels[blk[0]]
-                                  for blk in st.blocks])
-            caps = np.full(4, float(st.meta["T"]))
-            refined = hierarchical_fm_refine(
-                contracted, Partition(unit_leaf, 4), st.topology, caps=caps)
-            ref_cost = hierarchical_cost(contracted, refined, st.topology)
-            opt, _ = block_respecting_hierarchical_optimum(st, eps=0.0)
-            rows.append((g1, ts_cost, ref_cost, opt))
-        return rows
+def run_fig9_fm(*, seed=0, g1s=(2.0, 4.0, 8.0), unit=3):
+    rows = []
+    for g1 in g1s:
+        st = build_two_step_gap_instance(unit=unit, k=4, g1=g1)
+        _, pstd = block_respecting_kway_optimum(st, 4, eps=0.0)
+        placed, ts_cost = two_step_from_partition(
+            st.hypergraph, pstd, st.topology)
+        mapping = st.unit_mapping()
+        contracted = st.hypergraph.contract(
+            mapping, num_groups=len(st.blocks))
+        unit_leaf = np.array([placed.labels[blk[0]]
+                              for blk in st.blocks])
+        caps = np.full(4, float(st.meta["T"]))
+        refined = hierarchical_fm_refine(
+            contracted, Partition(unit_leaf, 4), st.topology, caps=caps)
+        ref_cost = hierarchical_cost(contracted, refined, st.topology)
+        opt, _ = block_respecting_hierarchical_optimum(st, eps=0.0)
+        rows.append((g1, ts_cost, ref_cost, opt))
+    return rows
 
-    rows = once(benchmark, run)
-    print_table("Block-level hierarchical FM escapes the Figure 9 trap",
-                ["g1", "two-step", "FM-refined", "hier OPT"], rows)
+
+def check_fig9_fm(rows):
     for g1, ts, ref, opt in rows:
         assert ref == opt < ts
+
+
+def test_direct_vs_two_step_on_workloads(benchmark):
+    rows = once(benchmark, run_workloads)
+    print_table(WORKLOAD_TITLE, WORKLOAD_HEADER, rows)
+    check_workloads(rows)
+
+
+def test_block_level_fm_recovers_fig9_optimum(benchmark):
+    rows = once(benchmark, run_fig9_fm)
+    print_table(FM_TITLE, FM_HEADER, rows)
+    check_fig9_fm(rows)

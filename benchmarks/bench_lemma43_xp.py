@@ -17,42 +17,56 @@ from repro.partitioners import exact_partition, xp_decision, xp_optimum
 
 from _util import once, print_table
 
+TITLE = "Lemma 4.3: XP optimum == branch-and-bound optimum"
+HEADER = ["seed", "B&B OPT", "XP OPT", "L*"]
 
-def test_lemma43_agreement(benchmark):
-    def run():
-        rows = []
-        for seed in range(5):
-            g = random_hypergraph(8, 6, rng=seed)
-            bb = exact_partition(g, 2, eps=0.0, metric=Metric.CUT_NET,
-                                 relaxed=True).cost
-            xp = xp_optimum(g, 2, eps=0.0, metric=Metric.CUT_NET,
-                            relaxed=True)
-            rows.append((seed, bb, xp.cost, xp.info["L"]))
-        return rows
+SCALING_TITLE = "Lemma 4.3: runtime grows with the parameter L"
+SCALING_HEADER = ["regime", "L", "seconds"]
 
-    rows = once(benchmark, run)
-    print_table("Lemma 4.3: XP optimum == branch-and-bound optimum",
-                ["seed", "B&B OPT", "XP OPT", "L*"], rows)
+
+def run_agreement(*, seed=0, num_seeds=5, n=8, m=6):
+    rows = []
+    for s in range(seed, seed + num_seeds):
+        g = random_hypergraph(n, m, rng=s)
+        bb = exact_partition(g, 2, eps=0.0, metric=Metric.CUT_NET,
+                             relaxed=True).cost
+        xp = xp_optimum(g, 2, eps=0.0, metric=Metric.CUT_NET,
+                        relaxed=True)
+        rows.append((s, bb, xp.cost, xp.info["L"]))
+    return rows
+
+
+def check_agreement(rows):
     for _, bb, xp, _ in rows:
         assert bb == xp
 
 
-def test_lemma43_runtime_scaling(benchmark):
-    def run():
-        rows = []
-        # fixed n, growing L: enumeration grows ~ C(m, L)
-        g = random_hypergraph(14, 12, rng=7)
-        for L in (0, 1, 2, 3):
-            t0 = time.perf_counter()
-            xp_decision(g, 2, L=L, eps=0.0, metric=Metric.CUT_NET,
-                        relaxed=True)
-            rows.append(("n=14 fixed", L, time.perf_counter() - t0))
-        return rows
+def run_runtime_scaling(*, seed=7, n=14, m=12, Ls=(0, 1, 2, 3)):
+    rows = []
+    # fixed n, growing L: enumeration grows ~ C(m, L)
+    g = random_hypergraph(n, m, rng=seed)
+    for L in Ls:
+        t0 = time.perf_counter()
+        xp_decision(g, 2, L=L, eps=0.0, metric=Metric.CUT_NET,
+                    relaxed=True)
+        rows.append((f"n={n} fixed", L, time.perf_counter() - t0))
+    return rows
 
-    rows = once(benchmark, run)
-    print_table("Lemma 4.3: runtime grows with the parameter L",
-                ["regime", "L", "seconds"], rows)
+
+def check_runtime_scaling(rows):
     times = [r[2] for r in rows]
     # monotone growth in L (allow tiny noise at the cheap end)
-    assert times[3] > times[1]
-    assert times[3] > 3 * times[0]
+    assert times[-1] > times[1]
+    assert times[-1] > 3 * times[0]
+
+
+def test_lemma43_agreement(benchmark):
+    rows = once(benchmark, run_agreement)
+    print_table(TITLE, HEADER, rows)
+    check_agreement(rows)
+
+
+def test_lemma43_runtime_scaling(benchmark):
+    rows = once(benchmark, run_runtime_scaling)
+    print_table(SCALING_TITLE, SCALING_HEADER, rows)
+    check_runtime_scaling(rows)

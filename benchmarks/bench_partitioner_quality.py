@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import Metric, cost, hyperdag_from_dag
+from repro.core import cost, hyperdag_from_dag
 from repro.generators import (
     banded_pattern,
     block_diagonal_pattern,
@@ -31,6 +31,9 @@ from repro.partitioners import (
 
 from _util import once, print_table
 
+TITLE = "Partitioner quality (connectivity, k=4, eps=0.1)"
+HEADER = ["workload", "n", "m", "random", "greedy", "FM", "multilevel"]
+
 
 def _workloads(rng):
     pat = random_sparse_pattern(24, 24, 0.12, rng)
@@ -48,33 +51,34 @@ def _workloads(rng):
             ("stencil-hyperdag", stencil), ("fft-hyperdag", fft)]
 
 
-def test_partitioner_quality(benchmark):
-    rng = np.random.default_rng(77)
-    k, eps = 4, 0.1
+def run_quality(*, seed=77, k=4, eps=0.1, rand_seeds=3):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for name, g in _workloads(rng):
+        rand = np.mean([
+            cost(g, random_balanced_partition(g, k, eps, rng=s,
+                                              relaxed=True))
+            for s in range(rand_seeds)])
+        greedy = cost(g, greedy_sequential_partition(
+            g, k, eps, rng=0, relaxed=True))
+        fm = cost(g, fm_refine(
+            g, random_balanced_partition(g, k, eps, rng=0, relaxed=True),
+            eps=eps, relaxed=True))
+        ml = cost(g, multilevel_partition(g, k, eps, rng=0))
+        rows.append((name, g.n, g.num_edges, rand, greedy, fm, ml))
+    return rows
 
-    def run():
-        rows = []
-        for name, g in _workloads(rng):
-            rand = np.mean([
-                cost(g, random_balanced_partition(g, k, eps, rng=s,
-                                                  relaxed=True))
-                for s in range(3)])
-            greedy = cost(g, greedy_sequential_partition(
-                g, k, eps, rng=0, relaxed=True))
-            fm = cost(g, fm_refine(
-                g, random_balanced_partition(g, k, eps, rng=0, relaxed=True),
-                eps=eps, relaxed=True))
-            ml = cost(g, multilevel_partition(g, k, eps, rng=0))
-            rows.append((name, g.n, g.num_edges, rand, greedy, fm, ml))
-        return rows
 
-    rows = once(benchmark, run)
-    print_table("Partitioner quality (connectivity, k=4, eps=0.1)",
-                ["workload", "n", "m", "random", "greedy", "FM", "multilevel"],
-                rows)
+def check_quality(rows):
     for name, n, m, rand, greedy, fm, ml in rows:
         assert ml <= rand, name           # multilevel beats random...
         assert fm <= rand, name           # ...and FM refines random
     # and by a wide margin on the structured instances
     planted_row = [r for r in rows if r[0] == "planted"][0]
     assert planted_row[6] < 0.5 * planted_row[3]
+
+
+def test_partitioner_quality(benchmark):
+    rows = once(benchmark, run_quality)
+    print_table(TITLE, HEADER, rows)
+    check_quality(rows)

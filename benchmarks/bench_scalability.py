@@ -15,30 +15,37 @@ from repro.partitioners import multilevel_partition
 
 from _util import once, print_table
 
+TITLE = "Multilevel scalability (k=8, planted)"
+HEADER = ["n", "pins", "seconds", "us/pin", "cost", "planted cost",
+          "balanced"]
 
-def test_multilevel_scaling(benchmark):
-    def run():
-        rows = []
-        for n in (500, 1000, 2000):
-            g, planted = planted_partition_hypergraph(n, 8, 3 * n, n // 10,
-                                                      rng=0)
-            t0 = time.perf_counter()
-            part = multilevel_partition(g, 8, eps=0.05, rng=0)
-            dt = time.perf_counter() - t0
-            c = cost(g, part)
-            planted_cost = cost(g, planted, k=8)
-            rows.append((n, g.num_pins, dt, dt * 1e6 / g.num_pins,
-                         c, planted_cost,
-                         is_balanced(part, 0.05, relaxed=True)))
-        return rows
 
-    rows = once(benchmark, run)
-    print_table("Multilevel scalability (k=8, planted)",
-                ["n", "pins", "seconds", "us/pin", "cost",
-                 "planted cost", "balanced"], rows)
+def run_scaling(*, seed=0, ns=(500, 1000, 2000), k=8, eps=0.05):
+    rows = []
+    for n in ns:
+        g, planted = planted_partition_hypergraph(n, k, 3 * n, n // 10,
+                                                  rng=seed)
+        t0 = time.perf_counter()
+        part = multilevel_partition(g, k, eps=eps, rng=seed)
+        dt = time.perf_counter() - t0
+        c = cost(g, part)
+        planted_cost = cost(g, planted, k=k)
+        rows.append((n, g.num_pins, dt, dt * 1e6 / g.num_pins,
+                     c, planted_cost,
+                     is_balanced(part, eps, relaxed=True)))
+    return rows
+
+
+def check_scaling(rows):
     for n, pins, dt, us_per_pin, c, planted_cost, bal in rows:
         assert bal
         # stays close to the planted cut (within 2x)
         assert c <= 2 * planted_cost
     # near-linear: per-pin time may not blow up across a 4x size sweep
     assert rows[-1][3] <= 3 * rows[0][3]
+
+
+def test_multilevel_scaling(benchmark):
+    rows = once(benchmark, run_scaling)
+    print_table(TITLE, HEADER, rows)
+    check_scaling(rows)

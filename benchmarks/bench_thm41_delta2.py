@@ -17,39 +17,45 @@ from repro.reductions import SpESInstance, build_delta2_reduction, min_p_union
 
 from _util import once, print_table
 
+TITLE = "Lemma C.6 / App. C.3: Δ=2 hyperDAG reduction"
+HEADER = ["n", "|E|", "p", "n'", "Δ", "hyperDAG", "SpMV-prop",
+          "OPT_SpES", "fwd cost", "balanced", "p-1 grids balanced"]
 
-def test_thm41_delta2(benchmark):
-    instances = [
-        SpESInstance(3, ((0, 1), (1, 2), (0, 2)), p=2),
-        SpESInstance(4, ((0, 1), (1, 2), (2, 3), (0, 3)), p=2),
-        SpESInstance(4, ((0, 1), (0, 2), (0, 3)), p=2),
-    ]
+INSTANCES = {
+    "triangle": SpESInstance(3, ((0, 1), (1, 2), (0, 2)), p=2),
+    "C4": SpESInstance(4, ((0, 1), (1, 2), (2, 3), (0, 3)), p=2),
+    "star": SpESInstance(4, ((0, 1), (0, 2), (0, 3)), p=2),
+}
 
-    def run():
-        rows = []
-        for inst in instances:
-            opt, chosen = min_p_union(inst)
-            red = build_delta2_reduction(inst, eps=0.2)
-            hg = red.hypergraph
-            fwd = red.partition_from_edge_subset(chosen)
-            under = red.partition_from_edge_subset(chosen[:-1])
-            rows.append((inst.num_nodes, len(inst.edges), inst.p, hg.n,
-                         hg.max_degree, is_hyperdag(hg),
-                         has_bipartite_edge_property(hg),
-                         opt, cost(hg, fwd, Metric.CUT_NET),
-                         is_balanced(fwd, 0.2),
-                         is_balanced(under, 0.2)))
-        return rows
 
-    rows = once(benchmark, run)
-    print_table(
-        "Lemma C.6 / App. C.3: Δ=2 hyperDAG reduction",
-        ["n", "|E|", "p", "n'", "Δ", "hyperDAG", "SpMV-prop",
-         "OPT_SpES", "fwd cost", "balanced", "p-1 grids balanced"],
-        rows)
+def run_delta2(*, seed=0, instances=("triangle", "C4", "star"), eps=0.2):
+    rows = []
+    for name in instances:
+        inst = INSTANCES[name]
+        opt, chosen = min_p_union(inst)
+        red = build_delta2_reduction(inst, eps=eps)
+        hg = red.hypergraph
+        fwd = red.partition_from_edge_subset(chosen)
+        under = red.partition_from_edge_subset(chosen[:-1])
+        rows.append((inst.num_nodes, len(inst.edges), inst.p, hg.n,
+                     hg.max_degree, is_hyperdag(hg),
+                     has_bipartite_edge_property(hg),
+                     opt, cost(hg, fwd, Metric.CUT_NET),
+                     is_balanced(fwd, eps),
+                     is_balanced(under, eps)))
+    return rows
+
+
+def check_delta2(rows):
     for row in rows:
         assert row[4] == 2          # Δ = 2
         assert row[5] and row[6]    # hyperDAG + bipartite property
         assert row[7] == row[8]     # cost preserved
         assert row[9] is True       # p red grids balanced
         assert row[10] is False     # p-1 red grids violate balance
+
+
+def test_thm41_delta2(benchmark):
+    rows = once(benchmark, run_delta2)
+    print_table(TITLE, HEADER, rows)
+    check_delta2(rows)

@@ -16,6 +16,10 @@ from repro.reductions import SpESInstance, build_spes_reduction, min_p_union
 
 from _util import once, print_table
 
+TITLE = "Theorem 4.1 / Lemma C.1: OPT_part == OPT_SpES"
+HEADER = ["n", "|E|", "p", "eps", "n'", "OPT_SpES", "OPT_part",
+          "fwd-map cost"]
+
 
 def _random_spes(rng, n, m, p) -> SpESInstance:
     edges = set()
@@ -25,30 +29,33 @@ def _random_spes(rng, n, m, p) -> SpESInstance:
     return SpESInstance(n, tuple(sorted(edges)), p)
 
 
-def test_thm41_opt_correspondence(benchmark):
-    rng = np.random.default_rng(41)
+def run_opt_correspondence(*, seed=41, num_instances=6,
+                           eps_cycle=(0.0, 0.2, 0.5)):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(num_instances):
+        n = int(rng.integers(4, 7))
+        m = int(rng.integers(3, min(7, n * (n - 1) // 2) + 1))
+        p = int(rng.integers(1, m + 1))
+        inst = _random_spes(rng, n, m, p)
+        eps = eps_cycle[i % len(eps_cycle)]
+        opt_spes, chosen = min_p_union(inst)
+        red = build_spes_reduction(inst, eps=eps)
+        opt_part, witness = red.block_respecting_optimum()
+        fwd = red.partition_from_edge_subset(chosen)
+        rows.append((n, m, p, eps, red.n_prime, opt_spes, opt_part,
+                     cost(red.hypergraph, fwd, Metric.CUT_NET)))
+        assert is_balanced(witness, eps)
+        assert is_balanced(fwd, eps)
+    return rows
 
-    def run():
-        rows = []
-        for seed in range(6):
-            n = int(rng.integers(4, 7))
-            m = int(rng.integers(3, min(7, n * (n - 1) // 2) + 1))
-            p = int(rng.integers(1, m + 1))
-            inst = _random_spes(rng, n, m, p)
-            eps = [0.0, 0.2, 0.5][seed % 3]
-            opt_spes, chosen = min_p_union(inst)
-            red = build_spes_reduction(inst, eps=eps)
-            opt_part, witness = red.block_respecting_optimum()
-            fwd = red.partition_from_edge_subset(chosen)
-            rows.append((n, m, p, eps, red.n_prime, opt_spes, opt_part,
-                         cost(red.hypergraph, fwd, Metric.CUT_NET)))
-            assert is_balanced(witness, eps)
-            assert is_balanced(fwd, eps)
-        return rows
 
-    rows = once(benchmark, run)
-    print_table("Theorem 4.1 / Lemma C.1: OPT_part == OPT_SpES",
-                ["n", "|E|", "p", "eps", "n'", "OPT_SpES", "OPT_part",
-                 "fwd-map cost"], rows)
+def check_opt_correspondence(rows):
     for row in rows:
         assert row[5] == row[6] == row[7]
+
+
+def test_thm41_opt_correspondence(benchmark):
+    rows = once(benchmark, run_opt_correspondence)
+    print_table(TITLE, HEADER, rows)
+    check_opt_correspondence(rows)

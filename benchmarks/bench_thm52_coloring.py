@@ -18,35 +18,44 @@ from repro.reductions import (
 
 from _util import once, print_table
 
-GRAPHS = [
-    ("triangle", 3, ((0, 1), (1, 2), (0, 2))),
-    ("path3", 3, ((0, 1), (1, 2))),
-    ("C5", 5, ((0, 1), (1, 2), (2, 3), (3, 4), (4, 0))),
-    ("K4", 4, tuple((i, j) for i in range(4) for j in range(i + 1, 4))),
-    ("wheel5", 5, ((0, 1), (1, 2), (2, 3), (3, 0),
+TITLE = "Lemma 6.3 + Theorem 5.2: cost-0 feasible iff 3-colourable"
+HEADER = ["graph", "3-colourable", "flat cost-0", "layer-wise cost-0",
+          "flat n", "DAG n"]
+
+GRAPHS = {
+    "triangle": (3, ((0, 1), (1, 2), (0, 2))),
+    "path3": (3, ((0, 1), (1, 2))),
+    "C5": (5, ((0, 1), (1, 2), (2, 3), (3, 4), (4, 0))),
+    "K4": (4, tuple((i, j) for i in range(4) for j in range(i + 1, 4))),
+    "wheel5": (5, ((0, 1), (1, 2), (2, 3), (3, 0),
                    (4, 0), (4, 1), (4, 2), (4, 3))),
-]
+}
 
 
-def test_thm52_and_lemma63(benchmark):
-    def run():
-        rows = []
-        for name, n, edges in GRAPHS:
-            colorable = is_three_colorable(n, edges)
-            red = build_coloring_reduction(n, edges, eps=0.3)
-            flat = xp_multiconstraint_decision(
-                red.hypergraph, 2, L=0,
-                constraints=red.built.constraints, eps=0.3) is not None
-            li = build_layerwise_reduction(red.built)
-            layered = layerwise_zero_cost_feasible(li)
-            rows.append((name, colorable, flat, layered,
-                         red.hypergraph.n, li.dag.n))
-        return rows
+def run_coloring(*, seed=0, graphs=("triangle", "path3", "C5", "K4",
+                                    "wheel5"), eps=0.3):
+    rows = []
+    for name in graphs:
+        n, edges = GRAPHS[name]
+        colorable = is_three_colorable(n, edges)
+        red = build_coloring_reduction(n, edges, eps=eps)
+        flat = xp_multiconstraint_decision(
+            red.hypergraph, 2, L=0,
+            constraints=red.built.constraints, eps=eps) is not None
+        li = build_layerwise_reduction(red.built)
+        layered = layerwise_zero_cost_feasible(li)
+        rows.append((name, colorable, flat, layered,
+                     red.hypergraph.n, li.dag.n))
+    return rows
 
-    rows = once(benchmark, run)
-    print_table("Lemma 6.3 + Theorem 5.2: cost-0 feasible iff 3-colourable",
-                ["graph", "3-colourable", "flat cost-0", "layer-wise cost-0",
-                 "flat n", "DAG n"], rows)
+
+def check_coloring(rows):
     for name, colorable, flat, layered, *_ in rows:
         assert flat == colorable, name
         assert layered == colorable, name
+
+
+def test_thm52_and_lemma63(benchmark):
+    rows = once(benchmark, run_coloring)
+    print_table(TITLE, HEADER, rows)
+    check_coloring(rows)

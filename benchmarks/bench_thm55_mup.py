@@ -24,6 +24,16 @@ from repro.scheduling import (
 
 from _util import once, print_table
 
+CHAIN_TITLE = ("Theorem 5.5 (chains/level-order): mu_p == n/2 iff "
+               "3-PARTITION-style grouping exists")
+CHAIN_HEADER = ["numbers", "b", "grouping?", "target n/2", "mu", "mu_p"]
+
+OUTTREE_TITLE = "Theorem 5.5 (out-trees)"
+OUTTREE_HEADER = ["numbers", "b", "grouping?", "target", "mu_p"]
+
+CLIQUE_TITLE = "Theorem 5.5 (bounded height, via CLIQUE)"
+CLIQUE_HEADER = ["graph", "L", "clique?", "height", "target", "mu_p"]
+
 NUMBER_SETS = [
     ([2, 2, 1, 3], 4, True),
     ([3, 3, 2], 4, False),
@@ -38,60 +48,73 @@ CLIQUE_GRAPHS = [
 ]
 
 
-def test_thm55_chains(benchmark):
-    def run():
-        rows = []
-        for numbers, b, _ in NUMBER_SETS:
-            inst = mup_chain_instance(numbers, b)
-            yes = find_grouping(numbers, b) is not None
-            mu = optimal_makespan(inst.dag, 2)
-            mup = chain_fixed_makespan(inst.dag, inst.labels, 2)
-            rows.append((str(numbers), b, yes, inst.target, mu, mup))
-        return rows
+def run_chains(*, seed=0, cases=None):
+    rows = []
+    for numbers, b, _ in (cases or NUMBER_SETS):
+        inst = mup_chain_instance(numbers, b)
+        yes = find_grouping(numbers, b) is not None
+        mu = optimal_makespan(inst.dag, 2)
+        mup = chain_fixed_makespan(inst.dag, inst.labels, 2)
+        rows.append((str(numbers), b, yes, inst.target, mu, mup))
+    return rows
 
-    rows = once(benchmark, run)
-    print_table("Theorem 5.5 (chains/level-order): mu_p == n/2 iff "
-                "3-PARTITION-style grouping exists",
-                ["numbers", "b", "grouping?", "target n/2", "mu", "mu_p"],
-                rows)
+
+def check_chains(rows):
     for numbers, b, yes, target, mu, mup in rows:
         assert mu == target          # mu itself is flawless and easy
         assert (mup == target) == yes
 
 
-def test_thm55_out_trees(benchmark):
-    def run():
-        rows = []
-        for numbers, b, _ in (([2, 2], 2, True), ([1, 3], 2, False)):
-            inst = mup_outtree_instance(numbers, b)
-            yes = find_grouping(numbers, b) is not None
-            mup = exact_fixed_makespan(inst.dag, inst.labels, 2,
-                                       max_nodes=20)
-            rows.append((str(numbers), b, yes, inst.target, mup))
-        return rows
+def run_out_trees(*, seed=0, cases=(([2, 2], 2), ([1, 3], 2))):
+    rows = []
+    for numbers, b in cases:
+        numbers = list(numbers)
+        inst = mup_outtree_instance(numbers, b)
+        yes = find_grouping(numbers, b) is not None
+        mup = exact_fixed_makespan(inst.dag, inst.labels, 2,
+                                   max_nodes=20)
+        rows.append((str(numbers), b, yes, inst.target, mup))
+    return rows
 
-    rows = once(benchmark, run)
-    print_table("Theorem 5.5 (out-trees)",
-                ["numbers", "b", "grouping?", "target", "mu_p"], rows)
+
+def check_out_trees(rows):
     for numbers, b, yes, target, mup in rows:
         assert (mup == target) == yes
 
 
-def test_thm55_bounded_height(benchmark):
-    def run():
-        rows = []
-        for name, n, edges, L, _ in CLIQUE_GRAPHS:
-            inst = mup_bounded_height_instance(n, edges, L)
-            yes = find_clique(n, edges, L) is not None
-            mup = exact_fixed_makespan(inst.dag, inst.labels, 2,
-                                       max_nodes=22)
-            rows.append((name, L, yes, inst.dag.longest_path_length(),
-                         inst.target, mup))
-        return rows
+def run_bounded_height(*, seed=0, graphs=("triangle", "C4", "diamond")):
+    by_name = {g[0]: g for g in CLIQUE_GRAPHS}
+    rows = []
+    for name in graphs:
+        _, n, edges, L, _ = by_name[name]
+        inst = mup_bounded_height_instance(n, edges, L)
+        yes = find_clique(n, edges, L) is not None
+        mup = exact_fixed_makespan(inst.dag, inst.labels, 2,
+                                   max_nodes=22)
+        rows.append((name, L, yes, inst.dag.longest_path_length(),
+                     inst.target, mup))
+    return rows
 
-    rows = once(benchmark, run)
-    print_table("Theorem 5.5 (bounded height, via CLIQUE)",
-                ["graph", "L", "clique?", "height", "target", "mu_p"], rows)
+
+def check_bounded_height(rows):
     for name, L, yes, height, target, mup in rows:
         assert height <= 4
         assert (mup == target) == yes, name
+
+
+def test_thm55_chains(benchmark):
+    rows = once(benchmark, run_chains)
+    print_table(CHAIN_TITLE, CHAIN_HEADER, rows)
+    check_chains(rows)
+
+
+def test_thm55_out_trees(benchmark):
+    rows = once(benchmark, run_out_trees)
+    print_table(OUTTREE_TITLE, OUTTREE_HEADER, rows)
+    check_out_trees(rows)
+
+
+def test_thm55_bounded_height(benchmark):
+    rows = once(benchmark, run_bounded_height)
+    print_table(CLIQUE_TITLE, CLIQUE_HEADER, rows)
+    check_bounded_height(rows)

@@ -16,31 +16,37 @@ from repro.reductions import OVPInstance, build_ovp_reduction, ovp_brute_force
 
 from _util import once, print_table
 
+TITLE = "Theorem 6.4: cost-0 feasible iff orthogonal pair exists"
+HEADER = ["m", "D", "constraints c", "n", "OVP pair?", "cost-0?"]
 
-def test_thm64_equivalence(benchmark):
-    rng = np.random.default_rng(64)
 
-    def run():
-        rows = []
-        for m in (3, 4, 5, 6):
-            D = max(2, int(math.ceil(math.log2(m))) + 1)
-            for _ in range(3):
-                vecs = (rng.random((m, D)) < 0.6).astype(int)
-                inst = OVPInstance(tuple(tuple(v) for v in vecs))
-                expected = ovp_brute_force(inst) is not None
-                red = build_ovp_reduction(inst, eps=0.3)
-                w = xp_multiconstraint_decision(
-                    red.hypergraph, 2, L=0,
-                    constraints=red.built.constraints, eps=0.3)
-                got = w is not None
-                rows.append((m, D, red.built.constraints.c,
-                             red.hypergraph.n, expected, got))
-        return rows
+def run_ovp(*, seed=64, ms=(3, 4, 5, 6), reps=3, eps=0.3):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for m in ms:
+        D = max(2, int(math.ceil(math.log2(m))) + 1)
+        for _ in range(reps):
+            vecs = (rng.random((m, D)) < 0.6).astype(int)
+            inst = OVPInstance(tuple(tuple(int(x) for x in v)
+                                     for v in vecs))
+            expected = ovp_brute_force(inst) is not None
+            red = build_ovp_reduction(inst, eps=eps)
+            w = xp_multiconstraint_decision(
+                red.hypergraph, 2, L=0,
+                constraints=red.built.constraints, eps=eps)
+            got = w is not None
+            rows.append((m, D, red.built.constraints.c,
+                         red.hypergraph.n, expected, got))
+    return rows
 
-    rows = once(benchmark, run)
-    print_table("Theorem 6.4: cost-0 feasible iff orthogonal pair exists",
-                ["m", "D", "constraints c", "n", "OVP pair?", "cost-0?"],
-                rows)
+
+def check_ovp(rows):
     for m, D, c, n, expected, got in rows:
         assert expected == got
         assert c == D + 2
+
+
+def test_thm64_equivalence(benchmark):
+    rows = once(benchmark, run_ovp)
+    print_table(TITLE, HEADER, rows)
+    check_ovp(rows)

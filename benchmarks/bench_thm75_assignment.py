@@ -29,60 +29,74 @@ from repro.reductions import (
 
 from _util import once, print_table
 
+MATCHING_TITLE = "Lemma H.1: matching == brute force for d=2, b2=2"
+MATCHING_HEADER = ["k", "f(k)", "brute-force cost", "matching cost",
+                   "matching ms", "brute ms"]
 
-def test_lemma_h1_matching(benchmark):
-    def run():
-        rows = []
-        for half_k, seed in ((2, 0), (3, 1), (4, 2), (5, 3)):
-            k = 2 * half_k
-            topo = HierarchyTopology((half_k, 2), (3.0, 1.0))
-            contracted = random_hypergraph(k, 3 * k, 2, 3, rng=seed)
-            t0 = time.perf_counter()
-            _, match_cost = matching_assignment(contracted, topo)
-            t_match = time.perf_counter() - t0
-            t0 = time.perf_counter()
-            _, bf_cost = brute_force_assignment(contracted, topo)
-            t_bf = time.perf_counter() - t0
-            rows.append((k, topo.num_assignments(), bf_cost, match_cost,
-                         t_match * 1e3, t_bf * 1e3))
-        return rows
+THREEDM_TITLE = ("Lemma H.2: 3DM perfect matching iff gain >= threshold "
+                 "(b2=3)")
+THREEDM_HEADER = ["instance", "3DM?", "max gain", "threshold", "reached"]
 
-    rows = once(benchmark, run)
-    print_table("Lemma H.1: matching == brute force for d=2, b2=2",
-                ["k", "f(k)", "brute-force cost", "matching cost",
-                 "matching ms", "brute ms"], rows)
+THREEDM_INSTANCES = {
+    "yes-1": (ThreeDMInstance(2, ((0, 0, 0), (1, 1, 1), (0, 1, 1))), True),
+    "no-1": (ThreeDMInstance(2, ((0, 0, 0), (1, 0, 1), (1, 1, 0))), False),
+    "yes-2": (ThreeDMInstance(2, ((0, 1, 0), (1, 0, 1))), True),
+    "no-2": (ThreeDMInstance(2, ((0, 0, 0), (0, 1, 1))), False),
+}
+
+
+def run_matching(*, seed=0, half_ks=(2, 3, 4, 5)):
+    rows = []
+    for i, half_k in enumerate(half_ks):
+        k = 2 * half_k
+        topo = HierarchyTopology((half_k, 2), (3.0, 1.0))
+        contracted = random_hypergraph(k, 3 * k, 2, 3, rng=seed + i)
+        t0 = time.perf_counter()
+        _, match_cost = matching_assignment(contracted, topo)
+        t_match = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        _, bf_cost = brute_force_assignment(contracted, topo)
+        t_bf = time.perf_counter() - t0
+        rows.append((k, topo.num_assignments(), bf_cost, match_cost,
+                     t_match * 1e3, t_bf * 1e3))
+    return rows
+
+
+def check_matching(rows):
     for k, fk, bf, mt, *_ in rows:
         assert bf == mt
     # brute force grows with f(k); matching stays flat
     assert rows[-1][1] > 100 * rows[0][1]
 
 
-def test_lemma_h2_3dm(benchmark):
-    instances = [
-        ("yes-1", ThreeDMInstance(2, ((0, 0, 0), (1, 1, 1), (0, 1, 1))), True),
-        ("no-1", ThreeDMInstance(2, ((0, 0, 0), (1, 0, 1), (1, 1, 0))), False),
-        ("yes-2", ThreeDMInstance(2, ((0, 1, 0), (1, 0, 1))), True),
-        ("no-2", ThreeDMInstance(2, ((0, 0, 0), (0, 1, 1))), False),
-    ]
+def run_3dm(*, seed=0, instances=("yes-1", "no-1", "yes-2", "no-2")):
+    rows = []
+    for name in instances:
+        inst, expect = THREEDM_INSTANCES[name]
+        assert (three_dm_brute_force(inst) is not None) == expect
+        hg, topo, thr = build_3dm_assignment_instance(inst)
+        best = -np.inf
+        for assignment in canonical_assignments(topo):
+            p2l = np.empty(topo.k, dtype=np.int64)
+            for leaf, part in enumerate(assignment):
+                p2l[part] = leaf
+            best = max(best, assignment_gain(hg, topo, p2l))
+        rows.append((name, expect, best, thr, bool(best >= thr)))
+    return rows
 
-    def run():
-        rows = []
-        for name, inst, expect in instances:
-            assert (three_dm_brute_force(inst) is not None) == expect
-            hg, topo, thr = build_3dm_assignment_instance(inst)
-            best = -np.inf
-            for assignment in canonical_assignments(topo):
-                p2l = np.empty(topo.k, dtype=np.int64)
-                for leaf, part in enumerate(assignment):
-                    p2l[part] = leaf
-                best = max(best, assignment_gain(hg, topo, p2l))
-            rows.append((name, expect, best, thr, best >= thr))
-        return rows
 
-    rows = once(benchmark, run)
-    print_table("Lemma H.2: 3DM perfect matching iff gain >= threshold "
-                "(b2=3)",
-                ["instance", "3DM?", "max gain", "threshold", "reached"],
-                rows)
+def check_3dm(rows):
     for name, expect, best, thr, reached in rows:
         assert reached == expect, name
+
+
+def test_lemma_h1_matching(benchmark):
+    rows = once(benchmark, run_matching)
+    print_table(MATCHING_TITLE, MATCHING_HEADER, rows)
+    check_matching(rows)
+
+
+def test_lemma_h2_3dm(benchmark):
+    rows = once(benchmark, run_3dm)
+    print_table(THREEDM_TITLE, THREEDM_HEADER, rows)
+    check_3dm(rows)

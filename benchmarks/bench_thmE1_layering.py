@@ -16,6 +16,10 @@ from repro.reductions import (
 
 from _util import once, print_table
 
+TITLE = "Theorem E.1: best-layering cost 0 iff grouping exists"
+HEADER = ["numbers", "b", "DAG n", "flexible nodes", "grouping?",
+          "grouped search", "full search"]
+
 CASES = [
     ([2, 2, 1, 3], 4),
     ([3, 3, 2], 4),
@@ -24,24 +28,28 @@ CASES = [
 ]
 
 
-def test_thmE1_layering(benchmark):
-    def run():
-        rows = []
-        for numbers, b in CASES:
-            yes = find_grouping(numbers, b) is not None
-            li = layering_instance(numbers, b)
-            grouped = layering_zero_cost_exists(li, grouped_only=True)
-            full = layering_zero_cost_exists(li)
-            flexible = len(li.dag.flexible_nodes())
-            rows.append((str(numbers), b, li.dag.n, flexible, yes,
-                         grouped, full))
-        return rows
+def run_layering(*, seed=0, cases=None):
+    rows = []
+    for numbers, b in (cases or CASES):
+        numbers = list(numbers)
+        yes = find_grouping(numbers, b) is not None
+        li = layering_instance(numbers, b)
+        grouped = layering_zero_cost_exists(li, grouped_only=True)
+        full = layering_zero_cost_exists(li)
+        flexible = len(li.dag.flexible_nodes())
+        rows.append((str(numbers), b, li.dag.n, flexible, yes,
+                     grouped, full))
+    return rows
 
-    rows = once(benchmark, run)
-    print_table("Theorem E.1: best-layering cost 0 iff grouping exists",
-                ["numbers", "b", "DAG n", "flexible nodes", "grouping?",
-                 "grouped search", "full search"], rows)
+
+def check_layering(rows):
     for numbers, b, n, flex, yes, grouped, full in rows:
         assert grouped == yes
         assert full == yes
         assert flex > 0
+
+
+def test_thmE1_layering(benchmark):
+    rows = once(benchmark, run_layering)
+    print_table(TITLE, HEADER, rows)
+    check_layering(rows)

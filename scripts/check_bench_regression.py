@@ -4,13 +4,15 @@
 Re-runs the microbenchmarks from ``benchmarks/bench_kernels.py`` on the
 exact instance sizes recorded in the committed baseline
 (``benchmarks/BENCH_kernels.json``) and compares the vectorised-kernel
-timings. Exits nonzero if any kernel is more than ``--threshold``
-(default 25%) slower than its baseline time.
+timings. Exits nonzero if any kernel is more than ``--tolerance``
+(default 25%, or the ``REPRO_BENCH_TOLERANCE`` environment variable)
+slower than its baseline time.
 
 Run::
 
     python scripts/check_bench_regression.py
-    python scripts/check_bench_regression.py --threshold 0.5 --repeats 9
+    python scripts/check_bench_regression.py --tolerance 0.5 --repeats 9
+    REPRO_BENCH_TOLERANCE=0.75 python scripts/check_bench_regression.py
 
 Also wired as an opt-in pytest marker::
 
@@ -25,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -76,14 +79,19 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
                     help="committed baseline JSON to compare against")
-    ap.add_argument("--threshold", type=float, default=0.25,
-                    help="allowed fractional slowdown (0.25 = 25%%)")
+    ap.add_argument("--tolerance", "--threshold", type=float,
+                    dest="tolerance", default=None,
+                    help="allowed fractional slowdown (0.25 = 25%%); "
+                         "defaults to $REPRO_BENCH_TOLERANCE or 0.25")
     ap.add_argument("--repeats", type=int, default=5,
                     help="best-of-N timing repeats for the fresh run")
     ap.add_argument("--abs-margin-ms", type=float, default=0.5,
                     help="absolute slowdown (ms) a regression must also "
                          "exceed, filtering sub-ms timing jitter")
     args = ap.parse_args(argv)
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25"))
 
     baseline_path = Path(args.baseline)
     if not baseline_path.exists():
@@ -96,15 +104,15 @@ def main(argv=None) -> int:
     sizes = [(c["n"], c["m"]) for c in baseline["cases"]]
     fresh = bench_kernels.run(sizes, args.repeats, with_parallel=False)
 
-    failures = compare(baseline, fresh, args.threshold,
+    failures = compare(baseline, fresh, tolerance,
                        abs_margin_s=args.abs_margin_ms * 1e-3)
     if failures:
         print(f"\nFAIL: {len(failures)} kernel(s) regressed beyond "
-              f"{args.threshold:.0%}:", file=sys.stderr)
+              f"{tolerance:.0%}:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nOK: all kernels within {args.threshold:.0%} of baseline")
+    print(f"\nOK: all kernels within {tolerance:.0%} of baseline")
     return 0
 
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Single CI entry point: tier-1 tests, the lab smoke tier, and
+# (optionally) the kernel perf-regression gate.
+#
+# Usage:
+#   scripts/ci_checks.sh            # tests + lab smoke
+#   scripts/ci_checks.sh --bench    # also run the benchcheck marker
+#
+# Environment:
+#   REPRO_BENCH_TOLERANCE   fractional slowdown allowed by the perf
+#                           gate (default 0.25); see
+#                           scripts/check_bench_regression.py
+#   JOBS                    worker processes for the smoke run
+#                           (default 4)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+JOBS="${JOBS:-4}"
+run_bench=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench) run_bench=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo
+echo "== lab smoke tier (repro lab run --smoke) =="
+python -m repro lab run --smoke -j "$JOBS" -q --out-dir .lab
+
+if [ "$run_bench" = 1 ]; then
+    echo
+    echo "== kernel perf-regression gate (benchcheck) =="
+    python -m pytest -m benchcheck -q
+fi
+
+echo
+echo "ci_checks: all green"

@@ -13,6 +13,10 @@ recognize
     a generator certificate.
 info
     Basic statistics of an ``.hgr`` file (n, m, ρ, Δ, components).
+lab
+    Experiment orchestration: ``lab list|run|status|report`` regenerate
+    the EXPERIMENTS.md tables via :mod:`repro.lab` (process-parallel,
+    cached, journaled).
 """
 
 from __future__ import annotations
@@ -88,6 +92,9 @@ def _build_parser() -> argparse.ArgumentParser:
     g.add_argument("--density", type=float, default=0.05,
                    help="nonzero density (spmv-random)")
     g.add_argument("--seed", type=int, default=0)
+
+    from .lab.cli import add_lab_parser
+    add_lab_parser(sub)
     return parser
 
 
@@ -224,6 +231,9 @@ def _generate(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "lab":
+        from .lab.cli import lab_main
+        return lab_main(args)
     handlers = {"partition": _partition, "evaluate": _evaluate,
                 "recognize": _recognize, "info": _info,
                 "generate": _generate}

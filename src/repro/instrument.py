@@ -1,0 +1,34 @@
+"""Lightweight global counters for algorithm observability.
+
+Hot algorithm paths (FM refinement, branch-and-bound, coarsening) bump
+named counters here; the ``repro.lab`` executor resets them before a
+task and snapshots them afterwards into the run journal, so every
+journal record carries e.g. FM passes and B&B nodes expanded alongside
+its timings.
+
+The primitive is deliberately primitive — a module-level dict and an
+increment — so instrumented code pays one dict update per *coarse*
+event (a refinement pass, a completed search), never per inner-loop
+step.  Counters are per-process; worker processes snapshot their own.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bump", "reset", "snapshot"]
+
+_counts: dict[str, float] = {}
+
+
+def bump(name: str, inc: float = 1) -> None:
+    """Increment counter ``name`` by ``inc`` (created at 0 on first use)."""
+    _counts[name] = _counts.get(name, 0) + inc
+
+
+def reset() -> None:
+    """Zero all counters (start of a measured task)."""
+    _counts.clear()
+
+
+def snapshot() -> dict[str, float]:
+    """Return a copy of the current counter values."""
+    return dict(_counts)

@@ -1,0 +1,54 @@
+"""``repro.lab`` — declarative experiment orchestration.
+
+Every row of EXPERIMENTS.md is a declarative :class:`ExperimentSpec`
+(paper artifact, instance parameters, seeds, timeout) in a discoverable
+registry; one robust executor runs them process-parallel with per-task
+wall-clock timeouts, bounded retries, and a content-addressed result
+cache under ``.lab-cache/`` so re-runs are incremental and interrupted
+runs resume.  Each run appends a JSONL journal (per-task timings,
+algorithm counters, peak RSS, outcome) and writes a deterministic
+``results.json`` from which the paper-style tables are rendered.
+
+CLI entry points::
+
+    python -m repro lab list
+    python -m repro lab run --smoke -j 4
+    python -m repro lab status
+    python -m repro lab report
+"""
+
+from __future__ import annotations
+
+from .cache import ResultCache, task_key
+from .executor import TaskResult, execute
+from .journal import RunJournal, read_journal, summarize_run
+from .report import format_table, render_results, results_payload
+from .spec import (
+    ExperimentSpec,
+    Task,
+    all_specs,
+    expand_tasks,
+    get_spec,
+    load_builtin_specs,
+    register,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ResultCache",
+    "RunJournal",
+    "Task",
+    "TaskResult",
+    "all_specs",
+    "execute",
+    "expand_tasks",
+    "format_table",
+    "get_spec",
+    "load_builtin_specs",
+    "read_journal",
+    "register",
+    "render_results",
+    "results_payload",
+    "summarize_run",
+    "task_key",
+]

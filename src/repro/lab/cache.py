@@ -1,0 +1,117 @@
+"""Content-addressed result cache.
+
+A task's result is stored under a key that is a SHA-256 of everything
+that determines the result: the spec's name and version, the canonical
+JSON of its instance parameters, the seed, and a *code fingerprint* —
+the bytes of the source file defining the runner (for wrapped legacy
+benchmarks that is the ``benchmarks/bench_*.py`` file itself).  Change
+a parameter, bump the spec version, or edit the experiment's code and
+the key changes: stale entries are simply never looked up again.
+
+Entries are written atomically (temp file + ``os.replace``) by worker
+processes, so a cache entry either exists completely or not at all —
+this is what makes interrupted runs resumable: whatever finished before
+the kill is picked up as a hit on the next run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["ResultCache", "canonical_json", "jsonify", "task_key"]
+
+DEFAULT_CACHE_DIR = ".lab-cache"
+
+
+def jsonify(obj: Any) -> Any:
+    """Recursively convert a task result into plain JSON-able values.
+
+    Handles the numpy scalars/arrays and tuples that experiment rows
+    are naturally built from; anything else must already be JSON-able.
+    """
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, Mapping):
+        return {str(k): jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        seq = sorted(obj) if isinstance(obj, (set, frozenset)) else obj
+        return [jsonify(v) for v in seq]
+    # numpy scalars expose item(); arrays expose tolist()
+    if hasattr(obj, "item") and getattr(obj, "ndim", None) in (0, None):
+        return jsonify(obj.item())
+    if hasattr(obj, "tolist"):
+        return jsonify(obj.tolist())
+    raise TypeError(f"result value {obj!r} ({type(obj).__name__}) is not "
+                    "JSON-serialisable")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding used for hashing and results files."""
+    return json.dumps(jsonify(obj), sort_keys=True, separators=(",", ":"))
+
+
+def task_key(spec, params: Mapping[str, Any], seed: int) -> str:
+    """Stable content address of one (spec params, seed, code) triple."""
+    from .spec import source_path  # deferred: spec.py imports this module
+
+    h = hashlib.sha256()
+    h.update(canonical_json({
+        "spec": spec.name,
+        "version": spec.version,
+        "module": spec.module,
+        "func": spec.func,
+        "check": spec.check,
+        "params": params,
+        "seed": seed,
+    }).encode())
+    src = source_path(spec.module)
+    if src is not None and src.exists():
+        h.update(src.read_bytes())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Filesystem cache mapping task keys to result payloads."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Return the cached payload, or None on miss / corrupt entry."""
+        p = self.path(key)
+        try:
+            return json.loads(p.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> Path:
+        path = self.path(key)
+        atomic_write_json(path, payload)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+
+def atomic_write_json(path: Path, payload: Mapping[str, Any]) -> None:
+    """Write JSON so that ``path`` is either complete or absent."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(jsonify(payload), fh, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,171 @@
+"""The ``repro lab`` subcommand: list / run / status / report.
+
+``run`` is the reproduction driver: it expands the selected specs into
+tasks, executes them process-parallel against the content-addressed
+cache, appends the JSONL journal, writes the deterministic
+``results.json``, and renders the paper-style tables.  A failed or
+timed-out experiment degrades the run (non-zero exit, ``status`` in the
+results) instead of aborting it.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from .cache import ResultCache
+from .executor import execute
+from .journal import (
+    RunJournal,
+    latest_run_records,
+    read_journal,
+    summarize_run,
+)
+from .report import (
+    format_table,
+    render_results,
+    results_payload,
+    write_results,
+)
+from .spec import all_specs, expand_tasks, get_spec
+
+__all__ = ["add_lab_parser", "lab_main"]
+
+DEFAULT_OUT_DIR = ".lab"
+
+
+def add_lab_parser(sub) -> None:
+    """Attach the ``lab`` subcommand to the top-level subparsers."""
+    lab = sub.add_parser(
+        "lab", help="run the paper's experiments (EXPERIMENTS.md rows)")
+    labsub = lab.add_subparsers(dest="lab_command", required=True)
+
+    ls = labsub.add_parser("list", help="list registered experiments")
+    ls.add_argument("--smoke", action="store_true",
+                    help="only experiments in the smoke tier")
+
+    run = labsub.add_parser(
+        "run", help="run experiments and write results.json")
+    run.add_argument("experiments", nargs="*", metavar="EXP",
+                     help="experiment ids (default: --all)")
+    run.add_argument("--all", action="store_true",
+                     help="run every registered experiment")
+    run.add_argument("--smoke", action="store_true",
+                     help="smoke tier: cheap deterministic experiments "
+                          "with tiny parameters")
+    run.add_argument("-j", "--jobs", type=int, default=1,
+                     help="concurrent worker processes (default 1)")
+    run.add_argument("--timeout", type=float, default=None,
+                     help="override every spec's per-task timeout (s)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="recompute everything, ignoring cached results")
+    run.add_argument("--cache-dir", default=None,
+                     help="result cache directory "
+                          "(default: <out-dir>/../.lab-cache)")
+    run.add_argument("--out-dir", default=DEFAULT_OUT_DIR,
+                     help=f"journal + results directory "
+                          f"(default {DEFAULT_OUT_DIR})")
+    run.add_argument("-q", "--quiet", action="store_true",
+                     help="suppress the rendered tables")
+
+    st = labsub.add_parser("status", help="summarize the latest run")
+    st.add_argument("--out-dir", default=DEFAULT_OUT_DIR)
+
+    rp = labsub.add_parser("report",
+                           help="render tables from results.json")
+    rp.add_argument("--out-dir", default=DEFAULT_OUT_DIR)
+
+
+def _select_specs(args):
+    if args.experiments:
+        return [get_spec(name) for name in args.experiments]
+    specs = all_specs()
+    if args.smoke:
+        return [s for s in specs if s.smoke]
+    if not getattr(args, "all", False):
+        raise SystemExit(
+            "lab run: name experiments, or pass --all / --smoke")
+    return specs
+
+
+def _lab_list(args) -> int:
+    specs = [s for s in all_specs() if s.smoke or not args.smoke]
+    rows = [(s.name, s.artifact, len(s.seeds),
+             ",".join(sorted(s.tags)) or "-", f"{s.timeout_s:g}",
+             f"{s.module}.{s.func}") for s in specs]
+    text, _ = format_table(
+        f"{len(specs)} experiment(s)",
+        ["id", "paper artifact", "seeds", "tags", "timeout s", "runner"],
+        rows)
+    print(text)
+    return 0
+
+
+def _lab_run(args) -> int:
+    specs = _select_specs(args)
+    tasks = expand_tasks(specs, smoke=args.smoke,
+                         timeout_override=args.timeout)
+    out_dir = Path(args.out_dir)
+    cache_dir = (Path(args.cache_dir) if args.cache_dir
+                 else out_dir.parent / ".lab-cache")
+    cache = ResultCache(cache_dir)
+
+    def progress(res) -> None:
+        extra = f" ({res.error})" if res.error else ""
+        print(f"[{res.status:>7}] {res.task.label} "
+              f"{res.duration_s:.2f}s{extra}", file=sys.stderr)
+
+    with RunJournal(out_dir / "journal.jsonl") as journal:
+        journal.record("run_start",
+                       selection=[s.name for s in specs],
+                       smoke=args.smoke, jobs=args.jobs,
+                       tasks=len(tasks), use_cache=not args.no_cache)
+        results = execute(tasks, jobs=args.jobs, cache=cache,
+                          journal=journal, use_cache=not args.no_cache,
+                          progress=progress)
+        journal.record("run_end", statuses={
+            s: sum(1 for r in results if r.status == s)
+            for s in sorted({r.status for r in results})})
+
+    payload = results_payload(results, smoke=args.smoke)
+    write_results(out_dir / "results.json", payload)
+    if not args.quiet:
+        print(render_results(payload))
+    print(f"\nwrote {out_dir / 'results.json'} "
+          f"(journal: {out_dir / 'journal.jsonl'})")
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _lab_status(args) -> int:
+    journal_path = Path(args.out_dir) / "journal.jsonl"
+    records = read_journal(journal_path)
+    if not records:
+        print(f"no runs recorded in {journal_path}")
+        return 1
+    summary = summarize_run(latest_run_records(records))
+    print(f"run       : {summary['run_id']}")
+    print(f"selection : {summary.get('selection')}")
+    print(f"tasks     : {summary['tasks']}")
+    print(f"statuses  : {summary['statuses']}")
+    print(f"task time : {summary['total_task_s']}s"
+          + (f" (wall {summary['wall_s']}s)" if "wall_s" in summary
+             else ""))
+    print(f"complete  : {summary['complete']}")
+    return 0 if summary["complete"] else 1
+
+
+def _lab_report(args) -> int:
+    from .report import read_results
+
+    results_path = Path(args.out_dir) / "results.json"
+    if not results_path.exists():
+        print(f"no results at {results_path} (run `repro lab run` first)")
+        return 1
+    print(render_results(read_results(results_path)))
+    return 0
+
+
+def lab_main(args) -> int:
+    handlers = {"list": _lab_list, "run": _lab_run,
+                "status": _lab_status, "report": _lab_report}
+    return handlers[args.lab_command](args)

@@ -1,0 +1,464 @@
+"""Built-in experiment specs: one per EXPERIMENTS.md row.
+
+Importing this module (done lazily by :func:`repro.lab.spec.
+load_builtin_specs`) populates the registry.  Most specs wrap a
+``benchmarks/bench_*.py`` runner; the handful of rows that never had a
+standalone bench function (F5 layerings, Appendix I.1 conversions, the
+kernel suite) get native runners defined at the bottom of this file.
+
+Conventions
+-----------
+* ``name`` is the EXPERIMENTS.md "Exp id" (ASCII-normalised).
+* ``seeds`` holds the bench file's historical seed so ``repro lab run``
+  regenerates exactly the committed tables.
+* The :data:`~repro.lab.spec.SMOKE` tag marks experiments cheap enough
+  for ``run --smoke`` (tiny ``smoke_params`` where the full sweep is
+  not); :data:`~repro.lab.spec.TIMING` marks rows containing wall-clock
+  measurements, which are excluded from smoke runs and from the
+  byte-stable ``results.json`` determinism guarantee.
+"""
+
+from __future__ import annotations
+
+from .spec import SMOKE, TIMING, ExperimentSpec, register
+
+
+def _bench(name, artifact, title, module, func, check, header, *,
+           params=None, smoke_params=None, seeds=(0,), timeout_s=300.0,
+           tags=(SMOKE,), **kw):
+    return register(ExperimentSpec(
+        name=name, artifact=artifact, title=title, module=module,
+        func=func, check=check, header=tuple(header),
+        params=dict(params or {}),
+        smoke_params=None if smoke_params is None else dict(smoke_params),
+        seeds=tuple(seeds), timeout_s=timeout_s,
+        tags=frozenset(tags), **kw))
+
+
+# --- Section 2/Appendix B: the hyperDAG model --------------------------
+
+_bench(
+    "F1", "Figure 1 / App. B",
+    "Figure 1: hyperDAG conversion (k=4 random balanced partition)",
+    "bench_fig1_hyperdag", "run_conversion", "check_conversion",
+    ["n", "DAG edges", "hyperedges", "n - sinks", "edge cut",
+     "hyperDAG cost", "overcount x"],
+    seeds=(1,), smoke_params={"widths": (5, 10)})
+
+_bench(
+    "F2", "Figure 2 + Lemma B.2",
+    "Lemma B.2: recognition is linear in the pin count ρ",
+    "bench_fig2_recognition", "run_recognition", "check_recognition",
+    ["n", "pins ρ", "time (ms)", "ns / pin"],
+    seeds=(2,), tags=(TIMING,))
+
+_bench(
+    "F2-reject", "Figure 2 + Lemma B.1",
+    "Figure 2: structural rejections (|E| <= n-1 law)",
+    "bench_fig2_recognition", "run_rejections", "check_rejections",
+    ["instance", "n", "|E|", "hyperDAG?"])
+
+_bench(
+    "B.3", "Lemma B.3",
+    "Lemma B.3: hyperDAG reduction preserves optimal cost",
+    "bench_appendixB", "run_b3_reduction", "check_b3_reduction",
+    ["seed", "n", "n'", "hyperDAG", "OPT", "mapped cost", "balanced"],
+    smoke_params={"num_seeds": 2})
+
+_bench(
+    "HK", "App. B ([27] model)",
+    "Appendix B: Hendrickson–Kolda model overcounts by a factor Θ(m); "
+    "hyperDAGs stay exact at k-1",
+    "bench_appendixB", "run_hk_overcount", "check_hk_overcount",
+    ["sinks m", "hyperDAG (true) cost", "HK cost", "factor"])
+
+# --- Section 4/Appendix C: inapproximability ---------------------------
+
+_bench(
+    "T4.1", "Figure 3 + Thm 4.1 (Lemma C.1)",
+    "Theorem 4.1 / Lemma C.1: OPT_part == OPT_SpES",
+    "bench_thm41_spes", "run_opt_correspondence",
+    "check_opt_correspondence",
+    ["n", "|E|", "p", "eps", "n'", "OPT_SpES", "OPT_part",
+     "fwd-map cost"],
+    seeds=(41,), smoke_params={"num_instances": 2})
+
+_bench(
+    "T4.1-D2", "Lemma C.6 + App. C.3",
+    "Lemma C.6 / App. C.3: Δ=2 hyperDAG reduction",
+    "bench_thm41_delta2", "run_delta2", "check_delta2",
+    ["n", "|E|", "p", "n'", "Δ", "hyperDAG", "SpMV-prop", "OPT_SpES",
+     "fwd cost", "balanced", "p-1 grids balanced"])
+
+_bench(
+    "L4.3", "Lemma 4.3",
+    "Lemma 4.3: XP optimum == branch-and-bound optimum",
+    "bench_lemma43_xp", "run_agreement", "check_agreement",
+    ["seed", "B&B OPT", "XP OPT", "L*"],
+    smoke_params={"num_seeds": 2})
+
+_bench(
+    "L4.3-scaling", "Lemma 4.3",
+    "Lemma 4.3: runtime grows with the parameter L",
+    "bench_lemma43_xp", "run_runtime_scaling", "check_runtime_scaling",
+    ["regime", "L", "seconds"],
+    seeds=(7,), tags=(TIMING,))
+
+_bench(
+    "C.4", "Appendix C.4",
+    "Appendix C.4: OPT_part == OPT_SpES for every fixed k",
+    "bench_appendixC_extensions", "run_c4_kway", "check_c4_kway",
+    ["k", "eps", "n'", "fillers", "OPT_SpES", "OPT_part"],
+    smoke_params={"cases": ((2, 0.0), (3, 0.0))})
+
+_bench(
+    "C.5", "Appendix C.5",
+    "Appendix C.5: the Minimum p-Union generalisation",
+    "bench_appendixC_extensions", "run_c5_mpu", "check_c5_mpu",
+    ["n", "sets", "p", "n'", "OPT_MpU", "OPT_part", "fwd cost"])
+
+# --- Section 5/Appendices E-F: scheduling ------------------------------
+
+_bench(
+    "F4", "Figure 4 / §5",
+    "Figure 4: balanced != parallel (serial concatenation, k=2)",
+    "bench_fig4_serial", "run_serial_concatenation",
+    "check_serial_concatenation",
+    ["n", "G1|G2 balanced", "mu", "mu_p(G1|G2)", "mu_p(interleave)",
+     "slowdown"],
+    seeds=(4,), smoke_params={"widths": (4, 8)})
+
+_bench(
+    "F6", "Figure 6",
+    "Figure 6: layer-wise optimum grows Θ(b); branch colouring costs "
+    "O(1)",
+    "bench_fig6_layerwise", "run_layerwise_penalty",
+    "check_layerwise_penalty",
+    ["b", "n", "layer-wise OPT", "branch-colour cost"],
+    smoke_params={"bs": (2, 4)})
+
+_bench(
+    "T5.5-chains", "Theorem 5.5",
+    "Theorem 5.5 (chains/level-order): mu_p == n/2 iff "
+    "3-PARTITION-style grouping exists",
+    "bench_thm55_mup", "run_chains", "check_chains",
+    ["numbers", "b", "grouping?", "target n/2", "mu", "mu_p"],
+    smoke_params={"cases": (((2, 2, 1, 3), 4, True),
+                            ((3, 3, 2), 4, False))})
+
+_bench(
+    "T5.5-trees", "Theorem 5.5",
+    "Theorem 5.5 (out-trees)",
+    "bench_thm55_mup", "run_out_trees", "check_out_trees",
+    ["numbers", "b", "grouping?", "target", "mu_p"])
+
+_bench(
+    "T5.5-height", "Theorem 5.5",
+    "Theorem 5.5 (bounded height, via CLIQUE)",
+    "bench_thm55_mup", "run_bounded_height", "check_bounded_height",
+    ["graph", "L", "clique?", "height", "target", "mu_p"])
+
+_bench(
+    "E.1", "Theorem E.1",
+    "Theorem E.1: best-layering cost 0 iff grouping exists",
+    "bench_thmE1_layering", "run_layering", "check_layering",
+    ["numbers", "b", "DAG n", "flexible nodes", "grouping?",
+     "grouped search", "full search"],
+    smoke_params={"cases": (((2, 2, 1, 3), 4), ((1, 1, 2), 2))})
+
+_bench(
+    "F", "Appendix F",
+    "Appendix F: μ stays cheap, exact μ_p blows up",
+    "bench_appendixF_scheduling", "run_mu_vs_mup", "check_mu_vs_mup",
+    ["n", "mu", "mu_p", "mu ms", "mu_p ms", "slowdown x"],
+    tags=(TIMING,), timeout_s=600.0)
+
+# --- Sections 5.2/6: colourings and orthogonal vectors -----------------
+
+_bench(
+    "T5.2", "Thm 5.2 + Lemma 6.3",
+    "Lemma 6.3 + Theorem 5.2: cost-0 feasible iff 3-colourable",
+    "bench_thm52_coloring", "run_coloring", "check_coloring",
+    ["graph", "3-colourable", "flat cost-0", "layer-wise cost-0",
+     "flat n", "DAG n"],
+    smoke_params={"graphs": ("triangle", "path3", "K4")})
+
+_bench(
+    "T6.4", "Theorem 6.4",
+    "Theorem 6.4: cost-0 feasible iff orthogonal pair exists",
+    "bench_thm64_ovp", "run_ovp", "check_ovp",
+    ["m", "D", "constraints c", "n", "OVP pair?", "cost-0?"],
+    seeds=(64,), smoke_params={"ms": (3, 4), "reps": 2})
+
+_bench(
+    "D.1", "Lemma D.1 / 6.2",
+    "Lemma D.1: multi-constraint k-section == blown-up "
+    "single-constraint k-section",
+    "bench_appendixC_extensions", "run_d1_blowup", "check_d1_blowup",
+    ["n", "c", "n'", "direct OPT", "blow-up OPT"],
+    smoke_params={"num_cases": 2})
+
+# --- Section 7/Appendices G-I: hierarchical partitioning ---------------
+
+_bench(
+    "F8", "Figure 8 / Lemma 7.2",
+    "Figure 8 / Lemma 7.2: recursive pays Θ(n), direct O(1)",
+    "bench_fig8_recursive", "run_recursive_vs_direct",
+    "check_recursive_vs_direct",
+    ["n", "recursive", "direct OPT", "ratio", "hier(recursive)",
+     "hier OPT", "hier ratio"],
+    smoke_params={"units": (4, 8)})
+
+_bench(
+    "G.1", "Appendix G.1",
+    "Appendix G.1: Figure 8 for general branching factors",
+    "bench_fig8_recursive", "run_general_branching",
+    "check_general_branching",
+    ["b", "unit", "n", "direct OPT", "block split cost"],
+    smoke_params={"cases": (("2,2", (4, 8)), ("3,2", (4, 8)))})
+
+_bench(
+    "F9", "Figure 9 / Theorem 7.4",
+    "Figure 9 / Theorem 7.4: two-step vs hierarchical optimum (k=4, "
+    "b1=2)",
+    "bench_fig9_twostep", "run_two_step_gap", "check_two_step_gap",
+    ["g1", "m", "std OPT", "two-step hier cost", "hier OPT", "ratio",
+     "(b1-1)/b1*g1", "g1 (Lemma 7.3 cap)"],
+    smoke_params={"g1s": (2.0, 4.0)})
+
+_bench(
+    "L7.3", "Lemma 7.3",
+    "Lemma 7.3: hier OPT <= two-step <= g1 * hier OPT (g1=4)",
+    "bench_lemma73_bound", "run_sandwich", "check_sandwich",
+    ["seed", "hier OPT", "two-step", "ratio"],
+    smoke_params={"num_seeds": 2})
+
+_bench(
+    "H.1", "Lemma H.1",
+    "Lemma H.1: matching == brute force for d=2, b2=2",
+    "bench_thm75_assignment", "run_matching", "check_matching",
+    ["k", "f(k)", "brute-force cost", "matching cost", "matching ms",
+     "brute ms"],
+    tags=(TIMING,))
+
+_bench(
+    "H.2", "Lemma H.2",
+    "Lemma H.2: 3DM perfect matching iff gain >= threshold (b2=3)",
+    "bench_thm75_assignment", "run_3dm", "check_3dm",
+    ["instance", "3DM?", "max gain", "threshold", "reached"])
+
+_bench(
+    "A.1", "Lemma A.1",
+    "Lemma A.1: eps-balanced OPT == k-section OPT (padded)",
+    "bench_appendixA", "run_a1_padding", "check_a1_padding",
+    ["seed", "eps", "n", "n padded", "direct OPT", "via OPT"])
+
+_bench(
+    "A.3", "Lemmas A.3/A.4",
+    "Lemmas A.3/A.4: how many parts an optimum actually uses",
+    "bench_appendixA", "run_a3_a4_empty_parts",
+    "check_a3_a4_empty_parts",
+    ["k", "eps", "nonempty parts (OPT)", "A.3 bound (<)",
+     "A.4 all-nonempty?"],
+    seeds=(9,))
+
+_bench(
+    "A.5", "Lemma A.5",
+    "Lemma A.5: splitting a block of size b costs >= b-1",
+    "bench_appendixA", "run_a5_block_law", "check_a5_block_law",
+    ["b", "bound b-1", "cheapest observed split"],
+    seeds=(5,), smoke_params={"bs": (3, 5, 8), "samples": 25})
+
+_bench(
+    "C.3", "Lemma C.3",
+    "Lemma C.3: grid cut >= sqrt(minority); square shape is "
+    "2*sqrt(t0)-tight",
+    "bench_appendixA", "run_c3_grid_law", "check_c3_grid_law",
+    ["l", "violations", "min cut/sqrt(t0)", "t0 (square)", "square cut",
+     "2*sqrt(t0)"],
+    seeds=(33,), smoke_params={"ells": (3, 5), "samples": 40})
+
+# --- Practice: heuristics, ablations, scaling, kernels -----------------
+
+_bench(
+    "PQ", "§1/§4 context",
+    "Partitioner quality (connectivity, k=4, eps=0.1)",
+    "bench_partitioner_quality", "run_quality", "check_quality",
+    ["workload", "n", "m", "random", "greedy", "FM", "multilevel"],
+    seeds=(77,), tags=(), timeout_s=600.0)
+
+_bench(
+    "AB", "DESIGN ablation",
+    "Multilevel ablation (connectivity, planted k=4)",
+    "bench_ablation_multilevel", "run_ablation", "check_ablation",
+    ["seed", "full", "no coarsening (FM only)", "no refinement",
+     "spectral+FM"],
+    tags=(), timeout_s=600.0)
+
+_bench(
+    "HM-workloads", "§7 constructive",
+    "Hierarchy-aware vs two-step (planted, k=4, g1=6)",
+    "bench_hierarchy_methods", "run_workloads", "check_workloads",
+    ["seed", "two-step", "direct (aware)", "ratio"],
+    tags=(), timeout_s=600.0)
+
+_bench(
+    "HM-fm", "§7 constructive",
+    "Block-level hierarchical FM escapes the Figure 9 trap",
+    "bench_hierarchy_methods", "run_fig9_fm", "check_fig9_fm",
+    ["g1", "two-step", "FM-refined", "hier OPT"],
+    smoke_params={"g1s": (2.0, 4.0)})
+
+_bench(
+    "SC", "scalability",
+    "Multilevel scalability (k=8, planted)",
+    "bench_scalability", "run_scaling", "check_scaling",
+    ["n", "pins", "seconds", "us/pin", "cost", "planted cost",
+     "balanced"],
+    tags=(TIMING,), timeout_s=600.0)
+
+# --- Native runners (rows with no standalone bench function) -----------
+
+register(ExperimentSpec(
+    name="F5", artifact="Figure 5 / §5.1",
+    title="Figure 5: layerings are non-unique; flexible nodes sit off "
+          "maximum paths",
+    module="repro.lab.experiments", func="run_f5_layerings",
+    check="check_f5_layerings",
+    header=("width", "n", "layers l", "flexible", "ASAP valid",
+            "ALAP valid", "multiple layerings"),
+    seeds=(5,), tags=frozenset((SMOKE,))))
+
+register(ExperimentSpec(
+    name="I.1", artifact="Appendix I.1",
+    title="Appendix I.1: Figure 8/9 constructions as hyperDAGs",
+    module="repro.lab.experiments", func="run_i1_hyperdag",
+    check="check_i1_hyperdag",
+    tags=frozenset((SMOKE,))))
+
+register(ExperimentSpec(
+    name="KERN", artifact="kernel layer",
+    title="CSR kernel suite vs reference oracles",
+    module="repro.lab.experiments", func="run_kernel_suite",
+    check="check_kernel_suite",
+    params={"quick": True, "repeats": 2, "with_parallel": False},
+    tags=frozenset((TIMING,)), timeout_s=600.0))
+
+
+def run_f5_layerings(*, seed=5, widths=(4, 8, 16), layers=4,
+                     density=0.4):
+    import numpy as np
+
+    from repro.generators import random_layered_dag
+
+    rng = np.random.default_rng(seed)
+    rows = []
+    for width in widths:
+        d = random_layered_dag([width] * layers, density, rng)
+        asap, alap = d.asap_layers(), d.alap_layers()
+        flexible = d.flexible_nodes()
+        rows.append((width, d.n, d.longest_path_length(), len(flexible),
+                     d.is_valid_layering(asap), d.is_valid_layering(alap),
+                     bool(flexible)))
+    return rows
+
+
+def check_f5_layerings(rows):
+    for width, n, ell, flex, asap_ok, alap_ok, multiple in rows:
+        assert asap_ok and alap_ok
+        assert multiple == (flex > 0)
+    # flexibility (hence layering choice) actually occurs
+    assert any(r[3] > 0 for r in rows)
+
+
+def run_i1_hyperdag(*, seed=0, unit=12, g1=4.0):
+    import numpy as np
+
+    from repro.core import cut_net_cost, is_hyperdag
+    from repro.hierarchy import two_step_from_partition
+    from repro.reductions import (
+        block_respecting_hierarchical_optimum,
+        block_respecting_kway_optimum,
+        build_recursive_gap_instance,
+        build_two_step_gap_instance,
+    )
+
+    st8 = build_recursive_gap_instance(unit=unit, hyperdag=True)
+    direct, _ = block_respecting_kway_optimum(st8, 4, eps=0.0)
+    large = st8.blocks[0]
+    b0 = max(2, len(large) // 6)
+    labels = np.zeros(st8.hypergraph.n, dtype=np.int64)
+    labels[large[-1]] = 1
+    split = cut_net_cost(st8.hypergraph, labels, 2)
+    fig8_rows = [(st8.hypergraph.n, is_hyperdag(st8.hypergraph), direct,
+                  split, b0)]
+
+    st9 = build_two_step_gap_instance(unit=unit, k=4, g1=g1,
+                                      hyperdag=True)
+    m = st9.meta["m"]
+    cstd, pstd = block_respecting_kway_optimum(st9, 4, eps=0.0)
+    _, ts = two_step_from_partition(st9.hypergraph, pstd, st9.topology)
+    opt, _ = block_respecting_hierarchical_optimum(st9, eps=0.0)
+    fig9_rows = [(g1, st9.hypergraph.n, is_hyperdag(st9.hypergraph),
+                  cstd, 3 * m, ts, opt, ts / opt)]
+
+    return [
+        {"title": "Appendix I.1: Figure 8 construction as a hyperDAG",
+         "header": ["n", "hyperDAG", "direct OPT", "split cost",
+                    "b0 bound"],
+         "rows": fig8_rows},
+        {"title": "Appendix I.1: Figure 9 construction as a hyperDAG",
+         "header": ["g1", "n", "hyperDAG", "std OPT", "3m", "two-step",
+                    "hier OPT", "ratio"],
+         "rows": fig9_rows},
+    ]
+
+
+def check_i1_hyperdag(result):
+    fig8, fig9 = result
+    for n, hd, direct, split, b0 in fig8["rows"]:
+        assert hd
+        assert direct <= 7          # direct stays O(1)
+        assert split >= b0          # block splits stay expensive
+    for g1, n, hd, cstd, three_m, ts, opt, ratio in fig9["rows"]:
+        assert hd
+        assert cstd == three_m
+        assert g1 / 2 - 1e-9 <= ratio <= g1 + 1e-9
+
+
+def run_kernel_suite(*, seed=0, quick=True, repeats=2,
+                     with_parallel=False):
+    from .spec import _import_module
+
+    bk = _import_module("bench_kernels")
+    sizes = bk.QUICK_SIZES if quick else bk.FULL_SIZES
+    result = bk.run(sizes, repeats, with_parallel=with_parallel)
+    rows = []
+    for case in result["cases"]:
+        label = f"n={case['n']},m={case['m']}"
+        for kernel, v in case["kernels"].items():
+            rows.append((label, kernel, v["ref_s"] * 1e3,
+                         v["vec_s"] * 1e3, v["speedup"]))
+    tables = [{"title": "CSR kernel suite vs reference oracles",
+               "header": ["case", "kernel", "ref ms", "vec ms",
+                          "speedup"],
+               "rows": rows}]
+    par = result.get("parallel")
+    if par:
+        tables.append({
+            "title": "parallel V-cycles",
+            "header": ["n_jobs", "seconds", "cost"],
+            "rows": [(1, par["serial_s"], par["serial_cost"]),
+                     (par["n_jobs"], par["parallel_s"],
+                      par["parallel_cost"])]})
+    return tables
+
+
+def check_kernel_suite(result):
+    kernel_rows = result[0]["rows"]
+    assert kernel_rows
+    for case, kernel, ref_ms, vec_ms, speedup in kernel_rows:
+        assert speedup > 0
+    if len(result) > 1:  # parallel V-cycles must agree on cost
+        (j1, _, c1), (jn, _, cn) = result[1]["rows"]
+        assert c1 == cn

@@ -1,0 +1,102 @@
+"""Structured JSONL run journals.
+
+One line per event, flushed and fsynced as it happens so a killed run
+leaves a complete record of everything it finished.  Task records carry
+wall-clock duration, peak RSS, the algorithm counters snapshotted from
+``repro.instrument`` (FM passes, B&B nodes expanded, ...), the attempt
+count, and the outcome (``ok`` / ``cached`` / ``timeout`` / ``error``).
+
+The journal is the *observability* channel — timestamps and timings
+live here and only here.  ``results.json`` (see ``report.py``) contains
+exclusively seed-deterministic values, which is what makes it
+byte-identical across ``--jobs`` values and resumed runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = ["RunJournal", "read_journal", "latest_run_records",
+           "summarize_run"]
+
+
+class RunJournal:
+    """Append-only JSONL writer scoped to one run id."""
+
+    def __init__(self, path: str | os.PathLike, run_id: str | None = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.run_id = run_id or time.strftime("%Y%m%d-%H%M%S-") + hex(
+            os.getpid())[2:]
+        self._fh = open(self.path, "a")
+
+    def record(self, event: str, **fields: Any) -> dict:
+        rec = {"event": event, "run_id": self.run_id,
+               "ts": round(time.time(), 3), **fields}
+        self._fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        return rec
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path: str | os.PathLike) -> list[dict]:
+    """Parse a JSONL journal, skipping torn trailing lines."""
+    records: list[dict] = []
+    p = Path(path)
+    if not p.exists():
+        return records
+    for line in p.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            continue  # torn write from a killed run
+    return records
+
+
+def latest_run_records(records: list[dict]) -> list[dict]:
+    """Records of the most recently started run in the journal."""
+    if not records:
+        return []
+    last_run = records[-1].get("run_id")
+    return [r for r in records if r.get("run_id") == last_run]
+
+
+def summarize_run(records: list[dict]) -> dict:
+    """Aggregate one run's records into a status summary."""
+    tasks = [r for r in records if r.get("event") == "task"]
+    statuses: dict[str, int] = {}
+    for r in tasks:
+        statuses[r.get("status", "?")] = statuses.get(r.get("status", "?"),
+                                                      0) + 1
+    started = [r for r in records if r.get("event") == "run_start"]
+    ended = [r for r in records if r.get("event") == "run_end"]
+    out = {
+        "run_id": records[-1].get("run_id") if records else None,
+        "tasks": len(tasks),
+        "statuses": statuses,
+        "total_task_s": round(sum(r.get("duration_s", 0.0) or 0.0
+                                  for r in tasks), 3),
+        "complete": bool(ended),
+    }
+    if started and ended:
+        out["wall_s"] = round(ended[-1]["ts"] - started[0]["ts"], 3)
+    if started:
+        out["selection"] = started[0].get("selection")
+    return out

@@ -1,0 +1,116 @@
+"""Rendering and machine-readable results.
+
+``format_table`` is the single formatting path shared by the legacy
+``benchmarks/_util.print_table`` and the lab reporter, so the paper-
+style tables look identical whichever harness produced them.
+
+``results_payload``/``write_results`` build ``results.json``.  The file
+deliberately contains *only* seed-deterministic content — experiment
+ids, parameters, seeds, statuses, and result rows; no timestamps, run
+ids, or durations (those live in the JSONL journal).  Serialised with
+sorted keys and fixed separators, the file is therefore byte-identical
+for any ``--jobs`` value and across interrupted-and-resumed runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from .cache import jsonify
+
+__all__ = ["format_table", "render_results", "results_payload",
+           "write_results", "read_results"]
+
+RESULTS_SCHEMA = 1
+
+
+def format_table(title: str, header: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> tuple[str, list[dict]]:
+    """Render a paper-style table.
+
+    Returns the rendered text block and the rendered rows as a list of
+    ``{column: formatted value}`` dicts (one per row), so callers that
+    need machine-readable output share the exact formatting used for
+    display.
+    """
+    cols = len(header)
+    widths = [len(h) for h in header]
+    txt_rows: list[list[str]] = []
+    for row in rows:
+        txt = [f"{x:.4g}" if isinstance(x, float) else str(x) for x in row]
+        txt_rows.append(txt)
+        for i in range(cols):
+            widths[i] = max(widths[i], len(txt[i]))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))
+    out = [f"\n== {title} ==", line, "-" * len(line)]
+    out += ["  ".join(txt[i].ljust(widths[i]) for i in range(cols))
+            for txt in txt_rows]
+    dict_rows = [dict(zip(header, txt)) for txt in txt_rows]
+    return "\n".join(out), dict_rows
+
+
+def results_payload(results: Sequence, *, smoke: bool = False) -> dict:
+    """Build the deterministic ``results.json`` structure.
+
+    ``results`` is a sequence of :class:`~repro.lab.executor.TaskResult`
+    in task order.  Cached and freshly-computed results are
+    indistinguishable here (both report ``status: "ok"``) — whether a
+    value came from the cache is an execution detail for the journal.
+    """
+    experiments: dict[str, dict] = {}
+    for res in results:
+        spec = res.task.spec
+        exp = experiments.setdefault(spec.name, {
+            "artifact": spec.artifact,
+            "title": spec.title,
+            "tasks": [],
+        })
+        exp["tasks"].append({
+            "seed": res.task.seed,
+            "params": jsonify(dict(res.task.params)),
+            "key": res.task.key,
+            "status": "ok" if res.status == "cached" else res.status,
+            "tables": jsonify(res.values) if res.ok else None,
+            "error": res.error,
+        })
+    return {
+        "schema": RESULTS_SCHEMA,
+        "smoke": smoke,
+        "experiments": {k: experiments[k] for k in sorted(experiments)},
+    }
+
+
+def write_results(path: str | Path, payload: dict) -> None:
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n")
+
+
+def read_results(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def render_results(payload: dict) -> str:
+    """Render every experiment's tables plus a status footer."""
+    blocks: list[str] = []
+    statuses: dict[str, int] = {}
+    for name in sorted(payload.get("experiments", {})):
+        exp = payload["experiments"][name]
+        for task in exp["tasks"]:
+            statuses[task["status"]] = statuses.get(task["status"], 0) + 1
+            if task["status"] != "ok":
+                blocks.append(f"\n== {name} ({exp['artifact']}) == "
+                              f"[{task['status'].upper()}"
+                              f"{': ' + task['error'].strip().splitlines()[-1] if task.get('error') else ''}]")
+                continue
+            for table in task["tables"] or []:
+                text, _ = format_table(
+                    f"{name} · {table['title']}", table["header"],
+                    table["rows"])
+                blocks.append(text)
+    total = sum(statuses.values())
+    footer = ", ".join(f"{v} {k}" for k, v in sorted(statuses.items()))
+    blocks.append(f"\n{total} task(s): {footer or 'none'}")
+    return "\n".join(blocks)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import instrument
 from ..core.balance import MultiConstraint, balance_threshold
 from ..core.cost import Metric
 from ..core.hypergraph import Hypergraph
@@ -198,7 +199,11 @@ class _BranchAndBound:
                     return True
             return False
 
-        rec(0)
+        try:
+            rec(0)
+        finally:
+            instrument.bump("bnb_searches")
+            instrument.bump("bnb_nodes", self.explored)
 
 
 def exact_partition(

@@ -17,6 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import instrument
 from ..core import kernels
 from ..core.cost import Metric
 from ..core.hypergraph import Hypergraph
@@ -174,6 +175,7 @@ def fm_refine(
     start_feasible = feasible()
     tick = count()
     for _pass in range(max_passes):
+        instrument.bump("fm_passes")
         locked_now = locked_base.copy()
         heap: list[tuple[float, int, int]] = []
         for v in range(graph.n):

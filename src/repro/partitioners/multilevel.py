@@ -18,6 +18,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from .. import instrument
 from ..core import kernels
 from ..core.cost import Metric, cost
 from ..core.hypergraph import Hypergraph
@@ -223,6 +224,7 @@ def multilevel_partition(
         coarse, mapping = step
         levels.append((cur, mapping))
         cur = coarse
+        instrument.bump("coarsen_levels")
 
     part = _initial_portfolio(cur, k, eps, metric, gen, caps, initial_tries,
                               n_jobs=n_jobs)

@@ -1,0 +1,63 @@
+"""Toy experiment runners for exercising the lab failure paths.
+
+Resolved by worker processes as the module ``tests.lab._toys`` (the
+repository root is on ``sys.path`` when pytest runs, and the fork start
+method inherits it), so specs in the lab tests can point at these by
+name exactly like real experiments point at ``bench_*`` modules.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def run_ok(*, seed, factor=2):
+    return [(seed, factor, seed * factor)]
+
+
+def check_ok(rows):
+    for seed, factor, product in rows:
+        assert product == seed * factor
+
+
+def run_tables(*, seed):
+    """Multi-table runner (the dict-list return form)."""
+    return [
+        {"title": "first", "header": ["seed"], "rows": [[seed]]},
+        {"title": "second", "header": ["twice"], "rows": [[2 * seed]]},
+    ]
+
+
+def run_sleep(*, seed, duration=30.0):
+    time.sleep(duration)
+    return [(seed,)]
+
+
+def run_briefly(*, seed, duration=0.2):
+    time.sleep(duration)
+    return [(seed, "done")]
+
+
+def run_flaky(*, seed, marker):
+    """Fail on the first call, succeed once ``marker`` exists."""
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempted")
+        raise RuntimeError("transient failure (first attempt)")
+    return [(seed, "recovered")]
+
+
+def run_boom(*, seed):
+    raise ValueError("permanent failure")
+
+
+def check_reject(rows):
+    raise AssertionError("claim violated")
+
+
+def run_counts(*, seed):
+    from repro import instrument
+
+    instrument.bump("toy_events", 3)
+    return [(seed,)]

@@ -1,0 +1,94 @@
+"""Content-addressed cache: hits, misses, and invalidation."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.lab import ExperimentSpec, ResultCache, task_key
+from repro.lab.cache import canonical_json, jsonify
+
+
+def _spec(**kw):
+    base = dict(name="toy", artifact="none", title="toy",
+                module="tests.lab._toys", func="run_ok", check="check_ok",
+                header=("seed", "factor", "product"))
+    base.update(kw)
+    return ExperimentSpec(**base)
+
+
+class TestTaskKey:
+    def test_stable(self):
+        spec = _spec()
+        assert task_key(spec, {"factor": 2}, 0) == \
+            task_key(spec, {"factor": 2}, 0)
+
+    def test_params_change_key(self):
+        spec = _spec()
+        assert task_key(spec, {"factor": 2}, 0) != \
+            task_key(spec, {"factor": 3}, 0)
+
+    def test_seed_changes_key(self):
+        spec = _spec()
+        assert task_key(spec, {}, 0) != task_key(spec, {}, 1)
+
+    def test_version_bump_invalidates(self):
+        spec = _spec()
+        assert task_key(spec, {}, 0) != \
+            task_key(replace(spec, version=2), {}, 0)
+
+    def test_code_edit_invalidates(self, tmp_path, monkeypatch):
+        mod = tmp_path / "lab_key_toy.py"
+        mod.write_text("def run(*, seed):\n    return [(seed,)]\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        spec = _spec(module="lab_key_toy", func="run", check=None)
+        before = task_key(spec, {}, 0)
+        mod.write_text("def run(*, seed):\n    return [(seed + 1,)]\n")
+        assert task_key(spec, {}, 0) != before
+
+    def test_param_order_irrelevant(self):
+        spec = _spec()
+        assert task_key(spec, {"a": 1, "b": 2}, 0) == \
+            task_key(spec, {"b": 2, "a": 1}, 0)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get("ab" * 32) is None
+        cache.put("ab" * 32, {"values": [1, 2]})
+        assert "ab" * 32 in cache
+        assert cache.get("ab" * 32) == {"values": [1, 2]}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = "cd" * 32
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = "ef" * 32
+        assert cache.path(key).parent.name == "ef"
+
+
+class TestJsonify:
+    def test_numpy_values(self):
+        import numpy as np
+
+        assert jsonify(np.int64(3)) == 3
+        assert jsonify(np.array([1, 2])) == [1, 2]
+        assert jsonify((np.float64(0.5), "x")) == [0.5, "x"]
+
+    def test_sets_sorted(self):
+        assert jsonify({3, 1, 2}) == [1, 2, 3]
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            jsonify(object())
+
+    def test_canonical_json_sorted(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'

@@ -1,0 +1,93 @@
+"""Tier-1 gate: ``repro lab run --smoke`` completes, journals, caches.
+
+This is the acceptance path of the lab subsystem run end-to-end through
+the real CLI: a cold smoke run over every smoke-tier experiment (tiny
+parameters), then a warm re-run that must be served from the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def _lab(tmp_path, *argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lab", *argv],
+        capture_output=True, text=True, cwd=tmp_path, env=env)
+    return proc, time.perf_counter() - t0
+
+
+@pytest.mark.slow
+def test_lab_smoke_run_completes_and_caches(tmp_path):
+    jobs = str(min(4, os.cpu_count() or 1))
+    cold, cold_s = _lab(tmp_path, "run", "--smoke", "-j", jobs, "-q")
+    assert cold.returncode == 0, cold.stdout + cold.stderr
+
+    out_dir = tmp_path / ".lab"
+    results = json.loads((out_dir / "results.json").read_text())
+    assert results["smoke"] is True
+    assert len(results["experiments"]) >= 25
+    for name, exp in results["experiments"].items():
+        for task in exp["tasks"]:
+            assert task["status"] == "ok", (name, task["error"])
+
+    journal = (out_dir / "journal.jsonl").read_text().splitlines()
+    records = [json.loads(line) for line in journal]
+    assert records[0]["event"] == "run_start"
+    assert records[-1]["event"] == "run_end"
+    task_records = [r for r in records if r["event"] == "task"]
+    assert len(task_records) == sum(
+        len(e["tasks"]) for e in results["experiments"].values())
+    assert all("duration_s" in r and "peak_rss_kb" in r
+               for r in task_records)
+    # the instrumented counters surface in the journal
+    assert any(r["counters"] for r in task_records)
+
+    before = (out_dir / "results.json").read_bytes()
+    warm, warm_s = _lab(tmp_path, "run", "--smoke", "-j", jobs, "-q")
+    assert warm.returncode == 0, warm.stdout + warm.stderr
+    assert (out_dir / "results.json").read_bytes() == before
+    assert warm_s * 3 < cold_s, (warm_s, cold_s)
+
+    status, _ = _lab(tmp_path, "status")
+    assert status.returncode == 0
+    assert "cached" in status.stdout
+
+    report, _ = _lab(tmp_path, "report")
+    assert report.returncode == 0
+    assert "HK ·" in report.stdout
+
+
+def test_lab_list(tmp_path):
+    proc, _ = _lab(tmp_path, "list")
+    assert proc.returncode == 0
+    assert "T4.1" in proc.stdout and "KERN" in proc.stdout
+    smoke, _ = _lab(tmp_path, "list", "--smoke")
+    assert "KERN" not in smoke.stdout  # timing specs are not smoke
+
+
+def test_lab_run_requires_selection(tmp_path):
+    proc, _ = _lab(tmp_path, "run")
+    assert proc.returncode != 0
+
+
+def test_lab_run_failure_exit_code(tmp_path):
+    proc, _ = _lab(tmp_path, "run", "HK", "--timeout", "0.01", "-q")
+    assert proc.returncode == 1
+    results = json.loads(
+        (tmp_path / ".lab" / "results.json").read_text())
+    (task,) = results["experiments"]["HK"]["tasks"]
+    assert task["status"] == "timeout"

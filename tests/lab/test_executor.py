@@ -1,0 +1,151 @@
+"""Executor failure paths: timeout, retry, permanent error, journal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lab import (
+    ExperimentSpec,
+    ResultCache,
+    RunJournal,
+    execute,
+    expand_tasks,
+    read_journal,
+)
+
+TOYS = "tests.lab._toys"
+
+
+def _spec(name, func, *, check=None, **kw):
+    base = dict(name=name, artifact="none", title=name, module=TOYS,
+                func=func, check=check, header=("a", "b", "c"))
+    base.update(kw)
+    return ExperimentSpec(**base)
+
+
+def test_ok_task_records_rows_and_rusage():
+    tasks = expand_tasks([_spec("ok", "run_ok", check="check_ok",
+                                params={"factor": 3}, seeds=(2,))])
+    (res,) = execute(tasks)
+    assert res.status == "ok" and res.ok
+    assert res.values == [{"title": "ok", "header": ["a", "b", "c"],
+                           "rows": [[2, 3, 6]]}]
+    assert res.duration_s > 0
+    assert res.peak_rss_kb > 0
+    assert res.attempts == 1
+
+
+def test_multi_table_runner_keeps_both_tables():
+    tasks = expand_tasks([_spec("tables", "run_tables", seeds=(5,))])
+    (res,) = execute(tasks)
+    assert [t["title"] for t in res.values] == ["first", "second"]
+    assert res.values[1]["rows"] == [[10]]
+
+
+def test_timeout_degrades_without_killing_the_run(tmp_path):
+    specs = [
+        _spec("hang", "run_sleep", params={"duration": 60.0},
+              timeout_s=0.4, retries=0),
+        _spec("quick", "run_ok"),
+    ]
+    journal = RunJournal(tmp_path / "j.jsonl")
+    results = execute(expand_tasks(specs), jobs=2, journal=journal)
+    journal.close()
+    by_name = {r.task.spec.name: r for r in results}
+    assert by_name["hang"].status == "timeout"
+    assert "timed out after" in by_name["hang"].error
+    assert by_name["quick"].status == "ok"  # sibling unaffected
+    recorded = {r["spec"]: r["status"]
+                for r in read_journal(tmp_path / "j.jsonl")
+                if r["event"] == "task"}
+    assert recorded == {"hang": "timeout", "quick": "ok"}
+
+
+def test_transient_crash_is_retried(tmp_path):
+    marker = tmp_path / "marker"
+    spec = _spec("flaky", "run_flaky", params={"marker": str(marker)},
+                 retries=1)
+    (res,) = execute(expand_tasks([spec]))
+    assert res.status == "ok"
+    assert res.attempts == 2
+    assert res.values[0]["rows"] == [[0, "recovered"]]
+
+
+def test_permanent_crash_reports_error_with_traceback(tmp_path):
+    marker = tmp_path / "marker"
+    spec = _spec("flaky", "run_flaky", params={"marker": str(marker)},
+                 retries=0)
+    (res,) = execute(expand_tasks([spec]))
+    assert res.status == "error" and not res.ok
+    assert "transient failure" in res.error
+    assert res.attempts == 1
+
+
+def test_failed_check_is_an_error():
+    spec = _spec("reject", "run_ok", check="check_reject")
+    (res,) = execute(expand_tasks([spec]))
+    assert res.status == "error"
+    assert "claim violated" in res.error
+
+
+def test_counters_snapshot_travels_back():
+    (res,) = execute(expand_tasks([_spec("counts", "run_counts")]))
+    assert res.counters == {"toy_events": 3}
+
+
+def test_cache_roundtrip_and_no_cache(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    tasks = expand_tasks([_spec("ok", "run_ok")])
+    (first,) = execute(tasks, cache=cache)
+    assert first.status == "ok"
+    (second,) = execute(tasks, cache=cache)
+    assert second.status == "cached"
+    assert second.values == first.values
+    (third,) = execute(tasks, cache=cache, use_cache=False)
+    assert third.status == "ok"
+
+
+def test_results_keep_input_order():
+    specs = [_spec("z-last", "run_ok"),
+             _spec("a-first", "run_briefly", params={"duration": 0.3})]
+    tasks = expand_tasks(specs)  # sorted: a-first, z-last
+    results = execute(tasks, jobs=2)
+    assert [r.task.spec.name for r in results] == ["a-first", "z-last"]
+
+
+def test_timeout_override_via_expand():
+    tasks = expand_tasks(
+        [_spec("hang", "run_sleep", params={"duration": 60.0},
+               retries=0)],
+        timeout_override=0.3)
+    (res,) = execute(tasks)
+    assert res.status == "timeout"
+
+
+def test_journal_survives_torn_lines(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with RunJournal(path) as j:
+        j.record("task", spec="x", status="ok")
+    with open(path, "a") as fh:
+        fh.write('{"event": "task", "spec": "tor')  # torn write
+    records = read_journal(path)
+    assert len(records) == 1
+    assert records[0]["spec"] == "x"
+
+
+def test_worker_writes_are_atomic(tmp_path):
+    """A cache entry written by a worker parses even when the parent is
+    never told about it (kill-resume relies on this)."""
+    cache = ResultCache(tmp_path / "c")
+    tasks = expand_tasks([_spec("ok", "run_ok")])
+    execute(tasks, cache=cache)
+    raw = cache.path(tasks[0].key).read_text()
+    payload = json.loads(raw)
+    assert payload["values"][0]["rows"] == [[0, 2, 0]]
+
+
+def test_expand_rejects_unjsonable_params():
+    with pytest.raises(TypeError):
+        expand_tasks([_spec("bad", "run_ok", params={"fn": object()})])

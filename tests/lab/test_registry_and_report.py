@@ -1,0 +1,126 @@
+"""Spec registry coverage, report rendering, and the shared table path."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lab import (
+    ExperimentSpec,
+    all_specs,
+    format_table,
+    get_spec,
+    register,
+    render_results,
+    results_payload,
+)
+from repro.lab.executor import TaskResult
+from repro.lab.spec import SMOKE, TIMING, expand_tasks, resolve_callable
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_every_experiments_md_row_has_a_spec(self):
+        """The registry is the EXPERIMENTS.md table, made executable."""
+        table_ids = re.findall(r"^\| ([A-Z][^|]*?) \|",
+                               (ROOT / "EXPERIMENTS.md").read_text(),
+                               re.MULTILINE)
+        table_ids = [t.strip() for t in table_ids if t.strip() != "Exp id"]
+        names = {s.name for s in all_specs()}
+        missing = []
+        for row in table_ids:
+            # rows like "F3/T4.1" or "T7.5/H.1" may map under either id;
+            # "A.3/A.4" maps to the A.3 spec, Δ-ids are ASCII-normalised
+            candidates = [row] + row.split("/") + \
+                [row.replace("Δ", "D").replace("/", "-")] + \
+                [f"{p}-{s}" for p in row.split("/") for s in
+                 ("chains", "trees", "height", "workloads", "fm")]
+            if not any(c in names for c in candidates):
+                missing.append(row)
+        assert not missing, f"EXPERIMENTS.md rows without specs: {missing}"
+
+    def test_all_runners_and_checks_resolve(self):
+        for spec in all_specs():
+            assert callable(resolve_callable(spec.module, spec.func))
+            if spec.check:
+                assert callable(resolve_callable(spec.module, spec.check))
+
+    def test_smoke_tier_is_deterministic(self):
+        for spec in all_specs():
+            if SMOKE in spec.tags:
+                assert TIMING not in spec.tags, spec.name
+
+    def test_duplicate_name_rejected(self):
+        spec = all_specs()[0]
+        with pytest.raises(ValueError):
+            register(spec)
+
+    def test_get_spec_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_spec("definitely-not-registered")
+
+    def test_smoke_params_only_shrink_known_params(self):
+        """Smoke overrides must target parameters the runner accepts."""
+        import inspect
+
+        for spec in all_specs():
+            if spec.smoke_params is None:
+                continue
+            fn = resolve_callable(spec.module, spec.func)
+            accepted = set(inspect.signature(fn).parameters)
+            unknown = set(spec.smoke_params) - accepted
+            assert not unknown, f"{spec.name}: {unknown}"
+
+    def test_expand_orders_by_name_then_seed(self):
+        specs = [s for s in all_specs() if s.smoke][:5]
+        tasks = expand_tasks(specs, smoke=True)
+        labels = [(t.spec.name, t.seed) for t in tasks]
+        assert labels == sorted(labels)
+
+
+class TestFormatTable:
+    def test_returns_text_and_dict_rows(self):
+        text, rows = format_table("t", ["a", "b"], [(1, 0.5), (2, 1.5)])
+        assert "== t ==" in text
+        assert rows == [{"a": "1", "b": "0.5"}, {"a": "2", "b": "1.5"}]
+
+    def test_float_formatting_shared_with_display(self):
+        text, rows = format_table("t", ["x"], [(1.23456789,)])
+        assert rows[0]["x"] == "1.235"
+        assert "1.235" in text
+
+    def test_print_table_returns_dict_rows(self, capsys):
+        import sys
+        sys.path.insert(0, str(ROOT / "benchmarks"))
+        from _util import print_table
+
+        rows = print_table("t", ["a"], [(7,)])
+        out = capsys.readouterr().out
+        assert "== t ==" in out
+        assert rows == [{"a": "7"}]
+
+
+class TestRenderResults:
+    def _result(self, status="ok", error=None):
+        specs = [s for s in all_specs() if s.name == "HK"]
+        (task,) = expand_tasks(specs)
+        return TaskResult(task=task, status=status, error=error,
+                          values=[{"title": "t", "header": ["x"],
+                                   "rows": [[1]]}] if status == "ok"
+                          else None)
+
+    def test_ok_renders_tables_and_footer(self):
+        payload = results_payload([self._result()])
+        text = render_results(payload)
+        assert "HK · t" in text
+        assert "1 task(s): 1 ok" in text
+
+    def test_failures_render_status_lines(self):
+        payload = results_payload(
+            [self._result(status="timeout", error="timed out after 1s")])
+        text = render_results(payload)
+        assert "TIMEOUT" in text
+        assert "1 timeout" in text
