@@ -1,0 +1,82 @@
+"""Micro-benchmark: runtime-sanitizer overhead at partitioner boundaries.
+
+The sanitizer (:mod:`repro.analyze.sanitize`) must be free when
+disabled: every hook is a single ``if sanitize.ENABLED:`` attribute
+test at a kernel/partitioner *boundary* (once per coarsening level /
+refinement call, never per pin).  This bench measures:
+
+* the full multilevel workload with the sanitizer off vs on;
+* the raw cost of one disabled guard, scaled by a deliberately
+  generous 20 000 boundary crossings per run.
+
+``check_overhead`` asserts the scaled disabled-guard cost stays under
+2% of the workload — the acceptance bound for "zero-overhead no-op".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def _workload(seed, n, k):
+    from repro.generators import planted_partition_hypergraph
+    from repro.partitioners import multilevel_partition
+
+    g, _ = planted_partition_hypergraph(n, k, int(2.5 * n),
+                                        max(4, n // 20), rng=seed)
+
+    def run():
+        return multilevel_partition(g, k, eps=0.1, rng=seed)
+
+    return run
+
+
+def run_overhead(*, seed=0, n=300, k=4, reps=3):
+    from repro.analyze import sanitize
+
+    run = _workload(seed, n, k)
+    run()  # warm-up (allocator, caches)
+    saved = os.environ.get("REPRO_SANITIZE")
+    times = {}
+    rows = []
+    try:
+        for mode in ("off", "on"):
+            if mode == "on":
+                os.environ["REPRO_SANITIZE"] = "1"
+            else:
+                os.environ.pop("REPRO_SANITIZE", None)
+            sanitize.refresh()
+            best = float("inf")
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                run()
+                best = min(best, time.perf_counter() - t0)
+            times[mode] = best
+            rows.append((mode, best, best / times["off"]))
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SANITIZE", None)
+        else:
+            os.environ["REPRO_SANITIZE"] = saved
+        sanitize.refresh()
+    loops = 10**6
+    t0 = time.perf_counter()
+    hits = 0
+    for _ in range(loops):
+        if sanitize.ENABLED:
+            hits += 1
+    guard_s = (time.perf_counter() - t0) / loops
+    assert hits in (0, loops)
+    # 20k boundary crossings vastly overcounts one multilevel run
+    rows.append(("guard x20k", guard_s * 20_000,
+                 guard_s * 20_000 / times["off"]))
+    return rows
+
+
+def check_overhead(rows):
+    by_mode = {r[0]: r for r in rows}
+    assert by_mode["off"][1] > 0 and by_mode["on"][1] > 0
+    # the disabled guard must be invisible: < 2% of the workload even
+    # at 20k boundary crossings per run
+    assert by_mode["guard x20k"][2] < 0.02

@@ -26,6 +26,26 @@ for arg in "$@"; do
     esac
 done
 
+echo "== static analysis (repro analyze) =="
+python -m repro analyze src tests benchmarks
+
+if command -v mypy >/dev/null 2>&1; then
+    echo
+    echo "== mypy (config in pyproject.toml) =="
+    mypy src/repro
+else
+    echo "-- mypy not installed; skipping (config lives in pyproject.toml)"
+fi
+
+if command -v ruff >/dev/null 2>&1; then
+    echo
+    echo "== ruff (config in pyproject.toml) =="
+    ruff check src tests benchmarks
+else
+    echo "-- ruff not installed; skipping (config lives in pyproject.toml)"
+fi
+
+echo
 echo "== tier-1 test suite =="
 python -m pytest -x -q
 

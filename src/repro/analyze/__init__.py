@@ -1,0 +1,18 @@
+"""Static analysis + opt-in runtime sanitizers for the repro codebase.
+
+Two halves, one goal — keeping the invariants the reproduction rests on
+machine-checked instead of tribal:
+
+* :mod:`repro.analyze.engine` / :mod:`repro.analyze.rules` — an
+  AST-based lint pass (``repro analyze``) enforcing seed discipline,
+  no silent ``except``, kernel/oracle parity, runner signatures,
+  tolerance-based float comparison, and the error hierarchy.
+* :mod:`repro.analyze.sanitize` — runtime checks (CSR well-formedness,
+  partition validity, balance, hyperDAG certificates) injected at
+  kernel/partitioner boundaries; zero-overhead no-ops unless
+  ``REPRO_SANITIZE=1``.
+"""
+
+from .engine import Finding, analyze_paths, collect_files
+
+__all__ = ["Finding", "analyze_paths", "collect_files"]

@@ -1,0 +1,37 @@
+"""``repro analyze`` — run the static-analysis pass from the CLI."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import analyze_paths
+
+__all__ = ["add_analyze_parser", "analyze_main"]
+
+_DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def add_analyze_parser(sub) -> None:
+    p = sub.add_parser(
+        "analyze",
+        help="static invariant checks (seed discipline, silent excepts, "
+             "kernel-oracle parity, runner signatures, ...)")
+    p.add_argument("paths", nargs="*", default=list(_DEFAULT_PATHS),
+                   help="files or directories to analyze "
+                        f"(default: {' '.join(_DEFAULT_PATHS)})")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   dest="fmt", help="output format (default: text)")
+
+
+def analyze_main(args) -> int:
+    findings = analyze_paths(args.paths)
+    if args.fmt == "json":
+        print(json.dumps([{"path": f.path, "line": f.line,
+                           "rule": f.rule, "message": f.message}
+                          for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        n = len(findings)
+        print(f"repro analyze: {n} finding{'s' if n != 1 else ''}")
+    return 1 if findings else 0

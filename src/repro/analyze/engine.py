@@ -1,0 +1,214 @@
+"""Core of the ``repro analyze`` static-analysis pass.
+
+The engine is deliberately small: it walks a set of ``.py`` files,
+parses each one with the stdlib :mod:`ast` module (no third-party
+dependency), and hands the parse trees to two kinds of rules:
+
+* **file rules** look at one module at a time (seed discipline, silent
+  ``except``, float equality on cost values, ...);
+* **repo rules** need cross-file information (does every public kernel
+  have a ``_reference_*`` oracle twin? does every registered experiment
+  runner follow the ``run(*, seed, **params)`` convention?).
+
+Findings can be suppressed per line with a *pragma comment* that must
+carry a written reason::
+
+    except Exception:  # analyze: allow(silent-except) — why this is OK
+
+A pragma without a reason is itself a finding
+(``pragma-missing-reason``), and a pragma that suppresses nothing is
+flagged as ``unused-pragma`` so stale exemptions cannot accumulate.
+A pragma on a comment-only line applies to the next source line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "PragmaTable",
+    "analyze_paths",
+    "collect_files",
+]
+
+#: Matches ``analyze: allow(<id>) <sep> <reason>`` after a hash; the
+#: separator before the reason may be an em/en dash, ``--``, ``-`` or
+#: ``:``.
+PRAGMA_RE = re.compile(
+    r"#\s*analyze:\s*allow\(([a-z0-9-]+)\)"
+    r"(?:\s*(?:—|–|--|-|:)\s*(?P<reason>.*))?\s*$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+@dataclass
+class _Pragma:
+    line: int              # line the pragma comment sits on
+    rule: str
+    reason: str            # "" when the author forgot the reason
+    targets: tuple[int, ...]  # source lines this pragma covers
+    used: bool = False
+
+
+class PragmaTable:
+    """Per-file table of ``# analyze: allow(...)`` suppressions.
+
+    Pragmas are read from real comment tokens (via :mod:`tokenize`), so
+    pragma-shaped text inside string literals or docstrings is ignored.
+    """
+
+    def __init__(self, text: str) -> None:
+        self.pragmas: list[_Pragma] = []
+        lines = text.splitlines()
+        try:
+            tokens = list(tokenize.generate_tokens(
+                iter(text.splitlines(keepends=True)).__next__))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = PRAGMA_RE.search(tok.string)
+            if m is None:
+                continue
+            row, col = tok.start
+            targets = [row]
+            if lines[row - 1][:col].strip() == "":
+                targets.append(row + 1)  # comment-only line: covers next
+            self.pragmas.append(
+                _Pragma(line=row, rule=m.group(1),
+                        reason=(m.group("reason") or "").strip(),
+                        targets=tuple(targets)))
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        hit = False
+        for p in self.pragmas:
+            if p.rule == rule and line in p.targets:
+                p.used = True
+                hit = True
+        return hit
+
+    def engine_findings(self, path: str) -> list[Finding]:
+        out = []
+        for p in self.pragmas:
+            if not p.reason:
+                out.append(Finding(
+                    path=path, line=p.line, rule="pragma-missing-reason",
+                    message=f"allow({p.rule}) pragma must carry a written "
+                            "reason after a dash"))
+            elif not p.used:
+                out.append(Finding(
+                    path=path, line=p.line, rule="unused-pragma",
+                    message=f"allow({p.rule}) pragma suppresses nothing "
+                            "on this line; remove it"))
+        return out
+
+
+@dataclass
+class SourceFile:
+    """A parsed module plus the metadata rules key off."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    pragmas: PragmaTable
+
+    @property
+    def posix(self) -> str:
+        return self.path.as_posix()
+
+    @property
+    def in_src(self) -> bool:
+        return "src" in self.path.parts
+
+    @property
+    def in_tests(self) -> bool:
+        return "tests" in self.path.parts
+
+
+#: A file rule maps one SourceFile to findings.
+FileRule = Callable[[SourceFile], Iterable[Finding]]
+#: A repo rule sees every collected file at once.
+RepoRule = Callable[[Sequence[SourceFile]], Iterable[Finding]]
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.update(f for f in p.rglob("*.py")
+                       if "__pycache__" not in f.parts)
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def _load(path: Path) -> SourceFile | None:
+    try:
+        with tokenize.open(path) as fh:
+            text = fh.read()
+        tree = ast.parse(text, filename=str(path))
+    except (OSError, SyntaxError, UnicodeDecodeError):
+        return None
+    return SourceFile(path=path, text=text, tree=tree,
+                      pragmas=PragmaTable(text))
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    *,
+    file_rules: Sequence[tuple[str, FileRule]] | None = None,
+    repo_rules: Sequence[RepoRule] | None = None,
+) -> list[Finding]:
+    """Run all rules over ``paths`` and return unsuppressed findings.
+
+    Rules default to the full built-in set from
+    :mod:`repro.analyze.rules`.
+    """
+    if file_rules is None or repo_rules is None:
+        from . import rules as _rules
+        if file_rules is None:
+            file_rules = _rules.FILE_RULES
+        if repo_rules is None:
+            repo_rules = _rules.REPO_RULES
+
+    files = [sf for sf in (_load(p) for p in collect_files(paths))
+             if sf is not None]
+    raw: list[Finding] = []
+    for sf in files:
+        for _name, rule in file_rules:
+            raw.extend(rule(sf))
+    for rule in repo_rules:
+        raw.extend(rule(files))
+
+    by_path = {sf.posix: sf for sf in files}
+    findings = []
+    for f in raw:
+        sf = by_path.get(f.path)
+        if sf is not None and sf.pragmas.suppresses(f.rule, f.line):
+            continue
+        findings.append(f)
+    for sf in files:
+        findings.extend(sf.pragmas.engine_findings(sf.posix))
+    return sorted(findings)

@@ -1,0 +1,124 @@
+"""Opt-in runtime sanitizer for the CSR/partition core.
+
+Enabled by setting ``REPRO_SANITIZE=1`` (or ``true``/``yes``/``on``) in
+the environment, or by passing ``--sanitize`` to ``repro lab run``.
+When disabled — the default — every check degrades to a single module
+attribute test at the call site (``if sanitize.ENABLED: ...``), so the
+hot kernels pay effectively nothing.
+
+When enabled, the partitioner/kernel boundaries re-validate the
+structures they hand across:
+
+* :func:`check_csr` — CSR well-formedness (monotone ``ptr`` starting at
+  0, in-range strictly-increasing pins) via the canonical
+  :func:`repro.core.kernels.check_csr` validator;
+* :func:`check_partition` — label vector shape/dtype/range;
+* :func:`check_balance` — per-part weights within the caps (up to the
+  shared :data:`repro.core.tolerance.ATOL`);
+* :func:`check_hyperdag_certificate` — a recognition certificate really
+  certifies acyclicity (re-checked via ``verify_generators``).
+
+Failures raise :class:`repro.errors.SanitizerError`, chained to the
+underlying validation error where one exists.  Worker processes spawned
+by the lab executor inherit the environment variable, so ``--sanitize``
+covers process-parallel runs too.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import SanitizerError
+
+__all__ = [
+    "ENABLED",
+    "refresh",
+    "check_csr",
+    "check_partition",
+    "check_balance",
+    "check_hyperdag_certificate",
+]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def _read_env() -> bool:
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in _TRUTHY
+
+
+#: Whether the sanitizer is active.  Read once at import; call
+#: :func:`refresh` after changing ``REPRO_SANITIZE`` at runtime.
+ENABLED = _read_env()
+
+
+def refresh() -> bool:
+    """Re-read ``REPRO_SANITIZE`` and return the new state."""
+    global ENABLED
+    ENABLED = _read_env()
+    return ENABLED
+
+
+def check_csr(edge_ptr, edge_pins, n: int, *, where: str = "") -> None:
+    """Validate a CSR pair against hypergraph ``n`` (well-formedness)."""
+    if not ENABLED:
+        return
+    from ..core import kernels
+    from ..errors import InvalidHypergraphError
+    try:
+        kernels.check_csr(edge_ptr, edge_pins, n)
+    except InvalidHypergraphError as exc:
+        raise SanitizerError(
+            f"corrupted CSR{' in ' + where if where else ''}: {exc}"
+        ) from exc
+
+
+def check_partition(graph, labels, k: int, *, where: str = "") -> None:
+    """Validate a label vector: length ``graph.n``, integers in [0, k)."""
+    if not ENABLED:
+        return
+    at = f" in {where}" if where else ""
+    arr = np.asarray(labels)
+    if arr.shape != (graph.n,):
+        raise SanitizerError(
+            f"partition{at}: {arr.shape} labels for n={graph.n} nodes")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise SanitizerError(
+            f"partition{at}: non-integer label dtype {arr.dtype}")
+    if arr.size and (arr.min() < 0 or arr.max() >= k):
+        raise SanitizerError(
+            f"partition{at}: labels outside [0, {k}) "
+            f"(min={arr.min()}, max={arr.max()})")
+
+
+def check_balance(graph, labels, caps, *, where: str = "") -> None:
+    """Validate that per-part node weights stay within ``caps``."""
+    if not ENABLED:
+        return
+    from ..core.tolerance import leq
+    caps = np.asarray(caps, dtype=np.float64)
+    weights = np.bincount(np.asarray(labels),
+                          weights=graph.node_weights,
+                          minlength=caps.size)
+    bad = ~leq(weights, caps)
+    if bad.any():
+        p = int(np.argmax(bad))
+        at = f" in {where}" if where else ""
+        raise SanitizerError(
+            f"balance violation{at}: part {p} carries {weights[p]:g} "
+            f"> cap {caps[p]:g}")
+
+
+def check_hyperdag_certificate(graph, generators, *,
+                               where: str = "") -> None:
+    """Validate that a claimed generator assignment certifies a
+    hyperDAG (distinct in-edge generators inducing an acyclic graph)."""
+    if not ENABLED:
+        return
+    from ..core.hyperdag import verify_generators
+    if not verify_generators(graph, tuple(generators)):
+        at = f" in {where}" if where else ""
+        raise SanitizerError(
+            f"invalid hyperDAG certificate{at}: generator assignment "
+            "does not induce an acyclic orientation")

@@ -17,6 +17,10 @@ lab
     Experiment orchestration: ``lab list|run|status|report`` regenerate
     the EXPERIMENTS.md tables via :mod:`repro.lab` (process-parallel,
     cached, journaled).
+analyze
+    Static invariant checks over the codebase (seed discipline, silent
+    excepts, kernel-oracle parity, runner signatures, float tolerance,
+    error hierarchy) via :mod:`repro.analyze`.
 """
 
 from __future__ import annotations
@@ -93,8 +97,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="nonzero density (spmv-random)")
     g.add_argument("--seed", type=int, default=0)
 
+    from .analyze.cli import add_analyze_parser
     from .lab.cli import add_lab_parser
     add_lab_parser(sub)
+    add_analyze_parser(sub)
     return parser
 
 
@@ -234,6 +240,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "lab":
         from .lab.cli import lab_main
         return lab_main(args)
+    if args.command == "analyze":
+        from .analyze.cli import analyze_main
+        return analyze_main(args)
     handlers = {"partition": _partition, "evaluate": _evaluate,
                 "recognize": _recognize, "info": _info,
                 "generate": _generate}

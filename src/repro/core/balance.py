@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import InvalidPartitionError
+from .tolerance import ATOL
 from .partition import Partition, part_sizes
 
 __all__ = [
@@ -44,7 +45,7 @@ def balance_threshold(n: int, k: int, eps: float, relaxed: bool = False) -> int:
     # Snap to an adjacent integer when within floating noise of one, so
     # that e.g. eps=0.5, n=12, k=2 gives exactly 9 rather than 8/10.
     nearest = round(exact)
-    if abs(exact - nearest) < 1e-9 * max(1.0, abs(exact)):
+    if abs(exact - nearest) < ATOL * max(1.0, abs(exact)):
         return int(nearest)
     return int(math.ceil(exact)) if relaxed else int(math.floor(exact))
 

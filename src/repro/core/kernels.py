@@ -414,3 +414,41 @@ def _reference_adjacency(edges, n):
         for v in e:
             out[v].update(e)
     return [tuple(sorted(s - {v})) for v, s in enumerate(out)]
+
+
+def _reference_edge_ids(ptr):
+    """Plain-loop pin→edge-id expansion (``edge_ids_from_ptr`` oracle)."""
+    out: list[int] = []
+    for j in range(len(ptr) - 1):
+        out.extend([j] * int(ptr[j + 1] - ptr[j]))
+    return np.asarray(out, dtype=np.int64)
+
+
+def _reference_gather_rows(ptr, pins, rows):
+    """Plain-loop ragged gather (``gather_rows`` oracle)."""
+    chunks = [pins[int(ptr[r]):int(ptr[r + 1])] for r in rows]
+    new_ptr = np.zeros(len(chunks) + 1, dtype=np.int64)
+    np.cumsum(np.asarray([len(c) for c in chunks], dtype=np.int64),
+              out=new_ptr[1:])
+    if not chunks:
+        return new_ptr, np.zeros(0, dtype=np.int64)
+    return new_ptr, np.concatenate(chunks).astype(np.int64)
+
+
+def _reference_check_csr(ptr, pins, n):
+    """Plain-loop CSR validation (``check_csr`` oracle)."""
+    ptr = np.asarray(ptr)
+    pins = np.asarray(pins)
+    if ptr.ndim != 1 or ptr.size == 0 or int(ptr[0]) != 0 \
+            or int(ptr[-1]) != pins.size:
+        raise InvalidHypergraphError("malformed edge_ptr array")
+    for j in range(ptr.size - 1):
+        if ptr[j + 1] < ptr[j]:
+            raise InvalidHypergraphError("malformed edge_ptr array")
+        row = pins[int(ptr[j]):int(ptr[j + 1])].tolist()
+        for v in row:
+            if v < 0 or v >= n:
+                raise InvalidHypergraphError(f"pins outside [0, {n})")
+        if any(b <= a for a, b in zip(row, row[1:])):
+            raise InvalidHypergraphError(
+                "edge pins are not strictly increasing (unnormalised CSR)")

@@ -1,0 +1,67 @@
+"""Shared numeric tolerances for cost, load, and balance comparisons.
+
+Costs in this library are weighted sums of floats and part loads are
+accumulated node weights, so *exact* float comparison is a correctness
+hazard: two mathematically equal costs can differ in the last ulp
+depending on summation order (serial vs ``n_jobs`` workers, CSR vs
+reference kernels).  Every comparison of cost/load values therefore
+goes through the helpers below — the static-analysis rule
+``float-cost-eq`` (:mod:`repro.analyze`) rejects raw ``==``/``!=``
+on such values in library code.
+
+Two tolerance regimes coexist, matching the historical literals:
+
+* :data:`ATOL` (``1e-9``) — absolute slack for balance-cap and load
+  feasibility checks (``weight <= cap``): node weights are O(1)–O(n),
+  so a fixed absolute slack is appropriate.
+* :data:`GAIN_ATOL` (``1e-12``) — the tighter threshold used by
+  refinement and search loops when comparing *gains* (cost deltas):
+  an improvement smaller than this is noise and must not flip a
+  decision, otherwise FM/KL passes can oscillate forever.
+
+All helpers accept scalars or NumPy arrays (broadcasting like the
+underlying comparison operators).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ATOL",
+    "GAIN_ATOL",
+    "close",
+    "geq",
+    "gt",
+    "leq",
+    "lt",
+]
+
+#: Absolute slack for balance-cap / load-feasibility comparisons.
+ATOL = 1e-9
+
+#: Threshold below which a cost improvement (gain) counts as zero.
+GAIN_ATOL = 1e-12
+
+
+def close(a, b, *, atol: float = ATOL):
+    """``|a - b| <= atol`` — tolerant equality of cost/load values."""
+    return abs(a - b) <= atol
+
+
+def leq(a, b, *, atol: float = ATOL):
+    """``a <= b`` up to ``atol`` (i.e. ``a <= b + atol``)."""
+    return a <= b + atol
+
+
+def geq(a, b, *, atol: float = ATOL):
+    """``a >= b`` up to ``atol`` (i.e. ``a >= b - atol``)."""
+    return a >= b - atol
+
+
+def lt(a, b, *, atol: float = ATOL):
+    """``a < b`` by clearly more than ``atol`` (i.e. ``a < b - atol``)."""
+    return a < b - atol
+
+
+def gt(a, b, *, atol: float = ATOL):
+    """``a > b`` by clearly more than ``atol`` (i.e. ``a > b + atol``)."""
+    return a > b + atol

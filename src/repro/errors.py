@@ -34,3 +34,12 @@ class InfeasibleError(ReproError):
 
 class NotAHyperDAGError(ReproError):
     """Raised when an operation requiring a hyperDAG receives a non-hyperDAG."""
+
+
+class SanitizerError(ReproError):
+    """Raised by :mod:`repro.analyze.sanitize` when an enabled runtime
+    check finds a corrupted structure at a kernel/partitioner boundary.
+
+    Only ever raised when ``REPRO_SANITIZE`` is set; with the sanitizer
+    disabled (the default) the checks are no-ops.
+    """

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
+from ..core.tolerance import GAIN_ATOL, lt
 from ..errors import ProblemTooLargeError
 from .cost import hierarchical_cost
 from .topology import HierarchyTopology
@@ -130,7 +131,7 @@ def brute_force_assignment(
         for leaf, part in enumerate(assignment):
             part_to_leaf[part] = leaf
         c = hierarchical_cost(contracted, part_to_leaf, topology)
-        if c < best_cost - 1e-12:
+        if lt(c, best_cost, atol=GAIN_ATOL):
             best_cost = c
             best = assignment
     assert best is not None

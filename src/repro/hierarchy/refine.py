@@ -18,6 +18,7 @@ import numpy as np
 
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
+from ..core.tolerance import GAIN_ATOL, geq, gt, leq, lt
 from ..partitioners.base import weight_caps
 from .topology import HierarchyTopology
 
@@ -89,7 +90,7 @@ class _HierState:
         w = self.g.node_weights[v]
         best: tuple[float, int] | None = None
         for b in range(self.topo.k):
-            if b == a or self.part_weight[b] + w > caps[b] + 1e-9:
+            if b == a or gt(self.part_weight[b] + w, caps[b]):
                 continue
             d = self.move_delta(v, b)
             if best is None or d < best[0]:
@@ -135,7 +136,7 @@ def hierarchical_fm_refine(
     pass_caps = caps + slack
 
     def feasible() -> bool:
-        return bool(np.all(state.part_weight <= caps + 1e-9))
+        return bool(np.all(leq(state.part_weight, caps)))
 
     start_feasible = feasible()
     tick = count()
@@ -165,7 +166,7 @@ def hierarchical_fm_refine(
             mv = state.best_move(v, pass_caps)
             if mv is None:
                 continue
-            if mv[0] > d + 1e-12:
+            if gt(mv[0], d, atol=GAIN_ATOL):
                 heapq.heappush(heap, (mv[0], next(tick), v))
                 continue
             d, b = mv
@@ -173,7 +174,8 @@ def hierarchical_fm_refine(
             state.apply(v, b)
             locked[v] = True
             cum += d
-            if (feasible() or not start_feasible) and cum < best_cum - 1e-12:
+            if ((feasible() or not start_feasible)
+                    and lt(cum, best_cum, atol=GAIN_ATOL)):
                 best_cum = cum
                 best_len = len(moves)
             for u in neighbours(v):
@@ -183,7 +185,7 @@ def hierarchical_fm_refine(
                         heapq.heappush(heap, (umv[0], next(tick), u))
         for v, prev in reversed(moves[best_len:]):
             state.apply(v, prev)
-        if best_cum >= -1e-12:
+        if geq(best_cum, 0.0, atol=GAIN_ATOL):
             break
     # Swap phase: at tight balance (ε ≈ 0) single moves pass through
     # infeasible states and can stall on ties; pairwise exchanges keep
@@ -200,13 +202,13 @@ def hierarchical_fm_refine(
                     if lv == lu:
                         continue
                     wv, wu = graph.node_weights[v], graph.node_weights[u]
-                    if (state.part_weight[lu] - wu + wv > caps[lu] + 1e-9 or
-                            state.part_weight[lv] - wv + wu > caps[lv] + 1e-9):
+                    if (gt(state.part_weight[lu] - wu + wv, caps[lu]) or
+                            gt(state.part_weight[lv] - wv + wu, caps[lv])):
                         continue
                     d1 = state.move_delta(v, lu)
                     state.apply(v, lu)
                     d2 = state.move_delta(u, lv)
-                    if d1 + d2 < -1e-12:
+                    if lt(d1 + d2, 0.0, atol=GAIN_ATOL):
                         state.apply(u, lv)
                         improved = True
                     else:

@@ -10,9 +10,11 @@ results) instead of aborting it.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
+from ..analyze import sanitize
 from .cache import ResultCache
 from .executor import execute
 from .journal import (
@@ -65,6 +67,10 @@ def add_lab_parser(sub) -> None:
     run.add_argument("--out-dir", default=DEFAULT_OUT_DIR,
                      help=f"journal + results directory "
                           f"(default {DEFAULT_OUT_DIR})")
+    run.add_argument("--sanitize", action="store_true",
+                     help="enable the runtime sanitizer "
+                          "(REPRO_SANITIZE=1) in this process and every "
+                          "worker")
     run.add_argument("-q", "--quiet", action="store_true",
                      help="suppress the rendered tables")
 
@@ -102,6 +108,10 @@ def _lab_list(args) -> int:
 
 
 def _lab_run(args) -> int:
+    if getattr(args, "sanitize", False):
+        # workers inherit the environment, so this covers --jobs > 1 too
+        os.environ["REPRO_SANITIZE"] = "1"
+        sanitize.refresh()
     specs = _select_specs(args)
     tasks = expand_tasks(specs, smoke=args.smoke,
                          timeout_override=args.timeout)

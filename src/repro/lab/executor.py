@@ -103,7 +103,7 @@ def _child_main(payload: dict) -> None:
         try:
             import resource
             rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-        except Exception:
+        except Exception:  # analyze: allow(silent-except) — best-effort metric: resource is POSIX-only and a metrics failure must never fail a finished task
             rss_kb = 0
         atomic_write_json(out, {
             "values": _normalize_tables(result, payload["title"],
@@ -165,7 +165,7 @@ def _terminate(proc: mp.process.BaseProcess) -> None:
         if proc.is_alive():
             proc.kill()
             proc.join(_KILL_GRACE_S)
-    except Exception:
+    except Exception:  # analyze: allow(silent-except) — load-bearing crash isolation: killing an already-dead/zombie worker must not take down the run
         pass
 
 

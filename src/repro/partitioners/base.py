@@ -7,7 +7,9 @@ from typing import Any
 
 import numpy as np
 
+from ..analyze import sanitize
 from ..core.balance import balance_threshold
+from ..core.tolerance import leq
 from ..core.cost import Metric, cost
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
@@ -71,21 +73,23 @@ def rebalance(graph: Hypergraph, labels: np.ndarray,
     weight = np.zeros(k, dtype=np.float64)
     np.add.at(weight, labels, graph.node_weights)
     for p in range(k):
-        if weight[p] <= caps[p] + 1e-9:
+        if leq(weight[p], caps[p]):
             continue
         movers = sorted(np.flatnonzero(labels == p),
                         key=lambda v: graph.node_weights[v])
         for v in movers:
-            if weight[p] <= caps[p] + 1e-9:
+            if leq(weight[p], caps[p]):
                 break
             w = graph.node_weights[v]
             order = sorted(range(k), key=lambda q: weight[q])
             for q in order:
-                if q != p and weight[q] + w <= caps[q] + 1e-9:
+                if q != p and leq(weight[q] + w, caps[q]):
                     labels[v] = q
                     weight[p] -= w
                     weight[q] += w
                     break
+    if sanitize.ENABLED:
+        sanitize.check_partition(graph, labels, k, where="rebalance")
     return labels
 
 

@@ -19,6 +19,7 @@ from ..core.balance import MultiConstraint, balance_threshold
 from ..core.cost import Metric
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
+from ..core.tolerance import ATOL, GAIN_ATOL, geq, gt, leq, lt
 from ..errors import InfeasibleError, ProblemTooLargeError
 from .base import PartitionResult
 
@@ -139,7 +140,7 @@ class _BranchAndBound:
         self.lb -= delta
 
     def _feasible_after(self, v: int, p: int) -> bool:
-        if self.sizes[p] + self.node_w[v] > self.cap + 1e-9:
+        if gt(self.sizes[p] + self.node_w[v], self.cap):
             return False
         s = self.subset_of[v]
         if s >= 0 and self.sub_sizes[s, p] >= self.subset_caps[s]:
@@ -150,7 +151,7 @@ class _BranchAndBound:
         """Remaining nodes must still fit under the caps."""
         remaining = float(self.suffix_weight[depth])
         slack = float((self.cap - self.sizes).sum())
-        if slack + 1e-9 < remaining:
+        if lt(slack, remaining):
             return False
         for j in range(self.num_subsets):
             sub_slack = int((self.subset_caps[j] - self.sub_sizes[j]).sum())
@@ -171,14 +172,15 @@ class _BranchAndBound:
             if self.explored > self.node_limit:
                 raise ProblemTooLargeError(
                     f"branch-and-bound exceeded node_limit={self.node_limit}")
-            if self.lb >= self.best_cost - 1e-12:
+            if geq(self.lb, self.best_cost, atol=GAIN_ATOL):
                 return False
-            if stop_at_target and self.lb > target + 1e-12:
+            if stop_at_target and gt(self.lb, target, atol=GAIN_ATOL):
                 return False
             if depth == n:
                 self.best_cost = self.lb
                 self.best_labels = self.labels.copy()
-                return stop_at_target and self.best_cost <= target + 1e-12
+                return stop_at_target and leq(self.best_cost, target,
+                                               atol=GAIN_ATOL)
             if not self._fit_check(depth):
                 return False
             v = order[depth]
@@ -241,7 +243,7 @@ def exact_partition(
     bb = _BranchAndBound(graph, k, eps, metric, constraints, fixed, relaxed,
                          node_limit, global_balance, use_node_weights)
     if upper_bound is not None:
-        bb.best_cost = upper_bound + 1e-9
+        bb.best_cost = upper_bound + ATOL
     bb.search(target=np.inf, stop_at_target=False)
     if bb.best_labels is None:
         raise InfeasibleError("no feasible partition under the constraints")
@@ -272,7 +274,7 @@ def exact_decision(
                          node_limit, use_node_weights=use_node_weights)
     bb.best_cost = np.inf
     bb.search(target=L, stop_at_target=True)
-    if bb.best_labels is not None and bb.best_cost <= L + 1e-12:
+    if bb.best_labels is not None and leq(bb.best_cost, L, atol=GAIN_ATOL):
         return Partition(bb.best_labels, k)
     return None
 

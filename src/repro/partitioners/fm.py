@@ -18,10 +18,12 @@ from typing import Sequence
 import numpy as np
 
 from .. import instrument
+from ..analyze import sanitize
 from ..core import kernels
 from ..core.cost import Metric
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
+from ..core.tolerance import GAIN_ATOL, geq, gt, leq, lt
 from .base import weight_caps
 
 __all__ = ["fm_refine", "fm_bipartition_refine"]
@@ -91,7 +93,7 @@ class _State:
         """
         a = int(self.labels[v])
         w = self.graph.node_weights[v]
-        feasible = self.part_weight + w <= caps + 1e-9
+        feasible = leq(self.part_weight + w, caps)
         feasible[a] = False
         if not feasible.any():
             return None
@@ -170,7 +172,7 @@ def fm_refine(
     pass_caps = caps + slack
 
     def feasible() -> bool:
-        return bool(np.all(state.part_weight <= caps + 1e-9))
+        return bool(np.all(leq(state.part_weight, caps)))
 
     start_feasible = feasible()
     tick = count()
@@ -195,7 +197,7 @@ def fm_refine(
             mv = state.best_move(v, pass_caps, metric)
             if mv is None:
                 continue
-            if mv[0] > d + 1e-12:
+            if gt(mv[0], d, atol=GAIN_ATOL):
                 heapq.heappush(heap, (mv[0], next(tick), v))
                 continue
             d, b = mv
@@ -204,7 +206,7 @@ def fm_refine(
             locked_now[v] = True
             cum += d
             acceptable = feasible() or not start_feasible
-            if acceptable and cum < best_cum - 1e-12:
+            if acceptable and lt(cum, best_cum, atol=GAIN_ATOL):
                 best_cum = cum
                 best_len = len(moves)
             for u in adjacency[v]:
@@ -215,8 +217,10 @@ def fm_refine(
         # Roll back past the best prefix.
         for v, prev in reversed(moves[best_len:]):
             state.apply(v, prev)
-        if best_cum >= -1e-12:
+        if geq(best_cum, 0.0, atol=GAIN_ATOL):
             break
+    if sanitize.ENABLED:
+        sanitize.check_partition(graph, state.labels, k, where="fm_refine")
     return Partition(state.labels, k)
 
 

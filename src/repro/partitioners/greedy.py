@@ -9,6 +9,7 @@ import numpy as np
 from ..core.cost import Metric
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
+from ..core.tolerance import gt, leq
 from ..errors import InfeasibleError
 from .base import weight_caps
 
@@ -41,7 +42,7 @@ def greedy_sequential_partition(
         w = graph.node_weights[v]
         best_b, best_key = -1, None
         for b in range(k):
-            if part_weight[b] + w > caps[b] + 1e-9:
+            if gt(part_weight[b] + w, caps[b]):
                 continue
             delta = 0.0
             for j in graph.incident_edges(v):
@@ -96,7 +97,7 @@ def bfs_growth_partition(
             if labels[v] != -1:
                 continue
             w = graph.node_weights[v]
-            if part_weight[b] + w > caps[b] + 1e-9:
+            if gt(part_weight[b] + w, caps[b]):
                 continue
             labels[v] = b
             part_weight[b] += w
@@ -118,7 +119,7 @@ def bfs_growth_partition(
         w = graph.node_weights[v]
         placed = False
         for b in sorted(range(k), key=lambda b: part_weight[b]):
-            if part_weight[b] + w <= caps[b] + 1e-9:
+            if leq(part_weight[b] + w, caps[b]):
                 labels[v] = b
                 part_weight[b] += w
                 placed = True

@@ -15,6 +15,7 @@ import numpy as np
 from ..core.cost import Metric
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
+from ..core.tolerance import GAIN_ATOL, gt, lt
 from ..errors import ProblemTooLargeError
 from .base import weight_caps
 from .fm import _State
@@ -61,13 +62,13 @@ def kl_swap_refine(
                 lv, lu = int(state.labels[v]), int(state.labels[u])
                 if lv == lu:
                     continue
-                if (state.part_weight[lu] - w[u] + w[v] > caps[lu] + 1e-9 or
-                        state.part_weight[lv] - w[v] + w[u] > caps[lv] + 1e-9):
+                if (gt(state.part_weight[lu] - w[u] + w[v], caps[lu]) or
+                        gt(state.part_weight[lv] - w[v] + w[u], caps[lv])):
                     continue
                 d1 = state.move_delta(v, lu, metric)
                 state.apply(v, lu)
                 d2 = state.move_delta(u, lv, metric)
-                if d1 + d2 < -1e-12:
+                if lt(d1 + d2, 0.0, atol=GAIN_ATOL):
                     state.apply(u, lv)
                     improved = True
                 else:

@@ -19,10 +19,12 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from .. import instrument
+from ..analyze import sanitize
 from ..core import kernels
 from ..core.cost import Metric, cost
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
+from ..errors import ReproError
 from .base import rebalance, weight_caps
 from .fm import fm_refine
 from .greedy import bfs_growth_partition, greedy_sequential_partition
@@ -88,6 +90,8 @@ def coarsen_step(
     mapping = mapping.astype(np.int64)
     coarse = graph.contract(mapping, num_groups=int(uniq_rep.size))
     coarse = coarse.merge_parallel_edges()
+    if sanitize.ENABLED:
+        sanitize.check_csr(*coarse.csr(), coarse.n, where="coarsen_step")
     return coarse, mapping
 
 
@@ -130,7 +134,10 @@ def _portfolio_candidate(graph, k, eps, metric, caps, kind, seed):
         else:
             p = random_balanced_partition(graph, k, eps, rng=rng,
                                           relaxed=True)
-    except Exception:
+    except ReproError:
+        # a constructive heuristic may legitimately fail on a coarsened
+        # instance (e.g. InfeasibleError under tight caps); the portfolio
+        # simply proceeds with the surviving candidates
         return None
     # count-based constructions can violate *weight* caps on coarsened
     # hypergraphs — repair before refining, since FM only keeps
@@ -238,4 +245,9 @@ def multilevel_partition(
     labels = rebalance(graph, labels, caps)
     labels = fm_refine(graph, labels, k=k, eps=eps, metric=metric,
                        caps=caps).labels.copy()
+    if sanitize.ENABLED:
+        sanitize.check_partition(graph, labels, k,
+                                 where="multilevel_partition")
+        sanitize.check_balance(graph, labels, caps,
+                               where="multilevel_partition")
     return Partition(labels, k)

@@ -17,6 +17,7 @@ from ..core.balance import balance_threshold
 from ..core.cost import Metric
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
+from ..core.tolerance import gt, leq
 from .fm import fm_refine
 from .greedy import greedy_sequential_partition
 
@@ -64,13 +65,13 @@ def default_split(sub: Hypergraph, caps: np.ndarray, metric: Metric,
     side_w = np.array([w[labels == 0].sum(), w[labels == 1].sum()])
     for side in (0, 1):
         other = 1 - side
-        if side_w[side] > caps[side] + 1e-9:
+        if gt(side_w[side], caps[side]):
             movers = sorted(np.flatnonzero(labels == side),
                             key=lambda v: w[v])
             for v in movers:
-                if side_w[side] <= caps[side] + 1e-9:
+                if leq(side_w[side], caps[side]):
                     break
-                if side_w[other] + w[v] <= caps[other] + 1e-9:
+                if leq(side_w[other] + w[v], caps[other]):
                     labels[v] = other
                     side_w[side] -= w[v]
                     side_w[other] += w[v]

@@ -68,8 +68,11 @@ def spectral_order(graph: Hypergraph,
         _, vecs = spla.eigsh(lap, k=2, sigma=-1e-4, which="LM", v0=v0,
                              maxiter=2000)
         fiedler = vecs[:, 1]
-    except Exception:
-        # dense fallback (small n) — robust to convergence failures
+    except (spla.ArpackError, np.linalg.LinAlgError, RuntimeError,
+            ValueError):
+        # ARPACK non-convergence, a singular shift-invert factorisation
+        # (RuntimeError from splu), or k >= n: fall back to the dense
+        # eigensolver, which is robust at the sizes where these occur
         dense = lap.toarray()
         _, vecs = np.linalg.eigh(dense)
         fiedler = vecs[:, 1]

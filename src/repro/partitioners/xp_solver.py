@@ -30,6 +30,7 @@ from ..core.balance import MultiConstraint, balance_threshold
 from ..core.cost import Metric, cost
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
+from ..core.tolerance import GAIN_ATOL, gt, leq
 from ..errors import ProblemTooLargeError
 from .base import PartitionResult
 
@@ -140,7 +141,7 @@ def xp_decision(
     simple = metric == Metric.CUT_NET or k == 2
     for removed in _edge_subsets(m, max_cut, max_subsets):
         est = float(graph.edge_weights[list(removed)].sum()) if removed else 0.0
-        if est > L + 1e-12:
+        if gt(est, L, atol=GAIN_ATOL):
             continue
         comps, touching = _components_after_removal(graph, removed)
         if simple:
@@ -149,7 +150,7 @@ def xp_decision(
             if colours is None:
                 continue
             labels = _labels_from_colours(graph.n, comps, colours)
-            if cost(graph, labels, metric, k=k) <= L + 1e-12:
+            if leq(cost(graph, labels, metric, k=k), L, atol=GAIN_ATOL):
                 return Partition(labels, k)
             continue
         # Connectivity with k >= 3: enumerate allowed-colour subsets per
@@ -164,7 +165,7 @@ def xp_decision(
             cfg_cost = sum(
                 graph.edge_weights[j] * (len(cs) - 1)
                 for j, cs in zip(removed, assignment))
-            if cfg_cost > L + 1e-12:
+            if gt(cfg_cost, L, atol=GAIN_ATOL):
                 continue
             cs_of = dict(zip(removed, assignment))
             allowed = []
@@ -183,7 +184,7 @@ def xp_decision(
             if colours is None:
                 continue
             labels = _labels_from_colours(graph.n, comps, colours)
-            if cost(graph, labels, metric, k=k) <= L + 1e-12:
+            if leq(cost(graph, labels, metric, k=k), L, atol=GAIN_ATOL):
                 return Partition(labels, k)
     return None
 
@@ -221,7 +222,7 @@ def xp_multiconstraint_decision(
         caps.append(balance_threshold(len(subset), k, eps, relaxed=relaxed))
     for removed in _edge_subsets(m, min(m, int(L)), max_subsets):
         est = float(graph.edge_weights[list(removed)].sum()) if removed else 0.0
-        if est > L + 1e-12:
+        if gt(est, L, atol=GAIN_ATOL):
             continue
         comps, _ = _components_after_removal(graph, removed)
         inter = [np.zeros(c, dtype=np.int64) for _ in comps]
@@ -266,7 +267,7 @@ def xp_multiconstraint_decision(
             state = prev
         colours.reverse()
         labels = _labels_from_colours(graph.n, comps, colours)
-        if cost(graph, labels, metric, k=k) <= L + 1e-12:
+        if leq(cost(graph, labels, metric, k=k), L, atol=GAIN_ATOL):
             return Partition(labels, k)
     return None
 

@@ -28,6 +28,7 @@ import numpy as np
 from ..core.balance import balance_threshold
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
+from ..core.tolerance import gt
 from ..errors import ProblemTooLargeError
 from ..hierarchy.topology import HierarchyTopology
 
@@ -223,7 +224,7 @@ def block_respecting_bisection(structure: BlockStructure,
                        dtype=np.int64)
         w0 = float(sizes[lab == 0].sum())
         w1 = float(sizes[lab == 1].sum())
-        if w0 > caps[0] + 1e-9 or w1 > caps[1] + 1e-9:
+        if gt(w0, caps[0]) or gt(w1, caps[1]):
             continue
         from ..core.cost import connectivity_cost
         c = connectivity_cost(contracted, lab, 2)

@@ -15,6 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.dag import DAG
+from ..core.tolerance import leq
 from .list_scheduler import list_schedule_fixed_partition
 from .optimal import fixed_makespan, optimal_makespan
 
@@ -37,7 +38,7 @@ def schedule_based_feasible(
     if mu is None:
         mu = optimal_makespan(dag, k)
     mup = fixed_makespan(dag, labels, k, **kwargs)
-    return mup <= (1.0 + eps) * mu + 1e-9
+    return bool(leq(mup, (1.0 + eps) * mu))
 
 
 def schedule_based_feasible_heuristic(
@@ -53,4 +54,4 @@ def schedule_based_feasible_heuristic(
     if mu is None:
         mu = optimal_makespan(dag, k)
     ub = list_schedule_fixed_partition(dag, labels, k).makespan
-    return ub <= (1.0 + eps) * mu + 1e-9
+    return bool(leq(ub, (1.0 + eps) * mu))

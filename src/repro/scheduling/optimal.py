@@ -185,6 +185,7 @@ def exact_schedule(dag: DAG, k: int, max_nodes: int = 20,
         step -= 1
     sched = Schedule(procs, times, k)
     assert sched.is_valid(dag)
+    # analyze: allow(float-cost-eq) — exact integer equality: makespans here are int64 step counts, no float arithmetic
     assert sched.makespan == t
     return sched
 
@@ -364,6 +365,7 @@ def chain_fixed_schedule(dag: DAG, labels: Sequence[int] | np.ndarray, k: int,
         step -= 1
     sched = Schedule(arr.copy(), times, k)
     assert sched.is_valid(dag)
+    # analyze: allow(float-cost-eq) — exact integer equality: makespans here are int64 step counts, no float arithmetic
     assert sched.makespan == t
     return sched
 

@@ -1,0 +1,19 @@
+"""Tier-1 gate: the committed tree is analyze-clean.
+
+If this test fails, either fix the violation or add a
+``# analyze: allow(<rule>) — <reason>`` pragma with a written reason.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analyze import analyze_paths
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_is_analyze_clean():
+    findings = analyze_paths([ROOT / "src", ROOT / "tests",
+                              ROOT / "benchmarks"])
+    assert not findings, "\n" + "\n".join(f.render() for f in findings)

@@ -1,0 +1,225 @@
+"""Negative-case tests: every analyze rule demonstrably fires, and the
+pragma machinery (reason required, unused detection) works."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analyze import analyze_paths
+
+
+def write(root: Path, rel: str, text: str) -> Path:
+    p = root / rel
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(text)
+    return p
+
+
+def rules_of(findings) -> list[str]:
+    return sorted(f.rule for f in findings)
+
+
+class TestSeedDiscipline:
+    def test_global_rng_calls_fire(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py",
+                  "import numpy as np\n"
+                  "def f():\n"
+                  "    np.random.shuffle([1, 2])\n"
+                  "    return np.random.rand()\n")
+        assert rules_of(analyze_paths([p])) == ["seed-discipline"] * 2
+
+    def test_stdlib_random_fires_when_imported(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py",
+                  "import random\n"
+                  "def f():\n"
+                  "    random.seed(0)\n"
+                  "    return random.randint(0, 3)\n")
+        assert rules_of(analyze_paths([p])) == ["seed-discipline"] * 2
+
+    def test_explicit_generator_is_clean(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py",
+                  "import numpy as np\n"
+                  "def f(seed):\n"
+                  "    rng = np.random.default_rng(seed)\n"
+                  "    return rng.random()\n")
+        assert analyze_paths([p]) == []
+
+    def test_scoped_to_src(self, tmp_path):
+        p = write(tmp_path, "tests/test_mod.py",
+                  "import numpy as np\n"
+                  "def f():\n"
+                  "    np.random.shuffle([1, 2])\n")
+        assert analyze_paths([p]) == []
+
+
+class TestSilentExcept:
+    BAD = ("def f():\n"
+           "    try:\n"
+           "        1 / 0\n"
+           "    except Exception:\n"
+           "        pass\n")
+
+    def test_swallowed_exception_fires(self, tmp_path):
+        p = write(tmp_path, "pkg/mod.py", self.BAD)
+        assert rules_of(analyze_paths([p])) == ["silent-except"]
+
+    def test_bare_except_fires(self, tmp_path):
+        p = write(tmp_path, "pkg/mod.py",
+                  self.BAD.replace("except Exception:", "except:"))
+        assert rules_of(analyze_paths([p])) == ["silent-except"]
+
+    def test_reraise_is_clean(self, tmp_path):
+        p = write(tmp_path, "pkg/mod.py",
+                  self.BAD.replace("pass", "raise"))
+        assert analyze_paths([p]) == []
+
+    def test_logging_is_clean(self, tmp_path):
+        p = write(tmp_path, "pkg/mod.py",
+                  "import logging\n"
+                  + self.BAD.replace("pass", "logging.warning('x')"))
+        assert analyze_paths([p]) == []
+
+    def test_narrow_except_is_clean(self, tmp_path):
+        p = write(tmp_path, "pkg/mod.py",
+                  self.BAD.replace("except Exception:",
+                                   "except ValueError:"))
+        assert analyze_paths([p]) == []
+
+
+class TestFloatCostEq:
+    def test_cost_equality_fires(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py",
+                  "def f(cost, other):\n"
+                  "    return cost == other\n")
+        assert rules_of(analyze_paths([p])) == ["float-cost-eq"]
+
+    def test_gain_inequality_fires(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py",
+                  "def f(best_gain, d):\n"
+                  "    return best_gain != d\n")
+        assert rules_of(analyze_paths([p])) == ["float-cost-eq"]
+
+    def test_tolerance_helpers_are_clean(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py",
+                  "from repro.core.tolerance import close, leq\n"
+                  "def f(cost, other):\n"
+                  "    return close(cost, other) or leq(cost, other)\n")
+        assert analyze_paths([p]) == []
+
+    def test_scoped_to_src(self, tmp_path):
+        p = write(tmp_path, "tests/test_mod.py",
+                  "def f(cost):\n"
+                  "    assert cost == 1.0\n")
+        assert analyze_paths([p]) == []
+
+
+class TestErrorHierarchy:
+    ERRORS = ("class ReproError(Exception):\n    pass\n"
+              "class InvalidHypergraphError(ReproError):\n    pass\n")
+
+    def test_orphan_error_fires(self, tmp_path):
+        write(tmp_path, "src/repro/errors.py", self.ERRORS)
+        bad = write(tmp_path, "src/repro/other.py",
+                    "class CorruptionError(ValueError):\n    pass\n")
+        fs = analyze_paths([tmp_path / "src"])
+        assert rules_of(fs) == ["error-hierarchy"]
+        assert fs[0].path == bad.as_posix()
+
+    def test_derived_error_is_clean(self, tmp_path):
+        write(tmp_path, "src/repro/errors.py", self.ERRORS)
+        write(tmp_path, "src/repro/other.py",
+              "from .errors import InvalidHypergraphError\n"
+              "class BadPinError(InvalidHypergraphError):\n    pass\n")
+        assert analyze_paths([tmp_path / "src"]) == []
+
+
+class TestKernelOracle:
+    def test_missing_twin_and_untested_kernel_fire(self, tmp_path):
+        write(tmp_path, "src/repro/core/kernels.py",
+              "def foo(x):\n    return x\n"
+              "def _reference_foo(x):\n    return x\n"
+              "def bar(x):\n    return x\n")
+        write(tmp_path, "tests/test_k.py",
+              "from repro.core.kernels import foo\n")
+        fs = analyze_paths([tmp_path / "src", tmp_path / "tests"])
+        assert rules_of(fs) == ["kernel-oracle"] * 2
+        assert all("'bar'" in f.message for f in fs)
+
+    def test_twin_plus_test_is_clean(self, tmp_path):
+        write(tmp_path, "src/repro/core/kernels.py",
+              "def foo(x):\n    return x\n"
+              "def _reference_foo(x):\n    return x\n")
+        write(tmp_path, "tests/test_k.py",
+              "from repro.core.kernels import foo\n")
+        assert analyze_paths([tmp_path / "src", tmp_path / "tests"]) == []
+
+
+class TestRunnerSignature:
+    SPEC = ("register(ExperimentSpec(name='X', module='bench_x',\n"
+            "                        func='run_x', check='check_x'))\n")
+
+    def test_positional_seed_fires(self, tmp_path):
+        write(tmp_path, "src/repro/lab/experiments.py", self.SPEC)
+        write(tmp_path, "benchmarks/bench_x.py",
+              "def run_x(seed):\n    return []\n"
+              "def check_x(rows):\n    pass\n")
+        fs = analyze_paths([tmp_path / "src"])
+        assert rules_of(fs) == ["runner-signature"]
+        assert "keyword-only" in fs[0].message
+
+    def test_missing_check_fires(self, tmp_path):
+        write(tmp_path, "src/repro/lab/experiments.py", self.SPEC)
+        write(tmp_path, "benchmarks/bench_x.py",
+              "def run_x(*, seed=0):\n    return []\n")
+        fs = analyze_paths([tmp_path / "src"])
+        assert rules_of(fs) == ["runner-signature"]
+        assert "check_x" in fs[0].message
+
+    def test_conforming_runner_is_clean(self, tmp_path):
+        write(tmp_path, "src/repro/lab/experiments.py", self.SPEC)
+        write(tmp_path, "benchmarks/bench_x.py",
+              "def run_x(*, seed=0, n=10):\n    return []\n"
+              "def check_x(rows):\n    pass\n")
+        assert analyze_paths([tmp_path / "src"]) == []
+
+
+class TestPragmas:
+    BAD = TestSilentExcept.BAD
+
+    def test_pragma_with_reason_suppresses(self, tmp_path):
+        p = write(tmp_path, "pkg/mod.py", self.BAD.replace(
+            "except Exception:",
+            "except Exception:  # analyze: allow(silent-except) — "
+            "test fixture"))
+        assert analyze_paths([p]) == []
+
+    def test_pragma_without_reason_is_flagged(self, tmp_path):
+        p = write(tmp_path, "pkg/mod.py", self.BAD.replace(
+            "except Exception:",
+            "except Exception:  # analyze: allow(silent-except)"))
+        assert rules_of(analyze_paths([p])) == ["pragma-missing-reason"]
+
+    def test_unused_pragma_is_flagged(self, tmp_path):
+        p = write(tmp_path, "pkg/mod.py",
+                  "x = 1  # analyze: allow(silent-except) — nothing here\n")
+        assert rules_of(analyze_paths([p])) == ["unused-pragma"]
+
+    def test_comment_line_pragma_covers_next_line(self, tmp_path):
+        p = write(tmp_path, "pkg/mod.py", self.BAD.replace(
+            "    except Exception:",
+            "    # analyze: allow(silent-except) — covers next line\n"
+            "    except Exception:"))
+        assert analyze_paths([p]) == []
+
+    def test_pragma_in_string_literal_is_ignored(self, tmp_path):
+        p = write(tmp_path, "pkg/mod.py",
+                  "x = '# analyze: allow(silent-except) — not a comment'\n")
+        assert analyze_paths([p]) == []
+
+    def test_wrong_rule_pragma_does_not_suppress(self, tmp_path):
+        p = write(tmp_path, "pkg/mod.py", self.BAD.replace(
+            "except Exception:",
+            "except Exception:  # analyze: allow(seed-discipline) — "
+            "wrong rule"))
+        assert rules_of(analyze_paths([p])) == ["silent-except",
+                                                "unused-pragma"]

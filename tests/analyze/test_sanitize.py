@@ -1,0 +1,118 @@
+"""Runtime sanitizer: raises on corrupted structures when enabled,
+no-ops when disabled, and rides along partitioner/recognition paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analyze import sanitize
+from repro.core import hyperdag_from_dag, recognize
+from repro.core.hypergraph import Hypergraph
+from repro.errors import SanitizerError
+from repro.generators import butterfly_dag, planted_partition_hypergraph
+from repro.partitioners import multilevel_partition
+from repro.partitioners.base import weight_caps
+
+
+@pytest.fixture
+def sanitizer_on(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sanitize.refresh()
+    yield
+    monkeypatch.undo()
+    sanitize.refresh()
+
+
+@pytest.fixture
+def sanitizer_off(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    sanitize.refresh()
+    yield
+    monkeypatch.undo()
+    sanitize.refresh()
+
+
+BAD_CSR = (np.array([0, 2, 1]), np.array([0, 1]), 3)
+
+
+class TestToggle:
+    def test_disabled_by_default_env(self, sanitizer_off):
+        assert sanitize.ENABLED is False
+
+    @pytest.mark.parametrize("value,expect", [
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("0", False), ("", False), ("off", False),
+    ])
+    def test_truthy_parsing(self, monkeypatch, value, expect):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert sanitize.refresh() is expect
+        monkeypatch.undo()
+        sanitize.refresh()
+
+
+class TestDisabledIsNoOp:
+    def test_all_checks_accept_garbage(self, sanitizer_off):
+        g = Hypergraph(3, [(0, 1)])
+        sanitize.check_csr(*BAD_CSR)
+        sanitize.check_partition(g, np.array([9, 9, 9]), 2)
+        sanitize.check_balance(g, np.zeros(3, np.int64), np.array([0.5, 0.5]))
+        sanitize.check_hyperdag_certificate(g, (0,))
+
+
+class TestEnabledChecks:
+    def test_corrupt_csr_raises(self, sanitizer_on):
+        with pytest.raises(SanitizerError, match="corrupted CSR"):
+            sanitize.check_csr(*BAD_CSR)
+
+    @pytest.mark.parametrize("ptr,pins", [
+        (np.array([0, 2]), np.array([1, 1])),    # duplicate pins
+        (np.array([0, 2]), np.array([1, 0])),    # unsorted row
+        (np.array([0, 1]), np.array([7])),       # out-of-range pin
+    ])
+    def test_more_corrupt_csr_variants(self, sanitizer_on, ptr, pins):
+        with pytest.raises(SanitizerError):
+            sanitize.check_csr(ptr, pins, 3)
+
+    def test_valid_csr_passes(self, sanitizer_on):
+        g = Hypergraph(4, [(0, 1, 2), (2, 3)])
+        sanitize.check_csr(*g.csr(), g.n)
+
+    def test_partition_shape_dtype_range(self, sanitizer_on):
+        g = Hypergraph(3, [(0, 1, 2)])
+        sanitize.check_partition(g, np.array([0, 1, 0]), 2)
+        with pytest.raises(SanitizerError, match="labels for n="):
+            sanitize.check_partition(g, np.array([0, 1]), 2)
+        with pytest.raises(SanitizerError, match="dtype"):
+            sanitize.check_partition(g, np.array([0.0, 1.0, 0.0]), 2)
+        with pytest.raises(SanitizerError, match="outside"):
+            sanitize.check_partition(g, np.array([0, 1, 2]), 2)
+
+    def test_balance_violation_raises(self, sanitizer_on):
+        g = Hypergraph(4, [(0, 1), (2, 3)])
+        labels = np.zeros(4, dtype=np.int64)
+        with pytest.raises(SanitizerError, match="balance violation"):
+            sanitize.check_balance(g, labels, np.array([2.0, 2.0]))
+        sanitize.check_balance(g, np.array([0, 0, 1, 1]),
+                               np.array([2.0, 2.0]))
+
+    def test_bad_certificate_raises(self, sanitizer_on):
+        h, gens = hyperdag_from_dag(butterfly_dag(2))
+        sanitize.check_hyperdag_certificate(h, gens)
+        bad = (gens[0],) * len(gens)  # duplicated generator
+        with pytest.raises(SanitizerError, match="certificate"):
+            sanitize.check_hyperdag_certificate(h, bad)
+
+
+class TestIntegration:
+    def test_multilevel_runs_clean_under_sanitizer(self, sanitizer_on):
+        g, _ = planted_partition_hypergraph(60, 3, 150, 8, rng=5)
+        part = multilevel_partition(g, 3, eps=0.1, rng=5)
+        # the returned partition survives its own boundary checks
+        sanitize.check_partition(g, part.labels, 3)
+        sanitize.check_balance(g, part.labels,
+                               weight_caps(g, 3, 0.1, relaxed=True))
+
+    def test_recognize_verifies_certificate(self, sanitizer_on):
+        h, _ = hyperdag_from_dag(butterfly_dag(3))
+        assert recognize(h) is not None

@@ -201,3 +201,46 @@ class TestWeightedEquivalence:
                                 edge_weights=g.edge_weights)
         assert h == g
         assert hash(h) == hash(g)
+
+
+class TestRaggedHelpers:
+    """gather_rows / edge_ids_from_ptr / check_csr vs their oracles."""
+
+    @given(hypergraphs(), st.randoms(use_true_random=False))
+    def test_gather_rows_matches_reference(self, g: Hypergraph, rnd):
+        ptr, pins = g.csr()
+        m = g.num_edges
+        rows = np.array([rnd.randrange(m)
+                         for _ in range(rnd.randint(0, 2 * m))]
+                        if m else [], dtype=np.int64)
+        ref_ptr, ref_pins = kernels._reference_gather_rows(ptr, pins, rows)
+        got_ptr, got_pins = kernels.gather_rows(ptr, pins, rows)
+        assert np.array_equal(ref_ptr, got_ptr)
+        assert np.array_equal(ref_pins, got_pins)
+
+    @given(hypergraphs())
+    def test_edge_ids_match_reference(self, g: Hypergraph):
+        ptr, _ = g.csr()
+        ref = kernels._reference_edge_ids(ptr)
+        got = kernels.edge_ids_from_ptr(ptr)
+        assert np.array_equal(ref, got)
+
+    @given(hypergraphs())
+    def test_check_csr_accepts_what_reference_accepts(self, g: Hypergraph):
+        ptr, pins = g.csr()
+        kernels.check_csr(ptr, pins, g.n)
+        kernels._reference_check_csr(ptr, pins, g.n)
+
+    @pytest.mark.parametrize("ptr,pins,n", [
+        (np.array([0, 2]), np.array([1, 0]), 3),    # unsorted row
+        (np.array([0, 2]), np.array([1, 1]), 3),    # duplicate pin
+        (np.array([0, 3]), np.array([0, 1]), 3),    # ptr overshoots pins
+        (np.array([0, 2, 1]), np.array([0, 1]), 3),  # non-monotone ptr
+        (np.array([0, 1]), np.array([5]), 3),       # out-of-range pin
+        (np.array([1, 2]), np.array([0, 1]), 3),    # ptr[0] != 0
+    ])
+    def test_check_csr_rejects_like_reference(self, ptr, pins, n):
+        with pytest.raises(InvalidHypergraphError):
+            kernels.check_csr(ptr, pins, n)
+        with pytest.raises(InvalidHypergraphError):
+            kernels._reference_check_csr(ptr, pins, n)

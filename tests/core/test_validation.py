@@ -1,0 +1,93 @@
+"""Coverage for :mod:`repro.core.validation` and CSR edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MultiConstraint, validate_partition
+from repro.core import kernels
+from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Partition
+from repro.errors import InvalidHypergraphError
+
+
+class TestValidatePartition:
+    def test_good_partition_report(self):
+        g = Hypergraph(4, [(0, 1), (1, 2), (2, 3)])
+        report = validate_partition(g, [0, 0, 1, 1], eps=0.0)
+        assert report.ok
+        assert report.n == 4 and report.k == 2
+        assert report.sizes == (2, 2)
+        assert report.balanced
+        assert report.connectivity == 1.0 and report.cut_net == 1.0
+        assert "partition: n=4 k=2" in report.summary()
+
+    def test_k_inferred_from_labels(self):
+        g = Hypergraph(3, [(0, 1, 2)])
+        report = validate_partition(g, [0, 1, 2], eps=2.0, relaxed=True)
+        assert report.k == 3
+
+    def test_wrong_length_label_vector(self):
+        g = Hypergraph(4, [(0, 1)])
+        report = validate_partition(g, [0, 1], eps=0.0)
+        assert not report.ok
+        assert report.problems and "length" in report.problems[0]
+        assert "PROBLEM" in report.summary()
+
+    def test_partition_object_with_wrong_n(self):
+        g = Hypergraph(4, [(0, 1)])
+        part = Partition(np.array([0, 1], dtype=np.int64), 2)
+        report = validate_partition(g, part, eps=0.0)
+        assert not report.ok
+        assert any("covers 2 nodes" in p for p in report.problems)
+
+    def test_imbalance_detected(self):
+        g = Hypergraph(4, [(0, 1), (2, 3)])
+        report = validate_partition(g, [0, 0, 0, 1], eps=0.0)
+        assert not report.balanced and not report.ok
+
+    def test_constraint_violations_reported(self):
+        g = Hypergraph(4, [(0, 1), (2, 3)])
+        mc = MultiConstraint([[0, 1, 2]])
+        report = validate_partition(g, [0, 0, 0, 1], eps=0.0,
+                                    constraints=mc)
+        assert report.constraint_violations
+        assert "VIOLATION" in report.summary()
+
+    def test_balanced_constrained_partition_ok(self):
+        g = Hypergraph(4, [(0, 1), (2, 3)])
+        mc = MultiConstraint([[0, 1, 2, 3]])
+        report = validate_partition(g, [0, 1, 0, 1], eps=0.0,
+                                    constraints=mc)
+        assert report.ok
+
+
+class TestCheckCsrEdgeCases:
+    def test_empty_hypergraph(self):
+        kernels.check_csr(np.array([0], dtype=np.int64),
+                          np.zeros(0, dtype=np.int64), 0)
+
+    def test_edgeless_hypergraph_with_nodes(self):
+        kernels.check_csr(np.array([0], dtype=np.int64),
+                          np.zeros(0, dtype=np.int64), 5)
+
+    def test_all_empty_edges(self):
+        kernels.check_csr(np.array([0, 0, 0, 0], dtype=np.int64),
+                          np.zeros(0, dtype=np.int64), 2)
+
+    @pytest.mark.parametrize("ptr,pins,n", [
+        ([0, 2], [1, 1], 3),        # duplicate pins in one edge
+        ([0, 2], [0, 5], 3),        # out-of-range pin
+        ([0, 2, 1], [0, 1], 3),     # non-monotone ptr
+        ([0, 1], [0, 1], 3),        # ptr[-1] != len(pins)
+        ([], [], 0),                # empty ptr is malformed
+    ])
+    def test_corrupted_structures_raise(self, ptr, pins, n):
+        with pytest.raises(InvalidHypergraphError):
+            kernels.check_csr(np.asarray(ptr, dtype=np.int64),
+                              np.asarray(pins, dtype=np.int64), n)
+
+    def test_from_csr_validates(self):
+        with pytest.raises(InvalidHypergraphError):
+            Hypergraph.from_csr(3, np.array([0, 2]), np.array([1, 1]))
