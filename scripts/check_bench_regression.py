@@ -1,16 +1,26 @@
 #!/usr/bin/env python
-"""Guard against kernel performance regressions.
+"""Guard against performance regressions, per suite.
 
-Re-runs the microbenchmarks from ``benchmarks/bench_kernels.py`` on the
-exact instance sizes recorded in the committed baseline
-(``benchmarks/BENCH_kernels.json``) and compares the vectorised-kernel
-timings. Exits nonzero if any kernel is more than ``--tolerance``
-(default 25%, or the ``REPRO_BENCH_TOLERANCE`` environment variable)
-slower than its baseline time.
+``--suite kernels`` (default)
+    Re-runs the microbenchmarks from ``benchmarks/bench_kernels.py`` on
+    the exact instance sizes recorded in the committed baseline
+    (``benchmarks/BENCH_kernels.json``) and compares the
+    vectorised-kernel timings.  Fails if any kernel is more than
+    ``--tolerance`` slower than its baseline time.
+``--suite serve``
+    Re-runs the ``repro serve`` load harness
+    (``benchmarks/bench_serve_load.py``) at the committed baseline's
+    configuration (``benchmarks/BENCH_serve.json``) and enforces the
+    serving acceptance bars — batched speedup >= 3x, cache-hit p50
+    < 5 ms, 429s shed under overload, accepted p99 <= 2x baseline p99
+    — plus batched throughput within ``--tolerance`` of the baseline.
+``--suite all``
+    Both.
 
 Run::
 
     python scripts/check_bench_regression.py
+    python scripts/check_bench_regression.py --suite serve
     python scripts/check_bench_regression.py --tolerance 0.5 --repeats 9
     REPRO_BENCH_TOLERANCE=0.75 python scripts/check_bench_regression.py
 
@@ -39,6 +49,7 @@ for p in (ROOT / "src", ROOT / "benchmarks"):
 import bench_kernels  # noqa: E402
 
 DEFAULT_BASELINE = ROOT / "benchmarks" / "BENCH_kernels.json"
+DEFAULT_SERVE_BASELINE = ROOT / "benchmarks" / "BENCH_serve.json"
 
 
 def compare(baseline: dict, fresh: dict, threshold: float,
@@ -75,10 +86,88 @@ def compare(baseline: dict, fresh: dict, threshold: float,
     return failures
 
 
+def compare_serve(baseline: dict, fresh: dict,
+                  threshold: float) -> list[str]:
+    """Failure messages for the serving suite.
+
+    Two kinds of check: the absolute acceptance bars the serving layer
+    was built to (batching pays, cache is instant, overload sheds
+    without wrecking accepted latency), and a relative throughput
+    comparison against the committed baseline.
+    """
+    s = fresh["summary"]
+    failures: list[str] = []
+    bars = [
+        (f"batched speedup {s['batched_speedup']}x (>= 3x)",
+         s["batched_speedup"] >= 3.0),
+        (f"cache-hit p50 {s['cache_hit_p50_ms']}ms (< 5ms)",
+         s["cache_hit_p50_ms"] < 5.0),
+        (f"overload sheds {s['overload_shed_429']} x 429 (> 0)",
+         s["overload_shed_429"] > 0),
+        (f"overload p99 ratio {s['overload_p99_ratio']}x (<= 2x)",
+         s["overload_p99_ratio"] <= 2.0),
+    ]
+    for label, ok in bars:
+        print(f"  bar: {label:<42} {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(f"acceptance bar failed: {label}")
+    base_t = baseline["batched"]["throughput_jps"]
+    fresh_t = fresh["batched"]["throughput_jps"]
+    ratio = fresh_t / max(base_t, 1e-9)
+    slow = ratio < 1 - threshold
+    print(f"  batched throughput: baseline {base_t:.1f} jps  "
+          f"now {fresh_t:.1f} jps  ({ratio:.2f}x) "
+          f"{'SLOW' if slow else 'ok'}")
+    if slow:
+        failures.append(
+            f"batched throughput {fresh_t:.1f} jps is {ratio:.2f}x the "
+            f"baseline {base_t:.1f} jps (< {1 - threshold:.2f}x allowed)")
+    return failures
+
+
+def _load_baseline(path: Path, generator: str) -> dict | None:
+    if not path.exists():
+        print(f"error: baseline not found at {path}; generate it "
+              f"with: PYTHONPATH=src python benchmarks/{generator}",
+              file=sys.stderr)
+        return None
+    return json.loads(path.read_text())
+
+
+def run_kernels_suite(args, tolerance: float) -> list[str] | None:
+    baseline = _load_baseline(Path(args.baseline), "bench_kernels.py")
+    if baseline is None:
+        return None
+    sizes = [(c["n"], c["m"]) for c in baseline["cases"]]
+    fresh = bench_kernels.run(sizes, args.repeats, with_parallel=False)
+    return compare(baseline, fresh, tolerance,
+                   abs_margin_s=args.abs_margin_ms * 1e-3)
+
+
+def run_serve_suite(args, tolerance: float) -> list[str] | None:
+    import bench_serve_load
+    baseline = _load_baseline(Path(args.serve_baseline),
+                              "bench_serve_load.py")
+    if baseline is None:
+        return None
+    cfg = baseline.get("config", {})
+    fresh = bench_serve_load.run(cfg.get("jobs", 300),
+                                 cfg.get("clients", 32),
+                                 cfg.get("workers", 2), quiet=True)
+    print("serve load harness (fresh run vs committed baseline)")
+    return compare_serve(baseline, fresh, tolerance)
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--suite", choices=("kernels", "serve", "all"),
+                    default="kernels",
+                    help="which benchmark suite(s) to gate on")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
-                    help="committed baseline JSON to compare against")
+                    help="committed kernels baseline JSON")
+    ap.add_argument("--serve-baseline",
+                    default=str(DEFAULT_SERVE_BASELINE),
+                    help="committed serve baseline JSON")
     ap.add_argument("--tolerance", "--threshold", type=float,
                     dest="tolerance", default=None,
                     help="allowed fractional slowdown (0.25 = 25%%); "
@@ -93,27 +182,24 @@ def main(argv=None) -> int:
     if tolerance is None:
         tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25"))
 
-    baseline_path = Path(args.baseline)
-    if not baseline_path.exists():
-        print(f"error: baseline not found at {baseline_path}; generate it "
-              "with: PYTHONPATH=src python benchmarks/bench_kernels.py",
-              file=sys.stderr)
-        return 2
-    baseline = json.loads(baseline_path.read_text())
-
-    sizes = [(c["n"], c["m"]) for c in baseline["cases"]]
-    fresh = bench_kernels.run(sizes, args.repeats, with_parallel=False)
-
-    failures = compare(baseline, fresh, tolerance,
-                       abs_margin_s=args.abs_margin_ms * 1e-3)
-    if failures:
-        print(f"\nFAIL: {len(failures)} kernel(s) regressed beyond "
-              f"{tolerance:.0%}:", file=sys.stderr)
-        for f in failures:
-            print(f"  {f}", file=sys.stderr)
-        return 1
-    print(f"\nOK: all kernels within {tolerance:.0%} of baseline")
-    return 0
+    suites = (("kernels", "serve") if args.suite == "all"
+              else (args.suite,))
+    failed = False
+    for suite in suites:
+        runner = (run_kernels_suite if suite == "kernels"
+                  else run_serve_suite)
+        failures = runner(args, tolerance)
+        if failures is None:
+            return 2
+        if failures:
+            failed = True
+            print(f"\nFAIL [{suite}]: {len(failures)} regression(s):",
+                  file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+        else:
+            print(f"\nOK [{suite}]: within {tolerance:.0%} of baseline")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

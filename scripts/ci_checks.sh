@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Single CI entry point: tier-1 tests, the lab smoke tier, and
-# (optionally) the kernel perf-regression gate.
+# Single CI entry point: tier-1 tests, the lab smoke tier, the serve
+# smoke tier, and (optionally) the perf-regression gates.
 #
 # Usage:
 #   scripts/ci_checks.sh            # tests + lab smoke
@@ -53,9 +53,15 @@ echo
 echo "== lab smoke tier (repro lab run --smoke) =="
 python -m repro lab run --smoke -j "$JOBS" -q --out-dir .lab
 
+echo
+echo "== serve smoke tier (repro serve --self-check) =="
+serve_cache="$(mktemp -d)"
+trap 'rm -rf "$serve_cache"' EXIT
+python -m repro serve --self-check --cache-dir "$serve_cache"
+
 if [ "$run_bench" = 1 ]; then
     echo
-    echo "== kernel perf-regression gate (benchcheck) =="
+    echo "== perf-regression gates (benchcheck: kernels + serve) =="
     python -m pytest -m benchcheck -q
 fi
 

@@ -25,12 +25,17 @@ rule id                   invariant
 ``error-hierarchy``       every ``*Error`` class in :mod:`repro` derives from
                           :class:`repro.errors.ReproError`, so callers can
                           catch one base class.
+``serve-timeout``         every ``await`` in the serving layer goes through
+                          the ``with_deadline`` wrapper or is an allowlisted
+                          pure-I/O primitive — no handler can block forever
+                          on a solver future.
 ========================  ====================================================
 
 Scoping: ``seed-discipline``, ``float-cost-eq`` and ``error-hierarchy``
 apply to library code (files under ``src/``) — tests may intentionally
 seed globals or compare exact integer-valued costs.  ``silent-except``
-applies everywhere.  The repo rules anchor on their subject file
+applies everywhere.  ``serve-timeout`` applies only to files under
+``src/repro/serve/``.  The repo rules anchor on their subject file
 (``core/kernels.py`` / ``lab/experiments.py``) and only run when it is
 part of the analyzed set.
 """
@@ -173,6 +178,57 @@ def rule_float_cost_eq(sf: SourceFile) -> Iterable[Finding]:
                 path=sf.posix, line=node.lineno, rule="float-cost-eq",
                 message="raw ==/!= on a cost/gain value; use "
                         "repro.core.tolerance (close/leq/geq/lt/gt)")
+
+
+# ---------------------------------------------------------------------------
+# serve-timeout (R7)
+# ---------------------------------------------------------------------------
+
+#: Pure-I/O awaits and lifecycle transitions that cannot block on solver
+#: work.  Everything else — solver futures, ``wait_for``, ``gather``,
+#: ``to_thread`` — must flow through ``with_deadline`` so a request can
+#: never outlive its budget.
+_SERVE_AWAIT_OK = {
+    "sleep", "drain", "wait_closed", "read", "readline", "readexactly",
+    "readuntil", "serve_forever", "start_serving", "get", "put", "join",
+    "acquire", "accept", "start", "stop",
+}
+
+
+def _callee_name(func: ast.AST) -> str:
+    """Terminal name of a call target (handles ``X(...).method``)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def rule_serve_timeout(sf: SourceFile) -> Iterable[Finding]:
+    parts = sf.path.parts
+    if not ("src" in parts and "serve" in parts):
+        return
+    # Awaiting an async def *from this file* is transitively safe: its
+    # own awaits are subject to this very rule.
+    local_async = {n.name for n in ast.walk(sf.tree)
+                   if isinstance(n, ast.AsyncFunctionDef)}
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Await):
+            continue
+        value = node.value
+        if isinstance(value, ast.Call):
+            name = _callee_name(value.func)
+            if (name == "with_deadline" or name in _SERVE_AWAIT_OK
+                    or name in local_async):
+                continue
+            what = f"await of '{_dotted(value.func) or name or '?'}()'"
+        else:
+            what = "bare await of a non-call expression"
+        yield Finding(
+            path=sf.posix, line=node.lineno, rule="serve-timeout",
+            message=f"{what} in the serving layer; route it through "
+                    "with_deadline(...) so the request budget applies, "
+                    "or add an allow(serve-timeout) pragma with a reason")
 
 
 # ---------------------------------------------------------------------------
@@ -349,6 +405,7 @@ FILE_RULES = [
     ("seed-discipline", rule_seed_discipline),
     ("silent-except", rule_silent_except),
     ("float-cost-eq", rule_float_cost_eq),
+    ("serve-timeout", rule_serve_timeout),
 ]
 
 REPO_RULES = [

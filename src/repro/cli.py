@@ -20,7 +20,11 @@ lab
 analyze
     Static invariant checks over the codebase (seed discipline, silent
     excepts, kernel-oracle parity, runner signatures, float tolerance,
-    error hierarchy) via :mod:`repro.analyze`.
+    error hierarchy, serve-timeout) via :mod:`repro.analyze`.
+serve / submit / jobs
+    Online partitioning service (:mod:`repro.serve`): ``serve`` runs the
+    HTTP server (micro-batching, backpressure, shared result cache);
+    ``submit`` sends one job; ``jobs`` lists/polls/cancels jobs.
 """
 
 from __future__ import annotations
@@ -84,10 +88,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     g = sub.add_parser("generate",
                        help="generate a workload as an .hgr file")
-    g.add_argument("kind", choices=["random", "planted", "spmv-random",
-                                    "spmv-banded", "spmv-laplacian2d",
-                                    "spmv-blockdiag", "hyperdag-fft",
-                                    "hyperdag-stencil", "grid-gadget"])
+    from .generators.factory import WORKLOAD_KINDS
+    g.add_argument("kind", choices=list(WORKLOAD_KINDS))
     g.add_argument("output", help="output .hgr path")
     g.add_argument("-n", type=int, default=100,
                    help="size parameter (nodes / grid side / stages)")
@@ -99,8 +101,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     from .analyze.cli import add_analyze_parser
     from .lab.cli import add_lab_parser
+    from .serve.cli import add_serve_parser
     add_lab_parser(sub)
     add_analyze_parser(sub)
+    add_serve_parser(sub)
     return parser
 
 
@@ -193,42 +197,11 @@ def _info(args) -> int:
 
 
 def _generate(args) -> int:
+    from .generators import make_workload
     from .io import write_hgr
 
-    n, seed = args.n, args.seed
-    if args.kind == "random":
-        from .generators import random_hypergraph
-        graph = random_hypergraph(n, int(1.5 * n), rng=seed)
-    elif args.kind == "planted":
-        from .generators import planted_partition_hypergraph
-        graph, _ = planted_partition_hypergraph(
-            n, args.k, 3 * n, max(1, n // 10), rng=seed)
-    elif args.kind == "spmv-random":
-        from .generators import random_sparse_pattern, spmv_fine_grain
-        graph = spmv_fine_grain(random_sparse_pattern(n, n, args.density,
-                                                      rng=seed))
-    elif args.kind == "spmv-banded":
-        from .generators import banded_pattern, spmv_fine_grain
-        graph = spmv_fine_grain(banded_pattern(n, 2))
-    elif args.kind == "spmv-laplacian2d":
-        from .generators import laplacian_2d_pattern, spmv_fine_grain
-        graph = spmv_fine_grain(laplacian_2d_pattern(n))
-    elif args.kind == "spmv-blockdiag":
-        from .generators import block_diagonal_pattern, spmv_fine_grain
-        graph = spmv_fine_grain(block_diagonal_pattern(
-            args.k, max(2, n // args.k), coupling=max(1, n // 10),
-            rng=seed))
-    elif args.kind == "hyperdag-fft":
-        from .core import hyperdag_from_dag
-        from .generators import butterfly_dag
-        graph, _ = hyperdag_from_dag(butterfly_dag(n))
-    elif args.kind == "hyperdag-stencil":
-        from .core import hyperdag_from_dag
-        from .generators import stencil_1d_dag
-        graph, _ = hyperdag_from_dag(stencil_1d_dag(n, max(2, n // 4)))
-    else:  # grid-gadget
-        from .generators import grid_gadget
-        graph = grid_gadget(n)
+    graph = make_workload(args.kind, n=args.n, k=args.k,
+                          density=args.density, seed=args.seed)
     write_hgr(graph, args.output)
     print(f"wrote {args.kind}: n={graph.n} m={graph.num_edges} "
           f"pins={graph.num_pins} Δ={graph.max_degree} -> {args.output}")
@@ -243,6 +216,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "analyze":
         from .analyze.cli import analyze_main
         return analyze_main(args)
+    if args.command in ("serve", "submit", "jobs"):
+        from .serve.cli import serve_main
+        return serve_main(args)
     handlers = {"partition": _partition, "evaluate": _evaluate,
                 "recognize": _recognize, "info": _info,
                 "generate": _generate}

@@ -36,6 +36,42 @@ class NotAHyperDAGError(ReproError):
     """Raised when an operation requiring a hyperDAG receives a non-hyperDAG."""
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` subsystem."""
+
+
+class ServeProtocolError(ServeError):
+    """Raised when a job request payload is malformed or unsupported."""
+
+
+class QueueFullError(ServeError):
+    """Raised when the serve admission queue is at capacity.
+
+    The HTTP layer maps this to ``429 Too Many Requests`` with a
+    ``Retry-After`` header: the server sheds load instead of growing an
+    unbounded backlog.
+    """
+
+
+class DeadlineExceededError(ServeError):
+    """Raised when a request's deadline expires before its result is ready.
+
+    Used both by the cooperative :func:`repro.serve.jobs.with_deadline`
+    wrapper (awaiting side) and by the worker pool when it kills a
+    dispatch whose job overran its budget (executing side).
+    """
+
+
+class JobNotFoundError(ServeError):
+    """Raised when a job id is unknown to the server (or already purged)."""
+
+
+class ServeClientError(ServeError):
+    """Raised by :mod:`repro.serve.client` when the server returns an error
+    response that is not a backpressure signal (those raise
+    :class:`QueueFullError` so callers can back off and retry)."""
+
+
 class SanitizerError(ReproError):
     """Raised by :mod:`repro.analyze.sanitize` when an enabled runtime
     check finds a corrupted structure at a kernel/partitioner boundary.

@@ -11,6 +11,7 @@ from .gadgets import (
     strong_block,
     two_level_block,
 )
+from .factory import WORKLOAD_KINDS, make_workload
 from .matrices import (
     arrow_pattern,
     banded_pattern,
@@ -42,6 +43,8 @@ __all__ = [
     "BoundMode",
     "ConstraintPadding",
     "SparsePattern",
+    "WORKLOAD_KINDS",
+    "make_workload",
     "arrow_pattern",
     "banded_pattern",
     "block",

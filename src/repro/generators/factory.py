@@ -1,0 +1,81 @@
+"""Named workload factory shared by the CLI and the serving layer.
+
+``repro generate`` (offline, writes an ``.hgr`` file) and ``repro.serve``
+(online, builds the instance inside a worker) accept the same workload
+names; this module is the single dispatch point so the two entry points
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from ..core.hypergraph import Hypergraph
+from ..errors import ServeProtocolError
+
+__all__ = ["WORKLOAD_KINDS", "make_workload"]
+
+WORKLOAD_KINDS = (
+    "random",
+    "planted",
+    "spmv-random",
+    "spmv-banded",
+    "spmv-laplacian2d",
+    "spmv-blockdiag",
+    "hyperdag-fft",
+    "hyperdag-stencil",
+    "grid-gadget",
+)
+
+
+def make_workload(kind: str, *, n: int = 100, k: int = 4,
+                  density: float = 0.05, seed: int = 0) -> Hypergraph:
+    """Build the named workload hypergraph.
+
+    ``n`` is the size parameter (nodes / grid side / stages), ``k`` the
+    number of planted parts (``planted`` / ``spmv-blockdiag`` only),
+    ``density`` the nonzero density (``spmv-random`` only).
+    """
+    n, k, seed = int(n), int(k), int(seed)
+    if n <= 0:
+        raise ServeProtocolError(f"workload size n must be positive, got {n}")
+    if k <= 0:
+        raise ServeProtocolError(f"workload parts k must be positive, got {k}")
+    if kind == "random":
+        from .random_hypergraphs import random_hypergraph
+        return random_hypergraph(n, int(1.5 * n), rng=seed)
+    if kind == "planted":
+        from .random_hypergraphs import planted_partition_hypergraph
+        graph, _ = planted_partition_hypergraph(
+            n, k, 3 * n, max(1, n // 10), rng=seed)
+        return graph
+    if kind == "spmv-random":
+        from .spmv import random_sparse_pattern, spmv_fine_grain
+        return spmv_fine_grain(random_sparse_pattern(n, n, float(density),
+                                                     rng=seed))
+    if kind == "spmv-banded":
+        from .matrices import banded_pattern
+        from .spmv import spmv_fine_grain
+        return spmv_fine_grain(banded_pattern(n, 2))
+    if kind == "spmv-laplacian2d":
+        from .matrices import laplacian_2d_pattern
+        from .spmv import spmv_fine_grain
+        return spmv_fine_grain(laplacian_2d_pattern(n))
+    if kind == "spmv-blockdiag":
+        from .matrices import block_diagonal_pattern
+        from .spmv import spmv_fine_grain
+        return spmv_fine_grain(block_diagonal_pattern(
+            k, max(2, n // k), coupling=max(1, n // 10), rng=seed))
+    if kind == "hyperdag-fft":
+        from ..core import hyperdag_from_dag
+        from .workloads import butterfly_dag
+        graph, _ = hyperdag_from_dag(butterfly_dag(n))
+        return graph
+    if kind == "hyperdag-stencil":
+        from ..core import hyperdag_from_dag
+        from .workloads import stencil_1d_dag
+        graph, _ = hyperdag_from_dag(stencil_1d_dag(n, max(2, n // 4)))
+        return graph
+    if kind == "grid-gadget":
+        from .gadgets import grid_gadget
+        return grid_gadget(n)
+    raise ServeProtocolError(
+        f"unknown workload kind {kind!r}; known: {', '.join(WORKLOAD_KINDS)}")

@@ -1,5 +1,12 @@
 """File formats (hMETIS-compatible hypergraphs and partition files)."""
 
-from .hmetis import read_hgr, read_partition, write_hgr, write_partition
+from .hmetis import (
+    parse_hgr,
+    read_hgr,
+    read_partition,
+    write_hgr,
+    write_partition,
+)
 
-__all__ = ["read_hgr", "read_partition", "write_hgr", "write_partition"]
+__all__ = ["parse_hgr", "read_hgr", "read_partition", "write_hgr",
+           "write_partition"]

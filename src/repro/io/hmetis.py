@@ -20,9 +20,10 @@ import numpy as np
 
 from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
-from ..errors import InvalidHypergraphError
+from ..errors import InvalidHypergraphError, InvalidPartitionError
 
-__all__ = ["write_hgr", "read_hgr", "write_partition", "read_partition"]
+__all__ = ["write_hgr", "read_hgr", "parse_hgr", "write_partition",
+           "read_partition"]
 
 
 def _has_nondefault(arr: np.ndarray) -> bool:
@@ -58,39 +59,101 @@ def write_hgr(graph: Hypergraph, path: str | Path) -> None:
     Path(path).write_text(out.getvalue())
 
 
-def read_hgr(path: str | Path, name: str = "") -> Hypergraph:
-    """Read an hMETIS ``.hgr`` file."""
-    lines = [ln.strip() for ln in Path(path).read_text().splitlines()]
-    lines = [ln for ln in lines if ln and not ln.startswith("%")]
+def parse_hgr(text: str, name: str = "") -> Hypergraph:
+    """Parse hMETIS ``.hgr`` *text* (tolerant of real-world files).
+
+    Accepted beyond the strict format: ``%`` comment lines (anywhere),
+    CRLF line endings, a UTF-8 BOM, leading/trailing whitespace, tab
+    separators, and blank lines (anywhere, including between content
+    lines — some exporters emit them).  Every malformed construct
+    raises :class:`InvalidHypergraphError` with the offending 1-based
+    physical line number — never a bare ``ValueError`` traceback, which
+    matters because the serving layer accepts ``.hgr`` uploads from
+    untrusted clients.
+    """
+    if text.startswith("\ufeff"):
+        text = text[1:]
+    lines: list[tuple[int, str]] = []          # (physical line no, content)
+    for no, raw in enumerate(text.splitlines(), start=1):
+        ln = raw.strip()
+        if ln and not ln.startswith("%"):
+            lines.append((no, ln))
     if not lines:
         raise InvalidHypergraphError("empty hgr file")
-    header = lines[0].split()
+
+    def _int(tok: str, what: str, no: int) -> int:
+        try:
+            return int(tok)
+        except ValueError:
+            raise InvalidHypergraphError(
+                f"line {no}: {what} {tok!r} is not an integer") from None
+
+    def _weight(tok: str, what: str, no: int) -> float:
+        try:
+            w = float(tok)
+        except ValueError:
+            raise InvalidHypergraphError(
+                f"line {no}: {what} {tok!r} is not a number") from None
+        if not w >= 0 or w != w or w == float("inf"):
+            raise InvalidHypergraphError(
+                f"line {no}: {what} must be finite and nonnegative, "
+                f"got {tok!r}")
+        return w
+
+    hno, htxt = lines[0]
+    header = htxt.split()
     if len(header) not in (2, 3):
-        raise InvalidHypergraphError(f"bad header: {lines[0]!r}")
-    m, n = int(header[0]), int(header[1])
+        raise InvalidHypergraphError(f"line {hno}: bad header: {htxt!r}")
+    m = _int(header[0], "hyperedge count", hno)
+    n = _int(header[1], "node count", hno)
+    if m < 0 or n < 0:
+        raise InvalidHypergraphError(
+            f"line {hno}: negative counts in header: {htxt!r}")
     fmt = header[2] if len(header) == 3 else "0"
-    edge_w = fmt in ("1", "11")
+    if fmt not in ("0", "00", "1", "01", "10", "11"):
+        raise InvalidHypergraphError(
+            f"line {hno}: unknown fmt code {fmt!r} (expected 1, 10 or 11)")
+    edge_w = fmt in ("1", "01", "11")
     node_w = fmt in ("10", "11")
-    if len(lines) < 1 + m + (n if node_w else 0):
-        raise InvalidHypergraphError("truncated hgr file")
+    expected = 1 + m + (n if node_w else 0)
+    if len(lines) < expected:
+        raise InvalidHypergraphError(
+            f"truncated hgr file: header promises {m} hyperedge line(s)"
+            + (f" and {n} node-weight line(s)" if node_w else "")
+            + f", found {len(lines) - 1} content line(s)")
+    if len(lines) > expected:
+        no, extra = lines[expected]
+        raise InvalidHypergraphError(
+            f"line {no}: trailing content after the last expected line: "
+            f"{extra!r}")
     edges = []
     weights = []
     for j in range(m):
-        parts = lines[1 + j].split()
+        no, ln = lines[1 + j]
+        parts = ln.split()
         if edge_w:
-            weights.append(float(parts[0]))
+            weights.append(_weight(parts[0], "hyperedge weight", no))
             parts = parts[1:]
-        pins = [int(x) - 1 for x in parts]
+        pins = [_int(x, "pin", no) - 1 for x in parts]
         if any(not 0 <= v < n for v in pins):
-            raise InvalidHypergraphError(f"pin out of range on line {j + 2}")
+            raise InvalidHypergraphError(f"line {no}: pin out of range "
+                                         f"1..{n}")
         edges.append(tuple(pins))
     node_weights = None
     if node_w:
-        node_weights = [float(lines[1 + m + i]) for i in range(n)]
+        node_weights = [_weight(lines[1 + m + i][1], "node weight",
+                                lines[1 + m + i][0])
+                        for i in range(n)]
     return Hypergraph(n, edges,
                       node_weights=node_weights,
                       edge_weights=weights if edge_w else None,
-                      name=name or Path(path).stem)
+                      name=name)
+
+
+def read_hgr(path: str | Path, name: str = "") -> Hypergraph:
+    """Read an hMETIS ``.hgr`` file (see :func:`parse_hgr` for dialect)."""
+    return parse_hgr(Path(path).read_text(),
+                     name=name or Path(path).stem)
 
 
 def write_partition(partition: Partition, path: str | Path) -> None:
@@ -101,7 +164,15 @@ def write_partition(partition: Partition, path: str | Path) -> None:
 
 def read_partition(path: str | Path, k: int | None = None) -> Partition:
     """Read a partition file; ``k`` defaults to ``max(label) + 1``."""
-    labels = [int(ln) for ln in Path(path).read_text().split()]
+    labels = []
+    for no, tok in enumerate(Path(path).read_text().split(), start=1):
+        try:
+            labels.append(int(tok))
+        except ValueError:
+            raise InvalidPartitionError(
+                f"partition entry {no}: {tok!r} is not an integer") from None
+    if any(v < 0 for v in labels):
+        raise InvalidPartitionError("partition labels must be >= 0")
     arr = np.asarray(labels, dtype=np.int64)
     if k is None:
         k = int(arr.max()) + 1 if arr.size else 1

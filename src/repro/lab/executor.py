@@ -40,7 +40,8 @@ from .cache import ResultCache, atomic_write_json, jsonify
 from .journal import RunJournal
 from .spec import Task, resolve_callable
 
-__all__ = ["TaskResult", "execute"]
+__all__ = ["TaskResult", "execute", "mp_context", "reap_process",
+           "terminate_process"]
 
 _POLL_S = 0.01
 _KILL_GRACE_S = 0.5
@@ -124,9 +125,17 @@ def _child_main(payload: dict) -> None:
 # Parent side
 # ---------------------------------------------------------------------------
 
-def _mp_context():
+def mp_context():
+    """Preferred multiprocessing context (``fork`` when available).
+
+    Shared with :mod:`repro.serve.pool`, which runs its batch workers
+    through the same context so serving and lab runs behave identically.
+    """
     methods = mp.get_all_start_methods()
     return mp.get_context("fork" if "fork" in methods else methods[0])
+
+
+_mp_context = mp_context  # legacy alias
 
 
 @dataclass
@@ -158,15 +167,40 @@ def _spawn(ctx, task: Task, outfile: Path, errfile: Path,
                     started=time.perf_counter(), attempts=attempts)
 
 
-def _terminate(proc: mp.process.BaseProcess) -> None:
+def reap_process(proc: mp.process.BaseProcess) -> None:
+    """Release a *finished* worker's OS resources (sentinel fd, handle).
+
+    Without this, every timed-out task leaked a process object until
+    interpreter exit — visible as zombie children and "leaked semaphore"
+    warnings under repeated timeouts.  ``close()`` raises if the process
+    is still alive, so callers must join first.
+    """
+    try:
+        proc.close()
+    except Exception:  # analyze: allow(silent-except) — best-effort cleanup: double-close or a still-racing child must never take down the run
+        pass
+
+
+def terminate_process(proc: mp.process.BaseProcess) -> None:
+    """Terminate, fully reap, and close one worker process.
+
+    SIGTERM with a grace period, then SIGKILL with an *unbounded* join:
+    after SIGKILL the child is guaranteed to exit, and joining without a
+    timeout is what actually reaps the zombie (the old bounded join
+    could give up and strand it).
+    """
     try:
         proc.terminate()
         proc.join(_KILL_GRACE_S)
         if proc.is_alive():
             proc.kill()
-            proc.join(_KILL_GRACE_S)
+            proc.join()
     except Exception:  # analyze: allow(silent-except) — load-bearing crash isolation: killing an already-dead/zombie worker must not take down the run
         pass
+    reap_process(proc)
+
+
+_terminate = terminate_process  # legacy alias
 
 
 def _read_result(run: _Running) -> TaskResult | None:
@@ -267,7 +301,7 @@ def execute(
                 elapsed = time.perf_counter() - run.started
                 if run.proc.is_alive():
                     if elapsed >= run.task.spec.timeout_s:
-                        _terminate(run.proc)
+                        terminate_process(run.proc)
                         emit(TaskResult(task=run.task, status="timeout",
                                         duration_s=elapsed,
                                         attempts=run.attempts,
@@ -279,6 +313,7 @@ def execute(
                     continue
                 run.proc.join()
                 res = _read_result(run)
+                reap_process(run.proc)
                 if res is None:  # retry a transient crash
                     still.append(_spawn(ctx, run.task, run.outfile,
                                         run.errfile, run.attempts + 1))
@@ -287,7 +322,7 @@ def execute(
             running = still
     except BaseException:
         for run in running:
-            _terminate(run.proc)
+            terminate_process(run.proc)
         if journal is not None:
             journal.record("run_interrupted",
                            completed=len(results), total=len(tasks))

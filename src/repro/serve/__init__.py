@@ -1,0 +1,42 @@
+"""repro.serve — online partitioning/scheduling service.
+
+An asyncio HTTP service over the same solver and cache layers the lab
+executor uses: micro-batched dispatch onto a bounded process-worker
+pool, explicit backpressure (bounded admission queue → 429 +
+Retry-After), per-request deadlines with worker-kill enforcement, and
+content-addressed result caching shared with ``.lab-cache/`` (so a
+server restart never recomputes finished work).
+
+Layering (each importable on its own):
+
+- :mod:`repro.serve.protocol` — request schema, validation, cache keys
+- :mod:`repro.serve.runner`   — in-worker solve dispatch
+- :mod:`repro.serve.pool`     — micro-batched process dispatch
+- :mod:`repro.serve.jobs`     — admission queue, batching, deadlines
+- :mod:`repro.serve.metrics`  — counters / gauges / latency quantiles
+- :mod:`repro.serve.server`   — HTTP/1.1 front end
+- :mod:`repro.serve.client`   — blocking Python client
+- :mod:`repro.serve.cli`      — ``repro serve|submit|jobs``
+"""
+
+from .client import ServeClient, graph_payload
+from .jobs import Job, JobManager, with_deadline
+from .metrics import Metrics
+from .protocol import JobRequest, parse_job_request
+from .runner import job_key
+from .server import ServeConfig, Server, run_server
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "JobRequest",
+    "Metrics",
+    "ServeClient",
+    "ServeConfig",
+    "Server",
+    "graph_payload",
+    "job_key",
+    "parse_job_request",
+    "run_server",
+    "with_deadline",
+]

@@ -1,0 +1,113 @@
+"""Service metrics: counters, gauges, and latency quantiles.
+
+Pure stdlib, lock-free (the event loop is single-threaded; worker
+counters arrive via job results, not shared memory).  Rendered in the
+Prometheus text exposition format at ``/metrics`` and as JSON inside
+``/healthz``.  Latencies are kept in a bounded ring buffer so memory
+stays constant under unbounded traffic; p50/p99 are computed over the
+window on demand.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Mapping
+
+__all__ = ["Metrics"]
+
+_LATENCY_WINDOW = 4096
+
+
+def _percentile(values: list[float], p: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 for an empty window)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(p / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class Metrics:
+    """Mutable metric registry for one server instance."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.worker_counters: dict[str, float] = {}
+        self.latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self.gauges: dict[str, Callable[[], float]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, by: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latencies.append(float(seconds))
+
+    def merge_worker_counters(self, counters: Mapping[str, float]) -> None:
+        """Fold one job's :mod:`repro.instrument` snapshot into totals."""
+        for name, value in counters.items():
+            self.worker_counters[name] = (
+                self.worker_counters.get(name, 0) + value)
+
+    def register_gauge(self, name: str, fn: Callable[[], float]) -> None:
+        self.gauges[name] = fn
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def latency_quantiles(self) -> dict[str, float]:
+        window = list(self.latencies)
+        return {
+            "p50": _percentile(window, 50),
+            "p99": _percentile(window, 99),
+            "count": float(len(window)),
+        }
+
+    def cache_hit_rate(self) -> float:
+        hits = self.counters.get("cache_hits", 0)
+        misses = self.counters.get("cache_misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-able view of everything (used by tests and /healthz)."""
+        return {
+            "counters": dict(self.counters),
+            "worker_counters": dict(self.worker_counters),
+            "gauges": {name: fn() for name, fn in self.gauges.items()},
+            "latency": self.latency_quantiles(),
+            "cache_hit_rate": self.cache_hit_rate(),
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text format (counters, gauges, quantile gauges)."""
+        lines: list[str] = []
+
+        def emit(name: str, value: float, help_: str = "",
+                 kind: str = "counter") -> None:
+            if help_:
+                lines.append(f"# HELP {name} {help_}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {value:g}")
+
+        for name in sorted(self.counters):
+            emit(f"repro_serve_{name}_total", self.counters[name])
+        for name in sorted(self.gauges):
+            emit(f"repro_serve_{name}", self.gauges[name](), kind="gauge")
+        q = self.latency_quantiles()
+        emit("repro_serve_request_latency_p50_seconds", q["p50"],
+             "p50 latency of completed requests (bounded window)", "gauge")
+        emit("repro_serve_request_latency_p99_seconds", q["p99"],
+             "p99 latency of completed requests (bounded window)", "gauge")
+        emit("repro_serve_cache_hit_rate", self.cache_hit_rate(),
+             "fraction of jobs answered from the content-addressed cache",
+             "gauge")
+        for name in sorted(self.worker_counters):
+            lines.append("# TYPE repro_serve_worker_counter counter")
+            lines.append(
+                f'repro_serve_worker_counter{{name="{name}"}} '
+                f"{self.worker_counters[name]:g}")
+        return "\n".join(lines) + "\n"

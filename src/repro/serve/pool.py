@@ -1,0 +1,224 @@
+"""Micro-batched process dispatch for the serving layer.
+
+One dispatch = one worker process running a *batch* of jobs
+sequentially (earliest deadline first) and writing one result file per
+job, atomically, straight into the content-addressed cache — the same
+filesystem worker protocol as :mod:`repro.lab.executor`, whose
+``mp_context`` / ``terminate_process`` / ``atomic_write_json``
+primitives this module reuses.  The consequences are load-bearing:
+
+* **amortised overhead** — process start + poll rounding costs are paid
+  once per batch, not once per job, which is where the batched
+  throughput win on small jobs comes from;
+* **streaming results** — the parent resolves each member as its file
+  appears, so a small job coalesced with slower siblings does not wait
+  for the whole batch;
+* **crash recovery for free** — results written before a server kill
+  are ordinary cache entries; an identical resubmission after restart
+  is a cache hit, not a recompute;
+* **deadline enforcement by kill** — a member past its deadline gets
+  the whole worker killed (cooperative cancellation has no place to
+  hook into a busy solver loop); already-written siblings are
+  harvested, unexpired unfinished siblings are reported ``lost`` so the
+  manager can requeue them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from .. import instrument
+from ..lab.cache import atomic_write_json
+from ..lab.executor import mp_context, reap_process, terminate_process
+
+__all__ = ["BatchMember", "MemberOutcome", "run_batch"]
+
+_POLL_S = 0.004
+
+
+@dataclass
+class BatchMember:
+    """One job inside a dispatch."""
+
+    key: str
+    seed: int
+    params: Mapping
+    outfile: Path
+    errfile: Path
+    deadline_mono: float | None     # time.monotonic() deadline, None = no cap
+
+
+@dataclass
+class MemberOutcome:
+    """What happened to one member, as seen by the parent."""
+
+    status: str                     # "ok" | "error" | "timeout" | "lost"
+    payload: dict | None = None     # worker-written result file content
+    error: str | None = None
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def _batch_main(payload: dict) -> None:
+    """Run every job in the batch; one atomic result file per job.
+
+    A job that raises writes its traceback to the job's error file and
+    the loop continues — per-job failure containment *inside* a batch.
+    The solver import happens here (worker side) so a fork-started
+    child reuses the parent's warm modules.
+    """
+    from .runner import solve
+
+    for job in payload["jobs"]:
+        out = Path(job["outfile"])
+        err = Path(job["errfile"])
+        try:
+            instrument.reset()
+            t0 = time.perf_counter()
+            result = solve(seed=job["seed"], **job["params"])
+            duration = time.perf_counter() - t0
+            try:
+                import resource
+                rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            except Exception:  # analyze: allow(silent-except) — best-effort metric: resource is POSIX-only and a metrics failure must never fail a finished job
+                rss_kb = 0
+            atomic_write_json(out, {
+                "values": result,
+                "duration_s": round(duration, 6),
+                "peak_rss_kb": int(rss_kb),
+                "counters": instrument.snapshot(),
+            })
+        except BaseException:
+            try:
+                atomic_write_json(err, {"error": traceback.format_exc()})
+            except BaseException:  # analyze: allow(silent-except) — the error channel itself failed (disk full / kill); exiting nonzero is the only signal left
+                os._exit(1)
+    os._exit(0)
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+def _harvest(member: BatchMember) -> MemberOutcome | None:
+    """Turn a member's on-disk files into an outcome (None = not done)."""
+    import json
+
+    if member.outfile.exists():
+        try:
+            payload = json.loads(member.outfile.read_text())
+        except ValueError:
+            payload = None              # torn read: worker mid-replace
+        if payload is not None and "values" in payload:
+            return MemberOutcome(status="ok", payload=payload)
+    if member.errfile.exists():
+        try:
+            error = json.loads(member.errfile.read_text()).get("error")
+        except ValueError:
+            error = None
+        if error is not None:
+            try:
+                member.errfile.unlink()
+            except OSError:
+                pass
+            return MemberOutcome(status="error", error=error)
+    return None
+
+
+async def run_batch(
+    members: Sequence[BatchMember],
+    *,
+    on_outcome: Callable[[BatchMember, MemberOutcome], None],
+    poll_s: float = _POLL_S,
+) -> None:
+    """Dispatch ``members`` to one worker process and stream outcomes.
+
+    ``on_outcome`` fires exactly once per member, in completion order.
+    Cancellation (server shutdown) kills the worker and reports every
+    unresolved member as ``lost``.
+    """
+    if not members:
+        return
+    ordered = sorted(
+        members,
+        key=lambda m: (m.deadline_mono is None,
+                       m.deadline_mono if m.deadline_mono is not None
+                       else 0.0))
+    payload = {"jobs": [{"seed": m.seed, "params": dict(m.params),
+                         "outfile": str(m.outfile),
+                         "errfile": str(m.errfile)} for m in ordered]}
+    for m in ordered:
+        m.outfile.parent.mkdir(parents=True, exist_ok=True)
+        m.errfile.parent.mkdir(parents=True, exist_ok=True)
+    ctx = mp_context()
+    proc = ctx.Process(target=_batch_main, args=(payload,), daemon=True)
+    proc.start()
+    pending = list(ordered)
+
+    def sweep() -> None:
+        nonlocal pending
+        still: list[BatchMember] = []
+        for m in pending:
+            outcome = _harvest(m)
+            if outcome is not None:
+                on_outcome(m, outcome)
+            else:
+                still.append(m)
+        pending = still
+
+    def fail_rest(expired: set[str]) -> None:
+        sweep()                      # last chance: files written pre-kill
+        for m in pending:
+            if m.key in expired:
+                on_outcome(m, MemberOutcome(
+                    status="timeout", error="deadline exceeded in worker"))
+            else:
+                on_outcome(m, MemberOutcome(
+                    status="lost",
+                    error="dispatch aborted before this job ran"))
+        pending.clear()
+
+    try:
+        while pending:
+            sweep()
+            if not pending:
+                break
+            now = time.monotonic()
+            expired = {m.key for m in pending
+                       if m.deadline_mono is not None
+                       and now >= m.deadline_mono}
+            if expired:
+                terminate_process(proc)
+                fail_rest(expired)
+                return
+            if not proc.is_alive():
+                proc.join()
+                exitcode = proc.exitcode
+                reap_process(proc)
+                sweep()
+                for m in pending:
+                    on_outcome(m, MemberOutcome(
+                        status="error",
+                        error=f"worker exited with code {exitcode} "
+                              "and no result"))
+                pending.clear()
+                return
+            await asyncio.sleep(poll_s)
+        # all members resolved; reap the worker (it exits right after
+        # its last write, so the grace path in terminate is rarely hit)
+        terminate_process(proc)
+    except asyncio.CancelledError:
+        terminate_process(proc)
+        fail_rest(set())
+        raise
+    except BaseException:
+        terminate_process(proc)
+        raise

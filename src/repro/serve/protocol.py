@@ -1,0 +1,252 @@
+"""Job request schema, validation, and content addressing.
+
+A job request is a JSON object::
+
+    {
+      "op":        "partition" | "schedule" | "recognize",
+      "graph":     {"hgr": "<hMETIS text>"}
+                 | {"n": 4, "edges": [[0,1],[1,2,3]],
+                    "node_weights": [...]?, "edge_weights": [...]?}
+                 | {"csr": {"n": 4, "ptr": [0,2,5], "pins": [0,1,1,2,3]}}
+                 | {"generator": {"kind": "random", "n": 100, "k": 4,
+                                  "density": 0.05, "seed": 0}},
+      "k":         2,            # parts / processors
+      "eps":       0.03,         # balance slack (partition only)
+      "metric":    "connectivity" | "cut-net",
+      "algorithm": "multilevel" | "recursive" | "greedy" | "spectral"
+                 | "random" | "exact",
+      "seed":      0,
+      # serving controls — NOT part of the cache identity:
+      "deadline_s": 10.0,        # per-request budget (queue + compute)
+      "mode":      "auto" | "sync" | "async",
+      "use_cache": true
+    }
+
+Validation failures raise :class:`~repro.errors.ServeProtocolError`
+(mapped to HTTP 400); they never surface as bare tracebacks because the
+server accepts payloads from untrusted clients.
+
+The *solve parameters* (everything except the serving controls) plus the
+seed are content-addressed through :func:`repro.lab.cache.task_key`
+with the serve runner's spec, so results land in the same
+``.lab-cache/`` store the lab executor uses and survive server
+restarts: an identical resubmission is a cache hit, not a recompute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..errors import ServeProtocolError
+from ..generators.factory import WORKLOAD_KINDS
+
+__all__ = [
+    "ALGORITHMS",
+    "JobRequest",
+    "OPS",
+    "build_graph",
+    "estimate_pins",
+    "parse_job_request",
+]
+
+OPS = ("partition", "schedule", "recognize")
+ALGORITHMS = ("multilevel", "recursive", "greedy", "spectral", "random",
+              "exact")
+METRICS = ("connectivity", "cut-net")
+MODES = ("auto", "sync", "async")
+
+#: Hard ceiling on instance size accepted by the service (pins).  Keeps a
+#: single hostile request from exhausting worker memory.
+MAX_PINS = 5_000_000
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A validated job: solve parameters plus serving controls."""
+
+    params: Mapping[str, Any]       # canonical, cache-keyed solve params
+    seed: int
+    deadline_s: float | None = None
+    mode: str = "auto"
+    use_cache: bool = True
+    est_pins: int = 0               # admission-time size estimate
+
+    @property
+    def op(self) -> str:
+        return self.params["op"]
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ServeProtocolError(msg)
+
+
+def _as_int(obj: Any, what: str) -> int:
+    _require(isinstance(obj, int) and not isinstance(obj, bool),
+             f"{what} must be an integer, got {obj!r}")
+    return obj
+
+
+def _as_num(obj: Any, what: str) -> float:
+    _require(isinstance(obj, (int, float)) and not isinstance(obj, bool),
+             f"{what} must be a number, got {obj!r}")
+    return float(obj)
+
+
+def _int_list(obj: Any, what: str) -> list[int]:
+    _require(isinstance(obj, list), f"{what} must be a list")
+    return [_as_int(v, f"{what} entry") for v in obj]
+
+
+def _num_list(obj: Any, what: str) -> list[float]:
+    _require(isinstance(obj, list), f"{what} must be a list")
+    return [_as_num(v, f"{what} entry") for v in obj]
+
+
+def _parse_graph(graph: Any) -> tuple[dict, int]:
+    """Validate the graph spec; return (canonical spec, estimated pins)."""
+    _require(isinstance(graph, dict), "'graph' must be an object")
+    kinds = [k for k in ("hgr", "edges", "csr", "generator") if k in graph]
+    _require(len(kinds) == 1,
+             "'graph' must contain exactly one of 'hgr', 'edges', 'csr', "
+             f"'generator'; got {sorted(graph)}")
+    kind = kinds[0]
+    if kind == "hgr":
+        text = graph["hgr"]
+        _require(isinstance(text, str) and text.strip() != "",
+                 "'graph.hgr' must be non-empty hMETIS text")
+        # token count upper-bounds pins; full validation happens in the
+        # worker via parse_hgr so a parse error is contained there too
+        est = len(text.split())
+        return {"hgr": text}, est
+    if kind == "edges":
+        n = _as_int(graph.get("n"), "'graph.n'")
+        _require(n >= 0, "'graph.n' must be >= 0")
+        edges = graph["edges"]
+        _require(isinstance(edges, list), "'graph.edges' must be a list")
+        out = []
+        est = 0
+        for e in edges:
+            pins = _int_list(e, "'graph.edges' hyperedge")
+            _require(all(0 <= v < n for v in pins),
+                     f"hyperedge pin out of range 0..{n - 1}")
+            est += len(pins)
+            out.append(pins)
+        spec: dict[str, Any] = {"n": n, "edges": out}
+        if graph.get("node_weights") is not None:
+            w = _num_list(graph["node_weights"], "'graph.node_weights'")
+            _require(len(w) == n, "'graph.node_weights' has wrong length")
+            spec["node_weights"] = w
+        if graph.get("edge_weights") is not None:
+            w = _num_list(graph["edge_weights"], "'graph.edge_weights'")
+            _require(len(w) == len(out),
+                     "'graph.edge_weights' has wrong length")
+            spec["edge_weights"] = w
+        return spec, est
+    if kind == "csr":
+        csr = graph["csr"]
+        _require(isinstance(csr, dict), "'graph.csr' must be an object")
+        n = _as_int(csr.get("n"), "'graph.csr.n'")
+        ptr = _int_list(csr.get("ptr"), "'graph.csr.ptr'")
+        pins = _int_list(csr.get("pins"), "'graph.csr.pins'")
+        _require(n >= 0, "'graph.csr.n' must be >= 0")
+        _require(len(ptr) >= 1 and ptr[0] == 0 and ptr[-1] == len(pins),
+                 "'graph.csr.ptr' must start at 0 and end at len(pins)")
+        _require(all(a <= b for a, b in zip(ptr, ptr[1:])),
+                 "'graph.csr.ptr' must be nondecreasing")
+        _require(all(0 <= v < n for v in pins),
+                 f"'graph.csr.pins' entry out of range 0..{n - 1}")
+        return {"csr": {"n": n, "ptr": ptr, "pins": pins}}, len(pins)
+    gen = graph["generator"]
+    _require(isinstance(gen, dict), "'graph.generator' must be an object")
+    g_kind = gen.get("kind")
+    _require(g_kind in WORKLOAD_KINDS,
+             f"unknown generator kind {g_kind!r}; "
+             f"known: {', '.join(WORKLOAD_KINDS)}")
+    spec = {"kind": g_kind}
+    for key, default in (("n", 100), ("k", 4), ("seed", 0)):
+        val = gen.get(key, default)
+        spec[key] = _as_int(val, f"'graph.generator.{key}'")
+    spec["density"] = _as_num(gen.get("density", 0.05),
+                              "'graph.generator.density'")
+    _require(spec["n"] > 0, "'graph.generator.n' must be positive")
+    _require(spec["n"] <= 500_000, "'graph.generator.n' too large")
+    # generators emit O(n)–O(n log n) pins; coarse admission estimate
+    est = int(spec["n"]) * 4
+    return {"generator": spec}, est
+
+
+def parse_job_request(obj: Any) -> JobRequest:
+    """Validate a decoded JSON payload into a :class:`JobRequest`."""
+    _require(isinstance(obj, dict), "request body must be a JSON object")
+    op = obj.get("op", "partition")
+    _require(op in OPS, f"unknown op {op!r}; known: {', '.join(OPS)}")
+    graph_spec, est = _parse_graph(obj.get("graph"))
+    _require(est <= MAX_PINS,
+             f"instance too large: ~{est} pins exceeds the server "
+             f"limit of {MAX_PINS}")
+    params: dict[str, Any] = {"op": op, "graph": graph_spec}
+    if op in ("partition", "schedule"):
+        k = _as_int(obj.get("k", 2), "'k'")
+        _require(1 <= k <= 4096, "'k' must be in 1..4096")
+        params["k"] = k
+    if op == "partition":
+        eps = _as_num(obj.get("eps", 0.03), "'eps'")
+        _require(0 <= eps <= 1, "'eps' must be in [0, 1]")
+        params["eps"] = eps
+        metric = obj.get("metric", "connectivity")
+        _require(metric in METRICS,
+                 f"unknown metric {metric!r}; known: {', '.join(METRICS)}")
+        params["metric"] = metric
+        algorithm = obj.get("algorithm", "multilevel")
+        _require(algorithm in ALGORITHMS,
+                 f"unknown algorithm {algorithm!r}; "
+                 f"known: {', '.join(ALGORITHMS)}")
+        params["algorithm"] = algorithm
+    seed = _as_int(obj.get("seed", 0), "'seed'")
+    deadline = obj.get("deadline_s")
+    if deadline is not None:
+        deadline = _as_num(deadline, "'deadline_s'")
+        _require(deadline > 0, "'deadline_s' must be positive")
+    mode = obj.get("mode", "auto")
+    _require(mode in MODES, f"unknown mode {mode!r}; known: "
+             f"{', '.join(MODES)}")
+    use_cache = obj.get("use_cache", True)
+    _require(isinstance(use_cache, bool), "'use_cache' must be a boolean")
+    return JobRequest(params=params, seed=seed, deadline_s=deadline,
+                      mode=mode, use_cache=use_cache, est_pins=est)
+
+
+def build_graph(params: Mapping[str, Any]):
+    """Materialise the hypergraph named by canonical solve params.
+
+    Runs inside worker processes; raises :class:`ReproError` subclasses
+    on anything malformed (an hgr upload is fully validated here).
+    """
+    from ..core.hypergraph import Hypergraph
+
+    spec = params["graph"]
+    if "hgr" in spec:
+        from ..io.hmetis import parse_hgr
+        return parse_hgr(spec["hgr"], name="upload")
+    if "edges" in spec:
+        return Hypergraph(spec["n"], spec["edges"],
+                          node_weights=spec.get("node_weights"),
+                          edge_weights=spec.get("edge_weights"))
+    if "csr" in spec:
+        import numpy as np
+        csr = spec["csr"]
+        return Hypergraph.from_csr(
+            csr["n"],
+            np.asarray(csr["ptr"], dtype=np.int64),
+            np.asarray(csr["pins"], dtype=np.int64))
+    gen = spec["generator"]
+    from ..generators.factory import make_workload
+    return make_workload(gen["kind"], n=gen["n"], k=gen["k"],
+                         density=gen["density"], seed=gen["seed"])
+
+
+def estimate_pins(request: JobRequest) -> int:
+    """Admission-time size estimate (pins) for batching decisions."""
+    return request.est_pins

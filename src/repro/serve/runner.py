@@ -1,0 +1,142 @@
+"""In-worker job execution for the serving layer.
+
+:func:`solve` follows the lab runner contract ``run(*, seed, **params)``
+so a serve job is content-addressed exactly like a lab task:
+:data:`SERVE_SPEC` names this module, and
+:func:`repro.lab.cache.task_key` folds this file's bytes into the key —
+editing the solver invalidates cached serve results the same way it
+invalidates lab results.  Results are plain JSON-able dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..lab.cache import task_key
+from ..lab.spec import ExperimentSpec
+from .protocol import JobRequest, build_graph
+
+__all__ = ["SERVE_SPEC", "job_key", "solve", "warm_solver_modules"]
+
+
+def warm_solver_modules() -> None:
+    """Import the solver stack in the parent before any fork.
+
+    :func:`solve` imports partitioners/scheduling lazily; without this,
+    every forked batch worker pays those imports (~300 ms) itself —
+    which is exactly the per-dispatch overhead micro-batching exists to
+    amortise.  Called once at server start.
+    """
+    from .. import generators, io, partitioners, scheduling  # noqa: F401
+
+#: Spec under which serve jobs are cached.  ``version`` bumps invalidate
+#: every cached serve result (on top of the code-fingerprint keying).
+SERVE_SPEC = ExperimentSpec(
+    name="serve.job",
+    artifact="serve",
+    title="serve.job",
+    module="repro.serve.runner",
+    func="solve",
+    version=1,
+)
+
+
+def job_key(request: JobRequest) -> str:
+    """Content address of a job (shared ``.lab-cache/`` key space)."""
+    return task_key(SERVE_SPEC, request.params, request.seed)
+
+
+def _solve_partition(graph, *, seed: int, params: Mapping[str, Any]) -> dict:
+    from ..core import Metric, connectivity_cost, cut_net_cost, is_balanced
+
+    k = params["k"]
+    eps = params["eps"]
+    metric = (Metric.CONNECTIVITY if params["metric"] == "connectivity"
+              else Metric.CUT_NET)
+    algorithm = params["algorithm"]
+    if algorithm == "multilevel":
+        from ..partitioners import multilevel_partition
+        part = multilevel_partition(graph, k, eps, metric, rng=seed)
+    elif algorithm == "recursive":
+        from ..partitioners import recursive_partition
+        part = recursive_partition(graph, k, eps, metric, rng=seed,
+                                   relaxed=True)
+    elif algorithm == "greedy":
+        from ..partitioners import greedy_sequential_partition
+        part = greedy_sequential_partition(graph, k, eps, metric, rng=seed,
+                                           relaxed=True)
+    elif algorithm == "spectral":
+        from ..partitioners import spectral_partition
+        part = spectral_partition(graph, k, eps, metric, rng=seed)
+    elif algorithm == "random":
+        from ..partitioners import random_balanced_partition
+        part = random_balanced_partition(graph, k, eps, rng=seed,
+                                         relaxed=True)
+    else:  # exact (size-guarded; raises ProblemTooLargeError when huge)
+        from ..partitioners import exact_partition
+        part = exact_partition(graph, k, eps, metric, relaxed=True).partition
+    return {
+        "labels": part.labels.tolist(),
+        "sizes": part.sizes().tolist(),
+        "connectivity": float(connectivity_cost(graph, part.labels, k)),
+        "cut_net": float(cut_net_cost(graph, part.labels, k)),
+        "balanced": bool(is_balanced(part, eps, relaxed=True)),
+        "algorithm": algorithm,
+        "metric": params["metric"],
+        "k": k,
+        "eps": eps,
+    }
+
+
+def _solve_schedule(graph, *, params: Mapping[str, Any]) -> dict:
+    from ..core import recognize, to_dag
+    from ..errors import NotAHyperDAGError
+    from ..scheduling import list_schedule, trivial_lower_bound
+
+    cert = recognize(graph)
+    if cert is None:
+        raise NotAHyperDAGError(
+            "scheduling requires a hyperDAG payload (Lemma B.1 fails)")
+    dag = to_dag(graph, cert)
+    k = params["k"]
+    schedule = list_schedule(dag, k)
+    return {
+        "k": k,
+        "makespan": int(schedule.makespan),
+        "lower_bound": int(trivial_lower_bound(dag, k)),
+        "procs": schedule.procs.tolist(),
+        "times": schedule.times.tolist(),
+    }
+
+
+def _solve_recognize(graph) -> dict:
+    from ..core import recognize
+
+    cert = recognize(graph)
+    return {
+        "is_hyperdag": cert is not None,
+        "generators": list(cert.generators) if cert is not None else None,
+    }
+
+
+def solve(*, seed: int, **params: Any) -> dict:
+    """Execute one job; returns a JSON-able result dict.
+
+    Raises :class:`~repro.errors.ReproError` subclasses for anything the
+    client got wrong (malformed hgr upload, non-hyperDAG scheduling
+    input, oversized exact instance); the pool maps those to a per-job
+    error result rather than a worker crash.
+    """
+    graph = build_graph(params)
+    op = params["op"]
+    if op == "partition":
+        result = _solve_partition(graph, seed=seed, params=params)
+    elif op == "schedule":
+        result = _solve_schedule(graph, params=params)
+    else:
+        result = _solve_recognize(graph)
+    result["op"] = op
+    result["n"] = graph.n
+    result["m"] = graph.num_edges
+    result["pins"] = graph.num_pins
+    return result

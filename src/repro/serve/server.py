@@ -1,0 +1,335 @@
+"""HTTP front end: hand-rolled HTTP/1.1 over ``asyncio.start_server``.
+
+Pure stdlib by design (the container has no web framework and the repo
+bakes in that constraint); the protocol subset is exactly what the
+client and the load harness speak: ``Content-Length``-framed requests
+with JSON bodies, keep-alive connections, no chunked encoding.
+
+Routes::
+
+    POST   /v1/partition    solve (mode: sync | async | auto)
+    POST   /v1/jobs         always async: returns a job handle
+    GET    /v1/jobs         recent job summaries
+    GET    /v1/jobs/{id}    poll one job (result included when done)
+    DELETE /v1/jobs/{id}    cancel a queued job
+    GET    /healthz         liveness + queue/cache/memory snapshot
+    GET    /metrics         Prometheus text exposition
+
+Error mapping: :class:`ServeProtocolError` → 400,
+:class:`JobNotFoundError` → 404, oversized body → 413,
+:class:`QueueFullError` → 429 with ``Retry-After``,
+:class:`DeadlineExceededError` on a sync wait → 504 (the job keeps its
+handle and can still be polled).  Anything else → 500 with the error
+text — never a traceback mid-connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+from ..errors import (DeadlineExceededError, JobNotFoundError,
+                      QueueFullError, ReproError, ServeProtocolError)
+from ..lab.cache import ResultCache
+from ..lab.journal import RunJournal
+from .jobs import Job, JobManager, with_deadline
+from .metrics import Metrics
+from .protocol import parse_job_request
+
+__all__ = ["ServeConfig", "Server", "run_server"]
+
+#: Sync requests whose estimated size is below this run in "auto" mode
+#: without a handle round-trip; bigger ones get a 202 + job handle.
+_AUTO_SYNC_PINS = 200_000
+
+_MAX_BODY = 64 * 1024 * 1024
+_HEADER_DEADLINE_S = 30.0
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` can tune from the command line."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 2
+    batch_max: int = 8
+    batch_window_s: float = 0.01
+    queue_limit: int = 128
+    default_deadline_s: float = 60.0
+    small_pins: int = 20_000
+    cache_dir: str | None = ".lab-cache"
+    journal_path: str | None = None
+    extra: dict = field(default_factory=dict)
+
+
+class _HttpError(ReproError):
+    """Internal: carries an HTTP status through the handler stack."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            408: "Request Timeout", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            504: "Gateway Timeout"}
+
+
+class Server:
+    """One serving instance: a JobManager plus the HTTP loop."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        cfg = self.config
+        self.metrics = Metrics()
+        cache = (ResultCache(cfg.cache_dir) if cfg.cache_dir else None)
+        journal = (RunJournal(cfg.journal_path) if cfg.journal_path
+                   else None)
+        self.journal = journal
+        self.manager = JobManager(
+            workers=cfg.workers, batch_max=cfg.batch_max,
+            batch_window_s=cfg.batch_window_s,
+            queue_limit=cfg.queue_limit,
+            default_deadline_s=cfg.default_deadline_s,
+            small_pins=cfg.small_pins, cache=cache, journal=journal,
+            metrics=self.metrics)
+        self._server: asyncio.AbstractServer | None = None
+        self._started_ts = time.time()
+        self.port: int | None = None   # actual port (after bind)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self.manager.start()
+        self._server = await asyncio.start_server(  # analyze: allow(serve-timeout) — bind/listen at startup; nothing to time-box yet and failure must propagate to the CLI
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_ts = time.time()
+        if self.journal is not None:
+            self.journal.record("serve_start", host=self.config.host,
+                                port=self.port,
+                                workers=self.config.workers)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await with_deadline(self._server.wait_closed(), 5.0)
+        await self.manager.stop()
+        if self.journal is not None:
+            self.journal.record("serve_stop")
+            self.journal.close()
+
+    async def serve_forever(self) -> None:
+        """Run until SIGTERM/SIGINT; then shut down gracefully."""
+        import sys
+        await self.start()
+        # machine-parseable ready line (tests and scripts bind port 0)
+        print(f"repro serve listening on {self.config.host}:{self.port}",
+              file=sys.stderr, flush=True)
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop_event.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without signal support in the loop
+        try:
+            await stop_event.wait()  # analyze: allow(serve-timeout) — the process-lifetime wait; bounding it would mean a server that exits on a timer
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except DeadlineExceededError:
+                    break           # idle keep-alive connection: hang up
+                except _HttpError as exc:
+                    await self._write_response(
+                        writer, exc.status, {"error": str(exc)},
+                        exc.headers, keep_alive=False)
+                    break
+                if request is None:
+                    break           # clean EOF between requests
+                method, target, headers, body = request
+                self.metrics.inc("http_requests")
+                try:
+                    status, payload, extra = await self._route(
+                        method, target, body)
+                except _HttpError as exc:
+                    status = exc.status
+                    payload = {"error": str(exc)}
+                    extra = exc.headers
+                except ServeProtocolError as exc:
+                    status, payload, extra = 400, {"error": str(exc)}, {}
+                except JobNotFoundError as exc:
+                    status, payload, extra = 404, {"error": str(exc)}, {}
+                except QueueFullError as exc:
+                    self.metrics.inc("http_429")
+                    status = 429
+                    payload = {"error": str(exc)}
+                    extra = {"Retry-After":
+                             str(self.manager.retry_after_hint())}
+                except ReproError as exc:
+                    status, payload, extra = 500, {"error": str(exc)}, {}
+                keep_alive = (headers.get("connection", "") != "close")
+                await self._write_response(writer, status, payload,
+                                           extra, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        except Exception:  # analyze: allow(silent-except) — one broken connection must never take down the accept loop; the request is already journalled
+            pass
+        finally:
+            try:
+                writer.close()
+                await with_deadline(writer.wait_closed(), 2.0)
+            except (Exception, DeadlineExceededError):  # analyze: allow(silent-except) — socket teardown race; the fd is closed either way
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one framed request; None on EOF; _HttpError on garbage."""
+        line = await with_deadline(reader.readline(), _HEADER_DEADLINE_S)
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("ascii").split()
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers: dict[str, str] = {}
+        while True:
+            raw = await with_deadline(reader.readline(),
+                                      _HEADER_DEADLINE_S)
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            try:
+                name, _, value = raw.decode("latin-1").partition(":")
+            except UnicodeDecodeError:
+                raise _HttpError(400, "undecodable header") from None
+            headers[name.strip().lower()] = value.strip().lower() \
+                if name.strip().lower() == "connection" else value.strip()
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError:
+                raise _HttpError(400, "bad Content-Length") from None
+            if n > _MAX_BODY:
+                raise _HttpError(413, f"body of {n} bytes exceeds the "
+                                      f"{_MAX_BODY} byte limit")
+            if n:
+                body = await with_deadline(reader.readexactly(n),
+                                           _HEADER_DEADLINE_S)
+        return method.upper(), target, headers, body
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              status: int, payload: dict,
+                              extra: dict, keep_alive: bool) -> None:
+        if "_raw" in payload:       # /metrics: Prometheus text format
+            body = payload["_raw"].encode()
+            ctype = "text/plain; version=0.0.4"
+        else:
+            body = json.dumps(payload).encode()
+            ctype = "application/json"
+        reason = _REASONS.get(status, "Unknown")
+        head = [f"HTTP/1.1 {status} {reason}",
+                f"Content-Type: {ctype}",
+                f"Content-Length: {len(body)}",
+                f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+        head.extend(f"{k}: {v}" for k, v in extra.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, target: str,
+                     body: bytes) -> tuple[int, dict, dict]:
+        target = target.split("?", 1)[0]
+        if target == "/healthz" and method == "GET":
+            return 200, self._health(), {}
+        if target == "/metrics" and method == "GET":
+            return 200, {"_raw": self.metrics.render_prometheus()}, {}
+        if target == "/v1/partition" and method == "POST":
+            return await self._handle_solve(body)
+        if target == "/v1/jobs" and method == "POST":
+            return await self._handle_solve(body, force_async=True)
+        if target == "/v1/jobs" and method == "GET":
+            return 200, {"jobs": self.manager.job_summaries()}, {}
+        if target.startswith("/v1/jobs/"):
+            job_id = target[len("/v1/jobs/"):]
+            if method == "GET":
+                return 200, self.manager.get(job_id).describe(), {}
+            if method == "DELETE":
+                return 200, self.manager.cancel(job_id).describe(), {}
+        raise _HttpError(405 if target in ("/v1/partition", "/v1/jobs",
+                                           "/healthz", "/metrics")
+                         else 404,
+                         f"no route for {method} {target}")
+
+    async def _handle_solve(self, body: bytes,
+                            force_async: bool = False):
+        try:
+            obj = json.loads(body or b"{}")
+        except ValueError:
+            raise _HttpError(400, "request body is not valid JSON") \
+                from None
+        request = parse_job_request(obj)
+        job = self.manager.submit(request)
+        mode = "async" if force_async else request.mode
+        if mode == "auto":
+            mode = ("sync" if request.est_pins <= _AUTO_SYNC_PINS
+                    else "async")
+        if job.done or mode == "async":
+            status = 200 if job.done else 202
+            return status, job.describe(), {}
+        remaining = None
+        if job.deadline_mono is not None:
+            remaining = max(0.05, job.deadline_mono - time.monotonic())
+        try:
+            await with_deadline(asyncio.shield(job.future), remaining)
+        except DeadlineExceededError:
+            return 504, job.describe(with_result=False), {}
+        return 200, job.describe(), {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _health(self) -> dict:
+        try:
+            import resource
+            rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        except Exception:  # analyze: allow(silent-except) — resource is POSIX-only; health must not 500 over a missing metric
+            rss_kb = 0
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self._started_ts, 3),
+            "pid": os.getpid(),
+            "queue_depth": self.manager.queue_depth,
+            "in_flight": self.manager.in_flight,
+            "workers": self.manager.workers,
+            "queue_limit": self.manager.queue_limit,
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+async def run_server(config: ServeConfig | None = None) -> None:
+    """Entry point used by ``repro serve``."""
+    await Server(config).serve_forever()

@@ -183,6 +183,58 @@ class TestRunnerSignature:
         assert analyze_paths([tmp_path / "src"]) == []
 
 
+class TestServeTimeout:
+    def test_bare_solver_await_fires(self, tmp_path):
+        p = write(tmp_path, "src/repro/serve/mod.py",
+                  "async def handler(job):\n"
+                  "    return await job.future\n")
+        assert rules_of(analyze_paths([p])) == ["serve-timeout"]
+
+    def test_wait_for_outside_wrapper_fires(self, tmp_path):
+        p = write(tmp_path, "src/repro/serve/mod.py",
+                  "import asyncio\n"
+                  "async def handler(fut):\n"
+                  "    return await asyncio.wait_for(fut, 5)\n")
+        assert rules_of(analyze_paths([p])) == ["serve-timeout"]
+
+    def test_with_deadline_is_clean(self, tmp_path):
+        p = write(tmp_path, "src/repro/serve/mod.py",
+                  "from .jobs import with_deadline\n"
+                  "async def handler(fut):\n"
+                  "    return await with_deadline(fut, 5)\n")
+        assert analyze_paths([p]) == []
+
+    def test_io_primitives_are_clean(self, tmp_path):
+        p = write(tmp_path, "src/repro/serve/mod.py",
+                  "import asyncio\n"
+                  "async def handler(reader, queue):\n"
+                  "    await asyncio.sleep(0.1)\n"
+                  "    await reader.readline()\n"
+                  "    return await queue.get()\n")
+        assert analyze_paths([p]) == []
+
+    def test_local_async_def_is_clean(self, tmp_path):
+        p = write(tmp_path, "src/repro/serve/mod.py",
+                  "async def _inner():\n"
+                  "    return 1\n"
+                  "async def handler():\n"
+                  "    return await _inner()\n")
+        assert analyze_paths([p]) == []
+
+    def test_pragma_escape_hatch(self, tmp_path):
+        p = write(tmp_path, "src/repro/serve/mod.py",
+                  "async def handler(job):\n"
+                  "    return await job.future  "
+                  "# analyze: allow(serve-timeout) — test fixture\n")
+        assert analyze_paths([p]) == []
+
+    def test_scoped_to_serve_package(self, tmp_path):
+        p = write(tmp_path, "src/repro/lab/mod.py",
+                  "async def handler(job):\n"
+                  "    return await job.future\n")
+        assert analyze_paths([p]) == []
+
+
 class TestPragmas:
     BAD = TestSilentExcept.BAD
 

@@ -5,11 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import Hypergraph, Partition
+from repro.errors import InvalidPartitionError, ReproError
 from repro.errors import InvalidHypergraphError
 from repro.generators import random_hypergraph
-from repro.io import read_hgr, read_partition, write_hgr, write_partition
+from repro.io import (parse_hgr, read_hgr, read_partition, write_hgr,
+                      write_partition)
 
 from ..conftest import hypergraphs
 
@@ -77,6 +80,75 @@ class TestHgrRoundtrip:
         assert back.n == g.n and back.edges == g.edges
 
 
+class TestHgrTolerance:
+    """Real-world .hgr files are messy; the parser must not be."""
+
+    BASE = "2 3\n1 2\n2 3\n"
+
+    def test_crlf_line_endings(self):
+        g = parse_hgr(self.BASE.replace("\n", "\r\n"))
+        assert g.edges == ((0, 1), (1, 2))
+
+    def test_trailing_whitespace_and_tabs(self):
+        g = parse_hgr("2 3   \n1\t2  \n 2 3\t\n")
+        assert g.edges == ((0, 1), (1, 2))
+
+    def test_blank_lines_anywhere(self):
+        g = parse_hgr("\n\n2 3\n\n1 2\n\n2 3\n\n\n")
+        assert g.edges == ((0, 1), (1, 2))
+
+    def test_comments_interleaved(self):
+        g = parse_hgr("% header comment\n2 3\n% mid\n1 2\n2 3\n% tail\n")
+        assert g.edges == ((0, 1), (1, 2))
+
+    def test_bom_stripped(self):
+        g = parse_hgr("﻿2 3\n1 2\n2 3\n")
+        assert g.edges == ((0, 1), (1, 2))
+
+    @pytest.mark.parametrize("text,needle", [
+        ("", "empty"),
+        ("x y\n", "integer"),
+        ("2 3\n1 2\n", "promises"),              # truncated
+        ("2 3\n1 2\n2 3\n9 9\n", "trailing"),    # extra lines
+        ("1 2\n1 5\n", "range"),                 # pin out of range
+        ("-1 2\n", "negative"),
+        ("2 3 7\n1 2\n2 3\n", "fmt"),            # unknown fmt code
+        ("2 3 1\n2.5 1 2\nnan 2 3\n", ""),       # bad weights
+        ("2 3\n1 1.5\n2 3\n", "integer"),        # non-integer pin
+    ])
+    def test_malformed_raises_clean_repro_error(self, text, needle):
+        with pytest.raises(ReproError) as exc:
+            parse_hgr(text)
+        assert isinstance(exc.value, InvalidHypergraphError)
+        if needle:
+            assert needle in str(exc.value).lower()
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(InvalidHypergraphError) as exc:
+            parse_hgr("% comment\n2 3\n1 2\nbogus pins\n")
+        assert "line 4" in str(exc.value)
+
+    @given(hypergraphs(max_nodes=10),
+           st.sampled_from(["\n", "\r\n"]),
+           st.sampled_from(["", "  ", "\t"]),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=40)
+    def test_roundtrip_survives_reformatting(self, g, eol, pad, blanks):
+        # write the canonical form, then rough it up the way real-world
+        # files are: CRLF, padding, comments, trailing blank lines
+        import tempfile
+        from pathlib import Path
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "g.hgr"
+            write_hgr(g, path)
+            text = path.read_text()
+        lines = text.splitlines()
+        dirty = ("% roughed up" + eol) * blanks + eol.join(
+            line + pad for line in lines) + eol * (blanks + 1)
+        back = parse_hgr(dirty)
+        assert back.n == g.n and back.edges == g.edges
+
+
 class TestPartitionFiles:
     def test_roundtrip(self, tmp_path):
         p = Partition(np.array([0, 2, 1, 2]), 3)
@@ -91,3 +163,15 @@ class TestPartitionFiles:
         write_partition(p, path)
         back = read_partition(path, k=4)
         assert back.k == 4
+
+    def test_non_integer_label_raises_clean(self, tmp_path):
+        path = tmp_path / "p.part"
+        path.write_text("0\nbanana\n1\n")
+        with pytest.raises(InvalidPartitionError):
+            read_partition(path)
+
+    def test_negative_label_raises_clean(self, tmp_path):
+        path = tmp_path / "p.part"
+        path.write_text("0\n-1\n")
+        with pytest.raises(InvalidPartitionError):
+            read_partition(path)

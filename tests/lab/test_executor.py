@@ -149,3 +149,25 @@ def test_worker_writes_are_atomic(tmp_path):
 def test_expand_rejects_unjsonable_params():
     with pytest.raises(TypeError):
         expand_tasks([_spec("bad", "run_ok", params={"fn": object()})])
+
+
+def test_timed_out_workers_are_reaped():
+    """Regression: killed workers must be joined AND closed — repeated
+    timeouts used to accumulate zombie children (and leaked-semaphore
+    warnings at interpreter exit)."""
+    import multiprocessing
+
+    specs = [_spec(f"hang{i}", "run_sleep", params={"duration": 60.0},
+                   timeout_s=0.2, retries=0) for i in range(3)]
+    results = execute(expand_tasks(specs), jobs=3)
+    assert all(r.status == "timeout" for r in results)
+    # joined + closed children disappear from active_children(); a
+    # zombie (killed but never joined) would still be listed
+    assert multiprocessing.active_children() == []
+
+
+def test_successful_workers_are_reaped():
+    execute(expand_tasks([_spec("ok", "run_ok"),
+                          _spec("ok2", "run_ok", seeds=(1,))]), jobs=2)
+    import multiprocessing
+    assert multiprocessing.active_children() == []

@@ -1,0 +1,172 @@
+"""Request validation, cache keying, and the deadline/pool primitives."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import (DeadlineExceededError, ReproError,
+                          ServeProtocolError)
+from repro.serve import job_key, parse_job_request, with_deadline
+from repro.serve.pool import BatchMember, run_batch
+from repro.serve.runner import solve
+
+GEN = {"generator": {"kind": "random", "n": 30, "seed": 3}}
+
+
+def req(**over):
+    base = {"op": "partition", "graph": GEN, "k": 2, "eps": 0.1,
+            "algorithm": "greedy", "seed": 1}
+    base.update(over)
+    return base
+
+
+class TestParseJobRequest:
+    def test_minimal_defaults(self):
+        r = parse_job_request({"graph": GEN})
+        assert r.op == "partition"
+        assert r.params["algorithm"] == "multilevel"
+        assert r.params["metric"] == "connectivity"
+        assert r.seed == 0 and r.mode == "auto" and r.use_cache
+
+    @pytest.mark.parametrize("bad", [
+        None, [], "x",
+        {},                                          # graph missing
+        {"graph": {}},                               # no graph form
+        {"graph": {"hgr": "", "edges": []}},         # two graph forms
+        {"graph": GEN, "op": "nope"},
+        {"graph": GEN, "k": 0},
+        {"graph": GEN, "k": "two"},
+        {"graph": GEN, "eps": 2.0},
+        {"graph": GEN, "algorithm": "magic"},
+        {"graph": GEN, "metric": "vibes"},
+        {"graph": GEN, "deadline_s": 0},
+        {"graph": GEN, "mode": "later"},
+        {"graph": GEN, "use_cache": "yes"},
+        {"graph": GEN, "seed": 1.5},
+        {"graph": {"generator": {"kind": "wat"}}},
+        {"graph": {"n": 2, "edges": [[0, 5]]}},      # pin out of range
+        {"graph": {"csr": {"n": 2, "ptr": [0, 3], "pins": [0, 1]}}},
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ServeProtocolError):
+            parse_job_request(bad)
+
+    def test_serving_controls_do_not_change_cache_key(self):
+        a = parse_job_request(req(deadline_s=1.0, mode="sync"))
+        b = parse_job_request(req(deadline_s=9.0, mode="async",
+                                  use_cache=False))
+        assert job_key(a) == job_key(b)
+
+    def test_solve_params_change_cache_key(self):
+        assert job_key(parse_job_request(req(seed=1))) != \
+            job_key(parse_job_request(req(seed=2)))
+        assert job_key(parse_job_request(req(k=2))) != \
+            job_key(parse_job_request(req(k=3)))
+
+    def test_graph_forms_are_distinct_keys(self):
+        edges = {"n": 3, "edges": [[0, 1], [1, 2]]}
+        csr = {"csr": {"n": 3, "ptr": [0, 2, 4], "pins": [0, 1, 1, 2]}}
+        assert job_key(parse_job_request(req(graph=edges))) != \
+            job_key(parse_job_request(req(graph=csr)))
+
+
+class TestSolve:
+    def test_partition_result_shape(self):
+        r = parse_job_request(req())
+        out = solve(seed=r.seed, **r.params)
+        assert out["op"] == "partition" and len(out["labels"]) == 30
+        assert set(out["labels"]) <= {0, 1}
+        assert out["connectivity"] >= out["cut_net"] >= 0
+        assert out["balanced"] is True
+
+    def test_recognize_and_schedule(self):
+        hdag = {"generator": {"kind": "hyperdag-fft", "n": 4, "seed": 0}}
+        rec = parse_job_request({"op": "recognize", "graph": hdag})
+        out = solve(seed=0, **rec.params)
+        assert out["is_hyperdag"] is True
+        sched = parse_job_request({"op": "schedule", "graph": hdag,
+                                   "k": 3})
+        out = solve(seed=0, **sched.params)
+        assert out["makespan"] >= out["lower_bound"] >= 1
+        assert len(out["procs"]) == out["n"]
+
+    def test_schedule_on_non_hyperdag_is_a_repro_error(self):
+        r = parse_job_request({"op": "schedule", "graph": GEN, "k": 2})
+        with pytest.raises(ReproError):
+            solve(seed=0, **r.params)
+
+    def test_hgr_upload_roundtrip(self):
+        r = parse_job_request(req(graph={"hgr": "2 3\r\n1 2\r\n2 3\r\n"}))
+        out = solve(seed=1, **r.params)
+        assert out["n"] == 3 and out["m"] == 2
+
+    def test_malformed_hgr_upload_is_a_repro_error(self):
+        r = parse_job_request(req(graph={"hgr": "not a header\n"}))
+        with pytest.raises(ReproError):
+            solve(seed=1, **r.params)
+
+
+class TestWithDeadline:
+    def test_in_time_passes_value_through(self):
+        async def main():
+            return await with_deadline(asyncio.sleep(0, result=41), 5.0)
+        assert asyncio.run(main()) == 41
+
+    def test_timeout_raises_library_error(self):
+        async def main():
+            await with_deadline(asyncio.sleep(30), 0.05)
+        with pytest.raises(DeadlineExceededError):
+            asyncio.run(main())
+
+    def test_none_means_unbounded(self):
+        async def main():
+            return await with_deadline(asyncio.sleep(0, result=7), None)
+        assert asyncio.run(main()) == 7
+
+
+class TestPoolDeadlines:
+    def test_expired_member_is_killed_and_reported(self, tmp_path):
+        """A member whose deadline already passed never produces a
+        result: the worker is killed and the outcome is 'timeout'."""
+        r = parse_job_request(req())
+        member = BatchMember(
+            key="x", seed=r.seed, params=r.params,
+            outfile=tmp_path / "out.json", errfile=tmp_path / "err.json",
+            deadline_mono=time.monotonic() - 1.0)
+        outcomes = {}
+
+        async def main():
+            await run_batch([member],
+                            on_outcome=lambda m, o: outcomes.__setitem__(
+                                m.key, o))
+        asyncio.run(main())
+        assert outcomes["x"].status == "timeout"
+        assert not (tmp_path / "out.json").exists()
+
+    def test_batch_streams_results_and_contains_failures(self, tmp_path):
+        """One bad member (malformed hgr) fails alone; its sibling in
+        the same worker still completes."""
+        good = parse_job_request(req())
+        bad = parse_job_request(req(graph={"hgr": "bogus\n"}))
+        members = [
+            BatchMember(key="good", seed=good.seed, params=good.params,
+                        outfile=tmp_path / "g.json",
+                        errfile=tmp_path / "g.err", deadline_mono=None),
+            BatchMember(key="bad", seed=bad.seed, params=bad.params,
+                        outfile=tmp_path / "b.json",
+                        errfile=tmp_path / "b.err", deadline_mono=None),
+        ]
+        outcomes = {}
+
+        async def main():
+            await run_batch(members,
+                            on_outcome=lambda m, o: outcomes.__setitem__(
+                                m.key, o))
+        asyncio.run(main())
+        assert outcomes["good"].status == "ok"
+        assert "labels" in outcomes["good"].payload["values"]
+        assert outcomes["bad"].status == "error"
+        assert "InvalidHypergraph" in outcomes["bad"].error

@@ -18,6 +18,7 @@ import pytest
 ROOT = Path(__file__).resolve().parents[1]
 SCRIPT = ROOT / "scripts" / "check_bench_regression.py"
 BASELINE = ROOT / "benchmarks" / "BENCH_kernels.json"
+SERVE_BASELINE = ROOT / "benchmarks" / "BENCH_serve.json"
 
 
 @pytest.mark.benchcheck
@@ -30,3 +31,15 @@ def test_kernels_within_baseline():
         capture_output=True, text=True, cwd=ROOT)
     assert proc.returncode == 0, (
         f"kernel perf regression detected:\n{proc.stdout}\n{proc.stderr}")
+
+
+@pytest.mark.benchcheck
+def test_serve_within_baseline():
+    assert SERVE_BASELINE.exists(), (
+        "committed serve baseline missing; regenerate with "
+        "PYTHONPATH=src python benchmarks/bench_serve_load.py")
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--suite", "serve"],
+        capture_output=True, text=True, cwd=ROOT)
+    assert proc.returncode == 0, (
+        f"serve perf regression detected:\n{proc.stdout}\n{proc.stderr}")
