@@ -14,8 +14,14 @@
     serving acceptance bars — batched speedup >= 3x, cache-hit p50
     < 5 ms, 429s shed under overload, accepted p99 <= 2x baseline p99
     — plus batched throughput within ``--tolerance`` of the baseline.
+``--suite analyze``
+    Re-runs the analysis-engine self-benchmark
+    (``benchmarks/bench_analyze.py``) and enforces its acceptance
+    bars — warm (incremental) run under the 2 s budget with findings
+    byte-identical to the cold run — plus warm time within
+    ``--tolerance`` of the committed ``benchmarks/BENCH_analyze.json``.
 ``--suite all``
-    Both.
+    All of them.
 
 Run::
 
@@ -50,6 +56,7 @@ import bench_kernels  # noqa: E402
 
 DEFAULT_BASELINE = ROOT / "benchmarks" / "BENCH_kernels.json"
 DEFAULT_SERVE_BASELINE = ROOT / "benchmarks" / "BENCH_serve.json"
+DEFAULT_ANALYZE_BASELINE = ROOT / "benchmarks" / "BENCH_analyze.json"
 
 
 def compare(baseline: dict, fresh: dict, threshold: float,
@@ -158,9 +165,63 @@ def run_serve_suite(args, tolerance: float) -> list[str] | None:
     return compare_serve(baseline, fresh, tolerance)
 
 
+def compare_analyze(baseline: dict, fresh: dict,
+                    threshold: float,
+                    abs_margin_s: float = 0.25) -> list[str]:
+    """Failure messages for the analysis-engine suite.
+
+    Absolute bars first (the incremental contract), then a relative
+    warm-time comparison; like the kernels suite, a relative slowdown
+    must also clear an absolute margin to fail, since a ~40 ms warm
+    run jitters by large factors on a loaded machine.
+    """
+    budget = fresh.get("incremental_budget_s", 2.0)
+    failures: list[str] = []
+    bars = [
+        (f"incremental {fresh['incremental_s']:.3f}s "
+         f"(< {budget:.0f}s budget)",
+         fresh["incremental_s"] < budget),
+        ("cold and incremental findings byte-identical",
+         fresh["findings_identical"]),
+        (f"warm run reuses every summary "
+         f"({fresh['warm_reused']}/{fresh['files']})",
+         fresh["warm_reused"] == fresh["files"]
+         and fresh["warm_extracted"] == 0),
+    ]
+    for label, ok in bars:
+        print(f"  bar: {label:<52} {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(f"acceptance bar failed: {label}")
+    base_s = baseline["incremental_s"]
+    ratio = fresh["incremental_s"] / max(base_s, 1e-9)
+    slow = (ratio > 1 + threshold
+            and fresh["incremental_s"] - base_s > abs_margin_s)
+    print(f"  incremental: baseline {base_s * 1e3:.1f} ms  "
+          f"now {fresh['incremental_s'] * 1e3:.1f} ms  ({ratio:.2f}x) "
+          f"{'SLOW' if slow else 'ok'}")
+    if slow:
+        failures.append(
+            f"incremental analyze {fresh['incremental_s'] * 1e3:.0f} ms is "
+            f"{ratio:.2f}x the baseline {base_s * 1e3:.0f} ms "
+            f"(> {1 + threshold:.2f}x allowed)")
+    return failures
+
+
+def run_analyze_suite(args, tolerance: float) -> list[str] | None:
+    import bench_analyze
+    baseline = _load_baseline(Path(args.analyze_baseline),
+                              "bench_analyze.py")
+    if baseline is None:
+        return None
+    fresh = bench_analyze.run(baseline.get("config", {}).get("repeats", 3))
+    print("analysis engine (fresh run vs committed baseline)")
+    return compare_analyze(baseline, fresh, tolerance)
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--suite", choices=("kernels", "serve", "all"),
+    ap.add_argument("--suite", choices=("kernels", "serve", "analyze",
+                                        "all"),
                     default="kernels",
                     help="which benchmark suite(s) to gate on")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
@@ -168,6 +229,9 @@ def main(argv=None) -> int:
     ap.add_argument("--serve-baseline",
                     default=str(DEFAULT_SERVE_BASELINE),
                     help="committed serve baseline JSON")
+    ap.add_argument("--analyze-baseline",
+                    default=str(DEFAULT_ANALYZE_BASELINE),
+                    help="committed analyze baseline JSON")
     ap.add_argument("--tolerance", "--threshold", type=float,
                     dest="tolerance", default=None,
                     help="allowed fractional slowdown (0.25 = 25%%); "
@@ -182,12 +246,13 @@ def main(argv=None) -> int:
     if tolerance is None:
         tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25"))
 
-    suites = (("kernels", "serve") if args.suite == "all"
+    suites = (("kernels", "serve", "analyze") if args.suite == "all"
               else (args.suite,))
+    runners = {"kernels": run_kernels_suite, "serve": run_serve_suite,
+               "analyze": run_analyze_suite}
     failed = False
     for suite in suites:
-        runner = (run_kernels_suite if suite == "kernels"
-                  else run_serve_suite)
+        runner = runners[suite]
         failures = runner(args, tolerance)
         if failures is None:
             return 2

@@ -27,7 +27,7 @@ for arg in "$@"; do
 done
 
 echo "== static analysis (repro analyze) =="
-python -m repro analyze src tests benchmarks
+python -m repro analyze --incremental --fail-on=error src tests benchmarks
 
 if command -v mypy >/dev/null 2>&1; then
     echo

@@ -3,16 +3,34 @@
 Two halves, one goal — keeping the invariants the reproduction rests on
 machine-checked instead of tribal:
 
-* :mod:`repro.analyze.engine` / :mod:`repro.analyze.rules` — an
-  AST-based lint pass (``repro analyze``) enforcing seed discipline,
-  no silent ``except``, kernel/oracle parity, runner signatures,
-  tolerance-based float comparison, and the error hierarchy.
+* the ``repro analyze`` whole-program analysis platform:
+
+  - :mod:`repro.analyze.engine` — three-stage pipeline (extract /
+    link / check) shared by cold and ``--incremental`` runs;
+  - :mod:`repro.analyze.index` — per-module summaries and the symbol
+    index (import aliasing, ``__init__`` re-exports);
+  - :mod:`repro.analyze.callgraph` / :mod:`repro.analyze.dataflow` —
+    the project call graph and deterministic reachability used by the
+    interprocedural passes;
+  - :mod:`repro.analyze.rules` — file-local rules (seed discipline,
+    silent excepts, float tolerance, serve timeouts);
+  - :mod:`repro.analyze.passes` — structural repo rules plus the
+    determinism / fork-safety / rng-provenance dataflow passes;
+  - :mod:`repro.analyze.cache`, :mod:`repro.analyze.baseline`,
+    :mod:`repro.analyze.sarif`, :mod:`repro.analyze.fix` — the
+    incremental cache, grandfathering baseline, SARIF 2.1.0 export,
+    and the ``--fix`` autofixer.
+
 * :mod:`repro.analyze.sanitize` — runtime checks (CSR well-formedness,
   partition validity, balance, hyperDAG certificates) injected at
   kernel/partitioner boundaries; zero-overhead no-ops unless
   ``REPRO_SANITIZE=1``.
+
+See ``docs/ANALYZE.md`` for the full rule/pass reference.
 """
 
-from .engine import Finding, analyze_paths, collect_files
+from .engine import (AnalysisReport, Finding, analyze_paths, collect_files,
+                     run_analysis)
 
-__all__ = ["Finding", "analyze_paths", "collect_files"]
+__all__ = ["AnalysisReport", "Finding", "analyze_paths", "collect_files",
+           "run_analysis"]

@@ -1,0 +1,91 @@
+"""Grandfathering baseline for ``repro analyze``.
+
+``analyze-baseline.json`` is a checked-in list of *accepted* findings:
+CI fails on anything new while pre-existing debt burns down visibly.
+Entries are keyed on ``(path, rule, message)`` — deliberately **not**
+on line numbers, so unrelated edits that shift a grandfathered finding
+up or down do not break CI, while any change to what the finding says
+(a different sink, a different chain) surfaces as new.
+
+Baseline hygiene is itself checked: entries that no longer match any
+current finding produce a ``stale-baseline`` note, and
+``--write-baseline`` regenerates the file (sorted, no timestamps, so
+the diff is exactly the debt delta).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .engine import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE", "write_baseline"]
+
+DEFAULT_BASELINE = "analyze-baseline.json"
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.path, finding.rule, finding.message)
+
+
+class Baseline:
+    """A loaded baseline: split findings into new vs. grandfathered."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.entries: list[dict] = []
+        self.error: str | None = None
+        try:
+            data = json.loads(self.path.read_text())
+            self.entries = list(data["entries"])
+            self._keys = {(e["path"], e["rule"], e["message"])
+                          for e in self.entries}
+        except FileNotFoundError:
+            self._keys = set()
+        except (OSError, KeyError, TypeError, ValueError) as exc:
+            self._keys = set()
+            self.error = f"unreadable baseline {self.path}: {exc}"
+
+    def split(self, findings: Sequence[Finding]
+              ) -> tuple[list[Finding], list[Finding]]:
+        """``(new, grandfathered)`` partition of ``findings``."""
+        new, old = [], []
+        for f in findings:
+            (old if _key(f) in self._keys else new).append(f)
+        return new, old
+
+    def stale_notes(self, findings: Sequence[Finding]) -> list[Finding]:
+        """One ``stale-baseline`` note per entry matching nothing."""
+        current = {_key(f) for f in findings}
+        out = []
+        for e in sorted(self.entries,
+                        key=lambda e: (e.get("path", ""), e.get("rule", ""),
+                                       e.get("message", ""))):
+            key = (e.get("path", ""), e.get("rule", ""), e.get("message", ""))
+            if key not in current:
+                out.append(Finding(
+                    path=self.path.as_posix(), line=1,
+                    rule="stale-baseline", severity="note",
+                    message=f"baseline entry for {key[1]} at {key[0]} "
+                            "matches no current finding; regenerate with "
+                            "--write-baseline"))
+        return out
+
+
+def write_baseline(path: str | Path,
+                   findings: Iterable[Finding]) -> int:
+    """Write a sorted, timestamp-free baseline; returns entry count."""
+    entries = sorted({_key(f) for f in findings})
+    payload = {
+        "version": 1,
+        "comment": "accepted repro-analyze findings; regenerate with "
+                   "`repro analyze --write-baseline` and justify "
+                   "additions in the PR description",
+        "entries": [{"path": p, "rule": r, "message": m}
+                    for p, r, m in entries],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+    return len(entries)

@@ -1,10 +1,17 @@
-"""``repro analyze`` — run the static-analysis pass from the CLI."""
+"""``repro analyze`` — run the whole-program analysis from the CLI.
+
+Exit status: 0 when no *new* finding is at or above ``--fail-on``
+(grandfathered baseline entries never fail the run), 1 otherwise, and
+2 when ``--fix`` refuses to run (dirty git tree).
+"""
 
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
-from .engine import analyze_paths
+from .baseline import DEFAULT_BASELINE, Baseline, write_baseline
+from .engine import run_analysis, severity_at_least
 
 __all__ = ["add_analyze_parser", "analyze_main"]
 
@@ -14,24 +21,108 @@ _DEFAULT_PATHS = ("src", "tests", "benchmarks")
 def add_analyze_parser(sub) -> None:
     p = sub.add_parser(
         "analyze",
-        help="static invariant checks (seed discipline, silent excepts, "
-             "kernel-oracle parity, runner signatures, ...)")
+        help="whole-program static analysis: file-local rules, "
+             "call-graph dataflow passes (determinism, fork-safety, "
+             "rng-provenance), incremental cache, SARIF + baselines")
     p.add_argument("paths", nargs="*", default=list(_DEFAULT_PATHS),
                    help="files or directories to analyze "
                         f"(default: {' '.join(_DEFAULT_PATHS)})")
-    p.add_argument("--format", choices=("text", "json"), default="text",
-                   dest="fmt", help="output format (default: text)")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", dest="fmt",
+                   help="output format (default: text)")
+    p.add_argument("--incremental", action="store_true",
+                   help="reuse per-module summaries from the "
+                        "content-addressed .analyze-cache/")
+    p.add_argument("--changed", action="store_true",
+                   help="report only findings in git-changed modules "
+                        "plus their reverse-dependency closure")
+    p.add_argument("--cache-dir", default=None,
+                   help="summary cache location (default: .analyze-cache)")
+    p.add_argument("--fail-on", choices=("note", "warning", "error",
+                                         "never"),
+                   default="warning", dest="fail_on",
+                   help="lowest severity of a NEW finding that fails the "
+                        "run (default: warning)")
+    p.add_argument("--baseline", default=None,
+                   help="grandfathering baseline (default: "
+                        f"{DEFAULT_BASELINE} when present)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="accept all current findings into the baseline "
+                        "and exit")
+    p.add_argument("--fix", action="store_true",
+                   help="apply the mechanical autofixes first (clean "
+                        "git tree required)")
+    p.add_argument("--stats", action="store_true",
+                   help="print cache reuse and file counts")
 
 
 def analyze_main(args) -> int:
-    findings = analyze_paths(args.paths)
+    if getattr(args, "fix", False):
+        from .fix import FixRefused, apply_fixes
+
+        try:
+            applied = apply_fixes(args.paths)
+        except FixRefused as exc:
+            print(f"repro analyze --fix: {exc}")
+            return 2
+        for fix in applied:
+            print(f"fixed {fix.path}:{fix.line}: {fix.rule}: "
+                  f"{fix.description}")
+
+    report = run_analysis(
+        args.paths,
+        incremental=getattr(args, "incremental", False),
+        cache_dir=getattr(args, "cache_dir", None),
+        changed_only=getattr(args, "changed", False))
+    findings = report.findings
+
+    baseline_path = getattr(args, "baseline", None)
+    if baseline_path is None and Path(DEFAULT_BASELINE).exists():
+        baseline_path = DEFAULT_BASELINE
+    if getattr(args, "write_baseline", False):
+        target = baseline_path or DEFAULT_BASELINE
+        n = write_baseline(target, findings)
+        print(f"repro analyze: wrote {n} "
+              f"entr{'y' if n == 1 else 'ies'} to {target}")
+        return 0
+
+    new, grandfathered, stale = findings, [], []
+    if baseline_path is not None:
+        bl = Baseline(baseline_path)
+        if bl.error:
+            print(f"repro analyze: warning: {bl.error}")
+        new, grandfathered = bl.split(findings)
+        stale = bl.stale_notes(findings)
+    reported = sorted(new + stale)
+
     if args.fmt == "json":
-        print(json.dumps([{"path": f.path, "line": f.line,
-                           "rule": f.rule, "message": f.message}
-                          for f in findings], indent=2))
+        print(json.dumps({
+            "findings": [f.to_json() for f in reported],
+            "grandfathered": len(grandfathered),
+            "files": report.files,
+            "reused": report.reused,
+        }, indent=2))
+    elif args.fmt == "sarif":
+        from .sarif import to_sarif
+
+        print(json.dumps(to_sarif(sorted(findings + stale)), indent=2))
     else:
-        for f in findings:
+        for f in reported:
             print(f.render())
-        n = len(findings)
+        if grandfathered:
+            print(f"repro analyze: {len(grandfathered)} grandfathered "
+                  f"finding(s) suppressed by {baseline_path}")
+        if report.scope_note:
+            print(f"repro analyze: {report.scope_note}")
+        if getattr(args, "stats", False):
+            print(f"repro analyze: {report.files} file(s), "
+                  f"{report.reused} summarie(s) from cache, "
+                  f"{report.extracted} extracted")
+        n = len(reported)
         print(f"repro analyze: {n} finding{'s' if n != 1 else ''}")
-    return 1 if findings else 0
+
+    fail_on = getattr(args, "fail_on", "warning")
+    if fail_on == "never":
+        return 0
+    return 1 if any(severity_at_least(f.severity, fail_on)
+                    for f in reported) else 0

@@ -1,0 +1,65 @@
+"""Interprocedural reachability with witness chains.
+
+The three dataflow passes all reduce to the same question: *is this
+program point reachable from one of these entrypoints, and if so, show
+me a call chain the reviewer can follow*.  :class:`Reachability` runs
+one multi-root BFS over the call graph; the BFS order is fully
+deterministic (roots and successors visited in sorted order), so the
+witness chain attached to a finding — and therefore the finding's
+message bytes — is stable across runs, which the incremental engine's
+byte-identity guarantee depends on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+from .callgraph import pretty_node
+
+__all__ = ["Reachability"]
+
+
+class Reachability:
+    """Multi-root BFS; each reached node remembers one witness parent."""
+
+    def __init__(self, edges: Mapping[str, Iterable[str]],
+                 roots: Mapping[str, str]) -> None:
+        #: node -> parent node on the witness path (None for roots)
+        self.parent: dict[str, str | None] = {}
+        #: node -> the root whose BFS claimed it first
+        self.root_of: dict[str, str] = {}
+        self.labels = dict(roots)
+        queue: deque[str] = deque()
+        for root in sorted(roots):
+            if root not in self.parent:
+                self.parent[root] = None
+                self.root_of[root] = root
+                queue.append(root)
+        while queue:
+            node = queue.popleft()
+            for succ in sorted(edges.get(node, ())):
+                if succ not in self.parent:
+                    self.parent[succ] = node
+                    self.root_of[succ] = self.root_of[node]
+                    queue.append(succ)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.parent
+
+    def __iter__(self):
+        return iter(sorted(self.parent))
+
+    def label(self, node: str) -> str:
+        """Human label of the entrypoint that reaches ``node``."""
+        return self.labels.get(self.root_of.get(node, ""), "?")
+
+    def chain(self, node: str) -> list[str]:
+        """Witness path ``[root, ..., node]`` of node ids."""
+        path = [node]
+        while self.parent.get(path[-1]) is not None:
+            path.append(self.parent[path[-1]])  # type: ignore[arg-type]
+        return list(reversed(path))
+
+    def chain_text(self, node: str) -> str:
+        return " -> ".join(pretty_node(n) for n in self.chain(node))

@@ -1,24 +1,42 @@
-"""Core of the ``repro analyze`` static-analysis pass.
+"""Core of the ``repro analyze`` whole-program analysis platform.
 
-The engine is deliberately small: it walks a set of ``.py`` files,
-parses each one with the stdlib :mod:`ast` module (no third-party
-dependency), and hands the parse trees to two kinds of rules:
+The engine orchestrates a three-stage pipeline:
 
-* **file rules** look at one module at a time (seed discipline, silent
-  ``except``, float equality on cost values, ...);
-* **repo rules** need cross-file information (does every public kernel
-  have a ``_reference_*`` oracle twin? does every registered experiment
-  runner follow the ``run(*, seed, **params)`` convention?).
+1. **extract** — each ``.py`` file is parsed once (stdlib :mod:`ast`,
+   no third-party dependency) and boiled down to a
+   :class:`~repro.analyze.index.ModuleSummary`: symbols, import
+   aliases, resolved call targets, global-mutation / RNG facts, pragma
+   table, and the findings of the *file-local* rules
+   (:mod:`repro.analyze.rules`), which all ride the same single AST
+   walk.
+2. **link** — summaries are joined into a
+   :class:`~repro.analyze.index.ModuleIndex` and a
+   :class:`~repro.analyze.callgraph.CallGraph`; ``repro.*`` imports,
+   ``from x import y as z`` aliases, ``__init__``-re-exports and
+   registry dispatch (lab spec registrations, ``Process(target=...)``
+   worker entrypoints) all resolve here.
+3. **check** — the structural repo rules (kernel-oracle parity, runner
+   signatures, error hierarchy) and the interprocedural dataflow
+   passes (determinism, fork-safety, rng-provenance) run over the
+   linked program and emit :class:`Finding` objects.
+
+Both cold and ``--incremental`` runs execute *exactly* this pipeline —
+incrementality only changes where stage 1 summaries come from (the
+content-addressed ``.analyze-cache/`` instead of a fresh parse), which
+is why the two modes report byte-identical findings.
 
 Findings can be suppressed per line with a *pragma comment* that must
-carry a written reason::
+carry a written reason; both historical spellings are recognised::
 
     except Exception:  # analyze: allow(silent-except) — why this is OK
+    except Exception:  # repro: allow[silent-except] — why this is OK
 
 A pragma without a reason is itself a finding
 (``pragma-missing-reason``), and a pragma that suppresses nothing is
-flagged as ``unused-pragma`` so stale exemptions cannot accumulate.
-A pragma on a comment-only line applies to the next source line.
+flagged as ``unused-pragma`` so stale exemptions cannot accumulate —
+including pragmas left behind when a refactor moves the code a
+dataflow pass used to flag.  A pragma on a comment-only line applies
+to the next source line.
 """
 
 from __future__ import annotations
@@ -26,25 +44,38 @@ from __future__ import annotations
 import ast
 import re
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import Sequence
 
 __all__ = [
     "Finding",
     "SourceFile",
     "PragmaTable",
+    "AnalysisReport",
     "analyze_paths",
     "collect_files",
+    "run_analysis",
+    "severity_at_least",
 ]
 
-#: Matches ``analyze: allow(<id>) <sep> <reason>`` after a hash; the
-#: separator before the reason may be an em/en dash, ``--``, ``-`` or
-#: ``:``.
-PRAGMA_RE = re.compile(
-    r"#\s*analyze:\s*allow\(([a-z0-9-]+)\)"
-    r"(?:\s*(?:—|–|--|-|:)\s*(?P<reason>.*))?\s*$"
+#: Matches ``analyze: allow(<id>)`` / ``repro: allow[<id>]`` after a
+#: hash; the separator before the reason may be an em/en dash, ``--``,
+#: ``-`` or ``:``.
+PRAGMA_RES = (
+    re.compile(r"#\s*analyze:\s*allow\(([a-z0-9-]+)\)"
+               r"(?:\s*(?:—|–|--|-|:)\s*(?P<reason>.*))?\s*$"),
+    re.compile(r"#\s*repro:\s*allow\[([a-z0-9-]+)\]"
+               r"(?:\s*(?:—|–|--|-|:)\s*(?P<reason>.*))?\s*$"),
 )
+
+#: Severity ranking used by ``--fail-on`` (higher = more severe).
+_SEVERITY_RANK = {"note": 0, "warning": 1, "error": 2}
+
+
+def severity_at_least(severity: str, threshold: str) -> bool:
+    """True when ``severity`` is at or above the ``--fail-on`` bar."""
+    return _SEVERITY_RANK.get(severity, 2) >= _SEVERITY_RANK.get(threshold, 2)
 
 
 @dataclass(frozen=True, order=True)
@@ -55,9 +86,15 @@ class Finding:
     line: int
     rule: str
     message: str
+    severity: str = "error"
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+        return (f"{self.path}:{self.line}: {self.severity}: "
+                f"{self.rule}: {self.message}")
+
+    def to_json(self) -> dict:
+        return {"path": self.path, "line": self.line, "rule": self.rule,
+                "severity": self.severity, "message": self.message}
 
 
 @dataclass
@@ -70,14 +107,16 @@ class _Pragma:
 
 
 class PragmaTable:
-    """Per-file table of ``# analyze: allow(...)`` suppressions.
+    """Per-file table of ``allow(...)`` / ``allow[...]`` suppressions.
 
     Pragmas are read from real comment tokens (via :mod:`tokenize`), so
     pragma-shaped text inside string literals or docstrings is ignored.
     """
 
-    def __init__(self, text: str) -> None:
+    def __init__(self, text: str | None) -> None:
         self.pragmas: list[_Pragma] = []
+        if text is None:        # deserialised table: rows added manually
+            return
         lines = text.splitlines()
         try:
             tokens = list(tokenize.generate_tokens(
@@ -87,13 +126,24 @@ class PragmaTable:
         for tok in tokens:
             if tok.type != tokenize.COMMENT:
                 continue
-            m = PRAGMA_RE.search(tok.string)
+            m = None
+            for rx in PRAGMA_RES:
+                m = rx.search(tok.string)
+                if m is not None:
+                    break
             if m is None:
                 continue
             row, col = tok.start
             targets = [row]
             if lines[row - 1][:col].strip() == "":
-                targets.append(row + 1)  # comment-only line: covers next
+                # A comment-only pragma covers the first source line
+                # after its comment block (a multi-line reason is one
+                # pragma, not one per line).
+                nxt = row + 1
+                while (nxt <= len(lines)
+                       and lines[nxt - 1].strip().startswith("#")):
+                    nxt += 1
+                targets.append(nxt)
             self.pragmas.append(
                 _Pragma(line=row, rule=m.group(1),
                         reason=(m.group("reason") or "").strip(),
@@ -122,6 +172,19 @@ class PragmaTable:
                             "on this line; remove it"))
         return out
 
+    def to_json(self) -> list:
+        return [[p.line, p.rule, p.reason, list(p.targets)]
+                for p in self.pragmas]
+
+    @classmethod
+    def from_json(cls, rows: list) -> "PragmaTable":
+        table = cls(None)
+        for line, rule, reason, targets in rows:
+            table.pragmas.append(_Pragma(
+                line=int(line), rule=rule, reason=reason,
+                targets=tuple(int(t) for t in targets)))
+        return table
+
 
 @dataclass
 class SourceFile:
@@ -145,12 +208,6 @@ class SourceFile:
         return "tests" in self.path.parts
 
 
-#: A file rule maps one SourceFile to findings.
-FileRule = Callable[[SourceFile], Iterable[Finding]]
-#: A repo rule sees every collected file at once.
-RepoRule = Callable[[Sequence[SourceFile]], Iterable[Finding]]
-
-
 def collect_files(paths: Sequence[str | Path]) -> list[Path]:
     """Expand files/directories into a sorted list of ``.py`` files."""
     out: set[Path] = set()
@@ -164,51 +221,119 @@ def collect_files(paths: Sequence[str | Path]) -> list[Path]:
     return sorted(out)
 
 
-def _load(path: Path) -> SourceFile | None:
-    try:
-        with tokenize.open(path) as fh:
-            text = fh.read()
-        tree = ast.parse(text, filename=str(path))
-    except (OSError, SyntaxError, UnicodeDecodeError):
-        return None
-    return SourceFile(path=path, text=text, tree=tree,
-                      pragmas=PragmaTable(text))
+@dataclass
+class AnalysisReport:
+    """Findings plus the run metadata the CLI and benchmarks report."""
+
+    findings: list[Finding]
+    files: int = 0
+    reused: int = 0            # summaries served from .analyze-cache/
+    extracted: int = 0         # summaries rebuilt by parsing
+    scope_note: str = ""       # human note for --changed filtering
 
 
-def analyze_paths(
+def run_analysis(
     paths: Sequence[str | Path],
     *,
-    file_rules: Sequence[tuple[str, FileRule]] | None = None,
-    repo_rules: Sequence[RepoRule] | None = None,
-) -> list[Finding]:
-    """Run all rules over ``paths`` and return unsuppressed findings.
+    incremental: bool = False,
+    cache_dir: str | Path | None = None,
+    changed_only: bool = False,
+    root: str | Path | None = None,
+) -> AnalysisReport:
+    """Run the full pipeline over ``paths``.
 
-    Rules default to the full built-in set from
-    :mod:`repro.analyze.rules`.
+    ``incremental`` reuses per-module summaries from ``cache_dir``
+    (default ``.analyze-cache/``) keyed by content hash, re-extracting
+    only modules whose bytes changed; the link and check stages always
+    run whole-program over the summaries, so a change in module B is
+    re-judged against *every* module that imports it — the reverse
+    dependency closure — without re-parsing those importers.
+
+    ``changed_only`` restricts the *reported* findings to modules
+    changed per git plus their reverse-dependency closure (a fast
+    pre-commit view; CI gates on the unfiltered run).
     """
-    if file_rules is None or repo_rules is None:
-        from . import rules as _rules
-        if file_rules is None:
-            file_rules = _rules.FILE_RULES
-        if repo_rules is None:
-            repo_rules = _rules.REPO_RULES
+    from . import passes as _passes
+    from .cache import SummaryCache
+    from .index import ModuleIndex, extract_summary, load_source
 
-    files = [sf for sf in (_load(p) for p in collect_files(paths))
-             if sf is not None]
-    raw: list[Finding] = []
-    for sf in files:
-        for _name, rule in file_rules:
-            raw.extend(rule(sf))
-    for rule in repo_rules:
-        raw.extend(rule(files))
+    files = collect_files(paths)
+    cache = (SummaryCache(cache_dir) if incremental else None)
 
-    by_path = {sf.posix: sf for sf in files}
+    summaries = []
+    reused = extracted = 0
+    for path in files:
+        raw = _read_bytes(path)
+        if raw is None:
+            continue
+        summary = None
+        if cache is not None:
+            summary = cache.get(path.as_posix(), raw)
+        if summary is None:
+            sf = load_source(path, raw)
+            if sf is None:
+                continue
+            summary = extract_summary(sf)
+            extracted += 1
+            if cache is not None:
+                cache.put(path.as_posix(), raw, summary)
+        else:
+            reused += 1
+        summaries.append(summary)
+
+    index = ModuleIndex(summaries)
+    raw_findings = list(_passes.run_all(index))
+
+    # Pragma suppression — one table per path, then engine findings
+    # (missing reason / unused) from the same tables.
+    tables = {s.path: s.pragma_table() for s in summaries}
     findings = []
-    for f in raw:
-        sf = by_path.get(f.path)
-        if sf is not None and sf.pragmas.suppresses(f.rule, f.line):
+    for f in raw_findings:
+        table = tables.get(f.path)
+        if table is not None and table.suppresses(f.rule, f.line):
             continue
         findings.append(f)
-    for sf in files:
-        findings.extend(sf.pragmas.engine_findings(sf.posix))
-    return sorted(findings)
+    for s in summaries:
+        findings.extend(tables[s.path].engine_findings(s.path))
+
+    meta = _passes.RULE_META
+    findings = sorted(
+        replace(f, severity=meta.get(f.rule, ("error",))[0])
+        for f in findings)
+
+    report = AnalysisReport(findings=findings, files=len(summaries),
+                            reused=reused, extracted=extracted)
+    if changed_only:
+        _filter_changed(report, index, root)
+    return report
+
+
+def _read_bytes(path: Path) -> bytes | None:
+    try:
+        return path.read_bytes()
+    except OSError:
+        return None
+
+
+def _filter_changed(report: AnalysisReport, index, root) -> None:
+    """Keep findings in git-changed modules + reverse-dep closure."""
+    from .index import changed_scope
+
+    scope = changed_scope(index, root)
+    if scope is None:
+        report.scope_note = ("--changed: not a git checkout; "
+                             "reporting everything")
+        return
+    paths, n_changed = scope
+    report.findings = [f for f in report.findings if f.path in paths]
+    report.scope_note = (f"--changed: {n_changed} changed module(s), "
+                         f"{len(paths)} in reverse-dependency scope")
+
+
+def analyze_paths(paths: Sequence[str | Path]) -> list[Finding]:
+    """Run all rules and passes over ``paths``; unsuppressed findings.
+
+    Compatibility entry point: one cold, whole-program run of
+    :func:`run_analysis`.
+    """
+    return run_analysis(paths).findings

@@ -1,0 +1,196 @@
+"""``repro analyze --fix`` — autofixer for the mechanical rules.
+
+Two rewrites, both purely local to the flagged line(s):
+
+* ``float-cost-eq`` — a raw ``==`` / ``!=`` whose operands mention a
+  cost/gain quantity becomes ``close(a, b)`` / ``not close(a, b)``,
+  and ``from repro.core.tolerance import close`` is added when
+  missing;
+* ``silent-except`` — a bare ``except:`` becomes ``except
+  Exception:``, and a handler whose whole body is ``pass`` re-raises.
+
+Safety gate: fixes are applied **only on a clean git tree** (inside a
+work tree, ``git status --porcelain`` empty), so every rewrite is
+reviewable as its own diff and trivially revertible.  Anything less
+mechanical — suppressions, dataflow findings, structural rules — is
+left to a human plus a pragma with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from .engine import collect_files
+from .rules import _handles, _is_broad, _mentions_cost
+
+__all__ = ["Applied", "FixRefused", "apply_fixes"]
+
+_TOLERANCE_IMPORT_RE = re.compile(
+    r"^from repro\.core\.tolerance import (?P<names>.+?)\s*$")
+
+
+class FixRefused(RuntimeError):
+    """Raised when the clean-git-tree gate blocks ``--fix``."""
+
+
+@dataclass(frozen=True)
+class Applied:
+    path: str
+    line: int
+    rule: str
+    description: str
+
+
+def _git(args: list[str], cwd: Path) -> subprocess.CompletedProcess | None:
+    try:
+        return subprocess.run(["git", *args], cwd=cwd, text=True,
+                              capture_output=True, timeout=30)
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def _ensure_clean_git(root: Path) -> None:
+    inside = _git(["rev-parse", "--is-inside-work-tree"], root)
+    if inside is None:
+        raise FixRefused("git is unavailable; --fix only runs on clean "
+                         "git trees")
+    if inside.returncode != 0 or inside.stdout.strip() != "true":
+        raise FixRefused("not inside a git work tree; --fix refuses to "
+                         "edit unversioned files")
+    status = _git(["status", "--porcelain"], root)
+    if status is None or status.returncode != 0:
+        raise FixRefused("`git status` failed; cannot verify the tree "
+                         "is clean")
+    if status.stdout.strip():
+        raise FixRefused("git tree has uncommitted changes; commit or "
+                         "stash them so each fix is its own diff")
+
+
+def _edit_span(line: str, col: int, end_col: int, new: str) -> str:
+    """Replace a byte-offset span (ast col offsets are utf-8 bytes)."""
+    raw = line.encode("utf-8")
+    return (raw[:col] + new.encode("utf-8") + raw[end_col:]).decode("utf-8")
+
+
+def _fix_compares(tree: ast.Module, text: str, lines: list[str],
+                  posix: str, applied: list[Applied]) -> bool:
+    """Rewrite flagged cost comparisons in place; True if any changed."""
+    edits: list[tuple[int, int, int, str, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            continue
+        op = node.ops[0]
+        if not isinstance(op, (ast.Eq, ast.NotEq)):
+            continue
+        if node.lineno != node.end_lineno:
+            continue
+        operands = [node.left, node.comparators[0]]
+        if not any(_mentions_cost(o) for o in operands):
+            continue
+        left = ast.get_source_segment(text, node.left)
+        right = ast.get_source_segment(text, node.comparators[0])
+        if left is None or right is None:
+            continue
+        if isinstance(op, ast.Eq):
+            new = f"close({left}, {right})"
+            what = f"{left} == {right} -> {new}"
+        else:
+            new = f"not close({left}, {right})"
+            what = f"{left} != {right} -> {new}"
+        edits.append((node.lineno, node.col_offset,
+                      node.end_col_offset, new, what))
+    # Apply right-to-left so earlier byte offsets stay valid.
+    for lineno, col, end_col, new, what in sorted(edits, reverse=True):
+        lines[lineno - 1] = _edit_span(lines[lineno - 1], col, end_col, new)
+        applied.append(Applied(posix, lineno, "float-cost-eq", what))
+    return bool(edits)
+
+
+def _ensure_close_import(lines: list[str], tree: ast.Module) -> None:
+    for i, line in enumerate(lines):
+        m = _TOLERANCE_IMPORT_RE.match(line.rstrip("\n"))
+        if m is None:
+            continue
+        names = [n.strip() for n in m.group("names").split(",")]
+        if "close" in names:
+            return
+        lines[i] = (f"from repro.core.tolerance import "
+                    f"{', '.join(names + ['close'])}\n")
+        return
+    insert_at = 0
+    for node in tree.body:
+        if (isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)):
+            insert_at = node.end_lineno or insert_at
+            continue
+        if (isinstance(node, ast.ImportFrom)
+                and node.module == "__future__"):
+            insert_at = node.end_lineno or insert_at
+            continue
+        break
+    lines.insert(insert_at, "from repro.core.tolerance import close\n")
+
+
+def _fix_excepts(tree: ast.Module, lines: list[str], posix: str,
+                 applied: list[Applied]) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad(node) or _handles(node):
+            continue
+        if node.type is None:
+            lineno = node.lineno
+            fixed = re.sub(r"except\s*:", "except Exception:",
+                           lines[lineno - 1], count=1)
+            if fixed != lines[lineno - 1]:
+                lines[lineno - 1] = fixed
+                applied.append(Applied(
+                    posix, lineno, "silent-except",
+                    "bare except: -> except Exception:"))
+        if len(node.body) == 1 and isinstance(node.body[0], ast.Pass):
+            stmt = node.body[0]
+            lines[stmt.lineno - 1] = _edit_span(
+                lines[stmt.lineno - 1], stmt.col_offset,
+                stmt.col_offset + len("pass"), "raise")
+            applied.append(Applied(
+                posix, stmt.lineno, "silent-except",
+                "silent handler body: pass -> raise"))
+
+
+def apply_fixes(paths: Sequence[str | Path], *,
+                root: str | Path | None = None,
+                require_clean: bool = True) -> list[Applied]:
+    """Apply the mechanical fixes under ``paths``; returns what changed.
+
+    Raises :class:`FixRefused` unless run on a clean git tree (disable
+    via ``require_clean=False`` for programmatic use on scratch dirs).
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    if require_clean:
+        _ensure_clean_git(base)
+    applied: list[Applied] = []
+    for path in collect_files(paths):
+        try:
+            text = path.read_text()
+            tree = ast.parse(text, filename=str(path))
+        except (OSError, SyntaxError, UnicodeDecodeError, ValueError):
+            continue
+        lines = text.splitlines(keepends=True)
+        before = len(applied)
+        fixed_compares = ("src" in path.parts      # float-cost-eq scope
+                          and _fix_compares(tree, text, lines,
+                                            path.as_posix(), applied))
+        _fix_excepts(tree, lines, path.as_posix(), applied)
+        if fixed_compares:
+            # Inserting the import shifts lines, so it must come after
+            # every offset-based edit above.
+            _ensure_close_import(lines, tree)
+        if len(applied) > before:
+            path.write_text("".join(lines))
+    return applied

@@ -1,0 +1,84 @@
+"""Whole-program passes — the check stage of the analysis pipeline.
+
+:func:`run_all` is the single entry point the engine calls: it replays
+the file-local findings embedded in each summary, runs the structural
+repo rules (:mod:`.structural`), builds one
+:class:`~repro.analyze.callgraph.CallGraph`, and hands it to the three
+interprocedural dataflow passes (:mod:`.determinism`,
+:mod:`.fork_safety`, :mod:`.rng_provenance`).
+
+``RULE_META`` is the registry of every rule/pass id with its severity
+and one-line invariant; the CLI's ``--fail-on`` gate, the SARIF rule
+table, and ``docs/ANALYZE.md`` all key off it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..callgraph import CallGraph
+from ..engine import Finding
+from ..index import ModuleIndex
+from . import determinism, fork_safety, rng_provenance, structural
+
+__all__ = ["RULE_META", "run_all"]
+
+#: rule id -> (severity, one-line invariant).
+RULE_META: dict[str, tuple[str, str]] = {
+    "seed-discipline": (
+        "error",
+        "library code never draws from implicit global RNG state"),
+    "silent-except": (
+        "error",
+        "broad exception handlers must re-raise, log, or carry a pragma"),
+    "float-cost-eq": (
+        "error",
+        "cost/gain values are compared via repro.core.tolerance, not ==/!="),
+    "serve-timeout": (
+        "error",
+        "every await in the serving layer is bounded by with_deadline"),
+    "kernel-oracle": (
+        "error",
+        "every public CSR kernel has a _reference_* oracle twin and tests"),
+    "runner-signature": (
+        "error",
+        "registered runners are declared run(*, seed, **params) with a "
+        "resolvable check"),
+    "error-hierarchy": (
+        "error",
+        "every *Error class derives from repro.errors.ReproError"),
+    "determinism": (
+        "error",
+        "registered runners and serve ops never transitively reach "
+        "wall-clock, env, network, or global-RNG state"),
+    "fork-safety": (
+        "error",
+        "code reachable from forked worker entrypoints never mutates "
+        "module-level state or inherited locks/loops"),
+    "rng-provenance": (
+        "error",
+        "Generators flow from the seed parameter by argument, never via "
+        "a module global or unseeded constructor"),
+    "pragma-missing-reason": (
+        "warning",
+        "every allow(...) pragma carries a written reason"),
+    "unused-pragma": (
+        "warning",
+        "a pragma that suppresses nothing is removed, not left to rot"),
+    "stale-baseline": (
+        "note",
+        "baseline entries that no longer match any finding are pruned"),
+}
+
+
+def run_all(index: ModuleIndex) -> Iterable[Finding]:
+    """Every unfiltered finding for the linked program, in one stream."""
+    for summary in index.summaries:
+        yield from summary.findings()
+    yield from structural.kernel_oracle(index)
+    yield from structural.runner_signature(index)
+    yield from structural.error_hierarchy(index)
+    graph = CallGraph(index)
+    yield from determinism.run(index, graph)
+    yield from fork_safety.run(index, graph)
+    yield from rng_provenance.run(index, graph)

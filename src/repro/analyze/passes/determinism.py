@@ -1,0 +1,109 @@
+"""Determinism pass: runners must not reach nondeterministic sources.
+
+The ``.lab-cache/`` content address is ``hash(params, seed, code
+fingerprint)`` — it *asserts* that a runner's result is a pure
+function of those inputs.  Any registered lab runner or serve op that
+transitively calls into wall-clock, environment, network, or
+global-RNG state makes that address a lie: a cache hit would replay a
+value the current environment could not reproduce.
+
+This pass walks the call graph from every registered entrypoint
+(lab ``ExperimentSpec`` registrations and the serve op) and flags each
+external call that matches a nondeterminism sink, with a witness call
+chain.  Findings anchor at the *sink call site* — one shared helper
+flagged once, suppressible with one pragma — and name the entrypoint
+that reaches it.
+
+``time.perf_counter``/``time.monotonic`` are deliberately **not**
+sinks: duration measurement is how the TIMING benches work, and
+measured durations are reported, not cached as results.  Runners
+tagged ``timing`` are excluded from the entrypoint set entirely —
+their whole purpose is to observe the clock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..callgraph import CallGraph
+from ..dataflow import Reachability
+from ..engine import Finding
+from ..index import ModuleIndex
+
+__all__ = ["classify_sink", "run"]
+
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.ctime", "time.asctime",
+    "time.localtime", "time.gmtime", "time.strftime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+_ENV_EXACT = {"os.getenv", "platform.node", "socket.gethostname"}
+_ENV_PREFIXES = ("os.environ",)
+
+_NETWORK_PREFIXES = ("socket.", "urllib.", "http.", "requests.",
+                     "ssl.", "ftplib.", "smtplib.")
+
+_ENTROPY_EXACT = {"os.urandom", "uuid.uuid1", "uuid.uuid4"}
+_ENTROPY_PREFIXES = ("secrets.",)
+
+#: numpy.random constructors that take (or default) an explicit seed
+#: and hand back caller-owned state — not global-RNG sinks.
+_ALLOWED_NP_RANDOM = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+
+
+def classify_sink(resolved: str) -> str | None:
+    """Nondeterminism category of an external call target, or None."""
+    if resolved in _WALL_CLOCK:
+        return "wall-clock"
+    if resolved in _ENV_EXACT or resolved.startswith(_ENV_PREFIXES):
+        return "environment"
+    if resolved.startswith(_NETWORK_PREFIXES):
+        return "network"
+    if resolved in _ENTROPY_EXACT or resolved.startswith(_ENTROPY_PREFIXES):
+        return "entropy"
+    head, _, attr = resolved.rpartition(".")
+    if head == "numpy.random" and attr not in _ALLOWED_NP_RANDOM:
+        return "global-RNG"
+    if head == "random":
+        return "global-RNG"
+    return None
+
+
+def _entrypoints(graph: CallGraph, *,
+                 exclude_timing: bool) -> dict[str, str]:
+    roots: dict[str, str] = {}
+    for node, name, tags in graph.runner_entrypoints():
+        if exclude_timing and "timing" in tags:
+            continue
+        roots.setdefault(node, f"runner '{name}'")
+    return roots
+
+
+def run(index: ModuleIndex, graph: CallGraph) -> Iterable[Finding]:
+    roots = _entrypoints(graph, exclude_timing=True)
+    if not roots:
+        return
+    reach = Reachability(graph.edges, roots)
+    seen: set[tuple] = set()
+    for node in reach:
+        for line, resolved, written in graph.external.get(node, ()):
+            category = classify_sink(resolved)
+            if category is None:
+                continue
+            owner = graph.owner[node]
+            key = (owner.path, line, resolved)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Finding(
+                path=owner.path, line=line, rule="determinism",
+                message=f"call to '{written}' ({category}) is reachable "
+                        f"from {reach.label(node)}; the .lab-cache "
+                        "content address assumes results depend only on "
+                        "params+seed (chain: "
+                        f"{reach.chain_text(node)})")

@@ -1,0 +1,217 @@
+"""Structural repo-wide rules, re-homed onto module summaries.
+
+These are the PR-2 ``REPO_RULES`` (kernel-oracle, runner-signature,
+error-hierarchy) rebuilt to read :class:`~repro.analyze.index
+.ModuleSummary` facts instead of re-walking ASTs, so the incremental
+engine can re-check them from cache.  ``kernel-oracle`` additionally
+anchors on CSR-consuming kernels under ``hierarchy/`` and
+``scheduling/`` (the PR-1 parity contract, now repo-wide).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable
+
+from ..engine import Finding
+from ..index import ModuleIndex, ModuleSummary
+
+__all__ = ["error_hierarchy", "kernel_oracle", "runner_signature"]
+
+
+# ---------------------------------------------------------------------------
+# kernel-oracle (R3)
+# ---------------------------------------------------------------------------
+
+#: Historical oracle names that don't follow ``_reference_<kernel>``.
+_ORACLE_ALIASES = {
+    "normalize_edges": "_reference_normalize",
+    "incidence_from_csr": "_reference_incidence",
+    "contract_csr": "_reference_contract",
+    "merge_parallel_csr": "_reference_merge_parallel",
+    "lambda_counts": "_reference_lambdas",
+    "pin_count_matrix": "_reference_pin_counts",
+    "adjacency_csr": "_reference_adjacency",
+    "degrees_from_pins": "_reference_degrees",
+    "edge_ids_from_ptr": "_reference_edge_ids",
+}
+
+#: Extended anchors: packages whose CSR-consuming public functions must
+#: also carry a ``_reference_*`` twin (the repo-wide parity contract).
+_CSR_ANCHOR_PACKAGES = ("repro.hierarchy.", "repro.scheduling.")
+
+
+def _top_level_functions(s: ModuleSummary) -> dict[str, dict]:
+    return {name: info for name, info in s.functions.items()
+            if "." not in name}
+
+
+def _referenced_in_tests(index: ModuleIndex) -> set[str]:
+    out: set[str] = set()
+    for s in index.summaries:
+        if s.in_tests:
+            out.update(s.referenced_names)
+    return out
+
+
+def _check_kernel(s: ModuleSummary, name: str, info: dict,
+                  oracles: set[str], referenced: set[str],
+                  kind: str) -> Iterable[Finding]:
+    twin = _ORACLE_ALIASES.get(name, f"_reference_{name}")
+    if twin not in oracles:
+        yield Finding(
+            path=s.path, line=info["line"], rule="kernel-oracle",
+            message=f"public {kind} '{name}' has no '{twin}' oracle "
+                    "twin for property-based parity testing")
+    if referenced and name not in referenced:
+        yield Finding(
+            path=s.path, line=info["line"], rule="kernel-oracle",
+            message=f"public {kind} '{name}' is not exercised "
+                    "anywhere under tests/")
+
+
+def kernel_oracle(index: ModuleIndex) -> Iterable[Finding]:
+    referenced = _referenced_in_tests(index)
+    for s in index.summaries:
+        if s.path.endswith("src/repro/core/kernels.py"):
+            defs = _top_level_functions(s)
+            oracles = {n for n in defs if n.startswith("_reference_")}
+            for name, info in defs.items():
+                if name.startswith("_"):
+                    continue
+                yield from _check_kernel(s, name, info, oracles,
+                                         referenced, "kernel")
+        elif (s.in_src
+              and (s.module + ".").startswith(_CSR_ANCHOR_PACKAGES)):
+            defs = _top_level_functions(s)
+            oracles = {n for n in defs if n.startswith("_reference_")}
+            for name, info in defs.items():
+                if name.startswith("_") or not info.get("consumes_csr"):
+                    continue
+                yield from _check_kernel(s, name, info, oracles,
+                                         referenced, "CSR kernel")
+
+
+# ---------------------------------------------------------------------------
+# runner-signature (R4)
+# ---------------------------------------------------------------------------
+
+#: Modules whose spec registrations bind runners the lab/serve
+#: executors will actually invoke as ``fn(seed=..., **params)``.
+_REGISTRATION_ANCHORS = (
+    "src/repro/lab/experiments.py",
+    "src/repro/serve/runner.py",
+)
+
+
+def _runner_module_path(root: Path, module: str) -> Path:
+    if "." in module:
+        return root / "src" / Path(*module.split(".")).with_suffix(".py")
+    return root / "benchmarks" / f"{module}.py"
+
+
+def _disk_defs(root: Path, module: str) -> dict[str, dict] | None:
+    """Parse a runner module that is outside the analyzed set.
+
+    The lab registry points at ``benchmarks/*.py`` by bare stem, and
+    callers routinely analyze only ``src/`` — fall back to reading the
+    runner file straight off disk, exactly like the v1 rule did.
+    """
+    path = _runner_module_path(root, module)
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except (OSError, SyntaxError):
+        return None
+    defs: dict[str, dict] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            a = node.args
+            defs[node.name] = {
+                "line": node.lineno,
+                "posargs": [x.arg for x in
+                            (list(getattr(a, "posonlyargs", []))
+                             + list(a.args))],
+                "kwonly": [x.arg for x in a.kwonlyargs],
+            }
+    return defs
+
+
+def runner_signature(index: ModuleIndex) -> Iterable[Finding]:
+    for s in index.summaries:
+        if not s.path.endswith(_REGISTRATION_ANCHORS):
+            continue
+        root = Path(s.path).resolve().parents[3]
+        cache: dict[str, dict | None] = {}
+
+        def module_defs(module: str) -> dict[str, dict] | None:
+            if module not in cache:
+                target = index.module(module)
+                if target is not None:
+                    cache[module] = _top_level_functions(target)
+                else:
+                    cache[module] = _disk_defs(root, module)
+            return cache[module]
+
+        for reg in s.registrations:
+            module, func = reg.get("module"), reg.get("func")
+            check, lineno = reg.get("check"), reg.get("line", 1)
+            if not isinstance(module, str) or not isinstance(func, str):
+                continue
+            defs = module_defs(module)
+            if defs is None:
+                yield Finding(
+                    path=s.path, line=lineno, rule="runner-signature",
+                    message=f"runner module '{module}' cannot be resolved "
+                            "to a source file")
+                continue
+            info = defs.get(func)
+            if info is None:
+                yield Finding(
+                    path=s.path, line=lineno, rule="runner-signature",
+                    message=f"runner '{module}.{func}' is not defined")
+            elif info["posargs"] or "seed" not in info["kwonly"]:
+                yield Finding(
+                    path=s.path, line=lineno, rule="runner-signature",
+                    message=f"runner '{module}.{func}' must be declared "
+                            "keyword-only with a 'seed' parameter: "
+                            "def run(*, seed=..., **params)")
+            if isinstance(check, str) and check not in defs:
+                yield Finding(
+                    path=s.path, line=lineno, rule="runner-signature",
+                    message=f"check '{module}.{check}' is not defined")
+
+
+# ---------------------------------------------------------------------------
+# error-hierarchy (R6)
+# ---------------------------------------------------------------------------
+
+def error_hierarchy(index: ModuleIndex) -> Iterable[Finding]:
+    errors = next((s for s in index.summaries
+                   if s.path.endswith("src/repro/errors.py")), None)
+    if errors is None:
+        return
+    allowed = {"ReproError"}
+    changed = True
+    while changed:  # transitive closure over the hierarchy in errors.py
+        changed = False
+        for name, info in errors.classes.items():
+            if (name not in allowed
+                    and any(b in allowed for b in info["bases"])):
+                allowed.add(name)
+                changed = True
+    for s in index.summaries:
+        parts = Path(s.path).parts
+        if "src" not in parts or "repro" not in parts:
+            continue
+        for name, info in s.classes.items():
+            leaf = name.rpartition(".")[2]
+            if not leaf.endswith("Error") or leaf == "ReproError":
+                continue
+            bases = {b.rpartition(".")[2] for b in info["bases"]}
+            if not bases & allowed:
+                yield Finding(
+                    path=s.path, line=info["line"], rule="error-hierarchy",
+                    message=f"'{leaf}' must derive from "
+                            "repro.errors.ReproError (directly or via an "
+                            "existing subclass)")

@@ -1,4 +1,4 @@
-"""Built-in rules for ``repro analyze``.
+"""File-local rules for ``repro analyze``.
 
 Each rule guards an invariant the reproduction depends on:
 
@@ -12,44 +12,46 @@ rule id                   invariant
 ``silent-except``         no ``except Exception:``/bare ``except:`` swallows
                           an error without re-raising, logging, or a written
                           pragma justifying the suppression.
-``kernel-oracle``         every public CSR kernel has a ``_reference_*``
-                          pure-Python oracle twin and is exercised by the
-                          test suite (the PR-1 parity contract).
-``runner-signature``      every registered ExperimentSpec runner is declared
-                          ``run(*, seed, **params)`` and its ``check``
-                          callable exists, so the lab executor can always
-                          invoke it as ``fn(seed=..., **params)``.
 ``float-cost-eq``         cost/gain/load values are never compared with raw
                           ``==``/``!=``; comparisons go through
                           :mod:`repro.core.tolerance`.
-``error-hierarchy``       every ``*Error`` class in :mod:`repro` derives from
-                          :class:`repro.errors.ReproError`, so callers can
-                          catch one base class.
 ``serve-timeout``         every ``await`` in the serving layer goes through
                           the ``with_deadline`` wrapper or is an allowlisted
                           pure-I/O primitive — no handler can block forever
                           on a solver future.
 ========================  ====================================================
 
-Scoping: ``seed-discipline``, ``float-cost-eq`` and ``error-hierarchy``
-apply to library code (files under ``src/``) — tests may intentionally
-seed globals or compare exact integer-valued costs.  ``silent-except``
-applies everywhere.  ``serve-timeout`` applies only to files under
-``src/repro/serve/``.  The repo rules anchor on their subject file
-(``core/kernels.py`` / ``lab/experiments.py``) and only run when it is
-part of the analyzed set.
+Since analyze v2 these rules are *fact consumers*: they read the
+collections gathered by the single AST walk in
+:class:`repro.analyze.index.Extractor` (resolved call records, except
+handlers, comparisons, awaits) instead of re-walking the tree
+themselves — one walk serves every rule.  Their findings are embedded
+in the module summary, so the incremental engine replays them from
+cache without re-parsing.
+
+The *structural* repo-wide rules (``kernel-oracle``,
+``runner-signature``, ``error-hierarchy``) and the interprocedural
+passes (``determinism``, ``fork-safety``, ``rng-provenance``) live in
+:mod:`repro.analyze.passes`.
+
+Scoping: ``seed-discipline`` and ``float-cost-eq`` apply to library
+code (files under ``src/``) — tests may intentionally seed globals or
+compare exact integer-valued costs.  ``silent-except`` applies
+everywhere.  ``serve-timeout`` applies only to files under
+``src/repro/serve/``.
 """
 
 from __future__ import annotations
 
 import ast
-import re
-from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable
 
 from .engine import Finding, SourceFile
 
-__all__ = ["FILE_RULES", "REPO_RULES"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .index import Extractor
+
+__all__ = ["run_local_rules"]
 
 
 def _dotted(node: ast.AST) -> str:
@@ -75,28 +77,22 @@ _ALLOWED_NP_RANDOM = {
 }
 
 
-def rule_seed_discipline(sf: SourceFile) -> Iterable[Finding]:
+def seed_discipline(sf: SourceFile, ex: "Extractor") -> Iterable[Finding]:
     if not sf.in_src:
         return
-    imported = {a.asname or a.name
-                for node in ast.walk(sf.tree)
-                if isinstance(node, ast.Import) for a in node.names}
-    for node in ast.walk(sf.tree):
-        if not isinstance(node, ast.Call):
-            continue
-        name = _dotted(node.func)
-        head, _, attr = name.rpartition(".")
-        if head in ("np.random", "numpy.random"):
+    for _qual, line, resolved, written in ex.call_records:
+        head, _, attr = resolved.rpartition(".")
+        if head in ("numpy.random", "np.random"):
             if attr not in _ALLOWED_NP_RANDOM:
                 yield Finding(
-                    path=sf.posix, line=node.lineno, rule="seed-discipline",
-                    message=f"call to global-state RNG '{name}'; pass an "
+                    path=sf.posix, line=line, rule="seed-discipline",
+                    message=f"call to global-state RNG '{written}'; pass an "
                             "explicit np.random.Generator (default_rng) "
                             "instead")
-        elif head == "random" and "random" in imported:
+        elif head == "random":
             yield Finding(
-                path=sf.posix, line=node.lineno, rule="seed-discipline",
-                message=f"call to stdlib global RNG '{name}'; use an "
+                path=sf.posix, line=line, rule="seed-discipline",
+                message=f"call to stdlib global RNG '{written}'; use an "
                         "explicit np.random.Generator parameter")
 
 
@@ -133,13 +129,13 @@ def _handles(handler: ast.ExceptHandler) -> bool:
     return False
 
 
-def rule_silent_except(sf: SourceFile) -> Iterable[Finding]:
-    for node in ast.walk(sf.tree):
-        if (isinstance(node, ast.ExceptHandler) and _is_broad(node)
-                and not _handles(node)):
-            caught = _dotted(node.type) if node.type is not None else "all"
+def silent_except(sf: SourceFile, ex: "Extractor") -> Iterable[Finding]:
+    for handler in ex.handlers:
+        if _is_broad(handler) and not _handles(handler):
+            caught = (_dotted(handler.type) if handler.type is not None
+                      else "all")
             yield Finding(
-                path=sf.posix, line=node.lineno, rule="silent-except",
+                path=sf.posix, line=handler.lineno, rule="silent-except",
                 message=f"broad handler ({caught}) neither re-raises nor "
                         "logs; narrow the exception type or add an "
                         "allow(silent-except) pragma with a reason")
@@ -164,12 +160,10 @@ def _mentions_cost(node: ast.AST) -> bool:
     return False
 
 
-def rule_float_cost_eq(sf: SourceFile) -> Iterable[Finding]:
+def float_cost_eq(sf: SourceFile, ex: "Extractor") -> Iterable[Finding]:
     if not sf.in_src:
         return
-    for node in ast.walk(sf.tree):
-        if not isinstance(node, ast.Compare):
-            continue
+    for _ctx, node in ex.compares:
         if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
             continue
         operands = [node.left, *node.comparators]
@@ -195,221 +189,34 @@ _SERVE_AWAIT_OK = {
 }
 
 
-def _callee_name(func: ast.AST) -> str:
-    """Terminal name of a call target (handles ``X(...).method``)."""
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    if isinstance(func, ast.Name):
-        return func.id
-    return ""
-
-
-def rule_serve_timeout(sf: SourceFile) -> Iterable[Finding]:
+def serve_timeout(sf: SourceFile, ex: "Extractor") -> Iterable[Finding]:
     parts = sf.path.parts
     if not ("src" in parts and "serve" in parts):
         return
     # Awaiting an async def *from this file* is transitively safe: its
     # own awaits are subject to this very rule.
-    local_async = {n.name for n in ast.walk(sf.tree)
-                   if isinstance(n, ast.AsyncFunctionDef)}
-    for node in ast.walk(sf.tree):
-        if not isinstance(node, ast.Await):
-            continue
-        value = node.value
-        if isinstance(value, ast.Call):
-            name = _callee_name(value.func)
-            if (name == "with_deadline" or name in _SERVE_AWAIT_OK
-                    or name in local_async):
+    for line, callee, written, is_call in ex.awaits:
+        if is_call:
+            if (callee == "with_deadline" or callee in _SERVE_AWAIT_OK
+                    or callee in ex.local_async):
                 continue
-            what = f"await of '{_dotted(value.func) or name or '?'}()'"
+            what = f"await of '{written or callee or '?'}()'"
         else:
             what = "bare await of a non-call expression"
         yield Finding(
-            path=sf.posix, line=node.lineno, rule="serve-timeout",
+            path=sf.posix, line=line, rule="serve-timeout",
             message=f"{what} in the serving layer; route it through "
                     "with_deadline(...) so the request budget applies, "
                     "or add an allow(serve-timeout) pragma with a reason")
 
 
-# ---------------------------------------------------------------------------
-# kernel-oracle (R3, repo rule)
-# ---------------------------------------------------------------------------
-
-#: Historical oracle names that don't follow ``_reference_<kernel>``.
-_ORACLE_ALIASES = {
-    "normalize_edges": "_reference_normalize",
-    "incidence_from_csr": "_reference_incidence",
-    "contract_csr": "_reference_contract",
-    "merge_parallel_csr": "_reference_merge_parallel",
-    "lambda_counts": "_reference_lambdas",
-    "pin_count_matrix": "_reference_pin_counts",
-    "adjacency_csr": "_reference_adjacency",
-    "degrees_from_pins": "_reference_degrees",
-    "edge_ids_from_ptr": "_reference_edge_ids",
-}
+_LOCAL_RULES = (seed_discipline, silent_except, float_cost_eq,
+                serve_timeout)
 
 
-def rule_kernel_oracle(files: Sequence[SourceFile]) -> Iterable[Finding]:
-    kernels = next((f for f in files
-                    if f.posix.endswith("src/repro/core/kernels.py")), None)
-    if kernels is None:
-        return
-    defs = {n.name: n for n in kernels.tree.body
-            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))}
-    oracles = {name for name in defs if name.startswith("_reference_")}
-    test_text = "\n".join(f.text for f in files if f.in_tests)
-    for name, node in defs.items():
-        if name.startswith("_"):
-            continue
-        twin = _ORACLE_ALIASES.get(name, f"_reference_{name}")
-        if twin not in oracles:
-            yield Finding(
-                path=kernels.posix, line=node.lineno, rule="kernel-oracle",
-                message=f"public kernel '{name}' has no '{twin}' oracle "
-                        "twin for property-based parity testing")
-        if test_text and not re.search(rf"\b{re.escape(name)}\b",
-                                       test_text):
-            yield Finding(
-                path=kernels.posix, line=node.lineno, rule="kernel-oracle",
-                message=f"public kernel '{name}' is not exercised "
-                        "anywhere under tests/")
-
-
-# ---------------------------------------------------------------------------
-# runner-signature (R4, repo rule)
-# ---------------------------------------------------------------------------
-
-def _spec_registrations(tree: ast.Module):
-    """Yield ``(module, func, check, lineno)`` from experiments.py.
-
-    Understands the two registration idioms: the ``_bench(name,
-    artifact, title, module, func, check, header, ...)`` helper and
-    direct ``register(ExperimentSpec(module=..., func=..., check=...))``.
-    """
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        callee = _dotted(node.func)
-        if callee == "_bench" and len(node.args) >= 6:
-            vals = [a.value if isinstance(a, ast.Constant) else None
-                    for a in node.args[:6]]
-            yield vals[3], vals[4], vals[5], node.lineno
-        elif callee == "register" and node.args:
-            spec = node.args[0]
-            if (isinstance(spec, ast.Call)
-                    and _dotted(spec.func) == "ExperimentSpec"):
-                kw = {k.arg: (k.value.value
-                              if isinstance(k.value, ast.Constant)
-                              else None)
-                      for k in spec.keywords if k.arg}
-                yield (kw.get("module"), kw.get("func"), kw.get("check"),
-                       node.lineno)
-
-
-def _runner_module_path(root: Path, module: str) -> Path:
-    if "." in module:
-        return root / "src" / Path(*module.split(".")).with_suffix(".py")
-    return root / "benchmarks" / f"{module}.py"
-
-
-def rule_runner_signature(files: Sequence[SourceFile]) -> Iterable[Finding]:
-    exp = next((f for f in files
-                if f.posix.endswith("src/repro/lab/experiments.py")), None)
-    if exp is None:
-        return
-    root = exp.path.resolve().parents[3]
-    trees: dict[str, dict[str, ast.FunctionDef] | None] = {}
-
-    def module_defs(module: str):
-        if module not in trees:
-            path = _runner_module_path(root, module)
-            try:
-                tree = ast.parse(path.read_text(), filename=str(path))
-            except (OSError, SyntaxError):
-                trees[module] = None
-            else:
-                trees[module] = {
-                    n.name: n for n in tree.body
-                    if isinstance(n, (ast.FunctionDef,
-                                      ast.AsyncFunctionDef))}
-        return trees[module]
-
-    for module, func, check, lineno in _spec_registrations(exp.tree):
-        if not isinstance(module, str) or not isinstance(func, str):
-            continue
-        defs = module_defs(module)
-        if defs is None:
-            yield Finding(
-                path=exp.posix, line=lineno, rule="runner-signature",
-                message=f"runner module '{module}' cannot be resolved "
-                        "to a source file")
-            continue
-        node = defs.get(func)
-        if node is None:
-            yield Finding(
-                path=exp.posix, line=lineno, rule="runner-signature",
-                message=f"runner '{module}.{func}' is not defined")
-        else:
-            a = node.args
-            positional = list(getattr(a, "posonlyargs", [])) + list(a.args)
-            kwonly = {arg.arg for arg in a.kwonlyargs}
-            if positional or "seed" not in kwonly:
-                yield Finding(
-                    path=exp.posix, line=lineno, rule="runner-signature",
-                    message=f"runner '{module}.{func}' must be declared "
-                            "keyword-only with a 'seed' parameter: "
-                            "def run(*, seed=..., **params)")
-        if isinstance(check, str) and check not in defs:
-            yield Finding(
-                path=exp.posix, line=lineno, rule="runner-signature",
-                message=f"check '{module}.{check}' is not defined")
-
-
-# ---------------------------------------------------------------------------
-# error-hierarchy (R6, repo rule)
-# ---------------------------------------------------------------------------
-
-def rule_error_hierarchy(files: Sequence[SourceFile]) -> Iterable[Finding]:
-    errors = next((f for f in files
-                   if f.posix.endswith("src/repro/errors.py")), None)
-    if errors is None:
-        return
-    allowed = {"ReproError"}
-    changed = True
-    while changed:  # transitive closure over the hierarchy in errors.py
-        changed = False
-        for node in errors.tree.body:
-            if (isinstance(node, ast.ClassDef)
-                    and node.name not in allowed
-                    and any(_dotted(b) in allowed for b in node.bases)):
-                allowed.add(node.name)
-                changed = True
-    for sf in files:
-        if "src" not in sf.path.parts or "repro" not in sf.path.parts:
-            continue
-        for node in ast.walk(sf.tree):
-            if not isinstance(node, ast.ClassDef):
-                continue
-            if not node.name.endswith("Error") or node.name == "ReproError":
-                continue
-            bases = {_dotted(b).rpartition(".")[2] for b in node.bases}
-            if not bases & allowed:
-                yield Finding(
-                    path=sf.posix, line=node.lineno, rule="error-hierarchy",
-                    message=f"'{node.name}' must derive from "
-                            "repro.errors.ReproError (directly or via an "
-                            "existing subclass)")
-
-
-FILE_RULES = [
-    ("seed-discipline", rule_seed_discipline),
-    ("silent-except", rule_silent_except),
-    ("float-cost-eq", rule_float_cost_eq),
-    ("serve-timeout", rule_serve_timeout),
-]
-
-REPO_RULES = [
-    rule_kernel_oracle,
-    rule_runner_signature,
-    rule_error_hierarchy,
-]
+def run_local_rules(sf: SourceFile, ex: "Extractor") -> list[Finding]:
+    """All file-local findings for one module, in deterministic order."""
+    out: list[Finding] = []
+    for rule in _LOCAL_RULES:
+        out.extend(rule(sf, ex))
+    return out

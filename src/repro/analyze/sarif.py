@@ -1,0 +1,67 @@
+"""SARIF 2.1.0 export for ``repro analyze --format sarif``.
+
+Emits the minimal static-analysis interchange document that code
+hosts and IDE SARIF viewers ingest: one run, one tool driver
+(``repro-analyze``), a rule table derived from
+:data:`repro.analyze.passes.RULE_META`, and one result per finding
+with severity mapped onto SARIF's ``error``/``warning``/``note``
+levels.  Output is deterministic (sorted rules, findings already
+sorted by the engine) so the document bytes are stable run-to-run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .engine import Finding
+
+__all__ = ["to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def to_sarif(findings: Sequence[Finding], *,
+             tool_version: str = "2.0") -> dict:
+    from .passes import RULE_META
+
+    used = sorted({f.rule for f in findings})
+    rules = []
+    for rule in used:
+        severity, description = RULE_META.get(rule, ("error", rule))
+        rules.append({
+            "id": rule,
+            "shortDescription": {"text": description},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(severity, "error")},
+        })
+    rule_index = {rule: i for i, rule in enumerate(used)}
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": _LEVELS.get(f.severity, "error"),
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-analyze",
+                "version": tool_version,
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }

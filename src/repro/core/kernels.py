@@ -261,6 +261,9 @@ def lambda_counts(ptr: np.ndarray, pins: np.ndarray, labels: np.ndarray,
 
 
 def _pin_count_budget() -> int:
+    # repro: allow[determinism] — a memory guard, not a result input:
+    # the env var only moves the allocation-refusal threshold, and the
+    # values computed under any budget are identical.
     raw = os.environ.get("REPRO_PIN_COUNT_BUDGET_BYTES", "")
     return int(raw) if raw.isdigit() else DEFAULT_PIN_COUNT_BUDGET_BYTES
 

@@ -75,6 +75,30 @@ def hierarchical_lambdas(
     return out
 
 
+def _reference_hierarchical_lambdas(
+    graph: Hypergraph,
+    partition: Partition | Sequence[int] | np.ndarray,
+    topology: HierarchyTopology,
+) -> np.ndarray:
+    """Pure-Python oracle twin of :func:`hierarchical_lambdas`.
+
+    λ_e^{(i)} is, by Definition 7.1, the number of distinct level-``i``
+    ancestors among the leaves a hyperedge's pins land on — computed
+    here with literal set-building per edge, one level at a time.
+    """
+    k = topology.k
+    labels = _leaf_labels(partition, k)
+    anc = topology.ancestors_matrix()
+    out = np.ones((topology.depth + 1, graph.num_edges), dtype=np.int64)
+    for j, edge in enumerate(graph.edges):
+        if len(edge) == 0:
+            continue
+        for level in range(1, topology.depth + 1):
+            groups = {int(anc[level][labels[v]]) for v in edge}
+            out[level, j] = len(groups)
+    return out
+
+
 def hierarchical_cost(
     graph: Hypergraph,
     partition: Partition | Sequence[int] | np.ndarray,

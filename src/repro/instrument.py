@@ -21,11 +21,15 @@ _counts: dict[str, float] = {}
 
 def bump(name: str, inc: float = 1) -> None:
     """Increment counter ``name`` by ``inc`` (created at 0 on first use)."""
+    # repro: allow[fork-safety] — counters are per-process by design;
+    # workers reset() post-fork and snapshot their own copy (docstring).
     _counts[name] = _counts.get(name, 0) + inc
 
 
 def reset() -> None:
     """Zero all counters (start of a measured task)."""
+    # repro: allow[fork-safety] — resetting the child's own copy of the
+    # counters right after fork is the intended lifecycle.
     _counts.clear()
 
 

@@ -148,6 +148,9 @@ def _import_module(module: str):
     if "." not in module and (BENCH_DIR / f"{module}.py").exists():
         bdir = str(BENCH_DIR)
         if bdir not in sys.path:
+            # repro: allow[fork-safety] — the child process extends its
+            # own copy of sys.path to import bench modules; the parent's
+            # path is never touched after the fork.
             sys.path.insert(0, bdir)
     return importlib.import_module(module)
 

@@ -15,18 +15,63 @@ import numpy as np
 from ..core.dag import DAG
 from .schedule import Schedule
 
-__all__ = ["critical_path_priority", "list_schedule",
-           "list_schedule_fixed_partition"]
+__all__ = ["critical_path_priority", "priority_from_csr",
+           "list_schedule", "list_schedule_fixed_partition"]
+
+
+def priority_from_csr(ptr: np.ndarray, adj: np.ndarray,
+                      layers: np.ndarray) -> np.ndarray:
+    """Vectorised critical-path priorities from a successor CSR.
+
+    ``ptr``/``adj`` encode each node's successor list;  ``layers`` is
+    any layering with ``layers[u] < layers[w]`` along every edge (ASAP
+    layers qualify).  Edges are reduced one source layer at a time,
+    deepest first, with ``np.maximum.at`` — every successor lives in a
+    strictly later layer, so its priority is already final when its
+    predecessors' layer is processed.
+    """
+    ptr = np.asarray(ptr, dtype=np.int64)
+    adj = np.asarray(adj, dtype=np.int64)
+    n = ptr.shape[0] - 1
+    prio = np.ones(n, dtype=np.int64)
+    if n == 0 or adj.shape[0] == 0:
+        return prio
+    layers = np.asarray(layers, dtype=np.int64)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(ptr))
+    order = np.argsort(layers[src], kind="stable")
+    depth = int(layers.max())
+    bounds = np.searchsorted(layers[src][order],
+                             np.arange(depth + 2, dtype=np.int64))
+    for level in range(depth, -1, -1):
+        sel = order[bounds[level]:bounds[level + 1]]
+        if sel.shape[0]:
+            np.maximum.at(prio, src[sel], prio[adj[sel]] + 1)
+    return prio
+
+
+def _reference_priority_from_csr(ptr, adj, layers) -> np.ndarray:
+    """Pure-Python oracle twin of :func:`priority_from_csr`."""
+    ptr = np.asarray(ptr, dtype=np.int64)
+    adj = np.asarray(adj, dtype=np.int64)
+    layers = np.asarray(layers, dtype=np.int64)
+    n = ptr.shape[0] - 1
+    prio = [1] * n
+    for v in sorted(range(n), key=lambda u: -int(layers[u])):
+        for w in adj[ptr[v]:ptr[v + 1]]:
+            prio[v] = max(prio[v], prio[int(w)] + 1)
+    return np.asarray(prio, dtype=np.int64)
 
 
 def critical_path_priority(dag: DAG) -> np.ndarray:
     """Length (in nodes) of the longest path starting at each node —
     the classic "highest level first" priority (Hu's levels)."""
-    prio = np.ones(dag.n, dtype=np.int64)
-    for v in reversed(dag.topological_order()):
-        for w in dag.successors(v):
-            prio[v] = max(prio[v], prio[w] + 1)
-    return prio
+    counts = np.fromiter((dag.out_degree(v) for v in range(dag.n)),
+                         dtype=np.int64, count=dag.n)
+    ptr = np.zeros(dag.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    adj = np.fromiter((w for v in range(dag.n) for w in dag.successors(v)),
+                      dtype=np.int64, count=int(ptr[-1]))
+    return priority_from_csr(ptr, adj, dag.asap_layers())
 
 
 def list_schedule(dag: DAG, k: int,

@@ -1,0 +1,172 @@
+"""Baseline grandfathering, stale-entry hygiene, and SARIF export."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.analyze.baseline import Baseline, write_baseline
+from repro.analyze.cli import analyze_main
+from repro.analyze.engine import Finding
+from repro.analyze.sarif import to_sarif
+
+F1 = Finding(path="src/repro/a.py", line=3, rule="seed-discipline",
+             message="call to global-state RNG 'np.random.rand'; pass an "
+                     "explicit np.random.Generator (default_rng) instead")
+F2 = Finding(path="src/repro/b.py", line=9, rule="determinism",
+             message="call to 'time.time' (wall-clock) is reachable ...")
+
+
+class TestBaseline:
+    def test_split_and_line_insensitivity(self, tmp_path):
+        bl_path = tmp_path / "baseline.json"
+        assert write_baseline(bl_path, [F1]) == 1
+        bl = Baseline(bl_path)
+        moved = Finding(path=F1.path, line=99, rule=F1.rule,
+                        message=F1.message)
+        new, old = bl.split([moved, F2])
+        assert old == [moved]       # same (path, rule, message): any line
+        assert new == [F2]
+
+    def test_stale_entries_become_notes(self, tmp_path):
+        bl_path = tmp_path / "baseline.json"
+        write_baseline(bl_path, [F1, F2])
+        bl = Baseline(bl_path)
+        [note] = bl.stale_notes([F1])
+        assert note.rule == "stale-baseline" and note.severity == "note"
+        assert "determinism" in note.message
+        assert bl.stale_notes([F1, F2]) == []
+
+    def test_write_is_sorted_and_timestamp_free(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_baseline(a, [F2, F1, F1])
+        write_baseline(b, [F1, F2])
+        assert a.read_text() == b.read_text()
+        data = json.loads(a.read_text())
+        # Sorted by (path, rule, message): a.py's entry comes first.
+        assert [e["rule"] for e in data["entries"]] == [
+            "seed-discipline", "determinism"]
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        bl = Baseline(tmp_path / "nope.json")
+        assert bl.error is None
+        assert bl.split([F1]) == ([F1], [])
+
+    def test_unreadable_baseline_reports_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[not json")
+        bl = Baseline(bad)
+        assert bl.error is not None
+        assert bl.split([F1]) == ([F1], [])
+
+
+class TestSarif:
+    def test_document_shape(self):
+        doc = to_sarif([F1, F2])
+        assert doc["version"] == "2.1.0"
+        [run] = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-analyze"
+        rules = [r["id"] for r in driver["rules"]]
+        assert rules == sorted({F1.rule, F2.rule})
+        for res in run["results"]:
+            assert rules[res["ruleIndex"]] == res["ruleId"]
+            loc = res["locations"][0]["physicalLocation"]
+            assert loc["region"]["startLine"] >= 1
+        assert {r["level"] for r in run["results"]} == {"error"}
+
+    def test_note_severity_maps_to_note_level(self):
+        note = Finding(path="x.json", line=1, rule="stale-baseline",
+                       message="m", severity="note")
+        doc = to_sarif([note])
+        assert doc["runs"][0]["results"][0]["level"] == "note"
+
+    def test_empty_findings_valid_document(self):
+        doc = to_sarif([])
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+def ns(**kw) -> argparse.Namespace:
+    base = dict(paths=[], fmt="text", incremental=False, changed=False,
+                cache_dir=None, fail_on="warning", baseline=None,
+                write_baseline=False, fix=False, stats=False)
+    base.update(kw)
+    return argparse.Namespace(**base)
+
+
+def plant(root: Path) -> Path:
+    p = root / "src/repro/mod.py"
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text("import numpy as np\n"
+                 "def f():\n"
+                 "    return np.random.rand()\n")
+    return root / "src"
+
+
+class TestCli:
+    def test_error_finding_fails_run(self, tmp_path, capsys):
+        src = plant(tmp_path)
+        assert analyze_main(ns(paths=[src])) == 1
+        out = capsys.readouterr().out
+        assert "seed-discipline" in out and "1 finding" in out
+
+    def test_fail_on_never_passes(self, tmp_path):
+        assert analyze_main(ns(paths=[plant(tmp_path)],
+                               fail_on="never")) == 0
+
+    def test_write_baseline_then_grandfathered(self, tmp_path, capsys):
+        src = plant(tmp_path)
+        bl = tmp_path / "baseline.json"
+        assert analyze_main(ns(paths=[src], baseline=str(bl),
+                               write_baseline=True)) == 0
+        assert "wrote 1 entry" in capsys.readouterr().out
+        assert analyze_main(ns(paths=[src], baseline=str(bl))) == 0
+        out = capsys.readouterr().out
+        assert "1 grandfathered finding(s)" in out
+        assert "0 findings" in out
+
+    def test_stale_baseline_notes_and_fail_on_note(self, tmp_path, capsys):
+        src = plant(tmp_path)
+        bl = tmp_path / "baseline.json"
+        write_baseline(bl, [F1, F2])      # F2 matches nothing here
+        analyze_main(ns(paths=[src], baseline=str(bl)))
+        out = capsys.readouterr().out
+        assert "stale-baseline" in out
+        # A note is below the default warning bar but fails --fail-on=note.
+        assert analyze_main(ns(paths=[src], baseline=str(bl))) == 1
+        capsys.readouterr()
+        clean = tmp_path / "clean/src/repro/ok.py"
+        clean.parent.mkdir(parents=True)
+        clean.write_text("def f():\n    return 1\n")
+        stale_only = tmp_path / "stale.json"
+        write_baseline(stale_only, [F2])
+        assert analyze_main(ns(paths=[clean], baseline=str(stale_only),
+                               fail_on="error")) == 0
+        assert analyze_main(ns(paths=[clean], baseline=str(stale_only),
+                               fail_on="note")) == 1
+
+    def test_json_format(self, tmp_path, capsys):
+        src = plant(tmp_path)
+        analyze_main(ns(paths=[src], fmt="json"))
+        data = json.loads(capsys.readouterr().out)
+        assert data["files"] == 1 and data["grandfathered"] == 0
+        assert data["findings"][0]["rule"] == "seed-discipline"
+
+    def test_sarif_format(self, tmp_path, capsys):
+        src = plant(tmp_path)
+        analyze_main(ns(paths=[src], fmt="sarif"))
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "seed-discipline"
+
+    def test_stats_line(self, tmp_path, capsys):
+        src = plant(tmp_path)
+        cache = tmp_path / "cache"
+        analyze_main(ns(paths=[src], incremental=True,
+                        cache_dir=str(cache), stats=True))
+        analyze_main(ns(paths=[src], incremental=True,
+                        cache_dir=str(cache), stats=True))
+        out = capsys.readouterr().out
+        assert "1 summarie(s) from cache, 0 extracted" in out

@@ -1,0 +1,141 @@
+"""``repro analyze --fix``: the autofixer and its clean-git-tree gate."""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import analyze_paths
+from repro.analyze.fix import Applied, FixRefused, apply_fixes
+
+
+def _git(root, *args):
+    subprocess.run(
+        ["git", "-c", "user.email=ci@example.invalid",
+         "-c", "user.name=ci", *args],
+        cwd=root, check=True, capture_output=True)
+
+
+def git_repo(root: Path, files: dict[str, str]) -> None:
+    for rel, text in files.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+    _git(root, "init", "-q")
+    _git(root, "add", "-A")
+    _git(root, "commit", "-qm", "seed")
+
+
+COSTY = ("def pick(cost, best_cost):\n"
+         "    if cost == best_cost:\n"
+         "        return 0\n"
+         "    return 1\n")
+
+BARE = ("def f():\n"
+        "    try:\n"
+        "        return g()\n"
+        "    except:\n"
+        "        pass\n")
+
+
+class TestGate:
+    def test_refuses_outside_git(self, tmp_path):
+        (tmp_path / "m.py").write_text(BARE)
+        with pytest.raises(FixRefused, match="work tree"):
+            apply_fixes([tmp_path], root=tmp_path)
+
+    def test_refuses_dirty_tree(self, tmp_path):
+        git_repo(tmp_path, {"m.py": BARE})
+        (tmp_path / "extra.py").write_text("x = 1\n")
+        with pytest.raises(FixRefused, match="uncommitted"):
+            apply_fixes([tmp_path], root=tmp_path)
+
+    def test_require_clean_false_skips_gate(self, tmp_path):
+        p = tmp_path / "m.py"
+        p.write_text(BARE)
+        applied = apply_fixes([tmp_path], root=tmp_path,
+                              require_clean=False)
+        assert [a.rule for a in applied] == ["silent-except"] * 2
+
+
+class TestCostEq:
+    def test_rewrites_and_imports(self, tmp_path):
+        git_repo(tmp_path, {"src/repro/m.py": COSTY})
+        p = tmp_path / "src/repro/m.py"
+        applied = apply_fixes([tmp_path / "src"], root=tmp_path)
+        assert applied == [Applied(
+            p.as_posix(), 2, "float-cost-eq",
+            "cost == best_cost -> close(cost, best_cost)")]
+        text = p.read_text()
+        assert "if close(cost, best_cost):" in text
+        assert text.startswith("from repro.core.tolerance import close\n")
+        assert all(f.rule != "float-cost-eq" for f in analyze_paths([p]))
+
+    def test_not_eq_negates(self, tmp_path):
+        git_repo(tmp_path, {"src/repro/m.py":
+                            "def f(gain, prev_gain):\n"
+                            "    return gain != prev_gain\n"})
+        apply_fixes([tmp_path / "src"], root=tmp_path)
+        assert ("return not close(gain, prev_gain)"
+                in (tmp_path / "src/repro/m.py").read_text())
+
+    def test_extends_existing_tolerance_import(self, tmp_path):
+        git_repo(tmp_path, {"src/repro/m.py":
+                            "from repro.core.tolerance import leq\n"
+                            "def f(cost, cap):\n"
+                            "    return cost == cap or leq(cost, cap)\n"})
+        apply_fixes([tmp_path / "src"], root=tmp_path)
+        text = (tmp_path / "src/repro/m.py").read_text()
+        assert "from repro.core.tolerance import leq, close\n" in text
+
+    def test_import_lands_after_docstring(self, tmp_path):
+        git_repo(tmp_path, {"src/repro/m.py":
+                            '"""Doc."""\n'
+                            "def f(cost, cap):\n"
+                            "    return cost == cap\n"})
+        apply_fixes([tmp_path / "src"], root=tmp_path)
+        lines = (tmp_path / "src/repro/m.py").read_text().splitlines()
+        assert lines[0] == '"""Doc."""'
+        assert lines[1] == "from repro.core.tolerance import close"
+
+    def test_outside_src_untouched(self, tmp_path):
+        git_repo(tmp_path, {"tests/test_m.py": COSTY})
+        assert apply_fixes([tmp_path / "tests"], root=tmp_path) == []
+        assert (tmp_path / "tests/test_m.py").read_text() == COSTY
+
+
+class TestSilentExcept:
+    def test_bare_except_and_pass_body(self, tmp_path):
+        git_repo(tmp_path, {"src/repro/m.py": BARE})
+        applied = apply_fixes([tmp_path / "src"], root=tmp_path)
+        assert [(a.line, a.description) for a in applied] == [
+            (4, "bare except: -> except Exception:"),
+            (5, "silent handler body: pass -> raise")]
+        text = (tmp_path / "src/repro/m.py").read_text()
+        assert "    except Exception:\n        raise\n" in text
+        assert analyze_paths([tmp_path / "src/repro/m.py"]) == []
+
+    def test_logging_handler_untouched(self, tmp_path):
+        src = ("import logging\n"
+               "def f():\n"
+               "    try:\n"
+               "        return g()\n"
+               "    except Exception:\n"
+               "        logging.exception('boom')\n"
+               "        return None\n")
+        git_repo(tmp_path, {"src/repro/m.py": src})
+        assert apply_fixes([tmp_path / "src"], root=tmp_path) == []
+        assert (tmp_path / "src/repro/m.py").read_text() == src
+
+
+class TestIdempotence:
+    def test_second_run_is_a_noop(self, tmp_path):
+        git_repo(tmp_path, {"src/repro/a.py": COSTY,
+                            "src/repro/b.py": BARE})
+        first = apply_fixes([tmp_path / "src"], root=tmp_path)
+        assert len(first) == 3
+        _git(tmp_path, "add", "-A")
+        _git(tmp_path, "commit", "-qm", "fixes")
+        assert apply_fixes([tmp_path / "src"], root=tmp_path) == []

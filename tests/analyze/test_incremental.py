@@ -1,0 +1,159 @@
+"""Incremental engine: cache reuse, invalidation, and --changed scope.
+
+The contract under test: an ``--incremental`` run reports **the same
+findings as a cold run** (same objects, same order, same rendered
+bytes) — only where stage-1 summaries come from differs.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+from repro.analyze.cache import SummaryCache
+from repro.analyze.engine import run_analysis
+from repro.analyze.index import (ModuleIndex, extract_summary,
+                                 load_source)
+
+FILES = {
+    "src/repro/alpha.py": (
+        "import numpy as np\n"
+        "def f():\n"
+        "    return np.random.rand()\n"),          # seed-discipline
+    "src/repro/beta.py": (
+        "import random\n"
+        "def g():\n"
+        "    return random.random()\n"),           # seed-discipline
+    "src/repro/gamma.py": (
+        "from repro.alpha import f\n"
+        "def h():\n"
+        "    return f()\n"),                       # clean importer
+}
+
+
+def build(root: Path, files=FILES) -> Path:
+    for rel, text in files.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+    return root / "src"
+
+
+def rendered(report):
+    return [f.render() for f in report.findings]
+
+
+class TestCacheReuse:
+    def test_warm_run_is_byte_identical_to_cold(self, tmp_path):
+        src = build(tmp_path)
+        cache = tmp_path / "cache"
+        cold = run_analysis([src])
+        first = run_analysis([src], incremental=True, cache_dir=cache)
+        second = run_analysis([src], incremental=True, cache_dir=cache)
+        assert first.extracted == 3 and first.reused == 0
+        assert second.extracted == 0 and second.reused == 3
+        assert rendered(cold) == rendered(first) == rendered(second)
+        assert rendered(cold)  # the fixture does plant findings
+
+    def test_only_changed_file_reextracted(self, tmp_path):
+        src = build(tmp_path)
+        cache = tmp_path / "cache"
+        run_analysis([src], incremental=True, cache_dir=cache)
+        (tmp_path / "src/repro/alpha.py").write_text(
+            "def f():\n    return 0\n")
+        report = run_analysis([src], incremental=True, cache_dir=cache)
+        assert report.extracted == 1 and report.reused == 2
+        assert all("alpha" not in line for line in rendered(report))
+
+    def test_corrupt_entries_degrade_to_cold(self, tmp_path):
+        src = build(tmp_path)
+        cache = tmp_path / "cache"
+        baseline = run_analysis([src], incremental=True, cache_dir=cache)
+        for entry in cache.rglob("*.json"):
+            entry.write_text("{ not json")
+        report = run_analysis([src], incremental=True, cache_dir=cache)
+        assert report.reused == 0 and report.extracted == 3
+        assert rendered(report) == rendered(baseline)
+
+    def test_readonly_cache_dir_degrades_to_cold(self, tmp_path):
+        src = build(tmp_path)
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        cache.chmod(0o500)
+        try:
+            report = run_analysis([src], incremental=True, cache_dir=cache)
+        finally:
+            cache.chmod(0o700)
+        assert report.extracted == 3
+        assert rendered(report) == rendered(run_analysis([src]))
+
+    def test_version_skew_reads_as_miss(self, tmp_path):
+        p = build(tmp_path) / "repro/alpha.py"
+        raw = p.read_bytes()
+        cache = SummaryCache(tmp_path / "cache")
+        summary = extract_summary(load_source(p))
+        cache.put(p.as_posix(), raw, summary)
+        hit = cache.get(p.as_posix(), raw)
+        assert hit is not None and hit.module == summary.module
+        entry = next((tmp_path / "cache").rglob("*.json"))
+        entry.write_text(entry.read_text().replace(
+            "analyze-v", "analyze-vOLD-"))
+        assert cache.get(p.as_posix(), raw) is None
+        # Different bytes are a different key entirely.
+        assert cache.get(p.as_posix(), raw + b"\n# x\n") is None
+
+
+def _git(root, *args):
+    subprocess.run(
+        ["git", "-c", "user.email=ci@example.invalid",
+         "-c", "user.name=ci", *args],
+        cwd=root, check=True, capture_output=True)
+
+
+class TestChangedScope:
+    def test_outside_git_reports_everything(self, tmp_path):
+        src = build(tmp_path)
+        report = run_analysis([src], changed_only=True, root=tmp_path)
+        assert "not a git checkout" in report.scope_note
+        assert len(report.findings) == 2
+
+    def test_filters_to_reverse_dependency_closure(self, tmp_path,
+                                                   monkeypatch):
+        src = build(tmp_path)
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", "-A")
+        _git(tmp_path, "commit", "-qm", "seed")
+        # Touch alpha only: scope = alpha + its importer gamma, so
+        # beta's finding is filtered out and alpha's stays.
+        (tmp_path / "src/repro/alpha.py").write_text(
+            FILES["src/repro/alpha.py"] + "# edited\n")
+        monkeypatch.chdir(tmp_path)
+        report = run_analysis([Path("src")], changed_only=True,
+                              root=tmp_path)
+        assert "1 changed module(s)" in report.scope_note
+        assert [f.path for f in report.findings] == ["src/repro/alpha.py"]
+
+    def test_untracked_file_counts_as_changed(self, tmp_path, monkeypatch):
+        src = build(tmp_path)
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", "-A")
+        _git(tmp_path, "commit", "-qm", "seed")
+        (tmp_path / "src/repro/delta.py").write_text(
+            "import random\n"
+            "def d():\n"
+            "    return random.random()\n")
+        monkeypatch.chdir(tmp_path)
+        report = run_analysis([Path("src")], changed_only=True,
+                              root=tmp_path)
+        assert [f.path for f in report.findings] == ["src/repro/delta.py"]
+
+
+class TestDependencyClosure:
+    def test_reverse_closure_follows_imports(self, tmp_path):
+        build(tmp_path)
+        summaries = [extract_summary(load_source(p))
+                     for p in sorted((tmp_path / "src").rglob("*.py"))]
+        index = ModuleIndex(summaries)
+        assert index.reverse_closure(["repro.alpha"]) == {
+            "repro.alpha", "repro.gamma"}
+        assert index.reverse_closure(["repro.beta"]) == {"repro.beta"}

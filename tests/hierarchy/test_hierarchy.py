@@ -304,3 +304,25 @@ class TestRecursiveHierarchical:
         p = recursive_hierarchical_partition(g, t8, eps=0.3, rng=0)
         assert p.k == 8
         assert is_balanced(p, 0.3)
+
+
+class TestHierarchicalLambdasOracle:
+    """Parity contract: hierarchical_lambdas vs. its pure-Python twin."""
+
+    @given(hypergraphs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_oracle(self, g, seed):
+        from repro.hierarchy.cost import _reference_hierarchical_lambdas
+        labels = np.random.default_rng(seed).integers(0, 4, size=g.n)
+        got = hierarchical_lambdas(g, labels, TOPO22)
+        want = _reference_hierarchical_lambdas(g, labels, TOPO22)
+        np.testing.assert_array_equal(got, want)
+
+    def test_empty_edges_forced_to_one(self):
+        from repro.hierarchy.cost import _reference_hierarchical_lambdas
+        g = Hypergraph(3, [(0, 1, 2), ()])
+        labels = np.array([0, 1, 3])
+        got = hierarchical_lambdas(g, labels, TOPO22)
+        want = _reference_hierarchical_lambdas(g, labels, TOPO22)
+        np.testing.assert_array_equal(got, want)
+        assert got[:, 1].tolist() == [1, 1, 1]

@@ -250,3 +250,51 @@ class TestChainScheduleWitness:
         from repro.scheduling import chain_fixed_schedule
         with pytest.raises(ValueError):
             chain_fixed_schedule(diamond_dag, np.zeros(4, dtype=np.int64), 2)
+
+
+class TestPriorityFromCsr:
+    """Parity contract for the vectorised priority kernel (PR-1 style:
+    every CSR-consuming kernel ships a pure-Python oracle twin)."""
+
+    @staticmethod
+    def csr_of(dag: DAG):
+        from repro.scheduling.list_scheduler import priority_from_csr  # noqa: F401
+        counts = np.array([dag.out_degree(v) for v in range(dag.n)],
+                          dtype=np.int64)
+        ptr = np.zeros(dag.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        adj = np.array([w for v in range(dag.n)
+                        for w in dag.successors(v)], dtype=np.int64)
+        return ptr, adj
+
+    @given(dags())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_oracle(self, dag):
+        from repro.scheduling.list_scheduler import (
+            _reference_priority_from_csr, priority_from_csr)
+        ptr, adj = self.csr_of(dag)
+        layers = dag.asap_layers()
+        got = priority_from_csr(ptr, adj, layers)
+        want = _reference_priority_from_csr(ptr, adj, layers)
+        np.testing.assert_array_equal(got, want)
+
+    @given(dags())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_topological_recurrence(self, dag):
+        prio = critical_path_priority(dag)
+        want = np.ones(dag.n, dtype=np.int64)
+        for v in reversed(dag.topological_order()):
+            for w in dag.successors(v):
+                want[v] = max(want[v], want[w] + 1)
+        np.testing.assert_array_equal(prio, want)
+
+    def test_empty_and_edgeless(self):
+        from repro.scheduling.list_scheduler import priority_from_csr
+        empty = priority_from_csr(np.zeros(1, dtype=np.int64),
+                                  np.zeros(0, dtype=np.int64),
+                                  np.zeros(0, dtype=np.int64))
+        assert empty.shape == (0,)
+        lone = priority_from_csr(np.zeros(4, dtype=np.int64),
+                                 np.zeros(0, dtype=np.int64),
+                                 np.zeros(3, dtype=np.int64))
+        np.testing.assert_array_equal(lone, [1, 1, 1])

@@ -19,6 +19,7 @@ ROOT = Path(__file__).resolve().parents[1]
 SCRIPT = ROOT / "scripts" / "check_bench_regression.py"
 BASELINE = ROOT / "benchmarks" / "BENCH_kernels.json"
 SERVE_BASELINE = ROOT / "benchmarks" / "BENCH_serve.json"
+ANALYZE_BASELINE = ROOT / "benchmarks" / "BENCH_analyze.json"
 
 
 @pytest.mark.benchcheck
@@ -43,3 +44,15 @@ def test_serve_within_baseline():
         capture_output=True, text=True, cwd=ROOT)
     assert proc.returncode == 0, (
         f"serve perf regression detected:\n{proc.stdout}\n{proc.stderr}")
+
+
+@pytest.mark.benchcheck
+def test_analyze_within_baseline():
+    assert ANALYZE_BASELINE.exists(), (
+        "committed analyze baseline missing; regenerate with "
+        "PYTHONPATH=src python benchmarks/bench_analyze.py")
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--suite", "analyze"],
+        capture_output=True, text=True, cwd=ROOT)
+    assert proc.returncode == 0, (
+        f"analyze perf regression detected:\n{proc.stdout}\n{proc.stderr}")
