@@ -10,7 +10,7 @@ from __future__ import annotations
 import time
 
 from repro.core import cost, is_balanced
-from repro.generators import planted_partition_hypergraph
+from repro.generators import streaming_planted_hypergraph
 from repro.partitioners import multilevel_partition
 
 from _util import once, print_table
@@ -23,7 +23,9 @@ HEADER = ["n", "pins", "seconds", "us/pin", "cost", "planted cost",
 def run_scaling(*, seed=0, ns=(500, 1000, 2000), k=8, eps=0.05):
     rows = []
     for n in ns:
-        g, planted = planted_partition_hypergraph(n, k, 3 * n, n // 10,
+        # streaming generator: builds CSR arrays directly, so the sweep
+        # can be pushed past 10^6 pins without materialising edge lists
+        g, planted = streaming_planted_hypergraph(n, k, 3 * n, n // 10,
                                                   rng=seed)
         t0 = time.perf_counter()
         part = multilevel_partition(g, k, eps=eps, rng=seed)

@@ -20,6 +20,15 @@
     bars — warm (incremental) run under the 2 s budget with findings
     byte-identical to the cold run — plus warm time within
     ``--tolerance`` of the committed ``benchmarks/BENCH_analyze.json``.
+``--suite scale``
+    Re-runs the million-pin scale suite (``benchmarks/bench_scale.py``)
+    at the committed baseline's instance size
+    (``benchmarks/BENCH_scale.json``) and enforces its acceptance
+    bars — partition bitwise-identical across ``n_jobs``, worker
+    peak-RSS delta < 1.5x the CSR payload, no orphaned ``/dev/shm``
+    segments, and (on >= 4 cores) >= 2x single-V-cycle speedup at
+    ``n_jobs=4`` — plus serial wall-clock within ``--tolerance`` of
+    the baseline.
 ``--suite all``
     All of them.
 
@@ -57,6 +66,7 @@ import bench_kernels  # noqa: E402
 DEFAULT_BASELINE = ROOT / "benchmarks" / "BENCH_kernels.json"
 DEFAULT_SERVE_BASELINE = ROOT / "benchmarks" / "BENCH_serve.json"
 DEFAULT_ANALYZE_BASELINE = ROOT / "benchmarks" / "BENCH_analyze.json"
+DEFAULT_SCALE_BASELINE = ROOT / "benchmarks" / "BENCH_scale.json"
 
 
 def compare(baseline: dict, fresh: dict, threshold: float,
@@ -207,6 +217,53 @@ def compare_analyze(baseline: dict, fresh: dict,
     return failures
 
 
+def compare_scale(baseline: dict, fresh: dict,
+                  threshold: float) -> list[str]:
+    """Failure messages for the million-pin scale suite.
+
+    The absolute bars (determinism, worker RSS, shm hygiene, and the
+    hardware-conditional speedup/parity bound) live in
+    ``bench_scale.check``; on top of those, the serial V-cycle time is
+    compared against the committed baseline.
+    """
+    import bench_scale
+    failures = [f"acceptance bar failed: {f}"
+                for f in bench_scale.check(fresh)]
+    for f in failures:
+        print(f"  bar: {f:<60} FAIL")
+    s = fresh["summary"]
+    print(f"  bars: identical={s['identical']} speedup={s['speedup']}x "
+          f"(cpu_count={fresh['cpu_count']}) "
+          f"rss/payload={s['rss_vs_payload']}x "
+          f"leftovers={len(s['shm_leftovers'])}")
+    base_s = baseline["runs"][0]["seconds"]
+    fresh_s = fresh["runs"][0]["seconds"]
+    ratio = fresh_s / max(base_s, 1e-9)
+    slow = ratio > 1 + threshold
+    print(f"  serial V-cycle: baseline {base_s:.2f} s  "
+          f"now {fresh_s:.2f} s  ({ratio:.2f}x) "
+          f"{'SLOW' if slow else 'ok'}")
+    if slow:
+        failures.append(
+            f"serial V-cycle {fresh_s:.2f} s is {ratio:.2f}x the baseline "
+            f"{base_s:.2f} s (> {1 + threshold:.2f}x allowed)")
+    return failures
+
+
+def run_scale_suite(args, tolerance: float) -> list[str] | None:
+    import bench_scale
+    baseline = _load_baseline(Path(args.scale_baseline), "bench_scale.py")
+    if baseline is None:
+        return None
+    cfg = baseline.get("config", {})
+    fresh = bench_scale.run(
+        {key: cfg[key] for key in ("n", "m_intra", "m_inter", "edge_size")},
+        jobs=tuple(cfg.get("jobs", (1, 4))), seed=cfg.get("seed", 7),
+        quiet=True)
+    print("million-pin scale suite (fresh run vs committed baseline)")
+    return compare_scale(baseline, fresh, tolerance)
+
+
 def run_analyze_suite(args, tolerance: float) -> list[str] | None:
     import bench_analyze
     baseline = _load_baseline(Path(args.analyze_baseline),
@@ -221,7 +278,7 @@ def run_analyze_suite(args, tolerance: float) -> list[str] | None:
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--suite", choices=("kernels", "serve", "analyze",
-                                        "all"),
+                                        "scale", "all"),
                     default="kernels",
                     help="which benchmark suite(s) to gate on")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
@@ -232,6 +289,9 @@ def main(argv=None) -> int:
     ap.add_argument("--analyze-baseline",
                     default=str(DEFAULT_ANALYZE_BASELINE),
                     help="committed analyze baseline JSON")
+    ap.add_argument("--scale-baseline",
+                    default=str(DEFAULT_SCALE_BASELINE),
+                    help="committed scale baseline JSON")
     ap.add_argument("--tolerance", "--threshold", type=float,
                     dest="tolerance", default=None,
                     help="allowed fractional slowdown (0.25 = 25%%); "
@@ -246,10 +306,10 @@ def main(argv=None) -> int:
     if tolerance is None:
         tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25"))
 
-    suites = (("kernels", "serve", "analyze") if args.suite == "all"
-              else (args.suite,))
+    suites = (("kernels", "serve", "analyze", "scale")
+              if args.suite == "all" else (args.suite,))
     runners = {"kernels": run_kernels_suite, "serve": run_serve_suite,
-               "analyze": run_analyze_suite}
+               "analyze": run_analyze_suite, "scale": run_scale_suite}
     failed = False
     for suite in suites:
         runner = runners[suite]

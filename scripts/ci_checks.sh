@@ -59,9 +59,13 @@ serve_cache="$(mktemp -d)"
 trap 'rm -rf "$serve_cache"' EXIT
 python -m repro serve --self-check --cache-dir "$serve_cache"
 
+echo
+echo "== scale smoke tier (10^5-pin V-cycle, 60 s budget) =="
+timeout 60 python benchmarks/bench_scale.py --smoke
+
 if [ "$run_bench" = 1 ]; then
     echo
-    echo "== perf-regression gates (benchcheck: kernels + serve) =="
+    echo "== perf-regression gates (benchcheck: kernels + serve + scale) =="
     python -m pytest -m benchcheck -q
 fi
 

@@ -59,6 +59,10 @@ RULE_META: dict[str, tuple[str, str]] = {
         "error",
         "Generators flow from the seed parameter by argument, never via "
         "a module global or unseeded constructor"),
+    "shm-lifecycle": (
+        "error",
+        "owned shared-memory segments are released on all paths "
+        "(with / finally / ownership hand-off)"),
     "pragma-missing-reason": (
         "warning",
         "every allow(...) pragma carries a written reason"),

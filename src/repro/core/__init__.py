@@ -24,6 +24,7 @@ from .hyperdag import (
 )
 from .hypergraph import Hypergraph
 from .partition import BLUE, RED, Partition, lambdas, part_sizes, part_weights
+from .shm import SharedArrays, SharedCSR
 from .validation import PartitionReport, validate_partition
 
 __all__ = [
@@ -36,6 +37,8 @@ __all__ = [
     "Partition",
     "PartitionReport",
     "RED",
+    "SharedArrays",
+    "SharedCSR",
     "all_parts_nonempty_guaranteed",
     "balance_threshold",
     "connectivity_cost",

@@ -59,6 +59,7 @@ class Hypergraph:
         "_node_ptr",
         "_node_edges",
         "_degrees",
+        "_retain",
     )
 
     def __init__(
@@ -85,6 +86,7 @@ class Hypergraph:
         self._node_ptr: np.ndarray | None = None
         self._node_edges: np.ndarray | None = None
         self._degrees: np.ndarray | None = None
+        self._retain: object | None = None
 
     @classmethod
     def from_csr(
@@ -114,20 +116,22 @@ class Hypergraph:
         self = object.__new__(cls)
         self.n = int(num_nodes)
         self._edge_ptr, self._edge_pins = ptr, pins
-        self._init_weights(node_weights, edge_weights)
+        self._init_weights(node_weights, edge_weights, copy=copy)
         self.name = name
         self._edges_tup = None
         self._node_ptr = None
         self._node_edges = None
         self._degrees = None
+        self._retain = None
         return self
 
-    def _init_weights(self, node_weights, edge_weights) -> None:
+    def _init_weights(self, node_weights, edge_weights, copy: bool = True) -> None:
         m = self._edge_ptr.shape[0] - 1
         if node_weights is None:
             self.node_weights = np.ones(self.n, dtype=np.float64)
         else:
-            self.node_weights = np.asarray(node_weights, dtype=np.float64).copy()
+            self.node_weights = np.array(node_weights, dtype=np.float64,
+                                         copy=copy or None)
             if self.node_weights.shape != (self.n,):
                 raise InvalidHypergraphError("node_weights has wrong length")
             if np.any(self.node_weights < 0):
@@ -135,7 +139,8 @@ class Hypergraph:
         if edge_weights is None:
             self.edge_weights = np.ones(m, dtype=np.float64)
         else:
-            self.edge_weights = np.asarray(edge_weights, dtype=np.float64).copy()
+            self.edge_weights = np.array(edge_weights, dtype=np.float64,
+                                         copy=copy or None)
             if self.edge_weights.shape != (m,):
                 raise InvalidHypergraphError("edge_weights has wrong length")
             if np.any(self.edge_weights < 0):
@@ -205,6 +210,21 @@ class Hypergraph:
         """Ids of hyperedges containing node ``v``."""
         ptr, ne = self.incidence()
         return ne[ptr[v] : ptr[v + 1]]
+
+    def adopt_incidence(self, node_ptr: np.ndarray,
+                        node_edges: np.ndarray) -> None:
+        """Seed the incidence cache with precomputed arrays (zero-copy).
+
+        Used by the shared-memory handoff so worker processes reuse the
+        parent's transpose instead of rebuilding it (an O(ρ) allocation
+        per worker otherwise).  Arrays must match what
+        :func:`repro.core.kernels.incidence_from_csr` would produce.
+        """
+        node_ptr = np.asarray(node_ptr, dtype=np.int64)
+        node_edges = np.asarray(node_edges, dtype=np.int64)
+        if node_ptr.shape != (self.n + 1,) or node_edges.size != self.num_pins:
+            raise InvalidHypergraphError("incidence arrays have wrong shape")
+        self._node_ptr, self._node_edges = node_ptr, node_edges
 
     # ------------------------------------------------------------------
     # Structural operations

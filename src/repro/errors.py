@@ -72,6 +72,17 @@ class ServeClientError(ServeError):
     :class:`QueueFullError` so callers can back off and retry)."""
 
 
+class WorkerPoolError(ReproError):
+    """Raised by :mod:`repro.partitioners.subround` when the persistent
+    worker pool cannot be started or a worker fails mid-stage."""
+
+
+class SharedMemoryError(ReproError):
+    """Raised by :mod:`repro.core.shm` when a shared-memory segment
+    cannot be created, attached, or laid out (e.g. attaching a
+    descriptor whose segment has already been unlinked)."""
+
+
 class SanitizerError(ReproError):
     """Raised by :mod:`repro.analyze.sanitize` when an enabled runtime
     check finds a corrupted structure at a kernel/partitioner boundary.

@@ -31,6 +31,10 @@ from .random_hypergraphs import (
     random_hypergraph,
     random_uniform_hypergraph,
 )
+from .streaming import (
+    streaming_planted_hypergraph,
+    streaming_uniform_hypergraph,
+)
 from .spmv import (
     SparsePattern,
     has_bipartite_edge_property,
@@ -70,6 +74,8 @@ __all__ = [
     "reduction_tree_dag",
     "spmv_fine_grain",
     "stencil_1d_dag",
+    "streaming_planted_hypergraph",
+    "streaming_uniform_hypergraph",
     "strong_block",
     "two_level_block",
 ]

@@ -34,12 +34,18 @@ from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 from .. import instrument
+from ..errors import ReproError, SharedMemoryError
 from ..lab.cache import atomic_write_json
 from ..lab.executor import mp_context, reap_process, terminate_process
 
 __all__ = ["BatchMember", "MemberOutcome", "run_batch"]
 
 _POLL_S = 0.004
+
+# Inline graph specs at or above this size are hoisted into shared
+# memory before dispatch (see _hoist_graphs); below it the pickle is
+# cheaper than a segment round-trip.
+_SHM_SPEC_MIN_BYTES = 1 << 16
 
 
 @dataclass
@@ -108,6 +114,66 @@ def _batch_main(payload: dict) -> None:
 # Parent side
 # ---------------------------------------------------------------------------
 
+def _spec_payload_bytes(spec: Mapping) -> int:
+    """Rough transport size of an inline graph spec (0 = not inline)."""
+    if "hgr" in spec:
+        return len(spec["hgr"])
+    if "csr" in spec:
+        return 8 * len(spec["csr"]["pins"])
+    if "edges" in spec:
+        return 8 * sum(len(e) for e in spec["edges"])
+    return 0                            # generator / shm: already tiny
+
+
+async def _hoist_graphs(ordered: Sequence[BatchMember]) -> tuple[list, list]:
+    """Move large inline graph specs into shared memory, once per graph.
+
+    Returns ``(params_per_member, owned_handles)``.  Every member whose
+    spec was hoisted gets its ``graph`` rewritten to ``{"shm":
+    descriptor}`` — ~100 bytes across the pipe instead of a pickled
+    megabyte-scale spec, and members sharing a graph (the common case in
+    a micro-batch) share one segment and one parse.  Job cache keys are
+    computed from the *original* params at admission, so the rewrite is
+    transport-only.  A spec that fails to build here is left inline so
+    the worker raises the proper per-job error; a full ``/dev/shm`` also
+    falls back to inline.  The caller owns the returned handles and must
+    close+unlink them once the worker is done.
+    """
+    import json
+
+    from ..core.shm import SharedCSR
+    from .protocol import build_graph
+
+    handles: list = []
+    by_spec: dict[str, dict | None] = {}
+    params_out: list[Mapping] = []
+    for m in ordered:
+        params = m.params
+        spec = params.get("graph")
+        if (isinstance(spec, Mapping)
+                and _spec_payload_bytes(spec) >= _SHM_SPEC_MIN_BYTES):
+            key = json.dumps(spec, sort_keys=True)
+            if key not in by_spec:
+                try:
+                    # analyze: allow(serve-timeout) — bounded transitively:
+                    # run_batch (the only caller) is itself awaited under
+                    # with_deadline(batch budget) by the job manager, and
+                    # build_graph is CPU-bound parsing, not unbounded I/O.
+                    graph = await asyncio.to_thread(build_graph, params)
+                    shared = SharedCSR.from_hypergraph(graph)
+                except (ReproError, SharedMemoryError, MemoryError):
+                    by_spec[key] = None     # worker handles it inline
+                else:
+                    handles.append(shared)
+                    by_spec[key] = shared.descriptor()
+            desc = by_spec[key]
+            if desc is not None:
+                params = dict(params)
+                params["graph"] = {"shm": desc}
+        params_out.append(params)
+    return params_out, handles
+
+
 def _harvest(member: BatchMember) -> MemberOutcome | None:
     """Turn a member's on-disk files into an outcome (None = not done)."""
     import json
@@ -152,9 +218,11 @@ async def run_batch(
         key=lambda m: (m.deadline_mono is None,
                        m.deadline_mono if m.deadline_mono is not None
                        else 0.0))
-    payload = {"jobs": [{"seed": m.seed, "params": dict(m.params),
+    shipped_params, shm_handles = await _hoist_graphs(ordered)
+    payload = {"jobs": [{"seed": m.seed, "params": dict(p),
                          "outfile": str(m.outfile),
-                         "errfile": str(m.errfile)} for m in ordered]}
+                         "errfile": str(m.errfile)}
+                        for m, p in zip(ordered, shipped_params)]}
     for m in ordered:
         m.outfile.parent.mkdir(parents=True, exist_ok=True)
         m.errfile.parent.mkdir(parents=True, exist_ok=True)
@@ -222,3 +290,10 @@ async def run_batch(
     except BaseException:
         terminate_process(proc)
         raise
+    finally:
+        # parent owns the hoisted segments: drop them system-wide now
+        # that the worker is gone (every exit path above kills or joins
+        # it first), covering the early returns and exceptions alike
+        for shared in shm_handles:
+            shared.close()
+            shared.unlink()

@@ -227,6 +227,13 @@ def build_graph(params: Mapping[str, Any]):
     from ..core.hypergraph import Hypergraph
 
     spec = params["graph"]
+    if "shm" in spec:
+        # parent hoisted the graph into shared memory (pool._hoist_graphs):
+        # attach by descriptor for a zero-copy view.  No close here — the
+        # returned graph's arrays alias the mapping, which lives until the
+        # batch worker exits; the parent owns (and unlinks) the segment.
+        from ..core.shm import SharedCSR
+        return SharedCSR.attach(spec["shm"]).hypergraph()
     if "hgr" in spec:
         from ..io.hmetis import parse_hgr
         return parse_hgr(spec["hgr"], name="upload")

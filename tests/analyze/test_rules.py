@@ -183,6 +183,102 @@ class TestRunnerSignature:
         assert analyze_paths([tmp_path / "src"]) == []
 
 
+class TestShmLifecycle:
+    HEAD = "from repro.core.shm import SharedArrays, SharedCSR\n"
+
+    def test_unreleased_bound_handle_fires(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py", self.HEAD +
+                  "def leak(arrays):\n"
+                  "    sa = SharedArrays.create(arrays)\n"
+                  "    return sa.descriptor()\n")
+        assert rules_of(analyze_paths([p])) == ["shm-lifecycle"]
+
+    def test_straight_line_close_still_fires(self, tmp_path):
+        # released on the happy path only: an exception in between leaks
+        p = write(tmp_path, "src/repro/mod.py", self.HEAD +
+                  "def leak(graph, send):\n"
+                  "    shared = SharedCSR.from_hypergraph(graph)\n"
+                  "    send(shared.descriptor())\n"
+                  "    shared.close()\n"
+                  "    shared.unlink()\n")
+        assert rules_of(analyze_paths([p])) == ["shm-lifecycle"]
+
+    def test_discarded_creation_fires(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py", self.HEAD +
+                  "def leak(arrays):\n"
+                  "    SharedArrays.create(arrays)\n")
+        assert rules_of(analyze_paths([p])) == ["shm-lifecycle"]
+
+    def test_raw_shared_memory_create_fires(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py",
+                  "from multiprocessing import shared_memory\n"
+                  "def leak(n):\n"
+                  "    seg = shared_memory.SharedMemory(create=True, size=n)\n"
+                  "    return seg.name\n")
+        assert rules_of(analyze_paths([p])) == ["shm-lifecycle"]
+
+    def test_with_block_is_clean(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py", self.HEAD +
+                  "def ok(graph, run):\n"
+                  "    with SharedCSR.from_hypergraph(graph) as shared:\n"
+                  "        run(shared.descriptor())\n")
+        assert analyze_paths([p]) == []
+
+    def test_bound_then_with_is_clean(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py", self.HEAD +
+                  "def ok(graph, run):\n"
+                  "    shared = SharedCSR.from_hypergraph(graph)\n"
+                  "    with shared:\n"
+                  "        run(shared.descriptor())\n")
+        assert analyze_paths([p]) == []
+
+    def test_finally_release_is_clean(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py", self.HEAD +
+                  "def ok(arrays, run):\n"
+                  "    sa = SharedArrays.create(arrays)\n"
+                  "    try:\n"
+                  "        run(sa.descriptor())\n"
+                  "    finally:\n"
+                  "        sa.close()\n"
+                  "        sa.unlink()\n")
+        assert analyze_paths([p]) == []
+
+    def test_ownership_handoff_is_clean(self, tmp_path):
+        # returned, stored on self, or appended: another scope releases
+        p = write(tmp_path, "src/repro/mod.py", self.HEAD +
+                  "def factory(arrays):\n"
+                  "    return SharedArrays.create(arrays)\n"
+                  "class Level:\n"
+                  "    def __init__(self, graph, pool):\n"
+                  "        self.shm = SharedCSR.from_hypergraph(graph)\n"
+                  "def collect(graph, handles):\n"
+                  "    shared = SharedCSR.from_hypergraph(graph)\n"
+                  "    handles.append(shared)\n")
+        assert analyze_paths([p]) == []
+
+    def test_attach_is_out_of_scope(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py", self.HEAD +
+                  "def view(desc):\n"
+                  "    sa = SharedArrays.attach(desc)\n"
+                  "    return sa['labels'].sum()\n")
+        assert analyze_paths([p]) == []
+
+    def test_scoped_to_src(self, tmp_path):
+        p = write(tmp_path, "tests/test_mod.py", self.HEAD +
+                  "def deliberate_leak(arrays):\n"
+                  "    sa = SharedArrays.create(arrays)\n"
+                  "    return sa.name\n")
+        assert analyze_paths([p]) == []
+
+    def test_pragma_escape_hatch(self, tmp_path):
+        p = write(tmp_path, "src/repro/mod.py", self.HEAD +
+                  "def kill_test_segment(arrays):\n"
+                  "    # analyze: allow(shm-lifecycle) — leak fixture\n"
+                  "    sa = SharedArrays.create(arrays)\n"
+                  "    return sa.descriptor()\n")
+        assert analyze_paths([p]) == []
+
+
 class TestServeTimeout:
     def test_bare_solver_await_fires(self, tmp_path):
         p = write(tmp_path, "src/repro/serve/mod.py",

@@ -1,0 +1,185 @@
+"""Deterministic sub-round parallelism: pool mechanics and invariance.
+
+The load-bearing claim of :mod:`repro.partitioners.subround` is that the
+*same* decisions are made for any number of workers — stages are pure
+functions of a state snapshot and all mutation happens in the parent.
+These tests pin that down at three levels: the :class:`RoundPool`
+transport, the individual coarsening/refinement steps (with thresholds
+lowered so the pool actually engages on small graphs), and the full
+``multilevel_partition`` entry point on randomized instances up to
+:math:`10^5` pins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Metric, Partition, cost
+from repro.core.shm import SharedArrays, SharedCSR
+from repro.errors import WorkerPoolError
+from repro.generators import streaming_planted_hypergraph
+from repro.partitioners import multilevel_partition
+from repro.partitioners import subround
+from repro.partitioners.base import weight_caps
+from repro.partitioners.subround import (
+    RoundPool,
+    subround_coarsen_step,
+    subround_fm_refine,
+)
+
+
+@pytest.fixture
+def eager_pool(monkeypatch):
+    """Lower the size gates so the pool path runs on test-sized graphs."""
+    monkeypatch.setattr(subround, "POOL_MIN_PINS", 0)
+    monkeypatch.setattr(subround, "_POOL_MIN_ITEMS", 1)
+
+
+@pytest.fixture
+def planted():
+    g, labels = streaming_planted_hypergraph(400, 4, 700, 80, edge_size=4,
+                                             rng=9)
+    return g, labels
+
+
+class TestRoundPool:
+    def test_spins_up_and_reports_stats(self):
+        with RoundPool(2) as pool:
+            assert pool.size == 2
+            stats = pool.worker_stats()
+            assert len(stats) == 2
+            assert all(s["rss_delta_bytes"] >= 0 for s in stats)
+
+    def test_close_collects_last_stats_and_is_idempotent(self):
+        pool = RoundPool(2)
+        pool.close()
+        assert len(pool.last_stats) == 2
+        pool.close()                        # second close is a no-op
+        assert pool.size == 0
+
+    def test_stage_failure_raises_worker_pool_error(self, planted):
+        g, _ = planted
+        with SharedCSR.from_hypergraph(g) as shared:
+            state = SharedArrays.create(
+                {"cluster": np.arange(g.n, dtype=np.int64)})
+            with state, RoundPool(2) as pool:
+                with pytest.raises(WorkerPoolError):
+                    pool.run_stage("no-such-stage", shared.descriptor(),
+                                   state.descriptor(),
+                                   np.arange(8, dtype=np.int64), ())
+                # the worker survives a failed stage and stays usable
+                assert len(pool.worker_stats()) == 2
+
+    def test_forget_drops_attachments(self, planted):
+        g, _ = planted
+        with SharedCSR.from_hypergraph(g) as shared:
+            state = SharedArrays.create(
+                {"cluster": np.arange(g.n, dtype=np.int64),
+                 "cweight": np.ones(g.n)})
+            with state, RoundPool(2) as pool:
+                pool.run_stage("propose", shared.descriptor(),
+                               state.descriptor(),
+                               np.arange(g.n, dtype=np.int64), (8.0,))
+                pool.forget([shared.segment_name, state.name])
+                # re-running after forget re-attaches by name
+                pool.run_stage("propose", shared.descriptor(),
+                               state.descriptor(),
+                               np.arange(g.n, dtype=np.int64), (8.0,))
+
+
+class TestCoarsenStep:
+    def test_pool_and_serial_agree_bitwise(self, planted, eager_pool):
+        g, _ = planted
+        serial = subround_coarsen_step(g, np.random.default_rng(5), 8.0,
+                                       pool=None)
+        assert serial is not None
+        with RoundPool(3) as pool:
+            parallel = subround_coarsen_step(g, np.random.default_rng(5),
+                                             8.0, pool=pool)
+        assert parallel is not None
+        assert np.array_equal(serial[1], parallel[1])
+        for a, b in zip(serial[0].csr(), parallel[0].csr()):
+            assert np.array_equal(a, b)
+
+    def test_step_shrinks_the_graph(self, planted):
+        g, _ = planted
+        coarse, mapping = subround_coarsen_step(g, np.random.default_rng(1),
+                                                8.0, pool=None)
+        assert coarse.n < g.n
+        assert mapping.shape == (g.n,)
+        assert mapping.max() == coarse.n - 1
+        # contraction preserves total node weight
+        assert np.isclose(coarse.node_weights.sum(), g.node_weights.sum())
+
+    def test_cluster_weight_cap_holds(self, planted):
+        g, _ = planted
+        cap = 6.0
+        coarse, _ = subround_coarsen_step(g, np.random.default_rng(2), cap,
+                                          pool=None)
+        assert coarse.node_weights.max() <= cap + 1e-9
+
+
+class TestFMRefine:
+    @pytest.mark.parametrize("metric", [Metric.CONNECTIVITY, Metric.CUT_NET])
+    def test_never_worse_and_pool_invariant(self, planted, eager_pool,
+                                            metric):
+        g, _ = planted
+        k = 4
+        labels0 = np.random.default_rng(3).integers(0, k, size=g.n,
+                                                    dtype=np.int64)
+        before = cost(g, Partition(labels0, k), metric=metric)
+        serial = subround_fm_refine(g, labels0, k=k, eps=0.1, metric=metric,
+                                    pool=None)
+        with RoundPool(3) as pool:
+            parallel = subround_fm_refine(g, labels0, k=k, eps=0.1,
+                                          metric=metric, pool=pool)
+        assert np.array_equal(serial.labels, parallel.labels)
+        assert cost(g, serial, metric=metric) <= before
+
+    def test_respects_weight_caps(self, planted):
+        g, labels = planted
+        k, eps = 4, 0.1
+        refined = subround_fm_refine(g, np.asarray(labels, dtype=np.int64),
+                                     k=k, eps=eps, pool=None)
+        part_w = np.zeros(k)
+        np.add.at(part_w, refined.labels, g.node_weights)
+        caps = weight_caps(g, k, eps, relaxed=True)
+        assert np.all(part_w <= caps + 1e-9)
+
+    def test_input_labels_unmodified(self, planted):
+        g, _ = planted
+        labels0 = np.random.default_rng(4).integers(0, 3, size=g.n,
+                                                    dtype=np.int64)
+        snapshot = labels0.copy()
+        subround_fm_refine(g, labels0, k=3, eps=0.1, pool=None)
+        assert np.array_equal(labels0, snapshot)
+
+
+class TestNJobsDeterminism:
+    """``multilevel_partition(seed=s, n_jobs=j)`` is bitwise j-invariant."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_small_instances(self, seed):
+        draw = np.random.default_rng(seed)
+        n = int(draw.integers(300, 1200))
+        k = int(draw.integers(2, 6))
+        edge_size = int(draw.integers(2, 6))
+        m_intra = int(draw.integers(n, 2 * n))
+        m_inter = int(draw.integers(10, n // 4))
+        g, _ = streaming_planted_hypergraph(n, k, m_intra, m_inter,
+                                            edge_size=edge_size, rng=seed)
+        a = multilevel_partition(g, k, eps=0.05, rng=seed, n_jobs=1)
+        b = multilevel_partition(g, k, eps=0.05, rng=seed, n_jobs=4)
+        assert a.labels.tobytes() == b.labels.tobytes()
+
+    def test_hundred_thousand_pin_instance(self):
+        """1e5 pins: big enough that the shm pool path actually engages."""
+        g, _ = streaming_planted_hypergraph(30_000, 8, 18_000, 2_000,
+                                            edge_size=5, rng=3)
+        assert g.num_pins == 100_000
+        assert g.num_pins >= subround.POOL_MIN_PINS
+        a = multilevel_partition(g, 8, eps=0.05, rng=7, n_jobs=1)
+        b = multilevel_partition(g, 8, eps=0.05, rng=7, n_jobs=4)
+        assert a.labels.tobytes() == b.labels.tobytes()
+        assert cost(g, a) == cost(g, b)

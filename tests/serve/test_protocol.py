@@ -170,3 +170,81 @@ class TestPoolDeadlines:
         assert "labels" in outcomes["good"].payload["values"]
         assert outcomes["bad"].status == "error"
         assert "InvalidHypergraph" in outcomes["bad"].error
+
+
+class TestPoolSharedMemoryHandoff:
+    """Large inline graph specs cross the pipe as shm descriptors."""
+
+    @staticmethod
+    def _big_hgr_request(**over):
+        # ~180 KB hgr upload: well past _SHM_SPEC_MIN_BYTES
+        import tempfile
+        from pathlib import Path
+        from repro.generators import streaming_uniform_hypergraph
+        from repro.io.hmetis import write_hgr
+        g = streaming_uniform_hypergraph(3000, 6000, 4, rng=5)
+        with tempfile.TemporaryDirectory() as td:
+            path = Path(td) / "g.hgr"
+            write_hgr(g, path)
+            text = path.read_text()
+        return parse_job_request(req(graph={"hgr": text}, **over))
+
+    def test_hoist_rewrites_large_specs_once_per_graph(self):
+        from repro.serve.pool import _hoist_graphs, _spec_payload_bytes
+        r = self._big_hgr_request()
+        assert _spec_payload_bytes(r.params["graph"]) > 1 << 16
+        members = [BatchMember(key=str(i), seed=i, params=r.params,
+                               outfile=None, errfile=None,
+                               deadline_mono=None) for i in range(3)]
+        params, handles = _hoist_graphs_sync(_hoist_graphs, members)
+        try:
+            # one segment serves all three members
+            assert len(handles) == 1
+            descs = [p["graph"]["shm"] for p in params]
+            assert all(d == descs[0] for d in descs)
+            # descriptor round-trips to the same hypergraph
+            from repro.core.shm import SharedCSR
+            attached = SharedCSR.attach(descs[0])
+            g = attached.hypergraph()
+            assert (g.n, g.num_pins) == (3000, 24000)
+            attached.close()
+        finally:
+            for h in handles:
+                h.close()
+                h.unlink()
+
+    def test_small_specs_stay_inline(self):
+        from repro.serve.pool import _hoist_graphs
+        r = parse_job_request(req())
+        member = BatchMember(key="s", seed=1, params=r.params,
+                             outfile=None, errfile=None, deadline_mono=None)
+        params, handles = _hoist_graphs_sync(_hoist_graphs, [member])
+        assert handles == [] and params[0] is r.params
+
+    def test_batch_result_matches_inline_and_leaves_no_segments(
+            self, tmp_path):
+        import glob
+        before = set(glob.glob("/dev/shm/repro_shm_*"))
+        r = self._big_hgr_request()
+        member = BatchMember(key="big", seed=r.seed, params=r.params,
+                             outfile=tmp_path / "o.json",
+                             errfile=tmp_path / "o.err", deadline_mono=None)
+        outcomes = {}
+
+        async def main():
+            await run_batch([member],
+                            on_outcome=lambda m, o: outcomes.__setitem__(
+                                m.key, o))
+        asyncio.run(main())
+        assert outcomes["big"].status == "ok"
+        # worker solved the attached graph, not a truncated copy...
+        values = outcomes["big"].payload["values"]
+        assert values["n"] == 3000 and values["pins"] == 24000
+        # ...and the result is exactly what an in-process solve yields
+        assert values == solve(seed=r.seed, **r.params)
+        # parent unlinked its segments on the way out
+        assert set(glob.glob("/dev/shm/repro_shm_*")) == before
+
+
+def _hoist_graphs_sync(fn, members):
+    return asyncio.run(fn(members))

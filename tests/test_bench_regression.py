@@ -20,6 +20,7 @@ SCRIPT = ROOT / "scripts" / "check_bench_regression.py"
 BASELINE = ROOT / "benchmarks" / "BENCH_kernels.json"
 SERVE_BASELINE = ROOT / "benchmarks" / "BENCH_serve.json"
 ANALYZE_BASELINE = ROOT / "benchmarks" / "BENCH_analyze.json"
+SCALE_BASELINE = ROOT / "benchmarks" / "BENCH_scale.json"
 
 
 @pytest.mark.benchcheck
@@ -44,6 +45,18 @@ def test_serve_within_baseline():
         capture_output=True, text=True, cwd=ROOT)
     assert proc.returncode == 0, (
         f"serve perf regression detected:\n{proc.stdout}\n{proc.stderr}")
+
+
+@pytest.mark.benchcheck
+def test_scale_within_baseline():
+    assert SCALE_BASELINE.exists(), (
+        "committed scale baseline missing; regenerate with "
+        "PYTHONPATH=src python benchmarks/bench_scale.py")
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--suite", "scale"],
+        capture_output=True, text=True, cwd=ROOT)
+    assert proc.returncode == 0, (
+        f"scale perf regression detected:\n{proc.stdout}\n{proc.stderr}")
 
 
 @pytest.mark.benchcheck
