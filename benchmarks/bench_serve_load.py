@@ -14,6 +14,11 @@ stack, nothing mocked):
     One client resubmitting an already-cached request; p50 must sit
     under 5 ms — the content-addressed fast path never touches a
     worker.
+``simulate``
+    A short closed-loop burst of ``op: simulate`` jobs (repro.sim
+    through the full HTTP stack), then the same job replayed with the
+    cache off: the trace digest must be byte-identical — server-side
+    simulation is deterministic per (params, seed).
 ``overload``
     Open-loop submissions at 10x the measured batched capacity.  The
     server must shed with 429s while the p99 latency of *accepted*
@@ -175,6 +180,38 @@ def cache_hit_phase(port: int, repeats: int) -> dict:
     }
 
 
+def sim_job(seed: int) -> dict:
+    return {"op": "simulate",
+            "graph": {"generator": {"kind": "hyperdag-stencil", "n": 8,
+                                    "seed": seed % 5}},
+            "k": 4, "scheduler": "heft", "imode": "exact",
+            "seed": seed, "mode": "sync", "deadline_s": 60.0}
+
+
+def simulate_phase(port: int, jobs: int) -> dict:
+    latencies: list[float] = []
+    digests: list[str] = []
+    with ServeClient("127.0.0.1", port, timeout_s=120) as c:
+        for i in range(jobs):
+            t0 = time.perf_counter()
+            out = c.partition(sim_job(i))
+            latencies.append(time.perf_counter() - t0)
+            assert out["status"] == "done", out
+            digests.append(out["result"]["digest"])
+        # replay job 0 with the cache off: a fresh worker-side run must
+        # reproduce the trace bit-for-bit (the repro.sim determinism
+        # contract, exercised through the full serve stack)
+        replay = c.partition({**sim_job(0), "use_cache": False})
+        stable = (replay["status"] == "done"
+                  and replay["result"]["digest"] == digests[0])
+    return {
+        "jobs": jobs,
+        "p50_ms": round(percentile(latencies, 50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 99) * 1e3, 3),
+        "digest_stable": bool(stable),
+    }
+
+
 def overload_phase(port: int, offered_jps: float, duration_s: float,
                    seed_base: int) -> dict:
     """Open-loop submissions at ``offered_jps`` for ``duration_s``;
@@ -269,6 +306,10 @@ def run(jobs: int, clients: int, workers: int,
             results["cache_hit"] = cache_hit_phase(server.port,
                                                    repeats=200)
             say(f"   {results['cache_hit']}")
+
+            say("== phase 3b: simulate op (repro.sim over HTTP)")
+            results["simulate"] = simulate_phase(server.port, jobs=10)
+            say(f"   {results['simulate']}")
         finally:
             server.stop()
 
@@ -295,6 +336,7 @@ def run(jobs: int, clients: int, workers: int,
         "cache_hit_p50_ms": results["cache_hit"]["p50_ms"],
         "overload_shed_429": results["overload"]["shed_429"],
         "overload_p99_ratio": round(p99_ratio, 2),
+        "simulate_digest_stable": results["simulate"]["digest_stable"],
     }
     say(f"== summary: {results['summary']}")
     return results
@@ -332,6 +374,8 @@ def main(argv=None) -> int:
             (s["overload_shed_429"] > 0, "no 429s under 10x overload"),
             (s["overload_p99_ratio"] <= 2.0,
              f"overload p99 ratio {s['overload_p99_ratio']} > 2x"),
+            (s["simulate_digest_stable"],
+             "simulate replay digest drifted (nondeterministic sim)"),
         ]
         failed = [msg for ok, msg in bars if not ok]
         for msg in failed:

@@ -29,6 +29,14 @@
     segments, and (on >= 4 cores) >= 2x single-V-cycle speedup at
     ``n_jobs=4`` — plus serial wall-clock within ``--tolerance`` of
     the baseline.
+``--suite sim``
+    Re-runs the discrete-event simulation matrix
+    (``benchmarks/bench_sim.py``) at the committed baseline's
+    configuration (``benchmarks/BENCH_sim.json``).  Simulation is
+    deterministic, so this gate is **exact**: every cell's trace
+    digest must match the baseline bit-for-bit — ``--tolerance`` does
+    not apply.  A mismatch means the simulator or a scheduler changed
+    behaviour, never that the machine was busy.
 ``--suite all``
     All of them.
 
@@ -67,6 +75,7 @@ DEFAULT_BASELINE = ROOT / "benchmarks" / "BENCH_kernels.json"
 DEFAULT_SERVE_BASELINE = ROOT / "benchmarks" / "BENCH_serve.json"
 DEFAULT_ANALYZE_BASELINE = ROOT / "benchmarks" / "BENCH_analyze.json"
 DEFAULT_SCALE_BASELINE = ROOT / "benchmarks" / "BENCH_scale.json"
+DEFAULT_SIM_BASELINE = ROOT / "benchmarks" / "BENCH_sim.json"
 
 
 def compare(baseline: dict, fresh: dict, threshold: float,
@@ -264,6 +273,52 @@ def run_scale_suite(args, tolerance: float) -> list[str] | None:
     return compare_scale(baseline, fresh, tolerance)
 
 
+def compare_sim(baseline: dict, fresh: dict) -> list[str]:
+    """Failure messages for the simulation suite (exact comparison).
+
+    Structural bars come from ``bench_sim.check``; on top of those,
+    every baseline cell must reappear in the fresh run with the same
+    trace digest — simulated time has no jitter, so equality is the
+    only correct tolerance.
+    """
+    import bench_sim
+    failures = [f"acceptance bar failed: {f}"
+                for f in bench_sim.check(fresh)]
+
+    def keyed(result: dict) -> dict:
+        return {(c["workload"], c["topology"], c["partitioner"],
+                 c["scheduler"], c["imode"]): c
+                for c in result["cells"]}
+
+    base, now = keyed(baseline), keyed(fresh)
+    matched = drifted = missing = 0
+    for key, bc in sorted(base.items()):
+        fc = now.get(key)
+        if fc is None:
+            missing += 1
+            failures.append(f"cell {'/'.join(key)} missing from fresh run")
+        elif fc["digest"] != bc["digest"]:
+            drifted += 1
+            failures.append(
+                f"cell {'/'.join(key)}: trace digest drifted "
+                f"(makespan {bc['makespan']:g} -> {fc['makespan']:g})")
+        else:
+            matched += 1
+    print(f"  cells: {matched} identical, {drifted} drifted, "
+          f"{missing} missing (of {len(base)} baseline cells)")
+    return failures
+
+
+def run_sim_suite(args, tolerance: float) -> list[str] | None:
+    import bench_sim
+    baseline = _load_baseline(Path(args.sim_baseline), "bench_sim.py")
+    if baseline is None:
+        return None
+    fresh = bench_sim.run(baseline.get("config"), jobs=2, quiet=True)
+    print("simulation matrix (fresh run vs committed baseline, exact)")
+    return compare_sim(baseline, fresh)
+
+
 def run_analyze_suite(args, tolerance: float) -> list[str] | None:
     import bench_analyze
     baseline = _load_baseline(Path(args.analyze_baseline),
@@ -278,7 +333,7 @@ def run_analyze_suite(args, tolerance: float) -> list[str] | None:
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--suite", choices=("kernels", "serve", "analyze",
-                                        "scale", "all"),
+                                        "scale", "sim", "all"),
                     default="kernels",
                     help="which benchmark suite(s) to gate on")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
@@ -292,6 +347,9 @@ def main(argv=None) -> int:
     ap.add_argument("--scale-baseline",
                     default=str(DEFAULT_SCALE_BASELINE),
                     help="committed scale baseline JSON")
+    ap.add_argument("--sim-baseline",
+                    default=str(DEFAULT_SIM_BASELINE),
+                    help="committed simulation baseline JSON")
     ap.add_argument("--tolerance", "--threshold", type=float,
                     dest="tolerance", default=None,
                     help="allowed fractional slowdown (0.25 = 25%%); "
@@ -306,10 +364,11 @@ def main(argv=None) -> int:
     if tolerance is None:
         tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25"))
 
-    suites = (("kernels", "serve", "analyze", "scale")
+    suites = (("kernels", "serve", "analyze", "scale", "sim")
               if args.suite == "all" else (args.suite,))
     runners = {"kernels": run_kernels_suite, "serve": run_serve_suite,
-               "analyze": run_analyze_suite, "scale": run_scale_suite}
+               "analyze": run_analyze_suite, "scale": run_scale_suite,
+               "sim": run_sim_suite}
     failed = False
     for suite in suites:
         runner = runners[suite]

@@ -63,9 +63,13 @@ echo
 echo "== scale smoke tier (10^5-pin V-cycle, 60 s budget) =="
 timeout 60 python benchmarks/bench_scale.py --smoke
 
+echo
+echo "== sim smoke tier (scheduler-zoo matrix + jobs-invariance, 60 s budget) =="
+timeout 60 python benchmarks/bench_sim.py --smoke
+
 if [ "$run_bench" = 1 ]; then
     echo
-    echo "== perf-regression gates (benchcheck: kernels + serve + scale) =="
+    echo "== perf-regression gates (benchcheck: kernels + serve + scale + sim) =="
     python -m pytest -m benchcheck -q
 fi
 

@@ -128,3 +128,54 @@ class CallGraph:
                     continue
                 seen.add(node)
                 yield node, pretty_node(node)
+
+    def sim_entrypoints(self) -> Iterable[tuple[str, str]]:
+        """``(node, label)`` for every registered sim-scheduler method.
+
+        ``register_scheduler(name, Cls)`` is registry dispatch: the
+        simulator instantiates ``Cls`` by name and calls its methods,
+        so no static call edge reaches them.  Every method of the
+        registered class — including inherited ones, walking the base
+        chain — becomes an entrypoint, exactly like spec runners.
+        Registrations in test fixtures (non-``src/`` files) are
+        ignored.
+        """
+        seen: set[tuple] = set()
+        for s in self.index.summaries:
+            if not s.in_src:
+                continue
+            for reg in s.registrations:
+                if reg.get("kind") != "sim-scheduler":
+                    continue
+                target = reg.get("target")
+                if not isinstance(target, str):
+                    continue
+                label = reg.get("name") or target
+                for node in self._class_method_nodes(target):
+                    key = (node, label)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield node, label
+
+    def _class_method_nodes(self, dotted: str,
+                            _seen: frozenset = frozenset(),
+                            ) -> Iterable[str]:
+        """All method nodes of the class ``dotted`` names, bases included."""
+        if dotted in _seen:
+            return
+        hit = self.index.resolve_symbol(dotted)
+        if hit is None:
+            return
+        s, qual = hit
+        if qual not in s.classes:
+            return
+        prefix = qual + "."
+        for fn in s.functions:
+            if fn.startswith(prefix):
+                yield node_id(s.module, fn)
+        for base in s.classes[qual].get("bases", []):
+            rebased = self.index._rebase(s, base, [])
+            if rebased is not None:
+                yield from self._class_method_nodes(
+                    rebased, _seen | {dotted})

@@ -54,7 +54,7 @@ __all__ = [
 ]
 
 #: Bump to invalidate every cached summary (rule/pass/format changes).
-ENGINE_VERSION = "analyze-v2.0"
+ENGINE_VERSION = "analyze-v2.1"
 
 #: Constructors whose result is an explicit, caller-owned Generator.
 RNG_CONSTRUCTORS = {"numpy.random.default_rng", "numpy.random.Generator"}
@@ -581,6 +581,19 @@ class Extractor:
                     "line": node.lineno,
                     "tags": (self._tag_names(kw["tags"])
                              if "tags" in kw else [])})
+        elif tail == "register_scheduler" and len(node.args) >= 2:
+            # Sim-scheduler registry dispatch: register_scheduler(name,
+            # Cls) makes every method of Cls reachable by name at
+            # simulate time (CallGraph.sim_entrypoints).
+            name_arg = node.args[0]
+            tgt, _w = self._resolve_call_target(node.args[1], ctx)
+            if tgt is None:
+                tgt = self.resolve(_dotted(node.args[1]))
+            self.summary.registrations.append({
+                "kind": "sim-scheduler",
+                "name": (name_arg.value
+                         if isinstance(name_arg, ast.Constant) else None),
+                "target": tgt, "line": node.lineno, "tags": []})
 
     @staticmethod
     def _tag_names(expr: ast.AST) -> list[str]:

@@ -25,6 +25,11 @@ serve / submit / jobs
     Online partitioning service (:mod:`repro.serve`): ``serve`` runs the
     HTTP server (micro-batching, backpressure, shared result cache);
     ``submit`` sends one job; ``jobs`` lists/polls/cancels jobs.
+sim
+    Discrete-event scheduling simulation (:mod:`repro.sim`):
+    ``sim run`` executes one hyperDAG plan on a Definition 7.1
+    topology under a chosen scheduler/information mode; ``sim
+    compare`` prints the scheduler x imode makespan matrix.
 """
 
 from __future__ import annotations
@@ -102,9 +107,11 @@ def _build_parser() -> argparse.ArgumentParser:
     from .analyze.cli import add_analyze_parser
     from .lab.cli import add_lab_parser
     from .serve.cli import add_serve_parser
+    from .sim.cli import add_sim_parser
     add_lab_parser(sub)
     add_analyze_parser(sub)
     add_serve_parser(sub)
+    add_sim_parser(sub)
     return parser
 
 
@@ -219,6 +226,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command in ("serve", "submit", "jobs"):
         from .serve.cli import serve_main
         return serve_main(args)
+    if args.command == "sim":
+        from .sim.cli import sim_main
+        return sim_main(args)
     handlers = {"partition": _partition, "evaluate": _evaluate,
                 "recognize": _recognize, "info": _info,
                 "generate": _generate}

@@ -90,3 +90,10 @@ class SanitizerError(ReproError):
     Only ever raised when ``REPRO_SANITIZE`` is set; with the sanitizer
     disabled (the default) the checks are no-ops.
     """
+
+
+class SimulationError(ReproError):
+    """Raised by :mod:`repro.sim` for malformed plans, topologies,
+    scheduler protocol violations (assigning a finished task, an
+    out-of-range worker, a locked task to a foreign worker), or unknown
+    scheduler / information-mode names."""

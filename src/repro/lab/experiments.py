@@ -324,6 +324,15 @@ _bench(
      "balanced"],
     tags=(TIMING,), timeout_s=600.0)
 
+_bench(
+    "SIM", "§7 / Def 7.1 simulation",
+    "Scheduler zoo x information modes on hierarchical machines "
+    "(discrete-event simulation, lognormal durations)",
+    "bench_sim", "run_matrix", "check_matrix",
+    ["workload", "topology", "partitioner", "scheduler", "lb", "exact",
+     "mean", "blind"],
+    smoke_params={"smoke": True}, timeout_s=600.0)
+
 # --- Native runners (rows with no standalone bench function) -----------
 
 register(ExperimentSpec(

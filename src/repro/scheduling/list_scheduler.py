@@ -20,7 +20,8 @@ __all__ = ["critical_path_priority", "priority_from_csr",
 
 
 def priority_from_csr(ptr: np.ndarray, adj: np.ndarray,
-                      layers: np.ndarray) -> np.ndarray:
+                      layers: np.ndarray,
+                      weights: np.ndarray | None = None) -> np.ndarray:
     """Vectorised critical-path priorities from a successor CSR.
 
     ``ptr``/``adj`` encode each node's successor list;  ``layers`` is
@@ -29,11 +30,23 @@ def priority_from_csr(ptr: np.ndarray, adj: np.ndarray,
     deepest first, with ``np.maximum.at`` — every successor lives in a
     strictly later layer, so its priority is already final when its
     predecessors' layer is processed.
+
+    Without ``weights`` this is the unit-time priority (int64, the
+    node count of the longest downward path).  With per-node
+    ``weights`` it is the weighted critical path (float64):
+    ``prio[v] = w[v] + max(prio[succ], default 0)`` — HEFT's upward
+    rank with zero communication cost.
     """
     ptr = np.asarray(ptr, dtype=np.int64)
     adj = np.asarray(adj, dtype=np.int64)
     n = ptr.shape[0] - 1
-    prio = np.ones(n, dtype=np.int64)
+    if weights is None:
+        prio = np.ones(n, dtype=np.int64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (n,):
+            raise ValueError(f"weights must have shape ({n},)")
+        prio = w.copy()
     if n == 0 or adj.shape[0] == 0:
         return prio
     layers = np.asarray(layers, dtype=np.int64)
@@ -45,21 +58,33 @@ def priority_from_csr(ptr: np.ndarray, adj: np.ndarray,
     for level in range(depth, -1, -1):
         sel = order[bounds[level]:bounds[level + 1]]
         if sel.shape[0]:
-            np.maximum.at(prio, src[sel], prio[adj[sel]] + 1)
+            if weights is None:
+                np.maximum.at(prio, src[sel], prio[adj[sel]] + 1)
+            else:
+                np.maximum.at(prio, src[sel],
+                              w[src[sel]] + prio[adj[sel]])
     return prio
 
 
-def _reference_priority_from_csr(ptr, adj, layers) -> np.ndarray:
+def _reference_priority_from_csr(ptr, adj, layers,
+                                 weights=None) -> np.ndarray:
     """Pure-Python oracle twin of :func:`priority_from_csr`."""
     ptr = np.asarray(ptr, dtype=np.int64)
     adj = np.asarray(adj, dtype=np.int64)
     layers = np.asarray(layers, dtype=np.int64)
     n = ptr.shape[0] - 1
-    prio = [1] * n
+    if weights is None:
+        prio = [1] * n
+        for v in sorted(range(n), key=lambda u: -int(layers[u])):
+            for w in adj[ptr[v]:ptr[v + 1]]:
+                prio[v] = max(prio[v], prio[int(w)] + 1)
+        return np.asarray(prio, dtype=np.int64)
+    wts = [float(x) for x in np.asarray(weights, dtype=np.float64)]
+    prio = list(wts)
     for v in sorted(range(n), key=lambda u: -int(layers[u])):
         for w in adj[ptr[v]:ptr[v + 1]]:
-            prio[v] = max(prio[v], prio[int(w)] + 1)
-    return np.asarray(prio, dtype=np.int64)
+            prio[v] = max(prio[v], wts[v] + prio[int(w)])
+    return np.asarray(prio, dtype=np.float64)
 
 
 def critical_path_priority(dag: DAG) -> np.ndarray:

@@ -52,11 +52,31 @@ class Schedule:
             return False
         if self.times.min() < 1:
             return False
-        # correctness: distinct (processor, time) slots
+        # correctness: distinct (processor, time) slots — encode each
+        # slot as one integer so uniqueness is a single np.unique pass
+        codes = self.procs * (self.times.max() + 1) + self.times
+        if np.unique(codes).shape[0] != n:
+            return False
+        # precedence, vectorised over the edge arrays
+        if not dag.edges:
+            return True
+        e = np.asarray(dag.edges, dtype=np.int64)
+        return bool(np.all(self.times[e[:, 0]] < self.times[e[:, 1]]))
+
+    def _reference_is_valid(self, dag: DAG) -> bool:
+        """Pure-Python oracle twin of :meth:`is_valid` (parity-tested)."""
+        n = dag.n
+        if self.procs.shape != (n,) or self.times.shape != (n,):
+            return False
+        if n == 0:
+            return True
+        if self.procs.min() < 0 or self.procs.max() >= self.k:
+            return False
+        if self.times.min() < 1:
+            return False
         slots = set(zip(self.procs.tolist(), self.times.tolist()))
         if len(slots) != n:
             return False
-        # precedence
         return all(self.times[u] < self.times[v] for u, v in dag.edges)
 
     def respects_partition(self, labels: np.ndarray) -> bool:

@@ -55,7 +55,8 @@ def add_serve_parser(sub) -> None:
     j.add_argument("-k", type=int, default=2)
     j.add_argument("--eps", type=float, default=0.03)
     j.add_argument("--op", default="partition",
-                   choices=["partition", "schedule", "recognize"])
+                   choices=["partition", "schedule", "recognize",
+                            "simulate"])
     j.add_argument("--algorithm", default="multilevel")
     j.add_argument("--metric", default="connectivity",
                    choices=["connectivity", "cut-net"])
@@ -128,6 +129,18 @@ async def _self_check(config: ServeConfig) -> int:
             done = handle if handle["status"] == "done" \
                 else c.wait(handle["job_id"], timeout_s=20)
             check(done["status"] == "done", "async job completes")
+            sim = c.partition({
+                "op": "simulate",
+                "graph": {"generator": {"kind": "hyperdag-stencil",
+                                        "n": 6, "seed": 3}},
+                "k": 4, "scheduler": "heft", "imode": "exact",
+                "seed": 5, "mode": "sync", "deadline_s": 20.0})
+            check(sim["status"] == "done", "simulate job completes")
+            sim_result = sim.get("result", {})
+            check(sim_result.get("makespan", 0.0)
+                  >= sim_result.get("lower_bound", 1.0) > 0
+                  and len(sim_result.get("digest", "")) == 64,
+                  "simulate result carries makespan and digest")
             again = c.partition({**req, "mode": "sync"})
             check(bool(again.get("cached")), "resubmission is a cache hit")
             try:

@@ -3,7 +3,7 @@
 A job request is a JSON object::
 
     {
-      "op":        "partition" | "schedule" | "recognize",
+      "op":        "partition" | "schedule" | "recognize" | "simulate",
       "graph":     {"hgr": "<hMETIS text>"}
                  | {"n": 4, "edges": [[0,1],[1,2,3]],
                     "node_weights": [...]?, "edge_weights": [...]?}
@@ -16,6 +16,12 @@ A job request is a JSON object::
       "algorithm": "multilevel" | "recursive" | "greedy" | "spectral"
                  | "random" | "exact",
       "seed":      0,
+      # simulate-op extras (what-if planning; see repro.sim):
+      "scheduler": "heft" | "cp-list" | "work-steal" | "locked" | "random",
+      "imode":     "exact" | "mean" | "blind",
+      "dist":      "fixed" | "uniform" | "lognormal",
+      "topology":  {"b": [2, 4], "g": [4.0, 1.0]},   # Definition 7.1
+      "latency":   0.0,
       # serving controls — NOT part of the cache identity:
       "deadline_s": 10.0,        # per-request budget (queue + compute)
       "mode":      "auto" | "sync" | "async",
@@ -50,7 +56,7 @@ __all__ = [
     "parse_job_request",
 ]
 
-OPS = ("partition", "schedule", "recognize")
+OPS = ("partition", "schedule", "recognize", "simulate")
 ALGORITHMS = ("multilevel", "recursive", "greedy", "spectral", "random",
               "exact")
 METRICS = ("connectivity", "cut-net")
@@ -177,6 +183,65 @@ def _parse_graph(graph: Any) -> tuple[dict, int]:
     return {"generator": spec}, est
 
 
+#: Scheduler / imode / distribution vocabularies for the simulate op.
+#: Kept as literals (not imports from repro.sim) so request validation
+#: stays import-light in the asyncio server process.
+SIM_SCHEDULERS = ("heft", "cp-list", "work-steal", "locked", "random")
+SIM_IMODES = ("exact", "mean", "blind")
+SIM_DISTS = ("fixed", "uniform", "lognormal")
+
+
+def _parse_simulate(obj: Any, params: dict[str, Any]) -> None:
+    """Validate simulate-op extras into canonical solve params.
+
+    ``k`` (already parsed) is the flat machine size; a ``topology``
+    object ``{"b": [...], "g": [...]}`` overrides it with a Definition
+    7.1 hierarchy (``k`` then must equal the leaf count, or be
+    omitted).
+    """
+    scheduler = obj.get("scheduler", "heft")
+    _require(scheduler in SIM_SCHEDULERS,
+             f"unknown scheduler {scheduler!r}; "
+             f"known: {', '.join(SIM_SCHEDULERS)}")
+    params["scheduler"] = scheduler
+    imode = obj.get("imode", "exact")
+    _require(imode in SIM_IMODES,
+             f"unknown imode {imode!r}; known: {', '.join(SIM_IMODES)}")
+    params["imode"] = imode
+    dist = obj.get("dist", "lognormal")
+    _require(dist in SIM_DISTS,
+             f"unknown dist {dist!r}; known: {', '.join(SIM_DISTS)}")
+    params["dist"] = dist
+    topo = obj.get("topology")
+    if topo is not None:
+        _require(isinstance(topo, dict), "'topology' must be an object")
+        b = _int_list(topo.get("b"), "'topology.b'")
+        g = _num_list(topo.get("g"), "'topology.g'")
+        _require(1 <= len(b) <= 8 and len(b) == len(g),
+                 "'topology' needs 1..8 levels with matching b/g")
+        _require(all(x >= 1 for x in b), "'topology.b' entries must be >= 1")
+        _require(all(x > 0 for x in g), "'topology.g' entries must be > 0")
+        _require(all(g[i] >= g[i + 1] for i in range(len(g) - 1)),
+                 "'topology.g' must be monotonically decreasing")
+        leaves = 1
+        for x in b:
+            leaves *= x
+        _require(leaves <= 4096, "'topology' has too many leaves (> 4096)")
+        _require("k" not in obj or obj["k"] == leaves,
+                 f"'k' ({obj.get('k')}) must equal the topology leaf "
+                 f"count ({leaves}) when both are given")
+        params["k"] = leaves
+        params["topology"] = {"b": b, "g": g}
+    latency = _as_num(obj.get("latency", 0.0), "'latency'")
+    _require(latency >= 0, "'latency' must be >= 0")
+    params["latency"] = latency
+    algorithm = obj.get("algorithm", "multilevel")
+    _require(algorithm in ALGORITHMS,
+             f"unknown algorithm {algorithm!r}; "
+             f"known: {', '.join(ALGORITHMS)}")
+    params["algorithm"] = algorithm
+
+
 def parse_job_request(obj: Any) -> JobRequest:
     """Validate a decoded JSON payload into a :class:`JobRequest`."""
     _require(isinstance(obj, dict), "request body must be a JSON object")
@@ -187,10 +252,12 @@ def parse_job_request(obj: Any) -> JobRequest:
              f"instance too large: ~{est} pins exceeds the server "
              f"limit of {MAX_PINS}")
     params: dict[str, Any] = {"op": op, "graph": graph_spec}
-    if op in ("partition", "schedule"):
+    if op in ("partition", "schedule", "simulate"):
         k = _as_int(obj.get("k", 2), "'k'")
         _require(1 <= k <= 4096, "'k' must be in 1..4096")
         params["k"] = k
+    if op == "simulate":
+        _parse_simulate(obj, params)
     if op == "partition":
         eps = _as_num(obj.get("eps", 0.03), "'eps'")
         _require(0 <= eps <= 1, "'eps' must be in [0, 1]")

@@ -27,7 +27,7 @@ def warm_solver_modules() -> None:
     which is exactly the per-dispatch overhead micro-batching exists to
     amortise.  Called once at server start.
     """
-    from .. import generators, io, partitioners, scheduling  # noqa: F401
+    from .. import generators, io, partitioners, scheduling, sim  # noqa: F401
 
 #: Spec under which serve jobs are cached.  ``version`` bumps invalidate
 #: every cached serve result (on top of the code-fingerprint keying).
@@ -109,6 +109,57 @@ def _solve_schedule(graph, *, params: Mapping[str, Any]) -> dict:
     }
 
 
+def _sim_partition_labels(graph, k: int, algorithm: str, seed: int):
+    from ..core import Metric
+
+    eps = 0.1
+    if algorithm == "spectral":
+        from ..partitioners import spectral_partition
+        part = spectral_partition(graph, k, eps, Metric.CONNECTIVITY,
+                                  rng=seed)
+    elif algorithm == "random":
+        from ..partitioners import random_balanced_partition
+        part = random_balanced_partition(graph, k, eps, rng=seed,
+                                         relaxed=True)
+    else:
+        from ..partitioners import multilevel_partition
+        part = multilevel_partition(graph, k, eps, Metric.CONNECTIVITY,
+                                    rng=seed)
+    return part.labels
+
+
+def _solve_simulate(graph, *, seed: int, params: Mapping[str, Any]) -> dict:
+    from ..hierarchy.topology import HierarchyTopology
+    from ..sim import DurationSpec, SimPlan, simulate
+
+    plan = SimPlan.from_hypergraph(graph)
+    topo_spec = params.get("topology")
+    if topo_spec is not None:
+        topo = HierarchyTopology(tuple(topo_spec["b"]),
+                                 tuple(topo_spec["g"]))
+    else:
+        topo = HierarchyTopology.flat(params["k"])
+    labels = _sim_partition_labels(graph, topo.k, params["algorithm"],
+                                   seed)
+    trace = simulate(plan, topo, params["scheduler"], seed=seed,
+                     imode=params["imode"],
+                     duration=DurationSpec(kind=params["dist"]),
+                     latency=params["latency"], partition=labels)
+    return {
+        "scheduler": trace.scheduler,
+        "imode": trace.imode,
+        "k": trace.k,
+        "tasks": plan.n,
+        "makespan": float(trace.makespan),
+        "lower_bound": float(trace.lower_bound),
+        "makespan_ratio": float(trace.makespan_ratio),
+        "transfers": len(trace.transfers),
+        "n_events": trace.n_events,
+        "digest": trace.digest(),
+        "task_worker": trace.task_worker.tolist(),
+    }
+
+
 def _solve_recognize(graph) -> dict:
     from ..core import recognize
 
@@ -133,6 +184,8 @@ def solve(*, seed: int, **params: Any) -> dict:
         result = _solve_partition(graph, seed=seed, params=params)
     elif op == "schedule":
         result = _solve_schedule(graph, params=params)
+    elif op == "simulate":
+        result = _solve_simulate(graph, seed=seed, params=params)
     else:
         result = _solve_recognize(graph)
     result["op"] = op

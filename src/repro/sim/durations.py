@@ -1,0 +1,80 @@
+"""Stochastic task durations and scheduler information modes.
+
+The simulator separates what a task *actually* costs from what the
+scheduler *believes* it costs (estee's ``imode`` idea):
+
+* actual durations are drawn once, up front, from a seeded
+  ``np.random.Generator`` — sampling is independent of event order, so
+  a trace is a pure function of ``(plan, topology, scheduler, seed)``;
+* the scheduler only ever sees the estimate vector for its information
+  mode: ``exact`` (the sampled truth), ``mean`` (distribution means —
+  a calibrated profile), or ``blind`` (unit guesses — no profile at
+  all).
+
+Distribution kinds: ``fixed`` (no noise), ``uniform`` (multiplicative
+``[1-jitter, 1+jitter]`` noise), ``lognormal`` (multiplicative
+``exp(N(0, sigma))`` noise, normalised to mean ``base``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["DURATION_KINDS", "INFORMATION_MODES", "DurationSpec"]
+
+INFORMATION_MODES = ("exact", "mean", "blind")
+DURATION_KINDS = ("fixed", "uniform", "lognormal")
+
+
+@dataclass(frozen=True)
+class DurationSpec:
+    """Distribution of task durations around per-task base costs."""
+
+    kind: str = "fixed"
+    jitter: float = 0.3        # uniform half-width (fraction of base)
+    sigma: float = 0.25        # lognormal shape
+
+    def __post_init__(self) -> None:
+        if self.kind not in DURATION_KINDS:
+            raise SimulationError(
+                f"unknown duration kind {self.kind!r}; "
+                f"known: {', '.join(DURATION_KINDS)}")
+        if not 0 <= self.jitter < 1:
+            raise SimulationError("jitter must be in [0, 1)")
+        if self.sigma < 0:
+            raise SimulationError("sigma must be >= 0")
+
+    def sample(self, base: np.ndarray,
+               rng: np.random.Generator) -> np.ndarray:
+        """Actual durations for one simulation run."""
+        base = np.asarray(base, dtype=np.float64)
+        if self.kind == "fixed":
+            return base.copy()
+        if self.kind == "uniform":
+            noise = rng.uniform(1.0 - self.jitter, 1.0 + self.jitter,
+                                size=base.shape)
+            return base * noise
+        noise = np.exp(rng.normal(0.0, self.sigma, size=base.shape))
+        # normalise so E[duration] == base (lognormal mean correction)
+        return base * noise / float(np.exp(0.5 * self.sigma**2))
+
+    def mean(self, base: np.ndarray) -> np.ndarray:
+        """Expected durations (what a calibrated profile would report)."""
+        return np.asarray(base, dtype=np.float64).copy()
+
+    def estimates(self, base: np.ndarray, actual: np.ndarray,
+                  imode: str) -> np.ndarray:
+        """The duration vector a scheduler in ``imode`` gets to see."""
+        if imode == "exact":
+            return np.asarray(actual, dtype=np.float64).copy()
+        if imode == "mean":
+            return self.mean(base)
+        if imode == "blind":
+            return np.ones(np.asarray(base).shape, dtype=np.float64)
+        raise SimulationError(
+            f"unknown information mode {imode!r}; "
+            f"known: {', '.join(INFORMATION_MODES)}")

@@ -1,0 +1,51 @@
+"""Deterministic discrete-event queue.
+
+Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing insertion counter: two events at the same simulated instant
+fire in the order they were scheduled.  Because every insertion in the
+simulator is itself a deterministic function of the run inputs, the
+full event order — and therefore the trace — is byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventQueue", "TASK_FINISHED", "TRANSFER_FINISHED"]
+
+TASK_FINISHED = "task-finished"
+TRANSFER_FINISHED = "transfer-finished"
+
+
+@dataclass(order=True)
+class Event:
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A heap of :class:`Event` with a stable insertion tiebreak."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        ev = Event(time=float(time), seq=self._seq, kind=kind,
+                   payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,100 @@
+"""Hierarchical network model derived from a :class:`HierarchyTopology`.
+
+Definition 7.1 prices a value moved between two leaves whose lowest
+common ancestor sits on level ``i`` at ``g_i``.  The simulator reads
+that statically-priced tree as a *dynamic* machine:
+
+* a transfer of ``size`` units between leaves with LCA level ``i``
+  takes ``latency_i + size * g_i`` simulated seconds (``g_i`` is the
+  per-unit inverse bandwidth of a level-``i`` link, so the paper's
+  static hierarchical cost is exactly the total transfer time a
+  partition's traffic would take with no contention);
+* every internal tree node is one shared link (a bus): transfers whose
+  LCA is that node serialise FIFO on it.  Links near the root are both
+  slow (``g_1`` largest) and shared by the most leaf pairs, which is
+  what makes cross-root traffic the dominant simulated cost — the
+  dynamic analogue of why partitioners weight ``λ^{(1)}`` hardest.
+
+All state is per-link ``free_at`` times; requesting a transfer is
+deterministic given request order, which the event queue fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import SimulationError
+from ..hierarchy.topology import HierarchyTopology
+
+__all__ = ["NetworkModel", "Transfer"]
+
+
+class Transfer:
+    """One in-flight data movement between two leaves."""
+
+    __slots__ = ("producer", "consumer", "src", "dst", "level",
+                 "size", "start", "finish")
+
+    def __init__(self, producer: int, consumer: int, src: int, dst: int,
+                 level: int, size: float, start: float,
+                 finish: float) -> None:
+        self.producer = producer
+        self.consumer = consumer
+        self.src = src
+        self.dst = dst
+        self.level = level
+        self.size = size
+        self.start = start
+        self.finish = finish
+
+    def to_record(self) -> list:
+        return [self.producer, self.consumer, self.src, self.dst,
+                self.level, self.size, self.start, self.finish]
+
+
+class NetworkModel:
+    """FIFO-contended links over the topology tree."""
+
+    def __init__(self, topology: HierarchyTopology,
+                 latency: Sequence[float] | float = 0.0) -> None:
+        self.topology = topology
+        d = topology.depth
+        if isinstance(latency, (int, float)):
+            lat = (float(latency),) * d
+        else:
+            lat = tuple(float(x) for x in latency)
+        if len(lat) != d or any(x < 0 for x in lat):
+            raise SimulationError(
+                f"latency must be one non-negative value per level ({d})")
+        self.latency = lat
+        #: (level, lca-node-id) -> earliest time the link is free
+        self._free_at: dict[tuple[int, int], float] = {}
+
+    def reset(self) -> None:
+        self._free_at.clear()
+
+    def request(self, producer: int, consumer: int, src: int, dst: int,
+                size: float, now: float) -> Transfer:
+        """Schedule a transfer; returns it with start/finish decided.
+
+        The link is the LCA of ``src``/``dst``; the transfer starts as
+        soon as both ``now`` and the link's FIFO queue allow.
+        """
+        topo = self.topology
+        if src == dst:
+            raise SimulationError("no transfer needed on the same leaf")
+        lca = topo.lca_level(src, dst)          # in 1..depth
+        g = topo.g[lca - 1]
+        key = (lca, topo.ancestor(dst, lca - 1))
+        start = max(now, self._free_at.get(key, 0.0))
+        finish = start + self.latency[lca - 1] + size * g
+        self._free_at[key] = finish
+        return Transfer(producer, consumer, src, dst, lca, size, start,
+                        finish)
+
+    def transfer_time(self, src: int, dst: int, size: float) -> float:
+        """Contention-free duration estimate (what schedulers plan with)."""
+        if src == dst:
+            return 0.0
+        lca = self.topology.lca_level(src, dst)
+        return self.latency[lca - 1] + size * self.topology.g[lca - 1]

@@ -1,0 +1,101 @@
+"""Simulation plans: a DAG of tasks with costs and output sizes.
+
+A :class:`SimPlan` is what the simulator executes: the precedence
+structure of a computational DAG (Definition 3.2 / 5.3), a base cost
+per task (unit by default, matching the paper's unit-time model), and
+an output-data size per task (how much each consumer must fetch when
+it runs on a different leaf — the "one value per node" hyperDAG
+convention makes 1.0 the natural default).
+
+Plans are built either directly from a :class:`~repro.core.dag.DAG`
+or from a hyperDAG hypergraph via its recognition certificate, which
+is how the CLI and the serve op accept ``.hgr`` payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dag import DAG
+from ..errors import NotAHyperDAGError, SimulationError
+from ..scheduling.list_scheduler import priority_from_csr
+
+__all__ = ["SimPlan", "weighted_lower_bound"]
+
+
+@dataclass(frozen=True)
+class SimPlan:
+    """An immutable task graph ready for simulation."""
+
+    dag: DAG
+    base_costs: np.ndarray        # expected compute cost per task
+    sizes: np.ndarray             # output data size per task
+
+    def __post_init__(self) -> None:
+        costs = np.asarray(self.base_costs, dtype=np.float64).copy()
+        sizes = np.asarray(self.sizes, dtype=np.float64).copy()
+        if costs.shape != (self.dag.n,) or sizes.shape != (self.dag.n,):  # analyze: allow(float-cost-eq) — shape tuple comparison, not a float-value comparison
+            raise SimulationError(
+                f"base_costs/sizes must have shape ({self.dag.n},)")
+        if costs.size and (costs.min() <= 0 or sizes.min() < 0):
+            raise SimulationError(
+                "base costs must be positive and sizes non-negative")
+        costs.setflags(write=False)
+        sizes.setflags(write=False)
+        object.__setattr__(self, "base_costs", costs)
+        object.__setattr__(self, "sizes", sizes)
+
+    @property
+    def n(self) -> int:
+        return self.dag.n
+
+    @staticmethod
+    def from_dag(dag: DAG,
+                 base_costs: Sequence[float] | np.ndarray | None = None,
+                 sizes: Sequence[float] | np.ndarray | None = None,
+                 ) -> "SimPlan":
+        costs = (np.ones(dag.n) if base_costs is None
+                 else np.asarray(base_costs, dtype=np.float64))
+        out = (np.ones(dag.n) if sizes is None
+               else np.asarray(sizes, dtype=np.float64))
+        return SimPlan(dag=dag, base_costs=costs, sizes=out)
+
+    @staticmethod
+    def from_hypergraph(graph, **kwargs) -> "SimPlan":
+        """Recognise ``graph`` as a hyperDAG and plan its DAG."""
+        from ..core.hyperdag import recognize, to_dag
+
+        cert = recognize(graph)
+        if cert is None:
+            raise NotAHyperDAGError(
+                "simulation requires a hyperDAG input (Lemma B.1 fails)")
+        return SimPlan.from_dag(to_dag(graph, cert), **kwargs)
+
+    def successor_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Successor CSR ``(ptr, adj)`` shared by priority computations."""
+        dag = self.dag
+        counts = np.fromiter((dag.out_degree(v) for v in range(dag.n)),
+                             dtype=np.int64, count=dag.n)
+        ptr = np.zeros(dag.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        adj = np.fromiter(
+            (w for v in range(dag.n) for w in dag.successors(v)),
+            dtype=np.int64, count=int(ptr[-1]))
+        return ptr, adj
+
+
+def weighted_lower_bound(plan: SimPlan, k: int,
+                         durations: np.ndarray) -> float:
+    """``max(total work / k, weighted critical path)`` — the static
+    makespan lower bound the simulated makespan is reported against
+    (the Definition 5.3 bound generalised to weighted durations,
+    ignoring all communication)."""
+    if plan.n == 0:
+        return 0.0
+    dur = np.asarray(durations, dtype=np.float64)
+    ptr, adj = plan.successor_csr()
+    prio = priority_from_csr(ptr, adj, plan.dag.asap_layers(), weights=dur)
+    return max(float(dur.sum()) / k, float(prio.max()))

@@ -1,0 +1,300 @@
+"""The scheduler zoo — pluggable policies behind an update/assign API.
+
+A scheduler never touches simulator internals: it receives a
+:class:`SimContext` once at start (the task graph, the topology, the
+duration *estimates* for its information mode, a seeded RNG) and then
+a stream of :class:`Update` messages — one per simulation event —
+answering each with a list of ``(task, worker)`` assignments drawn
+from the ready pool.  This is estee's ``Update``/assign protocol
+specialised to hierarchical machines.
+
+Determinism contract: a scheduler decision may depend only on the
+context and the message stream (both deterministic) and on
+``ctx.rng`` (seeded per run).  Wall-clock time, global RNG state and
+the environment are off limits — the analyze determinism pass walks
+every registered scheduler and flags violations.
+
+Zoo members (``SCHEDULERS``):
+
+``heft``        HEFT-style earliest-finish-time onto the estimated
+                machine state, ranked by weighted critical path.
+``cp-list``     Critical-path list scheduling: highest level first,
+                least-loaded worker, partition-agnostic.
+``work-steal``  Per-worker queues seeded by a partition (or round
+                robin); idle workers steal from the longest queue.
+``locked``      μ_p (Section 5.2): every task runs on its partition's
+                leaf, FIFO by critical path.
+``random``      Seeded uniform worker choice — the sanity baseline.
+``static``      Replays a fixed Definition 5.3 :class:`Schedule`
+                verbatim (the simulator ⇄ static-model bridge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..scheduling.list_scheduler import priority_from_csr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hierarchy.topology import HierarchyTopology
+    from ..scheduling.schedule import Schedule
+    from .network import NetworkModel
+    from .plan import SimPlan
+
+__all__ = ["Assignment", "SCHEDULERS", "SimContext", "Scheduler",
+           "Update", "make_scheduler", "register_scheduler"]
+
+Assignment = tuple[int, int]            # (task, worker)
+
+
+@dataclass
+class SimContext:
+    """Everything a scheduler is allowed to know at start time."""
+
+    plan: "SimPlan"
+    topology: "HierarchyTopology"
+    network: "NetworkModel"
+    k: int
+    slots: int
+    est: np.ndarray                     # imode-filtered duration estimates
+    imode: str
+    rng: np.random.Generator            # seeded per run
+    partition: np.ndarray | None = None
+    schedule: "Schedule | None" = None
+
+    def critical_path_rank(self, weighted: bool) -> np.ndarray:
+        ptr, adj = self.plan.successor_csr()
+        layers = self.plan.dag.asap_layers()
+        if weighted:
+            return priority_from_csr(ptr, adj, layers, weights=self.est)
+        return priority_from_csr(ptr, adj, layers)
+
+
+@dataclass
+class Update:
+    """One step of world news delivered to the scheduler."""
+
+    time: float
+    new_ready: list[int] = field(default_factory=list)
+    finished: list[int] = field(default_factory=list)
+    #: tasks assigned to each worker and not yet finished
+    backlog: list[int] = field(default_factory=list)
+    free_slots: list[int] = field(default_factory=list)
+
+
+class Scheduler:
+    """Base class; subclasses implement :meth:`update`."""
+
+    NAME = "?"
+
+    def start(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+
+    def update(self, msg: Update) -> list[Assignment]:
+        raise NotImplementedError
+
+
+SCHEDULERS: dict[str, type[Scheduler]] = {}
+
+
+def register_scheduler(name: str, cls: type[Scheduler]) -> type[Scheduler]:
+    """Register a scheduler class under ``name``.
+
+    Registered classes become analyze entrypoints: the determinism
+    pass walks their methods for wall-clock / global-RNG sinks.
+    """
+    if name in SCHEDULERS:
+        raise ValueError(f"duplicate scheduler {name!r}")
+    cls.NAME = name
+    SCHEDULERS[name] = cls
+    return cls
+
+
+def make_scheduler(name: str) -> Scheduler:
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown scheduler {name!r}; known: "
+            f"{', '.join(sorted(SCHEDULERS))}") from None
+    return cls()
+
+
+class HeftScheduler(Scheduler):
+    """Earliest estimated finish time, ranked by weighted critical path.
+
+    Keeps its own estimated machine state (per-worker free times, task
+    finish estimates, task placements) and greedily maps each ready
+    task, highest upward rank first, onto the worker minimising its
+    estimated finish — including the estimated cost of fetching every
+    input across the hierarchy.
+    """
+
+    def start(self, ctx: SimContext) -> None:
+        super().start(ctx)
+        self.rank = ctx.critical_path_rank(weighted=True)
+        self.est_free = [0.0] * ctx.k
+        self.est_finish: dict[int, float] = {}
+        self.placed: dict[int, int] = {}
+        self.pool: list[int] = []
+
+    def update(self, msg: Update) -> list[Assignment]:
+        ctx = self.ctx
+        self.pool.extend(msg.new_ready)
+        self.pool.sort(key=lambda v: (-float(self.rank[v]), v))
+        out: list[Assignment] = []
+        for v in self.pool:
+            preds = ctx.plan.dag.predecessors(v)
+            best: tuple[float, int] | None = None
+            for w in range(ctx.k):
+                arrival = msg.time
+                for u in preds:
+                    src = self.placed.get(u, w)
+                    arrival = max(
+                        arrival,
+                        self.est_finish.get(u, msg.time)
+                        + ctx.network.transfer_time(
+                            src, w, float(ctx.plan.sizes[u])))
+                fin = max(self.est_free[w], arrival) + float(ctx.est[v])
+                if best is None or (fin, w) < best:
+                    best = (fin, w)
+            fin, w = best if best is not None else (msg.time, 0)
+            self.est_free[w] = fin
+            self.est_finish[v] = fin
+            self.placed[v] = w
+            out.append((v, w))
+        self.pool = []
+        return out
+
+
+class CriticalPathScheduler(Scheduler):
+    """List scheduling: highest critical-path level first, onto the
+    least-backlogged worker (reusing the vectorised unit-weight
+    priority kernel)."""
+
+    def start(self, ctx: SimContext) -> None:
+        super().start(ctx)
+        self.prio = ctx.critical_path_rank(weighted=False)
+        self.pool: list[int] = []
+
+    def update(self, msg: Update) -> list[Assignment]:
+        self.pool.extend(msg.new_ready)
+        self.pool.sort(key=lambda v: (-int(self.prio[v]), v))
+        backlog = list(msg.backlog)
+        limit = self.ctx.slots
+        out: list[Assignment] = []
+        kept: list[int] = []
+        for v in self.pool:
+            w = min(range(self.ctx.k), key=lambda i: (backlog[i], i))
+            if backlog[w] >= limit:
+                kept.append(v)          # every worker full; hold the rest
+                continue
+            backlog[w] += 1
+            out.append((v, w))
+        self.pool = kept
+        return out
+
+
+class WorkStealingScheduler(Scheduler):
+    """Partition-homed queues with deterministic stealing.
+
+    Ready tasks enqueue at their home worker (the partition label when
+    one is provided, round robin otherwise).  A worker whose backlog
+    is below its slot count serves its own queue first and otherwise
+    steals from the back of the longest queue (ties to the lowest
+    worker id).
+    """
+
+    def start(self, ctx: SimContext) -> None:
+        super().start(ctx)
+        self.queues: list[list[int]] = [[] for _ in range(ctx.k)]
+
+    def _home(self, v: int) -> int:
+        part = self.ctx.partition
+        return int(part[v]) if part is not None else v % self.ctx.k
+
+    def update(self, msg: Update) -> list[Assignment]:
+        for v in msg.new_ready:
+            self.queues[self._home(v)].append(v)
+        backlog = list(msg.backlog)
+        limit = self.ctx.slots
+        out: list[Assignment] = []
+        progress = True
+        while progress:
+            progress = False
+            for w in range(self.ctx.k):
+                if backlog[w] >= limit:
+                    continue
+                if self.queues[w]:
+                    v = self.queues[w].pop(0)
+                elif any(self.queues):
+                    victim = max(range(self.ctx.k),
+                                 key=lambda i: (len(self.queues[i]), -i))
+                    if not self.queues[victim]:
+                        continue
+                    v = self.queues[victim].pop()
+                else:
+                    continue
+                backlog[w] += 1
+                out.append((v, w))
+                progress = True
+        return out
+
+
+class RandomScheduler(Scheduler):
+    """Uniform seeded worker choice the moment a task becomes ready."""
+
+    def update(self, msg: Update) -> list[Assignment]:
+        k = self.ctx.k
+        return [(v, int(self.ctx.rng.integers(k))) for v in msg.new_ready]
+
+
+class PartitionLockedScheduler(Scheduler):
+    """μ_p: each task may only run on its partition's leaf worker."""
+
+    def start(self, ctx: SimContext) -> None:
+        super().start(ctx)
+        if ctx.partition is None:
+            raise SimulationError(
+                "the 'locked' scheduler requires a partition")
+
+    def update(self, msg: Update) -> list[Assignment]:
+        part = self.ctx.partition
+        assert part is not None
+        return [(v, int(part[v])) for v in msg.new_ready]
+
+
+class StaticScheduler(Scheduler):
+    """Replays a fixed :class:`Schedule`: task ``v`` is released to
+    processor ``procs[v]`` exactly at simulated time ``times[v] - 1``
+    (static slot ``t`` occupies ``[t-1, t)`` under unit durations)."""
+
+    def start(self, ctx: SimContext) -> None:
+        super().start(ctx)
+        if ctx.schedule is None:
+            raise SimulationError(
+                "the 'static' scheduler requires a schedule to replay")
+        self.pool: list[int] = []
+
+    def update(self, msg: Update) -> list[Assignment]:
+        sched = self.ctx.schedule
+        assert sched is not None
+        self.pool.extend(msg.new_ready)
+        due = [v for v in self.pool
+               if msg.time >= float(sched.times[v] - 1)]
+        self.pool = [v for v in self.pool
+                     if msg.time < float(sched.times[v] - 1)]
+        due.sort(key=lambda v: (int(sched.times[v]), v))
+        return [(v, int(sched.procs[v])) for v in due]
+
+
+register_scheduler("heft", HeftScheduler)
+register_scheduler("cp-list", CriticalPathScheduler)
+register_scheduler("work-steal", WorkStealingScheduler)
+register_scheduler("random", RandomScheduler)
+register_scheduler("locked", PartitionLockedScheduler)
+register_scheduler("static", StaticScheduler)

@@ -1,0 +1,292 @@
+"""The discrete-event simulator core.
+
+:func:`simulate` executes a :class:`~repro.sim.plan.SimPlan` on the
+machine described by a :class:`~repro.hierarchy.topology.HierarchyTopology`
+under a pluggable scheduler, and returns a :class:`SimTrace` whose
+content — every start/finish instant, every transfer, the event count
+— is a pure function of ``(plan, topology, scheduler, imode,
+duration spec, seed)``.  Determinism is load-bearing: trace digests
+are committed in ``BENCH_sim.json`` and gated by
+``check_bench_regression.py --suite sim``.
+
+Engine rules
+------------
+* A task may be assigned once, to one worker, only after it is ready
+  (all predecessors finished).  Violations raise
+  :class:`~repro.errors.SimulationError` — a scheduler bug, not user
+  input, so it must not be silent.
+* An assigned task first fetches every input it is missing; transfers
+  contend FIFO on the hierarchy links (:mod:`repro.sim.network`) and
+  are deduplicated per ``(producer, worker)``.
+* A worker runs at most ``slots`` tasks at once; runnable tasks queue
+  FIFO in assignment order.
+* The scheduler is called once at start and once after every event,
+  with the news of that event (readiness, completions, idle state).
+
+All time is the simulated clock; the engine never reads the wall
+clock or any global RNG (the analyze determinism pass enforces this
+transitively).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..hierarchy.topology import HierarchyTopology
+from .durations import DurationSpec
+from .events import TASK_FINISHED, TRANSFER_FINISHED, EventQueue
+from .network import NetworkModel, Transfer
+from .plan import SimPlan, weighted_lower_bound
+from .schedulers import (
+    Scheduler,
+    SimContext,
+    Update,
+    make_scheduler,
+)
+
+__all__ = ["SimTrace", "simulate"]
+
+_UNASSIGNED, _ASSIGNED, _QUEUED, _RUNNING, _DONE = range(5)
+
+
+@dataclass(frozen=True)
+class SimTrace:
+    """The full, canonical record of one simulation run."""
+
+    scheduler: str
+    imode: str
+    seed: int
+    k: int
+    makespan: float
+    lower_bound: float
+    task_worker: np.ndarray
+    task_start: np.ndarray
+    task_finish: np.ndarray
+    transfers: tuple
+    n_events: int
+
+    @property
+    def makespan_ratio(self) -> float:
+        """Simulated makespan over the static (communication-free)
+        lower bound — >= 1, and the headline quality number."""
+        return self.makespan / self.lower_bound if self.lower_bound else 1.0
+
+    def to_json(self) -> dict:
+        return {
+            "scheduler": self.scheduler,
+            "imode": self.imode,
+            "seed": self.seed,
+            "k": self.k,
+            "makespan": self.makespan,
+            "lower_bound": self.lower_bound,
+            "task_worker": self.task_worker.tolist(),
+            "task_start": self.task_start.tolist(),
+            "task_finish": self.task_finish.tolist(),
+            "transfers": [list(t) for t in self.transfers],
+            "n_events": self.n_events,
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON trace.
+
+        Floats serialise via their shortest round-trip repr, so two
+        runs agree on the digest iff they agree bit-for-bit on every
+        simulated instant.
+        """
+        payload = json.dumps(self.to_json(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class _Engine:
+    def __init__(self, plan: SimPlan, topology: HierarchyTopology,
+                 scheduler: Scheduler, *, seed: int, imode: str,
+                 duration: DurationSpec, latency, slots: int,
+                 partition, schedule) -> None:
+        self.plan = plan
+        self.topology = topology
+        self.scheduler = scheduler
+        self.k = topology.k
+        self.slots = int(slots)
+        if self.slots < 1:
+            raise SimulationError("slots must be >= 1")
+        self.seed_value = int(seed)
+        rng = np.random.default_rng(seed)
+        self.durations = duration.sample(plan.base_costs, rng)
+        est = duration.estimates(plan.base_costs, self.durations, imode)
+        self.network = NetworkModel(topology, latency=latency)
+        part = None
+        if partition is not None:
+            part = np.asarray(partition, dtype=np.int64)
+            if part.shape != (plan.n,):
+                raise SimulationError(
+                    f"partition must have shape ({plan.n},)")
+            if plan.n and (part.min() < 0 or part.max() >= self.k):
+                raise SimulationError(
+                    f"partition labels outside 0..{self.k - 1}")
+        self.ctx = SimContext(
+            plan=plan, topology=topology, network=self.network,
+            k=self.k, slots=self.slots, est=est, imode=imode, rng=rng,
+            partition=part, schedule=schedule)
+        n = plan.n
+        self.status = np.full(n, _UNASSIGNED, dtype=np.int64)
+        self.worker_of = np.full(n, -1, dtype=np.int64)
+        self.pending = np.fromiter(
+            (plan.dag.in_degree(v) for v in range(n)),
+            dtype=np.int64, count=n)
+        self.missing = np.zeros(n, dtype=np.int64)
+        self.start_t = np.zeros(n, dtype=np.float64)
+        self.finish_t = np.zeros(n, dtype=np.float64)
+        self.free_slots = [self.slots] * self.k
+        self.backlog = [0] * self.k
+        self.queues: list[deque[int]] = [deque() for _ in range(self.k)]
+        #: producer -> workers holding its output
+        self.locations: list[set[int]] = [set() for _ in range(n)]
+        #: (producer, dst worker) -> consumers awaiting that transfer
+        self.in_flight: dict[tuple[int, int], list[int]] = {}
+        self.transfers: list[Transfer] = []
+        self.events = EventQueue()
+        self.n_events = 0
+        self.done = 0
+
+    # -- scheduler protocol ---------------------------------------------
+
+    def _dispatch(self, now: float, new_ready: list[int],
+                  finished: list[int]) -> None:
+        msg = Update(time=now, new_ready=new_ready, finished=finished,
+                     backlog=list(self.backlog),
+                     free_slots=list(self.free_slots))
+        for v, w in self.scheduler.update(msg):
+            self._assign(int(v), int(w), now)
+
+    def _assign(self, v: int, w: int, now: float) -> None:
+        if not (0 <= v < self.plan.n and 0 <= w < self.k):
+            raise SimulationError(
+                f"scheduler assigned out-of-range task/worker ({v}, {w})")
+        if self.status[v] != _UNASSIGNED or self.pending[v] != 0:
+            raise SimulationError(
+                f"scheduler assigned task {v} which is "
+                f"{'not ready' if self.pending[v] else 'already placed'}")
+        self.status[v] = _ASSIGNED
+        self.worker_of[v] = w
+        self.backlog[w] += 1
+        self._stage_inputs(v, w, now)
+
+    def _stage_inputs(self, v: int, w: int, now: float) -> None:
+        missing = 0
+        for u in self.plan.dag.predecessors(v):
+            if w in self.locations[u]:
+                continue
+            key = (u, w)
+            waiters = self.in_flight.get(key)
+            if waiters is not None:
+                waiters.append(v)
+                missing += 1
+                continue
+            tr = self.network.request(
+                u, v, src=int(self.worker_of[u]), dst=w,
+                size=float(self.plan.sizes[u]), now=now)
+            self.transfers.append(tr)
+            self.in_flight[key] = [v]
+            self.events.push(tr.finish, TRANSFER_FINISHED, key)
+            missing += 1
+        if missing:
+            self.missing[v] = missing
+        else:
+            self._enqueue(v, w, now)
+
+    # -- worker execution -----------------------------------------------
+
+    def _enqueue(self, v: int, w: int, now: float) -> None:
+        self.status[v] = _QUEUED
+        self.queues[w].append(v)
+        self._drain_worker(w, now)
+
+    def _drain_worker(self, w: int, now: float) -> None:
+        while self.free_slots[w] > 0 and self.queues[w]:
+            v = self.queues[w].popleft()
+            self.free_slots[w] -= 1
+            self.status[v] = _RUNNING
+            self.start_t[v] = now
+            finish = now + float(self.durations[v])
+            self.finish_t[v] = finish
+            self.events.push(finish, TASK_FINISHED, v)
+
+    # -- event handlers --------------------------------------------------
+
+    def _on_task_finished(self, v: int, now: float) -> list[int]:
+        w = int(self.worker_of[v])
+        self.status[v] = _DONE
+        self.done += 1
+        self.free_slots[w] += 1
+        self.backlog[w] -= 1
+        self.locations[v].add(w)
+        new_ready: list[int] = []
+        for s in self.plan.dag.successors(v):
+            self.pending[s] -= 1
+            if self.pending[s] == 0:
+                new_ready.append(int(s))
+        self._drain_worker(w, now)
+        return new_ready
+
+    def _on_transfer_finished(self, key: tuple[int, int],
+                              now: float) -> None:
+        u, w = key
+        self.locations[u].add(w)
+        for v in self.in_flight.pop(key):
+            self.missing[v] -= 1
+            if self.missing[v] == 0:
+                self._enqueue(v, int(self.worker_of[v]), now)
+
+    # -- main loop --------------------------------------------------------
+
+    def run(self) -> SimTrace:
+        self.scheduler.start(self.ctx)
+        roots = [v for v in range(self.plan.n) if self.pending[v] == 0]
+        self._dispatch(0.0, roots, [])
+        now = 0.0
+        while self.events:
+            ev = self.events.pop()
+            self.n_events += 1
+            now = ev.time
+            if ev.kind == TASK_FINISHED:
+                ready = self._on_task_finished(ev.payload, now)
+                self._dispatch(now, ready, [ev.payload])
+            else:
+                self._on_transfer_finished(ev.payload, now)
+                self._dispatch(now, [], [])
+        if self.done != self.plan.n:
+            stuck = int(np.sum(self.status != _DONE))
+            raise SimulationError(
+                f"simulation deadlocked with {stuck} unfinished task(s); "
+                f"the '{self.scheduler.NAME}' scheduler stopped assigning")
+        lb = weighted_lower_bound(self.plan, self.k, self.durations)
+        return SimTrace(
+            scheduler=self.scheduler.NAME, imode=self.ctx.imode,
+            seed=int(self.seed_value), k=self.k, makespan=now,
+            lower_bound=lb, task_worker=self.worker_of,
+            task_start=self.start_t, task_finish=self.finish_t,
+            transfers=tuple(tuple(t.to_record()) for t in self.transfers),
+            n_events=self.n_events)
+
+
+def simulate(plan: SimPlan, topology: HierarchyTopology,
+             scheduler: str | Scheduler = "heft", *, seed: int = 0,
+             imode: str = "exact",
+             duration: DurationSpec | None = None,
+             latency: Sequence[float] | float = 0.0, slots: int = 1,
+             partition=None, schedule=None) -> SimTrace:
+    """Run one deterministic simulation and return its trace."""
+    sched = (make_scheduler(scheduler) if isinstance(scheduler, str)
+             else scheduler)
+    engine = _Engine(plan, topology, sched, seed=int(seed), imode=imode,
+                     duration=duration or DurationSpec(), latency=latency,
+                     slots=slots, partition=partition, schedule=schedule)
+    return engine.run()

@@ -110,6 +110,93 @@ class TestDeterminism:
         assert analyze_paths(paths) == []
 
 
+class TestSimSchedulerDeterminism:
+    SIM_REG = ("from repro.sim.schedulers import register_scheduler\n"
+               "from repro.schedmod import MySched\n"
+               'register_scheduler("my", MySched)\n')
+
+    def test_transitive_wall_clock_fires(self, tmp_path):
+        paths = build(tmp_path, {
+            "src/repro/simreg.py": self.SIM_REG,
+            "src/repro/schedmod.py": (
+                "from repro import clockmod\n"
+                "class MySched:\n"
+                "    def start(self, ctx):\n"
+                "        self.ctx = ctx\n"
+                "    def update(self, msg):\n"
+                "        return clockmod.jitter()\n"),
+            "src/repro/clockmod.py": (
+                "import time\n"
+                "def jitter():\n"
+                "    return time.time()\n"),
+        })
+        [f] = findings_of("determinism", analyze_paths(paths))
+        assert f.path.endswith("clockmod.py") and f.line == 3
+        assert "'time.time' (wall-clock)" in f.message
+        assert "sim scheduler 'my'" in f.message
+
+    def test_global_rng_in_scheduler_fires(self, tmp_path):
+        paths = build(tmp_path, {
+            "src/repro/simreg.py": self.SIM_REG,
+            "src/repro/schedmod.py": (
+                "import numpy as np\n"
+                "class MySched:\n"
+                "    def update(self, msg):\n"
+                "        return np.random.permutation(4)\n"),
+        })
+        [f] = findings_of("determinism", analyze_paths(paths))
+        assert "(global-RNG)" in f.message
+        assert "sim scheduler 'my'" in f.message
+
+    def test_inherited_method_is_a_root(self, tmp_path):
+        # The sink lives in a base-class method the registered class
+        # only inherits; the base chain walk must still reach it.
+        paths = build(tmp_path, {
+            "src/repro/simreg.py": self.SIM_REG,
+            "src/repro/basemod.py": (
+                "import time\n"
+                "class Base:\n"
+                "    def update(self, msg):\n"
+                "        return time.time_ns()\n"),
+            "src/repro/schedmod.py": (
+                "from repro.basemod import Base\n"
+                "class MySched(Base):\n"
+                "    pass\n"),
+        })
+        [f] = findings_of("determinism", analyze_paths(paths))
+        assert f.path.endswith("basemod.py")
+        assert "sim scheduler 'my'" in f.message
+
+    def test_simulated_clock_scheduler_is_clean(self, tmp_path):
+        # Reading msg.time (the simulated clock) and drawing from the
+        # context Generator is the sanctioned pattern: no findings.
+        paths = build(tmp_path, {
+            "src/repro/simreg.py": self.SIM_REG,
+            "src/repro/schedmod.py": (
+                "class MySched:\n"
+                "    def start(self, ctx):\n"
+                "        self.rng = ctx.rng\n"
+                "    def update(self, msg):\n"
+                "        if msg.time > 0:\n"
+                "            return [(self.rng.integers(4), 0)]\n"
+                "        return []\n"),
+        })
+        assert findings_of("determinism", analyze_paths(paths)) == []
+
+    def test_registration_outside_src_is_ignored(self, tmp_path):
+        # A fixture registering a scheduler from a test file must not
+        # turn library code into an entrypoint.
+        paths = build(tmp_path, {
+            "tests/test_fix.py": self.SIM_REG,
+            "src/repro/schedmod.py": (
+                "import time\n"
+                "class MySched:\n"
+                "    def update(self, msg):\n"
+                "        return time.time()\n"),
+        })
+        assert findings_of("determinism", analyze_paths(paths)) == []
+
+
 class TestForkSafety:
     POOL = ("from multiprocessing import Process\n"
             "from repro import workfx\n"

@@ -59,6 +59,34 @@ class TestSchedule:
         assert trivial_lower_bound(diamond_dag, 2) == 3  # path length wins
         assert trivial_lower_bound(DAG(6, []), 2) == 3  # n/k wins
 
+    @given(dags(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_is_valid_matches_reference_oracle(self, dag, data):
+        """The vectorised validity check agrees with the pure-Python
+        oracle on arbitrary (valid and invalid) assignments."""
+        k = data.draw(st.integers(min_value=1, max_value=4))
+        procs = np.array(data.draw(st.lists(
+            st.integers(-1, k), min_size=dag.n, max_size=dag.n)),
+            dtype=np.int64)
+        times = np.array(data.draw(st.lists(
+            st.integers(0, dag.n + 1), min_size=dag.n, max_size=dag.n)),
+            dtype=np.int64)
+        s = Schedule(procs, times, k)
+        assert s.is_valid(dag) == s._reference_is_valid(dag)
+
+    @given(dags())
+    @settings(max_examples=40, deadline=None)
+    def test_is_valid_accepts_list_schedule(self, dag):
+        """Both implementations accept every list-scheduler output."""
+        s = list_schedule(dag, 2)
+        assert s.is_valid(dag)
+        assert s._reference_is_valid(dag)
+
+    def test_is_valid_shape_mismatch(self, diamond_dag):
+        s = Schedule(np.array([0, 1]), np.array([1, 2]), 2)
+        assert not s.is_valid(diamond_dag)
+        assert not s._reference_is_valid(diamond_dag)
+
 
 class TestListScheduling:
     @given(dags(), st.integers(1, 4))
@@ -277,6 +305,42 @@ class TestPriorityFromCsr:
         got = priority_from_csr(ptr, adj, layers)
         want = _reference_priority_from_csr(ptr, adj, layers)
         np.testing.assert_array_equal(got, want)
+
+    @given(dags(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_weighted_matches_reference_oracle(self, dag, data):
+        from repro.scheduling.list_scheduler import (
+            _reference_priority_from_csr, priority_from_csr)
+        weights = np.array(data.draw(st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=dag.n, max_size=dag.n)), dtype=np.float64)
+        ptr, adj = self.csr_of(dag)
+        layers = dag.asap_layers()
+        got = priority_from_csr(ptr, adj, layers, weights=weights)
+        want = _reference_priority_from_csr(ptr, adj, layers,
+                                            weights=weights)
+        assert got.dtype == np.float64
+        np.testing.assert_array_equal(got, want)
+
+    @given(dags())
+    @settings(max_examples=40, deadline=None)
+    def test_unit_weights_equal_unweighted(self, dag):
+        """``weights=ones`` reproduces the unit-time priority exactly
+        (float64 vs int64 dtype aside)."""
+        from repro.scheduling.list_scheduler import priority_from_csr
+        ptr, adj = self.csr_of(dag)
+        layers = dag.asap_layers()
+        unit = priority_from_csr(ptr, adj, layers)
+        weighted = priority_from_csr(ptr, adj, layers,
+                                     weights=np.ones(dag.n))
+        np.testing.assert_array_equal(weighted, unit.astype(np.float64))
+
+    def test_weighted_shape_guard(self, diamond_dag):
+        from repro.scheduling.list_scheduler import priority_from_csr
+        ptr, adj = self.csr_of(diamond_dag)
+        layers = diamond_dag.asap_layers()
+        with pytest.raises(ValueError):
+            priority_from_csr(ptr, adj, layers, weights=np.ones(3))
 
     @given(dags())
     @settings(max_examples=60, deadline=None)

@@ -1,0 +1,74 @@
+"""``repro sim run|compare`` — the shell surface of the simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core import Hypergraph
+from repro.generators import make_workload
+from repro.io import write_hgr
+
+
+@pytest.fixture
+def hyperdag_file(tmp_path):
+    graph = make_workload("hyperdag-stencil", n=8, seed=0)
+    path = tmp_path / "stencil.hgr"
+    write_hgr(graph, path)
+    return path
+
+
+@pytest.fixture
+def triangle_file(tmp_path):
+    path = tmp_path / "triangle.hgr"
+    write_hgr(Hypergraph(3, [(0, 1), (1, 2), (0, 2)]), path)
+    return path
+
+
+class TestSimRun:
+    def test_flat_machine(self, hyperdag_file, capsys):
+        rc = main(["sim", "run", str(hyperdag_file), "-k", "4",
+                   "--dist", "fixed"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "digest" in out
+
+    def test_hierarchical_machine(self, hyperdag_file, capsys):
+        rc = main(["sim", "run", str(hyperdag_file),
+                   "--topology", "2,2", "--g", "4,1",
+                   "--scheduler", "work-steal", "--imode", "mean",
+                   "--latency", "0.1"])
+        assert rc == 0
+        assert "k=4" in capsys.readouterr().out
+
+    def test_output_is_deterministic(self, hyperdag_file, capsys):
+        args = ["sim", "run", str(hyperdag_file), "--topology", "2,2",
+                "--g", "4,1", "--seed", "7"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_non_hyperdag_is_a_clean_error(self, triangle_file, capsys):
+        rc = main(["sim", "run", str(triangle_file)])
+        assert rc == 2
+        assert "hyperDAG" in capsys.readouterr().err
+
+    def test_unknown_scheduler_is_a_clean_error(self, hyperdag_file,
+                                                capsys):
+        rc = main(["sim", "run", str(hyperdag_file),
+                   "--scheduler", "fifo"])
+        assert rc == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+
+class TestSimCompare:
+    def test_matrix(self, hyperdag_file, capsys):
+        rc = main(["sim", "compare", str(hyperdag_file), "-k", "2",
+                   "--schedulers", "heft,cp-list,random",
+                   "--imodes", "exact,blind", "--dist", "fixed"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("heft", "cp-list", "random"):
+            assert name in out
+        assert "exact makespan" in out and "blind makespan" in out

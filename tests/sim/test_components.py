@@ -1,0 +1,163 @@
+"""Unit tests for the repro.sim building blocks: plans, durations,
+and the hierarchical network model (Definition 7.1 read dynamically)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NotAHyperDAGError, SimulationError
+from repro.hierarchy.topology import HierarchyTopology
+from repro.sim import DurationSpec, NetworkModel, SimPlan
+from repro.sim.plan import weighted_lower_bound
+
+
+class TestSimPlan:
+    def test_from_dag_defaults_are_unit(self, diamond_dag):
+        plan = SimPlan.from_dag(diamond_dag)
+        np.testing.assert_array_equal(plan.base_costs, np.ones(4))
+        np.testing.assert_array_equal(plan.sizes, np.ones(4))
+        assert plan.n == 4
+
+    def test_arrays_are_frozen(self, diamond_dag):
+        plan = SimPlan.from_dag(diamond_dag)
+        with pytest.raises(ValueError):
+            plan.base_costs[0] = 7.0
+
+    def test_shape_mismatch_rejected(self, diamond_dag):
+        with pytest.raises(SimulationError):
+            SimPlan.from_dag(diamond_dag, base_costs=[1.0, 2.0])
+
+    def test_nonpositive_cost_rejected(self, diamond_dag):
+        with pytest.raises(SimulationError):
+            SimPlan.from_dag(diamond_dag, base_costs=[1, 1, 0, 1])
+
+    def test_negative_size_rejected(self, diamond_dag):
+        with pytest.raises(SimulationError):
+            SimPlan.from_dag(diamond_dag, sizes=[1, 1, -1, 1])
+
+    def test_from_hypergraph_requires_hyperdag(self, triangle):
+        with pytest.raises(NotAHyperDAGError):
+            SimPlan.from_hypergraph(triangle)
+
+    def test_from_hypergraph_accepts_hyperdag(self):
+        from repro.generators import make_workload
+        graph = make_workload("hyperdag-stencil", n=8, seed=0)
+        plan = SimPlan.from_hypergraph(graph)
+        assert plan.n == graph.n
+
+    def test_successor_csr_matches_dag(self, diamond_dag):
+        plan = SimPlan.from_dag(diamond_dag)
+        ptr, adj = plan.successor_csr()
+        for v in range(plan.n):
+            got = sorted(adj[ptr[v]:ptr[v + 1]].tolist())
+            assert got == sorted(diamond_dag.successors(v))
+
+    def test_weighted_lower_bound_diamond(self, diamond_dag):
+        plan = SimPlan.from_dag(diamond_dag)
+        dur = np.ones(4)
+        # critical path 0 -> 1 -> 3 has weight 3 > total work 4 / k=2
+        assert weighted_lower_bound(plan, 2, dur) == 3.0
+        # with many workers the path still binds
+        assert weighted_lower_bound(plan, 100, dur) == 3.0
+
+
+class TestDurationSpec:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            DurationSpec(kind="weibull")
+        with pytest.raises(SimulationError):
+            DurationSpec(jitter=1.5)
+        with pytest.raises(SimulationError):
+            DurationSpec(sigma=-0.1)
+
+    def test_fixed_is_noiseless(self):
+        base = np.array([1.0, 2.0, 3.0])
+        rng = np.random.default_rng(0)
+        np.testing.assert_array_equal(
+            DurationSpec(kind="fixed").sample(base, rng), base)
+
+    def test_uniform_within_bounds(self):
+        base = np.full(500, 2.0)
+        spec = DurationSpec(kind="uniform", jitter=0.3)
+        got = spec.sample(base, np.random.default_rng(1))
+        assert np.all(got >= 2.0 * 0.7) and np.all(got <= 2.0 * 1.3)
+
+    def test_sampling_is_seed_deterministic(self):
+        base = np.full(64, 3.0)
+        spec = DurationSpec(kind="lognormal")
+        a = spec.sample(base, np.random.default_rng(7))
+        b = spec.sample(base, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_lognormal_mean_is_calibrated(self):
+        base = np.full(200_000, 2.0)
+        spec = DurationSpec(kind="lognormal", sigma=0.25)
+        got = spec.sample(base, np.random.default_rng(2))
+        assert abs(float(got.mean()) - 2.0) < 0.01
+
+    def test_estimates_per_imode(self):
+        base = np.array([1.0, 2.0])
+        actual = np.array([1.3, 1.7])
+        spec = DurationSpec(kind="lognormal")
+        np.testing.assert_array_equal(
+            spec.estimates(base, actual, "exact"), actual)
+        np.testing.assert_array_equal(
+            spec.estimates(base, actual, "mean"), base)
+        np.testing.assert_array_equal(
+            spec.estimates(base, actual, "blind"), np.ones(2))
+        with pytest.raises(SimulationError):
+            spec.estimates(base, actual, "psychic")
+
+
+class TestNetworkModel:
+    """The topology tree as FIFO-contended links."""
+
+    @pytest.fixture
+    def tree(self) -> HierarchyTopology:
+        return HierarchyTopology((2, 2), (4.0, 1.0))
+
+    def test_transfer_time_prices_by_lca(self, tree):
+        net = NetworkModel(tree)
+        # leaves 0,1 share a level-2 subtree: cheap link g_2 = 1
+        assert net.transfer_time(0, 1, 3.0) == 3.0
+        # leaves 0,2 only meet at the root: expensive link g_1 = 4
+        assert net.transfer_time(0, 2, 3.0) == 12.0
+        assert net.transfer_time(2, 2, 3.0) == 0.0
+
+    def test_latency_is_added_per_level(self, tree):
+        net = NetworkModel(tree, latency=(10.0, 0.5))
+        assert net.transfer_time(0, 1, 1.0) == 1.5
+        assert net.transfer_time(0, 2, 1.0) == 14.0
+
+    def test_fifo_contention_serialises_one_link(self, tree):
+        net = NetworkModel(tree)
+        # both cross the root towards leaf 2: one shared bus
+        t1 = net.request(0, 10, src=0, dst=2, size=1.0, now=0.0)
+        t2 = net.request(1, 11, src=1, dst=2, size=1.0, now=0.0)
+        assert t1.start == 0.0 and t1.finish == 4.0
+        assert t2.start == 4.0 and t2.finish == 8.0
+
+    def test_distinct_links_do_not_contend(self, tree):
+        net = NetworkModel(tree)
+        t1 = net.request(0, 10, src=0, dst=1, size=1.0, now=0.0)
+        t2 = net.request(2, 11, src=2, dst=3, size=1.0, now=0.0)
+        assert t1.start == 0.0 and t2.start == 0.0
+
+    def test_reset_clears_queues(self, tree):
+        net = NetworkModel(tree)
+        net.request(0, 1, src=0, dst=2, size=5.0, now=0.0)
+        net.reset()
+        t = net.request(0, 1, src=0, dst=2, size=1.0, now=0.0)
+        assert t.start == 0.0
+
+    def test_same_leaf_transfer_is_an_error(self, tree):
+        with pytest.raises(SimulationError):
+            NetworkModel(tree).request(0, 1, src=1, dst=1, size=1.0,
+                                       now=0.0)
+
+    def test_latency_validation(self, tree):
+        with pytest.raises(SimulationError):
+            NetworkModel(tree, latency=(1.0,))        # wrong arity
+        with pytest.raises(SimulationError):
+            NetworkModel(tree, latency=-0.5)

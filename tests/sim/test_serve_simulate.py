@@ -1,0 +1,96 @@
+"""The serve ``simulate`` op: request validation and the solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError, ServeProtocolError
+from repro.serve import job_key, parse_job_request
+from repro.serve.runner import solve
+
+HDAG = {"generator": {"kind": "hyperdag-stencil", "n": 6, "seed": 3}}
+
+
+def req(**over):
+    base = {"op": "simulate", "graph": HDAG, "k": 4, "seed": 5}
+    base.update(over)
+    return base
+
+
+class TestParseSimulate:
+    def test_defaults(self):
+        r = parse_job_request(req())
+        assert r.params["op"] == "simulate"
+        assert r.params["scheduler"] == "heft"
+        assert r.params["imode"] == "exact"
+        assert r.params["dist"] == "lognormal"
+        assert r.params["latency"] == 0.0
+        assert r.params["algorithm"] == "multilevel"
+
+    def test_topology_sets_k(self):
+        r = parse_job_request(req(k=4, topology={"b": [2, 2],
+                                                 "g": [4.0, 1.0]}))
+        assert r.params["k"] == 4
+        assert r.params["topology"] == {"b": [2, 2], "g": [4.0, 1.0]}
+        # k may be omitted entirely when a topology is given
+        no_k = dict(req(topology={"b": [2, 2], "g": [4.0, 1.0]}))
+        del no_k["k"]
+        assert parse_job_request(no_k).params["k"] == 4
+
+    @pytest.mark.parametrize("bad", [
+        req(scheduler="fifo"),
+        req(imode="psychic"),
+        req(dist="weibull"),
+        req(latency=-1.0),
+        req(algorithm="magic"),
+        req(topology={"b": [2, 2]}),                     # g missing
+        req(topology={"b": [2], "g": [1.0, 2.0]}),       # arity mismatch
+        req(topology={"b": [2, 2], "g": [1.0, 4.0]}),    # not decreasing
+        req(topology={"b": [0, 2], "g": [4.0, 1.0]}),    # b < 1
+        req(topology={"b": [2, 2], "g": [4.0, -1.0]}),   # g <= 0
+        req(k=3, topology={"b": [2, 2], "g": [4.0, 1.0]}),  # k mismatch
+        req(topology={"b": [64, 65], "g": [2.0, 1.0]}),  # > 4096 leaves
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ServeProtocolError):
+            parse_job_request(bad)
+
+    def test_sim_params_change_cache_key(self):
+        base = job_key(parse_job_request(req()))
+        assert base != job_key(parse_job_request(req(scheduler="locked")))
+        assert base != job_key(parse_job_request(req(imode="blind")))
+        assert base != job_key(parse_job_request(req(latency=0.5)))
+
+
+class TestSolveSimulate:
+    def test_result_shape(self):
+        r = parse_job_request(req())
+        out = solve(seed=r.seed, **r.params)
+        assert out["op"] == "simulate"
+        assert out["scheduler"] == "heft" and out["imode"] == "exact"
+        assert out["k"] == 4
+        assert out["makespan"] >= out["lower_bound"] > 0
+        assert out["makespan_ratio"] >= 1.0 - 1e-12
+        assert len(out["digest"]) == 64
+        assert len(out["task_worker"]) == out["tasks"]
+        assert all(0 <= w < 4 for w in out["task_worker"])
+
+    def test_solve_is_deterministic(self):
+        r = parse_job_request(req(dist="lognormal", imode="mean"))
+        a = solve(seed=r.seed, **r.params)
+        b = solve(seed=r.seed, **r.params)
+        assert a["digest"] == b["digest"]
+        assert solve(seed=r.seed + 1, **r.params)["digest"] != a["digest"]
+
+    def test_hierarchical_topology(self):
+        r = parse_job_request(req(k=4, topology={"b": [2, 2],
+                                                 "g": [4.0, 1.0]},
+                                  scheduler="locked", latency=0.1))
+        out = solve(seed=r.seed, **r.params)
+        assert out["k"] == 4 and out["makespan"] > 0
+
+    def test_non_hyperdag_is_a_repro_error(self):
+        dense = {"generator": {"kind": "random", "n": 20, "seed": 0}}
+        r = parse_job_request(req(graph=dense))
+        with pytest.raises(ReproError):
+            solve(seed=r.seed, **r.params)

@@ -1,0 +1,236 @@
+"""The discrete-event engine: determinism, the scheduler zoo, the
+scheduler protocol's error contract, and the static-model bridge."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DAG
+from repro.errors import SimulationError
+from repro.hierarchy.topology import HierarchyTopology
+from repro.scheduling import list_schedule
+from repro.sim import (
+    SCHEDULERS,
+    DurationSpec,
+    Scheduler,
+    SimPlan,
+    Update,
+    simulate,
+)
+
+from ..conftest import dags
+
+ZOO = ("heft", "cp-list", "work-steal", "locked", "random")
+IMODES = ("exact", "mean", "blind")
+
+
+@pytest.fixture(scope="module")
+def stencil_plan() -> SimPlan:
+    from repro.generators import make_workload
+    graph = make_workload("hyperdag-stencil", n=8, seed=0)
+    return SimPlan.from_hypergraph(graph)
+
+
+@pytest.fixture(scope="module")
+def tree() -> HierarchyTopology:
+    return HierarchyTopology((2, 2), (4.0, 1.0))
+
+
+def _labels(n: int, k: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64) % k
+
+
+class TestZooCoverage:
+    """Every zoo scheduler completes every plan in every imode."""
+
+    @pytest.mark.parametrize("scheduler", ZOO)
+    @pytest.mark.parametrize("imode", IMODES)
+    def test_completes_and_respects_lower_bound(self, stencil_plan, tree,
+                                                scheduler, imode):
+        trace = simulate(stencil_plan, tree, scheduler, seed=3,
+                         imode=imode,
+                         duration=DurationSpec(kind="lognormal"),
+                         latency=0.1,
+                         partition=_labels(stencil_plan.n, tree.k))
+        assert trace.makespan >= trace.lower_bound - 1e-9
+        assert trace.makespan_ratio >= 1.0 - 1e-12
+        assert len(trace.digest()) == 64
+        assert trace.task_worker.min() >= 0
+        assert trace.task_worker.max() < tree.k
+        # every task ran for its full sampled duration
+        assert np.all(trace.task_finish >= trace.task_start)
+
+    def test_zoo_is_registered(self):
+        for name in ZOO + ("static",):
+            assert name in SCHEDULERS
+
+    def test_locked_respects_partition(self, stencil_plan, tree):
+        part = _labels(stencil_plan.n, tree.k)
+        trace = simulate(stencil_plan, tree, "locked", seed=0,
+                         partition=part)
+        np.testing.assert_array_equal(trace.task_worker, part)
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest(self, stencil_plan, tree):
+        kw = dict(seed=11, imode="mean",
+                  duration=DurationSpec(kind="lognormal"), latency=0.1,
+                  partition=_labels(stencil_plan.n, tree.k))
+        a = simulate(stencil_plan, tree, "heft", **kw)
+        b = simulate(stencil_plan, tree, "heft", **kw)
+        assert a.digest() == b.digest()
+
+    def test_seed_changes_trace(self, stencil_plan, tree):
+        kw = dict(imode="exact", duration=DurationSpec(kind="lognormal"),
+                  partition=_labels(stencil_plan.n, tree.k))
+        a = simulate(stencil_plan, tree, "heft", seed=1, **kw)
+        b = simulate(stencil_plan, tree, "heft", seed=2, **kw)
+        assert a.digest() != b.digest()
+
+    def test_imode_changes_trace(self, stencil_plan, tree):
+        kw = dict(seed=5, duration=DurationSpec(kind="lognormal"),
+                  latency=0.1, partition=_labels(stencil_plan.n, tree.k))
+        digests = {simulate(stencil_plan, tree, "heft", imode=m,
+                            **kw).digest() for m in IMODES}
+        assert len(digests) == 3
+
+    def test_digest_stable_across_processes(self, tmp_path):
+        """Byte-reproducibility holds across interpreter instances,
+        not just across calls (the BENCH_sim.json contract)."""
+        code = (
+            "from repro.generators import make_workload\n"
+            "from repro.hierarchy.topology import HierarchyTopology\n"
+            "from repro.sim import DurationSpec, SimPlan, simulate\n"
+            "g = make_workload('hyperdag-stencil', n=8, seed=0)\n"
+            "plan = SimPlan.from_hypergraph(g)\n"
+            "topo = HierarchyTopology((2, 2), (4.0, 1.0))\n"
+            "t = simulate(plan, topo, 'cp-list', seed=9, imode='mean',\n"
+            "             duration=DurationSpec(kind='lognormal'),\n"
+            "             latency=0.1)\n"
+            "print(t.digest())\n")
+        out = [subprocess.run([sys.executable, "-c", code],
+                              capture_output=True, text=True, check=True
+                              ).stdout.strip() for _ in range(2)]
+        assert out[0] == out[1] and len(out[0]) == 64
+
+
+class TestEngineSemantics:
+    def test_slots_bound_concurrency(self):
+        # 6 independent unit tasks on one worker
+        plan = SimPlan.from_dag(DAG(6, []), sizes=np.zeros(6))
+        topo = HierarchyTopology.flat(1)
+        one = simulate(plan, topo, "cp-list", slots=1,
+                       duration=DurationSpec(kind="fixed"))
+        two = simulate(plan, topo, "cp-list", slots=2,
+                       duration=DurationSpec(kind="fixed"))
+        assert one.makespan == 6.0
+        assert two.makespan == 3.0
+
+    def test_contention_costs_show_in_makespan(self):
+        """A fan-out forced across the root link pays g_1 per value,
+        serialised — the dynamic analogue of the lambda^(1) weight."""
+        star = DAG(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        plan = SimPlan.from_dag(star)
+        part = np.array([0, 1, 2, 3, 3], dtype=np.int64)
+        cheap = simulate(plan, HierarchyTopology((4,), (1.0,)), "locked",
+                         duration=DurationSpec(kind="fixed"),
+                         partition=part)
+        costly = simulate(plan, HierarchyTopology((4,), (8.0,)), "locked",
+                          duration=DurationSpec(kind="fixed"),
+                          partition=part)
+        assert costly.makespan > cheap.makespan
+        # transfers are deduplicated per (producer, worker): task 0's
+        # output moves once to each remote leaf, not once per consumer
+        assert len(costly.transfers) == 3
+
+    def test_partition_validation(self, stencil_plan, tree):
+        with pytest.raises(SimulationError):
+            simulate(stencil_plan, tree, "locked",
+                     partition=np.zeros(3, dtype=np.int64))
+        bad = np.full(stencil_plan.n, tree.k, dtype=np.int64)
+        with pytest.raises(SimulationError):
+            simulate(stencil_plan, tree, "locked", partition=bad)
+
+    def test_locked_requires_partition(self, stencil_plan, tree):
+        with pytest.raises(SimulationError):
+            simulate(stencil_plan, tree, "locked")
+
+    def test_static_requires_schedule(self, stencil_plan, tree):
+        with pytest.raises(SimulationError):
+            simulate(stencil_plan, tree, "static")
+
+    def test_unknown_scheduler(self, stencil_plan, tree):
+        with pytest.raises(SimulationError):
+            simulate(stencil_plan, tree, "fifo")
+
+    def test_bad_slots(self, stencil_plan, tree):
+        with pytest.raises(SimulationError):
+            simulate(stencil_plan, tree, "heft", slots=0)
+
+
+class _RogueScheduler(Scheduler):
+    """Violates the protocol in a configurable way."""
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+
+    def update(self, msg: Update):
+        if self.mode == "silent":
+            return []                       # never assigns -> deadlock
+        if self.mode == "out-of-range":
+            return [(v, self.ctx.k) for v in msg.new_ready]
+        if self.mode == "double":
+            return [(v, 0) for v in msg.new_ready for _ in range(2)]
+        # "eager": assigns a task whose predecessors are unfinished
+        return [(self.ctx.plan.n - 1, 0)] if msg.time == 0.0 else []
+
+
+class TestSchedulerErrorContract:
+    """Protocol violations are loud SimulationErrors, never silent."""
+
+    @pytest.mark.parametrize("mode", ["silent", "out-of-range", "double",
+                                      "eager"])
+    def test_violation_raises(self, diamond_dag, mode):
+        plan = SimPlan.from_dag(diamond_dag)
+        with pytest.raises(SimulationError):
+            simulate(plan, HierarchyTopology.flat(2),
+                     _RogueScheduler(mode))
+
+
+class TestStaticReplay:
+    """The simulator <-> static-model bridge (Definition 5.3).
+
+    With exact information, unit fixed durations, zero data sizes and
+    zero latency, replaying a ``list_schedule`` output through the
+    ``static`` scheduler must reproduce the static schedule *exactly*:
+    same placements, every task in its slot, same makespan.
+    """
+
+    @given(dags(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_replay_reproduces_static_schedule(self, dag, k):
+        sched = list_schedule(dag, k)
+        plan = SimPlan.from_dag(dag, sizes=np.zeros(dag.n))
+        trace = simulate(plan, HierarchyTopology.flat(k), "static",
+                         seed=0, imode="exact",
+                         duration=DurationSpec(kind="fixed"),
+                         latency=0.0, schedule=sched)
+        assert trace.makespan == float(sched.makespan)
+        np.testing.assert_array_equal(trace.task_worker, sched.procs)
+        # static slot t occupies [t-1, t) under unit durations
+        np.testing.assert_array_equal(trace.task_start, sched.times - 1)
+        np.testing.assert_array_equal(trace.task_finish, sched.times)
+
+    def test_replay_diamond(self, diamond_dag):
+        sched = list_schedule(diamond_dag, 2)
+        plan = SimPlan.from_dag(diamond_dag, sizes=np.zeros(4))
+        trace = simulate(plan, HierarchyTopology.flat(2), "static",
+                         duration=DurationSpec(kind="fixed"),
+                         schedule=sched)
+        assert trace.makespan == 3.0

@@ -21,6 +21,7 @@ BASELINE = ROOT / "benchmarks" / "BENCH_kernels.json"
 SERVE_BASELINE = ROOT / "benchmarks" / "BENCH_serve.json"
 ANALYZE_BASELINE = ROOT / "benchmarks" / "BENCH_analyze.json"
 SCALE_BASELINE = ROOT / "benchmarks" / "BENCH_scale.json"
+SIM_BASELINE = ROOT / "benchmarks" / "BENCH_sim.json"
 
 
 @pytest.mark.benchcheck
@@ -57,6 +58,18 @@ def test_scale_within_baseline():
         capture_output=True, text=True, cwd=ROOT)
     assert proc.returncode == 0, (
         f"scale perf regression detected:\n{proc.stdout}\n{proc.stderr}")
+
+
+@pytest.mark.benchcheck
+def test_sim_matches_baseline_exactly():
+    assert SIM_BASELINE.exists(), (
+        "committed simulation baseline missing; regenerate with "
+        "PYTHONPATH=src python benchmarks/bench_sim.py")
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--suite", "sim"],
+        capture_output=True, text=True, cwd=ROOT)
+    assert proc.returncode == 0, (
+        f"simulation trace drift detected:\n{proc.stdout}\n{proc.stderr}")
 
 
 @pytest.mark.benchcheck
