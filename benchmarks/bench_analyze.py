@@ -7,9 +7,14 @@ and writes ``BENCH_analyze.json`` next to this file.  The committed
 baseline is what ``scripts/check_bench_regression.py --suite analyze``
 (and the opt-in ``-m benchcheck`` pytest marker) gates on:
 
-* the warm run must finish under the 2 s incremental budget, and
+* the warm run must finish under the 2 s incremental budget,
 * warm findings must be byte-identical to cold findings — the
-  incremental engine's core contract.
+  incremental engine's core contract, and
+* a ``--jobs N`` parallel cold run must produce findings
+  byte-identical to the serial run (the speedup itself is recorded
+  but not gated: on a single-core machine the process pool is pure
+  overhead and correctly falls back, so only the identity contract
+  is hardware-independent).
 
 Run::
 
@@ -21,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 import time
@@ -38,6 +44,12 @@ PATHS = ("src", "tests", "benchmarks")
 #: Acceptance bar for the warm (all-summaries-cached) run.
 INCREMENTAL_BUDGET_S = 2.0
 
+#: Worker processes for the parallel cold run.  At least 2 even on a
+#: single core, so the process-pool path (and its identity contract)
+#: is genuinely exercised everywhere; the speedup is what's
+#: hardware-conditional, and it is recorded, not gated.
+PARALLEL_JOBS = max(2, min(4, os.cpu_count() or 1))
+
 
 def _rendered(report) -> list[str]:
     return [f.render() for f in report.findings]
@@ -52,6 +64,13 @@ def run(repeats: int = 3) -> dict:
         t0 = time.perf_counter()
         cold_report = run_analysis(paths)
         cold_s.append(time.perf_counter() - t0)
+
+    par_s = []
+    par_report = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        par_report = run_analysis(paths, jobs=PARALLEL_JOBS)
+        par_s.append(time.perf_counter() - t0)
 
     with tempfile.TemporaryDirectory(prefix="analyze-bench-") as tmp:
         cache = Path(tmp) / "cache"
@@ -76,6 +95,11 @@ def run(repeats: int = 3) -> dict:
         "findings_identical": (_rendered(cold_report)
                                == _rendered(warm_report)),
         "incremental_budget_s": INCREMENTAL_BUDGET_S,
+        "parallel_jobs": PARALLEL_JOBS,
+        "parallel_cold_s": round(min(par_s), 4),
+        "parallel_speedup": round(min(cold_s) / max(min(par_s), 1e-9), 3),
+        "parallel_findings_identical": (_rendered(cold_report)
+                                        == _rendered(par_report)),
     }
 
 
@@ -86,11 +110,16 @@ def report(result: dict) -> None:
     print(f"  cold        {result['cold_s'] * 1e3:8.1f} ms")
     print(f"  incremental {result['incremental_s'] * 1e3:8.1f} ms "
           f"({speedup:.1f}x, {result['warm_reused']} summaries reused)")
+    print(f"  parallel    {result['parallel_cold_s'] * 1e3:8.1f} ms "
+          f"(--jobs {result['parallel_jobs']}, "
+          f"{result['parallel_speedup']:.2f}x vs serial cold)")
     budget_ok = result["incremental_s"] < result["incremental_budget_s"]
     print(f"  incremental < {result['incremental_budget_s']:.0f}s budget: "
           f"{'ok' if budget_ok else 'FAIL'}")
     print(f"  cold == incremental findings: "
           f"{'ok' if result['findings_identical'] else 'FAIL'}")
+    print(f"  serial == parallel findings:  "
+          f"{'ok' if result['parallel_findings_identical'] else 'FAIL'}")
 
 
 def main(argv=None) -> int:
@@ -108,7 +137,8 @@ def main(argv=None) -> int:
     if not args.no_write:
         Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
         print(f"\nwrote {args.out}")
-    if not result["findings_identical"]:
+    if not (result["findings_identical"]
+            and result["parallel_findings_identical"]):
         return 1
     return 0
 

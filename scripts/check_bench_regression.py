@@ -18,8 +18,10 @@
     Re-runs the analysis-engine self-benchmark
     (``benchmarks/bench_analyze.py``) and enforces its acceptance
     bars — warm (incremental) run under the 2 s budget with findings
-    byte-identical to the cold run — plus warm time within
-    ``--tolerance`` of the committed ``benchmarks/BENCH_analyze.json``.
+    byte-identical to the cold run, and ``--jobs N`` parallel findings
+    byte-identical to serial — plus warm time within ``--tolerance``
+    of the committed ``benchmarks/BENCH_analyze.json``.  The parallel
+    *speedup* is recorded, never gated: it is hardware-conditional.
 ``--suite scale``
     Re-runs the million-pin scale suite (``benchmarks/bench_scale.py``)
     at the committed baseline's instance size
@@ -202,6 +204,9 @@ def compare_analyze(baseline: dict, fresh: dict,
          fresh["incremental_s"] < budget),
         ("cold and incremental findings byte-identical",
          fresh["findings_identical"]),
+        (f"serial and --jobs {fresh.get('parallel_jobs', '?')} findings "
+         "byte-identical",
+         fresh.get("parallel_findings_identical", True)),
         (f"warm run reuses every summary "
          f"({fresh['warm_reused']}/{fresh['files']})",
          fresh["warm_reused"] == fresh["files"]

@@ -55,6 +55,32 @@ class SummaryCache:
         except (KeyError, TypeError, ValueError):
             return None
 
+    def evict_path(self, posix: str) -> int:
+        """Drop every cached summary for ``posix``; returns count.
+
+        The content-addressed key needs the file's bytes, which a
+        deleted file no longer has — so eviction scans entries and
+        matches on the recorded path instead.  Unreadable entries are
+        skipped (they already read as misses).
+        """
+        evicted = 0
+        try:
+            entries = sorted(self.dir.glob("*/*.json"))
+        except OSError:
+            return 0
+        for entry in entries:
+            try:
+                data = json.loads(entry.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(data, dict) and data.get("path") == posix:
+                try:
+                    entry.unlink()
+                    evicted += 1
+                except OSError:
+                    continue
+        return evicted
+
     def put(self, posix: str, raw: bytes, summary: ModuleSummary) -> None:
         entry = self._entry(posix, raw)
         try:

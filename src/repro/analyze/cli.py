@@ -38,6 +38,10 @@ def add_analyze_parser(sub) -> None:
                         "plus their reverse-dependency closure")
     p.add_argument("--cache-dir", default=None,
                    help="summary cache location (default: .analyze-cache)")
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="parse/summarise modules across N worker "
+                        "processes (findings are byte-identical to "
+                        "serial; default: 1)")
     p.add_argument("--fail-on", choices=("note", "warning", "error",
                                          "never"),
                    default="warning", dest="fail_on",
@@ -73,7 +77,8 @@ def analyze_main(args) -> int:
         args.paths,
         incremental=getattr(args, "incremental", False),
         cache_dir=getattr(args, "cache_dir", None),
-        changed_only=getattr(args, "changed", False))
+        changed_only=getattr(args, "changed", False),
+        jobs=max(1, getattr(args, "jobs", 1) or 1))
     findings = report.findings
 
     baseline_path = getattr(args, "baseline", None)

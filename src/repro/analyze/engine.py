@@ -80,21 +80,32 @@ def severity_at_least(severity: str, threshold: str) -> bool:
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at a specific source location."""
+    """One rule violation at a specific source location.
+
+    Path-sensitive findings additionally carry ``flow`` — the CFG
+    witness path as ``(path, line, note)`` steps from the fact that
+    introduces the bad state to the point where it becomes an error.
+    The text rendering stays one line (the message embeds a compact
+    witness); SARIF output expands ``flow`` into a ``codeFlow``.
+    """
 
     path: str
     line: int
     rule: str
     message: str
     severity: str = "error"
+    flow: tuple = ()
 
     def render(self) -> str:
         return (f"{self.path}:{self.line}: {self.severity}: "
                 f"{self.rule}: {self.message}")
 
     def to_json(self) -> dict:
-        return {"path": self.path, "line": self.line, "rule": self.rule,
-                "severity": self.severity, "message": self.message}
+        out = {"path": self.path, "line": self.line, "rule": self.rule,
+               "severity": self.severity, "message": self.message}
+        if self.flow:
+            out["flow"] = [[p, ln, note] for (p, ln, note) in self.flow]
+        return out
 
 
 @dataclass
@@ -239,6 +250,7 @@ def run_analysis(
     cache_dir: str | Path | None = None,
     changed_only: bool = False,
     root: str | Path | None = None,
+    jobs: int = 1,
 ) -> AnalysisReport:
     """Run the full pipeline over ``paths``.
 
@@ -252,16 +264,23 @@ def run_analysis(
     ``changed_only`` restricts the *reported* findings to modules
     changed per git plus their reverse-dependency closure (a fast
     pre-commit view; CI gates on the unfiltered run).
+
+    ``jobs > 1`` fans stage-1 extraction out over a process pool.
+    Parallelism only changes who parses: cache-miss modules are
+    summarised in workers and merged back in file order, and the link
+    and check stages run in the parent over the ordered summaries, so
+    findings are byte-identical to a serial run for any ``jobs``.
     """
     from . import passes as _passes
     from .cache import SummaryCache
-    from .index import ModuleIndex, extract_summary, load_source
+    from .index import ModuleIndex
 
     files = collect_files(paths)
     cache = (SummaryCache(cache_dir) if incremental else None)
 
-    summaries = []
-    reused = extracted = 0
+    slots: list = []
+    pending: list[tuple[int, Path, bytes]] = []
+    reused = 0
     for path in files:
         raw = _read_bytes(path)
         if raw is None:
@@ -269,17 +288,22 @@ def run_analysis(
         summary = None
         if cache is not None:
             summary = cache.get(path.as_posix(), raw)
-        if summary is None:
-            sf = load_source(path, raw)
-            if sf is None:
+        if summary is not None:
+            reused += 1
+        else:
+            pending.append((len(slots), path, raw))
+        slots.append(summary)
+    extracted = 0
+    if pending:
+        fresh = _extract_many([(p, raw) for (_i, p, raw) in pending], jobs)
+        for (idx, path, raw), summary in zip(pending, fresh):
+            if summary is None:
                 continue
-            summary = extract_summary(sf)
             extracted += 1
             if cache is not None:
                 cache.put(path.as_posix(), raw, summary)
-        else:
-            reused += 1
-        summaries.append(summary)
+            slots[idx] = summary
+    summaries = [s for s in slots if s is not None]
 
     index = ModuleIndex(summaries)
     raw_findings = list(_passes.run_all(index))
@@ -304,7 +328,7 @@ def run_analysis(
     report = AnalysisReport(findings=findings, files=len(summaries),
                             reused=reused, extracted=extracted)
     if changed_only:
-        _filter_changed(report, index, root)
+        _filter_changed(report, index, root, cache)
     return report
 
 
@@ -315,8 +339,58 @@ def _read_bytes(path: Path) -> bytes | None:
         return None
 
 
-def _filter_changed(report: AnalysisReport, index, root) -> None:
-    """Keep findings in git-changed modules + reverse-dep closure."""
+def _extract_worker(item: tuple[str, bytes]) -> dict | None:
+    """Process-pool stage-1 worker: bytes in, summary JSON dict out.
+
+    Module-level (picklable) on purpose; returns the serialised form so
+    the parent deserialises through the exact round-trip the cache
+    uses, keeping parallel output structurally identical to serial.
+    """
+    from .index import extract_summary, load_source
+
+    path_str, raw = item
+    sf = load_source(Path(path_str), raw)
+    if sf is None:
+        return None
+    return extract_summary(sf).to_json()
+
+
+def _extract_many(items: list[tuple[Path, bytes]], jobs: int) -> list:
+    """Summaries for ``items`` in order; workers when ``jobs > 1``."""
+    from .index import ModuleSummary, extract_summary, load_source
+
+    payload = [(p.as_posix(), raw) for (p, raw) in items]
+    if jobs > 1 and len(payload) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            chunk = max(1, len(payload) // (4 * jobs))
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                dicts = list(pool.map(_extract_worker, payload,
+                                      chunksize=chunk))
+            return [None if d is None else ModuleSummary.from_json(d)
+                    for d in dicts]
+        except (OSError, RuntimeError, ImportError):
+            # Pool could not start (sandboxed fork, missing sem support,
+            # BrokenProcessPool): degrade to the serial path below —
+            # same summaries, just slower.
+            pass
+    out = []
+    for path_str, raw in payload:
+        sf = load_source(Path(path_str), raw)
+        out.append(None if sf is None else extract_summary(sf))
+    return out
+
+
+def _filter_changed(report: AnalysisReport, index, root,
+                    cache=None) -> None:
+    """Keep findings in git-changed modules + reverse-dep closure.
+
+    Paths git reports that no longer exist on disk (deleted, or the
+    old name of a rename) are dropped from scope — they still *root*
+    the reverse-dependency closure, since their importers' verdicts
+    may have changed — and their stale cache summaries are evicted.
+    """
     from .index import changed_scope
 
     scope = changed_scope(index, root)
@@ -324,10 +398,16 @@ def _filter_changed(report: AnalysisReport, index, root) -> None:
         report.scope_note = ("--changed: not a git checkout; "
                              "reporting everything")
         return
-    paths, n_changed = scope
+    paths, n_changed, missing = scope
     report.findings = [f for f in report.findings if f.path in paths]
     report.scope_note = (f"--changed: {n_changed} changed module(s), "
                          f"{len(paths)} in reverse-dependency scope")
+    if missing:
+        report.scope_note += (f"; dropped {len(missing)} deleted/renamed "
+                              "path(s)")
+        if cache is not None:
+            for posix in missing:
+                cache.evict_path(posix)
 
 
 def analyze_paths(paths: Sequence[str | Path]) -> list[Finding]:

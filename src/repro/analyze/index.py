@@ -54,7 +54,7 @@ __all__ = [
 ]
 
 #: Bump to invalidate every cached summary (rule/pass/format changes).
-ENGINE_VERSION = "analyze-v2.1"
+ENGINE_VERSION = "analyze-v3.0"
 
 #: Constructors whose result is an explicit, caller-owned Generator.
 RNG_CONSTRUCTORS = {"numpy.random.default_rng", "numpy.random.Generator"}
@@ -132,6 +132,12 @@ class ModuleSummary:
     registrations: list = field(default_factory=list)
     referenced_names: list = field(default_factory=list)
     local_findings: list = field(default_factory=list)  # [[line, rule, msg]]
+    #: CFG/abstract-interpretation findings of the path-sensitive
+    #: passes, computed at extract time so the incremental cache
+    #: replays them: ``[[line, rule, msg, [[line, note], ...]], ...]``
+    #: (the flow's path component is this module's path, re-attached on
+    #: deserialisation).
+    path_findings: list = field(default_factory=list)
     pragmas: list = field(default_factory=list)
 
     def pragma_table(self) -> PragmaTable:
@@ -141,6 +147,11 @@ class ModuleSummary:
         for line, rule, msg in self.local_findings:
             yield Finding(path=self.path, line=int(line), rule=rule,
                           message=msg)
+        for line, rule, msg, flow in self.path_findings:
+            yield Finding(path=self.path, line=int(line), rule=rule,
+                          message=msg,
+                          flow=tuple((self.path, int(ln), note)
+                                     for ln, note in flow))
 
     def to_json(self) -> dict:
         return {
@@ -156,6 +167,7 @@ class ModuleSummary:
             "registrations": self.registrations,
             "referenced_names": self.referenced_names,
             "local_findings": self.local_findings,
+            "path_findings": self.path_findings,
             "pragmas": self.pragmas,
         }
 
@@ -167,7 +179,8 @@ class ModuleSummary:
             "path", "module", "in_src", "in_tests", "is_init", "functions",
             "classes", "imports", "calls", "global_writes",
             "process_targets", "rng_globals", "rng_draws", "registrations",
-            "referenced_names", "local_findings", "pragmas")}
+            "referenced_names", "local_findings", "path_findings",
+            "pragmas")}
         return cls(**kwargs)
 
 
@@ -403,6 +416,14 @@ class Extractor:
             self._collect_await(node)
         elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
             self._collect_assign(node, ctx)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            # `with ServeClient(...) as c:` types c exactly like
+            # `c = ServeClient(...)` would, so calls on context-managed
+            # locals resolve interprocedurally.
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    self._track_local_value(item.optional_vars.id,
+                                            item.context_expr, ctx)
         elif isinstance(node, ast.Call):
             self._collect_call(node, ctx)
 
@@ -470,7 +491,9 @@ class Extractor:
                         self._record_write(node.lineno, root, ctx)
 
     def _track_local(self, name: str, node, ctx: _FnCtx) -> None:
-        value = getattr(node, "value", None)
+        self._track_local_value(name, getattr(node, "value", None), ctx)
+
+    def _track_local_value(self, name: str, value, ctx: _FnCtx) -> None:
         if isinstance(value, ast.Call):
             resolved = self.resolve(_dotted(value.func))
             if resolved in RNG_CONSTRUCTORS:
@@ -524,7 +547,12 @@ class Extractor:
             return None, written
         if head in ctx.local_types and rest:
             return f"{ctx.local_types[head]}.{rest}", written
-        return self.resolve(written), written
+        resolved = self.resolve(written)
+        if resolved is None and written == "open":
+            # Builtin open (params/locals shadowing it returned above):
+            # a blocking-I/O sink the async-blocking pass needs to see.
+            return "builtins.open", written
+        return resolved, written
 
     def _collect_call(self, node: ast.Call, ctx: _FnCtx) -> None:
         resolved, written = self._resolve_call_target(node.func, ctx)
@@ -625,13 +653,24 @@ class Extractor:
 
 
 def extract_summary(sf: SourceFile) -> ModuleSummary:
-    """One-walk extraction: facts + file-local rule findings."""
+    """One-walk extraction: facts + file-local rule findings.
+
+    The per-function CFG passes (resource-safety, dtype-bounds) run
+    here too: their verdicts depend on this module's bytes alone, so
+    embedding them in the summary lets the incremental cache replay
+    them without rebuilding a single CFG.
+    """
     from . import rules
+    from .passes import dtype_bounds, resource_safety
 
     ex = Extractor(sf)
     summary = ex.run()
     summary.local_findings = [
         [f.line, f.rule, f.message] for f in rules.run_local_rules(sf, ex)]
+    summary.path_findings = [
+        [f.line, f.rule, f.message, [[ln, note] for (_p, ln, note) in f.flow]]
+        for f in (*resource_safety.analyze(sf, ex),
+                  *dtype_bounds.analyze(sf, ex))]
     return summary
 
 
@@ -755,26 +794,41 @@ def _git_lines(args: list[str], cwd) -> list[str] | None:
 
 
 def changed_scope(index: ModuleIndex, root=None):
-    """(paths-in-scope, n-changed) per git, or None outside a checkout.
+    """(paths-in-scope, n-changed, missing) per git, or None outside.
 
     Scope = modules whose files changed vs HEAD (worktree + index +
     untracked) plus their reverse-dependency closure — the modules
     whose analysis verdict could have been altered by the change.
+
+    ``missing`` lists git-reported ``.py`` paths that no longer exist
+    on disk (deletions, old names of renames), as repo-relative posix
+    strings.  They cannot be analysed, but they still *root* the
+    closure: modules that imported a deleted module are exactly the
+    ones whose verdict the deletion may have changed.
     """
     cwd = Path(root) if root is not None else Path.cwd()
     top = _git_lines(["rev-parse", "--show-toplevel"], cwd)
     if not top:
         return None
     toplevel = Path(top[0])
-    changed = _git_lines(["diff", "--name-only", "HEAD"], cwd)
+    # --no-renames: a rename must surface its *old* path too (as a
+    # deletion) so the stale cache summary is evicted and the old
+    # module's importers root the closure.
+    changed = _git_lines(["diff", "--name-only", "--no-renames", "HEAD"],
+                         cwd)
     untracked = _git_lines(["ls-files", "--others", "--exclude-standard"],
                            cwd)
     if changed is None:
         return None
-    changed_real = {os.path.realpath(toplevel / p)
-                    for p in changed + (untracked or [])}
+    reported = changed + (untracked or [])
+    missing = sorted({Path(p).as_posix() for p in reported
+                      if p.endswith(".py")
+                      and not (toplevel / p).exists()})
+    changed_real = {os.path.realpath(toplevel / p) for p in reported
+                    if (toplevel / p).exists()}
     roots = [s.module for s in index.summaries
              if os.path.realpath(s.path) in changed_real]
+    roots += [module_name_for(Path(p)) for p in missing]
     scope = index.reverse_closure(roots)
     paths = {s.path for s in index.summaries if s.module in scope}
-    return paths, len(roots)
+    return paths, len(roots), missing

@@ -1,11 +1,13 @@
 """Whole-program passes — the check stage of the analysis pipeline.
 
 :func:`run_all` is the single entry point the engine calls: it replays
-the file-local findings embedded in each summary, runs the structural
-repo rules (:mod:`.structural`), builds one
-:class:`~repro.analyze.callgraph.CallGraph`, and hands it to the three
+the file-local and CFG/path-sensitive findings embedded in each
+summary (the latter computed at extract time by
+:mod:`.resource_safety` and :mod:`.dtype_bounds` over per-function
+CFGs), runs the structural repo rules (:mod:`.structural`), builds one
+:class:`~repro.analyze.callgraph.CallGraph`, and hands it to the four
 interprocedural dataflow passes (:mod:`.determinism`,
-:mod:`.fork_safety`, :mod:`.rng_provenance`).
+:mod:`.fork_safety`, :mod:`.rng_provenance`, :mod:`.async_blocking`).
 
 ``RULE_META`` is the registry of every rule/pass id with its severity
 and one-line invariant; the CLI's ``--fail-on`` gate, the SARIF rule
@@ -19,7 +21,8 @@ from typing import Iterable
 from ..callgraph import CallGraph
 from ..engine import Finding
 from ..index import ModuleIndex
-from . import determinism, fork_safety, rng_provenance, structural
+from . import (async_blocking, determinism, fork_safety, rng_provenance,
+               structural)
 
 __all__ = ["RULE_META", "run_all"]
 
@@ -59,10 +62,18 @@ RULE_META: dict[str, tuple[str, str]] = {
         "error",
         "Generators flow from the seed parameter by argument, never via "
         "a module global or unseeded constructor"),
-    "shm-lifecycle": (
+    "resource-safety": (
         "error",
-        "owned shared-memory segments are released on all paths "
-        "(with / finally / ownership hand-off)"),
+        "acquired resources (shm, pools, files, sockets) are released "
+        "on every CFG path, exception edges included"),
+    "async-blocking": (
+        "error",
+        "no blocking call is reachable from a serve/sim coroutine "
+        "except through to_thread/executor offloads"),
+    "dtype-bounds": (
+        "error",
+        "int32 casts and accumulations are proven overflow-free under "
+        "declared `# repro: bounds(...)` scale bounds"),
     "pragma-missing-reason": (
         "warning",
         "every allow(...) pragma carries a written reason"),
@@ -86,3 +97,4 @@ def run_all(index: ModuleIndex) -> Iterable[Finding]:
     yield from determinism.run(index, graph)
     yield from fork_safety.run(index, graph)
     yield from rng_provenance.run(index, graph)
+    yield from async_blocking.run(index, graph)

@@ -19,13 +19,13 @@ rule id                   invariant
                           the ``with_deadline`` wrapper or is an allowlisted
                           pure-I/O primitive — no handler can block forever
                           on a solver future.
-``shm-lifecycle``         every *owned* shared-memory creation
-                          (``SharedMemory(create=True)``,
-                          ``SharedArrays.create``,
-                          ``SharedCSR.from_hypergraph``) is released on all
-                          paths: ``with``, a ``finally`` cleanup, or an
-                          explicit ownership hand-off.
 ========================  ====================================================
+
+The former ``shm-lifecycle`` rule is superseded by the path-sensitive
+``resource-safety`` pass (:mod:`repro.analyze.passes.resource_safety`),
+which tracks shm handles — plus pools, files, and sockets — through an
+acquired→released lattice over the function's CFG instead of pattern
+matching for a ``finally``.
 
 Since analyze v2 these rules are *fact consumers*: they read the
 collections gathered by the single AST walk in
@@ -181,138 +181,6 @@ def float_cost_eq(sf: SourceFile, ex: "Extractor") -> Iterable[Finding]:
 
 
 # ---------------------------------------------------------------------------
-# shm-lifecycle (R8)
-# ---------------------------------------------------------------------------
-
-#: Calls that create an *owned* shared-memory segment.  Attaching
-#: (``SharedArrays.attach`` / ``SharedMemory(name=...)`` without
-#: ``create=True``) is deliberately out of scope: attachers only close,
-#: and a leaked close costs a mapping, not the segment.
-_SHM_CREATE_TAILS = {"SharedArrays.create", "SharedCSR.from_hypergraph"}
-_SHM_CLEANUP_ATTRS = {"close", "unlink", "__exit__"}
-
-
-def _is_shm_creation(call: ast.Call) -> bool:
-    dotted = _dotted(call.func)
-    if ".".join(dotted.split(".")[-2:]) in _SHM_CREATE_TAILS:
-        return True
-    if dotted.split(".")[-1] == "SharedMemory":
-        return any(kw.arg == "create"
-                   and isinstance(kw.value, ast.Constant) and kw.value.value
-                   for kw in call.keywords)
-    return False
-
-
-def _scope_walk(scope: ast.AST) -> Iterable[ast.AST]:
-    """Walk a function body without descending into nested functions."""
-    stack = list(ast.iter_child_nodes(scope))
-    while stack:
-        node = stack.pop()
-        yield node
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                 ast.Lambda)):
-            stack.extend(ast.iter_child_nodes(node))
-
-
-def _shm_scopes(tree: ast.Module) -> Iterable[ast.AST]:
-    yield tree
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            yield node
-
-
-def shm_lifecycle(sf: SourceFile, ex: "Extractor") -> Iterable[Finding]:
-    """Owned shared-memory handles must be released on *all* paths.
-
-    A creation passes when it is (a) used as a context manager, (b) a
-    locally-bound handle that is ``close()``d / ``unlink()``ed inside a
-    ``finally`` body, or (c) handed off — returned, yielded, stored on
-    an object/container, or passed to another call — so a different
-    scope owns the lifecycle.  Everything else is the Python >= 3.8
-    footgun: an exception (or plain fall-through) before the cleanup
-    leaks the segment until the resource tracker fires at process exit,
-    which for a long-lived server is a /dev/shm leak.
-    """
-    if not sf.in_src:
-        return
-    for scope in _shm_scopes(sf.tree):
-        parents: dict[ast.AST, ast.AST] = {}
-        finally_nodes: set[ast.AST] = set()
-        for node in _scope_walk(scope):
-            for child in ast.iter_child_nodes(node):
-                parents[child] = node
-            if isinstance(node, (ast.Try,)):
-                for stmt in node.finalbody:
-                    finally_nodes.update(ast.walk(stmt))
-
-        def role(node: ast.AST) -> tuple[str, str]:
-            """Classify a creation/name use by its nearest consumer."""
-            child, parent = node, parents.get(node)
-            while parent is not None:
-                if isinstance(parent, ast.withitem):
-                    return "with", ""
-                if isinstance(parent, ast.Call) and child is not parent.func:
-                    return "escape", "call argument"
-                if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom,
-                                       ast.List, ast.Tuple, ast.Dict,
-                                       ast.Set)):
-                    return "escape", type(parent).__name__.lower()
-                if isinstance(parent, ast.Assign):
-                    targets = parent.targets
-                    if (len(targets) == 1 and isinstance(targets[0], ast.Name)
-                            and child is parent.value):
-                        return "bind", targets[0].id
-                    return "escape", "stored"
-                # Starred/conditional/walrus/await wrap the handle itself,
-                # so the consumer above them decides; an Attribute or
-                # Subscript *derives a value from* the handle and stops
-                # the climb — `return seg.name` does not escape `seg`.
-                if isinstance(parent, (ast.Starred, ast.IfExp,
-                                       ast.NamedExpr, ast.Await)):
-                    child, parent = parent, parents.get(parent)
-                    continue
-                break
-            return "bare", ""
-
-        for node in _scope_walk(scope):
-            if not (isinstance(node, ast.Call) and _is_shm_creation(node)):
-                continue
-            kind, detail = role(node)
-            if kind in ("with", "escape"):
-                continue
-            if kind == "bind":
-                name = detail
-                released = escaped = False
-                for use in _scope_walk(scope):
-                    if not (isinstance(use, ast.Name) and use.id == name
-                            and isinstance(use.ctx, ast.Load)):
-                        continue
-                    up = parents.get(use)
-                    if (isinstance(up, ast.Attribute)
-                            and up.attr in _SHM_CLEANUP_ATTRS
-                            and use in finally_nodes):
-                        released = True
-                        continue
-                    ukind, _ = role(use)
-                    if ukind == "with":
-                        released = True
-                    elif ukind == "escape":
-                        escaped = True
-                if released or escaped:
-                    continue
-                what = (f"shared-memory handle '{name}' is never released "
-                        "on the exception path")
-            else:
-                what = "shared-memory segment is created and discarded"
-            yield Finding(
-                path=sf.posix, line=node.lineno, rule="shm-lifecycle",
-                message=f"{what}; wrap the creation in `with`, release it "
-                        "in a `finally`, or hand ownership to another "
-                        "scope — a leaked owner segment survives in "
-                        "/dev/shm until process exit (bpo-38119)")
-
-
-# ---------------------------------------------------------------------------
 # serve-timeout (R7)
 # ---------------------------------------------------------------------------
 
@@ -349,7 +217,7 @@ def serve_timeout(sf: SourceFile, ex: "Extractor") -> Iterable[Finding]:
 
 
 _LOCAL_RULES = (seed_discipline, silent_except, float_cost_eq,
-                serve_timeout, shm_lifecycle)
+                serve_timeout)
 
 
 def run_local_rules(sf: SourceFile, ex: "Extractor") -> list[Finding]:

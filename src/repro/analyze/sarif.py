@@ -7,6 +7,12 @@ hosts and IDE SARIF viewers ingest: one run, one tool driver
 with severity mapped onto SARIF's ``error``/``warning``/``note``
 levels.  Output is deterministic (sorted rules, findings already
 sorted by the engine) so the document bytes are stable run-to-run.
+
+Findings carrying a CFG witness path (``Finding.flow``) additionally
+emit a SARIF ``codeFlow``: one thread flow whose locations replay the
+witness step by step — acquisition site, the exception edge that
+escapes with the resource live, the exit it reaches — so SARIF
+viewers can walk the exact path the abstract interpreter proved.
 """
 
 from __future__ import annotations
@@ -41,7 +47,7 @@ def to_sarif(findings: Sequence[Finding], *,
     rule_index = {rule: i for i, rule in enumerate(used)}
     results = []
     for f in findings:
-        results.append({
+        result = {
             "ruleId": f.rule,
             "ruleIndex": rule_index[f.rule],
             "level": _LEVELS.get(f.severity, "error"),
@@ -52,7 +58,22 @@ def to_sarif(findings: Sequence[Finding], *,
                     "region": {"startLine": max(1, f.line)},
                 },
             }],
-        })
+        }
+        if f.flow:
+            result["codeFlows"] = [{
+                "threadFlows": [{
+                    "locations": [{
+                        "location": {
+                            "physicalLocation": {
+                                "artifactLocation": {"uri": p},
+                                "region": {"startLine": max(1, int(ln))},
+                            },
+                            "message": {"text": note},
+                        },
+                    } for (p, ln, note) in f.flow],
+                }],
+            }]
+        results.append(result)
     return {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,

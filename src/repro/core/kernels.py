@@ -287,6 +287,9 @@ def pin_count_matrix(ptr: np.ndarray, pins: np.ndarray, labels: np.ndarray,
             f"FM pin-count matrix of shape ({m}, {k}) needs {fmt(needed)} "
             f"(> budget {fmt(budget_bytes)}); reduce k, coarsen the "
             f"hypergraph first, or raise REPRO_PIN_COUNT_BUDGET_BYTES")
+    # repro: bounds(len(codes) <= 1e7, k <= 4096)
+    # Proof obligation for the int32 cast below: each count is at most
+    # the number of pins (ROADMAP scale target 10^7), far under 2**31.
     codes = edge_ids_from_ptr(ptr) * k + labels[pins]
     return (np.bincount(codes, minlength=m * k)
             .reshape(m, k).astype(np.int32))

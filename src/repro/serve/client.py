@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any, Mapping
 
@@ -23,6 +24,11 @@ from ..errors import (JobNotFoundError, QueueFullError, ServeClientError,
                       ServeProtocolError)
 
 __all__ = ["ServeClient", "graph_payload"]
+
+# repro: allow[seed-discipline] — transport jitter, not an experiment
+# input: desynchronises concurrent pollers so they don't hammer the
+# server in lockstep; job results are unaffected by the draw.
+_POLL_JITTER = random.Random()
 
 
 def graph_payload(graph) -> dict:
@@ -137,19 +143,32 @@ class ServeClient:
         return self._checked("DELETE", f"/v1/jobs/{job_id}")
 
     def wait(self, job_id: str, timeout_s: float = 60.0,
-             poll_s: float = 0.05) -> dict:
-        """Poll until the job reaches a final status."""
+             poll_s: float = 0.05, max_poll_s: float = 1.0) -> dict:
+        """Poll until the job reaches a final status.
+
+        The poll interval starts at ``poll_s`` and backs off
+        exponentially (jittered, capped at ``max_poll_s``) so long jobs
+        aren't hammered at the short-job cadence; the final sleep is
+        clipped to the remaining deadline budget.
+        """
         end = time.monotonic() + timeout_s
+        delay = poll_s
         while True:
             state = self.job(job_id)
             if state["status"] in ("done", "error", "timeout",
                                    "cancelled"):
                 return state
-            if time.monotonic() >= end:
+            remaining = end - time.monotonic()
+            if remaining <= 0:
                 raise ServeClientError(
                     f"job {job_id} still {state['status']!r} after "
                     f"{timeout_s:g}s")
-            time.sleep(poll_s)
+            jitter = 0.75 + 0.5 * _POLL_JITTER.random()
+            # This client is the *synchronous* transport — blocking here
+            # is its contract; the serving layer's coroutines never call
+            # into it.
+            time.sleep(min(delay * jitter, remaining))  # repro: allow[async-blocking] — sync client, not event-loop code
+            delay = min(delay * 2.0, max_poll_s)
 
     def health(self) -> dict:
         return self._checked("GET", "/healthz")

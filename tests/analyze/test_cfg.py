@@ -1,0 +1,254 @@
+"""Unit tests for the per-function CFG builder.
+
+Each test checks the *shape* the abstract interpreter depends on —
+which edges exist, what they carry, and how abnormal flow (raise,
+return, break) is routed through ``finally``/``with`` regions.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.absint import solve, witness_path
+from repro.analyze.cfg import build_cfg
+
+
+def cfg_of(src: str):
+    tree = ast.parse(src)
+    fn = next(n for n in tree.body
+              if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)))
+    return build_cfg(fn)
+
+
+def kinds_at(cfg, line: int) -> set:
+    return {n.kind for n in cfg.nodes_at_line(line)}
+
+
+def succ_kinds(cfg, nid: int) -> set:
+    return {e.kind for e in cfg.succs[nid]}
+
+
+class TestLinear:
+    def test_straight_line_flows_entry_to_exit(self):
+        cfg = cfg_of("def f(x):\n"
+                     "    y = x + 1\n"
+                     "    return y\n")
+        path = witness_path(cfg, cfg.entry, [cfg.exit], lambda e: True)
+        assert path is not None
+        assert [e.kind for e in path] == ["next", "next", "return"]
+
+    def test_call_statement_gets_exc_edge(self):
+        cfg = cfg_of("def f(x):\n"
+                     "    g(x)\n")
+        (edge,) = cfg.exc_edges()
+        assert cfg.nodes[edge.src].line == 2
+        assert edge.dst == cfg.raise_exit
+
+    def test_pure_assignment_has_no_exc_edge(self):
+        cfg = cfg_of("def f(x):\n"
+                     "    y = x\n")
+        assert cfg.exc_edges() == []
+
+    def test_code_after_return_is_unreachable(self):
+        cfg = cfg_of("def f():\n"
+                     "    return 1\n"
+                     "    y = 2\n")
+        assert cfg.nodes_at_line(3) == []
+
+
+class TestBranches:
+    def test_if_edges_carry_the_test_expression(self):
+        cfg = cfg_of("def f(n):\n"
+                     "    if n > 10:\n"
+                     "        raise ValueError\n"
+                     "    return n\n")
+        (test_node,) = [n for n in cfg.nodes.values() if n.kind == "test"]
+        branches = {e.kind: e for e in cfg.succs[test_node.id]
+                    if e.kind in ("true", "false")}
+        assert set(branches) == {"true", "false"}
+        assert isinstance(branches["true"].test, ast.Compare)
+        assert branches["true"].test is branches["false"].test
+
+    def test_raise_routes_to_raise_exit_only(self):
+        cfg = cfg_of("def f(n):\n"
+                     "    if n:\n"
+                     "        raise ValueError\n"
+                     "    return n\n")
+        (raise_node,) = [n for n in cfg.nodes.values()
+                         if isinstance(n.stmt, ast.Raise)]
+        assert [(e.kind, e.dst) for e in cfg.succs[raise_node.id]] == [
+            ("exc", cfg.raise_exit)]
+
+
+class TestLoops:
+    def test_while_has_back_edge(self):
+        cfg = cfg_of("def f(n):\n"
+                     "    while n:\n"
+                     "        n = n - 1\n")
+        (test_node,) = [n for n in cfg.nodes.values() if n.kind == "test"]
+        (body_node,) = [n for n in cfg.nodes.values()
+                        if n.kind == "stmt" and n.line == 3]
+        assert any(e.dst == test_node.id
+                   for e in cfg.succs[body_node.id])
+
+    def test_for_loop_and_exhaustion_edges(self):
+        cfg = cfg_of("def f(xs):\n"
+                     "    for x in xs:\n"
+                     "        use(x)\n")
+        (head,) = [n for n in cfg.nodes.values() if n.kind == "loop"]
+        assert {"loop", "next"} <= succ_kinds(cfg, head.id)
+
+    def test_break_leaves_the_loop(self):
+        cfg = cfg_of("def f(xs):\n"
+                     "    for x in xs:\n"
+                     "        break\n"
+                     "    return 1\n")
+        (brk,) = [n for n in cfg.nodes.values()
+                  if isinstance(n.stmt, ast.Break)]
+        (edge,) = cfg.succs[brk.id]
+        assert edge.kind == "break"
+        assert cfg.nodes[edge.dst].kind == "join"
+
+    def test_continue_returns_to_the_head(self):
+        cfg = cfg_of("def f(xs):\n"
+                     "    for x in xs:\n"
+                     "        continue\n")
+        (head,) = [n for n in cfg.nodes.values() if n.kind == "loop"]
+        (cont,) = [n for n in cfg.nodes.values()
+                   if isinstance(n.stmt, ast.Continue)]
+        (edge,) = cfg.succs[cont.id]
+        assert (edge.kind, edge.dst) == ("continue", head.id)
+
+
+class TestTry:
+    def test_body_raises_into_dispatch_then_handler(self):
+        cfg = cfg_of("def f():\n"
+                     "    try:\n"
+                     "        g()\n"
+                     "    except ValueError:\n"
+                     "        h()\n")
+        (dispatch,) = [n for n in cfg.nodes.values()
+                       if n.kind == "dispatch"]
+        (body,) = [n for n in cfg.nodes.values()
+                   if n.kind == "stmt" and n.line == 3]
+        assert any(e.dst == dispatch.id and e.kind == "exc"
+                   for e in cfg.succs[body.id])
+        (handler,) = [n for n in cfg.nodes.values() if n.kind == "handler"]
+        assert any(e.dst == handler.id for e in cfg.succs[dispatch.id])
+
+    def test_unmatched_exception_keeps_propagating(self):
+        cfg = cfg_of("def f():\n"
+                     "    try:\n"
+                     "        g()\n"
+                     "    except ValueError:\n"
+                     "        pass\n")
+        (dispatch,) = [n for n in cfg.nodes.values()
+                       if n.kind == "dispatch"]
+        assert any(e.kind == "exc" and e.dst == cfg.raise_exit
+                   for e in cfg.succs[dispatch.id])
+
+    def test_exception_routes_through_finally(self):
+        cfg = cfg_of("def f():\n"
+                     "    try:\n"
+                     "        g()\n"
+                     "    finally:\n"
+                     "        h()\n")
+        (body,) = [n for n in cfg.nodes.values()
+                   if n.kind == "stmt" and n.line == 3]
+        (exc_edge,) = [e for e in cfg.succs[body.id] if e.kind == "exc"]
+        assert cfg.nodes[exc_edge.dst].kind == "finally"
+        # ... and out of the finally region it still reaches raise-exit
+        path = witness_path(cfg, exc_edge.dst, [cfg.raise_exit],
+                            lambda e: True)
+        assert path is not None
+
+    def test_early_return_crosses_finally_before_exit(self):
+        cfg = cfg_of("def f():\n"
+                     "    try:\n"
+                     "        return 1\n"
+                     "    finally:\n"
+                     "        h()\n")
+        (ret,) = [n for n in cfg.nodes.values()
+                  if isinstance(n.stmt, ast.Return)]
+        (edge,) = [e for e in cfg.succs[ret.id] if e.kind == "return"]
+        assert cfg.nodes[edge.dst].kind == "finally"
+        assert witness_path(cfg, edge.dst, [cfg.exit],
+                            lambda e: True) is not None
+
+    def test_finally_branch_edges_keep_their_tests(self):
+        # regression: draining continuations straight off the finally
+        # body's frontier used to discard the false-branch test, losing
+        # `if pool is not None` refinement inside cleanup code
+        cfg = cfg_of("def f():\n"
+                     "    try:\n"
+                     "        g()\n"
+                     "    finally:\n"
+                     "        if pool is not None:\n"
+                     "            pool.close()\n")
+        fin_tests = [e for e in cfg.edges()
+                     if e.kind in ("true", "false")
+                     and cfg.nodes[e.src].line == 5]
+        assert {e.kind for e in fin_tests} == {"true", "false"}
+        assert all(e.test is not None for e in fin_tests)
+
+
+class TestWith:
+    def test_with_body_raise_runs_cleanup(self):
+        cfg = cfg_of("def f(r):\n"
+                     "    with r:\n"
+                     "        g()\n")
+        (cleanup,) = [n for n in cfg.nodes.values()
+                      if n.kind == "with-cleanup"]
+        (body,) = [n for n in cfg.nodes.values()
+                   if n.kind == "stmt" and n.line == 3]
+        assert any(e.kind == "exc" and e.dst == cleanup.id
+                   for e in cfg.succs[body.id])
+        assert any(e.kind == "exc" and e.dst == cfg.raise_exit
+                   for e in cfg.succs[cleanup.id])
+
+    def test_context_expr_raise_skips_cleanup(self):
+        cfg = cfg_of("def f():\n"
+                     "    with acquire() as r:\n"
+                     "        g()\n")
+        (enter,) = [n for n in cfg.nodes.values() if n.kind == "with"]
+        assert any(e.kind == "exc" and e.dst == cfg.raise_exit
+                   for e in cfg.succs[enter.id])
+
+
+class TestSolver:
+    class _Reach:
+        """Trivial lattice: set of node ids seen on some path."""
+
+        def initial(self, cfg):
+            return frozenset()
+
+        def transfer(self, node, state):
+            out = state | {node.id}
+            return out, out
+
+        def refine(self, edge, state):
+            return state
+
+        def join(self, a, b):
+            return a | b
+
+        def widen(self, old, new):
+            return new
+
+    def test_fixpoint_covers_loop_and_is_deterministic(self):
+        src = ("def f(xs):\n"
+               "    t = 0\n"
+               "    for x in xs:\n"
+               "        t = t + x\n"
+               "    return t\n")
+        a = solve(cfg_of(src), self._Reach())
+        b = solve(cfg_of(src), self._Reach())
+        assert a.inputs == b.inputs
+        assert a.inputs[a.cfg.exit]          # exit reachable
+
+    def test_edge_state_replays_the_fixpoint(self):
+        cfg = cfg_of("def f():\n"
+                     "    g()\n")
+        sol = solve(cfg, self._Reach())
+        (edge,) = cfg.exc_edges()
+        assert edge.src in sol.edge_state(edge)

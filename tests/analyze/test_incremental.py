@@ -87,6 +87,27 @@ class TestCacheReuse:
         assert report.extracted == 3
         assert rendered(report) == rendered(run_analysis([src]))
 
+    def test_witness_flow_survives_the_cache(self, tmp_path):
+        # path findings (with their CFG witness flows) are serialized
+        # into the summary; a warm run must replay them byte-identically
+        (tmp_path / "src/repro").mkdir(parents=True)
+        (tmp_path / "src/repro/leak.py").write_text(
+            "from repro.core.shm import SharedArrays\n"
+            "def leak(arrays, work):\n"
+            "    sa = SharedArrays.create(arrays)\n"
+            "    work()\n"
+            "    sa.close()\n")
+        cache = tmp_path / "cache"
+        cold = run_analysis([tmp_path / "src"])
+        run_analysis([tmp_path / "src"], incremental=True,
+                     cache_dir=cache)
+        warm = run_analysis([tmp_path / "src"], incremental=True,
+                            cache_dir=cache)
+        assert warm.reused == 1 and warm.extracted == 0
+        assert [f.to_json() for f in cold.findings] \
+            == [f.to_json() for f in warm.findings]
+        assert warm.findings[0].flow        # the witness is non-empty
+
     def test_version_skew_reads_as_miss(self, tmp_path):
         p = build(tmp_path) / "repro/alpha.py"
         raw = p.read_bytes()
@@ -146,6 +167,85 @@ class TestChangedScope:
         report = run_analysis([Path("src")], changed_only=True,
                               root=tmp_path)
         assert [f.path for f in report.findings] == ["src/repro/delta.py"]
+
+    def test_deleted_file_does_not_crash_and_is_noted(self, tmp_path,
+                                                      monkeypatch):
+        src = build(tmp_path)
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", "-A")
+        _git(tmp_path, "commit", "-qm", "seed")
+        _git(tmp_path, "rm", "-q", "src/repro/beta.py")
+        monkeypatch.chdir(tmp_path)
+        report = run_analysis([Path("src")], changed_only=True,
+                              root=tmp_path)
+        assert "dropped 1 deleted/renamed path(s)" in report.scope_note
+        # beta is gone; nothing may reference it, nothing may crash
+        assert all("beta" not in f.path for f in report.findings)
+
+    def test_deleted_file_importers_stay_in_scope(self, tmp_path,
+                                                  monkeypatch):
+        src = build(tmp_path)
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", "-A")
+        _git(tmp_path, "commit", "-qm", "seed")
+        # alpha has an importer (gamma): deleting alpha must still root
+        # the reverse closure at it, so gamma gets re-checked
+        _git(tmp_path, "rm", "-q", "src/repro/alpha.py")
+        monkeypatch.chdir(tmp_path)
+        report = run_analysis([Path("src")], changed_only=True,
+                              root=tmp_path)
+        scoped = {f.path for f in report.findings}
+        assert "src/repro/beta.py" not in scoped
+        assert "dropped 1 deleted/renamed path(s)" in report.scope_note
+
+    def test_renamed_file_evicts_stale_cache_summary(self, tmp_path,
+                                                     monkeypatch):
+        build(tmp_path)
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", "-A")
+        _git(tmp_path, "commit", "-qm", "seed")
+        cache = tmp_path / "cache"
+        monkeypatch.chdir(tmp_path)
+        run_analysis([Path("src")], incremental=True, cache_dir=cache,
+                     root=tmp_path)
+        stale = [p for p in cache.rglob("*.json")
+                 if '"src/repro/beta.py"' in p.read_text()]
+        assert stale                         # summary cached under old name
+        _git(tmp_path, "mv", "src/repro/beta.py", "src/repro/renamed.py")
+        report = run_analysis([Path("src")], incremental=True,
+                              changed_only=True, cache_dir=cache,
+                              root=tmp_path)
+        assert "dropped 1 deleted/renamed path(s)" in report.scope_note
+        assert all(not p.exists() for p in stale)
+        # the new name's findings are reported under the new path
+        assert any(f.path == "src/repro/renamed.py"
+                   for f in report.findings)
+
+
+class TestParallelExtraction:
+    def test_jobs_findings_are_byte_identical_to_serial(self, tmp_path):
+        src = build(tmp_path)
+        serial = run_analysis([src])
+        parallel = run_analysis([src], jobs=4)
+        assert [f.to_json() for f in serial.findings] \
+            == [f.to_json() for f in parallel.findings]
+        assert rendered(serial) == rendered(parallel)
+        assert parallel.extracted == 3
+
+    def test_jobs_fill_the_cache_like_serial(self, tmp_path):
+        src = build(tmp_path)
+        cache = tmp_path / "cache"
+        first = run_analysis([src], incremental=True, cache_dir=cache,
+                             jobs=4)
+        second = run_analysis([src], incremental=True, cache_dir=cache)
+        assert first.extracted == 3
+        assert second.reused == 3 and second.extracted == 0
+        assert rendered(first) == rendered(second)
+
+    def test_single_job_is_the_serial_path(self, tmp_path):
+        src = build(tmp_path)
+        assert rendered(run_analysis([src], jobs=1)) \
+            == rendered(run_analysis([src]))
 
 
 class TestDependencyClosure:

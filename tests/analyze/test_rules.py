@@ -183,7 +183,11 @@ class TestRunnerSignature:
         assert analyze_paths([tmp_path / "src"]) == []
 
 
-class TestShmLifecycle:
+class TestResourceSafety:
+    """The path-sensitive successor of the old shm-lifecycle rule: the
+    same leak shapes must still fire, the same safe shapes must still
+    be clean — now proven over the CFG instead of pattern-matched."""
+
     HEAD = "from repro.core.shm import SharedArrays, SharedCSR\n"
 
     def test_unreleased_bound_handle_fires(self, tmp_path):
@@ -191,23 +195,25 @@ class TestShmLifecycle:
                   "def leak(arrays):\n"
                   "    sa = SharedArrays.create(arrays)\n"
                   "    return sa.descriptor()\n")
-        assert rules_of(analyze_paths([p])) == ["shm-lifecycle"]
+        assert rules_of(analyze_paths([p])) == ["resource-safety"]
 
     def test_straight_line_close_still_fires(self, tmp_path):
         # released on the happy path only: an exception in between leaks
-        p = write(tmp_path, "src/repro/mod.py", self.HEAD +
-                  "def leak(graph, send):\n"
-                  "    shared = SharedCSR.from_hypergraph(graph)\n"
-                  "    send(shared.descriptor())\n"
-                  "    shared.close()\n"
-                  "    shared.unlink()\n")
-        assert rules_of(analyze_paths([p])) == ["shm-lifecycle"]
+        fs = analyze_paths([write(
+            tmp_path, "src/repro/mod.py", self.HEAD +
+            "def leak(graph, send):\n"
+            "    shared = SharedCSR.from_hypergraph(graph)\n"
+            "    send(shared.descriptor())\n"
+            "    shared.close()\n"
+            "    shared.unlink()\n")])
+        assert rules_of(fs) == ["resource-safety"]
+        assert "exception exit" in fs[0].message
 
     def test_discarded_creation_fires(self, tmp_path):
         p = write(tmp_path, "src/repro/mod.py", self.HEAD +
                   "def leak(arrays):\n"
                   "    SharedArrays.create(arrays)\n")
-        assert rules_of(analyze_paths([p])) == ["shm-lifecycle"]
+        assert rules_of(analyze_paths([p])) == ["resource-safety"]
 
     def test_raw_shared_memory_create_fires(self, tmp_path):
         p = write(tmp_path, "src/repro/mod.py",
@@ -215,7 +221,7 @@ class TestShmLifecycle:
                   "def leak(n):\n"
                   "    seg = shared_memory.SharedMemory(create=True, size=n)\n"
                   "    return seg.name\n")
-        assert rules_of(analyze_paths([p])) == ["shm-lifecycle"]
+        assert rules_of(analyze_paths([p])) == ["resource-safety"]
 
     def test_with_block_is_clean(self, tmp_path):
         p = write(tmp_path, "src/repro/mod.py", self.HEAD +
@@ -273,7 +279,7 @@ class TestShmLifecycle:
     def test_pragma_escape_hatch(self, tmp_path):
         p = write(tmp_path, "src/repro/mod.py", self.HEAD +
                   "def kill_test_segment(arrays):\n"
-                  "    # analyze: allow(shm-lifecycle) — leak fixture\n"
+                  "    # analyze: allow(resource-safety) — leak fixture\n"
                   "    sa = SharedArrays.create(arrays)\n"
                   "    return sa.descriptor()\n")
         assert analyze_paths([p]) == []
