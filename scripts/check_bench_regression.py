@@ -39,6 +39,15 @@
     digest must match the baseline bit-for-bit — ``--tolerance`` does
     not apply.  A mismatch means the simulator or a scheduler changed
     behaviour, never that the machine was busy.
+``--suite mesh``
+    Checks the sharded-serving chaos gates twice: once on the
+    committed full-scale baseline (``benchmarks/BENCH_mesh.json``)
+    and once on a fresh smoke-scale run of
+    ``benchmarks/bench_mesh.py`` — zero lost acknowledged jobs under
+    SIGKILL/restart, cache-hit resubmission across a dead shard,
+    hedged p99 below unhedged p99, streaming ingest >= 3x the JSON
+    path, and no ``/dev/shm`` leak.  The bars are absolute;
+    ``--tolerance`` does not apply.
 ``--suite all``
     All of them.
 
@@ -78,6 +87,7 @@ DEFAULT_SERVE_BASELINE = ROOT / "benchmarks" / "BENCH_serve.json"
 DEFAULT_ANALYZE_BASELINE = ROOT / "benchmarks" / "BENCH_analyze.json"
 DEFAULT_SCALE_BASELINE = ROOT / "benchmarks" / "BENCH_scale.json"
 DEFAULT_SIM_BASELINE = ROOT / "benchmarks" / "BENCH_sim.json"
+DEFAULT_MESH_BASELINE = ROOT / "benchmarks" / "BENCH_mesh.json"
 
 
 def compare(baseline: dict, fresh: dict, threshold: float,
@@ -324,6 +334,37 @@ def run_sim_suite(args, tolerance: float) -> list[str] | None:
     return compare_sim(baseline, fresh)
 
 
+def run_mesh_suite(args, tolerance: float) -> list[str] | None:
+    """Failure messages for the sharded-serving chaos suite.
+
+    Two checks: the committed full-scale baseline must still satisfy
+    every mesh gate (``bench_mesh.check``: zero lost acknowledged
+    jobs, hedged p99 < unhedged, streaming ingest >= 3x JSON, no shm
+    leak), and a fresh smoke-scale run must satisfy the same gates on
+    this machine.  The gates are absolute acceptance bars, not timing
+    ratios, so baseline and fresh runs need not share a scale — the
+    throughput comparison below is informational only.
+    """
+    import bench_mesh
+    baseline = _load_baseline(Path(args.mesh_baseline), "bench_mesh.py")
+    if baseline is None:
+        return None
+    print("mesh gates on the committed full-scale baseline")
+    failures = [f"baseline gate failed: {f}"
+                for f in bench_mesh.check(baseline)]
+    print("mesh gates on a fresh smoke-scale run")
+    fresh = bench_mesh.run(shards=2, total=200, distinct=32, kills=1,
+                           clients=4, hedge_jobs=12, slow_s=0.6,
+                           stream_pins=200_000, quiet=True)
+    failures += [f"fresh smoke gate failed: {f}"
+                 for f in bench_mesh.check(fresh)]
+    base_t = baseline["chaos"]["throughput_jps"]
+    fresh_t = fresh["chaos"]["throughput_jps"]
+    print(f"  chaos throughput: baseline {base_t:.1f} jps "
+          f"(full scale)  now {fresh_t:.1f} jps (smoke scale)")
+    return failures
+
+
 def run_analyze_suite(args, tolerance: float) -> list[str] | None:
     import bench_analyze
     baseline = _load_baseline(Path(args.analyze_baseline),
@@ -338,7 +379,7 @@ def run_analyze_suite(args, tolerance: float) -> list[str] | None:
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--suite", choices=("kernels", "serve", "analyze",
-                                        "scale", "sim", "all"),
+                                        "scale", "sim", "mesh", "all"),
                     default="kernels",
                     help="which benchmark suite(s) to gate on")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
@@ -355,6 +396,9 @@ def main(argv=None) -> int:
     ap.add_argument("--sim-baseline",
                     default=str(DEFAULT_SIM_BASELINE),
                     help="committed simulation baseline JSON")
+    ap.add_argument("--mesh-baseline",
+                    default=str(DEFAULT_MESH_BASELINE),
+                    help="committed mesh chaos baseline JSON")
     ap.add_argument("--tolerance", "--threshold", type=float,
                     dest="tolerance", default=None,
                     help="allowed fractional slowdown (0.25 = 25%%); "
@@ -369,11 +413,11 @@ def main(argv=None) -> int:
     if tolerance is None:
         tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25"))
 
-    suites = (("kernels", "serve", "analyze", "scale", "sim")
+    suites = (("kernels", "serve", "analyze", "scale", "sim", "mesh")
               if args.suite == "all" else (args.suite,))
     runners = {"kernels": run_kernels_suite, "serve": run_serve_suite,
                "analyze": run_analyze_suite, "scale": run_scale_suite,
-               "sim": run_sim_suite}
+               "sim": run_sim_suite, "mesh": run_mesh_suite}
     failed = False
     for suite in suites:
         runner = runners[suite]

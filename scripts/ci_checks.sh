@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Single CI entry point: tier-1 tests, the lab smoke tier, the serve
-# smoke tier, and (optionally) the perf-regression gates.
+# smoke tier, the mesh chaos smoke tier, and (optionally) the
+# perf-regression gates.
 #
 # Usage:
 #   scripts/ci_checks.sh            # tests + lab smoke
@@ -67,9 +68,13 @@ echo
 echo "== sim smoke tier (scheduler-zoo matrix + jobs-invariance, 60 s budget) =="
 timeout 60 python benchmarks/bench_sim.py --smoke
 
+echo
+echo "== mesh smoke tier (2 shards, 200 jobs, one SIGKILL, 60 s budget) =="
+timeout 60 python benchmarks/bench_mesh.py --smoke -q
+
 if [ "$run_bench" = 1 ]; then
     echo
-    echo "== perf-regression gates (benchcheck: kernels + serve + scale + sim) =="
+    echo "== perf-regression gates (benchcheck: kernels + serve + scale + sim + mesh) =="
     python -m pytest -m benchcheck -q
 fi
 

@@ -158,6 +158,29 @@ class CallGraph:
                     seen.add(key)
                     yield node, label
 
+    def mesh_entrypoints(self) -> Iterable[tuple[str, str]]:
+        """``(node, label)`` for every mesh coroutine.
+
+        The router's coroutines are driven by the asyncio server — no
+        static call edge reaches them — and routing itself is part of
+        the mesh's determinism contract (byte-identical assignment, no
+        entropy, sequential job ids).  Every ``async def`` under
+        ``src/repro/mesh/`` therefore becomes a root, mirroring the
+        async-blocking pass's coroutine-root scope.
+        """
+        seen: set[str] = set()
+        for s in self.index.summaries:
+            if not s.in_src or "mesh" not in s.path.split("/"):
+                continue
+            for qual, meta in s.functions.items():
+                if not meta.get("is_async"):
+                    continue
+                node = node_id(s.module, qual)
+                if node in seen:
+                    continue
+                seen.add(node)
+                yield node, pretty_node(node)
+
     def _class_method_nodes(self, dotted: str,
                             _seen: frozenset = frozenset(),
                             ) -> Iterable[str]:

@@ -58,13 +58,14 @@ def classify_blocking(resolved: str) -> str | None:
 
 
 def _coroutine_roots(index: ModuleIndex) -> dict[str, str]:
-    """node -> label for every async def under src serve/sim paths."""
+    """node -> label for every async def under src serve/sim/mesh paths."""
     roots: dict[str, str] = {}
     for s in index.summaries:
         if not s.in_src:
             continue
         parts = s.path.split("/")
-        if "serve" not in parts and "sim" not in parts:
+        if "serve" not in parts and "sim" not in parts \
+                and "mesh" not in parts:
             continue
         for qual, meta in s.functions.items():
             if meta.get("is_async"):

@@ -8,9 +8,11 @@ global-RNG state makes that address a lie: a cache hit would replay a
 value the current environment could not reproduce.
 
 This pass walks the call graph from every registered entrypoint
-(lab ``ExperimentSpec`` registrations, the serve op, and
+(lab ``ExperimentSpec`` registrations, the serve op,
 ``register_scheduler``'d sim schedulers — the simulated clock is the
-only time a scheduler may observe) and flags each external call that
+only time a scheduler may observe — and every mesh coroutine, whose
+routing decisions must be byte-identical across runs) and flags each
+external call that
 matches a nondeterminism sink, with a witness call chain.  Findings anchor at the *sink call site* — one shared helper
 flagged once, suppressible with one pragma — and name the entrypoint
 that reaches it.
@@ -84,6 +86,8 @@ def _entrypoints(graph: CallGraph, *,
         roots.setdefault(node, f"runner '{name}'")
     for node, name in graph.sim_entrypoints():
         roots.setdefault(node, f"sim scheduler '{name}'")
+    for node, name in graph.mesh_entrypoints():
+        roots.setdefault(node, f"mesh coroutine '{name}'")
     return roots
 
 

@@ -43,8 +43,9 @@ passes (``determinism``, ``fork-safety``, ``rng-provenance``) live in
 Scoping: ``seed-discipline`` and ``float-cost-eq`` apply to library
 code (files under ``src/``) — tests may intentionally seed globals or
 compare exact integer-valued costs.  ``silent-except`` applies
-everywhere.  ``serve-timeout`` applies only to files under
-``src/repro/serve/``.
+everywhere.  ``serve-timeout`` applies to files under
+``src/repro/serve/`` and ``src/repro/mesh/`` (the router is held to
+the same no-unbounded-await bar as the shards).
 """
 
 from __future__ import annotations
@@ -192,12 +193,18 @@ _SERVE_AWAIT_OK = {
     "sleep", "drain", "wait_closed", "read", "readline", "readexactly",
     "readuntil", "serve_forever", "start_serving", "get", "put", "join",
     "acquire", "accept", "start", "stop",
+    # repro.serve.http framing helpers: every await inside them is
+    # already with_deadline-bounded, so awaiting them is as safe as
+    # awaiting with_deadline itself
+    "read_head", "read_body", "read_response", "write_response",
+    # repro.serve.stream ingest: internally deadline-bounded per read
+    "ingest_stream",
 }
 
 
 def serve_timeout(sf: SourceFile, ex: "Extractor") -> Iterable[Finding]:
     parts = sf.path.parts
-    if not ("src" in parts and "serve" in parts):
+    if not ("src" in parts and ("serve" in parts or "mesh" in parts)):
         return
     # Awaiting an async def *from this file* is transitively safe: its
     # own awaits are subject to this very rule.

@@ -25,6 +25,11 @@ serve / submit / jobs
     Online partitioning service (:mod:`repro.serve`): ``serve`` runs the
     HTTP server (micro-batching, backpressure, shared result cache);
     ``submit`` sends one job; ``jobs`` lists/polls/cancels jobs.
+mesh
+    Sharded serving (:mod:`repro.mesh`): ``mesh up`` spawns N shard
+    processes plus a consistent-hash router (hedged dispatch, stream
+    relay, requeue-on-failure); ``mesh route`` is an offline ring
+    lookup; ``mesh status`` scrapes a router.
 sim
     Discrete-event scheduling simulation (:mod:`repro.sim`):
     ``sim run`` executes one hyperDAG plan on a Definition 7.1
@@ -106,11 +111,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     from .analyze.cli import add_analyze_parser
     from .lab.cli import add_lab_parser
+    from .mesh.cli import add_mesh_parser
     from .serve.cli import add_serve_parser
     from .sim.cli import add_sim_parser
     add_lab_parser(sub)
     add_analyze_parser(sub)
     add_serve_parser(sub)
+    add_mesh_parser(sub)
     add_sim_parser(sub)
     return parser
 
@@ -226,6 +233,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command in ("serve", "submit", "jobs"):
         from .serve.cli import serve_main
         return serve_main(args)
+    if args.command == "mesh":
+        from .mesh.cli import mesh_main
+        return mesh_main(args)
     if args.command == "sim":
         from .sim.cli import sim_main
         return sim_main(args)

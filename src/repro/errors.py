@@ -92,6 +92,17 @@ class SanitizerError(ReproError):
     """
 
 
+class MeshError(ReproError):
+    """Base class for errors raised by the :mod:`repro.mesh` subsystem
+    (router admission, shard supervision, stream relays)."""
+
+
+class NoShardAvailableError(MeshError):
+    """Raised when every shard a key hashes to is marked down — the
+    router maps it to ``503 Service Unavailable`` so clients retry
+    after the supervisor restarts a shard."""
+
+
 class SimulationError(ReproError):
     """Raised by :mod:`repro.sim` for malformed plans, topologies,
     scheduler protocol violations (assigning a finished task, an

@@ -84,6 +84,31 @@ def _normalize_tables(result: Any, title: str,
     return [{"title": title, "header": list(header or []), "rows": rows}]
 
 
+def reset_inherited_signals() -> None:
+    """Detach a fork-started worker from its parent's signal plumbing.
+
+    A worker forked from an asyncio parent inherits the parent's
+    Python-level signal handlers *and* its wakeup fd — a dup of the
+    event loop's self-pipe.  If such a worker is then SIGTERMed (batch
+    reap, deadline kill, cancel-the-loser), CPython's signal trampoline
+    writes the signum into that shared pipe and the PARENT's loop
+    dispatches its own SIGTERM callback: the server shuts itself down
+    because its worker died.  Restoring default dispositions and
+    clearing the wakeup fd first thing in the child severs the link.
+    """
+    import signal
+
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):
+        pass                        # non-main thread or closed fd
+    for sig in (signal.SIGTERM, signal.SIGINT, signal.SIGHUP):
+        try:
+            signal.signal(sig, signal.SIG_DFL)
+        except (ValueError, OSError):
+            pass
+
+
 def _child_main(payload: dict) -> None:
     """Run one task inside a worker process and write its result file.
 
@@ -91,6 +116,7 @@ def _child_main(payload: dict) -> None:
     inside the experiment's ``check``) writes a traceback to the error
     file and exits 1.
     """
+    reset_inherited_signals()
     out = Path(payload["outfile"])
     err = Path(payload["errfile"])
     try:

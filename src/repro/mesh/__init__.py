@@ -1,0 +1,35 @@
+"""repro.mesh — sharded serving: consistent-hash routing, hedging, chaos.
+
+Turns N independent ``repro serve`` processes into one service:
+
+* :mod:`repro.mesh.ring` — deterministic consistent-hash ring mapping
+  job cache keys to shards (sha256, virtual replicas; adding a shard
+  moves ~1/N of the key space).
+* :mod:`repro.mesh.router` — stdlib asyncio front process: routes by
+  cache key, relays binary ``/v1/stream`` uploads without
+  materialising them, hedges slow sync solves onto a second shard,
+  and requeues in-flight jobs of a dead shard exactly once.
+* :mod:`repro.mesh.shards` — shard subprocess supervisor (spawn,
+  SIGKILL, restart on the same port) used by ``repro mesh up``, the
+  chaos harness, and the kill/restart tests.
+* :mod:`repro.mesh.harness` — in-process router/mesh fixtures shared
+  by the test suite and ``benchmarks/bench_mesh.py``.
+
+The mesh needs no gossip and no metadata service: the ``.lab-cache``
+key is location-independent, so any shard can answer any repeat
+submission — routing only concentrates *in-flight* work per key onto
+one shard (cache locality + single computation), and the shared cache
+root makes failover trivially correct.
+"""
+
+from .ring import HashRing
+from .router import MeshConfig, Router
+from .shards import ShardSpec, ShardSupervisor
+
+__all__ = [
+    "HashRing",
+    "MeshConfig",
+    "Router",
+    "ShardSpec",
+    "ShardSupervisor",
+]

@@ -1,0 +1,78 @@
+"""Deterministic consistent-hash ring over shard identities.
+
+sha256-based and entropy-free: the same shard set and the same key
+stream produce byte-identical assignments in every process on every
+platform (the router's coroutines are determinism-pass roots, so even
+the *routing* layer is held to the reproducibility bar).  Virtual
+replicas smooth the load split; with ``replicas`` points per shard,
+adding one shard to an N-shard ring reassigns ~1/(N+1) of the key
+space and leaves every other key where it was — the property the
+kill/restart story leans on (a restarted shard owns exactly its old
+keys again) and the hypothesis suite pins down.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+__all__ = ["HashRing"]
+
+_DEFAULT_REPLICAS = 64
+
+
+def _point(label: str) -> int:
+    """Ring coordinate of a label: first 8 bytes of sha256, big-endian."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring mapping keys to shard ids."""
+
+    def __init__(self, shards: Iterable[str],
+                 replicas: int = _DEFAULT_REPLICAS) -> None:
+        self.shards: tuple[str, ...] = tuple(dict.fromkeys(shards))
+        if not self.shards:
+            raise ValueError("HashRing needs at least one shard")
+        self.replicas = max(1, int(replicas))
+        points: list[tuple[int, str]] = []
+        for shard in self.shards:
+            for replica in range(self.replicas):
+                points.append((_point(f"{shard}#{replica}"), shard))
+        # ties (sha256 collisions on 64 bits) broken by shard id so the
+        # sort — and therefore every assignment — is total and stable
+        points.sort()
+        self._points = points
+        self._coords = [coord for coord, _ in points]
+
+    def assign(self, key: str) -> str:
+        """The shard owning ``key`` (first ring point clockwise)."""
+        return self.preference(key, 1)[0]
+
+    def preference(self, key: str, count: int | None = None,
+                   ) -> tuple[str, ...]:
+        """Distinct shards in clockwise order from ``key``'s position.
+
+        Index 0 is the owner; subsequent entries are the deterministic
+        failover / hedging order.  ``count=None`` returns all shards.
+        """
+        want = len(self.shards) if count is None else min(
+            int(count), len(self.shards))
+        start = bisect.bisect_right(self._coords, _point(key))
+        seen: list[str] = []
+        for i in range(len(self._points)):
+            shard = self._points[(start + i) % len(self._points)][1]
+            if shard not in seen:
+                seen.append(shard)
+                if len(seen) == want:
+                    break
+        return tuple(seen)
+
+    def spread(self, keys: Sequence[str]) -> dict[str, int]:
+        """Keys-per-shard histogram (load-balance diagnostics)."""
+        counts = {shard: 0 for shard in self.shards}
+        for key in keys:
+            counts[self.assign(key)] += 1
+        return counts

@@ -43,6 +43,11 @@ def add_serve_parser(sub) -> None:
                    help="content-addressed result cache ('' disables)")
     s.add_argument("--journal", default=None, metavar="PATH",
                    help="append JSONL serve events here")
+    s.add_argument("--shard-id", default=None, metavar="ID",
+                   help="mesh shard identity (echoed in handles/healthz)")
+    s.add_argument("--debug-slow-ms", type=int, default=0, metavar="MS",
+                   help="inject a per-job worker sleep (mesh chaos/"
+                        "hedging harness only)")
     s.add_argument("--self-check", action="store_true",
                    help="start, exercise the API end to end, shut down")
 
@@ -81,7 +86,9 @@ def _config_from_args(args) -> ServeConfig:
         host=args.host, port=args.port, workers=args.workers,
         batch_max=args.batch_max, batch_window_s=args.batch_window,
         queue_limit=args.queue_limit, default_deadline_s=args.deadline,
-        cache_dir=args.cache_dir or None, journal_path=args.journal)
+        cache_dir=args.cache_dir or None, journal_path=args.journal,
+        shard_id=args.shard_id,
+        debug_slow_s=args.debug_slow_ms / 1000.0)
 
 
 def _serve(args) -> int:

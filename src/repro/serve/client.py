@@ -106,6 +106,11 @@ class ServeClient:
     def _checked(self, method: str, path: str,
                  body: Mapping | None = None) -> Any:
         status, decoded, headers = self._request(method, path, body)
+        return self._raise_for_status(status, decoded, headers, method,
+                                      path)
+
+    def _raise_for_status(self, status: int, decoded: Any, headers: dict,
+                          method: str, path: str) -> Any:
         if status in (200, 202):
             return decoded
         error = (decoded.get("error", "") if isinstance(decoded, dict)
@@ -132,6 +137,54 @@ class ServeClient:
     def submit(self, request: Mapping) -> dict:
         """Asynchronous submit; returns the job handle immediately."""
         return self._checked("POST", "/v1/jobs", request)
+
+    def stream(self, request: Mapping, graph=None, *, n: int | None = None,
+               ptr=None, pins=None, chunk_bytes: int = 1 << 20) -> dict:
+        """Upload a CSR graph via the binary ``POST /v1/stream`` path.
+
+        ``request`` carries every job field *except* the graph; pass
+        either a :class:`~repro.core.hypergraph.Hypergraph` or the raw
+        ``(n, ptr, pins)`` arrays.  The body streams over the same
+        keep-alive connection as everything else (chunked client-side;
+        the server writes it straight into shared memory), and the
+        usual stale-socket retry applies — the encoder is re-run per
+        attempt, so a reconnect resends a complete frame.
+        """
+        from .stream import STREAM_CONTENT_TYPE, encode_stream
+        if graph is not None:
+            ptr, pins = graph.csr()
+            n = graph.n
+        if n is None or ptr is None or pins is None:
+            raise ServeClientError(
+                "stream() needs a graph or explicit n/ptr/pins")
+        for attempt in (1, 2):      # one retry on a stale keep-alive
+            chunks, total, _digest = encode_stream(
+                request, n=n, ptr=ptr, pins=pins, chunk_bytes=chunk_bytes)
+            conn = self._connection()
+            try:
+                conn.putrequest("POST", "/v1/stream")
+                conn.putheader("Content-Type", STREAM_CONTENT_TYPE)
+                conn.putheader("Content-Length", str(total))
+                conn.endheaders()
+                for chunk in chunks:
+                    conn.send(chunk)
+                resp = conn.getresponse()
+                raw = resp.read()
+                headers = {k.lower(): v for k, v in resp.getheaders()}
+                break
+            except (http.client.HTTPException, OSError) as exc:
+                self.close()
+                if attempt == 2:
+                    raise ServeClientError(
+                        f"cannot stream to {self.host}:{self.port}: "
+                        f"{exc}") from exc
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except ValueError as exc:
+            raise ServeClientError(
+                f"undecodable response body: {raw[:200]!r}") from exc
+        return self._raise_for_status(resp.status, decoded, headers,
+                                      "POST", "/v1/stream")
 
     def job(self, job_id: str) -> dict:
         return self._checked("GET", f"/v1/jobs/{job_id}")

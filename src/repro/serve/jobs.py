@@ -35,7 +35,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Awaitable, TypeVar
 
-from ..errors import DeadlineExceededError, JobNotFoundError, QueueFullError
+from ..errors import (DeadlineExceededError, JobNotFoundError,
+                      QueueFullError, ServeProtocolError)
 from ..lab.cache import ResultCache
 from ..lab.journal import RunJournal
 from .metrics import Metrics
@@ -133,7 +134,10 @@ class JobManager:
         cache: ResultCache | None = None,
         journal: RunJournal | None = None,
         metrics: Metrics | None = None,
+        debug_slow_s: float = 0.0,
     ) -> None:
+        # local import: stream.py needs with_deadline from this module
+        from .stream import SegmentRegistry
         self.workers = max(1, int(workers))
         self.batch_max = max(1, int(batch_max))
         self.batch_window_s = max(0.0, float(batch_window_s))
@@ -143,6 +147,11 @@ class JobManager:
         self.cache = cache
         self.journal = journal
         self.metrics = metrics if metrics is not None else Metrics()
+        self.debug_slow_s = max(0.0, float(debug_slow_s))
+        #: Refcounted shared-memory segments (streamed graphs + hoisted
+        #: inline specs).  Owned here so its lifetime matches the jobs
+        #: that reference it; emptied at stop().
+        self.segments = SegmentRegistry()
         self.jobs: dict[str, Job] = {}
         self._queue: asyncio.Queue = asyncio.Queue()
         self._queued_count = 0      # admission depth (queue + coalescing)
@@ -183,6 +192,7 @@ class JobManager:
                 await with_deadline(asyncio.shield(t), 5.0)
             except BaseException:  # analyze: allow(silent-except) — shutdown must drain every task even if some died screaming; their workers were already killed by run_batch's finally
                 pass
+        self.segments.close_all()
         shutil.rmtree(self._scratch, ignore_errors=True)
 
     # ------------------------------------------------------------------
@@ -212,6 +222,13 @@ class JobManager:
                           cached=True)
             return job
         self.metrics.inc("cache_misses")
+        if (request.shm_ref is None
+                and "stream" in request.params.get("graph", {})):
+            # a by-digest resubmission can only be answered from the
+            # cache: the binary payload is not on this shard
+            raise ServeProtocolError(
+                "no cached result for this streamed graph; re-upload "
+                "it via POST /v1/stream")
         if self._queued_count >= self.queue_limit:
             self.metrics.inc("shed")
             raise QueueFullError(
@@ -340,16 +357,21 @@ class JobManager:
                            if self.cache is not None
                            and job.request.use_cache
                            else self._scratch / f"{job.key}.json")
+                shm_desc = (self.segments.descriptor(job.request.shm_ref)
+                            if job.request.shm_ref is not None else None)
                 member = BatchMember(
                     key=job.id, seed=job.request.seed,
                     params=job.request.params, outfile=outfile,
                     errfile=self._scratch / f"{job.id}.err.json",
-                    deadline_mono=job.deadline_mono)
+                    deadline_mono=job.deadline_mono,
+                    shm_desc=shm_desc)
                 members[job.id] = (member, job)
             self._journal_batch(batch)
             await with_deadline(
                 run_batch([m for m, _ in members.values()],
-                          on_outcome=self._on_outcome),
+                          on_outcome=self._on_outcome,
+                          registry=self.segments,
+                          debug_slow_s=self.debug_slow_s),
                 self._batch_budget(batch))
         except DeadlineExceededError:
             # backstop only: run_batch enforces per-member deadlines
@@ -427,6 +449,10 @@ class JobManager:
         job.cached = cached
         job.finished_ts = time.time()
         job.latency_s = time.monotonic() - job.submitted_mono
+        if job.request.shm_ref is not None:
+            # the job's pin on its streamed segment ends with the job;
+            # the registry parks (and eventually evicts) the segment
+            self.segments.release(job.request.shm_ref)
         self.metrics.inc(f"jobs_{status}")
         if status == "done":
             self.metrics.observe_latency(job.latency_s)

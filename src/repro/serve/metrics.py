@@ -31,7 +31,8 @@ def _percentile(values: list[float], p: float) -> float:
 class Metrics:
     """Mutable metric registry for one server instance."""
 
-    def __init__(self) -> None:
+    def __init__(self, prefix: str = "repro_serve_") -> None:
+        self.prefix = prefix
         self.counters: dict[str, float] = {}
         self.worker_counters: dict[str, float] = {}
         self.latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
@@ -93,21 +94,22 @@ class Metrics:
             lines.append(f"# TYPE {name} {kind}")
             lines.append(f"{name} {value:g}")
 
+        pre = self.prefix
         for name in sorted(self.counters):
-            emit(f"repro_serve_{name}_total", self.counters[name])
+            emit(f"{pre}{name}_total", self.counters[name])
         for name in sorted(self.gauges):
-            emit(f"repro_serve_{name}", self.gauges[name](), kind="gauge")
+            emit(f"{pre}{name}", self.gauges[name](), kind="gauge")
         q = self.latency_quantiles()
-        emit("repro_serve_request_latency_p50_seconds", q["p50"],
+        emit(f"{pre}request_latency_p50_seconds", q["p50"],
              "p50 latency of completed requests (bounded window)", "gauge")
-        emit("repro_serve_request_latency_p99_seconds", q["p99"],
+        emit(f"{pre}request_latency_p99_seconds", q["p99"],
              "p99 latency of completed requests (bounded window)", "gauge")
-        emit("repro_serve_cache_hit_rate", self.cache_hit_rate(),
+        emit(f"{pre}cache_hit_rate", self.cache_hit_rate(),
              "fraction of jobs answered from the content-addressed cache",
              "gauge")
         for name in sorted(self.worker_counters):
-            lines.append("# TYPE repro_serve_worker_counter counter")
+            lines.append(f"# TYPE {pre}worker_counter counter")
             lines.append(
-                f'repro_serve_worker_counter{{name="{name}"}} '
+                f'{pre}worker_counter{{name="{name}"}} '
                 f"{self.worker_counters[name]:g}")
         return "\n".join(lines) + "\n"

@@ -36,7 +36,8 @@ from typing import Callable, Mapping, Sequence
 from .. import instrument
 from ..errors import ReproError, SharedMemoryError
 from ..lab.cache import atomic_write_json
-from ..lab.executor import mp_context, reap_process, terminate_process
+from ..lab.executor import (mp_context, reap_process,
+                            reset_inherited_signals, terminate_process)
 
 __all__ = ["BatchMember", "MemberOutcome", "run_batch"]
 
@@ -58,6 +59,10 @@ class BatchMember:
     outfile: Path
     errfile: Path
     deadline_mono: float | None     # time.monotonic() deadline, None = no cap
+    #: Pre-resident shared segment (streamed graph): the manager pins it
+    #: in the registry for the job's lifetime, so dispatch just rewrites
+    #: the shipped graph spec to this descriptor — no hoisting needed.
+    shm_desc: dict | None = None
 
 
 @dataclass
@@ -83,10 +88,18 @@ def _batch_main(payload: dict) -> None:
     """
     from .runner import solve
 
+    reset_inherited_signals()
+
+    debug_slow_s = float(payload.get("debug_slow_s", 0.0))
     for job in payload["jobs"]:
         out = Path(job["outfile"])
         err = Path(job["errfile"])
         try:
+            if debug_slow_s > 0:
+                # mesh chaos harness only: manufactures a slow shard so
+                # hedging has something to beat; plumbed through config,
+                # never read from the environment (determinism pass)
+                time.sleep(debug_slow_s)
             instrument.reset()
             t0 = time.perf_counter()
             result = solve(seed=job["seed"], **job["params"])
@@ -125,53 +138,86 @@ def _spec_payload_bytes(spec: Mapping) -> int:
     return 0                            # generator / shm: already tiny
 
 
-async def _hoist_graphs(ordered: Sequence[BatchMember]) -> tuple[list, list]:
+async def _hoist_graphs(ordered: Sequence[BatchMember],
+                        registry=None) -> tuple[list, list, list]:
     """Move large inline graph specs into shared memory, once per graph.
 
-    Returns ``(params_per_member, owned_handles)``.  Every member whose
-    spec was hoisted gets its ``graph`` rewritten to ``{"shm":
-    descriptor}`` — ~100 bytes across the pipe instead of a pickled
-    megabyte-scale spec, and members sharing a graph (the common case in
-    a micro-batch) share one segment and one parse.  Job cache keys are
-    computed from the *original* params at admission, so the rewrite is
-    transport-only.  A spec that fails to build here is left inline so
-    the worker raises the proper per-job error; a full ``/dev/shm`` also
-    falls back to inline.  The caller owns the returned handles and must
-    close+unlink them once the worker is done.
+    Returns ``(params_per_member, owned_handles, registry_refs)``.
+    Every member whose spec was hoisted gets its ``graph`` rewritten to
+    ``{"shm": descriptor}`` — ~100 bytes across the pipe instead of a
+    pickled megabyte-scale spec, and members sharing a graph (the
+    common case in a micro-batch) share one segment and one parse.  Job
+    cache keys are computed from the *original* params at admission, so
+    the rewrite is transport-only.  A spec that fails to build here is
+    left inline so the worker raises the proper per-job error; a full
+    ``/dev/shm`` also falls back to inline.
+
+    With a :class:`~repro.serve.stream.SegmentRegistry` the segment is
+    adopted there under its content address (``"spec:<sha256>"``) and
+    pinned for this dispatch — back-to-back batches over the same graph
+    then reuse one segment and one parse, and the registry's idle LRU
+    (not this dispatch) decides when it dies.  Without a registry the
+    caller owns the returned handles and must close+unlink them once
+    the worker is done.  Members with a pre-resident ``shm_desc``
+    (streamed graphs, pinned by the manager) are rewritten directly and
+    never hoisted here.
     """
+    import hashlib
     import json
 
     from ..core.shm import SharedCSR
     from .protocol import build_graph
 
     handles: list = []
+    refs: list = []
     by_spec: dict[str, dict | None] = {}
     params_out: list[Mapping] = []
     for m in ordered:
         params = m.params
+        if m.shm_desc is not None:
+            params = dict(params)
+            params["graph"] = {"shm": m.shm_desc}
+            params_out.append(params)
+            continue
         spec = params.get("graph")
         if (isinstance(spec, Mapping)
                 and _spec_payload_bytes(spec) >= _SHM_SPEC_MIN_BYTES):
             key = json.dumps(spec, sort_keys=True)
             if key not in by_spec:
-                try:
-                    # analyze: allow(serve-timeout) — bounded transitively:
-                    # run_batch (the only caller) is itself awaited under
-                    # with_deadline(batch budget) by the job manager, and
-                    # build_graph is CPU-bound parsing, not unbounded I/O.
-                    graph = await asyncio.to_thread(build_graph, params)
-                    shared = SharedCSR.from_hypergraph(graph)
-                except (ReproError, SharedMemoryError, MemoryError):
-                    by_spec[key] = None     # worker handles it inline
+                ref = ("spec:" + hashlib.sha256(key.encode()).hexdigest()
+                       if registry is not None else None)
+                if ref is not None and registry.acquire(ref):
+                    refs.append(ref)
+                    by_spec[key] = registry.descriptor(ref)
                 else:
-                    handles.append(shared)
-                    by_spec[key] = shared.descriptor()
+                    try:
+                        # analyze: allow(serve-timeout) — bounded
+                        # transitively: run_batch (the only caller) is
+                        # itself awaited under with_deadline(batch
+                        # budget) by the job manager, and build_graph is
+                        # CPU-bound parsing, not unbounded I/O.
+                        graph = await asyncio.to_thread(build_graph,
+                                                        params)
+                        shared = SharedCSR.from_hypergraph(graph)
+                    except (ReproError, SharedMemoryError, MemoryError):
+                        by_spec[key] = None  # worker handles it inline
+                    else:
+                        # ownership first (registry or handles list owns
+                        # the segment from here), descriptor after — no
+                        # statement sits between acquire and hand-off
+                        if ref is not None:
+                            registry.adopt(ref, shared)
+                            registry.acquire(ref)
+                            refs.append(ref)
+                        else:
+                            handles.append(shared)
+                        by_spec[key] = shared.descriptor()
             desc = by_spec[key]
             if desc is not None:
                 params = dict(params)
                 params["graph"] = {"shm": desc}
         params_out.append(params)
-    return params_out, handles
+    return params_out, handles, refs
 
 
 def _harvest(member: BatchMember) -> MemberOutcome | None:
@@ -204,12 +250,16 @@ async def run_batch(
     *,
     on_outcome: Callable[[BatchMember, MemberOutcome], None],
     poll_s: float = _POLL_S,
+    registry=None,
+    debug_slow_s: float = 0.0,
 ) -> None:
     """Dispatch ``members`` to one worker process and stream outcomes.
 
     ``on_outcome`` fires exactly once per member, in completion order.
     Cancellation (server shutdown) kills the worker and reports every
-    unresolved member as ``lost``.
+    unresolved member as ``lost``.  ``registry`` (a
+    :class:`~repro.serve.stream.SegmentRegistry`) makes hoisted graph
+    segments outlive this dispatch for reuse by the next one.
     """
     if not members:
         return
@@ -218,11 +268,13 @@ async def run_batch(
         key=lambda m: (m.deadline_mono is None,
                        m.deadline_mono if m.deadline_mono is not None
                        else 0.0))
-    shipped_params, shm_handles = await _hoist_graphs(ordered)
+    shipped_params, shm_handles, shm_refs = await _hoist_graphs(
+        ordered, registry)
     payload = {"jobs": [{"seed": m.seed, "params": dict(p),
                          "outfile": str(m.outfile),
                          "errfile": str(m.errfile)}
-                        for m, p in zip(ordered, shipped_params)]}
+                        for m, p in zip(ordered, shipped_params)],
+               "debug_slow_s": float(debug_slow_s)}
     for m in ordered:
         m.outfile.parent.mkdir(parents=True, exist_ok=True)
         m.errfile.parent.mkdir(parents=True, exist_ok=True)
@@ -291,9 +343,12 @@ async def run_batch(
         terminate_process(proc)
         raise
     finally:
-        # parent owns the hoisted segments: drop them system-wide now
-        # that the worker is gone (every exit path above kills or joins
-        # it first), covering the early returns and exceptions alike
+        # parent owns the hoisted segments: drop registry pins (the
+        # idle LRU decides when the segment actually dies) and unlink
+        # registry-less handles outright, now that the worker is gone
+        # (every exit path above kills or joins it first)
+        for ref in shm_refs:
+            registry.release(ref)
         for shared in shm_handles:
             shared.close()
             shared.unlink()

@@ -77,6 +77,9 @@ class JobRequest:
     mode: str = "auto"
     use_cache: bool = True
     est_pins: int = 0               # admission-time size estimate
+    #: Segment-registry reference for a streamed graph (transport
+    #: state, never part of the cache key; see repro.serve.stream).
+    shm_ref: str | None = None
 
     @property
     def op(self) -> str:
@@ -113,11 +116,14 @@ def _num_list(obj: Any, what: str) -> list[float]:
 def _parse_graph(graph: Any) -> tuple[dict, int]:
     """Validate the graph spec; return (canonical spec, estimated pins)."""
     _require(isinstance(graph, dict), "'graph' must be an object")
-    kinds = [k for k in ("hgr", "edges", "csr", "generator") if k in graph]
+    kinds = [k for k in ("hgr", "edges", "csr", "generator", "stream")
+             if k in graph]
     _require(len(kinds) == 1,
              "'graph' must contain exactly one of 'hgr', 'edges', 'csr', "
-             f"'generator'; got {sorted(graph)}")
+             f"'generator', 'stream'; got {sorted(graph)}")
     kind = kinds[0]
+    if kind == "stream":
+        return _parse_stream_ref(graph["stream"])
     if kind == "hgr":
         text = graph["hgr"]
         _require(isinstance(text, str) and text.strip() != "",
@@ -181,6 +187,28 @@ def _parse_graph(graph: Any) -> tuple[dict, int]:
     # generators emit O(n)–O(n log n) pins; coarse admission estimate
     est = int(spec["n"]) * 4
     return {"generator": spec}, est
+
+
+def _parse_stream_ref(ref: Any) -> tuple[dict, int]:
+    """Validate a streamed-graph content address (see repro.serve.stream).
+
+    This spec is what a ``/v1/stream`` upload is cache-keyed under; a
+    later JSON submit may carry it too (resubmission of a completed
+    key), but can only be *answered* from the cache — the binary
+    payload itself never travels through this parser.
+    """
+    _require(isinstance(ref, dict), "'graph.stream' must be an object")
+    digest = ref.get("digest")
+    _require(isinstance(digest, str) and len(digest) == 64
+             and all(c in "0123456789abcdef" for c in digest),
+             "'graph.stream.digest' must be 64 lowercase hex chars")
+    dims = {}
+    for key in ("n", "m", "pins"):
+        dims[key] = _as_int(ref.get(key), f"'graph.stream.{key}'")
+        _require(dims[key] >= 0, f"'graph.stream.{key}' must be >= 0")
+    spec = {"digest": digest, "n": dims["n"], "m": dims["m"],
+            "pins": dims["pins"]}
+    return {"stream": spec}, dims["pins"]
 
 
 #: Scheduler / imode / distribution vocabularies for the simulate op.
@@ -301,6 +329,15 @@ def build_graph(params: Mapping[str, Any]):
         # batch worker exits; the parent owns (and unlinks) the segment.
         from ..core.shm import SharedCSR
         return SharedCSR.attach(spec["shm"]).hypergraph()
+    if "stream" in spec:
+        # a streamed graph reaches workers only as a rewritten {"shm"}
+        # spec (the segment registry holds it while the job is in
+        # flight); seeing the bare content address here means the
+        # payload is gone — e.g. a cache-miss resubmission by digest
+        from ..errors import ServeProtocolError
+        raise ServeProtocolError(
+            "streamed graph payload is not resident on this shard; "
+            "re-upload it via POST /v1/stream")
     if "hgr" in spec:
         from ..io.hmetis import parse_hgr
         return parse_hgr(spec["hgr"], name="upload")

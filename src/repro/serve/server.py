@@ -9,11 +9,18 @@ Routes::
 
     POST   /v1/partition    solve (mode: sync | async | auto)
     POST   /v1/jobs         always async: returns a job handle
+    POST   /v1/stream       binary CSR ingest straight into shared memory
     GET    /v1/jobs         recent job summaries
     GET    /v1/jobs/{id}    poll one job (result included when done)
     DELETE /v1/jobs/{id}    cancel a queued job
     GET    /healthz         liveness + queue/cache/memory snapshot
     GET    /metrics         Prometheus text exposition
+
+``/v1/stream`` is the exception to "JSON in, JSON out": its body is
+the length-prefixed frame format of :mod:`repro.serve.stream`, read
+incrementally off the socket into a shared-memory segment instead of
+being materialised here (the framing helpers live in
+:mod:`repro.serve.http` so the mesh router can relay the same bytes).
 
 Error mapping: :class:`ServeProtocolError` → 400,
 :class:`JobNotFoundError` → 404, oversized body → 413,
@@ -36,9 +43,11 @@ from ..errors import (DeadlineExceededError, JobNotFoundError,
                       QueueFullError, ReproError, ServeProtocolError)
 from ..lab.cache import ResultCache
 from ..lab.journal import RunJournal
+from .http import HttpError, read_body, read_head, write_response
 from .jobs import Job, JobManager, with_deadline
 from .metrics import Metrics
 from .protocol import parse_job_request
+from .stream import ingest_stream
 
 __all__ = ["ServeConfig", "Server", "run_server"]
 
@@ -47,7 +56,6 @@ __all__ = ["ServeConfig", "Server", "run_server"]
 _AUTO_SYNC_PINS = 200_000
 
 _MAX_BODY = 64 * 1024 * 1024
-_HEADER_DEADLINE_S = 30.0
 
 
 @dataclass
@@ -64,24 +72,13 @@ class ServeConfig:
     small_pins: int = 20_000
     cache_dir: str | None = ".lab-cache"
     journal_path: str | None = None
+    #: Mesh shard identity; echoed in /healthz and job handles so the
+    #: router (and the chaos harness) can tell who served what.
+    shard_id: str | None = None
+    #: Debug-only worker slowdown (seconds per job) injected by the
+    #: mesh harness to manufacture a slow shard; 0 disables it.
+    debug_slow_s: float = 0.0
     extra: dict = field(default_factory=dict)
-
-
-class _HttpError(ReproError):
-    """Internal: carries an HTTP status through the handler stack."""
-
-    def __init__(self, status: int, message: str,
-                 headers: dict | None = None) -> None:
-        super().__init__(message)
-        self.status = status
-        self.headers = headers or {}
-
-
-_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
-            404: "Not Found", 405: "Method Not Allowed",
-            408: "Request Timeout", 413: "Payload Too Large",
-            429: "Too Many Requests", 500: "Internal Server Error",
-            504: "Gateway Timeout"}
 
 
 class Server:
@@ -101,7 +98,7 @@ class Server:
             queue_limit=cfg.queue_limit,
             default_deadline_s=cfg.default_deadline_s,
             small_pins=cfg.small_pins, cache=cache, journal=journal,
-            metrics=self.metrics)
+            metrics=self.metrics, debug_slow_s=cfg.debug_slow_s)
         self._server: asyncio.AbstractServer | None = None
         self._started_ts = time.time()
         self.port: int | None = None   # actual port (after bind)
@@ -153,28 +150,38 @@ class Server:
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        self.metrics.inc("http_connections")
         try:
             while True:
                 try:
-                    request = await self._read_request(reader)
+                    head = await read_head(reader)
                 except DeadlineExceededError:
                     break           # idle keep-alive connection: hang up
-                except _HttpError as exc:
-                    await self._write_response(
+                except HttpError as exc:
+                    await write_response(
                         writer, exc.status, {"error": str(exc)},
                         exc.headers, keep_alive=False)
                     break
-                if request is None:
+                if head is None:
                     break           # clean EOF between requests
-                method, target, headers, body = request
+                method, target, headers = head
                 self.metrics.inc("http_requests")
+                force_close = False
                 try:
-                    status, payload, extra = await self._route(
-                        method, target, body)
-                except _HttpError as exc:
+                    if (method == "POST"
+                            and target.split("?", 1)[0] == "/v1/stream"):
+                        status, payload, extra = await self._handle_stream(
+                            reader, headers)
+                    else:
+                        body = await read_body(reader, headers,
+                                               max_body=_MAX_BODY)
+                        status, payload, extra = await self._route(
+                            method, target, body)
+                except HttpError as exc:
                     status = exc.status
                     payload = {"error": str(exc)}
                     extra = exc.headers
+                    force_close = exc.close
                 except ServeProtocolError as exc:
                     status, payload, extra = 400, {"error": str(exc)}, {}
                 except JobNotFoundError as exc:
@@ -187,9 +194,10 @@ class Server:
                              str(self.manager.retry_after_hint())}
                 except ReproError as exc:
                     status, payload, extra = 500, {"error": str(exc)}, {}
-                keep_alive = (headers.get("connection", "") != "close")
-                await self._write_response(writer, status, payload,
-                                           extra, keep_alive)
+                keep_alive = (headers.get("connection", "") != "close"
+                              and not force_close)
+                await write_response(writer, status, payload,
+                                     extra, keep_alive)
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -202,60 +210,6 @@ class Server:
                 await with_deadline(writer.wait_closed(), 2.0)
             except (Exception, DeadlineExceededError):  # analyze: allow(silent-except) — socket teardown race; the fd is closed either way
                 pass
-
-    async def _read_request(self, reader: asyncio.StreamReader):
-        """Parse one framed request; None on EOF; _HttpError on garbage."""
-        line = await with_deadline(reader.readline(), _HEADER_DEADLINE_S)
-        if not line:
-            return None
-        try:
-            method, target, _version = line.decode("ascii").split()
-        except ValueError:
-            raise _HttpError(400, "malformed request line") from None
-        headers: dict[str, str] = {}
-        while True:
-            raw = await with_deadline(reader.readline(),
-                                      _HEADER_DEADLINE_S)
-            if raw in (b"\r\n", b"\n", b""):
-                break
-            try:
-                name, _, value = raw.decode("latin-1").partition(":")
-            except UnicodeDecodeError:
-                raise _HttpError(400, "undecodable header") from None
-            headers[name.strip().lower()] = value.strip().lower() \
-                if name.strip().lower() == "connection" else value.strip()
-        body = b""
-        length = headers.get("content-length")
-        if length is not None:
-            try:
-                n = int(length)
-            except ValueError:
-                raise _HttpError(400, "bad Content-Length") from None
-            if n > _MAX_BODY:
-                raise _HttpError(413, f"body of {n} bytes exceeds the "
-                                      f"{_MAX_BODY} byte limit")
-            if n:
-                body = await with_deadline(reader.readexactly(n),
-                                           _HEADER_DEADLINE_S)
-        return method.upper(), target, headers, body
-
-    async def _write_response(self, writer: asyncio.StreamWriter,
-                              status: int, payload: dict,
-                              extra: dict, keep_alive: bool) -> None:
-        if "_raw" in payload:       # /metrics: Prometheus text format
-            body = payload["_raw"].encode()
-            ctype = "text/plain; version=0.0.4"
-        else:
-            body = json.dumps(payload).encode()
-            ctype = "application/json"
-        reason = _REASONS.get(status, "Unknown")
-        head = [f"HTTP/1.1 {status} {reason}",
-                f"Content-Type: {ctype}",
-                f"Content-Length: {len(body)}",
-                f"Connection: {'keep-alive' if keep_alive else 'close'}"]
-        head.extend(f"{k}: {v}" for k, v in extra.items())
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
-        await writer.drain()
 
     # ------------------------------------------------------------------
     # Routing
@@ -276,20 +230,23 @@ class Server:
         if target.startswith("/v1/jobs/"):
             job_id = target[len("/v1/jobs/"):]
             if method == "GET":
-                return 200, self.manager.get(job_id).describe(), {}
+                return 200, self._tag(self.manager.get(job_id)
+                                      .describe()), {}
             if method == "DELETE":
-                return 200, self.manager.cancel(job_id).describe(), {}
-        raise _HttpError(405 if target in ("/v1/partition", "/v1/jobs",
-                                           "/healthz", "/metrics")
-                         else 404,
-                         f"no route for {method} {target}")
+                return 200, self._tag(self.manager.cancel(job_id)
+                                      .describe()), {}
+        raise HttpError(405 if target in ("/v1/partition", "/v1/jobs",
+                                          "/v1/stream", "/healthz",
+                                          "/metrics")
+                        else 404,
+                        f"no route for {method} {target}")
 
     async def _handle_solve(self, body: bytes,
                             force_async: bool = False):
         try:
             obj = json.loads(body or b"{}")
         except ValueError:
-            raise _HttpError(400, "request body is not valid JSON") \
+            raise HttpError(400, "request body is not valid JSON") \
                 from None
         request = parse_job_request(obj)
         job = self.manager.submit(request)
@@ -299,15 +256,30 @@ class Server:
                     else "async")
         if job.done or mode == "async":
             status = 200 if job.done else 202
-            return status, job.describe(), {}
+            return status, self._tag(job.describe()), {}
         remaining = None
         if job.deadline_mono is not None:
             remaining = max(0.05, job.deadline_mono - time.monotonic())
         try:
             await with_deadline(asyncio.shield(job.future), remaining)
         except DeadlineExceededError:
-            return 504, job.describe(with_result=False), {}
-        return 200, job.describe(), {}
+            return 504, self._tag(job.describe(with_result=False)), {}
+        return 200, self._tag(job.describe()), {}
+
+    async def _handle_stream(self, reader: asyncio.StreamReader,
+                             headers: dict) -> tuple[int, dict, dict]:
+        """Binary CSR ingest: segment-backed submit, always async."""
+        job = await ingest_stream(reader, headers, manager=self.manager,
+                                  metrics=self.metrics,
+                                  max_body=_MAX_BODY)
+        status = 200 if job.done else 202
+        return status, self._tag(job.describe()), {}
+
+    def _tag(self, payload: dict) -> dict:
+        """Stamp this shard's identity onto a job handle."""
+        if self.config.shard_id is not None:
+            payload["shard"] = self.config.shard_id
+        return payload
 
     # ------------------------------------------------------------------
     # Introspection
@@ -320,6 +292,7 @@ class Server:
             rss_kb = 0
         return {
             "status": "ok",
+            "shard": self.config.shard_id,
             "uptime_s": round(time.time() - self._started_ts, 3),
             "pid": os.getpid(),
             "queue_depth": self.manager.queue_depth,

@@ -1,0 +1,453 @@
+"""Binary CSR streaming: wire codec, shared-segment registry, ingest.
+
+The JSON graph specs in :mod:`repro.serve.protocol` materialise every
+pin as a Python ``int`` twice (client ``json.dumps``, server
+``json.loads`` + per-int validation) — at 10^6 pins that is seconds of
+pure serialisation before a worker sees the graph.  ``POST /v1/stream``
+replaces that path: the client sends the CSR arrays as length-prefixed
+raw ``int64`` chunks and the server writes them *directly into a
+shared-memory segment* as they arrive off the socket.  The worker then
+attaches the segment zero-copy; no JSON, no Python-int round trip, no
+second copy of the pin list anywhere.
+
+Wire format (one HTTP request body, ``Content-Length``-framed)::
+
+    magic   b"RMSH1\\n"
+    header  u32 LE length, then JSON:
+              {"request": {...job fields, no "graph"...},
+               "csr": {"n": int, "m": int, "pins": int},
+               "digest": "<sha256 hex of ptr bytes || pin bytes>"}
+    chunks  repeated: u8 kind (0 = ptr, 1 = pins),
+                      u64 LE payload bytes,
+                      raw little-endian int64 data
+            (all ptr chunks first, then all pin chunks; chunk
+            boundaries are arbitrary — the digest is over the logical
+            array bytes, so it is chunking-independent)
+
+Cache identity: the canonical graph spec is
+``{"stream": {"digest", "n", "m", "pins"}}`` — content-addressed like
+every other spec, so a repeat upload (or a later JSON poll of the same
+key) is a cache hit on any shard.  The shared-memory descriptor itself
+is transport state, never part of the key.
+
+Segments are content-addressed too: a finished upload lives under
+``repro_stream_<digest[:24]>`` with a ``ready`` flag set only after the
+arrays are complete and digest-verified, so N shard processes on one
+host ingesting the same graph share *one* parent-owned segment — the
+second shard attaches instead of allocating (the cross-shard half of
+the refcounting story; :class:`SegmentRegistry` is the in-process
+half).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import struct
+from collections import OrderedDict
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from ..core.shm import SharedCSR
+from ..errors import ReproError, ServeProtocolError, SharedMemoryError
+from .http import HttpError, content_length
+from .jobs import with_deadline
+from .protocol import MAX_PINS, JobRequest, parse_job_request
+
+__all__ = [
+    "SegmentRegistry",
+    "csr_digest",
+    "encode_stream",
+    "ingest_stream",
+    "request_from_header",
+]
+
+MAGIC = b"RMSH1\n"
+STREAM_CONTENT_TYPE = "application/x-repro-stream"
+CHUNK_PTR = 0
+CHUNK_PINS = 1
+
+_STREAM_SEG_PREFIX = "repro_stream_"
+_HEADER_MAX_BYTES = 1 << 20
+_READ_DEADLINE_S = 30.0
+
+#: Zero-reference segments kept resident for reuse before eviction.
+#: Bounds idle /dev/shm usage to a handful of graphs per process; the
+#: registry's ``close_all`` (server shutdown) clears even those.
+_RETAIN_IDLE_SEGMENTS = 4
+
+
+# ---------------------------------------------------------------------------
+# Codec (client side; also used by the mesh router to peek at headers)
+# ---------------------------------------------------------------------------
+
+def csr_digest(ptr: np.ndarray, pins: np.ndarray) -> str:
+    """sha256 over the logical array bytes (ptr first, then pins)."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(ptr, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(pins, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def stream_graph_spec(digest: str, n: int, m: int, pins: int) -> dict:
+    """The canonical (cache-keyed) graph spec for a streamed CSR."""
+    return {"stream": {"digest": digest, "n": int(n), "m": int(m),
+                       "pins": int(pins)}}
+
+
+def encode_stream(request: Mapping[str, Any], *, n: int,
+                  ptr: np.ndarray, pins: np.ndarray,
+                  chunk_bytes: int = 1 << 20,
+                  ) -> tuple[Iterator[bytes], int, str]:
+    """Frame a job request + CSR arrays for ``POST /v1/stream``.
+
+    Returns ``(chunk iterator, total body length, digest)`` — the
+    length is exact so the caller can send a correct ``Content-Length``
+    before the iterator runs.  ``request`` carries everything a JSON
+    submit would except the graph.
+    """
+    if "graph" in request:
+        raise ServeProtocolError(
+            "stream requests carry the graph as binary chunks; "
+            "remove 'graph' from the request object")
+    ptr_a = np.ascontiguousarray(ptr, dtype=np.int64)
+    pins_a = np.ascontiguousarray(pins, dtype=np.int64)
+    digest = csr_digest(ptr_a, pins_a)
+    header = {"request": dict(request),
+              "csr": {"n": int(n), "m": int(len(ptr_a)) - 1,
+                      "pins": int(len(pins_a))},
+              "digest": digest}
+    hjson = json.dumps(header, sort_keys=True).encode()
+    chunk_bytes = max(8, int(chunk_bytes))
+
+    def spans(nbytes: int) -> list[tuple[int, int]]:
+        return [(off, min(off + chunk_bytes, nbytes))
+                for off in range(0, nbytes, chunk_bytes)]
+
+    total = len(MAGIC) + 4 + len(hjson)
+    for arr in (ptr_a, pins_a):
+        total += sum(9 + (hi - lo) for lo, hi in spans(arr.nbytes))
+
+    def gen() -> Iterator[bytes]:
+        yield MAGIC + struct.pack("<I", len(hjson)) + hjson
+        for kind, arr in ((CHUNK_PTR, ptr_a), (CHUNK_PINS, pins_a)):
+            raw = arr.tobytes()
+            for lo, hi in spans(len(raw)):
+                yield struct.pack("<BQ", kind, hi - lo) + raw[lo:hi]
+
+    return gen(), total, digest
+
+
+def request_from_header(header: Mapping[str, Any]) -> JobRequest:
+    """Validate a stream frame header into a :class:`JobRequest`.
+
+    Shared by the shard (ingest) and the router (routing key): both
+    must derive the *same* cache key from the same header bytes.
+    """
+    if not isinstance(header, Mapping):
+        raise ServeProtocolError("stream header must be a JSON object")
+    csr = header.get("csr")
+    if not isinstance(csr, Mapping):
+        raise ServeProtocolError("stream header needs a 'csr' object")
+    dims = {}
+    for field in ("n", "m", "pins"):
+        v = csr.get(field)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            raise ServeProtocolError(
+                f"stream header 'csr.{field}' must be a non-negative "
+                f"integer, got {v!r}")
+        dims[field] = v
+    digest = header.get("digest")
+    if (not isinstance(digest, str) or len(digest) != 64
+            or any(c not in "0123456789abcdef" for c in digest)):
+        raise ServeProtocolError(
+            "stream header 'digest' must be 64 lowercase hex chars")
+    req = header.get("request", {})
+    if not isinstance(req, Mapping):
+        raise ServeProtocolError("stream header 'request' must be an object")
+    if "graph" in req:
+        raise ServeProtocolError(
+            "stream header 'request' must not contain 'graph'")
+    obj = dict(req)
+    obj["graph"] = stream_graph_spec(digest, dims["n"], dims["m"],
+                                     dims["pins"])
+    return parse_job_request(obj)
+
+
+# ---------------------------------------------------------------------------
+# Segment registry (one per server process)
+# ---------------------------------------------------------------------------
+
+class SegmentRegistry:
+    """Refcounted shared-memory segments, keyed by content address.
+
+    Keys are ``"csr:<digest>"`` (streamed uploads) and
+    ``"spec:<sha256 of canonical JSON>"`` (hoisted inline specs); the
+    prefixes keep the two content-address spaces from colliding.  A
+    segment is *live* while any in-flight job references it, then
+    parked in a small idle LRU so back-to-back batches over the same
+    graph reuse one segment and one parse; eviction (and
+    :meth:`close_all` at shutdown) closes and — if this process owns
+    the segment — unlinks it.  Single-threaded by design: every caller
+    runs on the server's event loop.
+    """
+
+    def __init__(self, retain: int = _RETAIN_IDLE_SEGMENTS) -> None:
+        self._retain = max(0, int(retain))
+        self._live: dict[str, list] = {}        # ref -> [handle, refcount]
+        self._idle: OrderedDict[str, SharedCSR] = OrderedDict()
+
+    def __contains__(self, ref: str) -> bool:
+        return ref in self._live or ref in self._idle
+
+    def __len__(self) -> int:
+        return len(self._live) + len(self._idle)
+
+    def adopt(self, ref: str, shared: SharedCSR) -> None:
+        """Take ownership of ``shared`` under ``ref`` (zero refs)."""
+        if ref in self:
+            # content-addressed duplicate (two concurrent uploads of
+            # the same graph through different code paths): keep the
+            # registered one, drop the newcomer
+            shared.close()
+            shared.unlink()
+            return
+        self._idle[ref] = shared
+        self._evict()
+
+    def acquire(self, ref: str) -> bool:
+        """Pin ``ref`` for one in-flight use; False if unknown."""
+        if ref in self._live:
+            self._live[ref][1] += 1
+            return True
+        if ref in self._idle:
+            self._live[ref] = [self._idle.pop(ref), 1]
+            return True
+        return False
+
+    def release(self, ref: str) -> None:
+        """Drop one reference; last one parks the segment in the LRU."""
+        entry = self._live.get(ref)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del self._live[ref]
+            self._idle[ref] = entry[0]
+            self._evict()
+
+    def descriptor(self, ref: str) -> dict | None:
+        """Picklable attach descriptor for a registered segment."""
+        if ref in self._live:
+            return self._live[ref][0].descriptor()
+        if ref in self._idle:
+            return self._idle[ref].descriptor()
+        return None
+
+    def _evict(self) -> None:
+        while len(self._idle) > self._retain:
+            _ref, shared = self._idle.popitem(last=False)
+            shared.close()
+            shared.unlink()
+
+    def close_all(self) -> None:
+        """Shutdown: close + unlink everything, refcounts be damned."""
+        for entry in self._live.values():
+            entry[0].close()
+            entry[0].unlink()
+        self._live.clear()
+        for shared in self._idle.values():
+            shared.close()
+            shared.unlink()
+        self._idle.clear()
+
+
+# ---------------------------------------------------------------------------
+# Server-side ingest
+# ---------------------------------------------------------------------------
+
+def _csr_fields(n: int, m: int, pins: int) -> dict:
+    """Field table matching :meth:`SharedCSR.allocate` exactly."""
+    return {"edge_ptr": [[m + 1], "<i8"],
+            "edge_pins": [[pins], "<i8"],
+            "node_weights": [[n], "<f8"],
+            "edge_weights": [[m], "<f8"],
+            "ready": [[1], "<i8"]}
+
+
+def segment_name(digest: str) -> str:
+    return _STREAM_SEG_PREFIX + digest[:24]
+
+
+def _attach_ready(digest: str, n: int, m: int, pins: int) -> SharedCSR | None:
+    """Attach a finished upload published by another process, or None."""
+    descriptor = {"arrays": {"seg": segment_name(digest),
+                             "fields": _csr_fields(n, m, pins)},
+                  "n": n, "name": None}
+    try:
+        shared = SharedCSR.attach(descriptor)
+    except SharedMemoryError:
+        return None
+    if int(shared["ready"][0]) != 1:
+        # another writer is mid-fill; don't wait on it — the caller
+        # falls back to a private segment
+        shared.close()
+        return None
+    return shared
+
+
+def _allocate_segment(digest: str, n: int, m: int,
+                      pins: int) -> tuple[SharedCSR, bool]:
+    """(handle, created) — create the content-addressed segment or
+    attach to a ready one; races fall back to an anonymous segment."""
+    try:
+        return SharedCSR.allocate(n, m, pins,
+                                  name=segment_name(digest)), True
+    except FileExistsError:
+        ready = _attach_ready(digest, n, m, pins)
+        if ready is not None:
+            return ready, False
+        # raced an unfinished writer (or a stale leftover under the
+        # name): a private unnamed segment always works
+        return SharedCSR.allocate(n, m, pins), True
+
+
+async def ingest_stream(reader, headers: Mapping[str, str], *,
+                        manager, metrics, max_body: int):
+    """Consume one ``/v1/stream`` body; return the submitted Job.
+
+    The body is read incrementally: array chunks go straight into the
+    shared segment (or into the digest check when the segment already
+    exists).  Any framing violation raises ``HttpError(close=True)``
+    because the connection's byte position is unrecoverable; errors
+    after the full body was consumed keep the connection alive.
+    """
+    total = content_length(headers, max_body=max_body)
+    if total is None:
+        raise HttpError(411, "stream requests need a Content-Length")
+    consumed = 0
+
+    async def take(n: int) -> bytes:
+        nonlocal consumed
+        consumed += n
+        if consumed > total:
+            raise HttpError(400, "stream frame exceeds Content-Length",
+                            close=True)
+        return await with_deadline(reader.readexactly(n),
+                                   _READ_DEADLINE_S)
+
+    magic = await take(len(MAGIC))
+    if magic != MAGIC:
+        raise HttpError(400, "bad stream magic (expected RMSH1)",
+                        close=True)
+    (hlen,) = struct.unpack("<I", await take(4))
+    if hlen > _HEADER_MAX_BYTES:
+        raise HttpError(400, "stream header too large", close=True)
+    try:
+        header = json.loads(await take(hlen))
+    except ValueError:
+        raise HttpError(400, "stream header is not valid JSON",
+                        close=True) from None
+    try:
+        request = request_from_header(header)
+    except ReproError as exc:
+        raise HttpError(400, str(exc), close=True) from exc
+    spec = request.params["graph"]["stream"]
+    n, m, pins = spec["n"], spec["m"], spec["pins"]
+    digest = spec["digest"]
+    if pins > MAX_PINS:
+        raise HttpError(413, f"{pins} pins exceeds the server limit of "
+                             f"{MAX_PINS}", close=True)
+    ref = f"csr:{digest}"
+    registry = manager.segments
+
+    shared: SharedCSR | None = None
+    created = False
+    if not registry.acquire(ref):
+        reuse = _attach_ready(digest, n, m, pins)
+        if reuse is not None:
+            shared, created = reuse, False
+        else:
+            shared, created = _allocate_segment(digest, n, m, pins)
+    else:
+        metrics.inc("stream_segment_reuse")
+
+    try:
+        await _consume_chunks(take, shared if created else None,
+                              n=n, m=m, pins=pins, digest=digest)
+        if consumed != total:
+            raise HttpError(400, "trailing bytes after stream frame",
+                            close=True)
+        if created:
+            _validate_csr(shared, n=n, pins=pins)
+            shared["ready"][0] = 1
+    except BaseException:
+        if shared is not None:
+            shared.close()
+            shared.unlink()
+        registry.release(ref)
+        raise
+    if shared is not None:
+        if not created:
+            metrics.inc("stream_segment_reuse")
+        registry.adopt(ref, shared)
+        registry.acquire(ref)
+
+    metrics.inc("stream_ingests")
+    metrics.inc("stream_bytes", by=float(total))
+    request = dataclasses.replace(request, shm_ref=ref)
+    try:
+        return manager.submit(request)
+    except BaseException:
+        registry.release(ref)        # e.g. QueueFullError -> 429
+        raise
+
+
+async def _consume_chunks(take, shared: SharedCSR | None, *, n: int,
+                          m: int, pins: int, digest: str) -> None:
+    """Read the chunk sequence, hashing (and writing, if ``shared``)."""
+    need = {CHUNK_PTR: (m + 1) * 8, CHUNK_PINS: pins * 8}
+    got = {CHUNK_PTR: 0, CHUNK_PINS: 0}
+    dests = {}
+    if shared is not None:
+        dests = {CHUNK_PTR: shared["edge_ptr"].view(np.uint8),
+                 CHUNK_PINS: shared["edge_pins"].view(np.uint8)}
+    hasher = hashlib.sha256()
+    while got[CHUNK_PTR] < need[CHUNK_PTR] or got[CHUNK_PINS] < need[CHUNK_PINS]:
+        head = await take(9)
+        kind, nbytes = struct.unpack("<BQ", head)
+        if kind not in (CHUNK_PTR, CHUNK_PINS):
+            raise HttpError(400, f"unknown stream chunk kind {kind}",
+                            close=True)
+        if kind == CHUNK_PINS and got[CHUNK_PTR] < need[CHUNK_PTR]:
+            raise HttpError(400, "pin chunk before ptr array complete",
+                            close=True)
+        if nbytes == 0 or got[kind] + nbytes > need[kind]:
+            raise HttpError(400, "stream chunk overruns its array",
+                            close=True)
+        data = await take(int(nbytes))
+        hasher.update(data)
+        if shared is not None:
+            lo = got[kind]
+            dests[kind][lo:lo + len(data)] = np.frombuffer(data,
+                                                           dtype=np.uint8)
+        got[kind] += len(data)
+    if hasher.hexdigest() != digest:
+        # full body consumed: framing is intact, keep the connection
+        raise HttpError(400, "stream digest mismatch: payload does not "
+                             "match the header's content address")
+
+
+def _validate_csr(shared: SharedCSR, *, n: int, pins: int) -> None:
+    """Structural CSR checks on the filled segment (vectorised)."""
+    ptr = shared["edge_ptr"]
+    pin_arr = shared["edge_pins"]
+    if int(ptr[0]) != 0 or int(ptr[-1]) != pins:
+        raise HttpError(400, "stream ptr must start at 0 and end at the "
+                             "pin count")
+    if len(ptr) > 1 and bool(np.any(np.diff(ptr) < 0)):
+        raise HttpError(400, "stream ptr must be nondecreasing")
+    if pins and (int(pin_arr.min()) < 0 or int(pin_arr.max()) >= n):
+        raise HttpError(400, f"stream pin out of range 0..{n - 1}")

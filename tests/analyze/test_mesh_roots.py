@@ -1,0 +1,131 @@
+"""Mesh coroutines as analysis roots: TP/TN fixtures per pass.
+
+The router's routing decisions must be byte-identical across runs (the
+shared cache is addressed by key, and every router process must agree
+with every other), and its coroutines share one event loop with every
+in-flight request — so ``src/**/mesh/**`` coroutines are entrypoint
+roots for the determinism and async-blocking passes, and the
+serve-timeout rule's scope covers the mesh package.  Each pass gets a
+planted violation reached *through a helper* (interprocedural, not at
+the root) and a compliant twin.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analyze import analyze_paths
+
+
+def build(root: Path, files: dict[str, str]) -> list[Path]:
+    paths = []
+    for rel, text in files.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+        paths.append(p)
+    return sorted(paths)
+
+
+def findings_of(rule, findings):
+    return [f for f in findings if f.rule == rule]
+
+
+class TestMeshDeterminismRoots:
+    def test_transitive_entropy_fires_from_mesh_coroutine(self, tmp_path):
+        paths = build(tmp_path, {
+            "src/repro/mesh/routemod.py": (
+                "from repro import idmod\n"
+                "async def admit(body):\n"
+                "    return idmod.fresh()\n"),
+            "src/repro/idmod.py": (
+                "import uuid\n"
+                "def fresh():\n"
+                "    return uuid.uuid4()\n"),
+        })
+        [f] = findings_of("determinism", analyze_paths(paths))
+        assert f.path.endswith("idmod.py") and f.line == 3
+        assert "(entropy)" in f.message
+        assert "mesh coroutine" in f.message
+        assert "admit" in f.message
+
+    def test_monotonic_clock_is_allowed(self, tmp_path):
+        paths = build(tmp_path, {
+            "src/repro/mesh/routemod.py": (
+                "import time\n"
+                "async def admit(body):\n"
+                "    return time.monotonic()\n"),
+        })
+        assert findings_of("determinism", analyze_paths(paths)) == []
+
+    def test_coroutines_outside_mesh_are_not_roots(self, tmp_path):
+        # the same sink under a non-mesh, non-serve path: no root
+        # reaches it, so the determinism pass stays silent
+        paths = build(tmp_path, {
+            "src/repro/plotting/helper.py": (
+                "import uuid\n"
+                "async def admit(body):\n"
+                "    return uuid.uuid4()\n"),
+        })
+        assert findings_of("determinism", analyze_paths(paths)) == []
+
+
+class TestMeshAsyncBlockingRoots:
+    def test_transitive_sleep_fires(self, tmp_path):
+        paths = build(tmp_path, {
+            "src/repro/mesh/routemod.py": (
+                "from repro import napmod\n"
+                "async def relay(chunk):\n"
+                "    return napmod.nap()\n"),
+            "src/repro/napmod.py": (
+                "import time\n"
+                "def nap():\n"
+                "    return time.sleep(1)\n"),
+        })
+        [f] = findings_of("async-blocking", analyze_paths(paths))
+        assert f.path.endswith("napmod.py") and f.line == 3
+        assert "'time.sleep' (sleep)" in f.message
+        assert "relay" in f.message
+
+    def test_to_thread_offload_is_the_remediation(self, tmp_path):
+        # the offloaded callable is an argument, not a call: no edge,
+        # no finding — and the await itself rides with_deadline so the
+        # serve-timeout rule stays quiet too
+        paths = build(tmp_path, {
+            "src/repro/mesh/routemod.py": (
+                "import asyncio\n"
+                "from repro.serve.jobs import with_deadline\n"
+                "from repro import napmod\n"
+                "async def relay(chunk):\n"
+                "    return await with_deadline(\n"
+                "        asyncio.to_thread(napmod.nap), 5.0)\n"),
+            "src/repro/napmod.py": (
+                "import time\n"
+                "def nap():\n"
+                "    return time.sleep(1)\n"),
+        })
+        assert analyze_paths(paths) == []
+
+
+class TestMeshServeTimeoutScope:
+    def test_bare_await_in_mesh_fires(self, tmp_path):
+        paths = build(tmp_path, {
+            "src/repro/mesh/routemod.py": (
+                "async def poll(job):\n"
+                "    return await job.future\n"),
+        })
+        [f] = findings_of("serve-timeout", analyze_paths(paths))
+        assert "with_deadline" in f.message
+
+    def test_framing_helpers_are_allowlisted(self, tmp_path):
+        paths = build(tmp_path, {
+            "src/repro/mesh/routemod.py": (
+                "from repro.serve.http import read_head, read_response\n"
+                "from repro.serve.http import write_response\n"
+                "async def relay(reader, writer):\n"
+                "    head = await read_head(reader)\n"
+                "    out = await read_response(reader, 5.0)\n"
+                "    await write_response(writer, 200, {})\n"
+                "    return head, out\n"),
+        })
+        assert findings_of("serve-timeout", analyze_paths(paths)) == []

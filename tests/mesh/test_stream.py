@@ -1,0 +1,214 @@
+"""Streaming CSR ingestion: wire format, registry lifecycle, e2e.
+
+The binary ``/v1/stream`` path exists so a million-pin hypergraph can
+reach a worker without ever being JSON-materialised: the shard writes
+chunks straight into a content-addressed shared segment.  These tests
+pin the wire format (digest is chunking-independent), the refcounted
+segment registry, and the end-to-end path against a real server.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core.shm import SharedCSR
+from repro.errors import ServeProtocolError
+from repro.generators import streaming_uniform_hypergraph
+from repro.serve import ServeClient
+from repro.serve.stream import (SegmentRegistry, csr_digest, encode_stream,
+                                segment_name, stream_graph_spec)
+from tests.serve.conftest import ServerThread
+
+
+def graph():
+    return streaming_uniform_hypergraph(500, 900, 4, rng=11)
+
+
+REQUEST = {"op": "partition", "k": 2, "eps": 0.1, "algorithm": "greedy",
+           "seed": 5, "mode": "async", "deadline_s": 60.0}
+
+
+class TestWireFormat:
+    def test_total_is_exact_and_digest_chunking_independent(self):
+        g = graph()
+        ptr, pins = g.csr()
+        frames = {}
+        for chunk_bytes in (64, 4096, 1 << 20):
+            chunks, total, digest = encode_stream(
+                REQUEST, n=g.n, ptr=ptr, pins=pins,
+                chunk_bytes=chunk_bytes)
+            blob = b"".join(chunks)
+            assert len(blob) == total
+            frames[chunk_bytes] = (digest, blob)
+        digests = {d for d, _ in frames.values()}
+        assert digests == {csr_digest(ptr, pins)}
+        # different chunking => different framing bytes, same digest
+        assert frames[64][1] != frames[1 << 20][1]
+
+    def test_request_with_inline_graph_is_rejected(self):
+        g = graph()
+        ptr, pins = g.csr()
+        with pytest.raises(ServeProtocolError):
+            encode_stream({**REQUEST, "graph": {"hgr": "x"}},
+                          n=g.n, ptr=ptr, pins=pins)
+
+    def test_stream_spec_is_a_valid_graph_form(self):
+        from repro.serve.protocol import parse_job_request
+        spec = stream_graph_spec("ab" * 32, 10, 5, 20)
+        r = parse_job_request({**REQUEST, "graph": spec})
+        assert r.params["graph"]["stream"]["pins"] == 20
+
+
+class TestSegmentRegistry:
+    def _segment(self, digest: str) -> SharedCSR:
+        return SharedCSR.allocate(4, 2, 6, name=segment_name(digest))
+
+    def test_refcount_and_idle_parking(self):
+        reg = SegmentRegistry()
+        digest = "11" * 32
+        seg = self._segment(digest)
+        ref = f"csr:{digest}"
+        assert not reg.acquire(ref)          # unknown yet
+        reg.adopt(ref, seg)
+        assert reg.acquire(ref)              # live now
+        assert reg.descriptor(ref) is not None
+        reg.release(ref)
+        reg.release(ref)                     # refcount hits zero: parked
+        assert ref in reg                    # idle, but still acquirable
+        assert reg.acquire(ref)              # revived from idle
+        reg.release(ref)
+        reg.close_all()
+        assert ref not in reg
+
+    def test_adopt_duplicate_keeps_first_and_unlinks_newcomer(self):
+        reg = SegmentRegistry()
+        digest = "22" * 32
+        ref = f"csr:{digest}"
+        first = self._segment(digest)
+        reg.adopt(ref, first)
+        second = SharedCSR.allocate(4, 2, 6)   # anonymous duplicate
+        reg.adopt(ref, second)
+        assert reg.descriptor(ref)["arrays"]["seg"] == first.segment_name
+        reg.close_all()
+
+    def test_idle_eviction_is_bounded(self):
+        reg = SegmentRegistry()
+        refs, names = [], []
+        for i in range(7):
+            digest = f"{i:02d}" * 32
+            ref = f"csr:{digest}"
+            seg = self._segment(digest)
+            names.append(seg.segment_name)
+            reg.adopt(ref, seg)
+            reg.acquire(ref)
+            refs.append(ref)
+        for ref in refs:
+            reg.release(ref)                 # all parked; LRU evicts
+        assert len(reg) <= 4                 # retained idle only
+        reg.close_all()
+        present = set(glob.glob("/dev/shm/repro_stream_*"))
+        assert not present & {f"/dev/shm/{n}" for n in names}
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        st = ServerThread.__new__(ServerThread)
+        from repro.serve import ServeConfig
+        ServerThread.__init__(st, ServeConfig(
+            host="127.0.0.1", port=0,
+            cache_dir=str(tmp_path_factory.mktemp("cache")),
+            batch_window_s=0.005, workers=1))
+        st.start()
+        yield st
+        st.stop()
+
+    def test_stream_solves_and_matches_inline_result(self, server):
+        g = graph()
+        before = set(glob.glob("/dev/shm/repro_stream_*"))
+        with ServeClient("127.0.0.1", server.port, timeout_s=60) as c:
+            handle = c.stream(REQUEST, graph=g)
+            done = handle if handle["status"] == "done" \
+                else c.wait(handle["job_id"], timeout_s=60)
+            assert done["status"] == "done"
+            labels = done["result"]["labels"]
+            assert len(labels) == g.n
+
+            # same graph as inline CSR upload: identical result
+            from repro.serve.client import graph_payload
+            inline = c.partition({**REQUEST, "mode": "sync",
+                                  "graph": graph_payload(g)})
+            assert inline["result"]["labels"] == labels
+
+            # re-streaming the same graph reuses the resident segment
+            # (or the cache short-circuits it entirely)
+            again = c.stream(REQUEST, graph=g)
+            assert again.get("cached"), again
+
+            # resubmitting by content address alone is a cache hit
+            ptr, pins = g.csr()
+            spec = stream_graph_spec(csr_digest(ptr, pins), g.n,
+                                     g.num_edges, len(pins))
+            by_ref = c.partition({**REQUEST, "mode": "sync",
+                                  "graph": spec})
+            assert by_ref.get("cached") and \
+                by_ref["result"]["labels"] == labels
+
+            # an uncached content address is an explicit re-upload error
+            with pytest.raises(ServeProtocolError,
+                               match="re-upload"):
+                c.partition({**REQUEST, "mode": "sync",
+                             "graph": stream_graph_spec("ff" * 32,
+                                                        10, 5, 20)})
+        # ingest left nothing extra in /dev/shm beyond the idle-parked
+        # segment (owned by the live server, reaped at stop())
+        leaked = set(glob.glob("/dev/shm/repro_stream_*")) - before
+        assert len(leaked) <= 1
+
+    def test_digest_mismatch_is_rejected(self, server):
+        g = graph()
+        ptr, pins = g.csr()
+        import http.client
+        import json as _json
+        from repro.serve.stream import MAGIC, STREAM_CONTENT_TYPE
+        header = {"request": REQUEST,
+                  "csr": {"n": int(g.n), "m": int(g.num_edges),
+                          "pins": int(len(pins))},
+                  "digest": "00" * 32}     # wrong on purpose
+        hdr = _json.dumps(header).encode()
+        body = MAGIC + len(hdr).to_bytes(4, "little") + hdr
+        ptr64 = np.asarray(ptr, dtype="<i8").tobytes()
+        pins64 = np.asarray(pins, dtype="<i8").tobytes()
+        body += bytes([0]) + len(ptr64).to_bytes(8, "little") + ptr64
+        body += bytes([1]) + len(pins64).to_bytes(8, "little") + pins64
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=30)
+        try:
+            conn.request("POST", "/v1/stream", body=body,
+                         headers={"Content-Type": STREAM_CONTENT_TYPE,
+                                  "Content-Length": str(len(body))})
+            resp = conn.getresponse()
+            payload = _json.loads(resp.read())
+            assert resp.status == 400
+            assert "digest" in payload["error"]
+        finally:
+            conn.close()
+
+    def test_keep_alive_reuses_one_connection(self, server):
+        """submit + polls + health all ride a single TCP connection."""
+        before = server.server.metrics.counters.get("http_connections", 0)
+        with ServeClient("127.0.0.1", server.port, timeout_s=30) as c:
+            req = {"op": "partition",
+                   "graph": {"generator": {"kind": "random", "n": 40,
+                                           "seed": 1}},
+                   "k": 2, "eps": 0.1, "algorithm": "greedy", "seed": 1,
+                   "mode": "async", "deadline_s": 30.0}
+            handle = c.submit(req)
+            c.wait(handle["job_id"], timeout_s=30)
+            c.health()
+            c.metrics_text()
+        after = server.server.metrics.counters.get("http_connections", 0)
+        assert after - before == 1

@@ -196,7 +196,8 @@ class TestPoolSharedMemoryHandoff:
         members = [BatchMember(key=str(i), seed=i, params=r.params,
                                outfile=None, errfile=None,
                                deadline_mono=None) for i in range(3)]
-        params, handles = _hoist_graphs_sync(_hoist_graphs, members)
+        params, handles, refs = _hoist_graphs_sync(_hoist_graphs, members)
+        assert refs == []           # no registry given: caller-owned
         try:
             # one segment serves all three members
             assert len(handles) == 1
@@ -218,8 +219,8 @@ class TestPoolSharedMemoryHandoff:
         r = parse_job_request(req())
         member = BatchMember(key="s", seed=1, params=r.params,
                              outfile=None, errfile=None, deadline_mono=None)
-        params, handles = _hoist_graphs_sync(_hoist_graphs, [member])
-        assert handles == [] and params[0] is r.params
+        params, handles, refs = _hoist_graphs_sync(_hoist_graphs, [member])
+        assert handles == [] and refs == [] and params[0] is r.params
 
     def test_batch_result_matches_inline_and_leaves_no_segments(
             self, tmp_path):

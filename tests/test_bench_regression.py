@@ -22,6 +22,7 @@ SERVE_BASELINE = ROOT / "benchmarks" / "BENCH_serve.json"
 ANALYZE_BASELINE = ROOT / "benchmarks" / "BENCH_analyze.json"
 SCALE_BASELINE = ROOT / "benchmarks" / "BENCH_scale.json"
 SIM_BASELINE = ROOT / "benchmarks" / "BENCH_sim.json"
+MESH_BASELINE = ROOT / "benchmarks" / "BENCH_mesh.json"
 
 
 @pytest.mark.benchcheck
@@ -70,6 +71,18 @@ def test_sim_matches_baseline_exactly():
         capture_output=True, text=True, cwd=ROOT)
     assert proc.returncode == 0, (
         f"simulation trace drift detected:\n{proc.stdout}\n{proc.stderr}")
+
+
+@pytest.mark.benchcheck
+def test_mesh_gates_hold():
+    assert MESH_BASELINE.exists(), (
+        "committed mesh baseline missing; regenerate with "
+        "PYTHONPATH=src python benchmarks/bench_mesh.py")
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--suite", "mesh"],
+        capture_output=True, text=True, cwd=ROOT)
+    assert proc.returncode == 0, (
+        f"mesh chaos gate failed:\n{proc.stdout}\n{proc.stderr}")
 
 
 @pytest.mark.benchcheck
