@@ -13,6 +13,11 @@ leaves a half-written summary, and corrupt or version-skewed entries
 read as misses.  The key includes :data:`~repro.analyze.index
 .ENGINE_VERSION`, so shipping new rules invalidates every entry
 without a manual flush.
+
+The default directory honours the ``REPRO_ANALYZE_CACHE`` environment
+variable (an explicit ``cache_dir`` argument still wins): benchmarks
+and CI point it at a scratch directory so the host's warm cache can
+neither skew timings nor leak state into a measured run.
 """
 
 from __future__ import annotations
@@ -32,7 +37,10 @@ DEFAULT_CACHE_DIR = ".analyze-cache"
 
 class SummaryCache:
     def __init__(self, cache_dir: str | Path | None = None) -> None:
-        self.dir = Path(cache_dir) if cache_dir else Path(DEFAULT_CACHE_DIR)
+        if cache_dir is None:
+            cache_dir = (os.environ.get("REPRO_ANALYZE_CACHE")
+                         or DEFAULT_CACHE_DIR)
+        self.dir = Path(cache_dir)
 
     def _entry(self, posix: str, raw: bytes) -> Path:
         h = hashlib.sha256()

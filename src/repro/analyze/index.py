@@ -54,7 +54,7 @@ __all__ = [
 ]
 
 #: Bump to invalidate every cached summary (rule/pass/format changes).
-ENGINE_VERSION = "analyze-v3.0"
+ENGINE_VERSION = "analyze-v4.0"
 
 #: Constructors whose result is an explicit, caller-owned Generator.
 RNG_CONSTRUCTORS = {"numpy.random.default_rng", "numpy.random.Generator"}
@@ -138,6 +138,11 @@ class ModuleSummary:
     #: (the flow's path component is this module's path, re-attached on
     #: deserialisation).
     path_findings: list = field(default_factory=list)
+    #: Concurrency fact layer (locks, acquisitions with held sets,
+    #: executor submissions, fork spawns, reset-dominance) consumed by
+    #: the lock-discipline and fork-hygiene passes; see
+    #: :mod:`repro.analyze.concurrency`.
+    concurrency: dict = field(default_factory=dict)
     pragmas: list = field(default_factory=list)
 
     def pragma_table(self) -> PragmaTable:
@@ -168,6 +173,7 @@ class ModuleSummary:
             "referenced_names": self.referenced_names,
             "local_findings": self.local_findings,
             "path_findings": self.path_findings,
+            "concurrency": self.concurrency,
             "pragmas": self.pragmas,
         }
 
@@ -180,7 +186,7 @@ class ModuleSummary:
             "classes", "imports", "calls", "global_writes",
             "process_targets", "rng_globals", "rng_draws", "registrations",
             "referenced_names", "local_findings", "path_findings",
-            "pragmas")}
+            "concurrency", "pragmas")}
         return cls(**kwargs)
 
 
@@ -655,22 +661,31 @@ class Extractor:
 def extract_summary(sf: SourceFile) -> ModuleSummary:
     """One-walk extraction: facts + file-local rule findings.
 
-    The per-function CFG passes (resource-safety, dtype-bounds) run
-    here too: their verdicts depend on this module's bytes alone, so
-    embedding them in the summary lets the incremental cache replay
-    them without rebuilding a single CFG.
+    The per-function CFG passes (resource-safety, dtype-bounds,
+    task-lifecycle, shm-publish) run here too: their verdicts depend on
+    this module's bytes alone, so embedding them in the summary lets
+    the incremental cache replay them without rebuilding a single CFG.
+    The concurrency fact layer (:mod:`repro.analyze.concurrency`) is
+    collected here for the same reason — the whole-program
+    lock-discipline and fork-hygiene passes read cached facts, never
+    cached source.
     """
     from . import rules
-    from .passes import dtype_bounds, resource_safety
+    from .concurrency import collect_concurrency
+    from .passes import (dtype_bounds, resource_safety, shm_publish,
+                         task_lifecycle)
 
     ex = Extractor(sf)
     summary = ex.run()
+    summary.concurrency = collect_concurrency(sf, ex)
     summary.local_findings = [
         [f.line, f.rule, f.message] for f in rules.run_local_rules(sf, ex)]
     summary.path_findings = [
         [f.line, f.rule, f.message, [[ln, note] for (_p, ln, note) in f.flow]]
         for f in (*resource_safety.analyze(sf, ex),
-                  *dtype_bounds.analyze(sf, ex))]
+                  *dtype_bounds.analyze(sf, ex),
+                  *task_lifecycle.analyze(sf, ex),
+                  *shm_publish.analyze(sf, ex))]
     return summary
 
 

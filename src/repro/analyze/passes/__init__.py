@@ -3,11 +3,15 @@
 :func:`run_all` is the single entry point the engine calls: it replays
 the file-local and CFG/path-sensitive findings embedded in each
 summary (the latter computed at extract time by
-:mod:`.resource_safety` and :mod:`.dtype_bounds` over per-function
-CFGs), runs the structural repo rules (:mod:`.structural`), builds one
-:class:`~repro.analyze.callgraph.CallGraph`, and hands it to the four
+:mod:`.resource_safety`, :mod:`.dtype_bounds`, :mod:`.task_lifecycle`
+and :mod:`.shm_publish` over per-function CFGs), runs the structural
+repo rules (:mod:`.structural`), builds one
+:class:`~repro.analyze.callgraph.CallGraph`, and hands it to the six
 interprocedural dataflow passes (:mod:`.determinism`,
-:mod:`.fork_safety`, :mod:`.rng_provenance`, :mod:`.async_blocking`).
+:mod:`.fork_safety`, :mod:`.rng_provenance`, :mod:`.async_blocking`,
+:mod:`.lock_discipline`, :mod:`.fork_hygiene` — the last two consume
+the extract-time concurrency facts of
+:mod:`repro.analyze.concurrency`).
 
 ``RULE_META`` is the registry of every rule/pass id with its severity
 and one-line invariant; the CLI's ``--fail-on`` gate, the SARIF rule
@@ -21,8 +25,8 @@ from typing import Iterable
 from ..callgraph import CallGraph
 from ..engine import Finding
 from ..index import ModuleIndex
-from . import (async_blocking, determinism, fork_safety, rng_provenance,
-               structural)
+from . import (async_blocking, determinism, fork_hygiene, fork_safety,
+               lock_discipline, rng_provenance, structural)
 
 __all__ = ["RULE_META", "run_all"]
 
@@ -74,6 +78,23 @@ RULE_META: dict[str, tuple[str, str]] = {
         "error",
         "int32 casts and accumulations are proven overflow-free under "
         "declared `# repro: bounds(...)` scale bounds"),
+    "task-lifecycle": (
+        "error",
+        "every create_task/ensure_future result is supervised, awaited, "
+        "or cancelled on every path"),
+    "lock-discipline": (
+        "error",
+        "lock acquisition order is acyclic, sync locks stay off "
+        "coroutine paths, no attribute is guarded by mixed sync/async "
+        "locks, and probe/data paths never share an executor"),
+    "fork-hygiene": (
+        "error",
+        "fork worker entrypoints reset inherited signal state before "
+        "IPC and inherit no live lock or executor"),
+    "shm-publish": (
+        "error",
+        "shared-memory buffers are never written after publish/handoff "
+        "to another process"),
     "pragma-missing-reason": (
         "warning",
         "every allow(...) pragma carries a written reason"),
@@ -98,3 +119,5 @@ def run_all(index: ModuleIndex) -> Iterable[Finding]:
     yield from fork_safety.run(index, graph)
     yield from rng_provenance.run(index, graph)
     yield from async_blocking.run(index, graph)
+    yield from lock_discipline.run(index, graph)
+    yield from fork_hygiene.run(index, graph)

@@ -1,0 +1,275 @@
+"""lock-discipline — ordering, flavour, and sharing of locks/executors.
+
+Four whole-program checks over the concurrency facts the extractor
+collects per module (:mod:`repro.analyze.concurrency`), one rule id:
+
+1. **lock-order cycles** — every acquisition fact carries the locks
+   lexically held at that point; held→acquired pairs form a directed
+   lock-order graph per program.  A strongly connected component (or a
+   self-edge: re-acquiring a non-reentrant lock already held) is a
+   potential deadlock and is reported once, with the cycle spelled
+   out.
+2. **sync lock on a coroutine path** — a ``threading``-flavoured lock
+   acquired synchronously in code reachable from a serve/sim/mesh
+   coroutine blocks the event loop when contended.  Reachability is
+   interprocedural over the project call graph (same roots as
+   ``async-blocking``); the finding carries the coroutine witness
+   chain.  Code only reachable via executor offloads has no call edge
+   and stays exempt by construction.
+3. **mixed sync/async guarding** — one attribute written under a
+   ``threading`` lock in one method and under an ``asyncio`` lock in
+   another is guarded by *neither*: the two lock types do not exclude
+   each other.
+4. **probe/data executor sharing** — an executor receiving
+   submissions both from probe/health coroutines and from data-path
+   coroutines reproduces the PR 9 chaos bug: health probes starve in
+   the queue behind data work and mark live shards down.  Probe roots
+   are identified by name (``probe``/``health``/``heartbeat``/
+   ``watchdog``).
+
+All checks consume extract-time facts only, so they replay byte-
+identically from the incremental cache.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..callgraph import CallGraph, pretty_node
+from ..dataflow import Reachability
+from ..engine import Finding
+from ..index import ModuleIndex
+
+__all__ = ["RULE", "run"]
+
+RULE = "lock-discipline"
+
+_PROBE_NAMES = ("probe", "health", "heartbeat", "watchdog")
+
+_ASYNC_PARTS = ("serve", "sim", "mesh")
+
+
+def _coroutine_roots(index: ModuleIndex) -> dict[str, str]:
+    """node -> label for every async def under src serve/sim/mesh paths."""
+    roots: dict[str, str] = {}
+    for s in index.summaries:
+        if not s.in_src:
+            continue
+        parts = s.path.split("/")
+        if not any(p in parts for p in _ASYNC_PARTS):
+            continue
+        for qual, meta in s.functions.items():
+            if meta.get("is_async"):
+                node = f"{s.module}:{qual}"
+                roots[node] = f"coroutine '{pretty_node(node)}'"
+    return roots
+
+
+def _chain_flow(graph: CallGraph, reach: Reachability, node: str,
+                line: int, note: str) -> tuple:
+    steps = []
+    for hop in reach.chain(node):
+        owner = graph.owner.get(hop)
+        if owner is None:
+            continue
+        qual = hop.partition(":")[2]
+        meta = owner.functions.get(qual)
+        hop_line = int(meta["line"]) if meta else 1
+        steps.append((owner.path, hop_line, f"enters {pretty_node(hop)}"))
+    owner = graph.owner[node]
+    steps.append((owner.path, line, note))
+    return tuple(steps)
+
+
+def _sccs(edges: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan SCCs, deterministic order (sorted roots, sorted succs)."""
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        index_of[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(edges.get(v, ())):
+            if w not in index_of:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index_of[w])
+        if low[v] == index_of[v]:
+            comp = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                comp.append(w)
+                if w == v:
+                    break
+            out.append(sorted(comp))
+
+    for v in sorted(edges):
+        if v not in index_of:
+            strongconnect(v)
+    return out
+
+
+def run(index: ModuleIndex, graph: CallGraph) -> Iterable[Finding]:
+    summaries = [s for s in index.summaries
+                 if s.in_src and s.concurrency]
+
+    # -- global fact tables, keyed "<module>.<local key>" ---------------
+    lock_kind: dict[str, str] = {}
+    lock_line: dict[str, tuple[str, int]] = {}
+    for s in summaries:
+        for line, key, kind in s.concurrency.get("locks", ()):
+            gkey = f"{s.module}.{key}"
+            lock_kind.setdefault(gkey, kind)
+            lock_line.setdefault(gkey, (s.path, int(line)))
+
+    # -- 1: lock-order graph + SCC / self-edge detection ----------------
+    order_edges: dict[str, set[str]] = {}
+    #: (held, acquired) -> earliest acquire site (path, line, qual)
+    edge_site: dict[tuple[str, str], tuple[str, int, str]] = {}
+    for s in summaries:
+        for qual, line, key, mode, held in s.concurrency.get(
+                "acquires", ()):
+            gkey = f"{s.module}.{key}"
+            for h in held:
+                gheld = f"{s.module}.{h}"
+                order_edges.setdefault(gheld, set()).add(gkey)
+                order_edges.setdefault(gkey, set())
+                site = (s.path, int(line), qual)
+                if edge_site.get((gheld, gkey), site) >= site:
+                    edge_site[(gheld, gkey)] = site
+
+    for comp in _sccs(order_edges):
+        cyclic = (len(comp) > 1
+                  or comp[0] in order_edges.get(comp[0], ()))
+        if not cyclic:
+            continue
+        comp_set = set(comp)
+        sites = sorted(site for (a, b), site in edge_site.items()
+                       if a in comp_set and b in comp_set)
+        path, line, qual = sites[0]
+        ring = " -> ".join(comp + [comp[0]])
+        if len(comp) == 1:
+            msg = (f"lock '{comp[0]}' is re-acquired while already "
+                   f"held (in {qual}): a non-reentrant lock "
+                   "self-deadlocks here")
+        else:
+            msg = (f"lock-order cycle {ring}: two threads taking "
+                   "these locks in opposite orders deadlock; pick one "
+                   "global order and acquire in it everywhere "
+                   f"(first conflicting acquisition in {qual})")
+        yield Finding(
+            path=path, line=line, rule=RULE, message=msg,
+            flow=tuple(
+                (p, ln, f"acquires the second lock here (in {q})")
+                for p, ln, q in sites[:6]))
+
+    # -- 2: sync lock acquired on a coroutine path ----------------------
+    roots = _coroutine_roots(index)
+    reach = Reachability(graph.edges, roots) if roots else None
+    if reach is not None:
+        for s in summaries:
+            for qual, line, key, mode, held in s.concurrency.get(
+                    "acquires", ()):
+                gkey = f"{s.module}.{key}"
+                if mode != "sync" or lock_kind.get(gkey) != "sync":
+                    continue
+                node = f"{s.module}:{qual}"
+                if node not in reach:
+                    continue
+                yield Finding(
+                    path=s.path, line=int(line), rule=RULE,
+                    message=f"sync lock '{gkey}' acquired on a "
+                            f"coroutine path ({reach.chain_text(node)}):"
+                            " a contended threading lock blocks the "
+                            "whole event loop; use asyncio.Lock here "
+                            "or move the critical section into an "
+                            "executor offload",
+                    flow=_chain_flow(
+                        graph, reach, node, int(line),
+                        f"acquires sync lock '{gkey}' with the loop "
+                        "running"))
+
+    # -- 3: mixed sync/async guarding of one attribute ------------------
+    guards: dict[str, dict[str, tuple[str, int, str]]] = {}
+    for s in summaries:
+        for qual, line, attr, lkey, lkind in s.concurrency.get(
+                "guarded_writes", ()):
+            gattr = f"{s.module}.{attr}"
+            site = (s.path, int(line), f"{s.module}.{lkey}")
+            by_kind = guards.setdefault(gattr, {})
+            if lkind not in by_kind or by_kind[lkind] > site:
+                by_kind[lkind] = site
+    for gattr in sorted(guards):
+        by_kind = guards[gattr]
+        if "sync" not in by_kind or "async" not in by_kind:
+            continue
+        s_path, s_line, s_lock = by_kind["sync"]
+        a_path, a_line, a_lock = by_kind["async"]
+        yield Finding(
+            path=a_path, line=a_line, rule=RULE,
+            message=f"attribute '{gattr}' is written under sync lock "
+                    f"'{s_lock}' (at {s_path}:{s_line}) and under "
+                    f"async lock '{a_lock}' here: the two lock types "
+                    "do not exclude each other, so neither guards the "
+                    "attribute; pick one flavour",
+            flow=(
+                (s_path, s_line,
+                 f"written under sync lock '{s_lock}'"),
+                (a_path, a_line,
+                 f"written under async lock '{a_lock}'"),
+            ))
+
+    # -- 4: probe/data paths sharing one executor -----------------------
+    if roots:
+        probe_roots = {n: lbl for n, lbl in roots.items()
+                       if any(p in n.rsplit(":", 1)[1].lower()
+                              for p in _PROBE_NAMES)}
+        data_roots = {n: lbl for n, lbl in roots.items()
+                      if n not in probe_roots}
+        if probe_roots and data_roots:
+            probe_reach = Reachability(graph.edges, probe_roots)
+            data_reach = Reachability(graph.edges, data_roots)
+            #: executor gkey -> {"probe": site, "data": site}
+            shared: dict[str, dict[str, tuple[str, int, str]]] = {}
+            for s in summaries:
+                for qual, line, key in s.concurrency.get("submits", ()):
+                    gkey = f"{s.module}.{key}"
+                    node = f"{s.module}:{qual}"
+                    site = (s.path, int(line), node)
+                    for side, r in (("probe", probe_reach),
+                                    ("data", data_reach)):
+                        if node not in r:
+                            continue
+                        sides = shared.setdefault(gkey, {})
+                        if side not in sides or sides[side] > site:
+                            sides[side] = site
+            for gkey in sorted(shared):
+                sides = shared[gkey]
+                if "probe" not in sides or "data" not in sides:
+                    continue
+                p_path, p_line, p_node = sides["probe"]
+                d_path, d_line, d_node = sides["data"]
+                yield Finding(
+                    path=p_path, line=p_line, rule=RULE,
+                    message=f"executor '{gkey}' is shared between the "
+                            f"probe path ({probe_reach.chain_text(p_node)}) "
+                            f"and the data path (submission at "
+                            f"{d_path}:{d_line}): health probes queue "
+                            "behind data work and starve, marking live "
+                            "shards down; give probes a dedicated "
+                            "executor",
+                    flow=(
+                        (p_path, p_line,
+                         f"probe-path submission to '{gkey}'"),
+                        (d_path, d_line,
+                         f"data-path submission to the same "
+                         f"executor"),
+                    ))

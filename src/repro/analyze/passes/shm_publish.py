@@ -1,0 +1,309 @@
+"""shm-publish — no writes to shared memory after publishing it.
+
+A ``SharedArrays`` / ``SharedCSR`` segment is single-writer only until
+its *descriptor* (the name + layout another process needs to attach)
+leaves the creating process, or until a ready flag is raised in the
+segment itself.  After that point a peer may be mapping and reading the
+buffers concurrently, so any further store from the creator is a
+cross-process data race — the exact bug class the streaming-ingest
+protocol (``serve/stream.py``) is designed around: *fill, then flip
+``ready``, then never touch again*.
+
+This pass is a typestate extension of the resource-safety ownership
+lattice: per function (and module body) it tracks locally-created
+segment handles through the CFG, marks the program points where a
+handle becomes **published** —
+
+* a ``.descriptor()`` call on the handle (the descriptor is presumed
+  to be shipped to a peer; calls like ``_validate(shared)`` that merely
+  pass the *handle* around inside the process do **not** publish), or
+* a store through the handle's ``"ready"`` field
+  (``shared["ready"][0] = 1`` — the flag store itself is the publish
+  and is not flagged)
+
+— and then flags every store through the handle (or through a view
+aliased from it, ``w = shared["weights"]; w[...] = ...``) that is
+reachable *after* a publish point.  Rebinding the name drops tracking;
+handles received from helpers or attached from a descriptor are out of
+scope (the attaching side is the reader, not the single writer).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..absint import solve
+from ..cfg import CFG, build_cfg
+from ..engine import Finding, SourceFile
+
+__all__ = ["RULE", "analyze"]
+
+RULE = "shm-publish"
+
+#: last-two-components of a dotted creation call -> tracked handle.
+_CREATE_TAILS = {
+    "SharedArrays.create",
+    "SharedArrays.create_empty",
+    "SharedCSR.from_hypergraph",
+    "SharedCSR.allocate",
+}
+
+_NO_DESCEND = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+               ast.ClassDef)
+
+
+def _dotted(expr) -> str:
+    parts: list[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        parts.append(expr.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_creation(value) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    dotted = _dotted(value.func)
+    return ".".join(dotted.split(".")[-2:]) in _CREATE_TAILS
+
+
+def _sub_root(expr) -> tuple[str, bool]:
+    """Root Name of a subscript chain + whether a ``"ready"`` key occurs."""
+    ready = False
+    while isinstance(expr, ast.Subscript):
+        sl = expr.slice
+        if isinstance(sl, ast.Constant) and sl.value == "ready":
+            ready = True
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id, ready
+    return "", ready
+
+
+@dataclass
+class _Handle:
+    index: int
+    line: int
+    name: str
+    kind: str
+
+
+@dataclass
+class _Publish:
+    index: int
+    line: int
+    handle: int
+    how: str
+
+
+def _scopes(tree: ast.Module):
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _scope_walk(roots):
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _NO_DESCEND):
+            stack.extend(getattr(node, "decorator_list", []))
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _effect_roots(node) -> list[ast.AST]:
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    if node.kind == "loop":
+        return [stmt.iter, stmt.target]
+    if node.kind == "with":
+        return [item.context_expr for item in stmt.items]
+    if node.kind in ("dispatch", "handler", "with-cleanup"):
+        return []
+    if isinstance(stmt, _NO_DESCEND):
+        return list(getattr(stmt, "decorator_list", []))
+    return [stmt]
+
+
+class _Facts:
+    """Per-node publish/rebind ops and write sites, precomputed."""
+
+    def __init__(self, cfg: CFG, scope) -> None:
+        self.handles: list[_Handle] = []
+        self.publishes: list[_Publish] = []
+        #: node id -> [( "publish", pub_index ) | ( "rebind", name )]
+        self.ops: dict[int, list[tuple[str, object]]] = {}
+        #: node id -> [(line, handle_name, what)]
+        self.writes: dict[int, list[tuple[int, str, str]]] = {}
+
+        by_name: dict[str, int] = {}
+        aliases: dict[str, str] = {}     # view name -> handle name
+
+        # pass 1 (lexical): discover tracked handles, then view
+        # aliases, so pass 2 can classify stores anywhere in the
+        # scope.  Two sweeps because the walk order is not source
+        # order: the alias sweep needs the full handle table.
+        binds = [sub for sub in _scope_walk(scope.body)
+                 if isinstance(sub, ast.Assign)
+                 and len(sub.targets) == 1
+                 and isinstance(sub.targets[0], ast.Name)]
+        binds.sort(key=lambda a: (a.lineno, a.col_offset))
+        for sub in binds:
+            if _is_creation(sub.value):
+                name = sub.targets[0].id
+                h = _Handle(index=len(self.handles), line=sub.lineno,
+                            name=name,
+                            kind=_dotted(sub.value.func).split(".")[-2])
+                self.handles.append(h)
+                by_name[name] = h.index
+        for sub in binds:
+            if isinstance(sub.value, ast.Subscript):
+                root, _ = _sub_root(sub.value)
+                if root in by_name:
+                    aliases[sub.targets[0].id] = root
+
+        self.by_name = by_name
+        if not self.handles:
+            return
+
+        # pass 2: per-CFG-node effects.
+        for node in sorted(cfg.nodes.values(), key=lambda n: n.id):
+            roots = _effect_roots(node)
+            if not roots:
+                continue
+            ops: list[tuple[str, object]] = []
+            writes: list[tuple[int, str, str]] = []
+            for sub in _scope_walk(roots):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "descriptor"
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id in by_name):
+                    pub = _Publish(index=len(self.publishes),
+                                   line=sub.lineno,
+                                   handle=by_name[sub.func.value.id],
+                                   how="descriptor() call")
+                    self.publishes.append(pub)
+                    ops.append(("publish", pub.index))
+                elif isinstance(sub, (ast.Assign, ast.AugAssign)):
+                    targets = (sub.targets
+                               if isinstance(sub, ast.Assign)
+                               else [sub.target])
+                    for t in targets:
+                        if isinstance(t, ast.Name):
+                            if t.id in by_name:
+                                ops.append(("rebind", t.id))
+                            continue
+                        if not isinstance(t, ast.Subscript):
+                            continue
+                        root, ready = _sub_root(t)
+                        owner = (root if root in by_name
+                                 else aliases.get(root, ""))
+                        if not owner:
+                            continue
+                        if ready and root == owner:
+                            pub = _Publish(index=len(self.publishes),
+                                           line=sub.lineno,
+                                           handle=by_name[owner],
+                                           how="ready-flag store")
+                            self.publishes.append(pub)
+                            ops.append(("publish", pub.index))
+                        else:
+                            what = (f"store through view '{root}'"
+                                    if root != owner else "store")
+                            writes.append((sub.lineno, owner, what))
+            if ops:
+                self.ops[node.id] = ops
+            if writes:
+                self.writes[node.id] = writes
+
+
+class _PublishLattice:
+    """State: frozenset of publish-site indices already executed."""
+
+    def __init__(self, facts: _Facts) -> None:
+        self.facts = facts
+
+    def initial(self, cfg: CFG) -> frozenset:
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def widen(self, old: frozenset, new: frozenset) -> frozenset:
+        return new
+
+    def transfer(self, node, state: frozenset):
+        ops = self.facts.ops.get(node.id)
+        if not ops:
+            return state, state
+        out = state
+        for op, arg in ops:
+            if op == "rebind":
+                keep = {p.index for p in self.facts.publishes
+                        if self.facts.handles[p.handle].name != arg}
+                out = out & frozenset(keep)
+            elif op == "publish":
+                out = out | {arg}
+        # a publish is committed even if the same statement raises:
+        # the descriptor may already have escaped.
+        return out, out
+
+    def refine(self, edge, state: frozenset) -> frozenset:
+        return state
+
+
+def analyze(sf: SourceFile, ex) -> list[Finding]:
+    """All shm-publish findings of one module (src-only scope)."""
+    if not sf.in_src:
+        return []
+    findings: list[Finding] = []
+    for scope in _scopes(sf.tree):
+        cfg = build_cfg(scope)
+        facts = _Facts(cfg, scope)
+        if not facts.handles or not facts.publishes:
+            continue
+        sol = solve(cfg, _PublishLattice(facts))
+        for node_id, writes in sorted(facts.writes.items()):
+            live = sol.inputs.get(node_id, frozenset())
+            if not live:
+                continue
+            for line, owner, what in writes:
+                pubs = [p for p in facts.publishes
+                        if p.index in live
+                        and facts.handles[p.handle].name == owner]
+                if not pubs:
+                    continue
+                pub = min(pubs, key=lambda p: p.index)
+                handle = facts.handles[facts.by_name[owner]]
+                findings.append(Finding(
+                    path=sf.posix, line=line, rule=RULE,
+                    message=f"shared segment '{owner}' is written "
+                            f"after being published at line {pub.line} "
+                            f"({pub.how}): a peer process may already "
+                            "be attached, so this store is a "
+                            "cross-process race (witness: "
+                            f"create@{handle.line} -> "
+                            f"publish@{pub.line} -> write@{line}); "
+                            "finish all stores before publishing",
+                    flow=(
+                        (sf.posix, handle.line,
+                         f"segment '{owner}' created here "
+                         f"({handle.kind})"),
+                        (sf.posix, pub.line,
+                         f"published here ({pub.how}) — peers may "
+                         "attach from this point on"),
+                        (sf.posix, line,
+                         f"{what} after publish — cross-process "
+                         "race"),
+                    )))
+    findings.sort(key=lambda f: (f.line, f.message))
+    return findings

@@ -1,0 +1,397 @@
+"""task-lifecycle — every spawned asyncio task is supervised.
+
+``asyncio.create_task`` / ``asyncio.ensure_future`` return a task the
+event loop holds only *weakly*: a task nobody stores can be garbage
+collected mid-flight, a task nobody awaits swallows its exception
+until interpreter exit, and a task nobody cancels outlives shutdown.
+The mesh chaos runs (PR 9) surfaced exactly this class — a
+fire-and-forget probe task silently dying and never marking shards
+back up.
+
+The pass runs per function over the CFG (same engine as
+:mod:`.resource_safety`) and distinguishes the creation site's role:
+
+* **bare** — the task object is discarded on the spot
+  (``create_task(fn())`` as a statement): flagged unconditionally;
+* **bound to a local** — tracked through the CFG; the binding is
+  discharged by ``await``-ing it, ``.cancel()`` /
+  ``.add_done_callback()`` on it, or handing it off (stored in a
+  container or supervised set, passed to ``asyncio.wait`` /
+  ``shield`` / any call, returned).  A path on which the task can
+  reach function exit undischarged is an error with a replayable
+  witness;
+* **stored on ``self``** — a class-level obligation: *some* method of
+  the same class must cancel, await, or hand off that attribute
+  (``stop()`` cancelling ``self._probe_task``).  A task attribute no
+  method ever discharges is flagged at the creation site.
+
+Supervision is intentionally syntactic about *what* discharges: a
+hand-off is trusted (the supervised set owns the lifecycle now), which
+keeps the pass quiet on the batcher's
+``self._dispatch_tasks.add(task)`` pattern and loud on a task that
+never leaves the local frame.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..absint import solve, witness_path
+from ..cfg import CFG, build_cfg
+from ..engine import Finding, SourceFile
+
+__all__ = ["RULE", "analyze"]
+
+RULE = "task-lifecycle"
+
+_SPAWN_ATTRS = {"create_task", "ensure_future"}
+_DISCHARGE_ATTRS = {"cancel", "add_done_callback"}
+
+_NO_DESCEND = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+               ast.ClassDef)
+
+
+def _is_spawn(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _SPAWN_ATTRS
+    if isinstance(func, ast.Name):
+        return func.id in _SPAWN_ATTRS
+    return False
+
+
+def _spawn_api(call: ast.Call) -> str:
+    func = call.func
+    return func.attr if isinstance(func, ast.Attribute) else func.id
+
+
+def _scope_walk(roots):
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _NO_DESCEND):
+            stack.extend(getattr(node, "decorator_list", []))
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass
+class _Site:
+    index: int
+    line: int
+    name: str
+    api: str
+    call: ast.Call
+    node_id: int = -1
+
+
+def _effect_roots(node) -> list[ast.AST]:
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    if node.kind == "loop":
+        return [stmt.iter, stmt.target]
+    if node.kind == "with":
+        return [item.context_expr for item in stmt.items]
+    if node.kind in ("dispatch", "handler", "with-cleanup"):
+        return []
+    if isinstance(stmt, _NO_DESCEND):
+        return list(getattr(stmt, "decorator_list", []))
+    return [stmt]
+
+
+def _name_escapes(name_node: ast.Name, parents: dict) -> bool:
+    """Does this Load of a tracked task hand supervision elsewhere?"""
+    child, parent = name_node, parents.get(name_node)
+    while parent is not None:
+        if isinstance(parent, (ast.Attribute, ast.Subscript)) \
+                and child is getattr(parent, "value", None):
+            return False
+        if isinstance(parent, ast.Call) and child is not parent.func:
+            return True                  # asyncio.wait, shield, set.add
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom,
+                               ast.List, ast.Tuple, ast.Dict, ast.Set)):
+            return True
+        if isinstance(parent, ast.Assign):
+            return True                  # aliased or stored: hand-off
+        if isinstance(parent, (ast.Starred, ast.IfExp, ast.NamedExpr,
+                               ast.keyword)):
+            child, parent = parent, parents.get(parent)
+            continue
+        return False
+    return False
+
+
+class _Effects:
+    """Per-CFG-node task-supervision effects, precomputed once."""
+
+    def __init__(self, cfg: CFG, sites: list[_Site]) -> None:
+        self.by_node: dict[int, list[tuple[str, object]]] = {}
+        tracked = {s.name for s in sites if s.name}
+        by_call = {id(s.call): s for s in sites}
+        for node in cfg.nodes.values():
+            roots = _effect_roots(node)
+            if not roots:
+                continue
+            ops: list[tuple[str, object]] = []
+            parents: dict[ast.AST, ast.AST] = {}
+            for sub in _scope_walk(roots):
+                for child in ast.iter_child_nodes(sub):
+                    parents.setdefault(child, sub)
+            for sub in _scope_walk(roots):
+                if (isinstance(sub, ast.Await)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id in tracked):
+                    ops.append(("discharge", sub.value.id))
+                elif (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id in tracked
+                        and sub.func.attr in _DISCHARGE_ATTRS):
+                    ops.append(("discharge", sub.func.value.id))
+                elif (isinstance(sub, ast.Name) and sub.id in tracked
+                        and isinstance(sub.ctx, ast.Load)
+                        and _name_escapes(sub, parents)):
+                    ops.append(("discharge", sub.id))
+            stmt = node.stmt
+            if isinstance(stmt, ast.Assign):
+                for t in stmt.targets:
+                    for n in ast.walk(t):
+                        if isinstance(n, ast.Name) and n.id in tracked:
+                            ops.append(("rebind", n.id))
+            site = (by_call.get(id(stmt.value))
+                    if isinstance(stmt, ast.Assign) else None)
+            if site is not None:
+                site.node_id = node.id
+                ops.append(("spawn", site.index))
+            if ops:
+                order = {"discharge": 0, "rebind": 1, "spawn": 2}
+                ops.sort(key=lambda op: order[op[0]])
+                self.by_node[node.id] = ops
+
+
+class _TaskLattice:
+    """State: frozenset of live (unsupervised) spawn-site indices."""
+
+    def __init__(self, sites: list[_Site], effects: _Effects) -> None:
+        self.sites = sites
+        self.effects = effects
+
+    def initial(self, cfg: CFG) -> frozenset:
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def widen(self, old: frozenset, new: frozenset) -> frozenset:
+        return new
+
+    def _drop_name(self, state: frozenset, name: str) -> frozenset:
+        return frozenset(i for i in state if self.sites[i].name != name)
+
+    def transfer(self, node, state: frozenset):
+        ops = self.effects.by_node.get(node.id)
+        if not ops:
+            return state, state
+        normal = exceptional = state
+        for op, arg in ops:
+            if op in ("discharge", "rebind"):
+                # committed on the exception edge too: once the await/
+                # cancel/hand-off statement runs, supervision moved.
+                normal = self._drop_name(normal, arg)
+                exceptional = self._drop_name(exceptional, arg)
+            elif op == "spawn":
+                # a failed create_task spawned nothing
+                normal = normal | {arg}
+        return normal, exceptional
+
+    def refine(self, edge, state: frozenset) -> frozenset:
+        test = edge.test
+        if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+                and isinstance(test.left, ast.Name)
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None):
+            return state
+        is_none = isinstance(test.ops[0], ast.Is)
+        none_branch = (edge.kind == "true") == is_none
+        if none_branch:
+            return self._drop_name(state, test.left.id)
+        return state
+
+
+def _role(call: ast.Call, parents: dict) -> tuple[str, str]:
+    """bare / escape / bind / attr classification of a spawn call."""
+    child, parent = call, parents.get(call)
+    while parent is not None:
+        if isinstance(parent, ast.Call) and child is not parent.func:
+            return "escape", ""
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom,
+                               ast.List, ast.Tuple, ast.Dict, ast.Set,
+                               ast.Await)):
+            return "escape", ""
+        if isinstance(parent, ast.Assign):
+            targets = parent.targets
+            if len(targets) == 1 and child is parent.value:
+                t = targets[0]
+                if isinstance(t, ast.Name):
+                    return "bind", t.id
+                if (isinstance(t, ast.Attribute)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == "self"):
+                    return "attr", t.attr
+            return "escape", ""
+        if isinstance(parent, (ast.Starred, ast.IfExp, ast.NamedExpr,
+                               ast.keyword)):
+            child, parent = parent, parents.get(parent)
+            continue
+        break
+    return "bare", ""
+
+
+def _scopes(tree: ast.Module):
+    yield tree, None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                    yield sub, node.name
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, None
+
+
+def _witness(cfg: CFG, sol, site: _Site, goal: int, path: str,
+             ) -> tuple[str, tuple]:
+    edges = witness_path(
+        cfg, site.node_id, [goal],
+        lambda e: site.index in (sol.edge_state(e) or frozenset()))
+    exc_desc = ("the exception exit" if goal == cfg.raise_exit
+                else "function exit")
+    steps = [(path, site.line,
+              f"task '{site.name}' spawned here ({site.api})")]
+    parts = [f"spawn@{site.line}"]
+    last_line = site.line
+    for e in edges or []:
+        line = cfg.nodes[e.src].line or last_line
+        last_line = line
+        if e.kind == "exc":
+            steps.append((path, line,
+                          f"exception raised here escapes with "
+                          f"'{site.name}' still unsupervised"))
+            parts.append(f"raise@{line}")
+    steps.append((path, last_line,
+                  f"reaches {exc_desc} with '{site.name}' neither "
+                  "awaited, cancelled, nor handed off"))
+    parts.append("raise-exit" if goal == cfg.raise_exit else "exit")
+    return " -> ".join(parts), tuple(steps)
+
+
+def _attr_discharged(cls_node: ast.ClassDef, attr: str) -> bool:
+    """Does any method of the class cancel/await/hand off self.attr?"""
+    parents: dict[ast.AST, ast.AST] = {}
+    for sub in ast.walk(cls_node):
+        for child in ast.iter_child_nodes(sub):
+            parents.setdefault(child, sub)
+    for sub in ast.walk(cls_node):
+        if not (isinstance(sub, ast.Attribute) and sub.attr == attr
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+                and isinstance(sub.ctx, ast.Load)):
+            continue
+        parent = parents.get(sub)
+        if (isinstance(parent, ast.Attribute)
+                and parent.attr in _DISCHARGE_ATTRS
+                and isinstance(parents.get(parent), ast.Call)
+                and parents[parent].func is parent):
+            return True
+        if isinstance(parent, ast.Await):
+            return True
+        if isinstance(parent, ast.Call) and sub is not parent.func:
+            return True                  # shield(self._t), wait([...])
+        if isinstance(parent, (ast.List, ast.Tuple, ast.Set,
+                               ast.Starred)):
+            return True
+    return False
+
+
+def analyze(sf: SourceFile, ex) -> list[Finding]:
+    """All task-lifecycle findings of one module (src-only scope)."""
+    if not sf.in_src:
+        return []
+    findings: list[Finding] = []
+    classes = {n.name: n for n in ast.walk(sf.tree)
+               if isinstance(n, ast.ClassDef)}
+    attr_checked: set[tuple[str, str]] = set()
+    for scope, cls_name in _scopes(sf.tree):
+        body = scope.body
+        parents: dict[ast.AST, ast.AST] = {}
+        spawns: list[ast.Call] = []
+        for node in _scope_walk(body):
+            for child in ast.iter_child_nodes(node):
+                parents.setdefault(child, node)
+            if isinstance(node, ast.Call) and _is_spawn(node):
+                spawns.append(node)
+        sites: list[_Site] = []
+        for call in sorted(spawns, key=lambda c: (c.lineno, c.col_offset)):
+            role, name = _role(call, parents)
+            api = _spawn_api(call)
+            if role == "escape":
+                continue
+            if role == "bare":
+                findings.append(Finding(
+                    path=sf.posix, line=call.lineno, rule=RULE,
+                    message=f"task spawned by {api}() is discarded "
+                            "(fire-and-forget): its exception is "
+                            "swallowed and shutdown cannot cancel it; "
+                            "store it in a supervised set, await it, "
+                            "or cancel it on every shutdown path"))
+                continue
+            if role == "attr":
+                key = (cls_name or "", name)
+                if cls_name is None or key in attr_checked:
+                    continue
+                attr_checked.add(key)
+                if not _attr_discharged(classes[cls_name], name):
+                    findings.append(Finding(
+                        path=sf.posix, line=call.lineno, rule=RULE,
+                        message=f"task stored on self.{name} is never "
+                                f"awaited, cancelled, or handed off by "
+                                f"any method of {cls_name}; shutdown "
+                                "leaks it and its exception is "
+                                "swallowed"))
+                continue
+            sites.append(_Site(index=len(sites), line=call.lineno,
+                               name=name, api=api, call=call))
+        if not sites:
+            continue
+
+        cfg = build_cfg(scope if isinstance(scope, ast.Module)
+                        else scope)
+        effects = _Effects(cfg, sites)
+        sol = solve(cfg, _TaskLattice(sites, effects))
+        for site in sites:
+            if site.node_id < 0:
+                continue
+            goal = None
+            for candidate in (cfg.raise_exit, cfg.exit):
+                if site.index in sol.inputs.get(candidate, frozenset()):
+                    goal = candidate
+                    break
+            if goal is None:
+                continue
+            witness, flow = _witness(cfg, sol, site, goal, sf.posix)
+            exit_desc = ("the exception exit" if goal == cfg.raise_exit
+                         else "function exit")
+            findings.append(Finding(
+                path=sf.posix, line=site.line, rule=RULE,
+                message=f"task '{site.name}' ({site.api}) may reach "
+                        f"{exit_desc} neither awaited, cancelled, nor "
+                        f"stored in a supervised set (witness: "
+                        f"{witness}); cancel it on the abandoning path "
+                        "or hand it to a supervised set with a done "
+                        "callback",
+                flow=flow))
+    findings.sort(key=lambda f: (f.line, f.message))
+    return findings

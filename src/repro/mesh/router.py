@@ -363,23 +363,33 @@ class Router:
         return order
 
     async def _probe_loop(self) -> None:
-        """Revive down shards; requeue jobs orphaned on dead ones."""
+        """Revive down shards; requeue jobs orphaned on dead ones.
+
+        One surprise exception must not kill the loop: a dead probe
+        loop means down shards stay down forever and orphaned jobs are
+        never requeued, which is strictly worse than skipping a beat.
+        """
         while True:
             await asyncio.sleep(self.config.probe_interval_s)
-            for sid in sorted(self._down):
-                try:
-                    status, _payload, _hdrs = await self._shard_call(
-                        sid, "GET", "/healthz",
-                        timeout_s=self.config.probe_timeout_s,
-                        probe=True)
-                except (ReproError, OSError):
-                    continue
-                if status == 200:
-                    self._down.discard(sid)
-                    self.metrics.inc("shard_revivals")
-            for job in [j for j in self._jobs.values()
-                        if j.final is None and j.shard in self._down]:
-                await self._requeue(job, "owning shard is down")
+            try:
+                for sid in sorted(self._down):
+                    try:
+                        status, _payload, _hdrs = await self._shard_call(
+                            sid, "GET", "/healthz",
+                            timeout_s=self.config.probe_timeout_s,
+                            probe=True)
+                    except (ReproError, OSError):
+                        continue
+                    if status == 200:
+                        self._down.discard(sid)
+                        self.metrics.inc("shard_revivals")
+                for job in [j for j in self._jobs.values()
+                            if j.final is None and j.shard in self._down]:
+                    await self._requeue(job, "owning shard is down")
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # analyze: allow(silent-except) — not silent: probe_loop_errors counts each beat lost; the loop surviving is the point
+                self.metrics.inc("probe_loop_errors")
 
     # ------------------------------------------------------------------
     # Admission
@@ -454,6 +464,18 @@ class Router:
                    max(self.config.hedge_min_s,
                        self.config.hedge_factor * p50))
 
+    @staticmethod
+    def _abandon(task: asyncio.Task) -> None:
+        """Cancel and detach a task whose outcome no longer matters.
+
+        The done-callback retrieves the exception so an attempt that
+        fails after being abandoned never logs "exception was never
+        retrieved" (its shard was already marked down by
+        ``_shard_call`` itself).
+        """
+        task.cancel()
+        task.add_done_callback(lambda t: t.cancelled() or t.exception())
+
     async def _dispatch_hedged(self, sid: str, hedge_sid: str | None,
                                obj: dict) -> tuple[int, Any, dict]:
         """POST a solve to ``sid``; hedge onto ``hedge_sid`` if slow."""
@@ -461,44 +483,57 @@ class Router:
         primary = asyncio.get_running_loop().create_task(
             self._shard_call(sid, "POST", "/v1/partition", obj))
         if not self.config.hedge or hedge_sid is None:
-            return await with_deadline(asyncio.shield(primary), budget)
+            try:
+                return await with_deadline(asyncio.shield(primary),
+                                           budget)
+            except BaseException:
+                # deadline hit or caller cancelled: the shielded task
+                # would otherwise keep running unsupervised
+                self._abandon(primary)
+                raise
         try:
             return await with_deadline(asyncio.shield(primary),
                                        self._hedge_delay())
         except DeadlineExceededError:
             pass                    # primary is slow: hedge
+        except BaseException:
+            self._abandon(primary)
+            raise
         self.metrics.inc("hedge_started")
         hedge = asyncio.get_running_loop().create_task(
             self._shard_call(hedge_sid, "POST", "/v1/partition", obj))
         pending: set[asyncio.Task] = {primary, hedge}
         deadline = time.monotonic() + budget
         winner: asyncio.Task | None = None
-        while pending and winner is None:
-            done, pending = await with_deadline(
-                asyncio.wait(pending,
-                             return_when=asyncio.FIRST_COMPLETED),
-                max(0.05, deadline - time.monotonic()))
-            # deterministic winner selection: primary preferred when
-            # both are complete, regardless of completion order
-            for task in (primary, hedge):
-                if (task in done or task.done()) \
-                        and not task.cancelled() \
-                        and task.exception() is None:
-                    winner = task
-                    break
+        try:
+            while pending and winner is None:
+                done, pending = await with_deadline(
+                    asyncio.wait(pending,
+                                 return_when=asyncio.FIRST_COMPLETED),
+                    max(0.05, deadline - time.monotonic()))
+                # deterministic winner selection: primary preferred when
+                # both are complete, regardless of completion order
+                for task in (primary, hedge):
+                    if (task in done or task.done()) \
+                            and not task.cancelled() \
+                            and task.exception() is None:
+                        winner = task
+                        break
+        except BaseException:
+            # overall budget exhausted or caller cancelled: neither
+            # attempt can win any more
+            self._abandon(primary)
+            self._abandon(hedge)
+            raise
         if winner is None:
             # both attempts failed; surface the primary's error
-            hedge.cancel()
+            self._abandon(hedge)
             self.metrics.inc("hedge_both_failed")
             return primary.result()     # raises
         loser = hedge if winner is primary else primary
         if not loser.done():
-            loser.cancel()
             self.metrics.inc("hedge_cancelled")
-        # a loser that fails later must not warn about an unretrieved
-        # exception (its shard was already marked down by _shard_call)
-        loser.add_done_callback(
-            lambda t: t.cancelled() or t.exception())
+        self._abandon(loser)
         self.metrics.inc("hedge_win_primary" if winner is primary
                          else "hedge_win_hedge")
         return winner.result()

@@ -39,6 +39,7 @@ from ..core.hypergraph import Hypergraph
 from ..core.partition import Partition
 from ..core.shm import SharedArrays, SharedCSR
 from ..errors import WorkerPoolError
+from ..lab.executor import reset_inherited_signals
 
 __all__ = ["RoundPool", "subround_coarsen_step", "subround_fm_refine"]
 
@@ -264,6 +265,7 @@ def _pool_worker_main(conn, inherited_conns=()) -> None:
     worker that never copies the hypergraph stays well under the
     1.5x-payload budget even on million-pin levels.
     """
+    reset_inherited_signals()
     for inherited in inherited_conns:
         inherited.close()
     base_rss = _vm_hwm_bytes()

@@ -269,37 +269,67 @@ class JobManager:
                 and job.request.op != "schedule")
 
     async def _batcher(self) -> None:
-        """Pull jobs, coalesce compatible small ones, dispatch batches."""
+        """Pull jobs, coalesce compatible small ones, dispatch batches.
+
+        A surprise exception fails the jobs of the current beat and
+        keeps the loop alive: a dead batcher strands every queued job
+        with no error, forever, which is strictly worse than failing
+        one beat loudly.
+        """
         loop = asyncio.get_running_loop()
         while not self._stopping:
             job = await self._queue.get()
-            batch, solo = self._coalesce_start(job)
-            if self._is_small(job) and self.batch_window_s > 0:
-                window_end = loop.time() + self.batch_window_s
-                while batch and len(batch) < self.batch_max:
-                    remaining = window_end - loop.time()
-                    if remaining <= 0:
-                        break
+            batch: list[Job] = []
+            solo: list[Job] = []
+            groups: list[list[Job]] = []
+            try:
+                batch, solo = self._coalesce_start(job)
+                if self._is_small(job) and self.batch_window_s > 0:
+                    window_end = loop.time() + self.batch_window_s
+                    while batch and len(batch) < self.batch_max:
+                        remaining = window_end - loop.time()
+                        if remaining <= 0:
+                            break
+                        try:
+                            nxt = await with_deadline(self._queue.get(),
+                                                      remaining)
+                        except DeadlineExceededError:
+                            break
+                        more, solo_extra = self._coalesce_start(nxt)
+                        solo.extend(solo_extra)
+                        for j in more:
+                            if self._is_small(j):
+                                batch.append(j)
+                            else:
+                                solo.append(j)
+                groups = ([batch] if batch else []) + [[j] for j in solo]
+                while groups:
+                    group = groups[0]
+                    await self._slots.acquire()
                     try:
-                        nxt = await with_deadline(self._queue.get(),
-                                                  remaining)
-                    except DeadlineExceededError:
-                        break
-                    more, solo_extra = self._coalesce_start(nxt)
-                    solo.extend(solo_extra)
-                    for j in more:
-                        if self._is_small(j):
-                            batch.append(j)
-                        else:
-                            solo.append(j)
-            for group in ([batch] if batch else []) + [[j] for j in solo]:
-                await self._slots.acquire()
-                if group is batch:
-                    self._top_up(group)
-                task = asyncio.get_running_loop().create_task(
-                    self._run_dispatch(group))
-                self._dispatch_tasks.add(task)
-                task.add_done_callback(self._dispatch_tasks.discard)
+                        if group is batch:
+                            self._top_up(group)
+                        task = asyncio.get_running_loop().create_task(
+                            self._run_dispatch(group))
+                    except BaseException:
+                        self._slots.release()
+                        raise
+                    self._dispatch_tasks.add(task)
+                    task.add_done_callback(self._dispatch_tasks.discard)
+                    groups.pop(0)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # analyze: allow(silent-except) — not silent: every stranded job of the beat is failed with the error and batcher_errors counts the beat; the batcher surviving is the point
+                self.metrics.inc("batcher_errors")
+                stranded: dict[int, Job] = {id(job): job}
+                for j in (*batch, *solo,
+                          *(x for g in groups for x in g)):
+                    stranded.setdefault(id(j), j)
+                for j in stranded.values():
+                    if not j.done:
+                        self._queued_count -= 1
+                        self._resolve(j, status="error",
+                                      error=f"batcher error: {exc!r}")
 
     def _top_up(self, batch: list[Job]) -> None:
         """Fill a batch from jobs that queued while it awaited a slot.

@@ -1,0 +1,97 @@
+"""The batcher loop survives surprise exceptions (no workers forked).
+
+Regression for the dogfood fix: one bad beat used to kill the batcher
+coroutine silently, stranding every queued job forever with no error.
+Now the jobs of the failing beat are failed loudly (``batcher error``)
+and the loop keeps pulling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.jobs import JobManager
+from repro.serve.protocol import JobRequest
+
+
+def req(seed: int) -> JobRequest:
+    return JobRequest(params={"op": "partition", "seed": seed},
+                      seed=seed)
+
+
+async def _wait_for(cond, timeout_s: float = 5.0) -> None:
+    for _ in range(int(timeout_s / 0.005)):
+        if cond():
+            return
+        await asyncio.sleep(0.005)
+    raise AssertionError("condition never became true")
+
+
+def test_batcher_survives_surprise_exception_and_fails_the_beat():
+    async def main():
+        mgr = JobManager(workers=1, batch_window_s=0.0)
+        boom = [True]
+        real_is_small = mgr._is_small
+
+        def flaky(job):
+            if boom:
+                boom.clear()
+                raise RuntimeError("synthetic batcher bug")
+            return real_is_small(job)
+
+        mgr._is_small = flaky
+
+        async def fake_dispatch(batch):
+            try:
+                for j in batch:
+                    mgr._queued_count -= 1
+                    mgr._resolve(j, status="done", result={"ok": True})
+            finally:
+                mgr._slots.release()
+
+        mgr._run_dispatch = fake_dispatch
+        mgr._batcher_task = asyncio.get_running_loop().create_task(
+            mgr._batcher())
+        try:
+            bad = mgr.submit(req(1))
+            await _wait_for(lambda: bad.done)
+            assert bad.status == "error"
+            assert "batcher error" in bad.error
+            assert "synthetic batcher bug" in bad.error
+            assert mgr.metrics.counters["batcher_errors"] == 1
+            assert not mgr._batcher_task.done()   # the loop survived
+
+            good = mgr.submit(req(2))
+            await _wait_for(lambda: good.done)
+            assert good.status == "done"
+            assert mgr._queued_count == 0         # gauge stayed honest
+        finally:
+            await mgr.stop()
+    asyncio.run(main())
+
+
+def test_clean_shutdown_drains_dispatch_tasks():
+    async def main():
+        mgr = JobManager(workers=1, batch_window_s=0.0)
+
+        async def slow_dispatch(batch):
+            try:
+                await asyncio.sleep(30)
+            except asyncio.CancelledError:
+                for j in batch:
+                    mgr._queued_count -= 1
+                    mgr._resolve(j, status="error", error="stopped")
+                raise
+            finally:
+                mgr._slots.release()
+
+        mgr._run_dispatch = slow_dispatch
+        mgr._batcher_task = asyncio.get_running_loop().create_task(
+            mgr._batcher())
+        job = mgr.submit(req(3))
+        await _wait_for(lambda: mgr._dispatch_tasks)
+        await mgr.stop()
+        assert not mgr._dispatch_tasks            # supervised set drained
+        assert mgr._batcher_task.done()
+        assert job.done
+    asyncio.run(main())
